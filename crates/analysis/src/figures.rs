@@ -1,0 +1,211 @@
+//! Figure data structures and text renderings.
+//!
+//! The benches and examples regenerate the paper's two result figures as
+//! data series plus an ASCII rendering (and CSV for external plotting):
+//!
+//! * **Figure 2** — "Hourly aggregated HTTPS traffic from CWA CDN to
+//!   users normed to the minimum (left y-axis) and the total app
+//!   downloads in million from Google/Apple (right y-axis)."
+//! * **Figure 3** — "CWA traffic by district: usage across Germany
+//!   aggregated over 10 days normalized by maximum."
+
+use serde::{Deserialize, Serialize};
+
+use cwa_geo::Germany;
+
+use crate::geoloc::GeoResult;
+use crate::timeseries::HourlySeries;
+
+/// Figure 2 data: the three plotted series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure2 {
+    /// Hourly flows normed to the minimum.
+    pub flows_normed: Vec<f64>,
+    /// Hourly bytes normed to the minimum.
+    pub bytes_normed: Vec<f64>,
+    /// Cumulative downloads (millions), right y-axis; `None` before the
+    /// first official report (June 17).
+    pub downloads_millions: Vec<Option<f64>>,
+}
+
+impl Figure2 {
+    /// Assembles the figure from an hourly series and the download curve
+    /// (values in persons). Official numbers start on `report_from_hour`
+    /// (June 17 = hour 48).
+    pub fn assemble(
+        series: &HourlySeries,
+        downloads: &[f64],
+        report_from_hour: u32,
+    ) -> Self {
+        let downloads_millions = downloads
+            .iter()
+            .enumerate()
+            .map(|(h, &d)| (h as u32 >= report_from_hour).then_some(d / 1e6))
+            .collect();
+        Figure2 {
+            flows_normed: series.flows_normed_to_min(),
+            bytes_normed: series.bytes_normed_to_min(),
+            downloads_millions,
+        }
+    }
+
+    /// CSV with one row per hour.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("hour,flows_normed,bytes_normed,downloads_millions\n");
+        for h in 0..self.flows_normed.len() {
+            let dl = self.downloads_millions[h]
+                .map(|d| format!("{d:.3}"))
+                .unwrap_or_default();
+            out.push_str(&format!(
+                "{h},{:.3},{:.3},{dl}\n",
+                self.flows_normed[h], self.bytes_normed[h]
+            ));
+        }
+        out
+    }
+
+    /// A terminal sparkline of the flows series (one char per hour) —
+    /// the Fig. 2 left axis at a glance.
+    pub fn ascii_flows(&self, width_hours: usize) -> String {
+        const RAMP: &[u8] = b" .:-=+*#%@";
+        let max = self.flows_normed.iter().cloned().fold(1.0f64, f64::max);
+        self.flows_normed
+            .iter()
+            .take(width_hours)
+            .map(|&v| {
+                let idx = ((v / max) * (RAMP.len() - 1) as f64).round() as usize;
+                RAMP[idx.min(RAMP.len() - 1)] as char
+            })
+            .collect()
+    }
+}
+
+/// One Figure-3 row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure3Row {
+    /// District name.
+    pub name: String,
+    /// State abbreviation.
+    pub state: String,
+    /// ZIP prefix (the figure's "ZIP code areas").
+    pub zip: String,
+    /// Intensity normalized by the maximum district.
+    pub intensity: f64,
+}
+
+/// Figure 3 data: the district heat map as a table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure3 {
+    /// One row per district, sorted by descending intensity.
+    pub rows: Vec<Figure3Row>,
+    /// Fraction of districts with any traffic (the paper: "almost all
+    /// districts emit requests").
+    pub coverage: f64,
+}
+
+impl Figure3 {
+    /// Assembles the figure from a geolocation result.
+    pub fn assemble(germany: &Germany, geo: &GeoResult) -> Self {
+        let normalized = geo.normalized();
+        let mut rows: Vec<Figure3Row> = germany
+            .districts()
+            .iter()
+            .map(|d| Figure3Row {
+                name: d.name.clone(),
+                state: d.state.abbrev().to_owned(),
+                zip: d.zip_prefix.clone(),
+                intensity: normalized[usize::from(d.id.0)],
+            })
+            .collect();
+        rows.sort_by(|a, b| b.intensity.partial_cmp(&a.intensity).expect("finite"));
+        Figure3 { rows, coverage: geo.coverage(1) }
+    }
+
+    /// CSV with one row per district.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("district,state,zip,intensity_normed\n");
+        for r in &self.rows {
+            out.push_str(&format!("{},{},{},{:.4}\n", r.name, r.state, r.zip, r.intensity));
+        }
+        out
+    }
+
+    /// The top-`n` districts as an aligned text table.
+    pub fn top_table(&self, n: usize) -> String {
+        let mut out = String::from("district                     state  zip  intensity\n");
+        for r in self.rows.iter().take(n) {
+            out.push_str(&format!(
+                "{:<28} {:<6} {:<4} {:>8.3}\n",
+                r.name, r.state, r.zip, r.intensity
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn series() -> HourlySeries {
+        HourlySeries { flows: vec![2, 4, 8, 6], bytes: vec![20, 40, 80, 60] }
+    }
+
+    #[test]
+    fn figure2_assembly() {
+        let downloads = vec![0.0, 1.0e6, 2.0e6, 3.0e6];
+        let fig = Figure2::assemble(&series(), &downloads, 2);
+        assert_eq!(fig.flows_normed, vec![1.0, 2.0, 4.0, 3.0]);
+        assert_eq!(fig.downloads_millions[0], None);
+        assert_eq!(fig.downloads_millions[1], None);
+        assert_eq!(fig.downloads_millions[2], Some(2.0));
+        assert_eq!(fig.downloads_millions[3], Some(3.0));
+    }
+
+    #[test]
+    fn figure2_csv_shape() {
+        let downloads = vec![0.0, 1.0e6, 2.0e6, 3.0e6];
+        let fig = Figure2::assemble(&series(), &downloads, 2);
+        let csv = fig.to_csv();
+        assert_eq!(csv.lines().count(), 5);
+        assert!(csv.lines().nth(1).unwrap().starts_with("0,1.000,"));
+        assert!(csv.lines().nth(3).unwrap().ends_with(",2.000"));
+    }
+
+    #[test]
+    fn figure2_ascii() {
+        let downloads = vec![0.0; 4];
+        let fig = Figure2::assemble(&series(), &downloads, 0);
+        let art = fig.ascii_flows(4);
+        assert_eq!(art.len(), 4);
+        // Peak hour must use the densest glyph.
+        assert_eq!(art.chars().nth(2).unwrap(), '@');
+    }
+
+    #[test]
+    fn figure3_assembly_and_sorting() {
+        let g = Germany::build();
+        let mut flows = vec![1u64; g.len()];
+        flows[usize::from(g.by_name("Berlin").unwrap().id.0)] = 100;
+        flows[usize::from(g.by_name("Gütersloh").unwrap().id.0)] = 40;
+        let geo = GeoResult { district_flows: flows, attribution_counts: HashMap::new() };
+        let fig = Figure3::assemble(&g, &geo);
+        assert_eq!(fig.rows[0].name, "Berlin");
+        assert!((fig.rows[0].intensity - 1.0).abs() < 1e-12);
+        assert!((fig.coverage - 1.0).abs() < 1e-12);
+        assert_eq!(fig.rows.len(), g.len());
+    }
+
+    #[test]
+    fn figure3_csv_and_table() {
+        let g = Germany::build();
+        let geo = GeoResult {
+            district_flows: vec![1; g.len()],
+            attribution_counts: HashMap::new(),
+        };
+        let fig = Figure3::assemble(&g, &geo);
+        assert_eq!(fig.to_csv().lines().count(), g.len() + 1);
+        assert_eq!(fig.top_table(5).lines().count(), 6);
+    }
+}

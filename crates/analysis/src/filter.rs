@@ -1,0 +1,132 @@
+//! Data-set construction (§2 of the paper).
+//!
+//! "We filter server traffic using 2 IPv4 prefixes mentioned in the CWA
+//! backend documentation […] As both, app and website, use HTTPS only,
+//! we restrict the data to encrypted HTTPS (tcp/443) IPv4 flows from the
+//! CDN to the user — resulting in ≈ 3.3 M matching flows within June
+//! 15–25, 2020."
+
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+use cwa_netflow::flow::{in_prefix, FlowRecord, Protocol};
+
+/// The §2 flow filter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowFilter {
+    /// The documented CWA service prefixes.
+    pub server_prefixes: Vec<(Ipv4Addr, u8)>,
+    /// Server port (443: HTTPS only).
+    pub port: u16,
+}
+
+impl FlowFilter {
+    /// Builds the canonical CWA filter from the documented prefixes.
+    pub fn cwa(server_prefixes: Vec<(Ipv4Addr, u8)>) -> Self {
+        FlowFilter { server_prefixes, port: 443 }
+    }
+
+    /// Does a record match: TCP, server port, **from** a service prefix
+    /// (CDN → user direction)?
+    pub fn matches(&self, rec: &FlowRecord) -> bool {
+        rec.key.protocol == Protocol::Tcp
+            && rec.key.src_port == self.port
+            && self
+                .server_prefixes
+                .iter()
+                .any(|&(p, l)| in_prefix(rec.key.src_ip, p, l))
+    }
+
+    /// Applies the filter, borrowing matching records.
+    pub fn apply<'a>(&self, records: &'a [FlowRecord]) -> Vec<&'a FlowRecord> {
+        records.iter().filter(|r| self.matches(r)).collect()
+    }
+
+    /// Applies the filter, copying matching records.
+    pub fn apply_owned(&self, records: &[FlowRecord]) -> Vec<FlowRecord> {
+        records.iter().filter(|r| self.matches(r)).copied().collect()
+    }
+
+    /// The client (user-side) address of a matching record.
+    pub fn client_of(&self, rec: &FlowRecord) -> Ipv4Addr {
+        rec.key.dst_ip
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwa_netflow::flow::FlowKey;
+
+    const P1: (Ipv4Addr, u8) = (Ipv4Addr::new(81, 200, 16, 0), 22);
+    const P2: (Ipv4Addr, u8) = (Ipv4Addr::new(185, 139, 96, 0), 22);
+
+    fn rec(src: Ipv4Addr, sport: u16, dst: Ipv4Addr, proto: Protocol) -> FlowRecord {
+        FlowRecord {
+            key: FlowKey { src_ip: src, dst_ip: dst, src_port: sport, dst_port: 50_000, protocol: proto },
+            packets: 1,
+            bytes: 1000,
+            first_ms: 0,
+            last_ms: 10,
+            tcp_flags: 0x18,
+        }
+    }
+
+    fn filter() -> FlowFilter {
+        FlowFilter::cwa(vec![P1, P2])
+    }
+
+    #[test]
+    fn keeps_downstream_cdn_https() {
+        let f = filter();
+        let client = Ipv4Addr::new(84, 5, 5, 5);
+        assert!(f.matches(&rec(Ipv4Addr::new(81, 200, 17, 3), 443, client, Protocol::Tcp)));
+        assert!(f.matches(&rec(Ipv4Addr::new(185, 139, 99, 1), 443, client, Protocol::Tcp)));
+    }
+
+    #[test]
+    fn rejects_upstream() {
+        let f = filter();
+        // Client → CDN: src is the client, not a service prefix.
+        let r = rec(Ipv4Addr::new(84, 5, 5, 5), 50_000, Ipv4Addr::new(81, 200, 17, 3), Protocol::Tcp);
+        assert!(!f.matches(&r));
+    }
+
+    #[test]
+    fn rejects_other_servers() {
+        let f = filter();
+        let r = rec(Ipv4Addr::new(203, 0, 113, 7), 443, Ipv4Addr::new(84, 5, 5, 5), Protocol::Tcp);
+        assert!(!f.matches(&r));
+    }
+
+    #[test]
+    fn rejects_non_tcp_and_non_443() {
+        let f = filter();
+        let client = Ipv4Addr::new(84, 5, 5, 5);
+        assert!(!f.matches(&rec(Ipv4Addr::new(81, 200, 17, 3), 443, client, Protocol::Udp)));
+        assert!(!f.matches(&rec(Ipv4Addr::new(81, 200, 17, 3), 80, client, Protocol::Tcp)));
+    }
+
+    #[test]
+    fn apply_counts() {
+        let f = filter();
+        let client = Ipv4Addr::new(84, 5, 5, 5);
+        let records = vec![
+            rec(Ipv4Addr::new(81, 200, 17, 3), 443, client, Protocol::Tcp), // keep
+            rec(client, 50_000, Ipv4Addr::new(81, 200, 17, 3), Protocol::Tcp), // drop
+            rec(Ipv4Addr::new(203, 0, 113, 9), 443, client, Protocol::Tcp), // drop
+            rec(Ipv4Addr::new(185, 139, 96, 9), 443, client, Protocol::Tcp), // keep
+        ];
+        assert_eq!(f.apply(&records).len(), 2);
+        assert_eq!(f.apply_owned(&records).len(), 2);
+    }
+
+    #[test]
+    fn client_is_destination() {
+        let f = filter();
+        let client = Ipv4Addr::new(84, 5, 5, 5);
+        let r = rec(Ipv4Addr::new(81, 200, 17, 3), 443, client, Protocol::Tcp);
+        assert_eq!(f.client_of(&r), client);
+    }
+}

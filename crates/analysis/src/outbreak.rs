@@ -1,0 +1,272 @@
+//! Outbreak-effect analysis (§3, "No effect of local COVID-19
+//! outbreaks").
+//!
+//! The paper's reasoning steps, reproduced here:
+//!
+//! 1. Around June 23 (Gütersloh/Warendorf lockdown) traffic increases —
+//!    but the increase "also occurs on federal state level
+//!    simultaneously — not only in the federal state (NRW) being home to
+//!    the affected districts".
+//! 2. "In Gütersloh, the traffic increased only very slightly and hardly
+//!    noticeable."
+//! 3. "The outbreak in Berlin on June 18 is only visible for users of a
+//!    single ISP and not in the overall traffic from Berlin-based
+//!    users."
+//!
+//! All comparisons are growth ratios of geolocated flow counts between a
+//! pre-window and a post-window.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::ops::Range;
+
+use serde::{Deserialize, Serialize};
+
+use cwa_geo::{DistrictId, FederalState, Germany};
+use cwa_netflow::flow::FlowRecord;
+
+use crate::filter::FlowFilter;
+use crate::geoloc::GeolocationPipeline;
+
+/// Day-resolved, geolocated flow tables.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OutbreakAnalysis {
+    /// `district_flows[day][district]`.
+    pub district_flows: Vec<Vec<u64>>,
+    /// `state_flows[day][state index]` (16 states).
+    pub state_flows: Vec<[u64; 16]>,
+    /// Berlin-located flows per day, by ISP id.
+    pub berlin_isp_flows: HashMap<u8, Vec<u64>>,
+    days: u32,
+}
+
+impl OutbreakAnalysis {
+    /// Builds the tables from records via the geolocation pipeline.
+    /// `isp_of` resolves a client address to an ISP id (from the side
+    /// table), mirroring what the vantage-point operator knows.
+    pub fn compute<F>(
+        germany: &Germany,
+        records: &[FlowRecord],
+        filter: &FlowFilter,
+        pipeline: &GeolocationPipeline<'_>,
+        isp_of: F,
+        days: u32,
+    ) -> Self
+    where
+        F: Fn(Ipv4Addr) -> Option<u8>,
+    {
+        let n = germany.len();
+        let mut district_flows = vec![vec![0u64; n]; days as usize];
+        let mut state_flows = vec![[0u64; 16]; days as usize];
+        let mut berlin_isp_flows: HashMap<u8, Vec<u64>> = HashMap::new();
+        let berlin = germany.by_name("Berlin").map(|d| d.id);
+
+        for rec in records {
+            if !filter.matches(rec) {
+                continue;
+            }
+            let day = (rec.first_ms / 86_400_000) as u32;
+            if day >= days {
+                continue;
+            }
+            let client = filter.client_of(rec);
+            let (district, _attr) = pipeline.locate(client);
+            let Some(district) = district else { continue };
+            district_flows[day as usize][usize::from(district.0)] += 1;
+            let state = germany.district(district).state;
+            state_flows[day as usize][state.index()] += 1;
+
+            if Some(district) == berlin {
+                if let Some(isp) = isp_of(client) {
+                    berlin_isp_flows
+                        .entry(isp)
+                        .or_insert_with(|| vec![0u64; days as usize])[day as usize] += 1;
+                }
+            }
+        }
+
+        OutbreakAnalysis { district_flows, state_flows, berlin_isp_flows, days }
+    }
+
+    /// Sum of a day range for one district.
+    fn district_sum(&self, district: DistrictId, days: &Range<u32>) -> u64 {
+        days.clone()
+            .filter(|&d| d < self.days)
+            .map(|d| self.district_flows[d as usize][usize::from(district.0)])
+            .sum()
+    }
+
+    /// Growth ratio `post/pre` for one district (NaN when pre is 0).
+    pub fn district_growth(&self, district: DistrictId, pre: Range<u32>, post: Range<u32>) -> f64 {
+        ratio(self.district_sum(district, &post), self.district_sum(district, &pre))
+    }
+
+    /// Growth ratio per federal state.
+    pub fn state_growth(&self, pre: Range<u32>, post: Range<u32>) -> [f64; 16] {
+        let mut out = [f64::NAN; 16];
+        for s in 0..16 {
+            let pre_sum: u64 = pre
+                .clone()
+                .filter(|&d| d < self.days)
+                .map(|d| self.state_flows[d as usize][s])
+                .sum();
+            let post_sum: u64 = post
+                .clone()
+                .filter(|&d| d < self.days)
+                .map(|d| self.state_flows[d as usize][s])
+                .sum();
+            out[s] = ratio(post_sum, pre_sum);
+        }
+        out
+    }
+
+    /// National growth ratio.
+    pub fn national_growth(&self, pre: Range<u32>, post: Range<u32>) -> f64 {
+        let sum = |r: Range<u32>| -> u64 {
+            r.filter(|&d| d < self.days)
+                .map(|d| self.state_flows[d as usize].iter().sum::<u64>())
+                .sum()
+        };
+        ratio(sum(post), sum(pre))
+    }
+
+    /// Per-ISP growth of Berlin-located traffic.
+    pub fn berlin_isp_growth(&self, pre: Range<u32>, post: Range<u32>) -> Vec<(u8, f64)> {
+        let mut out: Vec<(u8, f64)> = self
+            .berlin_isp_flows
+            .iter()
+            .map(|(&isp, series)| {
+                let pre_sum: u64 = pre
+                    .clone()
+                    .filter(|&d| d < self.days)
+                    .map(|d| series[d as usize])
+                    .sum();
+                let post_sum: u64 = post
+                    .clone()
+                    .filter(|&d| d < self.days)
+                    .map(|d| series[d as usize])
+                    .sum();
+                (isp, ratio(post_sum, pre_sum))
+            })
+            .collect();
+        out.sort_by_key(|&(isp, _)| isp);
+        out
+    }
+
+    /// The paper's NRW test: is NRW's June-23 growth within `tolerance`
+    /// (multiplicatively) of the *median* growth of the other states?
+    /// Returns `(nrw_growth, median_other_growth, within)`.
+    pub fn nrw_vs_rest(&self, pre: Range<u32>, post: Range<u32>, tolerance: f64) -> (f64, f64, bool) {
+        let growth = self.state_growth(pre, post);
+        let nrw = growth[FederalState::NordrheinWestfalen.index()];
+        let mut others: Vec<f64> = (0..16)
+            .filter(|&i| i != FederalState::NordrheinWestfalen.index())
+            .map(|i| growth[i])
+            .filter(|g| g.is_finite())
+            .collect();
+        others.sort_by(|a, b| a.partial_cmp(b).expect("finite growths"));
+        let median = others[others.len() / 2];
+        let within = nrw.is_finite() && (nrw / median).max(median / nrw) <= tolerance;
+        (nrw, median, within)
+    }
+}
+
+fn ratio(post: u64, pre: u64) -> f64 {
+    if pre == 0 {
+        return f64::NAN;
+    }
+    post as f64 / pre as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hand-built tables (bypassing compute) to verify the arithmetic.
+    fn synthetic() -> OutbreakAnalysis {
+        let n = 401;
+        let days = 11u32;
+        let mut district_flows = vec![vec![0u64; n]; days as usize];
+        let mut state_flows = vec![[0u64; 16]; days as usize];
+        // Uniform base 100/day in districts 0 (Berlin, BE) and 15
+        // (Gütersloh, NW); days 8..11 x1.5 everywhere (national news).
+        for day in 0..days as usize {
+            let boost = if day >= 8 { 3 } else { 2 };
+            district_flows[day][0] = 50 * boost;
+            district_flows[day][15] = 50 * boost;
+            state_flows[day][FederalState::Berlin.index()] = 50 * boost;
+            state_flows[day][FederalState::NordrheinWestfalen.index()] = 50 * boost;
+            // Give every other state some base traffic too.
+            for s in 0..16 {
+                if state_flows[day][s] == 0 {
+                    state_flows[day][s] = 40 * boost;
+                }
+            }
+        }
+        let mut berlin_isp_flows = HashMap::new();
+        // ISP 2: local Berlin bump on days 3..5; ISP 0: flat.
+        let mut isp2 = vec![10u64; days as usize];
+        isp2[3] = 18;
+        isp2[4] = 15;
+        berlin_isp_flows.insert(2u8, isp2);
+        berlin_isp_flows.insert(0u8, vec![40u64; days as usize]);
+        OutbreakAnalysis { district_flows, state_flows, berlin_isp_flows, days }
+    }
+
+    #[test]
+    fn growth_ratios() {
+        let a = synthetic();
+        // All states: (3×3 days)/(2×3 days) = 1.5.
+        let g = a.state_growth(5..8, 8..11);
+        for s in 0..16 {
+            assert!((g[s] - 1.5).abs() < 1e-12, "state {s}: {}", g[s]);
+        }
+        assert!((a.national_growth(5..8, 8..11) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nrw_vs_rest_within_tolerance() {
+        let a = synthetic();
+        let (nrw, median, within) = a.nrw_vs_rest(5..8, 8..11, 1.25);
+        assert!((nrw - 1.5).abs() < 1e-12);
+        assert!((median - 1.5).abs() < 1e-12);
+        assert!(within);
+    }
+
+    #[test]
+    fn district_growth_math() {
+        let a = synthetic();
+        let g = a.district_growth(DistrictId(15), 5..8, 8..11);
+        assert!((g - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn berlin_single_isp_visibility() {
+        let a = synthetic();
+        let growth = a.berlin_isp_growth(1..3, 3..5);
+        let isp0 = growth.iter().find(|(i, _)| *i == 0).unwrap().1;
+        let isp2 = growth.iter().find(|(i, _)| *i == 2).unwrap().1;
+        assert!((isp0 - 1.0).abs() < 1e-12, "flat ISP: {isp0}");
+        assert!(isp2 > 1.3, "bumped ISP: {isp2}");
+    }
+
+    #[test]
+    fn nan_on_zero_baseline() {
+        let a = OutbreakAnalysis {
+            district_flows: vec![vec![0; 401]; 11],
+            state_flows: vec![[0; 16]; 11],
+            berlin_isp_flows: HashMap::new(),
+            days: 11,
+        };
+        assert!(a.national_growth(0..3, 3..6).is_nan());
+        assert!(a.district_growth(DistrictId(0), 0..3, 3..6).is_nan());
+    }
+
+    #[test]
+    fn ranges_clipped_to_days() {
+        let a = synthetic();
+        // post range extends beyond the data; clipped silently.
+        let g = a.national_growth(5..8, 8..20);
+        assert!(g.is_finite());
+    }
+}

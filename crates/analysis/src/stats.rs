@@ -1,0 +1,153 @@
+//! Statistics helpers used across the pipeline: quantiles, correlation,
+//! concentration (Gini), and bootstrap confidence intervals for the
+//! growth ratios the outbreak analysis reports.
+
+use rand::Rng;
+
+/// The `q`-quantile (0–1) of `values` (nearest-rank on a sorted copy).
+/// Returns NaN for empty input.
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+    sorted[idx]
+}
+
+/// Pearson correlation coefficient. NaN when either side is constant.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "series must have equal length");
+    if a.is_empty() {
+        return f64::NAN;
+    }
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let cov: f64 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum();
+    let va: f64 = a.iter().map(|x| (x - ma).powi(2)).sum();
+    let vb: f64 = b.iter().map(|y| (y - mb).powi(2)).sum();
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+/// Gini coefficient of a non-negative distribution — used to quantify
+/// how concentrated Figure 3's traffic is across districts
+/// (0 = perfectly even, → 1 = all traffic in one district).
+pub fn gini(values: &[u64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted: Vec<u64> = values.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len() as f64;
+    let total: f64 = sorted.iter().map(|&v| v as f64).sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (i as f64 + 1.0) * v as f64)
+        .sum();
+    (2.0 * weighted) / (n * total) - (n + 1.0) / n
+}
+
+/// Percentile bootstrap confidence interval for the *ratio of sums*
+/// `sum(post) / sum(pre)` — the growth statistic the outbreak analysis
+/// uses — by resampling days with replacement.
+pub fn bootstrap_growth_ci<R: Rng>(
+    rng: &mut R,
+    pre_days: &[u64],
+    post_days: &[u64],
+    resamples: u32,
+    alpha: f64,
+) -> (f64, f64) {
+    assert!(!pre_days.is_empty() && !post_days.is_empty());
+    let mut ratios = Vec::with_capacity(resamples as usize);
+    for _ in 0..resamples {
+        let pre: u64 = (0..pre_days.len())
+            .map(|_| pre_days[rng.gen_range(0..pre_days.len())])
+            .sum();
+        let post: u64 = (0..post_days.len())
+            .map(|_| post_days[rng.gen_range(0..post_days.len())])
+            .sum();
+        if pre > 0 {
+            ratios.push(post as f64 / pre as f64);
+        }
+    }
+    (quantile(&ratios, alpha / 2.0), quantile(&ratios, 1.0 - alpha / 2.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn quantile_basics() {
+        let v = [3.0, 1.0, 2.0];
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 0.5), 2.0);
+        assert_eq!(quantile(&v, 1.0), 3.0);
+        assert!(quantile(&[], 0.5).is_nan());
+    }
+
+    #[test]
+    fn quantile_ignores_nonfinite() {
+        let v = [1.0, f64::NAN, 3.0];
+        assert_eq!(quantile(&v, 1.0), 3.0);
+    }
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+        let c = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&a, &c) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_extremes() {
+        assert!((gini(&[5, 5, 5, 5]) - 0.0).abs() < 1e-12);
+        // All mass in one of many: approaches (n-1)/n.
+        let g = gini(&[0, 0, 0, 0, 0, 0, 0, 0, 0, 100]);
+        assert!((g - 0.9).abs() < 1e-12);
+        assert_eq!(gini(&[0, 0, 0]), 0.0);
+        assert!(gini(&[]).is_nan());
+    }
+
+    #[test]
+    fn gini_ordering() {
+        let even = gini(&[10, 10, 10, 10]);
+        let skewed = gini(&[1, 2, 3, 34]);
+        assert!(skewed > even);
+    }
+
+    #[test]
+    fn bootstrap_covers_true_ratio() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        // True ratio = 600/300 = 2.0.
+        let pre = [100u64, 100, 100];
+        let post = [200u64, 200, 200];
+        let (lo, hi) = bootstrap_growth_ci(&mut rng, &pre, &post, 500, 0.05);
+        assert!(lo <= 2.0 && 2.0 <= hi, "CI [{lo}, {hi}]");
+        // With zero variance the CI is a point.
+        assert!((hi - lo).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bootstrap_widens_with_noise() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let pre = [50u64, 150, 100];
+        let post = [100u64, 300, 200];
+        let (lo, hi) = bootstrap_growth_ci(&mut rng, &pre, &post, 1000, 0.05);
+        assert!(hi > lo, "CI [{lo}, {hi}]");
+        assert!(lo < 2.0 && hi > 2.0);
+    }
+}

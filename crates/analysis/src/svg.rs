@@ -1,0 +1,278 @@
+//! SVG renderings of the paper's two figures.
+//!
+//! Self-contained (no plotting crates in the offline set): a minimal
+//! SVG writer plus purpose-built renderers that mirror the paper's
+//! layouts —
+//!
+//! * [`figure2_svg`] — the dual-axis time series: flows and bytes
+//!   (normed to minimum, left axis) as lines, cumulative downloads in
+//!   millions (right axis) as a dashed line starting June 17.
+//! * [`figure3_svg`] — the Germany map as a bubble chart: one circle
+//!   per district at its (projected) coordinates, area ∝ normalized
+//!   intensity, matching the heat-map reading of the original.
+
+use std::fmt::Write as _;
+
+use cwa_geo::Germany;
+
+use crate::figures::Figure2;
+use crate::geoloc::GeoResult;
+
+/// Renders Figure 2 as a standalone SVG document.
+pub fn figure2_svg(fig: &Figure2, width: u32, height: u32) -> String {
+    let w = f64::from(width);
+    let h = f64::from(height);
+    let margin = 45.0;
+    let plot_w = w - 2.0 * margin;
+    let plot_h = h - 2.0 * margin;
+    let hours = fig.flows_normed.len().max(1);
+
+    let max_flows = fig.flows_normed.iter().cloned().fold(1.0f64, f64::max);
+    let max_bytes = fig.bytes_normed.iter().cloned().fold(1.0f64, f64::max);
+    let max_left = max_flows.max(max_bytes);
+    let max_dl = fig
+        .downloads_millions
+        .iter()
+        .flatten()
+        .cloned()
+        .fold(1.0f64, f64::max);
+
+    let x = |hour: usize| margin + plot_w * hour as f64 / (hours - 1).max(1) as f64;
+    let y_left = |v: f64| margin + plot_h * (1.0 - v / max_left);
+    let y_right = |v: f64| margin + plot_h * (1.0 - v / max_dl);
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}">"##
+    );
+    let _ = write!(
+        svg,
+        r##"<rect width="{width}" height="{height}" fill="white"/>"##
+    );
+
+    // Axes.
+    let _ = write!(
+        svg,
+        r##"<line x1="{m}" y1="{m}" x2="{m}" y2="{b}" stroke="black"/><line x1="{m}" y1="{b}" x2="{r}" y2="{b}" stroke="black"/><line x1="{r}" y1="{m}" x2="{r}" y2="{b}" stroke="gray"/>"##,
+        m = margin,
+        b = h - margin,
+        r = w - margin
+    );
+
+    // Day gridlines + labels (June 15 + d).
+    for day in 0..hours.div_ceil(24) {
+        let gx = x(day * 24);
+        let _ = write!(
+            svg,
+            r##"<line x1="{gx:.1}" y1="{m}" x2="{gx:.1}" y2="{b}" stroke="#dddddd"/><text x="{gx:.1}" y="{ty:.1}" font-size="9" text-anchor="middle">{label}</text>"##,
+            m = margin,
+            b = h - margin,
+            ty = h - margin + 14.0,
+            label = format!("{}", 15 + day)
+        );
+    }
+    let _ = write!(
+        svg,
+        r##"<text x="{cx:.1}" y="{ty:.1}" font-size="10" text-anchor="middle">June 2020</text>"##,
+        cx = w / 2.0,
+        ty = h - 8.0
+    );
+
+    // Series.
+    let polyline = |values: &[f64], map: &dyn Fn(f64) -> f64| -> String {
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| format!("{:.1},{:.1}", x(i), map(v)))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    let _ = write!(
+        svg,
+        r##"<polyline points="{}" fill="none" stroke="#1f77b4" stroke-width="1"/>"##,
+        polyline(&fig.flows_normed, &y_left)
+    );
+    let _ = write!(
+        svg,
+        r##"<polyline points="{}" fill="none" stroke="#2ca02c" stroke-width="1" opacity="0.7"/>"##,
+        polyline(&fig.bytes_normed, &y_left)
+    );
+    // Downloads: only the Some() suffix.
+    let dl_points: Vec<String> = fig
+        .downloads_millions
+        .iter()
+        .enumerate()
+        .filter_map(|(i, v)| v.map(|d| format!("{:.1},{:.1}", x(i), y_right(d))))
+        .collect();
+    if !dl_points.is_empty() {
+        let _ = write!(
+            svg,
+            r##"<polyline points="{}" fill="none" stroke="#d62728" stroke-width="1.5" stroke-dasharray="5,3"/>"##,
+            dl_points.join(" ")
+        );
+    }
+
+    // Legend.
+    let legend = [
+        ("#1f77b4", "flows (normed to min)"),
+        ("#2ca02c", "bytes (normed to min)"),
+        ("#d62728", "downloads (millions, right axis)"),
+    ];
+    for (i, (color, label)) in legend.iter().enumerate() {
+        let ly = margin + 12.0 * (i as f64 + 1.0);
+        let _ = write!(
+            svg,
+            r##"<line x1="{lx}" y1="{ly:.1}" x2="{lx2}" y2="{ly:.1}" stroke="{color}" stroke-width="2"/><text x="{tx}" y="{ty:.1}" font-size="9">{label}</text>"##,
+            lx = margin + 5.0,
+            lx2 = margin + 25.0,
+            tx = margin + 30.0,
+            ty = ly + 3.0
+        );
+    }
+
+    svg.push_str("</svg>");
+    svg
+}
+
+/// Renders Figure 3 as a bubble map of Germany.
+pub fn figure3_svg(germany: &Germany, geo: &GeoResult, width: u32, height: u32) -> String {
+    let w = f64::from(width);
+    let h = f64::from(height);
+    let margin = 25.0;
+
+    // Germany's bounding box (slightly padded).
+    let (lat_min, lat_max) = (47.0, 55.2);
+    let (lon_min, lon_max) = (5.5, 15.3);
+    // Equirectangular projection with latitude-corrected aspect.
+    let x = |lon: f64| margin + (w - 2.0 * margin) * (lon - lon_min) / (lon_max - lon_min);
+    let y = |lat: f64| margin + (h - 2.0 * margin) * (lat_max - lat) / (lat_max - lat_min);
+
+    let normalized = geo.normalized();
+    let max_radius = 14.0;
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}">"##
+    );
+    let _ = write!(svg, r##"<rect width="{width}" height="{height}" fill="white"/>"##);
+    let _ = write!(
+        svg,
+        r##"<text x="{cx:.1}" y="16" font-size="11" text-anchor="middle">CWA traffic by district (10 days, normed to max)</text>"##,
+        cx = w / 2.0
+    );
+
+    // Draw small-to-large so metros sit on top.
+    let mut order: Vec<usize> = (0..germany.len()).collect();
+    order.sort_by(|&a, &b| normalized[a].partial_cmp(&normalized[b]).expect("finite"));
+    for idx in order {
+        let d = &germany.districts()[idx];
+        let v = normalized[idx];
+        // Area ∝ intensity; a faint dot for zero-traffic districts.
+        let radius = if v > 0.0 { (v.sqrt() * max_radius).max(1.2) } else { 0.8 };
+        let color = if v > 0.0 { "#d62728" } else { "#bbbbbb" };
+        let opacity = if v > 0.0 { 0.35 + 0.4 * v } else { 0.5 };
+        let _ = write!(
+            svg,
+            r##"<circle cx="{cx:.1}" cy="{cy:.1}" r="{radius:.1}" fill="{color}" opacity="{opacity:.2}"/>"##,
+            cx = x(d.lon),
+            cy = y(d.lat),
+        );
+    }
+
+    // Label the three districts the paper names.
+    for name in ["Berlin", "Gütersloh", "Warendorf"] {
+        if let Some(d) = germany.by_name(name) {
+            let _ = write!(
+                svg,
+                r##"<text x="{tx:.1}" y="{ty:.1}" font-size="8" text-anchor="middle">{name}</text>"##,
+                tx = x(d.lon),
+                ty = y(d.lat) - 6.0,
+            );
+        }
+    }
+
+    svg.push_str("</svg>");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn fig2() -> Figure2 {
+        Figure2 {
+            flows_normed: (0..48).map(|h| 1.0 + f64::from(h) / 10.0).collect(),
+            bytes_normed: (0..48).map(|h| 1.0 + f64::from(h) / 12.0).collect(),
+            downloads_millions: (0..48)
+                .map(|h| (h >= 24).then(|| f64::from(h) / 4.0))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn figure2_svg_is_wellformed() {
+        let svg = figure2_svg(&fig2(), 800, 300);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 3, "three series");
+        assert!(svg.contains("downloads (millions"));
+        // Day labels for both days present.
+        assert!(svg.contains(">15<") && svg.contains(">16<"));
+    }
+
+    #[test]
+    fn figure2_svg_downloads_start_late() {
+        let svg = figure2_svg(&fig2(), 800, 300);
+        // The dashed downloads polyline must have ~24 points, not 48.
+        let dashed = svg.split("stroke-dasharray").nth(1).is_some();
+        assert!(dashed);
+    }
+
+    #[test]
+    fn figure3_svg_draws_all_districts() {
+        let g = Germany::build();
+        let mut flows = vec![1u64; g.len()];
+        flows[0] = 100;
+        let geo = GeoResult { district_flows: flows, attribution_counts: HashMap::new() };
+        let svg = figure3_svg(&g, &geo, 500, 600);
+        assert!(svg.starts_with("<svg"));
+        assert_eq!(svg.matches("<circle").count(), g.len());
+        for name in ["Berlin", "Gütersloh", "Warendorf"] {
+            assert!(svg.contains(name), "{name} labelled");
+        }
+    }
+
+    #[test]
+    fn figure3_svg_zero_districts_are_grey() {
+        let g = Germany::build();
+        let geo = GeoResult {
+            district_flows: vec![0u64; g.len()],
+            attribution_counts: HashMap::new(),
+        };
+        let svg = figure3_svg(&g, &geo, 500, 600);
+        assert!(svg.contains("#bbbbbb"));
+        assert!(!svg.contains("#d62728\" opacity"));
+    }
+
+    #[test]
+    fn coordinates_inside_viewbox() {
+        let g = Germany::build();
+        let geo = GeoResult {
+            district_flows: vec![1u64; g.len()],
+            attribution_counts: HashMap::new(),
+        };
+        let svg = figure3_svg(&g, &geo, 500, 600);
+        // All cx/cy values within bounds.
+        for part in svg.split("cx=\"").skip(1) {
+            let v: f64 = part.split('"').next().unwrap().parse().unwrap();
+            assert!((0.0..=500.0).contains(&v), "cx {v}");
+        }
+        for part in svg.split("cy=\"").skip(1) {
+            let v: f64 = part.split('"').next().unwrap().parse().unwrap();
+            assert!((0.0..=600.0).contains(&v), "cy {v}");
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Figure 2: hourly aggregated traffic, normalized to the minimum.
+//!
+//! "We show all HTTPS traffic *from* the CWA CDN to its clients in
+//! Figure 2 (flows and bytes normed to the minimum). […] With the
+//! official release of the CWA on June 16, the traffic immediately
+//! increases (7.5× increase of flows on June 16). Interest starts to
+//! follow the normal diurnal traffic pattern."
+
+use serde::{Deserialize, Serialize};
+
+use cwa_netflow::flow::FlowRecord;
+
+/// Hour-resolved flow/byte counts over the measurement window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HourlySeries {
+    /// Flows per hour (records bucketed by their start time).
+    pub flows: Vec<u64>,
+    /// Bytes per hour.
+    pub bytes: Vec<u64>,
+}
+
+impl HourlySeries {
+    /// Buckets records into `hours` hourly bins by `first_ms`.
+    pub fn from_records<'a, I>(records: I, hours: u32) -> Self
+    where
+        I: IntoIterator<Item = &'a FlowRecord>,
+    {
+        let mut flows = vec![0u64; hours as usize];
+        let mut bytes = vec![0u64; hours as usize];
+        for rec in records {
+            let hour = (rec.first_ms / 3_600_000) as usize;
+            if hour < flows.len() {
+                flows[hour] += 1;
+                bytes[hour] += rec.bytes;
+            }
+        }
+        HourlySeries { flows, bytes }
+    }
+
+    /// Total flows.
+    pub fn total_flows(&self) -> u64 {
+        self.flows.iter().sum()
+    }
+
+    /// Flows per day (24-hour bins).
+    pub fn daily_flows(&self) -> Vec<u64> {
+        self.flows.chunks(24).map(|day| day.iter().sum()).collect()
+    }
+
+    /// Bytes per day.
+    pub fn daily_bytes(&self) -> Vec<u64> {
+        self.bytes.chunks(24).map(|day| day.iter().sum()).collect()
+    }
+
+    /// The series normalized to its minimum *positive* value — exactly
+    /// how Fig. 2's y-axis is constructed ("normed to the minimum").
+    pub fn flows_normed_to_min(&self) -> Vec<f64> {
+        normed_to_min(&self.flows)
+    }
+
+    /// Bytes normalized to the minimum positive value.
+    pub fn bytes_normed_to_min(&self) -> Vec<f64> {
+        normed_to_min(&self.bytes)
+    }
+
+    /// The paper's headline release-day statistic: day-1 (June 16) flows
+    /// divided by day-0 (June 15) flows.
+    pub fn release_jump(&self) -> f64 {
+        let daily = self.daily_flows();
+        if daily.len() < 2 || daily[0] == 0 {
+            return f64::NAN;
+        }
+        daily[1] as f64 / daily[0] as f64
+    }
+
+    /// Diurnal peak-to-trough ratio for one day (a rough "follows the
+    /// normal diurnal pattern" check).
+    pub fn diurnal_ratio(&self, day: u32) -> f64 {
+        let start = (day * 24) as usize;
+        let slice = &self.flows[start..(start + 24).min(self.flows.len())];
+        let max = slice.iter().max().copied().unwrap_or(0) as f64;
+        let min = slice.iter().filter(|&&f| f > 0).min().copied().unwrap_or(1) as f64;
+        max / min
+    }
+
+    /// Extracts the average diurnal profile over days `[from_day,
+    /// to_day)`: 24 hour-of-day weights normalized to mean 1.0. Each
+    /// day is normalized by its own total first, so day-over-day growth
+    /// does not masquerade as shape.
+    pub fn diurnal_profile(&self, from_day: u32, to_day: u32) -> [f64; 24] {
+        let mut profile = [0.0f64; 24];
+        let mut days_used = 0u32;
+        for day in from_day..to_day {
+            let start = (day * 24) as usize;
+            if start + 24 > self.flows.len() {
+                break;
+            }
+            let slice = &self.flows[start..start + 24];
+            let total: u64 = slice.iter().sum();
+            if total == 0 {
+                continue;
+            }
+            for (h, &f) in slice.iter().enumerate() {
+                profile[h] += f as f64 / total as f64;
+            }
+            days_used += 1;
+        }
+        if days_used > 0 {
+            // Each day's fractions sum to 1; scale so the mean weight is 1.
+            for w in profile.iter_mut() {
+                *w = *w / f64::from(days_used) * 24.0;
+            }
+        }
+        profile
+    }
+}
+
+/// Normalizes a series by its smallest positive element.
+fn normed_to_min(series: &[u64]) -> Vec<f64> {
+    let min = series.iter().filter(|&&v| v > 0).min().copied().unwrap_or(1).max(1) as f64;
+    series.iter().map(|&v| v as f64 / min).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwa_netflow::flow::{FlowKey, Protocol};
+    use std::net::Ipv4Addr;
+
+    fn rec_at(hour: u64, bytes: u64) -> FlowRecord {
+        FlowRecord {
+            key: FlowKey {
+                src_ip: Ipv4Addr::new(81, 200, 16, 1),
+                dst_ip: Ipv4Addr::new(84, 0, 0, 1),
+                src_port: 443,
+                dst_port: 50_000,
+                protocol: Protocol::Tcp,
+            },
+            packets: 1,
+            bytes,
+            first_ms: hour * 3_600_000 + 5,
+            last_ms: hour * 3_600_000 + 500,
+            tcp_flags: 0x18,
+        }
+    }
+
+    #[test]
+    fn buckets_by_hour() {
+        let records = vec![rec_at(0, 100), rec_at(0, 200), rec_at(5, 300), rec_at(47, 50)];
+        let s = HourlySeries::from_records(records.iter(), 48);
+        assert_eq!(s.flows[0], 2);
+        assert_eq!(s.bytes[0], 300);
+        assert_eq!(s.flows[5], 1);
+        assert_eq!(s.flows[47], 1);
+        assert_eq!(s.total_flows(), 4);
+    }
+
+    #[test]
+    fn out_of_range_dropped() {
+        let records = vec![rec_at(100, 10)];
+        let s = HourlySeries::from_records(records.iter(), 24);
+        assert_eq!(s.total_flows(), 0);
+    }
+
+    #[test]
+    fn daily_aggregation() {
+        let mut records = Vec::new();
+        for h in 0..24u64 {
+            records.push(rec_at(h, 10));
+        }
+        for h in 24..48u64 {
+            records.push(rec_at(h, 10));
+            records.push(rec_at(h, 10));
+        }
+        let s = HourlySeries::from_records(records.iter(), 48);
+        assert_eq!(s.daily_flows(), vec![24, 48]);
+        assert_eq!(s.daily_bytes(), vec![240, 480]);
+        assert!((s.release_jump() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normed_to_min_semantics() {
+        let s = HourlySeries { flows: vec![0, 2, 6, 4], bytes: vec![0, 20, 60, 40] };
+        // Min positive is 2; zeros stay zero.
+        assert_eq!(s.flows_normed_to_min(), vec![0.0, 1.0, 3.0, 2.0]);
+        assert_eq!(s.bytes_normed_to_min(), vec![0.0, 1.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn release_jump_nan_without_baseline() {
+        let s = HourlySeries { flows: vec![0; 48], bytes: vec![0; 48] };
+        assert!(s.release_jump().is_nan());
+    }
+
+    #[test]
+    fn diurnal_ratio() {
+        let mut flows = vec![10u64; 24];
+        flows[3] = 2;
+        flows[20] = 30;
+        let s = HourlySeries { flows, bytes: vec![0; 24] };
+        assert!((s.diurnal_ratio(0) - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diurnal_profile_mean_one_and_shape() {
+        // Two days with identical shape but 3x different volume: the
+        // profile must reflect the shape only.
+        let shape: Vec<u64> = (0..24u64).map(|h| 10 + h).collect();
+        let mut flows = shape.clone();
+        flows.extend(shape.iter().map(|f| f * 3));
+        let s = HourlySeries { flows, bytes: vec![0; 48] };
+        let profile = s.diurnal_profile(0, 2);
+        let mean: f64 = profile.iter().sum::<f64>() / 24.0;
+        assert!((mean - 1.0).abs() < 1e-9, "mean {mean}");
+        // Shape preserved: hour 23 weight > hour 0 weight.
+        assert!(profile[23] > profile[0]);
+        // Volume difference ignored: profile equals the single-day one.
+        let one_day = s.diurnal_profile(0, 1);
+        for h in 0..24 {
+            assert!((profile[h] - one_day[h]).abs() < 1e-9, "hour {h}");
+        }
+    }
+
+    #[test]
+    fn diurnal_profile_skips_empty_days() {
+        let mut flows = vec![0u64; 24];
+        flows.extend((0..24u64).map(|h| 10 + h));
+        let s = HourlySeries { flows, bytes: vec![0; 48] };
+        let with_empty = s.diurnal_profile(0, 2);
+        let without = s.diurnal_profile(1, 2);
+        for h in 0..24 {
+            assert!((with_empty[h] - without[h]).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! ZIP-code-area aggregation — Figure 3's actual spatial unit.
+//!
+//! The paper's heat map shades "*ZIP code areas*", the two-digit German
+//! postal zones, not administrative districts. This module rolls
+//! district-level flow counts up to ZIP areas (several districts share a
+//! zone; metros dominate theirs) and provides the normalized intensity
+//! table plus a coverage metric at that granularity.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use cwa_geo::Germany;
+
+use crate::geoloc::GeoResult;
+
+/// One ZIP area row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ZipArea {
+    /// Two-digit ZIP prefix, e.g. "33" (Gütersloh area).
+    pub zip: String,
+    /// Districts contributing to this area.
+    pub districts: Vec<String>,
+    /// Total attributed flows.
+    pub flows: u64,
+    /// Intensity normalized by the maximum area.
+    pub intensity: f64,
+}
+
+/// The ZIP-area aggregation of a geolocation result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ZipAreaMap {
+    /// Areas sorted by descending intensity.
+    pub areas: Vec<ZipArea>,
+}
+
+impl ZipAreaMap {
+    /// Rolls a district-level [`GeoResult`] up to ZIP areas.
+    pub fn build(germany: &Germany, geo: &GeoResult) -> Self {
+        let mut by_zip: BTreeMap<String, (Vec<String>, u64)> = BTreeMap::new();
+        for d in germany.districts() {
+            let entry = by_zip.entry(d.zip_prefix.clone()).or_default();
+            entry.0.push(d.name.clone());
+            entry.1 += geo.district_flows[usize::from(d.id.0)];
+        }
+        let max = by_zip.values().map(|(_, f)| *f).max().unwrap_or(0).max(1) as f64;
+        let mut areas: Vec<ZipArea> = by_zip
+            .into_iter()
+            .map(|(zip, (districts, flows))| ZipArea {
+                zip,
+                districts,
+                flows,
+                intensity: flows as f64 / max,
+            })
+            .collect();
+        areas.sort_by(|a, b| b.intensity.partial_cmp(&a.intensity).expect("finite"));
+        ZipAreaMap { areas }
+    }
+
+    /// Fraction of ZIP areas with at least one flow.
+    pub fn coverage(&self) -> f64 {
+        if self.areas.is_empty() {
+            return f64::NAN;
+        }
+        self.areas.iter().filter(|a| a.flows > 0).count() as f64 / self.areas.len() as f64
+    }
+
+    /// Finds an area by ZIP prefix.
+    pub fn area(&self, zip: &str) -> Option<&ZipArea> {
+        self.areas.iter().find(|a| a.zip == zip)
+    }
+
+    /// A text rendering of the top `n` areas.
+    pub fn top_table(&self, n: usize) -> String {
+        let mut out = String::from("zip   flows      intensity  districts\n");
+        for a in self.areas.iter().take(n) {
+            let names = if a.districts.len() > 3 {
+                format!("{}, … ({} districts)", a.districts[..2].join(", "), a.districts.len())
+            } else {
+                a.districts.join(", ")
+            };
+            out.push_str(&format!(
+                "{:<5} {:<10} {:<10.3} {}\n",
+                a.zip, a.flows, a.intensity, names
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn geo_with(flows: Vec<(usize, u64)>) -> (Germany, GeoResult) {
+        let g = Germany::build();
+        let mut district_flows = vec![0u64; g.len()];
+        for (i, f) in flows {
+            district_flows[i] = f;
+        }
+        (g, GeoResult { district_flows, attribution_counts: HashMap::new() })
+    }
+
+    #[test]
+    fn aggregates_same_zip_districts() {
+        let g = Germany::build();
+        // Find two districts sharing a ZIP prefix.
+        let mut seen: HashMap<String, usize> = HashMap::new();
+        let mut pair = None;
+        for d in g.districts() {
+            if let Some(&other) = seen.get(&d.zip_prefix) {
+                pair = Some((other, usize::from(d.id.0), d.zip_prefix.clone()));
+                break;
+            }
+            seen.insert(d.zip_prefix.clone(), usize::from(d.id.0));
+        }
+        let (a, b, zip) = pair.expect("the model has shared ZIP prefixes");
+        let (g, geo) = geo_with(vec![(a, 10), (b, 5)]);
+        let map = ZipAreaMap::build(&g, &geo);
+        assert_eq!(map.area(&zip).unwrap().flows, 15);
+    }
+
+    #[test]
+    fn normalization_and_sorting() {
+        let berlin;
+        let g = Germany::build();
+        berlin = usize::from(g.by_name("Berlin").unwrap().id.0);
+        let (g, geo) = geo_with(vec![(berlin, 100), (50, 20)]);
+        let map = ZipAreaMap::build(&g, &geo);
+        assert!((map.areas[0].intensity - 1.0).abs() < 1e-12);
+        for w in map.areas.windows(2) {
+            assert!(w[0].intensity >= w[1].intensity);
+        }
+    }
+
+    #[test]
+    fn guetersloh_zip_area_exists() {
+        let g = Germany::build();
+        let gt = g.by_name("Gütersloh").unwrap();
+        let (g2, geo) = geo_with(vec![(usize::from(gt.id.0), 7)]);
+        let map = ZipAreaMap::build(&g2, &geo);
+        let area = map.area("33").expect("ZIP 33 exists");
+        assert!(area.districts.iter().any(|d| d == "Gütersloh"));
+        assert!(area.flows >= 7);
+    }
+
+    #[test]
+    fn coverage() {
+        let (g, geo) = geo_with(vec![(0, 5)]);
+        let map = ZipAreaMap::build(&g, &geo);
+        let cov = map.coverage();
+        assert!(cov > 0.0 && cov < 0.2, "one hot district covers few areas: {cov}");
+    }
+
+    #[test]
+    fn table_renders() {
+        let (g, geo) = geo_with(vec![(0, 5), (1, 3)]);
+        let map = ZipAreaMap::build(&g, &geo);
+        let table = map.top_table(5);
+        assert_eq!(table.lines().count(), 6);
+    }
+
+    #[test]
+    fn fewer_areas_than_districts() {
+        let (g, geo) = geo_with(vec![(0, 1)]);
+        let map = ZipAreaMap::build(&g, &geo);
+        assert!(map.areas.len() < g.len());
+        assert!(map.areas.len() > 20, "{} areas", map.areas.len());
+    }
+}

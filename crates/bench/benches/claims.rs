@@ -1,0 +1,40 @@
+//! **The claim table** — every quantitative in-text statement of the
+//! paper (C1–C7), regenerated and printed as paper-vs-measured rows,
+//! plus a benchmark of the full analysis pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cwa_bench::{sim, BENCH_SCALE};
+use cwa_core::{Study, StudyConfig};
+
+fn bench(c: &mut Criterion) {
+    let out = sim();
+    let study = Study::new(StudyConfig::at_scale(BENCH_SCALE));
+    let report = study.analyze(out);
+
+    println!("\n================ Claims C1–C7 (regenerated) ================");
+    println!("{}", report.render_text());
+    if !report.all_passed() {
+        println!("WARNING: {} claim(s) out of band", report.failures().len());
+    }
+    println!("=============================================================\n");
+
+    c.bench_function("claims/full_analysis_pass", |b| {
+        b.iter(|| black_box(study.analyze(black_box(out))).claims.len())
+    });
+    c.bench_function("claims/persistence_quantiles", |b| {
+        use cwa_analysis::filter::FlowFilter;
+        use cwa_analysis::persistence::PersistenceAnalysis;
+        let filter = FlowFilter::cwa(out.cdn.service_prefixes.to_vec());
+        let matching = filter.apply_owned(&out.records);
+        b.iter(|| {
+            let mut p = PersistenceAnalysis::new(20, out.config.days);
+            p.ingest(black_box(&matching).iter());
+            (p.fraction_quantile(0.5), p.fraction_quantile(0.75))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! **Figure 2** — "Hourly aggregated HTTPS traffic from CWA CDN to
+//! users normed to the minimum (left y-axis) and the total app
+//! downloads in million from Google/Apple (right y-axis)."
+//!
+//! Regenerates the figure's three series, prints the per-day rows, and
+//! benchmarks the analysis steps (filtering + hourly bucketing +
+//! normalization + figure assembly).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cwa_analysis::figures::Figure2;
+use cwa_analysis::filter::FlowFilter;
+use cwa_analysis::timeseries::HourlySeries;
+use cwa_bench::{render_daily_table, sim};
+
+fn regenerate_and_print() {
+    let out = sim();
+    let filter = FlowFilter::cwa(out.cdn.service_prefixes.to_vec());
+    let matching = filter.apply_owned(&out.records);
+    let hours = out.config.days * 24;
+    let series = HourlySeries::from_records(matching.iter(), hours);
+    let downloads: Vec<f64> = (0..hours).map(|h| out.downloads.downloads_at(h)).collect();
+    let fig = Figure2::assemble(&series, &downloads, 48);
+
+    println!("\n================ Figure 2 (regenerated) ================");
+    println!("{}", render_daily_table(&series.flows, &series.bytes));
+    println!("release jump (paper: 7.5x): {:.2}x", series.release_jump());
+    // Blind event detection: the paper's two events found from the data.
+    let changes = cwa_analysis::changepoint::detect_increases(
+        &series.daily_flows(),
+        &cwa_analysis::changepoint::CusumConfig {
+            window: 1,
+            ..Default::default()
+        },
+    );
+    for c in &changes {
+        println!(
+            "detected change: Jun {} (+{:.0}%)",
+            15 + c.day,
+            (c.log_ratio.exp() - 1.0) * 100.0
+        );
+    }
+    println!(
+        "downloads: {:.1}M by Jun 17 12:00 (paper: 6.4M @ 36h), {:.1}M by Jun 25",
+        out.downloads.downloads_at(60) / 1e6,
+        out.downloads.downloads_at(263) / 1e6
+    );
+    println!("hourly flows normed to min (one char per hour):");
+    println!("{}", fig.ascii_flows(fig.flows_normed.len()));
+    println!("=========================================================\n");
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_and_print();
+    let out = sim();
+    let filter = FlowFilter::cwa(out.cdn.service_prefixes.to_vec());
+    let matching = filter.apply_owned(&out.records);
+    let hours = out.config.days * 24;
+
+    c.bench_function("fig2/filter_records", |b| {
+        b.iter(|| black_box(filter.apply(black_box(&out.records))).len())
+    });
+    c.bench_function("fig2/hourly_bucketing", |b| {
+        b.iter(|| HourlySeries::from_records(black_box(&matching).iter(), hours))
+    });
+    let series = HourlySeries::from_records(matching.iter(), hours);
+    c.bench_function("fig2/normalize_and_assemble", |b| {
+        let downloads: Vec<f64> = (0..hours).map(|h| out.downloads.downloads_at(h)).collect();
+        b.iter(|| Figure2::assemble(black_box(&series), black_box(&downloads), 48))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! **Figure 3** — "CWA traffic by district: usage across Germany
+//! aggregated over 10 days normalized by maximum."
+//!
+//! Regenerates the district heat map (as a ranked table + per-state
+//! aggregation), verifies the day-1 comparison the paper makes, and
+//! benchmarks the geolocation pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::HashMap;
+use std::hint::black_box;
+
+use cwa_analysis::figures::Figure3;
+use cwa_analysis::filter::FlowFilter;
+use cwa_analysis::geoloc::{GeolocationPipeline, IspInfo};
+use cwa_bench::sim;
+use cwa_geo::FederalState;
+
+fn isp_table() -> HashMap<u32, IspInfo> {
+    sim()
+        .isp_table
+        .iter()
+        .map(|(&net, e)| (net, IspInfo { isp: e.isp.0, router_district: e.router_district }))
+        .collect()
+}
+
+fn regenerate_and_print(table: &HashMap<u32, IspInfo>) {
+    let out = sim();
+    let filter = FlowFilter::cwa(out.cdn.service_prefixes.to_vec());
+    let pipeline =
+        GeolocationPipeline::new(&out.germany, &out.geodb, table, out.config.plan.prefix_len);
+    let geo10 = pipeline.run(&out.records, &filter, 1, 11);
+    let geo1 = pipeline.run(&out.records, &filter, 1, 2);
+    let fig = Figure3::assemble(&out.germany, &geo10);
+
+    println!("\n================ Figure 3 (regenerated) ================");
+    println!("{}", fig.top_table(15));
+    println!(
+        "district coverage: {:.1}% over 10 days, {:.1}% on day one (paper: 'almost all districts', day-1 'almost the same')",
+        geo10.coverage(1) * 100.0,
+        geo1.coverage(1) * 100.0
+    );
+    println!(
+        "geolocation sources: {:.1}% router ground truth (paper: 18%), {:.1}% geo DB",
+        geo10.ground_truth_share() * 100.0,
+        (1.0 - geo10.ground_truth_share()) * 100.0
+    );
+
+    // Per-state roll-up (the map's coarse shading).
+    println!("\nper-state intensity (sum of district flows, normalized to max state):");
+    let mut per_state = [0u64; 16];
+    for d in out.germany.districts() {
+        per_state[d.state.index()] += geo10.district_flows[usize::from(d.id.0)];
+    }
+    let max = *per_state.iter().max().unwrap() as f64;
+    for s in FederalState::ALL {
+        let v = per_state[s.index()] as f64 / max;
+        let bar: String = std::iter::repeat('#').take((v * 40.0) as usize).collect();
+        println!("  {:<4} {:>5.2} {}", s.abbrev(), v, bar);
+    }
+    println!("=========================================================\n");
+}
+
+fn bench(c: &mut Criterion) {
+    let table = isp_table();
+    regenerate_and_print(&table);
+    let out = sim();
+    let filter = FlowFilter::cwa(out.cdn.service_prefixes.to_vec());
+    let pipeline =
+        GeolocationPipeline::new(&out.germany, &out.geodb, &table, out.config.plan.prefix_len);
+
+    c.bench_function("fig3/geolocate_10days", |b| {
+        b.iter(|| pipeline.run(black_box(&out.records), &filter, 1, 11))
+    });
+    let geo10 = pipeline.run(&out.records, &filter, 1, 11);
+    c.bench_function("fig3/assemble_figure", |b| {
+        b.iter(|| Figure3::assemble(&out.germany, black_box(&geo10)))
+    });
+    c.bench_function("fig3/single_lookup", |b| {
+        let client = out.records[0].key.dst_ip;
+        b.iter(|| pipeline.locate(black_box(client)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! **The outbreak analysis (C6)** — regenerates §3's "No effect of
+//! local COVID-19 outbreaks": per-state growth around June 23, the
+//! Gütersloh local check, and the Berlin June-18 per-ISP comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::HashMap;
+use std::hint::black_box;
+
+use cwa_analysis::filter::FlowFilter;
+use cwa_analysis::geoloc::{GeolocationPipeline, IspInfo};
+use cwa_analysis::outbreak::OutbreakAnalysis;
+use cwa_bench::sim;
+use cwa_geo::FederalState;
+
+fn build() -> (OutbreakAnalysis, HashMap<u32, IspInfo>) {
+    let out = sim();
+    let table: HashMap<u32, IspInfo> = out
+        .isp_table
+        .iter()
+        .map(|(&net, e)| (net, IspInfo { isp: e.isp.0, router_district: e.router_district }))
+        .collect();
+    let filter = FlowFilter::cwa(out.cdn.service_prefixes.to_vec());
+    let pipeline =
+        GeolocationPipeline::new(&out.germany, &out.geodb, &table, out.config.plan.prefix_len);
+    let analysis = OutbreakAnalysis::compute(
+        &out.germany,
+        &out.records,
+        &filter,
+        &pipeline,
+        |client| {
+            let net = cwa_geo::geodb::mask(client, out.config.plan.prefix_len);
+            table.get(&net).map(|e| e.isp)
+        },
+        out.config.days,
+    );
+    (analysis, table)
+}
+
+fn regenerate_and_print(analysis: &OutbreakAnalysis) {
+    let out = sim();
+    println!("\n============ §3 outbreak analysis (regenerated) ============");
+
+    println!("per-state growth, Jun 23–25 vs Jun 20–22 (paper: increase in ALL states):");
+    let growth = analysis.state_growth(5..8, 8..11);
+    for s in FederalState::ALL {
+        let marker = if s == FederalState::NordrheinWestfalen { "  <-- NRW (outbreak state)" } else { "" };
+        println!("  {:<4} {:>5.2}x{marker}", s.abbrev(), growth[s.index()]);
+    }
+    let (nrw, median, within) = analysis.nrw_vs_rest(5..8, 8..11, 1.25);
+    println!(
+        "NRW {nrw:.2}x vs median-of-rest {median:.2}x → within 25%: {within} (paper: 'not only in NRW')"
+    );
+
+    let national = analysis.national_growth(5..8, 8..11);
+    let gt = out.germany.by_name("Gütersloh").unwrap().id;
+    let g = analysis.district_growth(gt, 5..8, 8..11);
+    println!(
+        "\nGütersloh itself: {g:.2}x vs national {national:.2}x (paper: 'increased only very slightly')"
+    );
+
+    println!("\nBerlin Jun 18 growth per ISP (Jun 18–19 vs Jun 16–17):");
+    let gt_isp = out.plan.isps.iter().find(|i| i.ground_truth_routers).unwrap();
+    for (isp, growth) in analysis.berlin_isp_growth(1..3, 3..5) {
+        let name = &out.plan.isps[usize::from(isp)].name;
+        let marker = if isp == gt_isp.id.0 { "  <-- the single ISP (paper)" } else { "" };
+        println!("  {name:<18} {growth:>5.2}x{marker}");
+    }
+    println!("=============================================================\n");
+}
+
+fn bench(c: &mut Criterion) {
+    let (analysis, table) = build();
+    regenerate_and_print(&analysis);
+    let out = sim();
+    let filter = FlowFilter::cwa(out.cdn.service_prefixes.to_vec());
+    let pipeline =
+        GeolocationPipeline::new(&out.germany, &out.geodb, &table, out.config.plan.prefix_len);
+
+    c.bench_function("outbreak/compute_tables", |b| {
+        b.iter(|| {
+            OutbreakAnalysis::compute(
+                &out.germany,
+                black_box(&out.records),
+                &filter,
+                &pipeline,
+                |client| {
+                    let net = cwa_geo::geodb::mask(client, out.config.plan.prefix_len);
+                    table.get(&net).map(|e| e.isp)
+                },
+                out.config.days,
+            )
+        })
+    });
+    c.bench_function("outbreak/growth_queries", |b| {
+        b.iter(|| {
+            let g = analysis.state_growth(5..8, 8..11);
+            let n = analysis.national_growth(5..8, 8..11);
+            let b_ = analysis.berlin_isp_growth(1..3, 3..5);
+            (g, n, b_)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! **Robustness** — the claim table across independent seeds.
+//!
+//! A reproduction that only works at one RNG seed is a coincidence.
+//! This bench re-runs the full study at several seeds and prints the
+//! per-claim pass rate, then benchmarks one full study iteration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+use cwa_core::{Study, StudyConfig};
+
+const SCALE: f64 = 0.02;
+const SEEDS: [u64; 5] = [0x2020_0616, 1, 42, 0xDEAD_BEEF, 7_777_777];
+
+fn regenerate_and_print() {
+    println!("\n=========== Claim pass rate across {} seeds (scale {SCALE}) ===========", SEEDS.len());
+    let mut passes: BTreeMap<&'static str, u32> = BTreeMap::new();
+    let mut measured: BTreeMap<&'static str, Vec<f64>> = BTreeMap::new();
+
+    for &seed in &SEEDS {
+        let mut config = StudyConfig::at_scale(SCALE);
+        config.sim.seed = seed;
+        let report = Study::new(config).run();
+        for claim in &report.claims {
+            let code = claim.id.code();
+            *passes.entry(code).or_insert(0) += u32::from(claim.pass);
+            measured.entry(code).or_default().push(claim.measured);
+        }
+    }
+
+    println!("claim  pass  measured range");
+    for (code, pass) in &passes {
+        let values = &measured[code];
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "{code:<6} {pass}/{}   [{lo:.3}, {hi:.3}]",
+            SEEDS.len()
+        );
+    }
+    println!("=====================================================================\n");
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_and_print();
+    let mut g = c.benchmark_group("robustness");
+    g.sample_size(10);
+    g.bench_function("full_study_scale_0.004", |b| {
+        b.iter(|| {
+            let report = Study::new(StudyConfig::test_small()).run();
+            black_box(report.claims.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,180 @@
+//! The paper's quantitative claims and their tolerance bands.
+//!
+//! A poster has no numbered tables; its quantitative statements *are*
+//! its tables. Each [`Claim`] records the paper's value, the band we
+//! accept for a simulated reproduction (shapes and ratios are expected
+//! to transfer; absolute vantage-point-specific constants are not), the
+//! measured value, and pass/fail.
+
+use serde::{Deserialize, Serialize};
+
+/// Experiment identifiers (see DESIGN.md §3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ClaimId {
+    /// §2: ≈ 3.3 M matching flows within June 15–25.
+    C1MatchingFlows,
+    /// §3: 7.5× increase of flows on June 16.
+    C2ReleaseJump,
+    /// §3: 6.4 M downloads 36 h after release.
+    C3aDownloads36h,
+    /// §3: 16.2 M total downloads by July 24.
+    C3bDownloadsJuly24,
+    /// §3: median prefix occurs in 67 % of possible days.
+    C4aPersistenceMedian,
+    /// §3: p75 prefix occurs in 80 % of possible days.
+    C4bPersistenceP75,
+    /// §3/Fig. 3: almost all districts emit requests (10-day coverage).
+    C5aCoverage10Day,
+    /// §3: the first-day map looks almost the same (day-1 coverage).
+    C5bCoverageDay1,
+    /// §3: NRW's June-23 growth ≈ the other states' growth.
+    C6aNrwVsRest,
+    /// §3: Gütersloh itself increased "only very slightly".
+    C6bGuetersloh,
+    /// §3: Berlin June-18 visible in a single ISP only.
+    C6cBerlinSingleIsp,
+    /// §2: API name entered the Umbrella top 1 M late in the window.
+    C7aUmbrellaApi,
+    /// §2: the website never appeared in the top 1 M.
+    C7bUmbrellaWebsite,
+    /// §3: 18 % of geolocations from router ground truth.
+    C7cGroundTruthShare,
+}
+
+impl ClaimId {
+    /// Short id string used in reports ("C1", "C4a", …).
+    pub fn code(self) -> &'static str {
+        match self {
+            ClaimId::C1MatchingFlows => "C1",
+            ClaimId::C2ReleaseJump => "C2",
+            ClaimId::C3aDownloads36h => "C3a",
+            ClaimId::C3bDownloadsJuly24 => "C3b",
+            ClaimId::C4aPersistenceMedian => "C4a",
+            ClaimId::C4bPersistenceP75 => "C4b",
+            ClaimId::C5aCoverage10Day => "C5a",
+            ClaimId::C5bCoverageDay1 => "C5b",
+            ClaimId::C6aNrwVsRest => "C6a",
+            ClaimId::C6bGuetersloh => "C6b",
+            ClaimId::C6cBerlinSingleIsp => "C6c",
+            ClaimId::C7aUmbrellaApi => "C7a",
+            ClaimId::C7bUmbrellaWebsite => "C7b",
+            ClaimId::C7cGroundTruthShare => "C7c",
+        }
+    }
+}
+
+/// One evaluated claim.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Claim {
+    /// Which claim.
+    pub id: ClaimId,
+    /// What the paper states (human-readable).
+    pub paper_statement: String,
+    /// The paper's numeric value, where it has one.
+    pub paper_value: Option<f64>,
+    /// The measured value from the reproduction.
+    pub measured: f64,
+    /// The acceptance band `[lo, hi]` (inclusive).
+    pub band: (f64, f64),
+    /// Whether the measured value falls in the band.
+    pub pass: bool,
+    /// Extra context (e.g. per-state numbers).
+    pub detail: String,
+}
+
+impl Claim {
+    /// Evaluates a measured value against a band.
+    pub fn evaluate(
+        id: ClaimId,
+        paper_statement: &str,
+        paper_value: Option<f64>,
+        measured: f64,
+        band: (f64, f64),
+        detail: String,
+    ) -> Self {
+        let pass = measured.is_finite() && measured >= band.0 && measured <= band.1;
+        Claim {
+            id,
+            paper_statement: paper_statement.to_owned(),
+            paper_value,
+            measured,
+            band,
+            pass,
+            detail,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluate_in_band() {
+        let c = Claim::evaluate(
+            ClaimId::C2ReleaseJump,
+            "7.5x",
+            Some(7.5),
+            6.9,
+            (4.0, 12.0),
+            String::new(),
+        );
+        assert!(c.pass);
+    }
+
+    #[test]
+    fn evaluate_out_of_band() {
+        let c = Claim::evaluate(
+            ClaimId::C2ReleaseJump,
+            "7.5x",
+            Some(7.5),
+            2.0,
+            (4.0, 12.0),
+            String::new(),
+        );
+        assert!(!c.pass);
+    }
+
+    #[test]
+    fn nan_never_passes() {
+        let c = Claim::evaluate(
+            ClaimId::C1MatchingFlows,
+            "3.3M",
+            Some(3.3e6),
+            f64::NAN,
+            (0.0, f64::INFINITY),
+            String::new(),
+        );
+        assert!(!c.pass);
+    }
+
+    #[test]
+    fn band_is_inclusive() {
+        let c = Claim::evaluate(ClaimId::C2ReleaseJump, "", None, 4.0, (4.0, 12.0), String::new());
+        assert!(c.pass);
+        let c = Claim::evaluate(ClaimId::C2ReleaseJump, "", None, 12.0, (4.0, 12.0), String::new());
+        assert!(c.pass);
+    }
+
+    #[test]
+    fn codes_unique() {
+        let all = [
+            ClaimId::C1MatchingFlows,
+            ClaimId::C2ReleaseJump,
+            ClaimId::C3aDownloads36h,
+            ClaimId::C3bDownloadsJuly24,
+            ClaimId::C4aPersistenceMedian,
+            ClaimId::C4bPersistenceP75,
+            ClaimId::C5aCoverage10Day,
+            ClaimId::C5bCoverageDay1,
+            ClaimId::C6aNrwVsRest,
+            ClaimId::C6bGuetersloh,
+            ClaimId::C6cBerlinSingleIsp,
+            ClaimId::C7aUmbrellaApi,
+            ClaimId::C7bUmbrellaWebsite,
+            ClaimId::C7cGroundTruthShare,
+        ];
+        let codes: std::collections::HashSet<_> = all.iter().map(|c| c.code()).collect();
+        assert_eq!(codes.len(), all.len());
+    }
+}

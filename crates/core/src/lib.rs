@@ -1,0 +1,34 @@
+//! # cwa-core — the reproduction's public API
+//!
+//! One entry point, [`Study`], runs the complete reproduction of
+//! *"Corona-Warn-App: Tracing the Start of the Official COVID-19
+//! Exposure Notification App for Germany"* (SIGCOMM '20 Posters):
+//!
+//! 1. simulate the world (epidemic, adoption, traffic, NetFlow capture)
+//!    via `cwa-simnet`,
+//! 2. run the paper's analysis pipeline (`cwa-analysis`) **on the
+//!    anonymized sampled records only**, and
+//! 3. evaluate every figure and quantitative claim of the paper against
+//!    tolerance bands, producing a [`report::StudyReport`].
+//!
+//! ```no_run
+//! use cwa_core::{Study, StudyConfig};
+//!
+//! let report = Study::new(StudyConfig::default()).run();
+//! println!("{}", report.render_text());
+//! assert!(report.all_passed());
+//! ```
+//!
+//! The experiment ids (F2, F3, C1–C7) match DESIGN.md and
+//! EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod claims;
+pub mod report;
+pub mod study;
+
+pub use claims::{Claim, ClaimId};
+pub use report::StudyReport;
+pub use study::{Study, StudyConfig};

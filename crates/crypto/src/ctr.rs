@@ -1,0 +1,129 @@
+//! AES-128 CTR mode (NIST SP 800-38A §6.5).
+//!
+//! The Exposure Notification spec encrypts the Associated Encrypted
+//! Metadata as `AES128-CTR(AEMK, RPI, metadata)`, using the 16-byte
+//! Rolling Proximity Identifier as the initial counter block. Because CTR
+//! is an XOR stream, the same function both encrypts and decrypts.
+
+use crate::aes::Aes128;
+
+/// Encrypts/decrypts `data` with AES-128 in CTR mode.
+///
+/// `iv` is the initial 16-byte counter block; it is incremented as a
+/// big-endian 128-bit integer for each subsequent keystream block
+/// (SP 800-38A standard incrementing function over the full block).
+pub fn aes128_ctr(key: &[u8; 16], iv: &[u8; 16], data: &[u8]) -> Vec<u8> {
+    let aes = Aes128::new(key);
+    let mut counter = *iv;
+    let mut out = Vec::with_capacity(data.len());
+    for chunk in data.chunks(16) {
+        let keystream = aes.encrypt_block(&counter);
+        for (i, byte) in chunk.iter().enumerate() {
+            out.push(byte ^ keystream[i]);
+        }
+        increment_be(&mut counter);
+    }
+    out
+}
+
+/// Increments a 16-byte big-endian counter in place, wrapping on overflow.
+fn increment_be(counter: &mut [u8; 16]) {
+    for byte in counter.iter_mut().rev() {
+        let (v, carry) = byte.overflowing_add(1);
+        *byte = v;
+        if !carry {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    fn unhex16(s: &str) -> [u8; 16] {
+        let v = unhex(s);
+        let mut out = [0u8; 16];
+        out.copy_from_slice(&v);
+        out
+    }
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// NIST SP 800-38A F.5.1 CTR-AES128.Encrypt (all four blocks).
+    #[test]
+    fn sp800_38a_ctr_encrypt() {
+        let key = unhex16("2b7e151628aed2a6abf7158809cf4f3c");
+        let iv = unhex16("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+        let pt = unhex(
+            "6bc1bee22e409f96e93d7e117393172a\
+             ae2d8a571e03ac9c9eb76fac45af8e51\
+             30c81c46a35ce411e5fbc1191a0a52ef\
+             f69f2445df4f9b17ad2b417be66c3710",
+        );
+        let ct = aes128_ctr(&key, &iv, &pt);
+        assert_eq!(
+            hex(&ct),
+            "874d6191b620e3261bef6864990db6ce\
+             9806f66b7970fdff8617187bb9fffdff\
+             5ae4df3edbd5d35e5b4f09020db03eab\
+             1e031dda2fbe03d1792170a0f3009cee"
+                .replace(' ', "")
+        );
+    }
+
+    #[test]
+    fn roundtrip() {
+        let key = [9u8; 16];
+        let iv = [3u8; 16];
+        let msg = b"exposure notification metadata bytes";
+        let ct = aes128_ctr(&key, &iv, msg);
+        assert_ne!(&ct[..], &msg[..]);
+        let pt = aes128_ctr(&key, &iv, &ct);
+        assert_eq!(&pt[..], &msg[..]);
+    }
+
+    #[test]
+    fn partial_block() {
+        let key = [1u8; 16];
+        let iv = [0u8; 16];
+        let msg = [0xffu8; 5];
+        let ct = aes128_ctr(&key, &iv, &msg);
+        assert_eq!(ct.len(), 5);
+        assert_eq!(aes128_ctr(&key, &iv, &ct), msg);
+    }
+
+    #[test]
+    fn counter_wraps_at_max() {
+        let mut c = [0xffu8; 16];
+        increment_be(&mut c);
+        assert_eq!(c, [0u8; 16]);
+
+        let mut c2 = [0u8; 16];
+        c2[15] = 0xff;
+        increment_be(&mut c2);
+        assert_eq!(c2[15], 0);
+        assert_eq!(c2[14], 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(aes128_ctr(&[0u8; 16], &[0u8; 16], &[]).is_empty());
+    }
+
+    #[test]
+    fn keystream_blocks_differ() {
+        // Two consecutive blocks of zeros must encrypt to different keystream.
+        let ct = aes128_ctr(&[5u8; 16], &[0u8; 16], &[0u8; 32]);
+        assert_ne!(&ct[..16], &ct[16..]);
+    }
+}

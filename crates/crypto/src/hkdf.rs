@@ -1,0 +1,139 @@
+//! HKDF — HMAC-based extract-and-expand key derivation (RFC 5869),
+//! instantiated with SHA-256.
+//!
+//! The Exposure Notification cryptography specification v1.2 derives both
+//! the Rolling Proximity Identifier Key and the Associated Encrypted
+//! Metadata Key as `HKDF(tek, salt=None, info, 16)`.
+//!
+//! Verified against the RFC 5869 Appendix A test vectors.
+
+use crate::hmac::hmac_sha256;
+
+/// Maximum output length: `255 * HashLen` per RFC 5869.
+pub const MAX_OUTPUT_LEN: usize = 255 * 32;
+
+/// HKDF-Extract: `PRK = HMAC-SHA256(salt, ikm)`.
+///
+/// An empty/absent salt is treated as 32 zero bytes, per the RFC.
+pub fn hkdf_extract(salt: Option<&[u8]>, ikm: &[u8]) -> [u8; 32] {
+    let zero = [0u8; 32];
+    hmac_sha256(salt.unwrap_or(&zero), ikm)
+}
+
+/// HKDF-Expand: derives `len` bytes of output keying material from `prk`.
+///
+/// # Panics
+///
+/// Panics if `len > 255 * 32` (RFC 5869 limit).
+pub fn hkdf_expand(prk: &[u8; 32], info: &[u8], len: usize) -> Vec<u8> {
+    assert!(len <= MAX_OUTPUT_LEN, "HKDF output length {len} exceeds RFC 5869 limit");
+    let mut okm = Vec::with_capacity(len);
+    let mut prev: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    while okm.len() < len {
+        let mut msg = Vec::with_capacity(prev.len() + info.len() + 1);
+        msg.extend_from_slice(&prev);
+        msg.extend_from_slice(info);
+        msg.push(counter);
+        let block = hmac_sha256(prk, &msg);
+        let take = (len - okm.len()).min(32);
+        okm.extend_from_slice(&block[..take]);
+        prev = block.to_vec();
+        counter = counter.wrapping_add(1);
+    }
+    okm
+}
+
+/// Full HKDF (extract then expand): `OKM = HKDF(salt, ikm, info, len)`.
+pub fn hkdf_sha256(salt: Option<&[u8]>, ikm: &[u8], info: &[u8], len: usize) -> Vec<u8> {
+    let prk = hkdf_extract(salt, ikm);
+    hkdf_expand(&prk, info, len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    /// RFC 5869 A.1: basic test case with SHA-256.
+    #[test]
+    fn rfc5869_case1() {
+        let ikm = [0x0bu8; 22];
+        let salt = unhex("000102030405060708090a0b0c");
+        let info = unhex("f0f1f2f3f4f5f6f7f8f9");
+        let prk = hkdf_extract(Some(&salt), &ikm);
+        assert_eq!(
+            hex(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let okm = hkdf_expand(&prk, &info, 42);
+        assert_eq!(
+            hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    /// RFC 5869 A.2: longer inputs/outputs.
+    #[test]
+    fn rfc5869_case2() {
+        let ikm: Vec<u8> = (0x00u8..=0x4f).collect();
+        let salt: Vec<u8> = (0x60u8..=0xaf).collect();
+        let info: Vec<u8> = (0xb0u8..=0xff).collect();
+        let okm = hkdf_sha256(Some(&salt), &ikm, &info, 82);
+        assert_eq!(
+            hex(&okm),
+            "b11e398dc80327a1c8e7f78c596a49344f012eda2d4efad8a050cc4c19afa97c\
+59045a99cac7827271cb41c65e590e09da3275600c2f09b8367793a9aca3db71\
+cc30c58179ec3e87c14c01d5c1f3434f1d87"
+        );
+    }
+
+    /// RFC 5869 A.3: zero-length salt and info.
+    #[test]
+    fn rfc5869_case3() {
+        let ikm = [0x0bu8; 22];
+        let okm = hkdf_sha256(None, &ikm, b"", 42);
+        assert_eq!(
+            hex(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn expand_multiblock_lengths() {
+        let prk = hkdf_extract(None, b"input key material");
+        for len in [0usize, 1, 31, 32, 33, 64, 65, 100] {
+            let okm = hkdf_expand(&prk, b"ctx", len);
+            assert_eq!(okm.len(), len);
+        }
+        // Prefix property: shorter outputs are prefixes of longer ones.
+        let long = hkdf_expand(&prk, b"ctx", 100);
+        let short = hkdf_expand(&prk, b"ctx", 40);
+        assert_eq!(&long[..40], &short[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds RFC 5869 limit")]
+    fn expand_over_limit_panics() {
+        let prk = [0u8; 32];
+        let _ = hkdf_expand(&prk, b"", MAX_OUTPUT_LEN + 1);
+    }
+
+    #[test]
+    fn info_separates_domains() {
+        let ikm = b"tek-bytes";
+        let a = hkdf_sha256(None, ikm, b"EN-RPIK", 16);
+        let b = hkdf_sha256(None, ikm, b"EN-AEMK", 16);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,143 @@
+//! HMAC-SHA256 keyed message authentication (RFC 2104 / FIPS 198-1).
+//!
+//! Verified against the RFC 4231 test vectors in the test module.
+
+use crate::sha256::{sha256, Sha256};
+
+/// SHA-256 block size in bytes.
+const BLOCK: usize = 64;
+
+/// Computes `HMAC-SHA256(key, message)`.
+///
+/// Keys longer than the 64-byte block size are first hashed, per RFC 2104.
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; 32] {
+    let mut k = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        k[..32].copy_from_slice(&sha256(key));
+    } else {
+        k[..key.len()].copy_from_slice(key);
+    }
+
+    let mut ipad = [0x36u8; BLOCK];
+    let mut opad = [0x5cu8; BLOCK];
+    for i in 0..BLOCK {
+        ipad[i] ^= k[i];
+        opad[i] ^= k[i];
+    }
+
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    inner.update(message);
+    let inner_digest = inner.finalize();
+
+    let mut outer = Sha256::new();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// RFC 4231 test case 1.
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0bu8; 20];
+        let out = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex(&out),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    /// RFC 4231 test case 2 ("Jefe").
+    #[test]
+    fn rfc4231_case2() {
+        let out = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&out),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    /// RFC 4231 test case 3 (0xaa key, 0xdd data).
+    #[test]
+    fn rfc4231_case3() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        let out = hmac_sha256(&key, &data);
+        assert_eq!(
+            hex(&out),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    /// RFC 4231 test case 4 (incrementing key).
+    #[test]
+    fn rfc4231_case4() {
+        let key: Vec<u8> = (1u8..=25).collect();
+        let data = [0xcdu8; 50];
+        let out = hmac_sha256(&key, &data);
+        assert_eq!(
+            hex(&out),
+            "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b"
+        );
+    }
+
+    /// RFC 4231 test case 6 (key longer than block size).
+    #[test]
+    fn rfc4231_case6_long_key() {
+        let key = [0xaau8; 131];
+        let out = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex(&out),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    /// RFC 4231 test case 7 (long key and long data).
+    #[test]
+    fn rfc4231_case7_long_key_long_data() {
+        let key = [0xaau8; 131];
+        let data = b"This is a test using a larger than block-size key and a larger than \
+block-size data. The key needs to be hashed before being used by the HMAC algorithm.";
+        let out = hmac_sha256(&key, data);
+        assert_eq!(
+            hex(&out),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2"
+        );
+    }
+
+    #[test]
+    fn exactly_block_sized_key_is_used_verbatim() {
+        // A 64-byte key must not be hashed; compare against manual construction.
+        let key = [0x42u8; 64];
+        let msg = b"boundary";
+        let direct = hmac_sha256(&key, msg);
+
+        let mut ipad = [0x36u8; 64];
+        let mut opad = [0x5cu8; 64];
+        for i in 0..64 {
+            ipad[i] ^= key[i];
+            opad[i] ^= key[i];
+        }
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        inner.update(msg);
+        let mut outer = Sha256::new();
+        outer.update(&opad);
+        outer.update(&inner.finalize());
+        assert_eq!(direct, outer.finalize());
+    }
+
+    #[test]
+    fn different_keys_differ() {
+        assert_ne!(hmac_sha256(b"k1", b"m"), hmac_sha256(b"k2", b"m"));
+        assert_ne!(hmac_sha256(b"k", b"m1"), hmac_sha256(b"k", b"m2"));
+    }
+}

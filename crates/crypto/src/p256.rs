@@ -1,0 +1,510 @@
+//! ECDSA over NIST P-256 (secp256r1) — the algorithm that signs the
+//! real Corona-Warn-App key-export files.
+//!
+//! The export format carries `SignatureInfo` entries verified by the
+//! app against pinned public keys; this module provides the signing and
+//! verification halves so the reproduction can produce and check
+//! *genuinely signed* exports:
+//!
+//! * curve arithmetic in Jacobian coordinates (one field inversion per
+//!   scalar multiplication, not per addition),
+//! * deterministic nonces per **RFC 6979** (no RNG dependence, no nonce
+//!   reuse catastrophes) with HMAC-SHA256 from this crate,
+//! * known-answer tests from RFC 6979 A.2.5 and the NIST P-256 vectors.
+//!
+//! Not constant-time — see the crate-level security disclaimer.
+
+use crate::hmac::hmac_sha256;
+use crate::sha256::sha256;
+use crate::u256::U256;
+
+/// The field prime `p = 2^256 − 2^224 + 2^192 + 2^96 − 1`.
+fn p() -> U256 {
+    U256::from_hex("ffffffff00000001000000000000000000000000ffffffffffffffffffffffff")
+}
+
+/// The group order `n`.
+fn n() -> U256 {
+    U256::from_hex("ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551")
+}
+
+/// Curve coefficient `b` (`a = −3`).
+fn b() -> U256 {
+    U256::from_hex("5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b")
+}
+
+/// Base point G.
+fn g() -> AffinePoint {
+    AffinePoint {
+        x: U256::from_hex("6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296"),
+        y: U256::from_hex("4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5"),
+        infinity: false,
+    }
+}
+
+/// A point in affine coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AffinePoint {
+    /// x coordinate.
+    pub x: U256,
+    /// y coordinate.
+    pub y: U256,
+    /// Point at infinity marker.
+    pub infinity: bool,
+}
+
+/// A point in Jacobian coordinates (X/Z², Y/Z³).
+#[derive(Debug, Clone, Copy)]
+struct JacobianPoint {
+    x: U256,
+    y: U256,
+    z: U256,
+}
+
+impl JacobianPoint {
+    const INFINITY: JacobianPoint = JacobianPoint { x: U256::ONE, y: U256::ONE, z: U256::ZERO };
+
+    fn from_affine(p_: &AffinePoint) -> Self {
+        if p_.infinity {
+            JacobianPoint::INFINITY
+        } else {
+            JacobianPoint { x: p_.x, y: p_.y, z: U256::ONE }
+        }
+    }
+
+    fn is_infinity(&self) -> bool {
+        self.z.is_zero()
+    }
+
+    fn to_affine(self) -> AffinePoint {
+        if self.is_infinity() {
+            return AffinePoint { x: U256::ZERO, y: U256::ZERO, infinity: true };
+        }
+        let prime = p();
+        let z_inv = self.z.inv_mod(&prime);
+        let z2 = z_inv.mul_mod(&z_inv, &prime);
+        let z3 = z2.mul_mod(&z_inv, &prime);
+        AffinePoint {
+            x: self.x.mul_mod(&z2, &prime),
+            y: self.y.mul_mod(&z3, &prime),
+            infinity: false,
+        }
+    }
+
+    /// Point doubling (dbl-2001-b, a = −3).
+    fn double(&self) -> JacobianPoint {
+        if self.is_infinity() || self.y.is_zero() {
+            return JacobianPoint::INFINITY;
+        }
+        let prime = p();
+        let m = &prime;
+        // delta = Z², gamma = Y², beta = X·gamma
+        let delta = self.z.mul_mod(&self.z, m);
+        let gamma = self.y.mul_mod(&self.y, m);
+        let beta = self.x.mul_mod(&gamma, m);
+        // alpha = 3·(X − delta)·(X + delta)
+        let alpha = self
+            .x
+            .sub_mod(&delta, m)
+            .mul_mod(&self.x.add_mod(&delta, m), m);
+        let alpha = alpha.add_mod(&alpha, m).add_mod(&alpha, m);
+        // X₃ = alpha² − 8·beta
+        let beta2 = beta.add_mod(&beta, m);
+        let beta4 = beta2.add_mod(&beta2, m);
+        let beta8 = beta4.add_mod(&beta4, m);
+        let x3 = alpha.mul_mod(&alpha, m).sub_mod(&beta8, m);
+        // Z₃ = (Y + Z)² − gamma − delta
+        let yz = self.y.add_mod(&self.z, m);
+        let z3 = yz.mul_mod(&yz, m).sub_mod(&gamma, m).sub_mod(&delta, m);
+        // Y₃ = alpha·(4·beta − X₃) − 8·gamma²
+        let gamma2 = gamma.mul_mod(&gamma, m);
+        let gamma2_2 = gamma2.add_mod(&gamma2, m);
+        let gamma2_4 = gamma2_2.add_mod(&gamma2_2, m);
+        let gamma2_8 = gamma2_4.add_mod(&gamma2_4, m);
+        let y3 = alpha
+            .mul_mod(&beta4.sub_mod(&x3, m), m)
+            .sub_mod(&gamma2_8, m);
+        JacobianPoint { x: x3, y: y3, z: z3 }
+    }
+
+    /// Mixed addition: Jacobian + affine (add-2007-bl, simplified).
+    fn add_affine(&self, other: &AffinePoint) -> JacobianPoint {
+        if other.infinity {
+            return *self;
+        }
+        if self.is_infinity() {
+            return JacobianPoint::from_affine(other);
+        }
+        let m = &p();
+        let z1z1 = self.z.mul_mod(&self.z, m);
+        let u2 = other.x.mul_mod(&z1z1, m);
+        let s2 = other.y.mul_mod(&z1z1.mul_mod(&self.z, m), m);
+        let h = u2.sub_mod(&self.x, m);
+        let r = s2.sub_mod(&self.y, m);
+        if h.is_zero() {
+            if r.is_zero() {
+                return self.double();
+            }
+            return JacobianPoint::INFINITY;
+        }
+        let h2 = h.mul_mod(&h, m);
+        let h3 = h2.mul_mod(&h, m);
+        let v = self.x.mul_mod(&h2, m);
+        // X₃ = r² − h³ − 2v
+        let x3 = r
+            .mul_mod(&r, m)
+            .sub_mod(&h3, m)
+            .sub_mod(&v.add_mod(&v, m), m);
+        // Y₃ = r·(v − X₃) − Y₁·h³
+        let y3 = r
+            .mul_mod(&v.sub_mod(&x3, m), m)
+            .sub_mod(&self.y.mul_mod(&h3, m), m);
+        let z3 = self.z.mul_mod(&h, m);
+        JacobianPoint { x: x3, y: y3, z: z3 }
+    }
+}
+
+/// Scalar multiplication `k·P` (double-and-add, MSB first).
+pub fn scalar_mul(k: &U256, point: &AffinePoint) -> AffinePoint {
+    let mut acc = JacobianPoint::INFINITY;
+    for i in (0..k.bits()).rev() {
+        acc = acc.double();
+        if k.bit(i) {
+            acc = acc.add_affine(point);
+        }
+    }
+    acc.to_affine()
+}
+
+/// Checks the curve equation `y² = x³ − 3x + b (mod p)`.
+pub fn on_curve(point: &AffinePoint) -> bool {
+    if point.infinity {
+        return true;
+    }
+    let m = &p();
+    let y2 = point.y.mul_mod(&point.y, m);
+    let x3 = point.x.mul_mod(&point.x, m).mul_mod(&point.x, m);
+    let three_x = point.x.add_mod(&point.x, m).add_mod(&point.x, m);
+    let rhs = x3.sub_mod(&three_x, m).add_mod(&b(), m);
+    y2 == rhs
+}
+
+/// An ECDSA signing key (scalar in `[1, n)`).
+#[derive(Debug, Clone)]
+pub struct SigningKey {
+    d: U256,
+}
+
+/// An ECDSA verifying key (public point).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifyingKey {
+    /// The public point `d·G`.
+    pub point: AffinePoint,
+}
+
+/// An ECDSA signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Signature {
+    /// r component.
+    pub r: U256,
+    /// s component.
+    pub s: U256,
+}
+
+impl Signature {
+    /// Fixed-size 64-byte encoding (r ‖ s, big-endian).
+    pub fn to_bytes(&self) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        out[..32].copy_from_slice(&self.r.to_be_bytes());
+        out[32..].copy_from_slice(&self.s.to_be_bytes());
+        out
+    }
+
+    /// Parses the 64-byte encoding.
+    pub fn from_bytes(bytes: &[u8; 64]) -> Self {
+        let mut r = [0u8; 32];
+        let mut s = [0u8; 32];
+        r.copy_from_slice(&bytes[..32]);
+        s.copy_from_slice(&bytes[32..]);
+        Signature { r: U256::from_be_bytes(&r), s: U256::from_be_bytes(&s) }
+    }
+}
+
+impl SigningKey {
+    /// Creates a key from 32 big-endian secret bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scalar is 0 or ≥ n.
+    pub fn from_bytes(secret: &[u8; 32]) -> Self {
+        let d = U256::from_be_bytes(secret);
+        assert!(!d.is_zero() && d.lt(&n()), "secret scalar out of range");
+        SigningKey { d }
+    }
+
+    /// The corresponding public key.
+    pub fn verifying_key(&self) -> VerifyingKey {
+        VerifyingKey { point: scalar_mul(&self.d, &g()) }
+    }
+
+    /// Signs `message` (hashed with SHA-256) with an RFC 6979
+    /// deterministic nonce.
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        let digest = sha256(message);
+        self.sign_prehashed(&digest)
+    }
+
+    /// Signs a precomputed SHA-256 digest.
+    pub fn sign_prehashed(&self, digest: &[u8; 32]) -> Signature {
+        let order = n();
+        let z = bits2int(digest, &order);
+        let mut extra = 0u32;
+        loop {
+            let k = rfc6979_nonce(&self.d, digest, extra);
+            if k.is_zero() || !k.lt(&order) {
+                extra += 1;
+                continue;
+            }
+            let point = scalar_mul(&k, &g());
+            let r = reduce_mod(&point.x, &order);
+            if r.is_zero() {
+                extra += 1;
+                continue;
+            }
+            // s = k⁻¹ (z + r d) mod n
+            let rd = r.mul_mod(&self.d, &order);
+            let sum = z.add_mod(&rd, &order);
+            let s = k.inv_mod(&order).mul_mod(&sum, &order);
+            if s.is_zero() {
+                extra += 1;
+                continue;
+            }
+            return Signature { r, s };
+        }
+    }
+}
+
+impl VerifyingKey {
+    /// Verifies a signature over `message` (SHA-256).
+    pub fn verify(&self, message: &[u8], signature: &Signature) -> bool {
+        self.verify_prehashed(&sha256(message), signature)
+    }
+
+    /// Verifies against a precomputed digest.
+    pub fn verify_prehashed(&self, digest: &[u8; 32], signature: &Signature) -> bool {
+        let order = n();
+        let (r, s) = (signature.r, signature.s);
+        if r.is_zero() || s.is_zero() || !r.lt(&order) || !s.lt(&order) {
+            return false;
+        }
+        if self.point.infinity || !on_curve(&self.point) {
+            return false;
+        }
+        let z = bits2int(digest, &order);
+        let s_inv = s.inv_mod(&order);
+        let u1 = z.mul_mod(&s_inv, &order);
+        let u2 = r.mul_mod(&s_inv, &order);
+        // R = u1·G + u2·Q
+        let p1 = JacobianPoint::from_affine(&scalar_mul(&u1, &g()));
+        let sum = p1.add_affine(&scalar_mul(&u2, &self.point)).to_affine();
+        if sum.infinity {
+            return false;
+        }
+        reduce_mod(&sum.x, &order) == r
+    }
+}
+
+/// Converts a digest to an integer per RFC 6979 §2.3.2 and reduces once.
+fn bits2int(digest: &[u8; 32], order: &U256) -> U256 {
+    reduce_mod(&U256::from_be_bytes(digest), order)
+}
+
+/// One conditional subtraction (values are < 2·order here).
+fn reduce_mod(value: &U256, order: &U256) -> U256 {
+    if value.lt(order) {
+        *value
+    } else {
+        value.sbb(order).0
+    }
+}
+
+/// RFC 6979 deterministic nonce generation (HMAC-SHA256 DRBG), with an
+/// `extra` counter for the rare retry loop.
+fn rfc6979_nonce(d: &U256, digest: &[u8; 32], extra: u32) -> U256 {
+    let order = n();
+    let x = d.to_be_bytes();
+    let h1 = bits2int(digest, &order).to_be_bytes();
+
+    let mut v = [0x01u8; 32];
+    let mut k = [0x00u8; 32];
+
+    // K = HMAC(K, V ‖ 0x00 ‖ x ‖ h1)
+    let mut data = Vec::with_capacity(32 + 1 + 32 + 32 + 4);
+    data.extend_from_slice(&v);
+    data.push(0x00);
+    data.extend_from_slice(&x);
+    data.extend_from_slice(&h1);
+    if extra > 0 {
+        data.extend_from_slice(&extra.to_be_bytes());
+    }
+    k = hmac_sha256(&k, &data);
+    v = hmac_sha256(&k, &v);
+    // K = HMAC(K, V ‖ 0x01 ‖ x ‖ h1)
+    let mut data = Vec::with_capacity(32 + 1 + 32 + 32 + 4);
+    data.extend_from_slice(&v);
+    data.push(0x01);
+    data.extend_from_slice(&x);
+    data.extend_from_slice(&h1);
+    if extra > 0 {
+        data.extend_from_slice(&extra.to_be_bytes());
+    }
+    k = hmac_sha256(&k, &data);
+    v = hmac_sha256(&k, &v);
+
+    loop {
+        v = hmac_sha256(&k, &v);
+        let candidate = U256::from_be_bytes(&v);
+        if !candidate.is_zero() && candidate.lt(&order) {
+            return candidate;
+        }
+        let mut data = Vec::with_capacity(33);
+        data.extend_from_slice(&v);
+        data.push(0x00);
+        k = hmac_sha256(&k, &data);
+        v = hmac_sha256(&k, &v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex32(s: &str) -> [u8; 32] {
+        U256::from_hex(s).to_be_bytes()
+    }
+
+    #[test]
+    fn base_point_on_curve() {
+        assert!(on_curve(&g()));
+    }
+
+    #[test]
+    fn known_scalar_multiples_of_g() {
+        // 2G, from the published P-256 test vectors.
+        let two_g = scalar_mul(&U256::from_hex("2"), &g());
+        assert_eq!(
+            two_g.x,
+            U256::from_hex("7cf27b188d034f7e8a52380304b51ac3c08969e277f21b35a60b48fc47669978")
+        );
+        assert_eq!(
+            two_g.y,
+            U256::from_hex("07775510db8ed040293d9ac69f7430dbba7dade63ce982299e04b79d227873d1")
+        );
+        // 1G = G.
+        assert_eq!(scalar_mul(&U256::ONE, &g()), g());
+        assert!(on_curve(&two_g));
+    }
+
+    #[test]
+    fn scalar_mul_by_order_is_infinity() {
+        let order = n();
+        let result = scalar_mul(&order, &g());
+        assert!(result.infinity);
+    }
+
+    /// RFC 6979 A.2.5, P-256 + SHA-256, message "sample".
+    #[test]
+    fn rfc6979_sample_vector() {
+        let key = SigningKey::from_bytes(&hex32(
+            "c9afa9d845ba75166b5c215767b1d6934e50c3db36e89b127b8a622b120f6721",
+        ));
+        // Public key check (from the RFC).
+        let vk = key.verifying_key();
+        assert_eq!(
+            vk.point.x,
+            U256::from_hex("60fed4ba255a9d31c961eb74c6356d68c049b8923b61fa6ce669622e60f29fb6")
+        );
+        assert_eq!(
+            vk.point.y,
+            U256::from_hex("7903fe1008b8bc99a41ae9e95628bc64f2f1b20c2d7e9f5177a3c294d4462299")
+        );
+
+        let sig = key.sign(b"sample");
+        assert_eq!(
+            sig.r,
+            U256::from_hex("efd48b2aacb6a8fd1140dd9cd45e81d69d2c877b56aaf991c34d0ea84eaf3716")
+        );
+        assert_eq!(
+            sig.s,
+            U256::from_hex("f7cb1c942d657c41d436c7a1b6e29f65f3e900dbb9aff4064dc4ab2f843acda8")
+        );
+        assert!(vk.verify(b"sample", &sig));
+    }
+
+    /// RFC 6979 A.2.5, message "test".
+    #[test]
+    fn rfc6979_test_vector() {
+        let key = SigningKey::from_bytes(&hex32(
+            "c9afa9d845ba75166b5c215767b1d6934e50c3db36e89b127b8a622b120f6721",
+        ));
+        let sig = key.sign(b"test");
+        assert_eq!(
+            sig.r,
+            U256::from_hex("f1abb023518351cd71d881567b1ea663ed3efcf6c5132b354f28d3b0b7d38367")
+        );
+        assert_eq!(
+            sig.s,
+            U256::from_hex("019f4113742a2b14bd25926b49c649155f267e60d3814b4c0cc84250e46f0083")
+        );
+    }
+
+    #[test]
+    fn verify_rejects_tampering() {
+        let key = SigningKey::from_bytes(&hex32(
+            "c9afa9d845ba75166b5c215767b1d6934e50c3db36e89b127b8a622b120f6721",
+        ));
+        let vk = key.verifying_key();
+        let sig = key.sign(b"export v1 bytes");
+        assert!(vk.verify(b"export v1 bytes", &sig));
+        assert!(!vk.verify(b"export v1 bytez", &sig));
+        // Bit-flipped signature.
+        let mut bad = sig.to_bytes();
+        bad[10] ^= 1;
+        assert!(!vk.verify(b"export v1 bytes", &Signature::from_bytes(&bad)));
+        // Zero r/s rejected.
+        assert!(!vk.verify(
+            b"export v1 bytes",
+            &Signature { r: U256::ZERO, s: sig.s }
+        ));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let k1 = SigningKey::from_bytes(&hex32("01"));
+        let k2 = SigningKey::from_bytes(&hex32("02"));
+        let sig = k1.sign(b"message");
+        assert!(k1.verifying_key().verify(b"message", &sig));
+        assert!(!k2.verifying_key().verify(b"message", &sig));
+    }
+
+    #[test]
+    fn signature_bytes_roundtrip() {
+        let key = SigningKey::from_bytes(&hex32("0123456789abcdef"));
+        let sig = key.sign(b"roundtrip");
+        let back = Signature::from_bytes(&sig.to_bytes());
+        assert_eq!(back, sig);
+    }
+
+    #[test]
+    fn deterministic_signatures() {
+        let key = SigningKey::from_bytes(&hex32("42"));
+        assert_eq!(key.sign(b"same message"), key.sign(b"same message"));
+        assert_ne!(key.sign(b"message a"), key.sign(b"message b"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_secret_rejected() {
+        let _ = SigningKey::from_bytes(&[0u8; 32]);
+    }
+}

@@ -1,0 +1,310 @@
+//! Minimal 256-bit unsigned integer arithmetic for the P-256 curve.
+//!
+//! Little-endian `[u64; 4]` limbs, constant-size, no allocation. Only
+//! the operations ECDSA needs: comparison, add/sub with carry, widening
+//! multiplication to 512 bits, and modular reduction/inversion. Clarity
+//! over speed — Jacobian-coordinate point math in [`crate::p256`] keeps
+//! the operation count tractable.
+
+/// A 256-bit unsigned integer, little-endian limbs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct U256(pub [u64; 4]);
+
+impl U256 {
+    /// Zero.
+    pub const ZERO: U256 = U256([0; 4]);
+    /// One.
+    pub const ONE: U256 = U256([1, 0, 0, 0]);
+
+    /// From big-endian bytes.
+    pub fn from_be_bytes(bytes: &[u8; 32]) -> Self {
+        let mut limbs = [0u64; 4];
+        for i in 0..4 {
+            let mut chunk = [0u8; 8];
+            chunk.copy_from_slice(&bytes[8 * (3 - i)..8 * (3 - i) + 8]);
+            limbs[i] = u64::from_be_bytes(chunk);
+        }
+        U256(limbs)
+    }
+
+    /// To big-endian bytes.
+    pub fn to_be_bytes(self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for i in 0..4 {
+            out[8 * (3 - i)..8 * (3 - i) + 8].copy_from_slice(&self.0[i].to_be_bytes());
+        }
+        out
+    }
+
+    /// Parses a big-endian hex string (with or without leading zeros).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-hex input or length > 64 digits.
+    pub fn from_hex(s: &str) -> Self {
+        assert!(s.len() <= 64, "hex too long");
+        let mut bytes = [0u8; 32];
+        let padded = format!("{s:0>64}");
+        for i in 0..32 {
+            bytes[i] = u8::from_str_radix(&padded[2 * i..2 * i + 2], 16).expect("hex digit");
+        }
+        U256::from_be_bytes(&bytes)
+    }
+
+    /// Is zero?
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0; 4]
+    }
+
+    /// Bit `i` (0 = least significant).
+    pub fn bit(&self, i: usize) -> bool {
+        (self.0[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of significant bits.
+    pub fn bits(&self) -> usize {
+        for i in (0..4).rev() {
+            if self.0[i] != 0 {
+                return 64 * i + (64 - self.0[i].leading_zeros() as usize);
+            }
+        }
+        0
+    }
+
+    /// Comparison.
+    pub fn cmp256(&self, other: &U256) -> std::cmp::Ordering {
+        for i in (0..4).rev() {
+            match self.0[i].cmp(&other.0[i]) {
+                std::cmp::Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+
+    /// `self < other`.
+    pub fn lt(&self, other: &U256) -> bool {
+        self.cmp256(other) == std::cmp::Ordering::Less
+    }
+
+    /// Addition with carry-out.
+    pub fn adc(&self, other: &U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut carry = 0u128;
+        for i in 0..4 {
+            let sum = u128::from(self.0[i]) + u128::from(other.0[i]) + carry;
+            out[i] = sum as u64;
+            carry = sum >> 64;
+        }
+        (U256(out), carry != 0)
+    }
+
+    /// Subtraction with borrow-out.
+    pub fn sbb(&self, other: &U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut borrow = 0i128;
+        for i in 0..4 {
+            let diff = i128::from(self.0[i]) - i128::from(other.0[i]) - borrow;
+            if diff < 0 {
+                out[i] = (diff + (1i128 << 64)) as u64;
+                borrow = 1;
+            } else {
+                out[i] = diff as u64;
+                borrow = 0;
+            }
+        }
+        (U256(out), borrow != 0)
+    }
+
+    /// Widening multiplication: 256 × 256 → 512 bits (8 limbs, LE).
+    pub fn widening_mul(&self, other: &U256) -> [u64; 8] {
+        let mut out = [0u64; 8];
+        for i in 0..4 {
+            let mut carry = 0u128;
+            for j in 0..4 {
+                let acc = u128::from(out[i + j])
+                    + u128::from(self.0[i]) * u128::from(other.0[j])
+                    + carry;
+                out[i + j] = acc as u64;
+                carry = acc >> 64;
+            }
+            out[i + 4] = carry as u64;
+        }
+        out
+    }
+
+    /// Modular addition (`modulus` must exceed both operands).
+    pub fn add_mod(&self, other: &U256, modulus: &U256) -> U256 {
+        let (sum, carry) = self.adc(other);
+        if carry || !sum.lt(modulus) {
+            sum.sbb(modulus).0
+        } else {
+            sum
+        }
+    }
+
+    /// Modular subtraction.
+    pub fn sub_mod(&self, other: &U256, modulus: &U256) -> U256 {
+        let (diff, borrow) = self.sbb(other);
+        if borrow {
+            diff.adc(modulus).0
+        } else {
+            diff
+        }
+    }
+
+    /// Modular multiplication via 512-bit product + bit-serial reduction.
+    pub fn mul_mod(&self, other: &U256, modulus: &U256) -> U256 {
+        let wide = self.widening_mul(other);
+        reduce_512(&wide, modulus)
+    }
+
+    /// Modular exponentiation (square-and-multiply).
+    pub fn pow_mod(&self, exponent: &U256, modulus: &U256) -> U256 {
+        let mut result = U256::ONE;
+        let base = *self;
+        for i in (0..exponent.bits()).rev() {
+            result = result.mul_mod(&result, modulus);
+            if exponent.bit(i) {
+                result = result.mul_mod(&base, modulus);
+            }
+        }
+        result
+    }
+
+    /// Modular inverse via Fermat (modulus must be prime, self ≠ 0).
+    pub fn inv_mod(&self, modulus: &U256) -> U256 {
+        // a^(p-2) mod p
+        let (p_minus_2, _) = modulus.sbb(&U256([2, 0, 0, 0]));
+        self.pow_mod(&p_minus_2, modulus)
+    }
+}
+
+/// Reduces a 512-bit value modulo a 256-bit modulus (bit-serial long
+/// division — simple, branch-predictable, fast enough for signing).
+pub fn reduce_512(wide: &[u64; 8], modulus: &U256) -> U256 {
+    let mut rem = U256::ZERO;
+    for bit in (0..512).rev() {
+        // rem = rem*2 + bit
+        let mut carry = (wide[bit / 64] >> (bit % 64)) & 1;
+        let mut overflow = false;
+        for limb in rem.0.iter_mut() {
+            let new_carry = *limb >> 63;
+            *limb = (*limb << 1) | carry;
+            carry = new_carry;
+            overflow = carry != 0;
+        }
+        if overflow || !rem.lt(modulus) {
+            rem = rem.sbb(modulus).0;
+        }
+    }
+    rem
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_and_bytes_roundtrip() {
+        let x = U256::from_hex("ffffffff00000001000000000000000000000000ffffffffffffffffffffffff");
+        assert_eq!(U256::from_be_bytes(&x.to_be_bytes()), x);
+        assert_eq!(U256::from_hex("1"), U256::ONE);
+        assert_eq!(U256::from_hex("0"), U256::ZERO);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = U256::from_hex("123456789abcdef0fedcba9876543210aaaaaaaabbbbbbbbccccccccdddddddd");
+        let b = U256::from_hex("0fedcba987654321");
+        let (sum, c) = a.adc(&b);
+        assert!(!c);
+        let (back, borrow) = sum.sbb(&b);
+        assert!(!borrow);
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn carry_and_borrow() {
+        let max = U256([u64::MAX; 4]);
+        let (z, carry) = max.adc(&U256::ONE);
+        assert!(carry);
+        assert!(z.is_zero());
+        let (m, borrow) = U256::ZERO.sbb(&U256::ONE);
+        assert!(borrow);
+        assert_eq!(m, max);
+    }
+
+    #[test]
+    fn widening_mul_known() {
+        // (2^64-1)^2 = 2^128 - 2^65 + 1.
+        let a = U256([u64::MAX, 0, 0, 0]);
+        let wide = a.widening_mul(&a);
+        assert_eq!(wide[0], 1);
+        assert_eq!(wide[1], u64::MAX - 1);
+        assert_eq!(wide[2..], [0; 6]);
+    }
+
+    #[test]
+    fn mod_arithmetic_small() {
+        let p = U256([97, 0, 0, 0]);
+        let a = U256([95, 0, 0, 0]);
+        let b = U256([7, 0, 0, 0]);
+        assert_eq!(a.add_mod(&b, &p), U256([5, 0, 0, 0]));
+        assert_eq!(b.sub_mod(&a, &p), U256([9, 0, 0, 0]));
+        assert_eq!(a.mul_mod(&b, &p), U256([(95 * 7) % 97, 0, 0, 0]));
+    }
+
+    #[test]
+    fn pow_and_inverse_small_prime() {
+        let p = U256([101, 0, 0, 0]);
+        let a = U256([7, 0, 0, 0]);
+        // Fermat: a^(p-1) = 1.
+        assert_eq!(a.pow_mod(&U256([100, 0, 0, 0]), &p), U256::ONE);
+        let inv = a.inv_mod(&p);
+        assert_eq!(a.mul_mod(&inv, &p), U256::ONE);
+    }
+
+    #[test]
+    fn inverse_large_prime() {
+        // P-256 field prime.
+        let p = U256::from_hex(
+            "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff",
+        );
+        let a = U256::from_hex("deadbeefcafebabe0123456789abcdef55555555aaaaaaaa1111111122222222");
+        let inv = a.inv_mod(&p);
+        assert_eq!(a.mul_mod(&inv, &p), U256::ONE);
+    }
+
+    #[test]
+    fn reduce_512_matches_mul_mod() {
+        let p = U256::from_hex(
+            "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551",
+        );
+        let a = U256::from_hex("aa00bb11cc22dd33ee44ff5566778899aabbccddeeff00112233445566778899");
+        let wide = a.widening_mul(&a);
+        let r1 = reduce_512(&wide, &p);
+        let r2 = a.mul_mod(&a, &p);
+        assert_eq!(r1, r2);
+        assert!(r1.lt(&p));
+    }
+
+    #[test]
+    fn bits_and_bit() {
+        assert_eq!(U256::ZERO.bits(), 0);
+        assert_eq!(U256::ONE.bits(), 1);
+        let x = U256::from_hex("8000000000000000000000000000000000000000000000000000000000000000");
+        assert_eq!(x.bits(), 256);
+        assert!(x.bit(255));
+        assert!(!x.bit(0));
+    }
+
+    #[test]
+    fn cmp_ordering() {
+        let small = U256::from_hex("1234");
+        let big = U256::from_hex("123400000000");
+        assert!(small.lt(&big));
+        assert!(!big.lt(&small));
+        assert_eq!(small.cmp256(&small), std::cmp::Ordering::Equal);
+    }
+}

@@ -1,0 +1,198 @@
+//! Usage behaviour: diurnal profiles, the daily key download (and the
+//! background-restriction bug), and website interest.
+//!
+//! * Figure 2 shows the traffic "*follow\[ing\] the normal diurnal traffic
+//!   pattern*" — we use a standard residential-traffic day shape (night
+//!   trough around 03:00, evening peak around 20:00).
+//! * The paper's §2 notes that "*energy saving settings prohibit
+//!   background downloads on some Android and iOS phones*" (reported
+//!   July 24, fixed after the study): affected devices only fetch keys
+//!   when the user opens the app, which both lowers and *smears* the
+//!   per-user request rate — we model an affected-device fraction with a
+//!   lower daily fetch probability.
+//! * Website visits are driven by launch/news interest, not by installed
+//!   base: they spike at release and decay, re-spiking with media pulses.
+
+use serde::{Deserialize, Serialize};
+
+/// Hourly weights of residential network activity (local time), mean 1.0.
+///
+/// Shape: deep night trough, morning ramp, noon plateau, evening peak.
+const DIURNAL_WEIGHTS: [f64; 24] = [
+    0.45, 0.30, 0.22, 0.18, 0.20, 0.30, 0.55, 0.85, // 00–07
+    1.10, 1.20, 1.30, 1.25, 1.30, 1.25, 1.20, 1.20, // 08–15
+    1.30, 1.30, 1.45, 1.60, 1.70, 1.55, 1.35, 0.90, // 16–23
+];
+
+/// Behavioural parameters of the app+website user population.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ActivityModel {
+    /// Fraction of devices affected by the background-restriction bug.
+    pub background_restricted_fraction: f64,
+    /// Daily probability an *unaffected* device performs its key
+    /// download (background scheduling is not perfectly reliable).
+    pub background_fetch_daily_prob: f64,
+    /// Daily probability an *affected* device is opened manually (which
+    /// triggers the fetch).
+    pub manual_open_daily_prob: f64,
+    /// Additional user-initiated app opens per user-day that hit the API
+    /// (status checks after news etc.), scaled by media factor.
+    pub curiosity_opens_per_day: f64,
+    /// Website visits per potential user per day at launch-day peak
+    /// interest (decays via the interest curve).
+    pub website_visits_launch_peak: f64,
+    /// Exponential decay of baseline website interest, days.
+    pub website_interest_decay_days: f64,
+    /// Pre-release website visits per day (press coverage before
+    /// June 16; the site was already live on June 15 — this fixes the
+    /// Fig. 2 minimum that everything is normed to).
+    pub website_visits_prelaunch_per_day: f64,
+}
+
+impl Default for ActivityModel {
+    fn default() -> Self {
+        ActivityModel {
+            background_restricted_fraction: 0.30,
+            background_fetch_daily_prob: 0.95,
+            manual_open_daily_prob: 0.35,
+            curiosity_opens_per_day: 0.25,
+            website_visits_launch_peak: 1.2e6,
+            website_interest_decay_days: 2.0,
+            website_visits_prelaunch_per_day: 4.8e5,
+        }
+    }
+}
+
+impl ActivityModel {
+    /// The diurnal weight for an hour-of-day (0–23); mean over the day
+    /// is 1.0.
+    pub fn diurnal(hour_of_day: u32) -> f64 {
+        DIURNAL_WEIGHTS[(hour_of_day % 24) as usize]
+    }
+
+    /// Expected *API* requests (key-export downloads + status fetches)
+    /// per installed device per day, before media boosts.
+    ///
+    /// Combines reliable background fetchers, bug-affected manual
+    /// fetchers, and curiosity opens.
+    pub fn api_requests_per_user_day(&self) -> f64 {
+        let unaffected =
+            (1.0 - self.background_restricted_fraction) * self.background_fetch_daily_prob;
+        let affected = self.background_restricted_fraction * self.manual_open_daily_prob;
+        unaffected + affected + self.curiosity_opens_per_day
+    }
+
+    /// Per-user-day API request rate under a media boost (only the
+    /// user-initiated curiosity opens react to news).
+    pub fn api_requests_per_user_day_media(&self, media_factor: f64) -> f64 {
+        let unaffected =
+            (1.0 - self.background_restricted_fraction) * self.background_fetch_daily_prob;
+        let affected = self.background_restricted_fraction * self.manual_open_daily_prob;
+        unaffected + affected + self.curiosity_opens_per_day * media_factor
+    }
+
+    /// Expected API requests per installed device during one hour
+    /// (hour-of-day resolved, media-boosted for user-initiated parts).
+    pub fn api_requests_per_user_hour(&self, hour_of_day: u32, media_factor: f64) -> f64 {
+        let unaffected =
+            (1.0 - self.background_restricted_fraction) * self.background_fetch_daily_prob;
+        let affected = self.background_restricted_fraction * self.manual_open_daily_prob;
+        // Background fetches follow the OS scheduler (mildly diurnal);
+        // manual opens and curiosity follow human activity and media.
+        let background = unaffected * (0.5 + 0.5 * Self::diurnal(hour_of_day));
+        let human = (affected + self.curiosity_opens_per_day * media_factor)
+            * Self::diurnal(hour_of_day);
+        (background + human) / 24.0
+    }
+
+    /// National website visits during one hour, given hours since study
+    /// start and the national media factor.
+    pub fn website_visits_per_hour(&self, hour: u32, media_factor: f64) -> f64 {
+        use crate::timeline::RELEASE_HOUR;
+        let hour_of_day = hour % 24;
+        let per_day = if hour < RELEASE_HOUR {
+            self.website_visits_prelaunch_per_day
+        } else {
+            let t_days = f64::from(hour - RELEASE_HOUR) / 24.0;
+            let interest = (-t_days / self.website_interest_decay_days).exp();
+            self.website_visits_prelaunch_per_day
+                + self.website_visits_launch_peak * interest
+        };
+        per_day * media_factor * Self::diurnal(hour_of_day) / 24.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::RELEASE_HOUR;
+
+    #[test]
+    fn diurnal_mean_is_one() {
+        let mean: f64 = (0..24).map(ActivityModel::diurnal).sum::<f64>() / 24.0;
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn diurnal_shape() {
+        // Night trough < morning < evening peak.
+        assert!(ActivityModel::diurnal(3) < 0.3);
+        assert!(ActivityModel::diurnal(20) > 1.5);
+        assert!(ActivityModel::diurnal(3) < ActivityModel::diurnal(9));
+        assert!(ActivityModel::diurnal(9) < ActivityModel::diurnal(20));
+    }
+
+    #[test]
+    fn api_rate_magnitude() {
+        // Per-user-day rate should be slightly below ~1.2: most devices
+        // fetch daily, bug-affected ones less, plus some curiosity.
+        let m = ActivityModel::default();
+        let r = m.api_requests_per_user_day();
+        assert!((0.7..1.4).contains(&r), "rate {r}");
+    }
+
+    #[test]
+    fn bug_lowers_api_rate() {
+        let healthy = ActivityModel { background_restricted_fraction: 0.0, ..Default::default() };
+        let buggy = ActivityModel { background_restricted_fraction: 0.5, ..Default::default() };
+        assert!(buggy.api_requests_per_user_day() < healthy.api_requests_per_user_day());
+    }
+
+    #[test]
+    fn hourly_rates_integrate_to_daily() {
+        let m = ActivityModel::default();
+        let daily: f64 = (0..24).map(|h| m.api_requests_per_user_hour(h, 1.0)).sum();
+        let expected = m.api_requests_per_user_day();
+        // Background part is flattened (0.5 + 0.5*diurnal) — the day
+        // total must still match within a few percent.
+        assert!((daily - expected).abs() / expected < 0.05, "{daily} vs {expected}");
+    }
+
+    #[test]
+    fn media_boosts_user_initiated_traffic() {
+        let m = ActivityModel::default();
+        let calm = m.api_requests_per_user_hour(20, 1.0);
+        let hyped = m.api_requests_per_user_hour(20, 2.0);
+        assert!(hyped > calm);
+        // But not the background fetches: boost is sub-linear.
+        assert!(hyped < calm * 2.0);
+    }
+
+    #[test]
+    fn website_launch_spike_and_decay() {
+        let m = ActivityModel::default();
+        let pre = m.website_visits_per_hour(RELEASE_HOUR - 12, 1.0);
+        let launch = m.website_visits_per_hour(RELEASE_HOUR + 12, 1.0);
+        let week_later = m.website_visits_per_hour(RELEASE_HOUR + 12 + 7 * 24, 1.0);
+        assert!(launch > pre * 2.5, "launch {launch} vs pre {pre}");
+        assert!(week_later < launch / 2.0, "decay {week_later} vs {launch}");
+        assert!(week_later > 0.0);
+    }
+
+    #[test]
+    fn website_media_factor_multiplies() {
+        let m = ActivityModel::default();
+        let h = RELEASE_HOUR + 8 * 24;
+        assert!(m.website_visits_per_hour(h, 1.9) > 1.8 * m.website_visits_per_hour(h, 1.0));
+    }
+}

@@ -1,0 +1,250 @@
+//! App adoption: a Bass-diffusion model with launch burst and media
+//! forcing, calibrated to the official download numbers the paper plots
+//! in Figure 2 (statista / Apple / Google store counts):
+//!
+//! * **6.4 M downloads 36 hours after release** (§3),
+//! * ≈ 12 M within the first week,
+//! * **16.2 M by July 24** (§3).
+//!
+//! The shape is a classic product launch: an enormous day-one innovation
+//! burst (the app was front-page news), rapid decay into a steady
+//! trickle of imitation-driven installs, plus pulses whenever national
+//! news cover outbreaks. Downloads are allocated to districts by
+//! population weighted with an urbanization affinity (smartphone
+//! penetration and early-adopter density are higher in cities).
+
+use serde::{Deserialize, Serialize};
+
+use cwa_geo::{DistrictId, Germany, UrbanClass};
+
+use crate::events::Scenario;
+use crate::timeline::{Timeline, RELEASE_HOUR};
+
+/// Bass-with-burst adoption parameters (rates are per day).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdoptionConfig {
+    /// Potential market size (people who would ever install), persons.
+    pub market_size: f64,
+    /// Peak innovation rate at release.
+    pub launch_burst: f64,
+    /// Burst decay time constant, days.
+    pub burst_decay_days: f64,
+    /// Long-run innovation (external influence) rate.
+    pub p_innovation: f64,
+    /// Imitation (word-of-mouth) coefficient.
+    pub q_imitation: f64,
+    /// Urban-affinity multipliers by class [Metro, Urban, Suburban, Rural].
+    pub urban_affinity: [f64; 4],
+}
+
+impl Default for AdoptionConfig {
+    fn default() -> Self {
+        AdoptionConfig {
+            market_size: 20.0e6,
+            launch_burst: 0.34,
+            burst_decay_days: 1.5,
+            p_innovation: 0.010,
+            q_imitation: 0.025,
+            urban_affinity: [1.25, 1.10, 1.00, 0.85],
+        }
+    }
+}
+
+/// The integrated adoption curve.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdoptionCurve {
+    /// `cumulative[h]`: national cumulative downloads at the *end* of
+    /// hour `h`.
+    pub cumulative: Vec<f64>,
+    /// Per-district share of the installed base (sums to 1).
+    pub district_share: Vec<f64>,
+}
+
+impl AdoptionCurve {
+    /// Cumulative national downloads at the end of hour `h` (clamps to
+    /// the curve's last value).
+    pub fn downloads_at(&self, hour: u32) -> f64 {
+        let idx = (hour as usize).min(self.cumulative.len().saturating_sub(1));
+        self.cumulative[idx]
+    }
+
+    /// Installed base in one district at the end of hour `h`.
+    pub fn installed_in(&self, district: DistrictId, hour: u32) -> f64 {
+        self.downloads_at(hour) * self.district_share[usize::from(district.0)]
+    }
+
+    /// New national downloads during hour `h`.
+    pub fn new_downloads_in_hour(&self, hour: u32) -> f64 {
+        let h = hour as usize;
+        if h == 0 || h >= self.cumulative.len() {
+            return self.cumulative.first().copied().unwrap_or(0.0);
+        }
+        self.cumulative[h] - self.cumulative[h - 1]
+    }
+}
+
+/// The adoption simulator.
+#[derive(Debug, Clone)]
+pub struct AdoptionModel {
+    /// Parameters.
+    pub config: AdoptionConfig,
+}
+
+impl AdoptionModel {
+    /// Creates a model.
+    pub fn new(config: AdoptionConfig) -> Self {
+        AdoptionModel { config }
+    }
+
+    /// Integrates the adoption ODE hourly over `timeline`, with media
+    /// forcing from `scenario` (national pulses only), and computes
+    /// district shares for `germany`.
+    pub fn run(&self, germany: &Germany, scenario: &Scenario, timeline: Timeline) -> AdoptionCurve {
+        let cfg = &self.config;
+        let hours = timeline.hours();
+        let mut cumulative = Vec::with_capacity(hours as usize);
+        let mut d = 0.0f64;
+
+        for h in 0..hours {
+            if h >= RELEASE_HOUR {
+                let t_since_release_days = f64::from(h - RELEASE_HOUR) / 24.0;
+                let p = cfg.launch_burst * (-t_since_release_days / cfg.burst_decay_days).exp()
+                    + cfg.p_innovation;
+                let media = scenario.national_media_factor(h);
+                let rate_per_day =
+                    (p + cfg.q_imitation * d / cfg.market_size) * (cfg.market_size - d) * media;
+                d = (d + rate_per_day / 24.0).min(cfg.market_size);
+            }
+            cumulative.push(d);
+        }
+
+        // District allocation: population × urban affinity, normalized.
+        let weights: Vec<f64> = germany
+            .districts()
+            .iter()
+            .map(|dist| {
+                let aff = match dist.urban {
+                    UrbanClass::Metro => cfg.urban_affinity[0],
+                    UrbanClass::Urban => cfg.urban_affinity[1],
+                    UrbanClass::Suburban => cfg.urban_affinity[2],
+                    UrbanClass::Rural => cfg.urban_affinity[3],
+                };
+                f64::from(dist.population) * aff
+            })
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let district_share = weights.into_iter().map(|w| w / total).collect();
+
+        AdoptionCurve { cumulative, district_share }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::{JULY_24_DAY, MILESTONE_36H_HOUR};
+    use cwa_geo::{AddressPlan, AddressPlanConfig};
+
+    fn curve() -> (Germany, AdoptionCurve) {
+        let g = Germany::build();
+        let plan = AddressPlan::build(&g, AddressPlanConfig::default());
+        let gt = plan.isps.iter().find(|i| i.ground_truth_routers).unwrap().id;
+        let scenario = Scenario::paper_default(&g, gt);
+        let curve =
+            AdoptionModel::new(AdoptionConfig::default()).run(&g, &scenario, Timeline::through_july());
+        (g, curve)
+    }
+
+    #[test]
+    fn zero_before_release() {
+        let (_, c) = curve();
+        for h in 0..RELEASE_HOUR {
+            assert_eq!(c.downloads_at(h), 0.0, "hour {h}");
+        }
+        assert!(c.downloads_at(RELEASE_HOUR + 1) > 0.0);
+    }
+
+    /// Paper anchor: "36 hours after its release, the CWA was downloaded
+    /// 6.4M times".
+    #[test]
+    fn milestone_36_hours() {
+        let (_, c) = curve();
+        let d = c.downloads_at(MILESTONE_36H_HOUR);
+        assert!(
+            (5.4e6..7.4e6).contains(&d),
+            "36 h downloads {d:.3e}, paper: 6.4e6"
+        );
+    }
+
+    /// Paper anchor: "16.2M total downloads by July 24".
+    #[test]
+    fn milestone_july_24() {
+        let (_, c) = curve();
+        let d = c.downloads_at(JULY_24_DAY * 24 + 23);
+        assert!(
+            (15.0e6..17.5e6).contains(&d),
+            "July-24 downloads {d:.3e}, paper: 16.2e6"
+        );
+    }
+
+    #[test]
+    fn monotone_nondecreasing_and_bounded() {
+        let (_, c) = curve();
+        for w in c.cumulative.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert!(c.cumulative.last().unwrap() <= &AdoptionConfig::default().market_size);
+    }
+
+    #[test]
+    fn june_23_news_bump_visible_in_new_downloads() {
+        let (_, c) = curve();
+        // Daily new downloads on Jun 22 vs Jun 23 (media pulse day).
+        let day = |d: u32| c.downloads_at((d + 1) * 24 - 1) - c.downloads_at(d * 24 - 1);
+        let jun22 = day(7);
+        let jun23 = day(8);
+        assert!(
+            jun23 > jun22 * 1.3,
+            "news bump: Jun 22 {jun22:.3e}, Jun 23 {jun23:.3e}"
+        );
+    }
+
+    #[test]
+    fn district_shares_sum_to_one_and_favor_cities() {
+        let (g, c) = curve();
+        let sum: f64 = c.district_share.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+
+        // Berlin share > its raw population share (urban affinity).
+        let berlin = g.by_name("Berlin").unwrap();
+        let pop_share = f64::from(berlin.population) / g.population() as f64;
+        let adoption_share = c.district_share[usize::from(berlin.id.0)];
+        assert!(adoption_share > pop_share, "{adoption_share} vs {pop_share}");
+    }
+
+    #[test]
+    fn installed_in_district_consistent() {
+        let (g, c) = curve();
+        let h = 24 * 9;
+        let total: f64 = g
+            .districts()
+            .iter()
+            .map(|d| c.installed_in(d.id, h))
+            .sum();
+        assert!((total - c.downloads_at(h)).abs() / c.downloads_at(h) < 1e-9);
+    }
+
+    #[test]
+    fn new_downloads_in_hour_sums_to_cumulative() {
+        let (_, c) = curve();
+        let total: f64 = (0..c.cumulative.len() as u32).map(|h| c.new_downloads_in_hour(h)).sum();
+        let last = *c.cumulative.last().unwrap();
+        assert!((total - last).abs() / last < 1e-9);
+    }
+
+    #[test]
+    fn clamps_beyond_curve() {
+        let (_, c) = curve();
+        assert_eq!(c.downloads_at(10_000_000), *c.cumulative.last().unwrap());
+    }
+}

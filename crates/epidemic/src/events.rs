@@ -1,0 +1,342 @@
+//! Outbreak and news events — the scenario machinery behind the paper's
+//! natural experiment.
+//!
+//! The paper's measurement window contains two real local outbreaks:
+//!
+//! * **Berlin (Neukölln), June 18** — locally covered; the paper finds it
+//!   "only visible for users of a single ISP and not in the overall
+//!   traffic from Berlin-based users".
+//! * **Gütersloh & Warendorf, June 23** — a meat-plant outbreak leading
+//!   to district lockdowns, covered by *national* news; the paper sees a
+//!   traffic re-surge "on federal state level simultaneously — not only
+//!   in the federal state (NRW) being home to the affected districts".
+//!
+//! Each event therefore carries two separate channels:
+//!
+//! * a **local epidemic seeding** (more infections in the named
+//!   district), and
+//! * a **media pulse** with a *reach*: national coverage boosts app
+//!   interest everywhere; local coverage boosts (mildly) only the
+//!   affected district — and optionally only one ISP's customers, the
+//!   mechanism we use to reproduce the Berlin single-ISP observation
+//!   (e.g. a regional provider's news portal covering the story).
+//!
+//! The scenario is data, not code: experiments can switch events on and
+//! off to run the counterfactual the paper argues about.
+
+use serde::{Deserialize, Serialize};
+
+use cwa_geo::{DistrictId, Germany, IspId};
+
+use crate::timeline::{BERLIN_OUTBREAK_DAY, GUETERSLOH_LOCKDOWN_DAY};
+
+/// What an event does.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Seeds extra infections in a district (epidemic channel).
+    OutbreakSeed {
+        /// Extra exposed individuals introduced on the start day.
+        seed_cases: u32,
+    },
+    /// A media pulse boosting app interest (adoption channel).
+    MediaPulse {
+        /// Peak multiplicative boost to adoption/usage rates (e.g. 0.8 ⇒
+        /// +80 % at the peak).
+        intensity: f64,
+        /// Exponential decay time constant, days.
+        decay_days: f64,
+        /// `true`: applies nation-wide; `false`: only in `district`.
+        national: bool,
+        /// If set, the *local* boost reaches only this ISP's customers
+        /// (the Berlin single-ISP mechanism).
+        isp_only: Option<IspId>,
+    },
+}
+
+/// A scheduled event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioEvent {
+    /// Study day the event starts.
+    pub day: u32,
+    /// District the event is anchored to.
+    pub district: DistrictId,
+    /// The effect.
+    pub kind: EventKind,
+}
+
+/// A complete scenario: the event list.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Scenario {
+    /// All scheduled events.
+    pub events: Vec<ScenarioEvent>,
+}
+
+impl Scenario {
+    /// The paper's scenario: Berlin June 18 (local, single-ISP
+    /// visibility), Gütersloh/Warendorf June 23 (national news +
+    /// lockdowns). `ground_truth_isp` is the ISP carrying the local
+    /// Berlin pulse.
+    pub fn paper_default(germany: &Germany, ground_truth_isp: IspId) -> Self {
+        let berlin = germany.by_name("Berlin").expect("Berlin in model").id;
+        let guetersloh = germany.by_name("Gütersloh").expect("Gütersloh in model").id;
+        let warendorf = germany.by_name("Warendorf").expect("Warendorf in model").id;
+
+        Scenario {
+            events: vec![
+                // Berlin, June 18: real local outbreak …
+                ScenarioEvent {
+                    day: BERLIN_OUTBREAK_DAY,
+                    district: berlin,
+                    kind: EventKind::OutbreakSeed { seed_cases: 400 },
+                },
+                // … with only local, single-ISP-visible interest effect.
+                ScenarioEvent {
+                    day: BERLIN_OUTBREAK_DAY,
+                    district: berlin,
+                    kind: EventKind::MediaPulse {
+                        intensity: 4.0,
+                        decay_days: 1.5,
+                        national: false,
+                        isp_only: Some(ground_truth_isp),
+                    },
+                },
+                // Gütersloh, June 23: large outbreak …
+                ScenarioEvent {
+                    day: GUETERSLOH_LOCKDOWN_DAY,
+                    district: guetersloh,
+                    kind: EventKind::OutbreakSeed { seed_cases: 1500 },
+                },
+                ScenarioEvent {
+                    day: GUETERSLOH_LOCKDOWN_DAY,
+                    district: warendorf,
+                    kind: EventKind::OutbreakSeed { seed_cases: 500 },
+                },
+                // … with *national* media coverage (the re-surge of Fig. 2) …
+                ScenarioEvent {
+                    day: GUETERSLOH_LOCKDOWN_DAY,
+                    district: guetersloh,
+                    kind: EventKind::MediaPulse {
+                        intensity: 0.9,
+                        decay_days: 2.5,
+                        national: true,
+                        isp_only: None,
+                    },
+                },
+                // … and only a very slight additional local effect
+                // ("in Gütersloh, the traffic increased only very
+                // slightly and hardly noticeable").
+                ScenarioEvent {
+                    day: GUETERSLOH_LOCKDOWN_DAY,
+                    district: guetersloh,
+                    kind: EventKind::MediaPulse {
+                        intensity: 0.12,
+                        decay_days: 1.0,
+                        national: false,
+                        isp_only: None,
+                    },
+                },
+            ],
+        }
+    }
+
+    /// The counterfactual: outbreaks happen but produce **no media
+    /// pulses at all** — used by the ablation bench to show the Fig. 2
+    /// re-surge is news-driven, not infection-driven.
+    pub fn outbreaks_without_news(germany: &Germany) -> Self {
+        let berlin = germany.by_name("Berlin").expect("Berlin in model").id;
+        let guetersloh = germany.by_name("Gütersloh").expect("Gütersloh in model").id;
+        let warendorf = germany.by_name("Warendorf").expect("Warendorf in model").id;
+        Scenario {
+            events: vec![
+                ScenarioEvent {
+                    day: BERLIN_OUTBREAK_DAY,
+                    district: berlin,
+                    kind: EventKind::OutbreakSeed { seed_cases: 400 },
+                },
+                ScenarioEvent {
+                    day: GUETERSLOH_LOCKDOWN_DAY,
+                    district: guetersloh,
+                    kind: EventKind::OutbreakSeed { seed_cases: 1500 },
+                },
+                ScenarioEvent {
+                    day: GUETERSLOH_LOCKDOWN_DAY,
+                    district: warendorf,
+                    kind: EventKind::OutbreakSeed { seed_cases: 500 },
+                },
+            ],
+        }
+    }
+
+    /// A quiet scenario with no events.
+    pub fn quiet() -> Self {
+        Scenario::default()
+    }
+
+    /// The combined media boost factor (≥ 1.0) for a district at a given
+    /// hour, seen by customers of `isp`.
+    pub fn media_factor(&self, district: DistrictId, isp: Option<IspId>, hour: u32) -> f64 {
+        let t_days = f64::from(hour) / 24.0;
+        let mut factor = 1.0;
+        for ev in &self.events {
+            let EventKind::MediaPulse { intensity, decay_days, national, isp_only } = ev.kind
+            else {
+                continue;
+            };
+            let start = f64::from(ev.day);
+            if t_days < start {
+                continue;
+            }
+            if !national {
+                if ev.district != district {
+                    continue;
+                }
+                if let Some(only) = isp_only {
+                    if isp != Some(only) {
+                        continue;
+                    }
+                }
+            }
+            factor += intensity * (-(t_days - start) / decay_days).exp();
+        }
+        factor
+    }
+
+    /// The media boost factor counting **national** pulses only — the
+    /// component that drives nation-wide adoption (the paper: "nation-wide
+    /// news reports on outbreaks might contribute to growing app interest
+    /// across Germany").
+    pub fn national_media_factor(&self, hour: u32) -> f64 {
+        let t_days = f64::from(hour) / 24.0;
+        let mut factor = 1.0;
+        for ev in &self.events {
+            let EventKind::MediaPulse { intensity, decay_days, national: true, .. } = ev.kind
+            else {
+                continue;
+            };
+            let start = f64::from(ev.day);
+            if t_days >= start {
+                factor += intensity * (-(t_days - start) / decay_days).exp();
+            }
+        }
+        factor
+    }
+
+    /// The active *local* media-pulse contributions at `hour`:
+    /// `(district, optional ISP restriction, additive boost)`. Traffic
+    /// generators iterate prefixes in a hot loop; pre-extracting the few
+    /// local pulses per hour avoids re-scanning the event list per
+    /// prefix. `media_factor(d, isp, h)` equals
+    /// `national_media_factor(h) + Σ matching local extras`.
+    pub fn local_media_extras(&self, hour: u32) -> Vec<(DistrictId, Option<IspId>, f64)> {
+        let t_days = f64::from(hour) / 24.0;
+        self.events
+            .iter()
+            .filter_map(|ev| {
+                let EventKind::MediaPulse { intensity, decay_days, national: false, isp_only } =
+                    ev.kind
+                else {
+                    return None;
+                };
+                let start = f64::from(ev.day);
+                if t_days < start {
+                    return None;
+                }
+                let boost = intensity * (-(t_days - start) / decay_days).exp();
+                Some((ev.district, isp_only, boost))
+            })
+            .collect()
+    }
+
+    /// Extra infection seeds landing in `district` on `day`.
+    pub fn outbreak_seeds(&self, district: DistrictId, day: u32) -> u32 {
+        self.events
+            .iter()
+            .filter(|e| e.district == district && e.day == day)
+            .map(|e| match e.kind {
+                EventKind::OutbreakSeed { seed_cases } => seed_cases,
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwa_geo::{AddressPlan, AddressPlanConfig};
+
+    fn setup() -> (Germany, Scenario, IspId) {
+        let g = Germany::build();
+        let plan = AddressPlan::build(&g, AddressPlanConfig::default());
+        let gt = plan.isps.iter().find(|i| i.ground_truth_routers).unwrap().id;
+        let s = Scenario::paper_default(&g, gt);
+        (g, s, gt)
+    }
+
+    #[test]
+    fn paper_scenario_has_both_outbreaks() {
+        let (g, s, _) = setup();
+        let berlin = g.by_name("Berlin").unwrap().id;
+        let gt = g.by_name("Gütersloh").unwrap().id;
+        let wa = g.by_name("Warendorf").unwrap().id;
+        assert!(s.outbreak_seeds(berlin, BERLIN_OUTBREAK_DAY) > 0);
+        assert!(s.outbreak_seeds(gt, GUETERSLOH_LOCKDOWN_DAY) > 0);
+        assert!(s.outbreak_seeds(wa, GUETERSLOH_LOCKDOWN_DAY) > 0);
+        assert_eq!(s.outbreak_seeds(berlin, 0), 0);
+    }
+
+    #[test]
+    fn national_pulse_reaches_everywhere() {
+        let (g, s, _) = setup();
+        let munich = g.by_name("München").unwrap().id;
+        let before = s.media_factor(munich, None, GUETERSLOH_LOCKDOWN_DAY * 24 - 1);
+        let after = s.media_factor(munich, None, GUETERSLOH_LOCKDOWN_DAY * 24 + 1);
+        assert!((before - 1.0).abs() < 0.05, "no pulse before: {before}");
+        assert!(after > 1.5, "national pulse after: {after}");
+    }
+
+    #[test]
+    fn berlin_pulse_is_single_isp_and_local() {
+        let (g, s, gt_isp) = setup();
+        let berlin = g.by_name("Berlin").unwrap().id;
+        let hamburg = g.by_name("Hamburg").unwrap().id;
+        let h = BERLIN_OUTBREAK_DAY * 24 + 2;
+
+        let berlin_gt = s.media_factor(berlin, Some(gt_isp), h);
+        let berlin_other = s.media_factor(berlin, Some(IspId(0)), h);
+        let hamburg_gt = s.media_factor(hamburg, Some(gt_isp), h);
+
+        assert!(berlin_gt > 1.2, "visible in the single ISP: {berlin_gt}");
+        assert!((berlin_other - 1.0).abs() < 0.05, "invisible elsewhere: {berlin_other}");
+        assert!((hamburg_gt - 1.0).abs() < 0.05, "local only: {hamburg_gt}");
+    }
+
+    #[test]
+    fn pulses_decay() {
+        let (g, s, _) = setup();
+        let munich = g.by_name("München").unwrap().id;
+        let peak = s.media_factor(munich, None, GUETERSLOH_LOCKDOWN_DAY * 24);
+        let later = s.media_factor(munich, None, (GUETERSLOH_LOCKDOWN_DAY + 5) * 24);
+        assert!(peak > later);
+        assert!(later < 1.2, "decayed after 5 days: {later}");
+    }
+
+    #[test]
+    fn counterfactual_has_no_media() {
+        let g = Germany::build();
+        let s = Scenario::outbreaks_without_news(&g);
+        let munich = g.by_name("München").unwrap().id;
+        for h in 0..264 {
+            assert!((s.media_factor(munich, None, h) - 1.0).abs() < 1e-12);
+        }
+        let gt = g.by_name("Gütersloh").unwrap().id;
+        assert!(s.outbreak_seeds(gt, GUETERSLOH_LOCKDOWN_DAY) > 0);
+    }
+
+    #[test]
+    fn quiet_scenario() {
+        let s = Scenario::quiet();
+        assert!(s.events.is_empty());
+        assert!((s.media_factor(DistrictId(0), None, 100) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,45 @@
+//! # cwa-epidemic — epidemic, news and app-adoption models
+//!
+//! The traffic the paper measures is *caused by people*: installing the
+//! app after launch and after news coverage, opening it daily, and —
+//! after a positive test — uploading diagnosis keys. This crate models
+//! those drivers:
+//!
+//! * [`timeline`] — the study calendar: June 15–25, 2020 measurement
+//!   window (Fig. 2), app release June 16, first diagnosis keys
+//!   June 23, download milestones through July 24.
+//! * [`events`] — outbreak and news events: the **Berlin/Neukölln
+//!   outbreak (June 18)** and the **Gütersloh/Warendorf outbreak and
+//!   lockdown (June 23)** with nation-wide media coverage — the paper's
+//!   central natural experiment (§3, "No effect of local COVID-19
+//!   outbreaks").
+//! * [`seir`] — a district-level stochastic SEIR model seeded with those
+//!   outbreaks; it produces the detected-case curves that drive
+//!   diagnosis-key uploads.
+//! * [`adoption`] — a Bass-diffusion adoption model with media forcing,
+//!   calibrated to the official milestones the paper cites: **6.4 M
+//!   downloads 36 h after release** and **16.2 M by July 24** (§3), and
+//!   a per-district allocation by population and urbanization.
+//! * [`activity`] — diurnal usage profiles, the daily key-download
+//!   behaviour including the background-restriction bug the paper
+//!   mentions (§2), and website-visit interest curves.
+//! * [`uploads`] — the diagnosis-key publication pipeline (detection →
+//!   consent → verification delay), producing the daily key counts whose
+//!   first non-zero day reproduces the paper's June 23 observation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activity;
+pub mod adoption;
+pub mod events;
+pub mod seir;
+pub mod timeline;
+pub mod uploads;
+
+pub use activity::ActivityModel;
+pub use adoption::{AdoptionConfig, AdoptionCurve, AdoptionModel};
+pub use events::{EventKind, Scenario, ScenarioEvent};
+pub use seir::{EpidemicConfig, EpidemicModel, EpidemicRun};
+pub use timeline::{StudyDay, Timeline};
+pub use uploads::{UploadConfig, UploadPipeline};

@@ -1,0 +1,228 @@
+//! BLE advertisement payload for Exposure Notification.
+//!
+//! Per the *Exposure Notification Bluetooth Specification* (April 2020),
+//! phones broadcast non-connectable undirected advertisements containing:
+//!
+//! * Flags AD structure,
+//! * Complete 16-bit Service UUID list containing `0xFD6F`,
+//! * Service Data (AD type 0x16) for UUID `0xFD6F` carrying the 16-byte
+//!   Rolling Proximity Identifier followed by the 4-byte Associated
+//!   Encrypted Metadata.
+//!
+//! The unencrypted metadata layout (v1.0) is:
+//! byte 0 = versioning (`0b01000000` for v1.0), byte 1 = transmit power
+//! (signed dBm), bytes 2–3 reserved.
+
+use serde::{Deserialize, Serialize};
+
+use crate::tek::RollingProximityIdentifier;
+
+/// The 16-bit Exposure Notification service UUID.
+pub const EN_SERVICE_UUID: u16 = 0xFD6F;
+
+/// Version byte for metadata format v1.0 (major=01, minor=00).
+pub const METADATA_VERSION_1_0: u8 = 0b0100_0000;
+
+/// Total length of the advertisement payload we encode: 3 bytes of flags,
+/// 4 bytes of UUID list, and 24 bytes of service data — exactly the
+/// 31-byte legacy advertising PDU maximum.
+pub const ADV_LEN: usize = 31;
+
+/// Errors that can occur when parsing a BLE advertisement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdvertisementError {
+    /// The payload was shorter than an AD structure header promised.
+    Truncated,
+    /// No Exposure Notification service-data structure present.
+    NotExposureNotification,
+    /// Service data present but with the wrong length.
+    BadServiceDataLength,
+}
+
+impl std::fmt::Display for AdvertisementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdvertisementError::Truncated => write!(f, "advertisement truncated"),
+            AdvertisementError::NotExposureNotification => {
+                write!(f, "no exposure-notification service data")
+            }
+            AdvertisementError::BadServiceDataLength => {
+                write!(f, "exposure-notification service data has wrong length")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdvertisementError {}
+
+/// A decoded Exposure Notification BLE advertisement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BleAdvertisement {
+    /// The Rolling Proximity Identifier.
+    pub rpi: RollingProximityIdentifier,
+    /// The 4-byte Associated Encrypted Metadata.
+    pub aem: [u8; 4],
+}
+
+impl BleAdvertisement {
+    /// Creates an advertisement from its parts.
+    pub fn new(rpi: RollingProximityIdentifier, aem: [u8; 4]) -> Self {
+        BleAdvertisement { rpi, aem }
+    }
+
+    /// Encodes the full legacy-advertising payload (AD structures).
+    pub fn encode_full(&self) -> [u8; ADV_LEN] {
+        let mut out = [0u8; ADV_LEN];
+        let uuid = EN_SERVICE_UUID.to_le_bytes();
+        // Flags: LE General Discoverable, BR/EDR not supported.
+        out[0] = 0x02; // length
+        out[1] = 0x01; // type: Flags
+        out[2] = 0x1a;
+        // Complete list of 16-bit service UUIDs.
+        out[3] = 0x03; // length
+        out[4] = 0x03; // type: complete 16-bit UUID list
+        out[5] = uuid[0];
+        out[6] = uuid[1];
+        // Service data: type + UUID(2) + RPI(16) + AEM(4) = 23 bytes.
+        out[7] = 0x17; // length: 23
+        out[8] = 0x16; // type: Service Data - 16 bit UUID
+        out[9] = uuid[0];
+        out[10] = uuid[1];
+        out[11..27].copy_from_slice(&self.rpi.0);
+        out[27..31].copy_from_slice(&self.aem);
+        out
+    }
+
+    /// Decodes an advertisement payload, scanning its AD structures for
+    /// the Exposure Notification service data.
+    pub fn decode(payload: &[u8]) -> Result<Self, AdvertisementError> {
+        let mut i = 0usize;
+        while i < payload.len() {
+            let len = payload[i] as usize;
+            if len == 0 {
+                break; // padding
+            }
+            if i + 1 + len > payload.len() {
+                return Err(AdvertisementError::Truncated);
+            }
+            let ad_type = payload[i + 1];
+            let data = &payload[i + 2..i + 1 + len];
+            if ad_type == 0x16 {
+                // Service data: first two bytes are the UUID (LE).
+                if data.len() >= 2 {
+                    let uuid = u16::from_le_bytes([data[0], data[1]]);
+                    if uuid == EN_SERVICE_UUID {
+                        let body = &data[2..];
+                        if body.len() != 20 {
+                            return Err(AdvertisementError::BadServiceDataLength);
+                        }
+                        let mut rpi = [0u8; 16];
+                        rpi.copy_from_slice(&body[..16]);
+                        let mut aem = [0u8; 4];
+                        aem.copy_from_slice(&body[16..]);
+                        return Ok(BleAdvertisement {
+                            rpi: RollingProximityIdentifier(rpi),
+                            aem,
+                        });
+                    }
+                }
+            }
+            i += 1 + len;
+        }
+        Err(AdvertisementError::NotExposureNotification)
+    }
+}
+
+/// Builds the unencrypted v1.0 metadata from a transmit power in dBm.
+pub fn metadata_v1(tx_power_dbm: i8) -> [u8; 4] {
+    [METADATA_VERSION_1_0, tx_power_dbm as u8, 0, 0]
+}
+
+/// Extracts the transmit power from decrypted v1.0 metadata.
+pub fn tx_power_from_metadata(metadata: &[u8; 4]) -> i8 {
+    metadata[1] as i8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rpi(byte: u8) -> RollingProximityIdentifier {
+        RollingProximityIdentifier([byte; 16])
+    }
+
+    #[test]
+    fn encode_layout_header() {
+        let adv = BleAdvertisement::new(rpi(0xAB), [1, 2, 3, 4]);
+        let bytes = adv.encode_full();
+        assert_eq!(bytes[0], 0x02);
+        assert_eq!(bytes[1], 0x01); // flags
+        assert_eq!(bytes[4], 0x03); // uuid list
+        assert_eq!(u16::from_le_bytes([bytes[5], bytes[6]]), EN_SERVICE_UUID);
+        assert_eq!(bytes[8], 0x16); // service data
+    }
+
+    #[test]
+    fn roundtrip() {
+        let adv = BleAdvertisement::new(rpi(0x5A), [9, 8, 7, 6]);
+        let bytes = adv.encode_full();
+        let dec = BleAdvertisement::decode(&bytes).unwrap();
+        assert_eq!(dec, adv);
+    }
+
+    #[test]
+    fn decode_rejects_non_en() {
+        // A service-data structure for a different UUID.
+        let payload = [0x05u8, 0x16, 0x0F, 0x18, 0x64, 0x00];
+        assert_eq!(
+            BleAdvertisement::decode(&payload),
+            Err(AdvertisementError::NotExposureNotification)
+        );
+    }
+
+    #[test]
+    fn decode_rejects_truncated() {
+        let adv = BleAdvertisement::new(rpi(1), [0; 4]);
+        let bytes = adv.encode_full();
+        assert_eq!(
+            BleAdvertisement::decode(&bytes[..10]),
+            Err(AdvertisementError::Truncated)
+        );
+    }
+
+    #[test]
+    fn decode_rejects_bad_length() {
+        // EN UUID but 19-byte body.
+        let mut payload = vec![0x16u8, 0x16, 0x6F, 0xFD];
+        payload.extend_from_slice(&[0u8; 19]);
+        payload[0] = (payload.len() - 1) as u8;
+        assert_eq!(
+            BleAdvertisement::decode(&payload),
+            Err(AdvertisementError::BadServiceDataLength)
+        );
+    }
+
+    #[test]
+    fn decode_skips_leading_structures() {
+        // Manufacturer data first, then EN service data.
+        let adv = BleAdvertisement::new(rpi(0x11), [4, 3, 2, 1]);
+        let mut payload = vec![0x03u8, 0xFF, 0x4C, 0x00];
+        payload.extend_from_slice(&adv.encode_full()[7..]);
+        assert_eq!(BleAdvertisement::decode(&payload).unwrap(), adv);
+    }
+
+    #[test]
+    fn metadata_tx_power() {
+        let m = metadata_v1(-12);
+        assert_eq!(m[0], METADATA_VERSION_1_0);
+        assert_eq!(tx_power_from_metadata(&m), -12);
+    }
+
+    #[test]
+    fn zero_length_padding_terminates() {
+        let mut payload = BleAdvertisement::new(rpi(2), [0; 4]).encode_full().to_vec();
+        payload.push(0); // trailing padding byte
+        payload.push(0);
+        assert!(BleAdvertisement::decode(&payload).is_ok());
+    }
+}

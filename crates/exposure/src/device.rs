@@ -1,0 +1,231 @@
+//! A complete simulated phone running the Exposure Notification stack.
+//!
+//! [`Device`] ties the crate together into the lifecycle of Figure 1 of
+//! the paper:
+//!
+//! 1. roll a fresh TEK every 24 h (volatile identifiers, §1),
+//! 2. broadcast the current RPI + AEM over BLE every interval,
+//! 3. scan and store others' RPIs for 14 days,
+//! 4. after a positive test, disclose the last 14 days of TEKs as
+//!    diagnosis keys (the upload in Fig. 1),
+//! 5. download the day's key export from the CDN and run matching —
+//!    the **daily download** that generates the HTTPS flows the paper
+//!    measures at the vantage point.
+
+use rand::RngCore;
+
+use crate::advertisement::{metadata_v1, BleAdvertisement};
+use crate::matching::{EncounterStore, ExposureMatch, MatchingEngine};
+use crate::risk::ExposureConfiguration;
+use crate::tek::{DiagnosisKey, TemporaryExposureKey};
+use crate::time::{EnIntervalNumber, RETENTION_DAYS, TEK_ROLLING_PERIOD};
+
+/// A simulated phone with the Exposure Notification framework enabled.
+#[derive(Debug, Clone)]
+pub struct Device {
+    /// Stable simulation identifier (never transmitted — phones are only
+    /// ever observable through their rotating RPIs).
+    pub id: u64,
+    /// BLE transmit power in dBm, used to build metadata.
+    pub tx_power_dbm: i8,
+    /// TEKs of the last 14 days, oldest first.
+    teks: Vec<TemporaryExposureKey>,
+    /// Encounter history.
+    store: EncounterStore,
+    /// Matching engine (risk configuration).
+    engine: MatchingEngine,
+}
+
+impl Device {
+    /// Creates a device with the default CWA-like risk configuration.
+    pub fn new(id: u64) -> Self {
+        Device {
+            id,
+            tx_power_dbm: -8,
+            teks: Vec::new(),
+            store: EncounterStore::new(),
+            engine: MatchingEngine::new(ExposureConfiguration::default()),
+        }
+    }
+
+    /// Ensures a TEK exists covering `now`, generating one at the daily
+    /// boundary if needed, and prunes TEKs beyond the retention window.
+    pub fn roll_key_if_needed<R: RngCore>(&mut self, rng: &mut R, now: EnIntervalNumber) {
+        let covered = self.teks.iter().any(|t| t.covers(now));
+        if !covered {
+            self.teks.push(TemporaryExposureKey::generate(rng, now));
+        }
+        let horizon = now.0.saturating_sub(RETENTION_DAYS * TEK_ROLLING_PERIOD);
+        self.teks
+            .retain(|t| t.rolling_start_interval_number + t.rolling_period > horizon);
+    }
+
+    /// The advertisement this device broadcasts during `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no TEK covers `now`; call
+    /// [`Device::roll_key_if_needed`] first.
+    pub fn advertise(&self, now: EnIntervalNumber) -> BleAdvertisement {
+        let tek = self
+            .teks
+            .iter()
+            .find(|t| t.covers(now))
+            .expect("no TEK covers the current interval; call roll_key_if_needed");
+        let rpi = tek.rpi(now);
+        let aem = tek.encrypt_metadata(now, &metadata_v1(self.tx_power_dbm));
+        BleAdvertisement::new(rpi, aem)
+    }
+
+    /// Processes a received advertisement: stores the RPI with measured
+    /// attenuation and sighting duration.
+    pub fn observe(
+        &mut self,
+        adv: &BleAdvertisement,
+        now: EnIntervalNumber,
+        attenuation_db: u8,
+        duration_minutes: u32,
+    ) {
+        self.store.record(adv.rpi, now, attenuation_db, duration_minutes);
+    }
+
+    /// Nightly maintenance: expire encounters older than 14 days.
+    pub fn expire(&mut self, now: EnIntervalNumber) {
+        self.store.expire(now);
+    }
+
+    /// After a verified positive test, discloses all retained TEKs as
+    /// diagnosis keys (the user consents per §1 of the paper). The TEK of
+    /// the current day may be withheld by the framework; we disclose keys
+    /// strictly *before* `today_start` to match that behaviour.
+    pub fn upload_diagnosis_keys(
+        &self,
+        today_start: EnIntervalNumber,
+        transmission_risk_level: u8,
+    ) -> Vec<DiagnosisKey> {
+        self.teks
+            .iter()
+            .filter(|t| t.rolling_start_interval_number < today_start.rolling_period_start().0)
+            .map(|t| DiagnosisKey::new(*t, transmission_risk_level))
+            .collect()
+    }
+
+    /// The daily key-export download + matching pass. This is the action
+    /// whose HTTPS flow the paper's vantage point records.
+    pub fn check_exposure(
+        &self,
+        downloaded_keys: &[DiagnosisKey],
+        now: EnIntervalNumber,
+    ) -> Vec<ExposureMatch> {
+        self.engine.match_keys(downloaded_keys, &self.store, now)
+    }
+
+    /// Number of encounters currently stored.
+    pub fn encounter_count(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Number of TEKs currently retained.
+    pub fn tek_count(&self) -> usize {
+        self.teks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    const DAY: u32 = TEK_ROLLING_PERIOD;
+
+    #[test]
+    fn rolls_one_key_per_day() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut dev = Device::new(1);
+        for day in 0..5u32 {
+            for step in [0u32, 50, 100] {
+                dev.roll_key_if_needed(&mut rng, EnIntervalNumber(1000 * DAY + day * DAY + step));
+            }
+        }
+        assert_eq!(dev.tek_count(), 5);
+    }
+
+    #[test]
+    fn old_keys_pruned_after_retention() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut dev = Device::new(1);
+        for day in 0..20u32 {
+            dev.roll_key_if_needed(&mut rng, EnIntervalNumber(1000 * DAY + day * DAY));
+        }
+        assert!(dev.tek_count() <= 15, "got {}", dev.tek_count());
+    }
+
+    #[test]
+    fn advertisement_changes_every_interval() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut dev = Device::new(1);
+        let t0 = EnIntervalNumber(1000 * DAY);
+        dev.roll_key_if_needed(&mut rng, t0);
+        let a = dev.advertise(t0);
+        let b = dev.advertise(t0.advance(1));
+        assert_ne!(a.rpi, b.rpi, "RPI must rotate every 10 minutes");
+    }
+
+    #[test]
+    fn end_to_end_exposure_notification() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut alice = Device::new(1);
+        let mut bob = Device::new(2);
+
+        // Day 0: Alice and Bob meet for 3 intervals, 25 minutes total.
+        let day0 = EnIntervalNumber(1000 * DAY);
+        for i in 0..3u32 {
+            let t = day0.advance(60 + i);
+            alice.roll_key_if_needed(&mut rng, t);
+            bob.roll_key_if_needed(&mut rng, t);
+            let from_alice = alice.advertise(t);
+            let from_bob = bob.advertise(t);
+            bob.observe(&from_alice, t, 25, 9);
+            alice.observe(&from_bob, t, 25, 9);
+        }
+        assert_eq!(bob.encounter_count(), 3);
+
+        // Day 2: Alice tests positive and uploads her keys.
+        let day2 = EnIntervalNumber(1002 * DAY);
+        alice.roll_key_if_needed(&mut rng, day2);
+        let uploaded = alice.upload_diagnosis_keys(day2, 6);
+        assert!(!uploaded.is_empty());
+        // Current-day key withheld.
+        assert!(uploaded
+            .iter()
+            .all(|k| k.tek.rolling_start_interval_number < day2.rolling_period_start().0));
+
+        // Bob downloads the export and matches.
+        let matches = bob.check_exposure(&uploaded, day2);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].matched_intervals, 3);
+        assert_eq!(matches[0].duration_minutes, 27);
+        assert!(matches[0].risk_score.0 > 0, "close long contact must flag risk");
+
+        // A third device that never met Alice stays clear.
+        let mut carol = Device::new(3);
+        carol.roll_key_if_needed(&mut rng, day2);
+        assert!(carol.check_exposure(&uploaded, day2).is_empty());
+    }
+
+    #[test]
+    fn observers_cannot_link_across_intervals() {
+        // The whole point of the rotating-RPI design: two sightings of the
+        // same phone in different intervals look unrelated without the TEK.
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut dev = Device::new(1);
+        let t = EnIntervalNumber(1000 * DAY);
+        dev.roll_key_if_needed(&mut rng, t);
+        let sightings: Vec<_> = (0..4u32).map(|i| dev.advertise(t.advance(i))).collect();
+        for w in sightings.windows(2) {
+            assert_ne!(w[0].rpi, w[1].rpi);
+            assert_ne!(w[0].aem, w[1].aem);
+        }
+    }
+}

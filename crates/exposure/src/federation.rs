@@ -1,0 +1,286 @@
+//! Cross-border key federation (EFGS-style).
+//!
+//! The paper studies the CWA's first ten days, when diagnosis keys
+//! stayed national. The *European Federation Gateway Service* that went
+//! live a few months later lets national backends exchange keys so that
+//! cross-border contacts are traced too — the natural "future work" of
+//! the measured system, modelled here:
+//!
+//! * national backends **upload** their daily diagnosis keys tagged with
+//!   origin country and the countries the patient visited,
+//! * the gateway **deduplicates** (the same TEK must never be
+//!   distributed twice) and batches keys per day,
+//! * each backend **downloads** the keys *relevant* to it — those whose
+//!   visited-country set includes it — and merges them into its national
+//!   export file (the file whose downloads the paper measures; a
+//!   federated world makes that file strictly larger).
+
+use std::collections::{BTreeMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use cwa_crypto::sha256;
+
+use crate::export::TemporaryExposureKeyExport;
+use crate::tek::DiagnosisKey;
+
+/// ISO-3166-alpha-2-style country code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CountryCode(pub [u8; 2]);
+
+impl CountryCode {
+    /// Builds a code from a 2-letter string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not exactly 2 ASCII letters.
+    pub fn new(s: &str) -> Self {
+        let bytes = s.as_bytes();
+        assert!(
+            bytes.len() == 2 && bytes.iter().all(|b| b.is_ascii_alphabetic()),
+            "country code must be 2 ASCII letters"
+        );
+        CountryCode([bytes[0].to_ascii_uppercase(), bytes[1].to_ascii_uppercase()])
+    }
+
+    /// The code as a string.
+    pub fn as_str(&self) -> &str {
+        std::str::from_utf8(&self.0).expect("ascii letters")
+    }
+}
+
+/// One federated key: a diagnosis key plus routing metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FederatedKey {
+    /// The diagnosis key.
+    pub key: DiagnosisKey,
+    /// Country whose backend uploaded the key.
+    pub origin: CountryCode,
+    /// Countries the patient reported visiting (relevance routing).
+    pub visited: Vec<CountryCode>,
+}
+
+/// Upload outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UploadReceipt {
+    /// Keys accepted into the day's batch.
+    pub accepted: usize,
+    /// Keys rejected as duplicates.
+    pub duplicates: usize,
+}
+
+/// The federation gateway.
+#[derive(Debug, Default)]
+pub struct FederationGateway {
+    batches: BTreeMap<u32, Vec<FederatedKey>>,
+    seen: HashSet<[u8; 16]>,
+}
+
+impl FederationGateway {
+    /// Creates an empty gateway.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A national backend uploads its day's keys.
+    pub fn upload(&mut self, day: u32, keys: Vec<FederatedKey>) -> UploadReceipt {
+        let mut accepted = 0;
+        let mut duplicates = 0;
+        let batch = self.batches.entry(day).or_default();
+        for fk in keys {
+            if self.seen.insert(fk.key.tek.key) {
+                batch.push(fk);
+                accepted += 1;
+            } else {
+                duplicates += 1;
+            }
+        }
+        UploadReceipt { accepted, duplicates }
+    }
+
+    /// A national backend downloads the keys relevant to `country` for
+    /// `day`: keys uploaded by others whose visited set includes it.
+    pub fn download(&self, day: u32, country: CountryCode) -> Vec<FederatedKey> {
+        self.batches
+            .get(&day)
+            .map(|batch| {
+                batch
+                    .iter()
+                    .filter(|fk| fk.origin != country && fk.visited.contains(&country))
+                    .cloned()
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// A content-addressed tag over the day's batch (the gateway signs
+    /// batches in the real system; the tag is the stand-in integrity
+    /// anchor).
+    pub fn batch_tag(&self, day: u32) -> Option<[u8; 32]> {
+        self.batches.get(&day).map(|batch| {
+            let mut buf = Vec::with_capacity(batch.len() * 20);
+            for fk in batch {
+                buf.extend_from_slice(&fk.key.tek.key);
+                buf.extend_from_slice(&fk.origin.0);
+            }
+            sha256(&buf)
+        })
+    }
+
+    /// Total distinct keys ever accepted.
+    pub fn total_keys(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Days with batches.
+    pub fn days(&self) -> Vec<u32> {
+        self.batches.keys().copied().collect()
+    }
+}
+
+/// Merges a national key set with federated downloads into the national
+/// export file (the artifact the CWA CDN serves).
+pub fn merge_into_export(
+    national: Vec<DiagnosisKey>,
+    federated: &[FederatedKey],
+    start_timestamp: u64,
+    end_timestamp: u64,
+) -> TemporaryExposureKeyExport {
+    let mut keys = national;
+    let mut present: HashSet<[u8; 16]> = keys.iter().map(|k| k.tek.key).collect();
+    for fk in federated {
+        if present.insert(fk.key.tek.key) {
+            keys.push(fk.key.clone());
+        }
+    }
+    TemporaryExposureKeyExport::new_de(start_timestamp, end_timestamp, keys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tek::TemporaryExposureKey;
+    use crate::time::EnIntervalNumber;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn keys(rng: &mut ChaCha8Rng, n: usize) -> Vec<DiagnosisKey> {
+        (0..n)
+            .map(|_| {
+                DiagnosisKey::new(
+                    TemporaryExposureKey::generate(rng, EnIntervalNumber(144 * 18_400)),
+                    5,
+                )
+            })
+            .collect()
+    }
+
+    fn fed(keys: Vec<DiagnosisKey>, origin: &str, visited: &[&str]) -> Vec<FederatedKey> {
+        keys.into_iter()
+            .map(|key| FederatedKey {
+                key,
+                origin: CountryCode::new(origin),
+                visited: visited.iter().map(|c| CountryCode::new(c)).collect(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn country_code_normalization() {
+        assert_eq!(CountryCode::new("de"), CountryCode::new("DE"));
+        assert_eq!(CountryCode::new("de").as_str(), "DE");
+    }
+
+    #[test]
+    #[should_panic(expected = "2 ASCII letters")]
+    fn bad_country_code() {
+        let _ = CountryCode::new("DEU");
+    }
+
+    #[test]
+    fn upload_download_relevance() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut gw = FederationGateway::new();
+        // Italy uploads keys from patients who visited DE and AT.
+        let it_keys = fed(keys(&mut rng, 5), "IT", &["DE", "AT"]);
+        // France uploads keys relevant only to ES.
+        let fr_keys = fed(keys(&mut rng, 3), "FR", &["ES"]);
+        gw.upload(8, it_keys);
+        gw.upload(8, fr_keys);
+
+        let de = gw.download(8, CountryCode::new("DE"));
+        assert_eq!(de.len(), 5, "DE sees the Italian keys");
+        let es = gw.download(8, CountryCode::new("ES"));
+        assert_eq!(es.len(), 3);
+        let pl = gw.download(8, CountryCode::new("PL"));
+        assert!(pl.is_empty());
+    }
+
+    #[test]
+    fn origin_country_excluded_from_its_own_download() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut gw = FederationGateway::new();
+        // DE uploads keys that also list DE as visited (home country).
+        gw.upload(3, fed(keys(&mut rng, 4), "DE", &["DE", "NL"]));
+        assert!(gw.download(3, CountryCode::new("DE")).is_empty(), "no echo");
+        assert_eq!(gw.download(3, CountryCode::new("NL")).len(), 4);
+    }
+
+    #[test]
+    fn duplicate_uploads_rejected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut gw = FederationGateway::new();
+        let ks = keys(&mut rng, 6);
+        let r1 = gw.upload(1, fed(ks.clone(), "IT", &["DE"]));
+        assert_eq!(r1.accepted, 6);
+        assert_eq!(r1.duplicates, 0);
+        // Re-upload (e.g. retry after timeout): all duplicates.
+        let r2 = gw.upload(1, fed(ks, "IT", &["DE"]));
+        assert_eq!(r2.accepted, 0);
+        assert_eq!(r2.duplicates, 6);
+        assert_eq!(gw.total_keys(), 6);
+    }
+
+    #[test]
+    fn batch_tags_change_with_content() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut gw = FederationGateway::new();
+        gw.upload(1, fed(keys(&mut rng, 2), "IT", &["DE"]));
+        let t1 = gw.batch_tag(1).unwrap();
+        gw.upload(1, fed(keys(&mut rng, 1), "FR", &["DE"]));
+        let t2 = gw.batch_tag(1).unwrap();
+        assert_ne!(t1, t2);
+        assert!(gw.batch_tag(9).is_none());
+    }
+
+    #[test]
+    fn merge_into_export_dedups_and_roundtrips() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let national = keys(&mut rng, 10);
+        // One federated key collides with a national one.
+        let mut federated = fed(keys(&mut rng, 4), "AT", &["DE"]);
+        federated.push(FederatedKey {
+            key: national[0].clone(),
+            origin: CountryCode::new("AT"),
+            visited: vec![CountryCode::new("DE")],
+        });
+        let export = merge_into_export(national, &federated, 0, 86_400);
+        assert_eq!(export.keys.len(), 14, "10 national + 4 new federated");
+        let back = TemporaryExposureKeyExport::decode(&export.encode()).unwrap();
+        assert_eq!(back.keys.len(), 14);
+    }
+
+    #[test]
+    fn federation_grows_the_daily_download() {
+        // The paper-era export vs a federated one: strictly larger file,
+        // i.e. more bytes per app download at the vantage point.
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let national = keys(&mut rng, 20);
+        let national_only =
+            merge_into_export(national.clone(), &[], 0, 86_400).encoded_len();
+        let federated = fed(keys(&mut rng, 15), "IT", &["DE"]);
+        let with_federation =
+            merge_into_export(national, &federated, 0, 86_400).encoded_len();
+        assert!(with_federation > national_only);
+    }
+}

@@ -1,0 +1,302 @@
+//! Diagnosis-key matching — the on-phone core of decentralized tracing.
+//!
+//! The phone keeps an **encounter store** of every Rolling Proximity
+//! Identifier it heard over BLE in the last 14 days (with interval,
+//! attenuation and accumulated duration). When the app downloads the
+//! day's diagnosis-key export from the CDN (the flows the paper
+//! measures), the matching engine re-derives all 144 RPIs of every
+//! published TEK and intersects them with the store. Matching keys yield
+//! [`ExposureMatch`]es, which risk scoring (see [`crate::risk`]) turns
+//! into the user-facing risk status.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::risk::{ExposureConfiguration, RiskScore};
+use crate::tek::{DiagnosisKey, RollingProximityIdentifier};
+use crate::time::{EnIntervalNumber, RETENTION_DAYS, TEK_ROLLING_PERIOD};
+
+/// One remembered BLE sighting (aggregated per RPI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Encounter {
+    /// Interval in which the RPI was (first) heard.
+    pub interval: EnIntervalNumber,
+    /// Representative signal attenuation in dB (TX power − RSSI).
+    pub attenuation_db: u8,
+    /// Accumulated sighting duration in minutes.
+    pub duration_minutes: u32,
+}
+
+/// The phone's local encounter history.
+///
+/// RPIs are pseudonymous and never leave the device; this mirrors the
+/// privacy property the paper highlights ("all contact tracing data never
+/// leaves the phone").
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct EncounterStore {
+    encounters: HashMap<RollingProximityIdentifier, Encounter>,
+}
+
+impl EncounterStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a sighting of `rpi`, merging with any previous sighting of
+    /// the same RPI (duration accumulates; attenuation keeps the minimum,
+    /// i.e. the closest observed proximity).
+    pub fn record(
+        &mut self,
+        rpi: RollingProximityIdentifier,
+        interval: EnIntervalNumber,
+        attenuation_db: u8,
+        duration_minutes: u32,
+    ) {
+        self.encounters
+            .entry(rpi)
+            .and_modify(|e| {
+                e.duration_minutes += duration_minutes;
+                e.attenuation_db = e.attenuation_db.min(attenuation_db);
+            })
+            .or_insert(Encounter { interval, attenuation_db, duration_minutes });
+    }
+
+    /// Number of distinct RPIs remembered.
+    pub fn len(&self) -> usize {
+        self.encounters.len()
+    }
+
+    /// True if no encounters are stored.
+    pub fn is_empty(&self) -> bool {
+        self.encounters.is_empty()
+    }
+
+    /// Drops encounters older than the 14-day retention window relative
+    /// to `now` (the paper, §1: identifiers are stored for 14 days).
+    pub fn expire(&mut self, now: EnIntervalNumber) {
+        let horizon = now.0.saturating_sub(RETENTION_DAYS * TEK_ROLLING_PERIOD);
+        self.encounters.retain(|_, e| e.interval.0 >= horizon);
+    }
+
+    /// Looks up a single RPI.
+    pub fn get(&self, rpi: &RollingProximityIdentifier) -> Option<&Encounter> {
+        self.encounters.get(rpi)
+    }
+}
+
+/// A confirmed exposure: a diagnosis key whose RPIs intersect the local
+/// encounter history.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExposureMatch {
+    /// Day the matched key was active (its rolling start interval).
+    pub key_start: EnIntervalNumber,
+    /// Transmission risk level carried by the diagnosis key.
+    pub transmission_risk_level: u8,
+    /// Total matched duration across intervals, minutes.
+    pub duration_minutes: u32,
+    /// Closest (minimum) attenuation over the matched sightings, dB.
+    pub min_attenuation_db: u8,
+    /// Number of distinct intervals that matched.
+    pub matched_intervals: u32,
+    /// Total risk score under the engine's configuration.
+    pub risk_score: RiskScore,
+}
+
+/// The matching engine: configuration plus entry points.
+#[derive(Debug, Clone, Default)]
+pub struct MatchingEngine {
+    /// Risk configuration used to score matches.
+    pub config: ExposureConfiguration,
+}
+
+impl MatchingEngine {
+    /// Creates an engine with the given risk configuration.
+    pub fn new(config: ExposureConfiguration) -> Self {
+        MatchingEngine { config }
+    }
+
+    /// Matches a batch of diagnosis keys against the local store.
+    ///
+    /// `now` is used for days-since-exposure scoring. Returns one
+    /// [`ExposureMatch`] per *matching key* (a real exposure typically
+    /// matches several consecutive RPIs of the same key — these aggregate
+    /// into one match, like the framework's `ExposureInformation`).
+    pub fn match_keys(
+        &self,
+        keys: &[DiagnosisKey],
+        store: &EncounterStore,
+        now: EnIntervalNumber,
+    ) -> Vec<ExposureMatch> {
+        let mut out = Vec::new();
+        for dk in keys {
+            let mut duration = 0u32;
+            let mut min_att = u8::MAX;
+            let mut matched = 0u32;
+            for rpi in dk.tek.all_rpis() {
+                if let Some(enc) = store.get(&rpi) {
+                    duration += enc.duration_minutes;
+                    min_att = min_att.min(enc.attenuation_db);
+                    matched += 1;
+                }
+            }
+            if matched > 0 {
+                let days = now.days_since(EnIntervalNumber(dk.tek.rolling_start_interval_number));
+                let risk_score =
+                    self.config
+                        .score(min_att, days, duration, dk.transmission_risk_level);
+                out.push(ExposureMatch {
+                    key_start: EnIntervalNumber(dk.tek.rolling_start_interval_number),
+                    transmission_risk_level: dk.transmission_risk_level,
+                    duration_minutes: duration,
+                    min_attenuation_db: min_att,
+                    matched_intervals: matched,
+                    risk_score,
+                });
+            }
+        }
+        out
+    }
+
+    /// Convenience: the maximum risk score over all matches (the value
+    /// the app compares against its "increased risk" threshold).
+    pub fn max_risk(
+        &self,
+        keys: &[DiagnosisKey],
+        store: &EncounterStore,
+        now: EnIntervalNumber,
+    ) -> RiskScore {
+        self.match_keys(keys, store, now)
+            .into_iter()
+            .map(|m| m.risk_score)
+            .max()
+            .unwrap_or(RiskScore(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tek::TemporaryExposureKey;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn tek_at(day: u32, rng: &mut ChaCha8Rng) -> TemporaryExposureKey {
+        TemporaryExposureKey::generate(rng, EnIntervalNumber(day * TEK_ROLLING_PERIOD))
+    }
+
+    #[test]
+    fn record_and_merge() {
+        let mut store = EncounterStore::new();
+        let rpi = RollingProximityIdentifier([1u8; 16]);
+        store.record(rpi, EnIntervalNumber(100), 50, 5);
+        store.record(rpi, EnIntervalNumber(100), 40, 7);
+        let e = store.get(&rpi).unwrap();
+        assert_eq!(e.duration_minutes, 12);
+        assert_eq!(e.attenuation_db, 40);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn expiry_honours_retention() {
+        let mut store = EncounterStore::new();
+        let old = RollingProximityIdentifier([1u8; 16]);
+        let fresh = RollingProximityIdentifier([2u8; 16]);
+        let now = EnIntervalNumber(TEK_ROLLING_PERIOD * 100);
+        store.record(old, EnIntervalNumber(now.0 - 15 * TEK_ROLLING_PERIOD), 40, 10);
+        store.record(fresh, EnIntervalNumber(now.0 - 13 * TEK_ROLLING_PERIOD), 40, 10);
+        store.expire(now);
+        assert!(store.get(&old).is_none(), "15-day-old encounter must expire");
+        assert!(store.get(&fresh).is_some(), "13-day-old encounter must remain");
+    }
+
+    #[test]
+    fn match_found_for_contact() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let infected_tek = tek_at(1000, &mut rng);
+        let now = EnIntervalNumber(1002 * TEK_ROLLING_PERIOD);
+
+        // The victim heard three consecutive RPIs of the infected phone.
+        let mut store = EncounterStore::new();
+        for i in 10..13u32 {
+            let enin = EnIntervalNumber(infected_tek.rolling_start_interval_number + i);
+            store.record(infected_tek.rpi(enin), enin, 30, 10);
+        }
+
+        let engine = MatchingEngine::default();
+        let keys = vec![DiagnosisKey::new(infected_tek, 5)];
+        let matches = engine.match_keys(&keys, &store, now);
+        assert_eq!(matches.len(), 1);
+        let m = &matches[0];
+        assert_eq!(m.matched_intervals, 3);
+        assert_eq!(m.duration_minutes, 30);
+        assert_eq!(m.min_attenuation_db, 30);
+        assert!(m.risk_score.0 > 0);
+    }
+
+    #[test]
+    fn no_match_for_stranger() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let infected = tek_at(1000, &mut rng);
+        let bystander = tek_at(1000, &mut rng);
+        let now = EnIntervalNumber(1001 * TEK_ROLLING_PERIOD);
+
+        let mut store = EncounterStore::new();
+        // Only heard the bystander.
+        let enin = EnIntervalNumber(bystander.rolling_start_interval_number + 5);
+        store.record(bystander.rpi(enin), enin, 30, 15);
+
+        let engine = MatchingEngine::default();
+        let matches = engine.match_keys(&[DiagnosisKey::new(infected, 5)], &store, now);
+        assert!(matches.is_empty());
+    }
+
+    #[test]
+    fn multiple_keys_yield_multiple_matches() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let a = tek_at(1000, &mut rng);
+        let b = tek_at(1001, &mut rng);
+        let now = EnIntervalNumber(1003 * TEK_ROLLING_PERIOD);
+
+        let mut store = EncounterStore::new();
+        for tek in [&a, &b] {
+            let enin = EnIntervalNumber(tek.rolling_start_interval_number + 1);
+            store.record(tek.rpi(enin), enin, 25, 12);
+        }
+
+        let engine = MatchingEngine::default();
+        let keys = vec![DiagnosisKey::new(a, 4), DiagnosisKey::new(b, 6)];
+        let matches = engine.match_keys(&keys, &store, now);
+        assert_eq!(matches.len(), 2);
+        // More recent exposure (key b) should not score lower, all else equal.
+        assert!(matches[1].risk_score >= matches[0].risk_score);
+    }
+
+    #[test]
+    fn max_risk_zero_when_no_matches() {
+        let engine = MatchingEngine::default();
+        let store = EncounterStore::new();
+        assert_eq!(
+            engine.max_risk(&[], &store, EnIntervalNumber(0)),
+            RiskScore(0)
+        );
+    }
+
+    #[test]
+    fn brief_distant_contact_scores_zero() {
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let infected = tek_at(1000, &mut rng);
+        let now = EnIntervalNumber(1001 * TEK_ROLLING_PERIOD);
+
+        let mut store = EncounterStore::new();
+        let enin = EnIntervalNumber(infected.rolling_start_interval_number);
+        // Far away (high attenuation) and brief.
+        store.record(infected.rpi(enin), enin, 80, 1);
+
+        let engine = MatchingEngine::default();
+        let matches = engine.match_keys(&[DiagnosisKey::new(infected, 5)], &store, now);
+        assert_eq!(matches.len(), 1, "it still *matches*…");
+        assert_eq!(matches[0].risk_score, RiskScore(0), "…but scores zero risk");
+    }
+}

@@ -1,0 +1,390 @@
+//! Minimal protobuf wire-format codec.
+//!
+//! The official diagnosis-key file distributed by the CWA CDN is a
+//! protobuf-encoded `TemporaryExposureKeyExport`. No protobuf crate is
+//! available in the offline dependency set, so this module implements the
+//! subset of the wire format the export format needs:
+//!
+//! * base-128 **varints** (wire type 0),
+//! * **64-bit fixed** fields (wire type 1),
+//! * **length-delimited** fields — bytes / strings / sub-messages
+//!   (wire type 2).
+//!
+//! Reference: <https://protobuf.dev/programming-guides/encoding/>.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Protobuf wire types used by the export format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireType {
+    /// Wire type 0: varint.
+    Varint,
+    /// Wire type 1: 64-bit fixed.
+    Fixed64,
+    /// Wire type 2: length-delimited.
+    LengthDelimited,
+}
+
+impl WireType {
+    /// The 3-bit wire-type code.
+    pub fn code(self) -> u64 {
+        match self {
+            WireType::Varint => 0,
+            WireType::Fixed64 => 1,
+            WireType::LengthDelimited => 2,
+        }
+    }
+
+    /// Parses a wire-type code.
+    pub fn from_code(code: u64) -> Result<Self, DecodeError> {
+        match code {
+            0 => Ok(WireType::Varint),
+            1 => Ok(WireType::Fixed64),
+            2 => Ok(WireType::LengthDelimited),
+            other => Err(DecodeError::UnsupportedWireType(other as u8)),
+        }
+    }
+}
+
+/// Errors raised while decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended in the middle of a value.
+    UnexpectedEof,
+    /// A varint ran longer than 10 bytes.
+    VarintTooLong,
+    /// Encountered a wire type this codec does not implement.
+    UnsupportedWireType(u8),
+    /// A length-delimited field promised more bytes than remain.
+    LengthOverrun,
+    /// A field had an invalid value for its declared meaning.
+    InvalidField(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof => write!(f, "unexpected end of input"),
+            DecodeError::VarintTooLong => write!(f, "varint longer than 10 bytes"),
+            DecodeError::UnsupportedWireType(t) => write!(f, "unsupported wire type {t}"),
+            DecodeError::LengthOverrun => write!(f, "length-delimited field overruns input"),
+            DecodeError::InvalidField(what) => write!(f, "invalid field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Streaming protobuf writer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: BytesMut,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Writer { buf: BytesMut::new() }
+    }
+
+    /// Writes a raw varint.
+    pub fn varint(&mut self, mut value: u64) {
+        loop {
+            let byte = (value & 0x7f) as u8;
+            value >>= 7;
+            if value == 0 {
+                self.buf.put_u8(byte);
+                break;
+            }
+            self.buf.put_u8(byte | 0x80);
+        }
+    }
+
+    /// Writes a field tag (field number + wire type).
+    pub fn tag(&mut self, field: u32, wire: WireType) {
+        self.varint((u64::from(field) << 3) | wire.code());
+    }
+
+    /// Writes a varint field.
+    pub fn field_varint(&mut self, field: u32, value: u64) {
+        self.tag(field, WireType::Varint);
+        self.varint(value);
+    }
+
+    /// Writes an `int32` field (negative values use 10-byte
+    /// twos-complement varints, per the spec).
+    pub fn field_int32(&mut self, field: u32, value: i32) {
+        self.field_varint(field, value as i64 as u64);
+    }
+
+    /// Writes a fixed64 field.
+    pub fn field_fixed64(&mut self, field: u32, value: u64) {
+        self.tag(field, WireType::Fixed64);
+        self.buf.put_u64_le(value);
+    }
+
+    /// Writes a length-delimited bytes field.
+    pub fn field_bytes(&mut self, field: u32, value: &[u8]) {
+        self.tag(field, WireType::LengthDelimited);
+        self.varint(value.len() as u64);
+        self.buf.put_slice(value);
+    }
+
+    /// Writes a string field.
+    pub fn field_string(&mut self, field: u32, value: &str) {
+        self.field_bytes(field, value.as_bytes());
+    }
+
+    /// Writes an embedded message field.
+    pub fn field_message(&mut self, field: u32, message: &Writer) {
+        self.field_bytes(field, &message.buf);
+    }
+
+    /// Finishes and returns the encoded bytes.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// A single decoded field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldValue {
+    /// Wire type 0.
+    Varint(u64),
+    /// Wire type 1.
+    Fixed64(u64),
+    /// Wire type 2.
+    Bytes(Bytes),
+}
+
+impl FieldValue {
+    /// Interprets the value as a varint.
+    pub fn as_varint(&self) -> Result<u64, DecodeError> {
+        match self {
+            FieldValue::Varint(v) => Ok(*v),
+            _ => Err(DecodeError::InvalidField("expected varint")),
+        }
+    }
+
+    /// Interprets the value as fixed64.
+    pub fn as_fixed64(&self) -> Result<u64, DecodeError> {
+        match self {
+            FieldValue::Fixed64(v) => Ok(*v),
+            _ => Err(DecodeError::InvalidField("expected fixed64")),
+        }
+    }
+
+    /// Interprets the value as bytes.
+    pub fn as_bytes(&self) -> Result<&Bytes, DecodeError> {
+        match self {
+            FieldValue::Bytes(b) => Ok(b),
+            _ => Err(DecodeError::InvalidField("expected length-delimited")),
+        }
+    }
+
+    /// Interprets the value as an `int32`.
+    pub fn as_int32(&self) -> Result<i32, DecodeError> {
+        Ok(self.as_varint()? as i64 as i32)
+    }
+}
+
+/// Streaming protobuf reader over a byte slice.
+#[derive(Debug)]
+pub struct Reader {
+    buf: Bytes,
+}
+
+impl Reader {
+    /// Wraps `data` for reading.
+    pub fn new(data: Bytes) -> Self {
+        Reader { buf: data }
+    }
+
+    /// True if all input has been consumed.
+    pub fn is_done(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Reads a raw varint.
+    pub fn varint(&mut self) -> Result<u64, DecodeError> {
+        let mut value = 0u64;
+        let mut shift = 0u32;
+        loop {
+            if self.buf.is_empty() {
+                return Err(DecodeError::UnexpectedEof);
+            }
+            let byte = self.buf.get_u8();
+            if shift >= 64 {
+                return Err(DecodeError::VarintTooLong);
+            }
+            value |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Reads the next field: `(field_number, value)`.
+    pub fn field(&mut self) -> Result<(u32, FieldValue), DecodeError> {
+        let key = self.varint()?;
+        let field = (key >> 3) as u32;
+        let wire = WireType::from_code(key & 0x7)?;
+        let value = match wire {
+            WireType::Varint => FieldValue::Varint(self.varint()?),
+            WireType::Fixed64 => {
+                if self.buf.len() < 8 {
+                    return Err(DecodeError::UnexpectedEof);
+                }
+                FieldValue::Fixed64(self.buf.get_u64_le())
+            }
+            WireType::LengthDelimited => {
+                let len = self.varint()? as usize;
+                if self.buf.len() < len {
+                    return Err(DecodeError::LengthOverrun);
+                }
+                FieldValue::Bytes(self.buf.split_to(len))
+            }
+        };
+        Ok((field, value))
+    }
+
+    /// Reads all remaining fields.
+    pub fn all_fields(&mut self) -> Result<Vec<(u32, FieldValue)>, DecodeError> {
+        let mut out = Vec::new();
+        while !self.is_done() {
+            out.push(self.field()?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_known_encodings() {
+        // protobuf.dev examples: 1 -> 0x01, 150 -> 0x96 0x01.
+        let mut w = Writer::new();
+        w.varint(1);
+        assert_eq!(&w.finish()[..], &[0x01]);
+
+        let mut w = Writer::new();
+        w.varint(150);
+        assert_eq!(&w.finish()[..], &[0x96, 0x01]);
+
+        let mut w = Writer::new();
+        w.varint(u64::MAX);
+        let bytes = w.finish();
+        assert_eq!(bytes.len(), 10);
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        for v in [0u64, 1, 127, 128, 300, 1 << 21, 1 << 35, u64::MAX] {
+            let mut w = Writer::new();
+            w.varint(v);
+            let mut r = Reader::new(w.finish());
+            assert_eq!(r.varint().unwrap(), v);
+            assert!(r.is_done());
+        }
+    }
+
+    #[test]
+    fn field_150_example() {
+        // The canonical protobuf example: field 1 varint 150 -> 08 96 01.
+        let mut w = Writer::new();
+        w.field_varint(1, 150);
+        assert_eq!(&w.finish()[..], &[0x08, 0x96, 0x01]);
+    }
+
+    #[test]
+    fn string_field_example() {
+        // field 2 string "testing" -> 12 07 74 65 73 74 69 6e 67.
+        let mut w = Writer::new();
+        w.field_string(2, "testing");
+        assert_eq!(
+            &w.finish()[..],
+            &[0x12, 0x07, 0x74, 0x65, 0x73, 0x74, 0x69, 0x6e, 0x67]
+        );
+    }
+
+    #[test]
+    fn negative_int32_uses_ten_bytes() {
+        let mut w = Writer::new();
+        w.field_int32(4, -1);
+        let bytes = w.finish();
+        // tag(1) + 10 varint bytes.
+        assert_eq!(bytes.len(), 11);
+        let mut r = Reader::new(bytes);
+        let (f, v) = r.field().unwrap();
+        assert_eq!(f, 4);
+        assert_eq!(v.as_int32().unwrap(), -1);
+    }
+
+    #[test]
+    fn fixed64_roundtrip() {
+        let mut w = Writer::new();
+        w.field_fixed64(1, 0x0102_0304_0506_0708);
+        let mut r = Reader::new(w.finish());
+        let (f, v) = r.field().unwrap();
+        assert_eq!(f, 1);
+        assert_eq!(v.as_fixed64().unwrap(), 0x0102_0304_0506_0708);
+    }
+
+    #[test]
+    fn nested_message() {
+        let mut inner = Writer::new();
+        inner.field_bytes(1, b"keydata");
+        inner.field_int32(3, 2_650_000);
+
+        let mut outer = Writer::new();
+        outer.field_message(7, &inner);
+
+        let mut r = Reader::new(outer.finish());
+        let (f, v) = r.field().unwrap();
+        assert_eq!(f, 7);
+        let mut inner_r = Reader::new(v.as_bytes().unwrap().clone());
+        let fields = inner_r.all_fields().unwrap();
+        assert_eq!(fields.len(), 2);
+        assert_eq!(fields[0].1.as_bytes().unwrap().as_ref(), b"keydata");
+        assert_eq!(fields[1].1.as_int32().unwrap(), 2_650_000);
+    }
+
+    #[test]
+    fn decode_errors() {
+        // Truncated varint.
+        let mut r = Reader::new(Bytes::from_static(&[0x80]));
+        assert_eq!(r.varint(), Err(DecodeError::UnexpectedEof));
+
+        // Length overrun.
+        let mut r = Reader::new(Bytes::from_static(&[0x12, 0x7f, 0x01]));
+        assert_eq!(r.field().unwrap_err(), DecodeError::LengthOverrun);
+
+        // Unsupported wire type (3 = start group).
+        let mut r = Reader::new(Bytes::from_static(&[0x0b]));
+        assert_eq!(r.field().unwrap_err(), DecodeError::UnsupportedWireType(3));
+
+        // Truncated fixed64.
+        let mut r = Reader::new(Bytes::from_static(&[0x09, 1, 2, 3]));
+        assert_eq!(r.field().unwrap_err(), DecodeError::UnexpectedEof);
+    }
+
+    #[test]
+    fn varint_too_long() {
+        let bytes = vec![0xffu8; 11];
+        let mut r = Reader::new(Bytes::from(bytes));
+        assert_eq!(r.varint(), Err(DecodeError::VarintTooLong));
+    }
+}

@@ -1,0 +1,256 @@
+//! Exposure risk scoring (Exposure Notification v1 semantics).
+//!
+//! The v1 API computes, per matched exposure, a **total risk score** as
+//! the product of four level values, each looked up from an 8-entry
+//! configuration table:
+//!
+//! ```text
+//! score = attenuation_score × days_since_exposure_score
+//!       × duration_score × transmission_risk_score
+//! ```
+//!
+//! Each table maps a bucketed input (signal attenuation in dB, days since
+//! the exposure, exposure duration in minutes, transmission risk level)
+//! to a value 0–8. A `minimum_risk_score` threshold suppresses
+//! low-scoring exposures. The CWA used this mechanism (with its own
+//! parameter choices) to decide when to show the red "increased risk"
+//! status.
+
+use serde::{Deserialize, Serialize};
+
+/// A computed total risk score (0 ..= 4096 = 8⁴).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RiskScore(pub u16);
+
+impl RiskScore {
+    /// The maximum representable total risk score.
+    pub const MAX: RiskScore = RiskScore(4096);
+}
+
+/// The 8-bucket score tables of the v1 `ExposureConfiguration`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExposureConfiguration {
+    /// Score per attenuation bucket:
+    /// `> 73 dB, 64–73, 52–63, 34–51, 28–33, 16–27, 11–15, ≤ 10`.
+    pub attenuation_scores: [u8; 8],
+    /// Score per days-since-exposure bucket:
+    /// `≥ 14 days, 12–13, 10–11, 8–9, 6–7, 4–5, 2–3, 0–1`.
+    pub days_scores: [u8; 8],
+    /// Score per duration bucket:
+    /// `0 min, ≤ 5, ≤ 10, ≤ 15, ≤ 20, ≤ 25, ≤ 30, > 30`.
+    pub duration_scores: [u8; 8],
+    /// Score per transmission risk level 0–7.
+    pub transmission_scores: [u8; 8],
+    /// Exposures scoring below this value are reported as zero.
+    pub minimum_risk_score: u16,
+    /// Attenuation bucket edges `[low, high]` in dB for the dual-threshold
+    /// duration accounting (CWA used 55 dB / 63 dB).
+    pub attenuation_duration_thresholds: [u8; 2],
+}
+
+impl Default for ExposureConfiguration {
+    /// A CWA-like configuration: risk dominated by proximity (attenuation)
+    /// and duration, with recency taken into account.
+    fn default() -> Self {
+        ExposureConfiguration {
+            attenuation_scores: [0, 1, 2, 4, 6, 8, 8, 8],
+            days_scores: [1, 1, 2, 3, 4, 5, 7, 8],
+            duration_scores: [0, 1, 2, 4, 5, 6, 7, 8],
+            transmission_scores: [0, 1, 2, 3, 5, 6, 7, 8],
+            minimum_risk_score: 11,
+            attenuation_duration_thresholds: [55, 63],
+        }
+    }
+}
+
+impl ExposureConfiguration {
+    /// Buckets a BLE signal attenuation (dB) into index 0–7.
+    ///
+    /// Attenuation = TX power − RSSI; *lower* attenuation means *closer*
+    /// contact, hence a higher bucket index / score.
+    pub fn attenuation_bucket(attenuation_db: u8) -> usize {
+        match attenuation_db {
+            74..=u8::MAX => 0,
+            64..=73 => 1,
+            52..=63 => 2,
+            34..=51 => 3,
+            28..=33 => 4,
+            16..=27 => 5,
+            11..=15 => 6,
+            0..=10 => 7,
+        }
+    }
+
+    /// Buckets days-since-exposure into index 0–7 (more recent ⇒ higher).
+    pub fn days_bucket(days: i64) -> usize {
+        match days {
+            d if d >= 14 => 0,
+            12..=13 => 1,
+            10..=11 => 2,
+            8..=9 => 3,
+            6..=7 => 4,
+            4..=5 => 5,
+            2..=3 => 6,
+            _ => 7, // 0–1 days (and defensive: negatives treated as most recent)
+        }
+    }
+
+    /// Buckets an exposure duration in minutes into index 0–7.
+    pub fn duration_bucket(minutes: u32) -> usize {
+        match minutes {
+            0 => 0,
+            1..=5 => 1,
+            6..=10 => 2,
+            11..=15 => 3,
+            16..=20 => 4,
+            21..=25 => 5,
+            26..=30 => 6,
+            _ => 7,
+        }
+    }
+
+    /// Computes the total risk score for one exposure.
+    ///
+    /// Returns `RiskScore(0)` when below `minimum_risk_score`.
+    pub fn score(
+        &self,
+        attenuation_db: u8,
+        days_since_exposure: i64,
+        duration_minutes: u32,
+        transmission_risk_level: u8,
+    ) -> RiskScore {
+        let a = u16::from(self.attenuation_scores[Self::attenuation_bucket(attenuation_db)]);
+        let d = u16::from(self.days_scores[Self::days_bucket(days_since_exposure)]);
+        let t = u16::from(self.duration_scores[Self::duration_bucket(duration_minutes)]);
+        let r = u16::from(self.transmission_scores[usize::from(transmission_risk_level.min(7))]);
+        let total = a * d * t * r;
+        if total < self.minimum_risk_score {
+            RiskScore(0)
+        } else {
+            RiskScore(total)
+        }
+    }
+
+    /// Splits a total exposure duration (minutes) into the three
+    /// attenuation-threshold buckets `[below_low, between, above_high]`
+    /// used by CWA's risk calculation, given a representative attenuation.
+    pub fn attenuation_durations(&self, attenuation_db: u8, duration_minutes: u32) -> [u32; 3] {
+        let [low, high] = self.attenuation_duration_thresholds;
+        if attenuation_db < low {
+            [duration_minutes, 0, 0]
+        } else if attenuation_db < high {
+            [0, duration_minutes, 0]
+        } else {
+            [0, 0, duration_minutes]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_attenuation() {
+        assert_eq!(ExposureConfiguration::attenuation_bucket(255), 0);
+        assert_eq!(ExposureConfiguration::attenuation_bucket(74), 0);
+        assert_eq!(ExposureConfiguration::attenuation_bucket(73), 1);
+        assert_eq!(ExposureConfiguration::attenuation_bucket(64), 1);
+        assert_eq!(ExposureConfiguration::attenuation_bucket(63), 2);
+        assert_eq!(ExposureConfiguration::attenuation_bucket(52), 2);
+        assert_eq!(ExposureConfiguration::attenuation_bucket(51), 3);
+        assert_eq!(ExposureConfiguration::attenuation_bucket(34), 3);
+        assert_eq!(ExposureConfiguration::attenuation_bucket(33), 4);
+        assert_eq!(ExposureConfiguration::attenuation_bucket(28), 4);
+        assert_eq!(ExposureConfiguration::attenuation_bucket(27), 5);
+        assert_eq!(ExposureConfiguration::attenuation_bucket(16), 5);
+        assert_eq!(ExposureConfiguration::attenuation_bucket(15), 6);
+        assert_eq!(ExposureConfiguration::attenuation_bucket(11), 6);
+        assert_eq!(ExposureConfiguration::attenuation_bucket(10), 7);
+        assert_eq!(ExposureConfiguration::attenuation_bucket(0), 7);
+    }
+
+    #[test]
+    fn bucket_edges_days() {
+        assert_eq!(ExposureConfiguration::days_bucket(20), 0);
+        assert_eq!(ExposureConfiguration::days_bucket(14), 0);
+        assert_eq!(ExposureConfiguration::days_bucket(13), 1);
+        assert_eq!(ExposureConfiguration::days_bucket(10), 2);
+        assert_eq!(ExposureConfiguration::days_bucket(9), 3);
+        assert_eq!(ExposureConfiguration::days_bucket(7), 4);
+        assert_eq!(ExposureConfiguration::days_bucket(4), 5);
+        assert_eq!(ExposureConfiguration::days_bucket(2), 6);
+        assert_eq!(ExposureConfiguration::days_bucket(0), 7);
+        assert_eq!(ExposureConfiguration::days_bucket(-1), 7);
+    }
+
+    #[test]
+    fn bucket_edges_duration() {
+        assert_eq!(ExposureConfiguration::duration_bucket(0), 0);
+        assert_eq!(ExposureConfiguration::duration_bucket(5), 1);
+        assert_eq!(ExposureConfiguration::duration_bucket(6), 2);
+        assert_eq!(ExposureConfiguration::duration_bucket(30), 6);
+        assert_eq!(ExposureConfiguration::duration_bucket(31), 7);
+        assert_eq!(ExposureConfiguration::duration_bucket(10_000), 7);
+    }
+
+    #[test]
+    fn close_long_recent_contact_scores_high() {
+        let cfg = ExposureConfiguration::default();
+        let close = cfg.score(20, 2, 30, 6);
+        let far = cfg.score(80, 2, 30, 6);
+        assert!(close > far);
+        assert!(close.0 >= 1000, "close contact should score high: {close:?}");
+        assert_eq!(far, RiskScore(0), "attenuation bucket 0 scores 0");
+    }
+
+    #[test]
+    fn minimum_threshold_suppresses() {
+        let mut cfg = ExposureConfiguration::default();
+        cfg.minimum_risk_score = 5000; // above the 4096 max
+        assert_eq!(cfg.score(20, 1, 30, 7), RiskScore(0));
+    }
+
+    #[test]
+    fn score_is_monotone_in_duration() {
+        let cfg = ExposureConfiguration::default();
+        let mut prev = RiskScore(0);
+        for minutes in [1u32, 6, 11, 16, 21, 26, 31] {
+            let s = cfg.score(20, 1, minutes, 5);
+            assert!(s >= prev, "duration {minutes}: {s:?} < {prev:?}");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn max_score_is_4096() {
+        let cfg = ExposureConfiguration {
+            attenuation_scores: [8; 8],
+            days_scores: [8; 8],
+            duration_scores: [8; 8],
+            transmission_scores: [8; 8],
+            minimum_risk_score: 0,
+            attenuation_duration_thresholds: [55, 63],
+        };
+        assert_eq!(cfg.score(0, 0, 31, 7), RiskScore::MAX);
+    }
+
+    #[test]
+    fn attenuation_durations_pick_one_bucket() {
+        let cfg = ExposureConfiguration::default();
+        assert_eq!(cfg.attenuation_durations(40, 25), [25, 0, 0]);
+        assert_eq!(cfg.attenuation_durations(58, 25), [0, 25, 0]);
+        assert_eq!(cfg.attenuation_durations(70, 25), [0, 0, 25]);
+        // Sum is always the input duration.
+        for att in [0u8, 54, 55, 62, 63, 90] {
+            let d = cfg.attenuation_durations(att, 17);
+            assert_eq!(d.iter().sum::<u32>(), 17);
+        }
+    }
+
+    #[test]
+    fn transmission_level_clamped() {
+        let cfg = ExposureConfiguration::default();
+        assert_eq!(cfg.score(20, 1, 30, 7), cfg.score(20, 1, 30, 255));
+    }
+}

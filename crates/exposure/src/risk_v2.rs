@@ -1,0 +1,326 @@
+//! Exposure risk scoring, v2 semantics ("Exposure Windows").
+//!
+//! The paper observes the app in June 2020, when it used the v1
+//! API ([`crate::risk`]). In late 2020 the CWA migrated to the
+//! Exposure Notification Framework v2, which replaces the opaque
+//! 0–4096 score with **weighted exposure minutes** computed from
+//! per-scan attenuation data:
+//!
+//! * BLE scans are grouped into ≤ 30-minute **exposure windows** per
+//!   matched key;
+//! * each scan instance contributes its duration, weighted by which
+//!   attenuation bucket its typical attenuation falls into (CWA used
+//!   thresholds 55 / 63 / 73 dB with weights 100 % / 100 % / 49.5 % /
+//!   0 %);
+//! * the sum is further weighted by the diagnosed person's
+//!   **infectiousness** (days since symptom onset) and **report type**;
+//! * a day whose total weighted minutes exceed a threshold turns the
+//!   app's risk tile red (increased risk).
+//!
+//! Implemented here as the "future work / extension" feature of the
+//! reproduction; the ablation benches compare v1 and v2 verdicts on the
+//! same contact patterns.
+
+use serde::{Deserialize, Serialize};
+
+/// Infectiousness of the diagnosed person during the window's day.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Infectiousness {
+    /// No transmission risk (outside the infectious period).
+    None,
+    /// Standard infectiousness.
+    Standard,
+    /// High infectiousness (around symptom onset).
+    High,
+}
+
+impl Infectiousness {
+    /// CWA-style mapping from days since symptom onset.
+    pub fn from_days_since_onset(days: i32) -> Self {
+        match days {
+            -2..=3 => Infectiousness::High,
+            -4..=8 => Infectiousness::Standard,
+            _ => Infectiousness::None,
+        }
+    }
+}
+
+/// How the diagnosis was verified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReportType {
+    /// Lab-confirmed positive test.
+    ConfirmedTest,
+    /// Clinical diagnosis without test confirmation.
+    ConfirmedClinicalDiagnosis,
+    /// Self-reported.
+    SelfReport,
+}
+
+/// One BLE scan instance within an exposure window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScanInstance {
+    /// Typical (median) attenuation during the scan, dB.
+    pub typical_attenuation_db: u8,
+    /// Seconds attributed to this scan.
+    pub seconds_since_last_scan: u32,
+}
+
+/// A ≤ 30-minute exposure window against one diagnosis key.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExposureWindow {
+    /// Study day the window occurred on.
+    pub day: u32,
+    /// The diagnosed contact's infectiousness that day.
+    pub infectiousness: Infectiousness,
+    /// Verification pathway of the diagnosis.
+    pub report_type: ReportType,
+    /// The scans.
+    pub scan_instances: Vec<ScanInstance>,
+}
+
+/// v2 risk configuration (defaults mirror CWA's production parameters).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RiskConfigV2 {
+    /// Attenuation bucket edges in dB: `[immediate, near, medium]`;
+    /// anything above the last edge is "other".
+    pub attenuation_thresholds_db: [u8; 3],
+    /// Weight per bucket `[immediate, near, medium, other]`.
+    pub attenuation_weights: [f64; 4],
+    /// Weight for [`Infectiousness::Standard`] (High is 1.0).
+    pub standard_infectiousness_weight: f64,
+    /// Weight per report type `[confirmed, clinical, self]`.
+    pub report_type_weights: [f64; 3],
+    /// Weighted minutes per day at/above which the day counts as
+    /// *increased risk* (red tile).
+    pub high_risk_minutes_per_day: f64,
+    /// Weighted minutes per day at/above which the day counts as *low
+    /// risk* (green tile with encounters).
+    pub low_risk_minutes_per_day: f64,
+}
+
+impl Default for RiskConfigV2 {
+    fn default() -> Self {
+        RiskConfigV2 {
+            attenuation_thresholds_db: [55, 63, 73],
+            attenuation_weights: [1.0, 1.0, 0.495, 0.0],
+            standard_infectiousness_weight: 1.0,
+            report_type_weights: [1.0, 1.0, 0.6],
+            high_risk_minutes_per_day: 15.0,
+            low_risk_minutes_per_day: 5.0,
+        }
+    }
+}
+
+/// The per-day verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RiskLevelV2 {
+    /// No relevant exposure.
+    NoRisk,
+    /// Encounters happened but below the high-risk threshold.
+    LowRisk,
+    /// The red tile: increased risk.
+    HighRisk,
+}
+
+/// A day's aggregated result.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DayRisk {
+    /// Study day.
+    pub day: u32,
+    /// Total weighted exposure minutes.
+    pub weighted_minutes: f64,
+    /// Verdict.
+    pub level: RiskLevelV2,
+}
+
+impl RiskConfigV2 {
+    /// Bucket index (0–3) for a typical attenuation.
+    pub fn bucket(&self, attenuation_db: u8) -> usize {
+        let [a, b, c] = self.attenuation_thresholds_db;
+        if attenuation_db <= a {
+            0
+        } else if attenuation_db <= b {
+            1
+        } else if attenuation_db <= c {
+            2
+        } else {
+            3
+        }
+    }
+
+    /// Weighted minutes contributed by one window.
+    pub fn window_minutes(&self, window: &ExposureWindow) -> f64 {
+        let infect = match window.infectiousness {
+            Infectiousness::None => return 0.0,
+            Infectiousness::Standard => self.standard_infectiousness_weight,
+            Infectiousness::High => 1.0,
+        };
+        let report = match window.report_type {
+            ReportType::ConfirmedTest => self.report_type_weights[0],
+            ReportType::ConfirmedClinicalDiagnosis => self.report_type_weights[1],
+            ReportType::SelfReport => self.report_type_weights[2],
+        };
+        let seconds: f64 = window
+            .scan_instances
+            .iter()
+            .map(|s| {
+                self.attenuation_weights[self.bucket(s.typical_attenuation_db)]
+                    * f64::from(s.seconds_since_last_scan)
+            })
+            .sum();
+        seconds / 60.0 * infect * report
+    }
+
+    /// Aggregates windows into per-day risk verdicts (sorted by day).
+    pub fn evaluate(&self, windows: &[ExposureWindow]) -> Vec<DayRisk> {
+        let mut by_day: std::collections::BTreeMap<u32, f64> = std::collections::BTreeMap::new();
+        for w in windows {
+            *by_day.entry(w.day).or_insert(0.0) += self.window_minutes(w);
+        }
+        by_day
+            .into_iter()
+            .map(|(day, weighted_minutes)| {
+                let level = if weighted_minutes >= self.high_risk_minutes_per_day {
+                    RiskLevelV2::HighRisk
+                } else if weighted_minutes >= self.low_risk_minutes_per_day {
+                    RiskLevelV2::LowRisk
+                } else {
+                    RiskLevelV2::NoRisk
+                };
+                DayRisk { day, weighted_minutes, level }
+            })
+            .collect()
+    }
+
+    /// The overall verdict: the worst day.
+    pub fn overall(&self, windows: &[ExposureWindow]) -> RiskLevelV2 {
+        self.evaluate(windows)
+            .into_iter()
+            .map(|d| d.level)
+            .max_by_key(|l| match l {
+                RiskLevelV2::NoRisk => 0,
+                RiskLevelV2::LowRisk => 1,
+                RiskLevelV2::HighRisk => 2,
+            })
+            .unwrap_or(RiskLevelV2::NoRisk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(day: u32, attenuation: u8, minutes: u32) -> ExposureWindow {
+        ExposureWindow {
+            day,
+            infectiousness: Infectiousness::High,
+            report_type: ReportType::ConfirmedTest,
+            scan_instances: vec![ScanInstance {
+                typical_attenuation_db: attenuation,
+                seconds_since_last_scan: minutes * 60,
+            }],
+        }
+    }
+
+    #[test]
+    fn bucket_edges() {
+        let cfg = RiskConfigV2::default();
+        assert_eq!(cfg.bucket(0), 0);
+        assert_eq!(cfg.bucket(55), 0);
+        assert_eq!(cfg.bucket(56), 1);
+        assert_eq!(cfg.bucket(63), 1);
+        assert_eq!(cfg.bucket(64), 2);
+        assert_eq!(cfg.bucket(73), 2);
+        assert_eq!(cfg.bucket(74), 3);
+        assert_eq!(cfg.bucket(255), 3);
+    }
+
+    #[test]
+    fn close_long_contact_is_high_risk() {
+        let cfg = RiskConfigV2::default();
+        let days = cfg.evaluate(&[window(3, 40, 20)]);
+        assert_eq!(days.len(), 1);
+        assert!((days[0].weighted_minutes - 20.0).abs() < 1e-9);
+        assert_eq!(days[0].level, RiskLevelV2::HighRisk);
+    }
+
+    #[test]
+    fn medium_distance_discounted() {
+        let cfg = RiskConfigV2::default();
+        // 20 minutes at 70 dB: weight 0.495 → 9.9 weighted minutes.
+        let days = cfg.evaluate(&[window(3, 70, 20)]);
+        assert!((days[0].weighted_minutes - 9.9).abs() < 1e-9);
+        assert_eq!(days[0].level, RiskLevelV2::LowRisk);
+    }
+
+    #[test]
+    fn far_contact_is_no_risk() {
+        let cfg = RiskConfigV2::default();
+        let days = cfg.evaluate(&[window(3, 80, 60)]);
+        assert_eq!(days[0].weighted_minutes, 0.0);
+        assert_eq!(days[0].level, RiskLevelV2::NoRisk);
+    }
+
+    #[test]
+    fn minutes_accumulate_across_windows_same_day() {
+        let cfg = RiskConfigV2::default();
+        // Two 8-minute close windows on the same day: 16 > 15 → high.
+        let days = cfg.evaluate(&[window(3, 40, 8), window(3, 40, 8)]);
+        assert_eq!(days[0].level, RiskLevelV2::HighRisk);
+        // Spread over two days: each 8 < 15 → low.
+        let days = cfg.evaluate(&[window(3, 40, 8), window(4, 40, 8)]);
+        assert!(days.iter().all(|d| d.level == RiskLevelV2::LowRisk));
+    }
+
+    #[test]
+    fn infectiousness_gates_everything() {
+        let cfg = RiskConfigV2::default();
+        let mut w = window(3, 40, 30);
+        w.infectiousness = Infectiousness::None;
+        assert_eq!(cfg.window_minutes(&w), 0.0);
+    }
+
+    #[test]
+    fn infectiousness_mapping() {
+        assert_eq!(Infectiousness::from_days_since_onset(0), Infectiousness::High);
+        assert_eq!(Infectiousness::from_days_since_onset(3), Infectiousness::High);
+        assert_eq!(Infectiousness::from_days_since_onset(5), Infectiousness::Standard);
+        assert_eq!(Infectiousness::from_days_since_onset(-3), Infectiousness::Standard);
+        assert_eq!(Infectiousness::from_days_since_onset(12), Infectiousness::None);
+        assert_eq!(Infectiousness::from_days_since_onset(-10), Infectiousness::None);
+    }
+
+    #[test]
+    fn self_report_discounted() {
+        let cfg = RiskConfigV2::default();
+        let confirmed = window(3, 40, 20);
+        let mut selfrep = confirmed.clone();
+        selfrep.report_type = ReportType::SelfReport;
+        assert!(cfg.window_minutes(&selfrep) < cfg.window_minutes(&confirmed));
+    }
+
+    #[test]
+    fn overall_takes_worst_day() {
+        let cfg = RiskConfigV2::default();
+        let windows = vec![window(1, 80, 60), window(2, 40, 6), window(3, 40, 30)];
+        assert_eq!(cfg.overall(&windows), RiskLevelV2::HighRisk);
+        assert_eq!(cfg.overall(&[]), RiskLevelV2::NoRisk);
+    }
+
+    #[test]
+    fn mixed_scan_instances_within_window() {
+        let cfg = RiskConfigV2::default();
+        let w = ExposureWindow {
+            day: 1,
+            infectiousness: Infectiousness::High,
+            report_type: ReportType::ConfirmedTest,
+            scan_instances: vec![
+                ScanInstance { typical_attenuation_db: 50, seconds_since_last_scan: 300 },
+                ScanInstance { typical_attenuation_db: 70, seconds_since_last_scan: 300 },
+                ScanInstance { typical_attenuation_db: 90, seconds_since_last_scan: 300 },
+            ],
+        };
+        // 5 + 5*0.495 + 0 = 7.475 minutes.
+        assert!((cfg.window_minutes(&w) - 7.475).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,336 @@
+//! The health-authority verification flow (the "verified by health
+//! authorities" arrow in Figure 1 of the paper).
+//!
+//! The real CWA never lets a phone publish diagnosis keys directly: the
+//! upload must carry a TAN minted by the **verification server**, which
+//! in turn requires proof of a positive test. In June 2020 that proof
+//! was, in practice, a **teleTAN** issued over a hotline (the lab-QR
+//! flow came later) — whose limited throughput is exactly why the first
+//! diagnosis keys only appeared on the CDN on June 23 (§1).
+//!
+//! State machine per case:
+//!
+//! ```text
+//! teleTAN  ──register──▶  RegistrationToken  ──request──▶  UploadTan
+//!  (one-shot, 1 h TTL)     (14 d TTL)                      (one-shot, 1 h TTL)
+//! ```
+//!
+//! The server stores only salted hashes of secrets, enforces TTLs and
+//! single-use semantics, and rate-limits teleTAN minting (the hotline
+//! capacity) — the knob the upload pipeline's verification ramp models
+//! at population scale.
+
+use std::collections::HashMap;
+
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use cwa_crypto::sha256;
+
+/// Seconds a teleTAN stays redeemable.
+pub const TELETAN_TTL_S: u64 = 3600;
+/// Seconds a registration token stays valid.
+pub const REGISTRATION_TOKEN_TTL_S: u64 = 14 * 86_400;
+/// Seconds an upload TAN stays redeemable.
+pub const UPLOAD_TAN_TTL_S: u64 = 3600;
+
+/// A human-transcribable teleTAN (10 chars, hotline-issued).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TeleTan(pub String);
+
+/// An opaque registration token held by the app.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RegistrationToken(pub [u8; 16]);
+
+/// The one-shot TAN authorizing a key upload.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct UploadTan(pub [u8; 16]);
+
+/// Verification-flow errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerificationError {
+    /// The teleTAN is unknown, already used, or expired.
+    InvalidTeleTan,
+    /// The registration token is unknown or expired.
+    InvalidRegistrationToken,
+    /// The upload TAN is unknown, already used, or expired.
+    InvalidUploadTan,
+    /// Hotline capacity for this time window is exhausted.
+    RateLimited,
+}
+
+impl std::fmt::Display for VerificationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerificationError::InvalidTeleTan => write!(f, "invalid or expired teleTAN"),
+            VerificationError::InvalidRegistrationToken => {
+                write!(f, "invalid or expired registration token")
+            }
+            VerificationError::InvalidUploadTan => write!(f, "invalid or expired upload TAN"),
+            VerificationError::RateLimited => write!(f, "hotline capacity exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for VerificationError {}
+
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    issued_at: u64,
+    used: bool,
+}
+
+/// The verification server.
+pub struct VerificationServer {
+    /// Salt mixed into every stored hash.
+    salt: [u8; 16],
+    teletans: HashMap<[u8; 32], Pending>,
+    registration_tokens: HashMap<[u8; 32], Pending>,
+    upload_tans: HashMap<[u8; 32], Pending>,
+    /// Hotline capacity: teleTANs per day.
+    pub teletans_per_day: u32,
+    minted_today: (u64, u32),
+}
+
+impl VerificationServer {
+    /// Creates a server with the given hotline capacity.
+    pub fn new<R: RngCore>(rng: &mut R, teletans_per_day: u32) -> Self {
+        let mut salt = [0u8; 16];
+        rng.fill_bytes(&mut salt);
+        VerificationServer {
+            salt,
+            teletans: HashMap::new(),
+            registration_tokens: HashMap::new(),
+            upload_tans: HashMap::new(),
+            teletans_per_day,
+            minted_today: (0, 0),
+        }
+    }
+
+    fn hash(&self, data: &[u8]) -> [u8; 32] {
+        let mut buf = Vec::with_capacity(16 + data.len());
+        buf.extend_from_slice(&self.salt);
+        buf.extend_from_slice(data);
+        sha256(&buf)
+    }
+
+    /// Hotline staff mint a teleTAN for a verified positive case.
+    pub fn mint_teletan<R: RngCore>(
+        &mut self,
+        rng: &mut R,
+        now: u64,
+    ) -> Result<TeleTan, VerificationError> {
+        let day = now / 86_400;
+        if self.minted_today.0 != day {
+            self.minted_today = (day, 0);
+        }
+        if self.minted_today.1 >= self.teletans_per_day {
+            return Err(VerificationError::RateLimited);
+        }
+        self.minted_today.1 += 1;
+
+        // 10 chars from an unambiguous alphabet (no 0/O, 1/I…).
+        const ALPHABET: &[u8] = b"23456789ABCDEFGHJKMNPQRSTUVWXYZ";
+        let tan: String = (0..10)
+            .map(|_| ALPHABET[(rng.next_u32() as usize) % ALPHABET.len()] as char)
+            .collect();
+        let key = self.hash(tan.as_bytes());
+        self.teletans.insert(key, Pending { issued_at: now, used: false });
+        Ok(TeleTan(tan))
+    }
+
+    /// The app redeems a teleTAN for a registration token.
+    pub fn register<R: RngCore>(
+        &mut self,
+        rng: &mut R,
+        teletan: &TeleTan,
+        now: u64,
+    ) -> Result<RegistrationToken, VerificationError> {
+        let key = self.hash(teletan.0.as_bytes());
+        let entry = self.teletans.get_mut(&key).ok_or(VerificationError::InvalidTeleTan)?;
+        if entry.used || now.saturating_sub(entry.issued_at) > TELETAN_TTL_S {
+            return Err(VerificationError::InvalidTeleTan);
+        }
+        entry.used = true;
+
+        let mut token = [0u8; 16];
+        rng.fill_bytes(&mut token);
+        let token_key = self.hash(&token);
+        self.registration_tokens.insert(token_key, Pending { issued_at: now, used: false });
+        Ok(RegistrationToken(token))
+    }
+
+    /// The app exchanges its registration token for the upload TAN.
+    pub fn request_upload_tan<R: RngCore>(
+        &mut self,
+        rng: &mut R,
+        token: &RegistrationToken,
+        now: u64,
+    ) -> Result<UploadTan, VerificationError> {
+        let key = self.hash(&token.0);
+        let entry = self
+            .registration_tokens
+            .get_mut(&key)
+            .ok_or(VerificationError::InvalidRegistrationToken)?;
+        if entry.used || now.saturating_sub(entry.issued_at) > REGISTRATION_TOKEN_TTL_S {
+            return Err(VerificationError::InvalidRegistrationToken);
+        }
+        entry.used = true;
+
+        let mut tan = [0u8; 16];
+        rng.fill_bytes(&mut tan);
+        let tan_key = self.hash(&tan);
+        self.upload_tans.insert(tan_key, Pending { issued_at: now, used: false });
+        Ok(UploadTan(tan))
+    }
+
+    /// The submission service validates (and consumes) an upload TAN.
+    pub fn redeem_upload_tan(
+        &mut self,
+        tan: &UploadTan,
+        now: u64,
+    ) -> Result<(), VerificationError> {
+        let key = self.hash(&tan.0);
+        let entry =
+            self.upload_tans.get_mut(&key).ok_or(VerificationError::InvalidUploadTan)?;
+        if entry.used || now.saturating_sub(entry.issued_at) > UPLOAD_TAN_TTL_S {
+            return Err(VerificationError::InvalidUploadTan);
+        }
+        entry.used = true;
+        Ok(())
+    }
+
+    /// teleTANs minted in the current day window.
+    pub fn minted_today(&self, now: u64) -> u32 {
+        if self.minted_today.0 == now / 86_400 {
+            self.minted_today.1
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn server(capacity: u32) -> (VerificationServer, ChaCha8Rng) {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let server = VerificationServer::new(&mut rng, capacity);
+        (server, rng)
+    }
+
+    #[test]
+    fn happy_path() {
+        let (mut s, mut rng) = server(100);
+        let tele = s.mint_teletan(&mut rng, 1000).unwrap();
+        assert_eq!(tele.0.len(), 10);
+        let token = s.register(&mut rng, &tele, 1200).unwrap();
+        let tan = s.request_upload_tan(&mut rng, &token, 1400).unwrap();
+        assert_eq!(s.redeem_upload_tan(&tan, 1500), Ok(()));
+    }
+
+    #[test]
+    fn teletan_single_use() {
+        let (mut s, mut rng) = server(100);
+        let tele = s.mint_teletan(&mut rng, 0).unwrap();
+        s.register(&mut rng, &tele, 10).unwrap();
+        assert_eq!(
+            s.register(&mut rng, &tele, 20),
+            Err(VerificationError::InvalidTeleTan)
+        );
+    }
+
+    #[test]
+    fn teletan_expires() {
+        let (mut s, mut rng) = server(100);
+        let tele = s.mint_teletan(&mut rng, 0).unwrap();
+        assert_eq!(
+            s.register(&mut rng, &tele, TELETAN_TTL_S + 1),
+            Err(VerificationError::InvalidTeleTan)
+        );
+    }
+
+    #[test]
+    fn upload_tan_single_use_and_expiring() {
+        let (mut s, mut rng) = server(100);
+        let tele = s.mint_teletan(&mut rng, 0).unwrap();
+        let token = s.register(&mut rng, &tele, 1).unwrap();
+        let tan = s.request_upload_tan(&mut rng, &token, 2).unwrap();
+        assert_eq!(s.redeem_upload_tan(&tan, 3), Ok(()));
+        assert_eq!(s.redeem_upload_tan(&tan, 4), Err(VerificationError::InvalidUploadTan));
+
+        let tele2 = s.mint_teletan(&mut rng, 10).unwrap();
+        let token2 = s.register(&mut rng, &tele2, 11).unwrap();
+        let tan2 = s.request_upload_tan(&mut rng, &token2, 12).unwrap();
+        assert_eq!(
+            s.redeem_upload_tan(&tan2, 12 + UPLOAD_TAN_TTL_S + 1),
+            Err(VerificationError::InvalidUploadTan)
+        );
+    }
+
+    #[test]
+    fn registration_token_single_use() {
+        let (mut s, mut rng) = server(100);
+        let tele = s.mint_teletan(&mut rng, 0).unwrap();
+        let token = s.register(&mut rng, &tele, 1).unwrap();
+        s.request_upload_tan(&mut rng, &token, 2).unwrap();
+        assert_eq!(
+            s.request_upload_tan(&mut rng, &token, 3),
+            Err(VerificationError::InvalidRegistrationToken)
+        );
+    }
+
+    #[test]
+    fn forged_credentials_rejected() {
+        let (mut s, mut rng) = server(100);
+        assert_eq!(
+            s.register(&mut rng, &TeleTan("AAAAAAAAAA".into()), 0),
+            Err(VerificationError::InvalidTeleTan)
+        );
+        assert_eq!(
+            s.request_upload_tan(&mut rng, &RegistrationToken([7; 16]), 0),
+            Err(VerificationError::InvalidRegistrationToken)
+        );
+        assert_eq!(
+            s.redeem_upload_tan(&UploadTan([7; 16]), 0),
+            Err(VerificationError::InvalidUploadTan)
+        );
+    }
+
+    #[test]
+    fn hotline_rate_limit_resets_daily() {
+        let (mut s, mut rng) = server(2);
+        assert!(s.mint_teletan(&mut rng, 0).is_ok());
+        assert!(s.mint_teletan(&mut rng, 100).is_ok());
+        assert_eq!(s.mint_teletan(&mut rng, 200), Err(VerificationError::RateLimited));
+        assert_eq!(s.minted_today(200), 2);
+        // Next day the quota resets.
+        assert!(s.mint_teletan(&mut rng, 86_400 + 1).is_ok());
+        assert_eq!(s.minted_today(86_400 + 1), 1);
+    }
+
+    #[test]
+    fn teletan_alphabet_unambiguous() {
+        let (mut s, mut rng) = server(1000);
+        for i in 0..50u64 {
+            let tele = s.mint_teletan(&mut rng, i).unwrap();
+            for c in tele.0.chars() {
+                assert!(!"01OIL".contains(c), "ambiguous char {c} in {tele:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn secrets_stored_hashed() {
+        // White-box: the server's maps must not contain the raw TAN bytes.
+        let (mut s, mut rng) = server(10);
+        let tele = s.mint_teletan(&mut rng, 0).unwrap();
+        let raw = tele.0.as_bytes();
+        for key in s.teletans.keys() {
+            assert_ne!(&key[..raw.len().min(32)], &raw[..raw.len().min(32)]);
+        }
+    }
+}

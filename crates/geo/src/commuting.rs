@@ -1,0 +1,206 @@
+//! Inter-district mobility: a gravity commuting model.
+//!
+//! Epidemics do not respect district borders — the real Gütersloh
+//! outbreak seeded neighbouring Warendorf through meat-plant commuters.
+//! This module provides the standard gravity formulation
+//!
+//! ```text
+//! w(i→j) ∝ pop_i · pop_j / distance(i,j)^γ        (i ≠ j)
+//! ```
+//!
+//! normalized per origin so that a configurable fraction of each
+//! district's contacts happen *outside* the home district. The epidemic
+//! model uses the resulting mixing matrix to couple district-level SEIR
+//! compartments.
+
+use serde::{Deserialize, Serialize};
+
+use crate::district::DistrictId;
+use crate::germany::Germany;
+
+/// Gravity-model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CommutingConfig {
+    /// Distance-decay exponent γ (empirically ≈ 1.5–2.5 for commuting).
+    pub gamma: f64,
+    /// Fraction of a resident's contacts outside the home district.
+    pub out_of_district_fraction: f64,
+    /// Hard cut-off: no meaningful commuting beyond this distance, km.
+    pub max_distance_km: f64,
+    /// Keep only the strongest `top_k` destinations per origin (sparsity;
+    /// the true commuting matrix is extremely sparse).
+    pub top_k: usize,
+}
+
+impl Default for CommutingConfig {
+    fn default() -> Self {
+        CommutingConfig {
+            gamma: 2.0,
+            out_of_district_fraction: 0.18,
+            max_distance_km: 120.0,
+            top_k: 12,
+        }
+    }
+}
+
+/// The sparse per-origin mixing rows.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CommutingMatrix {
+    /// `rows[i]` = list of `(destination, weight)`; weights of a row sum
+    /// to `out_of_district_fraction`; the remaining mass stays home.
+    rows: Vec<Vec<(DistrictId, f64)>>,
+    /// Fraction of contacts kept in the home district.
+    pub home_fraction: f64,
+}
+
+impl CommutingMatrix {
+    /// Builds the matrix for a country model.
+    pub fn build(germany: &Germany, config: CommutingConfig) -> Self {
+        let n = germany.len();
+        let mut rows = Vec::with_capacity(n);
+        for i in 0..n {
+            let di = &germany.districts()[i];
+            let mut weights: Vec<(DistrictId, f64)> = Vec::new();
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let dj = &germany.districts()[j];
+                let dist = germany.distance_km(di.id, dj.id).max(5.0);
+                if dist > config.max_distance_km {
+                    continue;
+                }
+                let w = f64::from(di.population) * f64::from(dj.population)
+                    / dist.powf(config.gamma);
+                weights.push((dj.id, w));
+            }
+            // Keep only the strongest destinations.
+            weights.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite weights"));
+            weights.truncate(config.top_k);
+            let total: f64 = weights.iter().map(|(_, w)| w).sum();
+            if total > 0.0 {
+                for (_, w) in weights.iter_mut() {
+                    *w *= config.out_of_district_fraction / total;
+                }
+            }
+            rows.push(weights);
+        }
+        CommutingMatrix { rows, home_fraction: 1.0 - config.out_of_district_fraction }
+    }
+
+    /// The out-of-district mixing row of a district.
+    pub fn row(&self, district: DistrictId) -> &[(DistrictId, f64)] {
+        &self.rows[usize::from(district.0)]
+    }
+
+    /// The effective force-of-infection seen by district `i`, given
+    /// per-district infectious *fractions*: a convex combination of home
+    /// prevalence and the prevalence where residents commute.
+    pub fn coupled_prevalence(&self, district: DistrictId, prevalence: &[f64]) -> f64 {
+        let own = prevalence[usize::from(district.0)] * self.home_fraction;
+        let away: f64 = self
+            .row(district)
+            .iter()
+            .map(|&(j, w)| prevalence[usize::from(j.0)] * w)
+            .sum();
+        own + away
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Germany, CommutingMatrix) {
+        let g = Germany::build();
+        let m = CommutingMatrix::build(&g, CommutingConfig::default());
+        (g, m)
+    }
+
+    #[test]
+    fn rows_normalized() {
+        let (g, m) = setup();
+        for d in g.districts() {
+            let sum: f64 = m.row(d.id).iter().map(|(_, w)| w).sum();
+            assert!(
+                sum <= 0.18 + 1e-9,
+                "{}: out-of-district mass {sum}",
+                d.name
+            );
+            // Districts with any neighbour in range carry the full mass.
+            if !m.row(d.id).is_empty() {
+                assert!((sum - 0.18).abs() < 1e-9, "{}: {sum}", d.name);
+            }
+        }
+        assert!((m.home_fraction - 0.82).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_self_loops_and_sparse() {
+        let (g, m) = setup();
+        for d in g.districts() {
+            assert!(m.row(d.id).iter().all(|&(j, _)| j != d.id));
+            assert!(m.row(d.id).len() <= 12);
+        }
+    }
+
+    #[test]
+    fn guetersloh_couples_to_warendorf() {
+        // The real-world seeding path the June-23 event followed.
+        let (g, m) = setup();
+        let gt = g.by_name("Gütersloh").unwrap().id;
+        let wa = g.by_name("Warendorf").unwrap().id;
+        assert!(
+            m.row(gt).iter().any(|&(j, _)| j == wa),
+            "Warendorf must be a top commuting destination of Gütersloh: {:?}",
+            m.row(gt)
+                .iter()
+                .map(|(j, w)| (g.district(*j).name.clone(), *w))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn nearby_beats_faraway() {
+        let (g, m) = setup();
+        let gt = g.by_name("Gütersloh").unwrap().id;
+        let munich = g.by_name("München").unwrap().id;
+        // München is ~480 km away: over the cut-off, never in the row.
+        assert!(m.row(gt).iter().all(|&(j, _)| j != munich));
+    }
+
+    #[test]
+    fn coupled_prevalence_mixes() {
+        let (g, m) = setup();
+        let gt = g.by_name("Gütersloh").unwrap().id;
+        let mut prevalence = vec![0.0; g.len()];
+        prevalence[usize::from(gt.0)] = 0.01;
+        // Own district: home fraction of its prevalence.
+        let own = m.coupled_prevalence(gt, &prevalence);
+        assert!((own - 0.0082).abs() < 1e-9, "{own}");
+        // A commuting neighbour sees a nonzero import.
+        let wa = g.by_name("Warendorf").unwrap().id;
+        let imported = m.coupled_prevalence(wa, &prevalence);
+        assert!(imported > 0.0, "Warendorf imports prevalence: {imported}");
+        assert!(imported < own);
+        // A far district sees none.
+        let munich = g.by_name("München").unwrap().id;
+        assert_eq!(m.coupled_prevalence(munich, &prevalence), 0.0);
+    }
+
+    #[test]
+    fn uniform_prevalence_is_preserved() {
+        // With prevalence p everywhere, coupling must return ≈ p
+        // (weights are a convex combination).
+        let (g, m) = setup();
+        let prevalence = vec![0.003; g.len()];
+        for d in g.districts().iter().step_by(37) {
+            let c = m.coupled_prevalence(d.id, &prevalence);
+            assert!(
+                c <= 0.003 + 1e-12 && c >= 0.003 * m.home_fraction - 1e-12,
+                "{}: {c}",
+                d.name
+            );
+        }
+    }
+}

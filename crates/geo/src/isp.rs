@@ -1,0 +1,323 @@
+//! The ISP market and IPv4 address plan.
+//!
+//! The paper's per-prefix analyses ("*customers of certain ISPs keep the
+//! same IP address over time*", §3) depend on ISP behaviour: classic DSL
+//! providers force a reconnect (new address) every 24 h, while cable and
+//! fiber ISPs hand out long-lived leases. We model a six-ISP market with
+//! 2020-plausible national shares and carve per-district routing
+//! prefixes out of each ISP's address space. One mid-size ISP,
+//! *RegioNet* (18 % share), plays the role of the paper's ground-truth
+//! ISP: the locations of its customer-facing routers are known exactly,
+//! matching "*we derive 18 % of geolocations from local routers within
+//! an ISP*".
+
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::district::DistrictId;
+use crate::germany::Germany;
+
+/// Stable ISP identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct IspId(pub u8);
+
+/// How an ISP assigns customer addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// Long-lived leases: a customer keeps the same address for weeks
+    /// (cable/fiber).
+    StaticLease,
+    /// Forced daily reconnect: a new address from the regional pool every
+    /// 24 h (classic German DSL).
+    Dynamic24h,
+}
+
+/// An internet service provider.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Isp {
+    /// Stable id (index into [`AddressPlan::isps`]).
+    pub id: IspId,
+    /// Display name (fictional, modelled on the real market structure).
+    pub name: String,
+    /// National market share (fraction of subscriptions).
+    pub market_share: f64,
+    /// Address-assignment behaviour.
+    pub access: AccessKind,
+    /// True for the ISP whose router locations the vantage point knows
+    /// exactly (the paper's 18 % ground-truth source).
+    pub ground_truth_routers: bool,
+    /// Base of this ISP's address space.
+    pub base: Ipv4Addr,
+}
+
+/// The canonical six-ISP market.
+fn market() -> Vec<Isp> {
+    let mk = |id: u8, name: &str, share: f64, access: AccessKind, gt: bool, base: [u8; 4]| Isp {
+        id: IspId(id),
+        name: name.to_owned(),
+        market_share: share,
+        access,
+        ground_truth_routers: gt,
+        base: Ipv4Addr::from(base),
+    };
+    vec![
+        mk(0, "TeleNord DSL", 0.38, AccessKind::Dynamic24h, false, [84, 0, 0, 0]),
+        mk(1, "KabelWest", 0.22, AccessKind::StaticLease, false, [86, 0, 0, 0]),
+        mk(2, "RegioNet", 0.18, AccessKind::StaticLease, true, [88, 0, 0, 0]),
+        mk(3, "FunkNetz Mobile", 0.12, AccessKind::Dynamic24h, false, [90, 0, 0, 0]),
+        mk(4, "EinsWeb DSL", 0.08, AccessKind::Dynamic24h, false, [92, 0, 0, 0]),
+        mk(5, "MiscNet", 0.02, AccessKind::StaticLease, false, [94, 0, 0, 0]),
+    ]
+}
+
+/// One routing prefix serving one district for one ISP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrefixAllocation {
+    /// Network address.
+    pub network: Ipv4Addr,
+    /// Prefix length.
+    pub len: u8,
+    /// Owning ISP.
+    pub isp: IspId,
+    /// District whose customers this prefix serves.
+    pub district: DistrictId,
+    /// Number of subscriber slots.
+    pub capacity: u32,
+}
+
+impl PrefixAllocation {
+    /// The `i`-th host address of the prefix (wraps within capacity).
+    pub fn host(&self, i: u32) -> Ipv4Addr {
+        let size = 1u32 << (32 - u32::from(self.len));
+        Ipv4Addr::from(u32::from(self.network) + (i % size.max(1)))
+    }
+
+    /// True if `addr` falls inside this prefix.
+    pub fn contains(&self, addr: Ipv4Addr) -> bool {
+        crate::geodb::mask(addr, self.len) == u32::from(self.network)
+    }
+}
+
+/// Address-plan tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AddressPlanConfig {
+    /// People per broadband subscription (household size).
+    pub persons_per_subscription: f64,
+    /// Subscriber slots per prefix.
+    pub prefix_capacity: u32,
+    /// Prefix length (must satisfy `2^(32-len) ≥ prefix_capacity`).
+    pub prefix_len: u8,
+}
+
+impl Default for AddressPlanConfig {
+    fn default() -> Self {
+        AddressPlanConfig {
+            persons_per_subscription: 2.0,
+            prefix_capacity: 1024,
+            prefix_len: 22,
+        }
+    }
+}
+
+/// The full national address plan.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AddressPlan {
+    /// The ISPs, indexable by `IspId`.
+    pub isps: Vec<Isp>,
+    /// All allocations, sorted by network address.
+    allocations: Vec<PrefixAllocation>,
+    /// Configuration used to build the plan.
+    pub config: AddressPlanConfig,
+}
+
+impl AddressPlan {
+    /// Builds the plan for the given country model.
+    pub fn build(germany: &Germany, config: AddressPlanConfig) -> Self {
+        let isps = market();
+        let mut allocations = Vec::new();
+
+        for isp in &isps {
+            let mut next = u32::from(isp.base);
+            let step = 1u32 << (32 - u32::from(config.prefix_len));
+            for district in germany.districts() {
+                let subscribers = (f64::from(district.population) * isp.market_share
+                    / config.persons_per_subscription)
+                    .round() as u32;
+                if subscribers == 0 {
+                    continue;
+                }
+                let n_prefixes = subscribers.div_ceil(config.prefix_capacity).max(1);
+                for p in 0..n_prefixes {
+                    let cap = if p + 1 == n_prefixes {
+                        subscribers - p * config.prefix_capacity
+                    } else {
+                        config.prefix_capacity
+                    };
+                    allocations.push(PrefixAllocation {
+                        network: Ipv4Addr::from(next),
+                        len: config.prefix_len,
+                        isp: isp.id,
+                        district: district.id,
+                        capacity: cap.max(1),
+                    });
+                    next = next.checked_add(step).expect("ISP address space exhausted");
+                }
+            }
+        }
+
+        allocations.sort_unstable_by_key(|a| u32::from(a.network));
+        AddressPlan { isps, allocations, config }
+    }
+
+    /// All allocations (sorted by network address).
+    pub fn allocations(&self) -> &[PrefixAllocation] {
+        &self.allocations
+    }
+
+    /// ISP lookup.
+    pub fn isp(&self, id: IspId) -> &Isp {
+        &self.isps[usize::from(id.0)]
+    }
+
+    /// Finds the allocation containing `addr` (binary search).
+    pub fn lookup(&self, addr: Ipv4Addr) -> Option<&PrefixAllocation> {
+        let needle = u32::from(addr);
+        let idx = self
+            .allocations
+            .partition_point(|a| u32::from(a.network) <= needle);
+        if idx == 0 {
+            return None;
+        }
+        let candidate = &self.allocations[idx - 1];
+        candidate.contains(addr).then_some(candidate)
+    }
+
+    /// All allocations serving a district.
+    pub fn for_district(&self, district: DistrictId) -> impl Iterator<Item = &PrefixAllocation> {
+        self.allocations.iter().filter(move |a| a.district == district)
+    }
+
+    /// Total subscribers across the plan.
+    pub fn total_subscribers(&self) -> u64 {
+        self.allocations.iter().map(|a| u64::from(a.capacity)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> (Germany, AddressPlan) {
+        let g = Germany::build();
+        let p = AddressPlan::build(&g, AddressPlanConfig::default());
+        (g, p)
+    }
+
+    #[test]
+    fn market_shares_sum_to_one() {
+        let total: f64 = market().iter().map(|i| i.market_share).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exactly_one_ground_truth_isp_with_18_percent() {
+        let gt: Vec<_> = market().into_iter().filter(|i| i.ground_truth_routers).collect();
+        assert_eq!(gt.len(), 1);
+        assert!((gt[0].market_share - 0.18).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plan_size_plausible() {
+        let (_, p) = plan();
+        let n = p.allocations().len();
+        // ~41.5M subscribers at ≤1024/prefix: ≥ 40k prefixes, plus
+        // per-district rounding overhead.
+        assert!((40_000..60_000).contains(&n), "{n} prefixes");
+    }
+
+    #[test]
+    fn subscriber_totals_match_population() {
+        let (g, p) = plan();
+        let expected = g.population() as f64 / 2.0;
+        let got = p.total_subscribers() as f64;
+        let rel = (got - expected).abs() / expected;
+        assert!(rel < 0.01, "subscribers {got} vs population/2 {expected}");
+    }
+
+    #[test]
+    fn allocations_disjoint() {
+        let (_, p) = plan();
+        let allocs = p.allocations();
+        for w in allocs.windows(2) {
+            let end = u32::from(w[0].network) + (1u32 << (32 - u32::from(w[0].len)));
+            assert!(
+                u32::from(w[1].network) >= end,
+                "{} overlaps {}",
+                w[0].network,
+                w[1].network
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_finds_host_addresses() {
+        let (_, p) = plan();
+        let a = &p.allocations()[17];
+        for i in [0u32, 1, a.capacity - 1] {
+            let host = a.host(i);
+            let found = p.lookup(host).expect("host in plan");
+            assert_eq!(found.network, a.network);
+        }
+    }
+
+    #[test]
+    fn lookup_misses_outside_space() {
+        let (_, p) = plan();
+        assert!(p.lookup(Ipv4Addr::new(8, 8, 8, 8)).is_none());
+        assert!(p.lookup(Ipv4Addr::new(203, 0, 113, 7)).is_none());
+    }
+
+    #[test]
+    fn every_district_served_by_every_major_isp() {
+        let (g, p) = plan();
+        for district in g.districts() {
+            let isps: std::collections::HashSet<_> =
+                p.for_district(district.id).map(|a| a.isp).collect();
+            assert!(isps.len() >= 5, "{} served by only {} ISPs", district.name, isps.len());
+        }
+    }
+
+    #[test]
+    fn ground_truth_share_of_subscribers() {
+        let (_, p) = plan();
+        let gt_isp = p.isps.iter().find(|i| i.ground_truth_routers).unwrap().id;
+        let gt: u64 = p
+            .allocations()
+            .iter()
+            .filter(|a| a.isp == gt_isp)
+            .map(|a| u64::from(a.capacity))
+            .sum();
+        let share = gt as f64 / p.total_subscribers() as f64;
+        assert!((share - 0.18).abs() < 0.01, "ground-truth share {share}");
+    }
+
+    #[test]
+    fn capacity_conservation_per_district() {
+        let (g, p) = plan();
+        let d = g.by_name("Gütersloh").unwrap();
+        let subs: u64 = p.for_district(d.id).map(|a| u64::from(a.capacity)).sum();
+        let expected = f64::from(d.population) / 2.0;
+        let rel = (subs as f64 - expected).abs() / expected;
+        assert!(rel < 0.02, "Gütersloh subscribers {subs} vs {expected}");
+    }
+
+    #[test]
+    fn dsl_isps_are_dynamic() {
+        let isps = market();
+        let dsl = isps.iter().find(|i| i.name.contains("TeleNord")).unwrap();
+        assert_eq!(dsl.access, AccessKind::Dynamic24h);
+        let cable = isps.iter().find(|i| i.name.contains("Kabel")).unwrap();
+        assert_eq!(cable.access, AccessKind::StaticLease);
+    }
+}

@@ -1,0 +1,261 @@
+//! The 16 German federal states (Bundesländer), with 2020 census-level
+//! populations, capital coordinates, real district (Kreis) counts and
+//! leading ZIP digits — the skeleton on which districts are synthesized.
+
+use serde::{Deserialize, Serialize};
+
+/// A German federal state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum FederalState {
+    BadenWuerttemberg,
+    Bayern,
+    Berlin,
+    Brandenburg,
+    Bremen,
+    Hamburg,
+    Hessen,
+    MecklenburgVorpommern,
+    Niedersachsen,
+    NordrheinWestfalen,
+    RheinlandPfalz,
+    Saarland,
+    Sachsen,
+    SachsenAnhalt,
+    SchleswigHolstein,
+    Thueringen,
+}
+
+impl FederalState {
+    /// All 16 states, in a fixed canonical order.
+    pub const ALL: [FederalState; 16] = [
+        FederalState::BadenWuerttemberg,
+        FederalState::Bayern,
+        FederalState::Berlin,
+        FederalState::Brandenburg,
+        FederalState::Bremen,
+        FederalState::Hamburg,
+        FederalState::Hessen,
+        FederalState::MecklenburgVorpommern,
+        FederalState::Niedersachsen,
+        FederalState::NordrheinWestfalen,
+        FederalState::RheinlandPfalz,
+        FederalState::Saarland,
+        FederalState::Sachsen,
+        FederalState::SachsenAnhalt,
+        FederalState::SchleswigHolstein,
+        FederalState::Thueringen,
+    ];
+
+    /// Full German name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FederalState::BadenWuerttemberg => "Baden-Württemberg",
+            FederalState::Bayern => "Bayern",
+            FederalState::Berlin => "Berlin",
+            FederalState::Brandenburg => "Brandenburg",
+            FederalState::Bremen => "Bremen",
+            FederalState::Hamburg => "Hamburg",
+            FederalState::Hessen => "Hessen",
+            FederalState::MecklenburgVorpommern => "Mecklenburg-Vorpommern",
+            FederalState::Niedersachsen => "Niedersachsen",
+            FederalState::NordrheinWestfalen => "Nordrhein-Westfalen",
+            FederalState::RheinlandPfalz => "Rheinland-Pfalz",
+            FederalState::Saarland => "Saarland",
+            FederalState::Sachsen => "Sachsen",
+            FederalState::SachsenAnhalt => "Sachsen-Anhalt",
+            FederalState::SchleswigHolstein => "Schleswig-Holstein",
+            FederalState::Thueringen => "Thüringen",
+        }
+    }
+
+    /// Official two-letter abbreviation.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            FederalState::BadenWuerttemberg => "BW",
+            FederalState::Bayern => "BY",
+            FederalState::Berlin => "BE",
+            FederalState::Brandenburg => "BB",
+            FederalState::Bremen => "HB",
+            FederalState::Hamburg => "HH",
+            FederalState::Hessen => "HE",
+            FederalState::MecklenburgVorpommern => "MV",
+            FederalState::Niedersachsen => "NI",
+            FederalState::NordrheinWestfalen => "NW",
+            FederalState::RheinlandPfalz => "RP",
+            FederalState::Saarland => "SL",
+            FederalState::Sachsen => "SN",
+            FederalState::SachsenAnhalt => "ST",
+            FederalState::SchleswigHolstein => "SH",
+            FederalState::Thueringen => "TH",
+        }
+    }
+
+    /// 2020 population (thousands).
+    pub fn population_thousands(self) -> u32 {
+        match self {
+            FederalState::BadenWuerttemberg => 11_100,
+            FederalState::Bayern => 13_125,
+            FederalState::Berlin => 3_669,
+            FederalState::Brandenburg => 2_522,
+            FederalState::Bremen => 681,
+            FederalState::Hamburg => 1_847,
+            FederalState::Hessen => 6_288,
+            FederalState::MecklenburgVorpommern => 1_608,
+            FederalState::Niedersachsen => 7_994,
+            FederalState::NordrheinWestfalen => 17_947,
+            FederalState::RheinlandPfalz => 4_094,
+            FederalState::Saarland => 987,
+            FederalState::Sachsen => 4_072,
+            FederalState::SachsenAnhalt => 2_195,
+            FederalState::SchleswigHolstein => 2_904,
+            FederalState::Thueringen => 2_133,
+        }
+    }
+
+    /// Real number of districts (kreisfreie Städte + Landkreise).
+    pub fn district_count(self) -> usize {
+        match self {
+            FederalState::BadenWuerttemberg => 44,
+            FederalState::Bayern => 96,
+            FederalState::Berlin => 1,
+            FederalState::Brandenburg => 18,
+            FederalState::Bremen => 2,
+            FederalState::Hamburg => 1,
+            FederalState::Hessen => 26,
+            FederalState::MecklenburgVorpommern => 8,
+            FederalState::Niedersachsen => 45,
+            FederalState::NordrheinWestfalen => 53,
+            FederalState::RheinlandPfalz => 36,
+            FederalState::Saarland => 6,
+            FederalState::Sachsen => 13,
+            FederalState::SachsenAnhalt => 14,
+            FederalState::SchleswigHolstein => 15,
+            FederalState::Thueringen => 23,
+        }
+    }
+
+    /// Capital city name.
+    pub fn capital(self) -> &'static str {
+        match self {
+            FederalState::BadenWuerttemberg => "Stuttgart",
+            FederalState::Bayern => "München",
+            FederalState::Berlin => "Berlin",
+            FederalState::Brandenburg => "Potsdam",
+            FederalState::Bremen => "Bremen",
+            FederalState::Hamburg => "Hamburg",
+            FederalState::Hessen => "Wiesbaden",
+            FederalState::MecklenburgVorpommern => "Schwerin",
+            FederalState::Niedersachsen => "Hannover",
+            FederalState::NordrheinWestfalen => "Düsseldorf",
+            FederalState::RheinlandPfalz => "Mainz",
+            FederalState::Saarland => "Saarbrücken",
+            FederalState::Sachsen => "Dresden",
+            FederalState::SachsenAnhalt => "Magdeburg",
+            FederalState::SchleswigHolstein => "Kiel",
+            FederalState::Thueringen => "Erfurt",
+        }
+    }
+
+    /// Capital coordinates (latitude, longitude).
+    pub fn capital_coords(self) -> (f64, f64) {
+        match self {
+            FederalState::BadenWuerttemberg => (48.775, 9.182),
+            FederalState::Bayern => (48.137, 11.575),
+            FederalState::Berlin => (52.520, 13.405),
+            FederalState::Brandenburg => (52.396, 13.058),
+            FederalState::Bremen => (53.079, 8.801),
+            FederalState::Hamburg => (53.551, 9.994),
+            FederalState::Hessen => (50.082, 8.239),
+            FederalState::MecklenburgVorpommern => (53.635, 11.401),
+            FederalState::Niedersachsen => (52.375, 9.732),
+            FederalState::NordrheinWestfalen => (51.227, 6.773),
+            FederalState::RheinlandPfalz => (49.992, 8.247),
+            FederalState::Saarland => (49.240, 6.997),
+            FederalState::Sachsen => (51.050, 13.738),
+            FederalState::SachsenAnhalt => (52.131, 11.640),
+            FederalState::SchleswigHolstein => (54.323, 10.123),
+            FederalState::Thueringen => (50.984, 11.030),
+        }
+    }
+
+    /// A representative leading ZIP digit pair for the state (German ZIP
+    /// zones do not align perfectly with state borders; this is the
+    /// dominant zone, good enough for ZIP-area aggregation).
+    pub fn zip_zone(self) -> u8 {
+        match self {
+            FederalState::BadenWuerttemberg => 70,
+            FederalState::Bayern => 80,
+            FederalState::Berlin => 10,
+            FederalState::Brandenburg => 14,
+            FederalState::Bremen => 28,
+            FederalState::Hamburg => 20,
+            FederalState::Hessen => 60,
+            FederalState::MecklenburgVorpommern => 19,
+            FederalState::Niedersachsen => 30,
+            FederalState::NordrheinWestfalen => 40,
+            FederalState::RheinlandPfalz => 55,
+            FederalState::Saarland => 66,
+            FederalState::Sachsen => 1,
+            FederalState::SachsenAnhalt => 39,
+            FederalState::SchleswigHolstein => 24,
+            FederalState::Thueringen => 99,
+        }
+    }
+
+    /// Index in [`FederalState::ALL`].
+    pub fn index(self) -> usize {
+        FederalState::ALL.iter().position(|&s| s == self).expect("state in ALL")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_states() {
+        assert_eq!(FederalState::ALL.len(), 16);
+        let names: std::collections::HashSet<_> =
+            FederalState::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), 16);
+    }
+
+    #[test]
+    fn population_sums_to_germany() {
+        let total: u32 = FederalState::ALL.iter().map(|s| s.population_thousands()).sum();
+        // 2020 Germany: ≈ 83.2 M.
+        assert!((82_000..84_500).contains(&total), "total {total}k");
+    }
+
+    #[test]
+    fn district_counts_sum_to_401() {
+        let total: usize = FederalState::ALL.iter().map(|s| s.district_count()).sum();
+        assert_eq!(total, 401);
+    }
+
+    #[test]
+    fn nrw_is_largest() {
+        let max = FederalState::ALL
+            .iter()
+            .max_by_key(|s| s.population_thousands())
+            .unwrap();
+        assert_eq!(*max, FederalState::NordrheinWestfalen);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for (i, s) in FederalState::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+    }
+
+    #[test]
+    fn coords_inside_germany() {
+        for s in FederalState::ALL {
+            let (lat, lon) = s.capital_coords();
+            assert!((47.0..55.5).contains(&lat), "{}: lat {lat}", s.name());
+            assert!((5.5..15.5).contains(&lon), "{}: lon {lon}", s.name());
+        }
+    }
+}

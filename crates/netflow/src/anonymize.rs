@@ -1,0 +1,224 @@
+//! Crypto-PAn prefix-preserving IPv4 anonymization.
+//!
+//! The paper (§2): "*All client IP addresses are prefix-preserving
+//! anonymized*". Prefix preservation means that if two real addresses
+//! share a k-bit prefix, their anonymized forms share a k-bit prefix too
+//! — so routing-prefix-level analyses (persistence, geolocation of
+//! prefixes via side tables) remain possible while individual addresses
+//! are hidden.
+//!
+//! This is the classic Crypto-PAn construction (Xu, Fan, Ammar, Moon,
+//! ICNP 2002): AES-128 is used as a pseudo-random function; for every
+//! prefix length `i` the PRF of the address's first `i` bits (padded with
+//! a secret pad) decides whether bit `i` is flipped.
+
+use std::net::Ipv4Addr;
+
+use cwa_crypto::Aes128;
+
+/// A keyed Crypto-PAn anonymizer.
+///
+/// ```
+/// use cwa_netflow::CryptoPan;
+/// use std::net::Ipv4Addr;
+/// let cp = CryptoPan::new(&[7u8; 32]);
+/// let a = cp.anonymize(Ipv4Addr::new(192, 0, 2, 1));
+/// let b = cp.anonymize(Ipv4Addr::new(192, 0, 2, 99));
+/// // Same /24 in, same /24 out:
+/// assert_eq!(u32::from(a) >> 8, u32::from(b) >> 8);
+/// ```
+#[derive(Clone)]
+pub struct CryptoPan {
+    aes: Aes128,
+    /// Secret 16-byte pad, itself encrypted from the key's second half.
+    pad: [u8; 16],
+}
+
+impl CryptoPan {
+    /// Creates an anonymizer from a 32-byte key: the first 16 bytes key
+    /// the AES PRF, the second 16 bytes (encrypted once) form the secret
+    /// pad — as in the reference implementation.
+    pub fn new(key: &[u8; 32]) -> Self {
+        let mut aes_key = [0u8; 16];
+        aes_key.copy_from_slice(&key[..16]);
+        let aes = Aes128::new(&aes_key);
+        let mut pad_in = [0u8; 16];
+        pad_in.copy_from_slice(&key[16..]);
+        let pad = aes.encrypt_block(&pad_in);
+        CryptoPan { aes, pad }
+    }
+
+    /// Anonymizes one IPv4 address, preserving prefix relationships.
+    pub fn anonymize(&self, addr: Ipv4Addr) -> Ipv4Addr {
+        let orig = u32::from(addr);
+        let pad4 = u32::from_be_bytes([self.pad[0], self.pad[1], self.pad[2], self.pad[3]]);
+
+        let mut result = 0u32;
+        let mut input = self.pad;
+        for pos in 0..32u32 {
+            // First 4 bytes: the first `pos` bits of the original address
+            // followed by bits pos..32 of the pad.
+            let first4 = if pos == 0 {
+                pad4
+            } else {
+                let keep_mask = !(u32::MAX >> pos); // top `pos` bits
+                (orig & keep_mask) | (pad4 & !keep_mask)
+            };
+            input[..4].copy_from_slice(&first4.to_be_bytes());
+            let out = self.aes.encrypt_block(&input);
+            // The PRF's most significant bit decides the flip of bit `pos`
+            // (counting from the most significant address bit).
+            result |= u32::from(out[0] >> 7) << (31 - pos);
+        }
+        Ipv4Addr::from(orig ^ result)
+    }
+
+    /// De-anonymizes an address produced by [`CryptoPan::anonymize`]
+    /// under the same key. (Possible because each flip bit depends only
+    /// on the *original* prefix, which can be recovered bit by bit.)
+    pub fn deanonymize(&self, anon: Ipv4Addr) -> Ipv4Addr {
+        let target = u32::from(anon);
+        let pad4 = u32::from_be_bytes([self.pad[0], self.pad[1], self.pad[2], self.pad[3]]);
+
+        let mut orig = 0u32;
+        let mut input = self.pad;
+        for pos in 0..32u32 {
+            let first4 = if pos == 0 {
+                pad4
+            } else {
+                let keep_mask = !(u32::MAX >> pos);
+                (orig & keep_mask) | (pad4 & !keep_mask)
+            };
+            input[..4].copy_from_slice(&first4.to_be_bytes());
+            let out = self.aes.encrypt_block(&input);
+            let flip = u32::from(out[0] >> 7) << (31 - pos);
+            // anonymized bit = original bit ^ flip  ⇒  original = anon ^ flip
+            let bit = (target ^ flip) & (1 << (31 - pos));
+            orig |= bit;
+        }
+        Ipv4Addr::from(orig)
+    }
+}
+
+/// Length of the longest common prefix of two addresses, in bits.
+pub fn common_prefix_len(a: Ipv4Addr, b: Ipv4Addr) -> u32 {
+    (u32::from(a) ^ u32::from(b)).leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn cp() -> CryptoPan {
+        // A fixed 32-byte key for reproducible tests.
+        let mut key = [0u8; 32];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(37).wrapping_add(11);
+        }
+        CryptoPan::new(&key)
+    }
+
+    #[test]
+    fn deterministic() {
+        let cp = cp();
+        let a = Ipv4Addr::new(93, 184, 216, 34);
+        assert_eq!(cp.anonymize(a), cp.anonymize(a));
+    }
+
+    #[test]
+    fn different_keys_differ() {
+        let cp1 = CryptoPan::new(&[1u8; 32]);
+        let cp2 = CryptoPan::new(&[2u8; 32]);
+        let a = Ipv4Addr::new(93, 184, 216, 34);
+        assert_ne!(cp1.anonymize(a), cp2.anonymize(a));
+    }
+
+    #[test]
+    fn prefix_preservation_pairs() {
+        let cp = cp();
+        let cases = [
+            (Ipv4Addr::new(10, 1, 2, 3), Ipv4Addr::new(10, 1, 2, 200)), // /24
+            (Ipv4Addr::new(10, 1, 2, 3), Ipv4Addr::new(10, 1, 9, 9)),   // /16-ish
+            (Ipv4Addr::new(217, 0, 0, 1), Ipv4Addr::new(217, 0, 128, 1)),
+        ];
+        for (x, y) in cases {
+            let k = common_prefix_len(x, y);
+            let ka = common_prefix_len(cp.anonymize(x), cp.anonymize(y));
+            assert_eq!(k, ka, "{x} vs {y}: shared {k} bits, anonymized share {ka}");
+        }
+    }
+
+    #[test]
+    fn prefix_preservation_exhaustive_small() {
+        // All pairs in a /28: pairwise common-prefix lengths must be
+        // preserved exactly.
+        let cp = cp();
+        let base = u32::from(Ipv4Addr::new(198, 51, 100, 16));
+        let addrs: Vec<Ipv4Addr> = (0..16u32).map(|i| Ipv4Addr::from(base + i)).collect();
+        let anons: Vec<Ipv4Addr> = addrs.iter().map(|&a| cp.anonymize(a)).collect();
+        for i in 0..addrs.len() {
+            for j in (i + 1)..addrs.len() {
+                assert_eq!(
+                    common_prefix_len(addrs[i], addrs[j]),
+                    common_prefix_len(anons[i], anons[j]),
+                    "pair {i},{j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn injective_on_sample() {
+        let cp = cp();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            let addr = Ipv4Addr::from(rng.gen::<u32>());
+            seen.insert((addr, cp.anonymize(addr)));
+        }
+        let inputs: std::collections::HashSet<_> = seen.iter().map(|(a, _)| a).collect();
+        let outputs: std::collections::HashSet<_> = seen.iter().map(|(_, b)| b).collect();
+        assert_eq!(inputs.len(), outputs.len(), "anonymization must be injective");
+    }
+
+    #[test]
+    fn roundtrip_deanonymize() {
+        let cp = cp();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let addr = Ipv4Addr::from(rng.gen::<u32>());
+            assert_eq!(cp.deanonymize(cp.anonymize(addr)), addr);
+        }
+    }
+
+    #[test]
+    fn output_is_not_identity() {
+        let cp = cp();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let changed = (0..1000)
+            .filter(|_| {
+                let addr = Ipv4Addr::from(rng.gen::<u32>());
+                cp.anonymize(addr) != addr
+            })
+            .count();
+        assert!(changed > 950, "only {changed}/1000 addresses changed");
+    }
+
+    #[test]
+    fn common_prefix_len_edges() {
+        assert_eq!(
+            common_prefix_len(Ipv4Addr::new(0, 0, 0, 0), Ipv4Addr::new(255, 0, 0, 0)),
+            0
+        );
+        assert_eq!(
+            common_prefix_len(Ipv4Addr::new(1, 2, 3, 4), Ipv4Addr::new(1, 2, 3, 4)),
+            32
+        );
+        assert_eq!(
+            common_prefix_len(Ipv4Addr::new(1, 2, 3, 4), Ipv4Addr::new(1, 2, 3, 5)),
+            31
+        );
+    }
+}

@@ -1,0 +1,223 @@
+//! Bidirectional flow (biflow) construction.
+//!
+//! NetFlow records are unidirectional; most analyses (and RFC 5103
+//! IPFIX biflows) pair the two directions of a TCP connection back
+//! together. The merger pairs records whose 5-tuples are mutual
+//! reverses and whose time spans overlap (within a pairing window),
+//! labelling the *initiator* by the classic heuristic: the side whose
+//! destination port is the well-known service port (or, failing that,
+//! the side that started earlier).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::flow::{FlowKey, FlowRecord};
+
+/// A paired bidirectional flow.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Biflow {
+    /// The client→server (initiating) direction, if observed.
+    pub forward: Option<FlowRecord>,
+    /// The server→client direction, if observed.
+    pub reverse: Option<FlowRecord>,
+}
+
+impl Biflow {
+    /// Total bytes across both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.forward.map_or(0, |r| r.bytes) + self.reverse.map_or(0, |r| r.bytes)
+    }
+
+    /// Total packets across both directions.
+    pub fn total_packets(&self) -> u64 {
+        self.forward.map_or(0, |r| r.packets) + self.reverse.map_or(0, |r| r.packets)
+    }
+
+    /// True if both directions were observed.
+    pub fn is_complete(&self) -> bool {
+        self.forward.is_some() && self.reverse.is_some()
+    }
+
+    /// Download asymmetry: reverse (server→client) bytes divided by
+    /// total bytes. NaN when empty.
+    pub fn download_ratio(&self) -> f64 {
+        let total = self.total_bytes();
+        if total == 0 {
+            return f64::NAN;
+        }
+        self.reverse.map_or(0, |r| r.bytes) as f64 / total as f64
+    }
+}
+
+/// Pairing configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BiflowConfig {
+    /// Maximum start-time difference for two records to pair, ms.
+    pub pairing_window_ms: u64,
+    /// Ports treated as service ports for initiator detection.
+    pub service_ports: [u16; 4],
+}
+
+impl Default for BiflowConfig {
+    fn default() -> Self {
+        BiflowConfig { pairing_window_ms: 60_000, service_ports: [443, 80, 53, 8443] }
+    }
+}
+
+impl BiflowConfig {
+    /// True if the record looks like the client→server direction.
+    fn is_forward(&self, rec: &FlowRecord) -> bool {
+        let dst_is_service = self.service_ports.contains(&rec.key.dst_port);
+        let src_is_service = self.service_ports.contains(&rec.key.src_port);
+        match (dst_is_service, src_is_service) {
+            (true, false) => true,
+            (false, true) => false,
+            // Ambiguous: fall back to the lower port heuristic.
+            _ => rec.key.dst_port <= rec.key.src_port,
+        }
+    }
+}
+
+/// Pairs unidirectional records into biflows.
+///
+/// Records that never find a partner become one-sided biflows (common
+/// under heavy sampling: usually only one direction survives).
+pub fn merge_biflows(records: &[FlowRecord], config: &BiflowConfig) -> Vec<Biflow> {
+    // Canonical key: the forward-direction 5-tuple.
+    let mut open: HashMap<FlowKey, Vec<usize>> = HashMap::new();
+    let mut out: Vec<Biflow> = Vec::new();
+
+    for rec in records {
+        let forward = config.is_forward(rec);
+        let canonical = if forward { rec.key } else { rec.key.reversed() };
+
+        // Try to complete an open half-biflow.
+        let mut paired = false;
+        if let Some(candidates) = open.get_mut(&canonical) {
+            if let Some(pos) = candidates.iter().position(|&i| {
+                let existing = &out[i];
+                let other = if forward { existing.reverse } else { existing.forward };
+                match other {
+                    Some(o) => {
+                        let gap = o.first_ms.abs_diff(rec.first_ms);
+                        gap <= config.pairing_window_ms
+                            && (if forward {
+                                existing.forward.is_none()
+                            } else {
+                                existing.reverse.is_none()
+                            })
+                    }
+                    None => false,
+                }
+            }) {
+                let idx = candidates.swap_remove(pos);
+                if forward {
+                    out[idx].forward = Some(*rec);
+                } else {
+                    out[idx].reverse = Some(*rec);
+                }
+                paired = true;
+            }
+        }
+
+        if !paired {
+            let biflow = if forward {
+                Biflow { forward: Some(*rec), reverse: None }
+            } else {
+                Biflow { forward: None, reverse: Some(*rec) }
+            };
+            out.push(biflow);
+            open.entry(canonical).or_default().push(out.len() - 1);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn down(client_port: u16, first_ms: u64, bytes: u64) -> FlowRecord {
+        FlowRecord {
+            key: FlowKey::tcp(
+                Ipv4Addr::new(81, 200, 16, 1),
+                443,
+                Ipv4Addr::new(84, 0, 0, 1),
+                client_port,
+            ),
+            packets: 10,
+            bytes,
+            first_ms,
+            last_ms: first_ms + 1000,
+            tcp_flags: 0x18,
+        }
+    }
+
+    fn up(client_port: u16, first_ms: u64, bytes: u64) -> FlowRecord {
+        FlowRecord { key: down(client_port, first_ms, bytes).key.reversed(), ..down(client_port, first_ms, bytes) }
+    }
+
+    #[test]
+    fn pairs_matching_directions() {
+        let records = vec![up(50_000, 100, 500), down(50_000, 120, 20_000)];
+        let biflows = merge_biflows(&records, &BiflowConfig::default());
+        assert_eq!(biflows.len(), 1);
+        let b = &biflows[0];
+        assert!(b.is_complete());
+        assert_eq!(b.total_bytes(), 20_500);
+        assert!(b.download_ratio() > 0.9, "downstream-heavy: {}", b.download_ratio());
+        // Forward is the client→server side (dst port 443).
+        assert_eq!(b.forward.unwrap().key.dst_port, 443);
+    }
+
+    #[test]
+    fn distinct_connections_stay_apart() {
+        let records = vec![up(50_000, 0, 100), up(50_001, 0, 100), down(50_000, 10, 1000)];
+        let biflows = merge_biflows(&records, &BiflowConfig::default());
+        assert_eq!(biflows.len(), 2);
+        let complete = biflows.iter().filter(|b| b.is_complete()).count();
+        assert_eq!(complete, 1);
+    }
+
+    #[test]
+    fn pairing_window_respected() {
+        // Same 5-tuple reused 10 minutes later: separate connections.
+        let records = vec![up(50_000, 0, 100), down(50_000, 600_000, 1000)];
+        let biflows = merge_biflows(&records, &BiflowConfig::default());
+        assert_eq!(biflows.len(), 2);
+        assert!(biflows.iter().all(|b| !b.is_complete()));
+    }
+
+    #[test]
+    fn one_sided_flows_survive() {
+        // Under 1:1000 sampling, usually only one direction is observed.
+        let records = vec![down(50_000, 0, 5000)];
+        let biflows = merge_biflows(&records, &BiflowConfig::default());
+        assert_eq!(biflows.len(), 1);
+        assert!(!biflows[0].is_complete());
+        assert_eq!(biflows[0].reverse.unwrap().bytes, 5000);
+        assert!((biflows[0].download_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_conservation() {
+        let records: Vec<FlowRecord> = (0..40u16)
+            .flat_map(|i| vec![up(50_000 + i, 0, 100), down(50_000 + i, 50, 1000)])
+            .collect();
+        let biflows = merge_biflows(&records, &BiflowConfig::default());
+        // Every input record ends up on exactly one side of one biflow.
+        let sides: usize = biflows
+            .iter()
+            .map(|b| usize::from(b.forward.is_some()) + usize::from(b.reverse.is_some()))
+            .sum();
+        assert_eq!(sides, records.len());
+        assert!(biflows.iter().all(|b| b.is_complete()));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(merge_biflows(&[], &BiflowConfig::default()).is_empty());
+    }
+}

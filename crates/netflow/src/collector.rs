@@ -1,0 +1,260 @@
+//! The flow collector at the measurement vantage point.
+//!
+//! Ingests NetFlow v5 export datagrams from (possibly several) routers,
+//! optionally applies Crypto-PAn anonymization to the *client* side of
+//! each record before storage — mirroring how the paper's data set was
+//! handed to the researchers already anonymized — and tracks export loss
+//! via per-engine sequence numbers.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::anonymize::CryptoPan;
+use crate::flow::{in_prefix, FlowRecord};
+use crate::v5::{ExportPacket, V5Error};
+
+/// Per-engine sequence tracking.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Datagrams received.
+    pub packets: u64,
+    /// Records received.
+    pub records: u64,
+    /// Records deduced lost from sequence gaps.
+    pub lost_records: u64,
+}
+
+/// A collector accumulating anonymized flow records.
+pub struct Collector {
+    /// Anonymizer applied to client addresses (None = store raw).
+    anonymizer: Option<CryptoPan>,
+    /// Server-side prefixes: addresses inside are *not* anonymized
+    /// (the CWA CDN prefixes are public knowledge; only clients are
+    /// protected, exactly as in the paper's data set).
+    server_prefixes: Vec<(Ipv4Addr, u8)>,
+    records: Vec<FlowRecord>,
+    engines: HashMap<u8, (Option<u32>, EngineStats)>,
+}
+
+impl Collector {
+    /// Creates a collector that stores records as-is.
+    pub fn new_raw() -> Self {
+        Collector {
+            anonymizer: None,
+            server_prefixes: Vec::new(),
+            records: Vec::new(),
+            engines: HashMap::new(),
+        }
+    }
+
+    /// Creates an anonymizing collector. Addresses within
+    /// `server_prefixes` are preserved verbatim; all others are
+    /// Crypto-PAn anonymized.
+    pub fn new_anonymizing(key: &[u8; 32], server_prefixes: Vec<(Ipv4Addr, u8)>) -> Self {
+        Collector {
+            anonymizer: Some(CryptoPan::new(key)),
+            server_prefixes,
+            records: Vec::new(),
+            engines: HashMap::new(),
+        }
+    }
+
+    /// Ingests one encoded v5 datagram.
+    pub fn ingest(&mut self, datagram: bytes::Bytes) -> Result<(), V5Error> {
+        let packet = ExportPacket::decode(datagram)?;
+        self.ingest_packet(packet);
+        Ok(())
+    }
+
+    /// Ingests already-decoded records from a non-v5 exporter (e.g. a
+    /// NetFlow v9 decoder). Applies the same anonymization policy;
+    /// sequence-based loss tracking does not apply (v9 sequences count
+    /// datagrams, which the transport layer accounts separately).
+    pub fn ingest_records(&mut self, records: Vec<FlowRecord>, engine: u8) {
+        let (_, stats) = self.engines.entry(engine).or_insert((None, EngineStats::default()));
+        stats.records += records.len() as u64;
+        for mut rec in records {
+            if let Some(cp) = &self.anonymizer {
+                if !self.server_prefixes.iter().any(|&(p, l)| in_prefix(rec.key.src_ip, p, l)) {
+                    rec.key.src_ip = cp.anonymize(rec.key.src_ip);
+                }
+                if !self.server_prefixes.iter().any(|&(p, l)| in_prefix(rec.key.dst_ip, p, l)) {
+                    rec.key.dst_ip = cp.anonymize(rec.key.dst_ip);
+                }
+            }
+            self.records.push(rec);
+        }
+    }
+
+    /// Ingests an already-decoded export packet.
+    pub fn ingest_packet(&mut self, packet: ExportPacket) {
+        let engine = packet.header.engine_id;
+        let (last_seq, stats) = self.engines.entry(engine).or_insert((None, EngineStats::default()));
+        stats.packets += 1;
+        stats.records += packet.records.len() as u64;
+        if let Some(expected) = *last_seq {
+            let gap = packet.header.flow_sequence.wrapping_sub(expected);
+            stats.lost_records += u64::from(gap);
+        }
+        *last_seq = Some(
+            packet
+                .header
+                .flow_sequence
+                .wrapping_add(packet.records.len() as u32),
+        );
+
+        for mut rec in packet.records {
+            if let Some(cp) = &self.anonymizer {
+                if !self.server_prefixes.iter().any(|&(p, l)| in_prefix(rec.key.src_ip, p, l)) {
+                    rec.key.src_ip = cp.anonymize(rec.key.src_ip);
+                }
+                if !self.server_prefixes.iter().any(|&(p, l)| in_prefix(rec.key.dst_ip, p, l)) {
+                    rec.key.dst_ip = cp.anonymize(rec.key.dst_ip);
+                }
+            }
+            self.records.push(rec);
+        }
+    }
+
+    /// All records collected so far.
+    pub fn records(&self) -> &[FlowRecord] {
+        &self.records
+    }
+
+    /// Consumes the collector, returning its records.
+    pub fn into_records(self) -> Vec<FlowRecord> {
+        self.records
+    }
+
+    /// Per-engine statistics.
+    pub fn engine_stats(&self, engine: u8) -> Option<EngineStats> {
+        self.engines.get(&engine).map(|(_, s)| *s)
+    }
+
+    /// Total records deduced lost across all engines.
+    pub fn total_lost(&self) -> u64 {
+        self.engines.values().map(|(_, s)| s.lost_records).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowKey;
+    use crate::v5::{packetize, V5Header};
+
+    fn record(client: Ipv4Addr) -> FlowRecord {
+        FlowRecord {
+            key: FlowKey::tcp(Ipv4Addr::new(81, 200, 16, 1), 443, client, 50_000),
+            packets: 2,
+            bytes: 2800,
+            first_ms: 0,
+            last_ms: 100,
+            tcp_flags: 0x10,
+        }
+    }
+
+    const SERVER_PREFIX: (Ipv4Addr, u8) = (Ipv4Addr::new(81, 200, 16, 0), 22);
+
+    #[test]
+    fn raw_collection_roundtrip() {
+        let recs: Vec<FlowRecord> =
+            (1..=5u8).map(|i| record(Ipv4Addr::new(10, 0, 0, i))).collect();
+        let (pkts, _) = packetize(&recs, 1, 1000, 0, 0);
+        let mut col = Collector::new_raw();
+        for p in pkts {
+            col.ingest(p.encode()).unwrap();
+        }
+        assert_eq!(col.records(), &recs[..]);
+        assert_eq!(col.total_lost(), 0);
+    }
+
+    #[test]
+    fn anonymizes_clients_not_servers() {
+        let client = Ipv4Addr::new(93, 10, 20, 30);
+        let recs = vec![record(client)];
+        let (pkts, _) = packetize(&recs, 1, 1000, 0, 0);
+        let mut col = Collector::new_anonymizing(&[9u8; 32], vec![SERVER_PREFIX]);
+        for p in pkts {
+            col.ingest(p.encode()).unwrap();
+        }
+        let stored = &col.records()[0];
+        assert_eq!(stored.key.src_ip, Ipv4Addr::new(81, 200, 16, 1), "server kept");
+        assert_ne!(stored.key.dst_ip, client, "client anonymized");
+    }
+
+    #[test]
+    fn anonymization_is_consistent_across_packets() {
+        let client = Ipv4Addr::new(93, 10, 20, 30);
+        let recs = vec![record(client), record(client)];
+        let (pkts, _) = packetize(&recs, 1, 1000, 0, 0);
+        let mut col = Collector::new_anonymizing(&[9u8; 32], vec![SERVER_PREFIX]);
+        for p in pkts {
+            col.ingest(p.encode()).unwrap();
+        }
+        assert_eq!(col.records()[0].key.dst_ip, col.records()[1].key.dst_ip);
+    }
+
+    #[test]
+    fn sequence_gap_detection() {
+        let recs: Vec<FlowRecord> =
+            (1..=60u8).map(|i| record(Ipv4Addr::new(10, 0, 0, i))).collect();
+        let (pkts, _) = packetize(&recs, 7, 1000, 0, 0);
+        assert_eq!(pkts.len(), 2);
+        let mut col = Collector::new_raw();
+        // Drop the first datagram: 30 records lost.
+        col.ingest_packet(pkts[1].clone());
+        // Need a successor to detect the gap? No: gap vs expected=none.
+        // Feed a third synthetic packet continuing the sequence.
+        let (more, _) = packetize(&recs[..5], 7, 1000, 0, 60);
+        col.ingest_packet(more[0].clone());
+        assert_eq!(col.total_lost(), 0, "no gap between consecutive packets");
+
+        // Now an actual gap: sequence jumps by 10.
+        let gap_pkt = ExportPacket {
+            header: V5Header {
+                sys_uptime_ms: 0,
+                unix_secs: 0,
+                unix_nsecs: 0,
+                flow_sequence: 75, // expected 65
+                engine_type: 0,
+                engine_id: 7,
+                sampling: 0,
+            },
+            records: vec![record(Ipv4Addr::new(10, 9, 9, 9))],
+        };
+        col.ingest_packet(gap_pkt);
+        assert_eq!(col.total_lost(), 10);
+    }
+
+    #[test]
+    fn engines_tracked_separately() {
+        let recs = vec![record(Ipv4Addr::new(10, 0, 0, 1))];
+        let (p1, _) = packetize(&recs, 1, 1000, 0, 0);
+        let (p2, _) = packetize(&recs, 2, 1000, 0, 0);
+        let mut col = Collector::new_raw();
+        col.ingest_packet(p1[0].clone());
+        col.ingest_packet(p2[0].clone());
+        assert_eq!(col.engine_stats(1).unwrap().records, 1);
+        assert_eq!(col.engine_stats(2).unwrap().records, 1);
+        assert!(col.engine_stats(3).is_none());
+    }
+
+    #[test]
+    fn prefix_relationship_survives_anonymization() {
+        // Two clients in the same /24 must stay in a shared /24.
+        let c1 = Ipv4Addr::new(93, 10, 20, 1);
+        let c2 = Ipv4Addr::new(93, 10, 20, 200);
+        let recs = vec![record(c1), record(c2)];
+        let (pkts, _) = packetize(&recs, 1, 1000, 0, 0);
+        let mut col = Collector::new_anonymizing(&[5u8; 32], vec![SERVER_PREFIX]);
+        for p in pkts {
+            col.ingest(p.encode()).unwrap();
+        }
+        let a1 = u32::from(col.records()[0].key.dst_ip);
+        let a2 = u32::from(col.records()[1].key.dst_ip);
+        assert_eq!(a1 >> 8, a2 >> 8);
+    }
+}

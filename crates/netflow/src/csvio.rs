@@ -1,0 +1,214 @@
+//! Plain-text (CSV) import/export of flow records.
+//!
+//! The analysis pipeline in `cwa-analysis` operates on
+//! [`FlowRecord`]s regardless of where they came from; this module lets
+//! researchers exchange record sets as CSV — e.g. to run the pipeline on
+//! flow data captured outside the simulator, or to inspect simulated
+//! records with standard tooling.
+//!
+//! Format (one header line, one record per line):
+//!
+//! ```text
+//! src_ip,src_port,dst_ip,dst_port,protocol,packets,bytes,first_ms,last_ms,tcp_flags
+//! 81.200.16.1,443,145.145.4.137,49812,6,3,4200,1000,2000,24
+//! ```
+
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+use crate::flow::{FlowKey, FlowRecord, Protocol};
+
+/// The CSV header line.
+pub const HEADER: &str =
+    "src_ip,src_port,dst_ip,dst_port,protocol,packets,bytes,first_ms,last_ms,tcp_flags";
+
+/// CSV parse errors, with 1-based line numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// First line did not match [`HEADER`].
+    BadHeader,
+    /// A data line had the wrong number of fields.
+    FieldCount { /// 1-based line number
+        line: usize },
+    /// A field failed to parse.
+    BadField { /// 1-based line number
+        line: usize, /// column name
+        column: &'static str },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::BadHeader => write!(f, "missing or malformed header line"),
+            CsvError::FieldCount { line } => write!(f, "line {line}: wrong field count"),
+            CsvError::BadField { line, column } => {
+                write!(f, "line {line}: cannot parse column {column}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Serializes records to CSV (with header).
+pub fn to_csv(records: &[FlowRecord]) -> String {
+    let mut out = String::with_capacity(records.len() * 64 + HEADER.len() + 1);
+    out.push_str(HEADER);
+    out.push('\n');
+    for r in records {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{}\n",
+            r.key.src_ip,
+            r.key.src_port,
+            r.key.dst_ip,
+            r.key.dst_port,
+            r.key.protocol.number(),
+            r.packets,
+            r.bytes,
+            r.first_ms,
+            r.last_ms,
+            r.tcp_flags
+        ));
+    }
+    out
+}
+
+/// Parses CSV back into records.
+pub fn from_csv(text: &str) -> Result<Vec<FlowRecord>, CsvError> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(h) if h.trim() == HEADER => {}
+        _ => return Err(CsvError::BadHeader),
+    }
+
+    let mut records = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let line_no = i + 2;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 10 {
+            return Err(CsvError::FieldCount { line: line_no });
+        }
+        let parse_ip = |s: &str, col: &'static str| {
+            Ipv4Addr::from_str(s).map_err(|_| CsvError::BadField { line: line_no, column: col })
+        };
+        fn parse_num<T: FromStr>(s: &str, line: usize, col: &'static str) -> Result<T, CsvError> {
+            s.parse().map_err(|_| CsvError::BadField { line, column: col })
+        }
+
+        let proto_num: u8 = parse_num(fields[4], line_no, "protocol")?;
+        let protocol = Protocol::from_number(proto_num)
+            .ok_or(CsvError::BadField { line: line_no, column: "protocol" })?;
+        records.push(FlowRecord {
+            key: FlowKey {
+                src_ip: parse_ip(fields[0], "src_ip")?,
+                src_port: parse_num(fields[1], line_no, "src_port")?,
+                dst_ip: parse_ip(fields[2], "dst_ip")?,
+                dst_port: parse_num(fields[3], line_no, "dst_port")?,
+                protocol,
+            },
+            packets: parse_num(fields[5], line_no, "packets")?,
+            bytes: parse_num(fields[6], line_no, "bytes")?,
+            first_ms: parse_num(fields[7], line_no, "first_ms")?,
+            last_ms: parse_num(fields[8], line_no, "last_ms")?,
+            tcp_flags: parse_num(fields[9], line_no, "tcp_flags")?,
+        });
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<FlowRecord> {
+        (0..5u8)
+            .map(|i| FlowRecord {
+                key: FlowKey::tcp(
+                    Ipv4Addr::new(81, 200, 16, 1),
+                    443,
+                    Ipv4Addr::new(84, 0, 0, i),
+                    50_000,
+                ),
+                packets: u64::from(i) + 1,
+                bytes: 1000,
+                first_ms: 10,
+                last_ms: 20,
+                tcp_flags: 0x18,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let records = sample();
+        let csv = to_csv(&records);
+        assert!(csv.starts_with(HEADER));
+        let back = from_csv(&csv).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let csv = to_csv(&[]);
+        assert_eq!(from_csv(&csv).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        assert_eq!(from_csv("1,2,3\n"), Err(CsvError::BadHeader));
+        assert_eq!(from_csv(""), Err(CsvError::BadHeader));
+    }
+
+    #[test]
+    fn rejects_field_count() {
+        let csv = format!("{HEADER}\n1.2.3.4,443\n");
+        assert_eq!(from_csv(&csv), Err(CsvError::FieldCount { line: 2 }));
+    }
+
+    #[test]
+    fn rejects_bad_values_with_position() {
+        let csv = format!("{HEADER}\nnot-an-ip,443,84.0.0.1,50000,6,1,1000,10,20,24\n");
+        assert_eq!(
+            from_csv(&csv),
+            Err(CsvError::BadField { line: 2, column: "src_ip" })
+        );
+        let csv = format!("{HEADER}\n1.2.3.4,443,84.0.0.1,50000,99,1,1000,10,20,24\n");
+        assert_eq!(
+            from_csv(&csv),
+            Err(CsvError::BadField { line: 2, column: "protocol" })
+        );
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let records = sample();
+        let mut csv = to_csv(&records);
+        csv.push('\n');
+        csv.push('\n');
+        assert_eq!(from_csv(&csv).unwrap(), records);
+    }
+
+    #[test]
+    fn udp_records_roundtrip() {
+        let rec = FlowRecord {
+            key: FlowKey {
+                src_ip: Ipv4Addr::new(9, 9, 9, 9),
+                dst_ip: Ipv4Addr::new(8, 8, 8, 8),
+                src_port: 53,
+                dst_port: 3333,
+                protocol: Protocol::Udp,
+            },
+            packets: 1,
+            bytes: 80,
+            first_ms: 5,
+            last_ms: 5,
+            tcp_flags: 0,
+        };
+        let back = from_csv(&to_csv(&[rec])).unwrap();
+        assert_eq!(back[0], rec);
+    }
+}

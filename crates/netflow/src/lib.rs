@@ -1,0 +1,56 @@
+//! # cwa-netflow — the NetFlow measurement substrate
+//!
+//! The paper's data set is "*sampled Netflow traces from routers
+//! connecting the data center hosting the CWA backend*" (§2), with
+//! prefix-preserving anonymized client addresses, and the authors note
+//! that "*the routers Netflow cache eviction settings and sampling result
+//! in only observing few packets for most flows*". This crate rebuilds
+//! that measurement apparatus:
+//!
+//! * [`flow`] — flow keys and flow records (the v5 field set).
+//! * [`sampling`] — 1-in-N packet sampling (deterministic and random),
+//!   plus the binomial thinning used by the cohort-level traffic
+//!   generator.
+//! * [`cache`] — the router flow cache with **active** and **inactive**
+//!   timeout eviction and size-bounded emergency expiry — the mechanism
+//!   that splits long flows into several records and makes flow-size-based
+//!   app/website differentiation infeasible (a limitation §2 discusses).
+//! * [`v5`] — the NetFlow v5 export wire format (24-byte header,
+//!   48-byte records) with a round-tripping codec.
+//! * [`v9`] — the template-based NetFlow v9 format (RFC 3954) with a
+//!   template-caching decoder, as modern exporters speak it.
+//! * [`csvio`] — a plain-text record format so externally captured flow
+//!   data can be fed into the analysis pipeline.
+//! * [`biflow`] — RFC 5103-style pairing of unidirectional records into
+//!   bidirectional flows with initiator detection.
+//! * [`estimate`] — Horvitz–Thompson inversion of sampling: estimating
+//!   true packet/byte/flow volumes (with CIs) from sampled records.
+//! * [`anonymize`] — **Crypto-PAn** prefix-preserving IPv4 anonymization
+//!   (Xu et al.), built on the AES implementation in `cwa-crypto`; this is
+//!   the "prefix-preserving anonymized" property of §2.
+//! * [`collector`] — reassembles export packets into a record stream and
+//!   tracks export-loss via sequence numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod anonymize;
+pub mod biflow;
+pub mod cache;
+pub mod collector;
+pub mod csvio;
+pub mod estimate;
+pub mod flow;
+pub mod sampling;
+pub mod v5;
+pub mod v9;
+
+pub use anonymize::CryptoPan;
+pub use biflow::{merge_biflows, Biflow, BiflowConfig};
+pub use cache::{FlowCache, FlowCacheConfig};
+pub use collector::Collector;
+pub use estimate::{estimate_volumes, VolumeEstimate};
+pub use flow::{FlowKey, FlowRecord, Protocol};
+pub use sampling::{PacketSampler, SamplingMode};
+pub use v5::{ExportPacket, V5Header};
+pub use v9::{V9Decoder, V9Exporter};

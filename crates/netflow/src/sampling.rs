@@ -1,0 +1,206 @@
+//! Packet sampling, as configured on the measured routers.
+//!
+//! ISP-scale NetFlow is almost always *sampled*: the router inspects only
+//! one in N packets. The paper's §2 limitation — "sampling result\[s\] in
+//! only observing few packets for most flows" — emerges directly from
+//! this. Two sampler flavours are provided:
+//!
+//! * **Deterministic**: every N-th packet (Cisco "deterministic" mode),
+//! * **Random**: each packet independently with probability 1/N.
+//!
+//! For the cohort-level traffic generator (which never materializes
+//! individual packets of bulk flows) [`sample_packet_count`] draws the
+//! number of sampled packets of an n-packet flow directly from
+//! Binomial(n, 1/N).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Sampler flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SamplingMode {
+    /// Select every N-th packet.
+    Deterministic,
+    /// Select each packet independently with probability 1/N.
+    Random,
+}
+
+/// A 1-in-N packet sampler.
+#[derive(Debug, Clone)]
+pub struct PacketSampler {
+    /// The sampling interval N (1 = unsampled).
+    pub interval: u32,
+    mode: SamplingMode,
+    counter: u32,
+}
+
+impl PacketSampler {
+    /// Creates a sampler with interval `n` (clamped to ≥ 1).
+    pub fn new(n: u32, mode: SamplingMode) -> Self {
+        PacketSampler { interval: n.max(1), mode, counter: 0 }
+    }
+
+    /// Decides whether the next packet is sampled.
+    pub fn sample<R: Rng>(&mut self, rng: &mut R) -> bool {
+        match self.mode {
+            SamplingMode::Deterministic => {
+                self.counter += 1;
+                if self.counter >= self.interval {
+                    self.counter = 0;
+                    true
+                } else {
+                    false
+                }
+            }
+            SamplingMode::Random => {
+                self.interval == 1 || rng.gen_range(0..self.interval) == 0
+            }
+        }
+    }
+}
+
+/// Draws how many of `packets` packets a 1-in-`n` random sampler selects:
+/// a Binomial(packets, 1/n) sample.
+///
+/// Uses exact Bernoulli summation for small flows and a
+/// normal approximation (continuity-corrected, clamped) for large ones,
+/// which is both fast and accurate at the flow sizes the simulator
+/// produces.
+pub fn sample_packet_count<R: Rng>(rng: &mut R, packets: u64, n: u32) -> u64 {
+    let n = n.max(1);
+    if n == 1 {
+        return packets;
+    }
+    let p = 1.0 / f64::from(n);
+    if packets <= 64 {
+        let mut hits = 0u64;
+        for _ in 0..packets {
+            if rng.gen::<f64>() < p {
+                hits += 1;
+            }
+        }
+        hits
+    } else {
+        let mean = packets as f64 * p;
+        let sd = (packets as f64 * p * (1.0 - p)).sqrt();
+        // Box-Muller standard normal.
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen::<f64>();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let draw = (mean + sd * z + 0.5).floor();
+        draw.clamp(0.0, packets as f64) as u64
+    }
+}
+
+/// Scales sampled packet/byte counts back up by the sampling interval —
+/// what a collector does when estimating true volumes.
+pub fn upscale(sampled: u64, interval: u32) -> u64 {
+    sampled.saturating_mul(u64::from(interval.max(1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn deterministic_exact_rate() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut s = PacketSampler::new(10, SamplingMode::Deterministic);
+        let hits = (0..1000).filter(|_| s.sample(&mut rng)).count();
+        assert_eq!(hits, 100);
+    }
+
+    #[test]
+    fn deterministic_pattern_every_nth() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut s = PacketSampler::new(4, SamplingMode::Deterministic);
+        let picks: Vec<bool> = (0..8).map(|_| s.sample(&mut rng)).collect();
+        assert_eq!(picks, [false, false, false, true, false, false, false, true]);
+    }
+
+    #[test]
+    fn random_rate_close_to_expected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut s = PacketSampler::new(100, SamplingMode::Random);
+        let trials = 200_000;
+        let hits = (0..trials).filter(|_| s.sample(&mut rng)).count();
+        let rate = hits as f64 / trials as f64;
+        assert!((rate - 0.01).abs() < 0.002, "rate {rate}");
+    }
+
+    #[test]
+    fn interval_one_samples_everything() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for mode in [SamplingMode::Deterministic, SamplingMode::Random] {
+            let mut s = PacketSampler::new(1, mode);
+            assert!((0..100).all(|_| s.sample(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn zero_interval_clamped() {
+        let s = PacketSampler::new(0, SamplingMode::Random);
+        assert_eq!(s.interval, 1);
+    }
+
+    #[test]
+    fn binomial_small_flow_mean() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut total = 0u64;
+        let trials = 50_000;
+        for _ in 0..trials {
+            total += sample_packet_count(&mut rng, 20, 10);
+        }
+        let mean = total as f64 / trials as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn binomial_large_flow_mean_and_bounds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut total = 0u64;
+        let trials = 20_000;
+        for _ in 0..trials {
+            let k = sample_packet_count(&mut rng, 10_000, 100);
+            assert!(k <= 10_000);
+            total += k;
+        }
+        let mean = total as f64 / trials as f64;
+        assert!((mean - 100.0).abs() < 2.0, "mean {mean}");
+    }
+
+    #[test]
+    fn most_small_flows_unobserved_at_isp_sampling() {
+        // The §2 phenomenon: with 1:1000 sampling, a 10-packet flow is
+        // almost never seen, and when seen shows ~1 packet.
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut seen = 0u32;
+        let mut seen_packets = 0u64;
+        for _ in 0..100_000 {
+            let k = sample_packet_count(&mut rng, 10, 1000);
+            if k > 0 {
+                seen += 1;
+                seen_packets += k;
+            }
+        }
+        let frac_seen = f64::from(seen) / 100_000.0;
+        assert!(frac_seen < 0.02, "fraction seen {frac_seen}");
+        let avg_when_seen = seen_packets as f64 / f64::from(seen.max(1));
+        assert!(avg_when_seen < 1.2, "avg packets when seen {avg_when_seen}");
+    }
+
+    #[test]
+    fn upscale_estimates() {
+        assert_eq!(upscale(3, 1000), 3000);
+        assert_eq!(upscale(0, 1000), 0);
+        assert_eq!(upscale(7, 0), 7);
+    }
+
+    #[test]
+    fn unsampled_passthrough() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        assert_eq!(sample_packet_count(&mut rng, 123, 1), 123);
+    }
+}

@@ -1,0 +1,167 @@
+//! The CWA hosting infrastructure (the "CDN" of Figure 1).
+//!
+//! The real backend is operated on Open Telekom Cloud behind a CDN; its
+//! documentation names the service prefixes the paper filtered on
+//! ("2 IPv4 prefixes mentioned in the CWA backend documentation", §2),
+//! and both the app API and the project website are served via HTTPS
+//! from the same infrastructure — which is why the paper cannot tell
+//! them apart in flow data. We model:
+//!
+//! * two synthetic IPv4 service prefixes with a handful of server
+//!   addresses each,
+//! * the two DNS names (API endpoint and website),
+//! * daily diagnosis-key export files, sized with the *actual* export
+//!   wire format from `cwa-exposure` so download flow sizes are honest.
+
+use std::net::Ipv4Addr;
+
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use cwa_exposure::export::TemporaryExposureKeyExport;
+use cwa_exposure::signature::{sign_export, SignatureInfo};
+use cwa_exposure::tek::{DiagnosisKey, TemporaryExposureKey};
+use cwa_exposure::time::EnIntervalNumber;
+use cwa_crypto::p256::SigningKey;
+
+/// DNS name of the key-distribution / API endpoint (modelled on the real
+/// `svc90.main.px.t-online.de`).
+pub const API_DNS_NAME: &str = "svc90.cwa-cdn.example-telekom.de";
+
+/// DNS name of the project website (modelled on `www.coronawarn.app`).
+pub const WEBSITE_DNS_NAME: &str = "www.coronawarn-app.example.de";
+
+/// The CDN address plan and serving parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CdnConfig {
+    /// The two public IPv4 service prefixes `(network, len)`.
+    pub service_prefixes: [(Ipv4Addr, u8); 2],
+    /// Number of distinct server addresses used per prefix.
+    pub servers_per_prefix: u8,
+}
+
+impl Default for CdnConfig {
+    fn default() -> Self {
+        CdnConfig {
+            // Synthetic stand-ins for the documented backend prefixes.
+            service_prefixes: [
+                (Ipv4Addr::new(81, 200, 16, 0), 22),
+                (Ipv4Addr::new(185, 139, 96, 0), 22),
+            ],
+            servers_per_prefix: 8,
+        }
+    }
+}
+
+impl CdnConfig {
+    /// A deterministic server address for a flow, spreading load across
+    /// both prefixes and all servers.
+    pub fn server_for(&self, selector: u64) -> Ipv4Addr {
+        let (net, _len) = self.service_prefixes[(selector % 2) as usize];
+        let host = 1 + (selector / 2) % u64::from(self.servers_per_prefix);
+        Ipv4Addr::from(u32::from(net) + host as u32)
+    }
+
+    /// True if `addr` belongs to one of the service prefixes.
+    pub fn is_service_addr(&self, addr: Ipv4Addr) -> bool {
+        self.service_prefixes
+            .iter()
+            .any(|&(p, l)| cwa_netflow::flow::in_prefix(addr, p, l))
+    }
+
+    /// The backend's export-signing key (fixed, deterministic — the
+    /// real key is pinned in the app).
+    pub fn signing_key() -> SigningKey {
+        let mut secret = [0u8; 32];
+        secret[..16].copy_from_slice(b"cwa-backend-sign");
+        secret[31] = 1;
+        SigningKey::from_bytes(&secret)
+    }
+
+    /// Builds the day's key-export file for a given number of published
+    /// keys, **signs it** (export.bin + export.sig, as on the real CDN),
+    /// and returns the total download size in bytes. The flow generator
+    /// uses this to size key-download responses; real key counts come
+    /// from the upload pipeline.
+    pub fn export_size_bytes<R: RngCore>(&self, rng: &mut R, day: u32, n_keys: usize) -> usize {
+        let start = EnIntervalNumber(((1_592_179_200 / 600) as u32) + day * 144);
+        let keys: Vec<DiagnosisKey> = (0..n_keys)
+            .map(|_| {
+                let tek = TemporaryExposureKey::generate(rng, start);
+                DiagnosisKey::new(tek, 5)
+            })
+            .collect();
+        let export = TemporaryExposureKeyExport::new_de(
+            u64::from(day) * 86_400,
+            (u64::from(day) + 1) * 86_400,
+            keys,
+        );
+        let signed = sign_export(&export, &Self::signing_key(), &SignatureInfo::default());
+        // Plus the zip container overhead observed on the real CDN.
+        signed.export_bin.len() + signed.export_sig.len() + 150
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn two_disjoint_service_prefixes() {
+        let cdn = CdnConfig::default();
+        let [a, b] = cdn.service_prefixes;
+        assert_ne!(a.0, b.0);
+        assert!(!cwa_netflow::flow::in_prefix(b.0, a.0, a.1));
+    }
+
+    #[test]
+    fn servers_within_prefixes() {
+        let cdn = CdnConfig::default();
+        for sel in 0..64u64 {
+            assert!(cdn.is_service_addr(cdn.server_for(sel)), "selector {sel}");
+        }
+    }
+
+    #[test]
+    fn load_spread_across_both_prefixes() {
+        let cdn = CdnConfig::default();
+        let in_first = (0..100u64)
+            .filter(|&s| {
+                cwa_netflow::flow::in_prefix(
+                    cdn.server_for(s),
+                    cdn.service_prefixes[0].0,
+                    cdn.service_prefixes[0].1,
+                )
+            })
+            .count();
+        assert_eq!(in_first, 50);
+    }
+
+    #[test]
+    fn non_service_addresses_rejected() {
+        let cdn = CdnConfig::default();
+        assert!(!cdn.is_service_addr(Ipv4Addr::new(8, 8, 8, 8)));
+        assert!(!cdn.is_service_addr(Ipv4Addr::new(84, 0, 0, 1)));
+    }
+
+    #[test]
+    fn export_size_scales_with_keys() {
+        let cdn = CdnConfig::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let empty = cdn.export_size_bytes(&mut rng, 8, 0);
+        let ten = cdn.export_size_bytes(&mut rng, 8, 10);
+        let hundred = cdn.export_size_bytes(&mut rng, 8, 100);
+        assert!(empty >= 316, "header+container: {empty}");
+        assert!(ten > empty);
+        assert!(hundred > ten);
+        let per_key = (hundred - ten) as f64 / 90.0;
+        assert!((24.0..40.0).contains(&per_key), "per-key {per_key}");
+    }
+
+    #[test]
+    fn dns_names_differ() {
+        assert_ne!(API_DNS_NAME, WEBSITE_DNS_NAME);
+    }
+}

@@ -1,0 +1,389 @@
+//! The simulation orchestrator: one seeded run of the whole world.
+//!
+//! Wires together `cwa-geo` (country + address plan + geo DB),
+//! `cwa-epidemic` (SEIR, adoption, activity, uploads), the traffic
+//! generator, the vantage point, and the DNS study, producing a
+//! [`SimOutput`] that contains exactly what the paper's authors had —
+//! anonymized sampled flow records plus public side data — alongside
+//! calibration ground truth that *only* tests may consult.
+
+use std::collections::HashMap;
+
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use cwa_epidemic::{
+    ActivityModel, AdoptionConfig, AdoptionCurve, AdoptionModel, EpidemicConfig, EpidemicModel,
+    Scenario, Timeline, UploadConfig, UploadPipeline,
+};
+use cwa_geo::{AddressPlan, AddressPlanConfig, GeoDb, GeoDbConfig, Germany, IspId};
+use cwa_netflow::flow::FlowRecord;
+
+use crate::cdn::CdnConfig;
+use crate::dns::{run_dns_study, DnsStudy, TopListModel};
+use crate::traffic::{GroundTruth, TrafficConfig, TrafficModel};
+use crate::vantage::{IspSideEntry, VantageConfig, VantagePoint};
+
+/// Which scenario variant to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScenarioKind {
+    /// The paper's world: outbreaks + media (default).
+    Paper,
+    /// Outbreaks happen, nobody reports on them (ablation).
+    OutbreaksWithoutNews,
+    /// Nothing happens at all (baseline).
+    Quiet,
+}
+
+/// Full simulation configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Traffic volume scale (1.0 = all of Germany; figures are
+    /// normalized, so smaller scales reproduce the same shapes faster).
+    pub scale: f64,
+    /// Master seed (all submodels derive from it deterministically).
+    pub seed: u64,
+    /// Days to simulate (the paper's window is 11).
+    pub days: u32,
+    /// Scenario variant.
+    pub scenario: ScenarioKind,
+    /// Address-plan granularity.
+    pub plan: AddressPlanConfig,
+    /// Geolocation-DB error model.
+    pub geodb: GeoDbConfig,
+    /// Vantage-point (sampling/cache/anonymization) settings.
+    pub vantage: VantageConfig,
+    /// Drive the vantage point with one crossbeam worker per router
+    /// (bit-identical output, faster at large scales).
+    pub parallel: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            scale: 0.05,
+            seed: 0x2020_0616,
+            days: 11,
+            scenario: ScenarioKind::Paper,
+            plan: AddressPlanConfig::default(),
+            geodb: GeoDbConfig::default(),
+            vantage: VantageConfig::default(),
+            parallel: false,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A configuration small enough for unit/integration tests: coarse
+    /// prefixes, low scale, fewer simulated days unchanged.
+    pub fn test_small() -> Self {
+        SimConfig {
+            scale: 0.004,
+            plan: AddressPlanConfig {
+                persons_per_subscription: 2.0,
+                prefix_capacity: 16_384,
+                prefix_len: 18,
+            },
+            ..SimConfig::default()
+        }
+    }
+}
+
+/// Everything a simulation run produces.
+pub struct SimOutput {
+    /// Anonymized sampled flow records — the researchers' data set.
+    pub records: Vec<FlowRecord>,
+    /// Geolocation DB re-keyed to anonymized prefixes (side table).
+    pub geodb: GeoDb,
+    /// Anonymized prefix → ISP / router-ground-truth table (side table).
+    pub isp_table: HashMap<u32, IspSideEntry>,
+    /// Official national download curve (public statista data).
+    pub downloads: AdoptionCurve,
+    /// DNS popularity study results.
+    pub dns: DnsStudy,
+    /// Diagnosis-key publication pipeline outputs.
+    pub uploads: UploadPipeline,
+    /// The CDN model (its service prefixes are public documentation).
+    pub cdn: CdnConfig,
+    /// The scenario that was simulated.
+    pub scenario: Scenario,
+    /// The country model.
+    pub germany: Germany,
+    /// The address plan (ground truth; tests/calibration only).
+    pub plan: AddressPlan,
+    /// Traffic ground truth (tests/calibration only).
+    pub truth: GroundTruth,
+    /// The configuration used.
+    pub config: SimConfig,
+}
+
+/// The simulation runner.
+pub struct Simulation {
+    config: SimConfig,
+}
+
+impl Simulation {
+    /// Creates a runner.
+    pub fn new(config: SimConfig) -> Self {
+        Simulation { config }
+    }
+
+    /// Executes the full pipeline.
+    pub fn run(&self) -> SimOutput {
+        let cfg = self.config;
+        let germany = Germany::build();
+        let plan = AddressPlan::build(&germany, cfg.plan);
+        let geodb = GeoDb::build(
+            &germany,
+            &plan,
+            GeoDbConfig { seed: cfg.seed ^ 0x9E0, ..cfg.geodb },
+        );
+        let gt_isp: IspId = plan
+            .isps
+            .iter()
+            .find(|i| i.ground_truth_routers)
+            .expect("market has a ground-truth ISP")
+            .id;
+
+        let scenario = match cfg.scenario {
+            ScenarioKind::Paper => Scenario::paper_default(&germany, gt_isp),
+            ScenarioKind::OutbreaksWithoutNews => Scenario::outbreaks_without_news(&germany),
+            ScenarioKind::Quiet => Scenario::quiet(),
+        };
+
+        let timeline = Timeline { days: cfg.days };
+        let adoption =
+            AdoptionModel::new(AdoptionConfig::default()).run(&germany, &scenario, timeline);
+        let epidemic = EpidemicModel::new(EpidemicConfig {
+            seed: cfg.seed ^ 0x5E1,
+            ..EpidemicConfig::default()
+        })
+        .run(&germany, &scenario, cfg.days);
+        let uploads =
+            UploadPipeline::derive(&germany, &epidemic, &adoption, UploadConfig::default());
+
+        let activity = ActivityModel::default();
+        let cdn = CdnConfig::default();
+
+        // DNS popularity study.
+        let media: Vec<f64> =
+            (0..timeline.hours()).map(|h| scenario.national_media_factor(h)).collect();
+        let dns = run_dns_study(
+            &TopListModel { seed: cfg.seed ^ 0xD45, ..TopListModel::default() },
+            &adoption,
+            &activity,
+            &media,
+            cfg.days,
+        );
+
+        // Traffic through the vantage point.
+        let traffic_cfg = TrafficConfig {
+            scale: cfg.scale,
+            seed: cfg.seed ^ 0x7AF,
+            ..TrafficConfig::default()
+        };
+        let vantage = VantagePoint::new(
+            cfg.vantage,
+            cdn.service_prefixes.to_vec(),
+            cfg.plan.prefix_len,
+        );
+        // Ground-truth router locations, with rural aggregation error.
+        let routers = cwa_geo::RouterMap::build(
+            &germany,
+            &plan,
+            cwa_geo::RouterMapConfig { seed: cfg.seed ^ 0xB46, ..Default::default() },
+        );
+        let (geodb_anon, isp_table) = vantage.side_tables_routed(&plan, &geodb, &routers);
+        // Daily export size: the real file the app fetches, sized by the
+        // day's published key count via the actual wire format.
+        let mut size_rng = rand_chacha::ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xE47);
+        let export_sizes: Vec<f64> = (0..cfg.days)
+            .map(|day| {
+                let keys = uploads.keys.get(day as usize).copied().unwrap_or(0.0) as usize;
+                cdn.export_size_bytes(&mut size_rng, day, keys) as f64
+            })
+            .collect();
+        let model = TrafficModel::new(
+            &germany,
+            &plan,
+            &scenario,
+            &adoption,
+            activity,
+            cdn.clone(),
+            traffic_cfg,
+            timeline.hours(),
+        )
+        .with_export_sizes(&export_sizes);
+        let (records, truth) = if cfg.parallel {
+            let (records, truth, _stats) =
+                crate::vantage::run_parallel(model, vantage, timeline.hours());
+            (records, truth)
+        } else {
+            let mut vantage = vantage;
+            let mut model = model;
+            for hour in 0..timeline.hours() {
+                model.generate_hour(hour, &mut |ev| vantage.observe(ev));
+                vantage.end_of_hour(hour);
+            }
+            let truth = model.into_truth();
+            let records = vantage.finish(timeline.hours() - 1);
+            (records, truth)
+        };
+
+        SimOutput {
+            records,
+            geodb: geodb_anon,
+            isp_table,
+            downloads: adoption,
+            dns,
+            uploads,
+            cdn,
+            scenario,
+            germany,
+            plan,
+            truth,
+            config: cfg,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_run() -> SimOutput {
+        Simulation::new(SimConfig { days: 4, ..SimConfig::test_small() }).run()
+    }
+
+    #[test]
+    fn produces_records() {
+        let out = small_run();
+        assert!(!out.records.is_empty(), "no records collected");
+        // All clients anonymized: none inside the real client ISP space
+        // (84–95/8) — Crypto-PAn moves them essentially everywhere.
+        let in_clear: usize = out
+            .records
+            .iter()
+            .filter(|r| {
+                let client =
+                    if out.cdn.is_service_addr(r.key.src_ip) { r.key.dst_ip } else { r.key.src_ip };
+                out.plan.lookup(client).is_some()
+            })
+            .count();
+        let frac = in_clear as f64 / out.records.len() as f64;
+        assert!(frac < 0.1, "{frac} of clients resolvable in the raw plan");
+    }
+
+    #[test]
+    fn side_tables_resolve_observed_clients() {
+        let out = small_run();
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        // Extract clients exactly as the analysis pipeline does: only
+        // flows with a CDN endpoint (the others get filtered out anyway).
+        for r in &out.records {
+            let client = if out.cdn.is_service_addr(r.key.src_ip) {
+                r.key.dst_ip
+            } else if out.cdn.is_service_addr(r.key.dst_ip) {
+                r.key.src_ip
+            } else {
+                continue; // background traffic
+            };
+            total += 1;
+            let net = cwa_geo::geodb::mask(client, out.config.plan.prefix_len);
+            if out.isp_table.contains_key(&net) {
+                hits += 1;
+            }
+        }
+        assert!(total > 0);
+        let frac = hits as f64 / total as f64;
+        assert!(
+            (frac - 1.0).abs() < 1e-9,
+            "every CDN-flow client must resolve via the side table: {frac}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = Simulation::new(SimConfig { days: 3, ..SimConfig::test_small() }).run();
+        let b = Simulation::new(SimConfig { days: 3, ..SimConfig::test_small() }).run();
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.truth.api_flows, b.truth.api_flows);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Simulation::new(SimConfig { days: 3, ..SimConfig::test_small() }).run();
+        let b = Simulation::new(SimConfig { days: 3, seed: 99, ..SimConfig::test_small() }).run();
+        assert_ne!(a.records, b.records);
+    }
+
+    #[test]
+    fn export_loss_fault_injection() {
+        use crate::vantage::{ExportFormat, VantageConfig};
+        let base = SimConfig { days: 3, ..SimConfig::test_small() };
+        let clean = Simulation::new(base).run();
+
+        // 5% transport loss: fewer records, analysis still functional,
+        // and the collector's sequence-gap accounting sees the loss.
+        let lossy = Simulation::new(SimConfig {
+            vantage: VantageConfig { export_loss_rate: 0.05, ..base.vantage },
+            ..base
+        })
+        .run();
+        let ratio = lossy.records.len() as f64 / clean.records.len() as f64;
+        assert!((0.90..0.99).contains(&ratio), "survival ratio {ratio}");
+
+        // v9 under loss: lost template announcements only stall data
+        // until re-announcement; most records still arrive.
+        let lossy_v9 = Simulation::new(SimConfig {
+            vantage: VantageConfig {
+                export_loss_rate: 0.05,
+                format: ExportFormat::V9,
+                ..base.vantage
+            },
+            ..base
+        })
+        .run();
+        let ratio9 = lossy_v9.records.len() as f64 / clean.records.len() as f64;
+        assert!(ratio9 > 0.80, "v9 survival ratio {ratio9}");
+    }
+
+    #[test]
+    fn v9_export_equals_v5() {
+        use crate::vantage::{ExportFormat, VantageConfig};
+        let base = SimConfig { days: 2, ..SimConfig::test_small() };
+        let v5 = Simulation::new(base).run();
+        let v9 = Simulation::new(SimConfig {
+            vantage: VantageConfig { format: ExportFormat::V9, ..base.vantage },
+            ..base
+        })
+        .run();
+        // Identical sampling and caches; only the wire format differs —
+        // and both codecs are lossless for our field set.
+        assert_eq!(v5.records, v9.records);
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let base = SimConfig { days: 3, ..SimConfig::test_small() };
+        let serial = Simulation::new(base).run();
+        let parallel = Simulation::new(SimConfig { parallel: true, ..base }).run();
+        assert_eq!(serial.records, parallel.records, "bit-identical records");
+        assert_eq!(serial.truth.api_flows, parallel.truth.api_flows);
+        assert_eq!(serial.truth.cwa_flows_by_hour, parallel.truth.cwa_flows_by_hour);
+    }
+
+    #[test]
+    fn scenario_variants_run() {
+        for kind in [ScenarioKind::Quiet, ScenarioKind::OutbreaksWithoutNews] {
+            let out = Simulation::new(SimConfig {
+                days: 2,
+                scenario: kind,
+                ..SimConfig::test_small()
+            })
+            .run();
+            assert!(out.records.len() < 10_000_000);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Seeded samplers for the traffic generator.
+//!
+//! The offline crate set includes `rand` but not `rand_distr`, so the
+//! two distributions the generator needs are implemented here: Poisson
+//! (flow arrivals per cohort-hour) and log-normal (flow sizes in
+//! packets).
+
+use rand::Rng;
+
+/// Draws from Poisson(`mean`).
+///
+/// Knuth's product method below mean 30 (exact), normal approximation
+/// above (fast; relative error negligible at those means).
+pub fn poisson<R: Rng>(rng: &mut R, mean: f64) -> u64 {
+    if mean <= 0.0 {
+        return 0;
+    }
+    if mean < 30.0 {
+        let l = (-mean).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+            if k > 100_000 {
+                return mean as u64; // numeric guard; unreachable in practice
+            }
+        }
+    } else {
+        let z = standard_normal(rng);
+        (mean + mean.sqrt() * z).max(0.0).round() as u64
+    }
+}
+
+/// Standard normal via Box–Muller.
+pub fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Log-normal sample with the given *median* (`exp(mu)`) and shape
+/// `sigma` (σ of the underlying normal).
+pub fn log_normal<R: Rng>(rng: &mut R, median: f64, sigma: f64) -> f64 {
+    (median.ln() + sigma * standard_normal(rng)).exp()
+}
+
+/// A flow-size draw: packets (≥ 2: a TCP flow has at least SYN+data) and
+/// total bytes, log-normally distributed around `median_packets` with
+/// bytes-per-packet jitter around `bytes_per_packet`.
+pub fn flow_size<R: Rng>(
+    rng: &mut R,
+    median_packets: f64,
+    sigma: f64,
+    bytes_per_packet: f64,
+) -> (u64, u64) {
+    let packets = log_normal(rng, median_packets, sigma).round().max(2.0) as u64;
+    let bpp = (bytes_per_packet * (0.85 + 0.3 * rng.gen::<f64>())).max(60.0);
+    let bytes = (packets as f64 * bpp) as u64;
+    (packets, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn poisson_mean_small_and_large() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for mean in [0.1f64, 2.0, 12.0, 80.0] {
+            let n = 30_000;
+            let total: u64 = (0..n).map(|_| poisson(&mut rng, mean)).sum();
+            let got = total as f64 / f64::from(n);
+            assert!((got - mean).abs() / mean < 0.05, "mean {mean}: got {got}");
+        }
+    }
+
+    #[test]
+    fn poisson_zero_and_negative() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+        assert_eq!(poisson(&mut rng, -1.0), 0);
+    }
+
+    #[test]
+    fn poisson_variance_matches() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mean = 5.0;
+        let n = 50_000;
+        let draws: Vec<u64> = (0..n).map(|_| poisson(&mut rng, mean)).collect();
+        let m = draws.iter().sum::<u64>() as f64 / f64::from(n);
+        let var = draws.iter().map(|&x| (x as f64 - m).powi(2)).sum::<f64>() / f64::from(n);
+        assert!((var - mean).abs() / mean < 0.1, "variance {var}");
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let n = 100_000;
+        let draws: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = draws.iter().sum::<f64>() / f64::from(n);
+        let var = draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / f64::from(n);
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn log_normal_median() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let n = 50_000;
+        let mut draws: Vec<f64> = (0..n).map(|_| log_normal(&mut rng, 20.0, 0.8)).collect();
+        draws.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = draws[n / 2];
+        assert!((median - 20.0).abs() / 20.0 < 0.05, "median {median}");
+    }
+
+    #[test]
+    fn flow_size_bounds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        for _ in 0..10_000 {
+            let (packets, bytes) = flow_size(&mut rng, 18.0, 0.9, 900.0);
+            assert!(packets >= 2);
+            assert!(bytes >= packets * 60, "bytes {bytes} packets {packets}");
+            assert!(bytes <= packets * 1600);
+        }
+    }
+
+    #[test]
+    fn flow_sizes_are_skewed() {
+        // Log-normal: mean > median (heavy right tail).
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let n = 30_000;
+        let mut draws: Vec<u64> =
+            (0..n).map(|_| flow_size(&mut rng, 18.0, 0.9, 900.0).0).collect();
+        let mean = draws.iter().sum::<u64>() as f64 / f64::from(n);
+        draws.sort_unstable();
+        let median = draws[n as usize / 2] as f64;
+        assert!(mean > median * 1.15, "mean {mean} vs median {median}");
+    }
+}

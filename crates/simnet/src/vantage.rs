@@ -1,0 +1,699 @@
+//! The measurement vantage point (BENOCS' position in Figure 1).
+//!
+//! A handful of border routers in front of the CDN data center run
+//! sampled NetFlow: each flow event from the traffic generator passes a
+//! 1-in-N packet sampler; sampled packets are accounted into the
+//! router's flow cache; expired cache entries are exported as NetFlow v5
+//! datagrams to a collector that Crypto-PAn-anonymizes client addresses
+//! (server prefixes stay in the clear, as in the paper's data set — they
+//! are public documentation anyway).
+//!
+//! Each [`Router`] owns its flow cache *and its own seeded sampling
+//! RNG*, so the vantage point can be driven serially or — routers being
+//! independent — in parallel with one crossbeam worker per router
+//! ([`run_parallel`]) with **bit-identical results** (a property the
+//! test suite asserts).
+//!
+//! The vantage point also produces the **side tables** a cooperating
+//! network operator would legitimately hand to researchers together with
+//! anonymized traces:
+//!
+//! * the geolocation DB re-keyed to anonymized prefixes, and
+//! * the ISP/router table: anonymized prefix → ISP, plus the *true*
+//!   router district for the ground-truth ISP (the paper's "18 % of
+//!   geolocations … from local routers within an ISP (ground truth
+//!   since the router locations are known)").
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use cwa_geo::{AddressPlan, DistrictId, GeoDb, IspId};
+use cwa_netflow::anonymize::CryptoPan;
+use cwa_netflow::cache::{CacheStats, FlowCache, FlowCacheConfig};
+use cwa_netflow::collector::Collector;
+use cwa_netflow::flow::FlowRecord;
+use cwa_netflow::sampling::sample_packet_count;
+use cwa_netflow::v5::packetize;
+use cwa_netflow::v9::{V9Decoder, V9Exporter};
+
+use crate::traffic::FlowEvent;
+
+/// Which NetFlow wire format the routers export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExportFormat {
+    /// Classic fixed-layout NetFlow v5.
+    V5,
+    /// Template-based NetFlow v9 (RFC 3954).
+    V9,
+}
+
+/// Vantage-point configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VantageConfig {
+    /// Number of border routers (flow caches / export engines).
+    pub routers: u8,
+    /// Export wire format.
+    pub format: ExportFormat,
+    /// Packet sampling interval N (1-in-N).
+    pub sampling_interval: u32,
+    /// Flow-cache timeouts.
+    pub cache: FlowCacheConfig,
+    /// 32-byte Crypto-PAn key.
+    pub anon_key: [u8; 32],
+    /// Seed for the routers' sampling RNGs.
+    pub sampling_seed: u64,
+    /// Fault injection: probability an export datagram is lost between
+    /// router and collector (UDP transport in the real world). The
+    /// collector detects v5 losses via sequence gaps; v9 survives lost
+    /// template announcements through periodic re-announcement.
+    pub export_loss_rate: f64,
+}
+
+impl Default for VantageConfig {
+    fn default() -> Self {
+        VantageConfig {
+            routers: 4,
+            format: ExportFormat::V5,
+            sampling_interval: 1000,
+            cache: FlowCacheConfig::default(),
+            anon_key: *b"cwa-repro-cryptopan-key-32bytes!",
+            sampling_seed: 0x5A17,
+            export_loss_rate: 0.0,
+        }
+    }
+}
+
+/// One side-table entry per routing prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IspSideEntry {
+    /// Owning ISP.
+    pub isp: IspId,
+    /// For the ground-truth ISP only: the district of the customer-facing
+    /// router (exact). `None` for all other ISPs.
+    pub router_district: Option<DistrictId>,
+}
+
+/// One border router: sampler + flow cache + export sequencing.
+pub struct Router {
+    /// Engine id used in export headers.
+    pub id: u8,
+    sampling_interval: u32,
+    cache: FlowCache,
+    rng: ChaCha8Rng,
+    format: ExportFormat,
+    /// v5 flow sequence counter.
+    sequence: u32,
+    /// v9 exporter state (template refresh, datagram sequence).
+    v9: V9Exporter,
+}
+
+impl Router {
+    /// Creates a router with a deterministic per-router RNG stream.
+    pub fn new(id: u8, cfg: &VantageConfig) -> Self {
+        Router {
+            id,
+            sampling_interval: cfg.sampling_interval,
+            cache: FlowCache::new(cfg.cache),
+            rng: ChaCha8Rng::seed_from_u64(cfg.sampling_seed ^ (0x9E37 * (u64::from(id) + 1))),
+            format: cfg.format,
+            sequence: 0,
+            v9: V9Exporter::new(u32::from(id)),
+        }
+    }
+
+    /// Observes one flow event: samples its packets, accounts survivors.
+    pub fn observe(&mut self, ev: &FlowEvent) {
+        let sampled = sample_packet_count(&mut self.rng, ev.packets, self.sampling_interval);
+        if sampled == 0 {
+            return;
+        }
+        let bytes_per_packet = (ev.bytes / ev.packets.max(1)).max(40);
+        let step = ev.duration_ms / sampled.max(1);
+        for i in 0..sampled {
+            let t = ev.start_ms + i * step;
+            self.cache.account(ev.key, bytes_per_packet, 0x18, t);
+        }
+    }
+
+    /// End-of-hour sweep; returns this router's export datagrams as
+    /// wire bytes.
+    pub fn end_of_hour(&mut self, hour: u32) -> Vec<bytes::Bytes> {
+        let now_ms = u64::from(hour + 1) * 3_600_000;
+        self.cache.sweep(now_ms);
+        self.export(hour)
+    }
+
+    /// Final flush; returns the remaining export datagrams.
+    pub fn finish(&mut self, hour: u32) -> Vec<bytes::Bytes> {
+        self.cache.flush();
+        self.export(hour)
+    }
+
+    fn export(&mut self, hour: u32) -> Vec<bytes::Bytes> {
+        let expired = self.cache.take_expired();
+        let unix_secs = (1_592_179_200 + u64::from(hour + 1) * 3600) as u32;
+        match self.format {
+            ExportFormat::V5 => {
+                if expired.is_empty() {
+                    return Vec::new();
+                }
+                let (packets, next) = packetize(
+                    &expired,
+                    self.id,
+                    self.sampling_interval.min(0x3fff) as u16,
+                    unix_secs,
+                    self.sequence,
+                );
+                self.sequence = next;
+                packets.into_iter().map(|p| p.encode()).collect()
+            }
+            ExportFormat::V9 => {
+                // v9 datagrams carry up to ~24 of our records within a
+                // typical MTU; the first datagram also announces the
+                // template (even when no records expired, so the
+                // collector always has it).
+                if expired.is_empty() {
+                    return Vec::new();
+                }
+                expired
+                    .chunks(24)
+                    .map(|chunk| {
+                        self.v9.export(chunk, unix_secs, (u64::from(hour) * 3_600_000) as u32)
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// The router's cache statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+}
+
+/// Deterministically assigns a flow to a router by its client-side
+/// routing prefix (clients of one region traverse one border router).
+pub fn router_for(ev: &FlowEvent, plan_prefix_len: u8, routers: usize) -> usize {
+    let client = if ev.downstream { ev.key.dst_ip } else { ev.key.src_ip };
+    let prefix = cwa_geo::geodb::mask(client, plan_prefix_len);
+    // Fibonacci hashing of the prefix.
+    let h = (u64::from(prefix)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (h >> 32) as usize % routers
+}
+
+/// The vantage point: routers plus the anonymizing collector.
+pub struct VantagePoint {
+    routers: Vec<Router>,
+    collector: Collector,
+    cryptopan: CryptoPan,
+    plan_prefix_len: u8,
+    format: ExportFormat,
+    v9_decoder: V9Decoder,
+    transport: Transport,
+}
+
+/// The (lossy) export transport between routers and collector.
+pub(crate) struct Transport {
+    loss_rate: f64,
+    rng: ChaCha8Rng,
+    /// Datagrams dropped by fault injection.
+    pub dropped_datagrams: u64,
+    /// v9 data sets skipped because their template was lost.
+    pub undecodable_datagrams: u64,
+}
+
+impl Transport {
+    fn new(cfg: &VantageConfig) -> Self {
+        use rand::SeedableRng as _;
+        Transport {
+            loss_rate: cfg.export_loss_rate,
+            rng: ChaCha8Rng::seed_from_u64(cfg.sampling_seed ^ 0x105E),
+            dropped_datagrams: 0,
+            undecodable_datagrams: 0,
+        }
+    }
+
+    fn delivers(&mut self) -> bool {
+        use rand::Rng as _;
+        if self.loss_rate <= 0.0 {
+            return true;
+        }
+        if self.rng.gen::<f64>() < self.loss_rate {
+            self.dropped_datagrams += 1;
+            false
+        } else {
+            true
+        }
+    }
+}
+
+impl VantagePoint {
+    /// Creates the vantage point. `server_prefixes` are exempt from
+    /// anonymization; `plan_prefix_len` is the routing-prefix length of
+    /// the address plan (used for routing and side-table keying).
+    pub fn new(
+        cfg: VantageConfig,
+        server_prefixes: Vec<(Ipv4Addr, u8)>,
+        plan_prefix_len: u8,
+    ) -> Self {
+        let routers = (0..cfg.routers).map(|id| Router::new(id, &cfg)).collect();
+        let collector = Collector::new_anonymizing(&cfg.anon_key, server_prefixes);
+        let cryptopan = CryptoPan::new(&cfg.anon_key);
+        let transport = Transport::new(&cfg);
+        VantagePoint {
+            routers,
+            collector,
+            cryptopan,
+            plan_prefix_len,
+            format: cfg.format,
+            v9_decoder: V9Decoder::new(),
+            transport,
+        }
+    }
+
+    /// Fault-injection statistics: `(datagrams dropped in transport,
+    /// v9 datagrams undecodable due to lost templates)`.
+    pub fn transport_stats(&self) -> (u64, u64) {
+        (self.transport.dropped_datagrams, self.transport.undecodable_datagrams)
+    }
+
+    /// Feeds one wire datagram into the collector, decoding per the
+    /// configured format. Passes the (possibly lossy) transport first.
+    fn ingest_wire(
+        collector: &mut Collector,
+        v9_decoder: &mut V9Decoder,
+        transport: &mut Transport,
+        format: ExportFormat,
+        wire: bytes::Bytes,
+    ) {
+        if !transport.delivers() {
+            return;
+        }
+        match format {
+            ExportFormat::V5 => {
+                collector.ingest(wire).expect("self-produced v5 datagram is valid");
+            }
+            ExportFormat::V9 => {
+                // Engine id = v9 source id (set by the router).
+                let source = u32::from_be_bytes([wire[16], wire[17], wire[18], wire[19]]) as u8;
+                match v9_decoder.decode(wire) {
+                    Ok(records) => collector.ingest_records(records, source),
+                    Err(cwa_netflow::v9::V9Error::UnknownTemplate(_)) => {
+                        // The template announcement was lost; data sets
+                        // stay undecodable until the next re-announcement.
+                        transport.undecodable_datagrams += 1;
+                    }
+                    Err(e) => panic!("self-produced v9 datagram invalid: {e}"),
+                }
+            }
+        }
+    }
+
+    /// Observes one flow event (routes it to the owning router).
+    pub fn observe(&mut self, ev: &FlowEvent) {
+        let r = router_for(ev, self.plan_prefix_len, self.routers.len());
+        self.routers[r].observe(ev);
+    }
+
+    /// End-of-hour housekeeping across all routers (in id order, keeping
+    /// the collector's record order deterministic).
+    pub fn end_of_hour(&mut self, hour: u32) {
+        for router in &mut self.routers {
+            for wire in router.end_of_hour(hour) {
+                Self::ingest_wire(
+                    &mut self.collector,
+                    &mut self.v9_decoder,
+                    &mut self.transport,
+                    self.format,
+                    wire,
+                );
+            }
+        }
+    }
+
+    /// Flushes all caches (end of measurement) and returns every
+    /// collected, anonymized record.
+    pub fn finish(mut self, final_hour: u32) -> Vec<FlowRecord> {
+        for router in &mut self.routers {
+            for wire in router.finish(final_hour) {
+                Self::ingest_wire(
+                    &mut self.collector,
+                    &mut self.v9_decoder,
+                    &mut self.transport,
+                    self.format,
+                    wire,
+                );
+            }
+        }
+        self.collector.into_records()
+    }
+
+    /// Decomposes into parts for the parallel driver.
+    pub(crate) fn into_parts(
+        self,
+    ) -> (Vec<Router>, Collector, u8, ExportFormat, V9Decoder, Transport) {
+        (
+            self.routers,
+            self.collector,
+            self.plan_prefix_len,
+            self.format,
+            self.v9_decoder,
+            self.transport,
+        )
+    }
+
+    /// Builds the anonymized side tables from the operator's knowledge.
+    pub fn side_tables(
+        &self,
+        plan: &AddressPlan,
+        geodb: &GeoDb,
+    ) -> (GeoDb, HashMap<u32, IspSideEntry>) {
+        side_tables_with(&self.cryptopan, plan, geodb, None)
+    }
+
+    /// Side tables with the realistic router map: the ground-truth
+    /// "router location" for a prefix is the *serving* router's
+    /// district, which for rural prefixes may be the neighbouring
+    /// district — the imprecision §3 of the paper warns about.
+    pub fn side_tables_routed(
+        &self,
+        plan: &AddressPlan,
+        geodb: &GeoDb,
+        routers: &cwa_geo::RouterMap,
+    ) -> (GeoDb, HashMap<u32, IspSideEntry>) {
+        side_tables_with(&self.cryptopan, plan, geodb, Some(routers))
+    }
+
+    /// Aggregate cache statistics over all routers.
+    pub fn cache_stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for r in &self.routers {
+            let s = r.stats();
+            total.packets_seen += s.packets_seen;
+            total.expired_inactive += s.expired_inactive;
+            total.expired_active += s.expired_active;
+            total.expired_emergency += s.expired_emergency;
+            total.expired_flush += s.expired_flush;
+        }
+        total
+    }
+}
+
+/// Builds the anonymized side tables (standalone form used by both the
+/// serial and parallel drivers).
+pub fn side_tables_with(
+    cryptopan: &CryptoPan,
+    plan: &AddressPlan,
+    geodb: &GeoDb,
+    routers: Option<&cwa_geo::RouterMap>,
+) -> (GeoDb, HashMap<u32, IspSideEntry>) {
+    let geodb_anon = geodb.rekeyed(|a| cryptopan.anonymize(a));
+    let mut isp_table = HashMap::with_capacity(plan.allocations().len());
+    for alloc in plan.allocations() {
+        let anon_net = cwa_geo::geodb::mask(cryptopan.anonymize(alloc.network), alloc.len);
+        let is_gt = plan.isp(alloc.isp).ground_truth_routers;
+        let router_district = if is_gt {
+            match routers {
+                Some(map) => map
+                    .router_of(u32::from(alloc.network))
+                    .map(|r| r.district)
+                    .or(Some(alloc.district)),
+                None => Some(alloc.district),
+            }
+        } else {
+            None
+        };
+        isp_table.insert(anon_net, IspSideEntry { isp: alloc.isp, router_district });
+    }
+    (geodb_anon, isp_table)
+}
+
+/// Messages the parallel driver sends to router workers.
+enum WorkerMsg {
+    Event(Box<FlowEvent>),
+    EndOfHour(u32),
+    Finish(u32),
+}
+
+/// Drives a traffic generator through the vantage point with one
+/// crossbeam worker thread per router. Returns the anonymized records
+/// and the traffic ground truth.
+///
+/// Determinism: every router consumes its events in generation order
+/// with its own RNG stream, and the main thread ingests each hour's
+/// exports in router-id order — so the output is **identical** to the
+/// serial driver's.
+pub fn run_parallel(
+    mut model: crate::traffic::TrafficModel<'_>,
+    vantage: VantagePoint,
+    hours: u32,
+) -> (Vec<FlowRecord>, crate::traffic::GroundTruth, CacheStats) {
+    let (routers, mut collector, plan_prefix_len, format, mut v9_decoder, mut transport) =
+        vantage.into_parts();
+    let n_routers = routers.len();
+
+    let mut worker_txs = Vec::with_capacity(n_routers);
+    let (reply_tx, reply_rx) =
+        std::sync::mpsc::channel::<(u8, Vec<bytes::Bytes>, bool, CacheStats)>();
+
+    let result = crossbeam::thread::scope(|scope| {
+        for mut router in routers {
+            let (tx, rx) = crossbeam::channel::unbounded::<WorkerMsg>();
+            worker_txs.push(tx);
+            let reply = reply_tx.clone();
+            scope.spawn(move |_| {
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        WorkerMsg::Event(ev) => router.observe(&ev),
+                        WorkerMsg::EndOfHour(h) => {
+                            let packets = router.end_of_hour(h);
+                            reply
+                                .send((router.id, packets, false, router.stats()))
+                                .expect("main thread alive");
+                        }
+                        WorkerMsg::Finish(h) => {
+                            let packets = router.finish(h);
+                            reply
+                                .send((router.id, packets, true, router.stats()))
+                                .expect("main thread alive");
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+        drop(reply_tx);
+
+        let collect_round = |collector: &mut Collector,
+                             v9_decoder: &mut V9Decoder,
+                             transport: &mut Transport|
+         -> CacheStats {
+            // Gather one reply per router, ingest in id order.
+            let mut round: Vec<(u8, Vec<bytes::Bytes>, bool, CacheStats)> =
+                (0..n_routers).map(|_| reply_rx.recv().expect("worker alive")).collect();
+            round.sort_by_key(|(id, ..)| *id);
+            let mut stats = CacheStats::default();
+            for (_, datagrams, _, s) in round {
+                for wire in datagrams {
+                    VantagePoint::ingest_wire(collector, v9_decoder, transport, format, wire);
+                }
+                stats.packets_seen += s.packets_seen;
+                stats.expired_inactive += s.expired_inactive;
+                stats.expired_active += s.expired_active;
+                stats.expired_emergency += s.expired_emergency;
+                stats.expired_flush += s.expired_flush;
+            }
+            stats
+        };
+
+        for hour in 0..hours {
+            model.generate_hour(hour, &mut |ev| {
+                let r = router_for(ev, plan_prefix_len, n_routers);
+                worker_txs[r].send(WorkerMsg::Event(Box::new(*ev))).expect("worker alive");
+            });
+            for tx in &worker_txs {
+                tx.send(WorkerMsg::EndOfHour(hour)).expect("worker alive");
+            }
+            collect_round(&mut collector, &mut v9_decoder, &mut transport);
+        }
+        for tx in &worker_txs {
+            tx.send(WorkerMsg::Finish(hours.saturating_sub(1))).expect("worker alive");
+        }
+        let final_stats = collect_round(&mut collector, &mut v9_decoder, &mut transport);
+        final_stats
+    })
+    .expect("no worker panicked");
+
+    (collector.into_records(), model.into_truth(), result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::FlowKind;
+    use cwa_netflow::flow::{FlowKey, Protocol};
+
+    fn event(client: Ipv4Addr, packets: u64, start_ms: u64) -> FlowEvent {
+        FlowEvent {
+            key: FlowKey {
+                src_ip: Ipv4Addr::new(81, 200, 16, 1),
+                dst_ip: client,
+                src_port: 443,
+                dst_port: 44_000,
+                protocol: Protocol::Tcp,
+            },
+            packets,
+            bytes: packets * 1000,
+            start_ms,
+            duration_ms: 2_000,
+            kind: FlowKind::Api,
+            district: DistrictId(0),
+            isp: IspId(0),
+            downstream: true,
+        }
+    }
+
+    fn vp(sampling: u32) -> VantagePoint {
+        VantagePoint::new(
+            VantageConfig { sampling_interval: sampling, ..VantageConfig::default() },
+            vec![(Ipv4Addr::new(81, 200, 16, 0), 22), (Ipv4Addr::new(185, 139, 96, 0), 22)],
+            22,
+        )
+    }
+
+    #[test]
+    fn unsampled_flow_is_recorded_and_anonymized() {
+        let mut v = vp(1);
+        let client = Ipv4Addr::new(84, 10, 0, 5);
+        v.observe(&event(client, 10, 1000));
+        v.end_of_hour(0);
+        let records = v.finish(0);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].packets, 10);
+        assert_eq!(records[0].key.src_ip, Ipv4Addr::new(81, 200, 16, 1), "server clear");
+        assert_ne!(records[0].key.dst_ip, client, "client anonymized");
+    }
+
+    #[test]
+    fn heavy_sampling_drops_most_small_flows() {
+        let mut v = vp(1000);
+        for i in 0..2_000u32 {
+            let client = Ipv4Addr::from(u32::from(Ipv4Addr::new(84, 0, 0, 0)) + i);
+            v.observe(&event(client, 15, 500));
+        }
+        v.end_of_hour(0);
+        let records = v.finish(0);
+        // E[seen] ≈ 2000 * (1 - (1-1/1000)^15) ≈ 30.
+        assert!(
+            (5..90).contains(&records.len()),
+            "{} of 2000 flows observed",
+            records.len()
+        );
+        let avg: f64 =
+            records.iter().map(|r| r.packets as f64).sum::<f64>() / records.len() as f64;
+        assert!(avg < 2.0, "avg packets {avg}");
+    }
+
+    #[test]
+    fn same_prefix_same_router() {
+        let e1 = event(Ipv4Addr::new(84, 10, 0, 5), 5, 0);
+        let e2 = event(Ipv4Addr::new(84, 10, 0, 200), 5, 0);
+        assert_eq!(router_for(&e1, 22, 4), router_for(&e2, 22, 4));
+    }
+
+    #[test]
+    fn anonymization_consistent_across_hours() {
+        let mut v = vp(1);
+        let client = Ipv4Addr::new(84, 10, 0, 5);
+        v.observe(&event(client, 5, 10_000));
+        v.end_of_hour(0);
+        v.observe(&event(client, 5, 3_700_000));
+        v.end_of_hour(1);
+        let records = v.finish(1);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].key.dst_ip, records[1].key.dst_ip);
+    }
+
+    #[test]
+    fn side_tables_cover_plan() {
+        use cwa_geo::{AddressPlan, AddressPlanConfig, GeoDb, GeoDbConfig, Germany};
+        let g = Germany::build();
+        let plan = AddressPlan::build(
+            &g,
+            AddressPlanConfig {
+                persons_per_subscription: 2.0,
+                prefix_capacity: 16_384,
+                prefix_len: 18,
+            },
+        );
+        let geodb = GeoDb::build(&g, &plan, GeoDbConfig::default());
+        let v = VantagePoint::new(
+            VantageConfig::default(),
+            vec![(Ipv4Addr::new(81, 200, 16, 0), 22)],
+            18,
+        );
+        let (geodb_anon, isp_table) = v.side_tables(&plan, &geodb);
+        assert_eq!(geodb_anon.len(), geodb.len());
+        assert_eq!(isp_table.len(), plan.allocations().len());
+
+        let gt_isp = plan.isps.iter().find(|i| i.ground_truth_routers).unwrap().id;
+        let cp = CryptoPan::new(&VantageConfig::default().anon_key);
+        for alloc in plan.allocations().iter().take(500) {
+            let anon = cwa_geo::geodb::mask(cp.anonymize(alloc.network), 18);
+            let entry = isp_table[&anon];
+            assert_eq!(entry.isp, alloc.isp);
+            if alloc.isp == gt_isp {
+                assert_eq!(entry.router_district, Some(alloc.district));
+            } else {
+                assert_eq!(entry.router_district, None);
+            }
+        }
+    }
+
+    #[test]
+    fn long_flow_split_by_active_timeout() {
+        let mut v = vp(1);
+        let mut e = event(Ipv4Addr::new(84, 10, 0, 9), 600, 0);
+        e.duration_ms = 600_000;
+        v.observe(&e);
+        v.end_of_hour(0);
+        let records = v.finish(0);
+        assert!(records.len() >= 4, "split into {} records", records.len());
+        let total: u64 = records.iter().map(|r| r.packets).sum();
+        assert_eq!(total, 600);
+    }
+
+    #[test]
+    fn cache_stats_accumulate() {
+        let mut v = vp(1);
+        for i in 0..50u32 {
+            v.observe(&event(Ipv4Addr::from(0x54000000 + i), 5, 100));
+        }
+        v.end_of_hour(0);
+        let stats = v.cache_stats();
+        assert_eq!(stats.packets_seen, 250);
+    }
+
+    #[test]
+    fn router_rngs_differ() {
+        let cfg = VantageConfig::default();
+        let mut r0 = Router::new(0, &cfg);
+        let mut r1 = Router::new(1, &cfg);
+        // Same event stream, different sampling outcomes (eventually).
+        let mut diverged = false;
+        for i in 0..500u32 {
+            let ev = event(Ipv4Addr::from(0x54000000 + i), 15, 100);
+            r0.observe(&ev);
+            r1.observe(&ev);
+            if r0.stats().packets_seen != r1.stats().packets_seen {
+                diverged = true;
+                break;
+            }
+        }
+        assert!(diverged, "independent RNG streams per router");
+    }
+}

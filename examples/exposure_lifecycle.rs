@@ -1,0 +1,120 @@
+//! Walks the complete Exposure Notification lifecycle of Figure 1 —
+//! the *reason* the traffic the paper measures exists at all.
+//!
+//! ```sh
+//! cargo run --release --example exposure_lifecycle
+//! ```
+//!
+//! Alice and Bob ride the same tram; Carol stays home. Alice later tests
+//! positive and uploads her keys; the CDN publishes the day's key
+//! export; everyone downloads it (the HTTPS flow the paper's vantage
+//! point records) and matches locally.
+
+use cwa_exposure::advertisement::tx_power_from_metadata;
+use cwa_exposure::export::TemporaryExposureKeyExport;
+use cwa_exposure::time::{EnIntervalNumber, STUDY_EPOCH_UNIX, TEK_ROLLING_PERIOD};
+use cwa_exposure::Device;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x2020_0616);
+
+    let mut alice = Device::new(1);
+    let mut bob = Device::new(2);
+    let mut carol = Device::new(3);
+
+    // ---- Day 0 (June 16): the tram ride. ----
+    let day0 = EnIntervalNumber::from_unix(STUDY_EPOCH_UNIX + 86_400); // June 16
+    println!("== day 0: Alice and Bob share a tram for 30 minutes ==");
+    for i in 0..3u32 {
+        let t = day0.advance(51 + i); // around 08:30 local
+        for d in [&mut alice, &mut bob, &mut carol] {
+            d.roll_key_if_needed(&mut rng, t);
+        }
+        let adv_a = alice.advertise(t);
+        let adv_b = bob.advertise(t);
+        // 2 m apart in a tram: strong signal, low attenuation.
+        bob.observe(&adv_a, t, 28, 10);
+        alice.observe(&adv_b, t, 28, 10);
+        println!(
+            "  interval {}: Alice broadcasts RPI {}, Bob broadcasts RPI {}",
+            t.0,
+            hex(&adv_a.rpi.0[..4]),
+            hex(&adv_b.rpi.0[..4]),
+        );
+    }
+    println!(
+        "  Bob's encounter store: {} pseudonymous RPIs (nothing identifies Alice)",
+        bob.encounter_count()
+    );
+
+    // ---- Day 2 (June 18): Alice tests positive. ----
+    let day2 = EnIntervalNumber(day0.0 + 2 * TEK_ROLLING_PERIOD);
+    for d in [&mut alice, &mut bob, &mut carol] {
+        d.roll_key_if_needed(&mut rng, day2);
+        d.expire(day2);
+    }
+    println!("\n== day 2: Alice tests positive, consents to upload ==");
+    let diagnosis_keys = alice.upload_diagnosis_keys(day2, 6);
+    println!("  Alice uploads {} temporary exposure keys (verified by health authority)", diagnosis_keys.len());
+
+    // ---- The CDN publishes the day's export file, ECDSA-signed. ----
+    let export = TemporaryExposureKeyExport::new_de(
+        STUDY_EPOCH_UNIX + 2 * 86_400,
+        STUDY_EPOCH_UNIX + 3 * 86_400,
+        diagnosis_keys,
+    );
+    let backend_key = {
+        let mut secret = [0u8; 32];
+        secret[..16].copy_from_slice(b"cwa-backend-sign");
+        secret[31] = 1;
+        cwa_crypto::SigningKey::from_bytes(&secret)
+    };
+    let info = cwa_exposure::signature::SignatureInfo::default();
+    let signed = cwa_exposure::sign_export(&export, &backend_key, &info);
+    println!(
+        "  CDN serves export.bin ({} bytes, {} keys, header {:?}) + export.sig ({} bytes, ECDSA-P256)",
+        signed.export_bin.len(),
+        export.keys.len(),
+        String::from_utf8_lossy(&signed.export_bin[..12]),
+        signed.export_sig.len(),
+    );
+
+    // ---- Every app instance downloads, VERIFIES the pinned signature,
+    // and matches — this download is the HTTPS flow the paper's NetFlow
+    // traces consist of. ----
+    println!("\n== daily key download, signature check & on-phone matching ==");
+    let downloaded =
+        cwa_exposure::verify_export(&signed, &backend_key.verifying_key(), &info)
+            .expect("signature verifies against the pinned key");
+    for (name, device) in [("Bob", &bob), ("Carol", &carol)] {
+        let matches = device.check_exposure(&downloaded.keys, day2);
+        match matches.first() {
+            Some(m) => {
+                println!(
+                    "  {name}: EXPOSED — {} matched intervals, {} min, attenuation {} dB, risk score {}",
+                    m.matched_intervals, m.duration_minutes, m.min_attenuation_db, m.risk_score.0
+                );
+            }
+            None => println!("  {name}: no exposure found"),
+        }
+    }
+
+    // ---- Privacy property: metadata readable only after disclosure. ----
+    let t = day0.advance(51);
+    let adv = downloaded.keys[0].tek.rpi(t);
+    let aem = downloaded.keys[0]
+        .tek
+        .encrypt_metadata(t, &cwa_exposure::advertisement::metadata_v1(-8));
+    let meta = downloaded.keys[0].tek.decrypt_metadata(&adv, &aem);
+    println!(
+        "\nAfter disclosure, Bob can decrypt Alice's advertisement metadata: tx power {} dBm.",
+        tx_power_from_metadata(&meta)
+    );
+    println!("Before disclosure, RPIs rotate every 10 min and are unlinkable.");
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}

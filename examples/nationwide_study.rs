@@ -1,0 +1,64 @@
+//! The full nationwide study: reproduces Figure 2, Figure 3 and all
+//! quantitative claims at a configurable scale, and writes
+//! machine-readable outputs (JSON report + CSVs for both figures).
+//!
+//! ```sh
+//! # default: scale 0.05 (≈ 800k peak simulated app users)
+//! cargo run --release --example nationwide_study
+//!
+//! # closer to full Germany (slower):
+//! cargo run --release --example nationwide_study -- 0.25 out/
+//! ```
+//!
+//! Arguments: `[scale] [output-dir]`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use cwa_core::{Study, StudyConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: f64 = args
+        .next()
+        .map(|s| s.parse().expect("scale must be a number in (0, 1]"))
+        .unwrap_or(0.05);
+    let out_dir = PathBuf::from(args.next().unwrap_or_else(|| "out".to_owned()));
+
+    assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+    let config = StudyConfig::at_scale(scale);
+
+    eprintln!("running nationwide study at scale {scale} …");
+    let start = std::time::Instant::now();
+    let report = Study::new(config).run();
+    eprintln!("simulation + analysis finished in {:?}", start.elapsed());
+
+    // Human-readable report.
+    println!("{}", report.render_text());
+
+    // Machine-readable outputs.
+    fs::create_dir_all(&out_dir).expect("create output directory");
+    let json_path = out_dir.join("report.json");
+    fs::write(&json_path, report.to_json()).expect("write report.json");
+    let fig2_path = out_dir.join("figure2.csv");
+    fs::write(&fig2_path, report.figure2.to_csv()).expect("write figure2.csv");
+    let fig3_path = out_dir.join("figure3.csv");
+    fs::write(&fig3_path, report.figure3.to_csv()).expect("write figure3.csv");
+    let md_path = out_dir.join("claims.md");
+    fs::write(&md_path, report.to_markdown_rows()).expect("write claims.md");
+    fs::write(out_dir.join("figure2.svg"), report.figure2_svg()).expect("write figure2.svg");
+    fs::write(out_dir.join("figure3.svg"), report.figure3_svg()).expect("write figure3.svg");
+
+    eprintln!(
+        "wrote {}, {}, {}, {} (+ figure2.svg, figure3.svg)",
+        json_path.display(),
+        fig2_path.display(),
+        fig3_path.display(),
+        md_path.display()
+    );
+
+    if !report.all_passed() {
+        eprintln!("WARNING: {} claim(s) outside their bands", report.failures().len());
+        std::process::exit(1);
+    }
+}

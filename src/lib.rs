@@ -1,0 +1,20 @@
+//! # cwa-repro — umbrella crate
+//!
+//! Re-exports every subsystem of the reproduction of *"Corona-Warn-App:
+//! Tracing the Start of the Official COVID-19 Exposure Notification App
+//! for Germany"* (SIGCOMM '20 Posters) so that the root `examples/` and
+//! `tests/` can exercise the full public API from one place.
+//!
+//! See `README.md` for a quickstart, `DESIGN.md` for the system inventory,
+//! and `EXPERIMENTS.md` for the paper-vs-measured record.
+
+#![forbid(unsafe_code)]
+
+pub use cwa_analysis as analysis;
+pub use cwa_core as core;
+pub use cwa_crypto as crypto;
+pub use cwa_epidemic as epidemic;
+pub use cwa_exposure as exposure;
+pub use cwa_geo as geo;
+pub use cwa_netflow as netflow;
+pub use cwa_simnet as simnet;

@@ -1,0 +1,158 @@
+//! `cwa-repro` — command-line front end for the reproduction.
+//!
+//! ```text
+//! cwa-repro study [--scale S] [--seed N] [--parallel] [--out DIR]
+//! cwa-repro dns   [--days N]
+//! cwa-repro ablation
+//! cwa-repro help
+//! ```
+
+use std::process::ExitCode;
+
+use cwa_core::{Study, StudyConfig};
+use cwa_simnet::sim::ScenarioKind;
+use cwa_simnet::{SimConfig, Simulation};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("study") => study(&args[1..]),
+        Some("dns") => dns(&args[1..]),
+        Some("ablation") => ablation(),
+        Some("help") | None => {
+            print!("{}", usage());
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n\n{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> String {
+    "cwa-repro — reproduction of the SIGCOMM'20 Corona-Warn-App measurement study\n\
+     \n\
+     USAGE:\n\
+     \x20 cwa-repro study [--scale S] [--seed N] [--parallel] [--out DIR]\n\
+     \x20     run the full study and print the paper-vs-measured report\n\
+     \x20 cwa-repro dns [--days N]\n\
+     \x20     print the Umbrella-style DNS rank model output per day\n\
+     \x20 cwa-repro ablation\n\
+     \x20     compare the paper scenario against the no-news counterfactual\n\
+     \x20 cwa-repro help\n"
+        .to_owned()
+}
+
+/// Minimal `--key value` / `--flag` parser.
+fn opt(args: &[String], key: &str) -> Option<String> {
+    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn flag(args: &[String], key: &str) -> bool {
+    args.iter().any(|a| a == key)
+}
+
+fn study(args: &[String]) -> ExitCode {
+    let scale: f64 = match opt(args, "--scale").map(|s| s.parse()) {
+        Some(Ok(s)) if s > 0.0 && s <= 1.0 => s,
+        None => 0.02,
+        _ => {
+            eprintln!("--scale must be a number in (0, 1]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut config = StudyConfig::at_scale(scale);
+    if let Some(seed) = opt(args, "--seed") {
+        match seed.parse() {
+            Ok(s) => config.sim.seed = s,
+            Err(_) => {
+                eprintln!("--seed must be an integer");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    config.sim.parallel = flag(args, "--parallel");
+
+    eprintln!("running study at scale {scale} (seed {:#x}) …", config.sim.seed);
+    let start = std::time::Instant::now();
+    let report = Study::new(config).run();
+    eprintln!("done in {:?}\n", start.elapsed());
+    println!("{}", report.render_text());
+
+    if let Some(dir) = opt(args, "--out") {
+        let dir = std::path::PathBuf::from(dir);
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        let writes = [
+            ("report.json", report.to_json()),
+            ("figure2.csv", report.figure2.to_csv()),
+            ("figure3.csv", report.figure3.to_csv()),
+            ("figure2.svg", report.figure2_svg()),
+            ("figure3.svg", report.figure3_svg()),
+            ("claims.md", report.to_markdown_rows()),
+        ];
+        for (name, content) in writes {
+            let path = dir.join(name);
+            if let Err(e) = std::fs::write(&path, content) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {}", path.display());
+        }
+    }
+
+    if report.all_passed() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("{} claim(s) outside their bands", report.failures().len());
+        ExitCode::FAILURE
+    }
+}
+
+fn dns(args: &[String]) -> ExitCode {
+    let days: u32 = opt(args, "--days").and_then(|s| s.parse().ok()).unwrap_or(11);
+    let out = Simulation::new(SimConfig { days, scale: 0.001, ..SimConfig::test_small() }).run();
+    let fmt_rank = |r: u64| {
+        if r > 1_000_000_000_000 {
+            "—".to_owned()
+        } else {
+            r.to_string()
+        }
+    };
+    println!("day  date    api_rank      website_rank  api_in_top1M");
+    for d in 0..days as usize {
+        println!(
+            "{:<4} Jun {:<3} {:<13} {:<13} {}",
+            d,
+            15 + d,
+            fmt_rank(out.dns.api_rank[d]),
+            fmt_rank(out.dns.website_rank[d]),
+            if out.dns.api_top1m_days.contains(&(d as u32)) { "yes" } else { "" }
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn ablation() -> ExitCode {
+    println!("June-23 re-surge (Jun 23–25 / Jun 20–22 true CWA flows):");
+    for (label, kind) in [
+        ("paper (outbreaks + news)", ScenarioKind::Paper),
+        ("outbreaks without news  ", ScenarioKind::OutbreaksWithoutNews),
+        ("quiet                   ", ScenarioKind::Quiet),
+    ] {
+        let out = Simulation::new(SimConfig {
+            scale: 0.008,
+            scenario: kind,
+            ..SimConfig::default()
+        })
+        .run();
+        let t = &out.truth.cwa_flows_by_hour;
+        let pre: u64 = t[5 * 24..8 * 24].iter().sum();
+        let post: u64 = t[8 * 24..11 * 24].iter().sum();
+        println!("  {label}: {:.3}x", post as f64 / pre.max(1) as f64);
+    }
+    ExitCode::SUCCESS
+}

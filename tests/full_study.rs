@@ -1,0 +1,116 @@
+//! End-to-end reproduction test: one moderate-scale study run must
+//! reproduce **every** figure shape and claim band of the paper.
+//!
+//! This is the repository's headline test. It simulates ~2 % of Germany
+//! (enough density for every claim to stabilize), runs the paper's
+//! analysis pipeline on the anonymized sampled records, and asserts the
+//! full claim table.
+
+use cwa_core::{Study, StudyConfig};
+use cwa_repro::core::report::StudyReport;
+use std::sync::OnceLock;
+
+/// One shared run for all assertions in this file (the simulation is the
+/// expensive part; the assertions are cheap).
+fn report() -> &'static StudyReport {
+    static REPORT: OnceLock<StudyReport> = OnceLock::new();
+    REPORT.get_or_init(|| Study::new(StudyConfig::at_scale(0.02)).run())
+}
+
+#[test]
+fn all_claims_pass() {
+    let r = report();
+    let failures: Vec<String> = r
+        .failures()
+        .iter()
+        .map(|c| format!("{}: measured {:.4}, band {:?} — {}", c.id.code(), c.measured, c.band, c.detail))
+        .collect();
+    assert!(failures.is_empty(), "claims outside bands:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn figure2_shape() {
+    let r = report();
+    let flows = &r.figure2.flows_normed;
+    assert_eq!(flows.len(), 264, "one point per hour of June 15–25");
+
+    // (a) Pre-release day is the low plateau: its mean is well below the
+    // post-release mean.
+    let day0_mean: f64 = flows[..24].iter().sum::<f64>() / 24.0;
+    let day2_mean: f64 = flows[48..72].iter().sum::<f64>() / 24.0;
+    assert!(
+        day2_mean > day0_mean * 3.0,
+        "release lift: day0 {day0_mean:.2}, day2 {day2_mean:.2}"
+    );
+
+    // (b) The diurnal pattern exists after release: within a settled day,
+    // the evening peak is a multiple of the night trough.
+    let day5 = &flows[5 * 24..6 * 24];
+    let trough = day5.iter().cloned().fold(f64::INFINITY, f64::min);
+    let peak = day5.iter().cloned().fold(0.0, f64::max);
+    assert!(peak > trough * 2.0, "diurnal: trough {trough:.2}, peak {peak:.2}");
+
+    // (c) The June-23 news re-surge: day 8 exceeds day 7.
+    let day = |d: usize| flows[d * 24..(d + 1) * 24].iter().sum::<f64>();
+    assert!(
+        day(8) > day(7) * 1.1,
+        "June-23 re-surge: day7 {:.1}, day8 {:.1}",
+        day(7),
+        day(8)
+    );
+
+    // (d) The download overlay starts June 17 and is monotone.
+    assert!(r.figure2.downloads_millions[47].is_none());
+    assert!(r.figure2.downloads_millions[48].is_some());
+    let dl: Vec<f64> = r.figure2.downloads_millions.iter().flatten().copied().collect();
+    assert!(dl.windows(2).all(|w| w[1] >= w[0]), "downloads monotone");
+    assert!(*dl.last().unwrap() > 10.0, "double-digit millions by June 25");
+}
+
+#[test]
+fn figure3_shape() {
+    let r = report();
+    // Near-total district coverage …
+    assert!(r.figure3.coverage > 0.95, "coverage {}", r.figure3.coverage);
+    // … with the metros on top (population + urban affinity).
+    let top5: Vec<&str> = r.figure3.rows.iter().take(5).map(|x| x.state.as_str()).collect();
+    assert!(
+        r.figure3.rows[0].name == "Berlin",
+        "Berlin leads the intensity map, got {:?}",
+        r.figure3.rows[0]
+    );
+    let _ = top5;
+    // Intensities normalized to [0, 1] with exactly one 1.0.
+    assert!((r.figure3.rows[0].intensity - 1.0).abs() < 1e-12);
+    assert!(r.figure3.rows.iter().all(|x| (0.0..=1.0).contains(&x.intensity)));
+}
+
+#[test]
+fn measured_values_near_paper_values() {
+    // Tighter-than-band sanity on the headline numbers at this scale.
+    let r = report();
+    assert!(
+        (0.5..0.95).contains(&r.persistence_median),
+        "persistence median {}",
+        r.persistence_median
+    );
+    assert!(r.persistence_p75 >= r.persistence_median);
+    assert!((0.12..0.25).contains(&r.ground_truth_share), "gt share {}", r.ground_truth_share);
+    assert!(r.release_jump > 3.0, "release jump {}", r.release_jump);
+    // The API rank improves (falls) over the window.
+    let first_half_best = *r.api_rank_by_day[..5].iter().min().unwrap();
+    let second_half_best = *r.api_rank_by_day[6..].iter().min().unwrap();
+    assert!(second_half_best < first_half_best);
+}
+
+#[test]
+fn report_serializes_and_renders() {
+    let r = report();
+    let json = r.to_json();
+    assert!(json.len() > 10_000, "substantive JSON report");
+    let text = r.render_text();
+    assert!(text.contains("C1"));
+    assert!(text.contains("Figure 3"));
+    let md = r.to_markdown_rows();
+    assert_eq!(md.lines().count(), r.claims.len());
+}
