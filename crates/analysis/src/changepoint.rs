@@ -33,7 +33,11 @@ pub struct CusumConfig {
 
 impl Default for CusumConfig {
     fn default() -> Self {
-        CusumConfig { min_log_ratio: 0.18, window: 2, min_gap: 2 }
+        CusumConfig {
+            min_log_ratio: 0.18,
+            window: 2,
+            min_gap: 2,
+        }
     }
 }
 
@@ -76,7 +80,10 @@ pub fn detect_changes(daily: &[u64], config: &CusumConfig) -> Vec<ChangePoint> {
     chosen.sort_by_key(|&(d, _)| d);
     chosen
         .into_iter()
-        .map(|(d, step)| ChangePoint { day: d as u32, log_ratio: step })
+        .map(|(d, step)| ChangePoint {
+            day: d as u32,
+            log_ratio: step,
+        })
         .collect()
 }
 
@@ -117,7 +124,10 @@ mod tests {
         let changes = detect_increases(&daily, &CusumConfig::default());
         let days: Vec<u32> = changes.iter().map(|c| c.day).collect();
         assert_eq!(days, vec![2, 8], "changes {changes:?}");
-        assert!(changes[0].log_ratio > changes[1].log_ratio, "release jump dominates");
+        assert!(
+            changes[0].log_ratio > changes[1].log_ratio,
+            "release jump dominates"
+        );
     }
 
     #[test]

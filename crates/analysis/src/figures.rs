@@ -32,11 +32,7 @@ impl Figure2 {
     /// Assembles the figure from an hourly series and the download curve
     /// (values in persons). Official numbers start on `report_from_hour`
     /// (June 17 = hour 48).
-    pub fn assemble(
-        series: &HourlySeries,
-        downloads: &[f64],
-        report_from_hour: u32,
-    ) -> Self {
+    pub fn assemble(series: &HourlySeries, downloads: &[f64], report_from_hour: u32) -> Self {
         let downloads_millions = downloads
             .iter()
             .enumerate()
@@ -118,14 +114,20 @@ impl Figure3 {
             })
             .collect();
         rows.sort_by(|a, b| b.intensity.partial_cmp(&a.intensity).expect("finite"));
-        Figure3 { rows, coverage: geo.coverage(1) }
+        Figure3 {
+            rows,
+            coverage: geo.coverage(1),
+        }
     }
 
     /// CSV with one row per district.
     pub fn to_csv(&self) -> String {
         let mut out = String::from("district,state,zip,intensity_normed\n");
         for r in &self.rows {
-            out.push_str(&format!("{},{},{},{:.4}\n", r.name, r.state, r.zip, r.intensity));
+            out.push_str(&format!(
+                "{},{},{},{:.4}\n",
+                r.name, r.state, r.zip, r.intensity
+            ));
         }
         out
     }
@@ -149,7 +151,10 @@ mod tests {
     use std::collections::HashMap;
 
     fn series() -> HourlySeries {
-        HourlySeries { flows: vec![2, 4, 8, 6], bytes: vec![20, 40, 80, 60] }
+        HourlySeries {
+            flows: vec![2, 4, 8, 6],
+            bytes: vec![20, 40, 80, 60],
+        }
     }
 
     #[test]
@@ -189,7 +194,10 @@ mod tests {
         let mut flows = vec![1u64; g.len()];
         flows[usize::from(g.by_name("Berlin").unwrap().id.0)] = 100;
         flows[usize::from(g.by_name("Gütersloh").unwrap().id.0)] = 40;
-        let geo = GeoResult { district_flows: flows, attribution_counts: HashMap::new() };
+        let geo = GeoResult {
+            district_flows: flows,
+            attribution_counts: HashMap::new(),
+        };
         let fig = Figure3::assemble(&g, &geo);
         assert_eq!(fig.rows[0].name, "Berlin");
         assert!((fig.rows[0].intensity - 1.0).abs() < 1e-12);

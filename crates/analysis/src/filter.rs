@@ -24,7 +24,10 @@ pub struct FlowFilter {
 impl FlowFilter {
     /// Builds the canonical CWA filter from the documented prefixes.
     pub fn cwa(server_prefixes: Vec<(Ipv4Addr, u8)>) -> Self {
-        FlowFilter { server_prefixes, port: 443 }
+        FlowFilter {
+            server_prefixes,
+            port: 443,
+        }
     }
 
     /// Does a record match: TCP, server port, **from** a service prefix
@@ -45,7 +48,11 @@ impl FlowFilter {
 
     /// Applies the filter, copying matching records.
     pub fn apply_owned(&self, records: &[FlowRecord]) -> Vec<FlowRecord> {
-        records.iter().filter(|r| self.matches(r)).copied().collect()
+        records
+            .iter()
+            .filter(|r| self.matches(r))
+            .copied()
+            .collect()
     }
 
     /// The client (user-side) address of a matching record.
@@ -64,7 +71,13 @@ mod tests {
 
     fn rec(src: Ipv4Addr, sport: u16, dst: Ipv4Addr, proto: Protocol) -> FlowRecord {
         FlowRecord {
-            key: FlowKey { src_ip: src, dst_ip: dst, src_port: sport, dst_port: 50_000, protocol: proto },
+            key: FlowKey {
+                src_ip: src,
+                dst_ip: dst,
+                src_port: sport,
+                dst_port: 50_000,
+                protocol: proto,
+            },
             packets: 1,
             bytes: 1000,
             first_ms: 0,
@@ -81,22 +94,42 @@ mod tests {
     fn keeps_downstream_cdn_https() {
         let f = filter();
         let client = Ipv4Addr::new(84, 5, 5, 5);
-        assert!(f.matches(&rec(Ipv4Addr::new(81, 200, 17, 3), 443, client, Protocol::Tcp)));
-        assert!(f.matches(&rec(Ipv4Addr::new(185, 139, 99, 1), 443, client, Protocol::Tcp)));
+        assert!(f.matches(&rec(
+            Ipv4Addr::new(81, 200, 17, 3),
+            443,
+            client,
+            Protocol::Tcp
+        )));
+        assert!(f.matches(&rec(
+            Ipv4Addr::new(185, 139, 99, 1),
+            443,
+            client,
+            Protocol::Tcp
+        )));
     }
 
     #[test]
     fn rejects_upstream() {
         let f = filter();
         // Client → CDN: src is the client, not a service prefix.
-        let r = rec(Ipv4Addr::new(84, 5, 5, 5), 50_000, Ipv4Addr::new(81, 200, 17, 3), Protocol::Tcp);
+        let r = rec(
+            Ipv4Addr::new(84, 5, 5, 5),
+            50_000,
+            Ipv4Addr::new(81, 200, 17, 3),
+            Protocol::Tcp,
+        );
         assert!(!f.matches(&r));
     }
 
     #[test]
     fn rejects_other_servers() {
         let f = filter();
-        let r = rec(Ipv4Addr::new(203, 0, 113, 7), 443, Ipv4Addr::new(84, 5, 5, 5), Protocol::Tcp);
+        let r = rec(
+            Ipv4Addr::new(203, 0, 113, 7),
+            443,
+            Ipv4Addr::new(84, 5, 5, 5),
+            Protocol::Tcp,
+        );
         assert!(!f.matches(&r));
     }
 
@@ -104,8 +137,18 @@ mod tests {
     fn rejects_non_tcp_and_non_443() {
         let f = filter();
         let client = Ipv4Addr::new(84, 5, 5, 5);
-        assert!(!f.matches(&rec(Ipv4Addr::new(81, 200, 17, 3), 443, client, Protocol::Udp)));
-        assert!(!f.matches(&rec(Ipv4Addr::new(81, 200, 17, 3), 80, client, Protocol::Tcp)));
+        assert!(!f.matches(&rec(
+            Ipv4Addr::new(81, 200, 17, 3),
+            443,
+            client,
+            Protocol::Udp
+        )));
+        assert!(!f.matches(&rec(
+            Ipv4Addr::new(81, 200, 17, 3),
+            80,
+            client,
+            Protocol::Tcp
+        )));
     }
 
     #[test]

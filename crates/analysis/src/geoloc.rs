@@ -54,13 +54,26 @@ pub struct GeoResult {
 impl GeoResult {
     /// Intensities normalized by the maximum district (Fig. 3's scale).
     pub fn normalized(&self) -> Vec<f64> {
-        let max = self.district_flows.iter().max().copied().unwrap_or(0).max(1) as f64;
-        self.district_flows.iter().map(|&f| f as f64 / max).collect()
+        let max = self
+            .district_flows
+            .iter()
+            .max()
+            .copied()
+            .unwrap_or(0)
+            .max(1) as f64;
+        self.district_flows
+            .iter()
+            .map(|&f| f as f64 / max)
+            .collect()
     }
 
     /// Fraction of districts with at least `min_flows` flows.
     pub fn coverage(&self, min_flows: u64) -> f64 {
-        let covered = self.district_flows.iter().filter(|&&f| f >= min_flows).count();
+        let covered = self
+            .district_flows
+            .iter()
+            .filter(|&&f| f >= min_flows)
+            .count();
         covered as f64 / self.district_flows.len() as f64
     }
 
@@ -71,7 +84,10 @@ impl GeoResult {
             .attribution_counts
             .get(&GeoAttribution::RouterGroundTruth)
             .unwrap_or(&0) as f64;
-        let db = *self.attribution_counts.get(&GeoAttribution::GeoDatabase).unwrap_or(&0) as f64;
+        let db = *self
+            .attribution_counts
+            .get(&GeoAttribution::GeoDatabase)
+            .unwrap_or(&0) as f64;
         if gt + db == 0.0 {
             return f64::NAN;
         }
@@ -80,7 +96,10 @@ impl GeoResult {
 
     /// Share of records that could not be located.
     pub fn unlocated_share(&self) -> f64 {
-        let un = *self.attribution_counts.get(&GeoAttribution::Unlocated).unwrap_or(&0) as f64;
+        let un = *self
+            .attribution_counts
+            .get(&GeoAttribution::Unlocated)
+            .unwrap_or(&0) as f64;
         let total: u64 = self.attribution_counts.values().sum();
         if total == 0 {
             return f64::NAN;
@@ -108,7 +127,12 @@ impl<'a> GeolocationPipeline<'a> {
         isp_table: &'a HashMap<u32, IspInfo>,
         prefix_len: u8,
     ) -> Self {
-        GeolocationPipeline { germany, geodb, isp_table, prefix_len }
+        GeolocationPipeline {
+            germany,
+            geodb,
+            isp_table,
+            prefix_len,
+        }
     }
 
     /// Locates a single client address.
@@ -152,7 +176,10 @@ impl<'a> GeolocationPipeline<'a> {
                 district_flows[usize::from(d.0)] += 1;
             }
         }
-        GeoResult { district_flows, attribution_counts }
+        GeoResult {
+            district_flows,
+            attribution_counts,
+        }
     }
 }
 
@@ -215,7 +242,12 @@ mod tests {
     fn ground_truth_wins_over_geodb() {
         let (g, plan, geodb, isp_table) = setup();
         let pipeline = GeolocationPipeline::new(&g, &geodb, &isp_table, 18);
-        let gt_isp = plan.isps.iter().find(|i| i.ground_truth_routers).unwrap().id;
+        let gt_isp = plan
+            .isps
+            .iter()
+            .find(|i| i.ground_truth_routers)
+            .unwrap()
+            .id;
         let alloc = plan.allocations().iter().find(|a| a.isp == gt_isp).unwrap();
         let (district, attribution) = pipeline.locate(alloc.host(5));
         assert_eq!(attribution, GeoAttribution::RouterGroundTruth);
@@ -288,15 +320,20 @@ mod tests {
         counts.insert(GeoAttribution::RouterGroundTruth, 18u64);
         counts.insert(GeoAttribution::GeoDatabase, 82u64);
         counts.insert(GeoAttribution::Unlocated, 5u64);
-        let result = GeoResult { district_flows: vec![], attribution_counts: counts };
+        let result = GeoResult {
+            district_flows: vec![],
+            attribution_counts: counts,
+        };
         assert!((result.ground_truth_share() - 0.18).abs() < 1e-12);
         assert!((result.unlocated_share() - 5.0 / 105.0).abs() < 1e-12);
     }
 
     #[test]
     fn empty_result_is_nan() {
-        let result =
-            GeoResult { district_flows: vec![0; 4], attribution_counts: HashMap::new() };
+        let result = GeoResult {
+            district_flows: vec![0; 4],
+            attribution_counts: HashMap::new(),
+        };
         assert!(result.ground_truth_share().is_nan());
         assert!(result.unlocated_share().is_nan());
     }

@@ -85,7 +85,12 @@ impl OutbreakAnalysis {
             }
         }
 
-        OutbreakAnalysis { district_flows, state_flows, berlin_isp_flows, days }
+        OutbreakAnalysis {
+            district_flows,
+            state_flows,
+            berlin_isp_flows,
+            days,
+        }
     }
 
     /// Sum of a day range for one district.
@@ -98,13 +103,16 @@ impl OutbreakAnalysis {
 
     /// Growth ratio `post/pre` for one district (NaN when pre is 0).
     pub fn district_growth(&self, district: DistrictId, pre: Range<u32>, post: Range<u32>) -> f64 {
-        ratio(self.district_sum(district, &post), self.district_sum(district, &pre))
+        ratio(
+            self.district_sum(district, &post),
+            self.district_sum(district, &pre),
+        )
     }
 
     /// Growth ratio per federal state.
     pub fn state_growth(&self, pre: Range<u32>, post: Range<u32>) -> [f64; 16] {
         let mut out = [f64::NAN; 16];
-        for s in 0..16 {
+        for (s, slot) in out.iter_mut().enumerate() {
             let pre_sum: u64 = pre
                 .clone()
                 .filter(|&d| d < self.days)
@@ -115,7 +123,7 @@ impl OutbreakAnalysis {
                 .filter(|&d| d < self.days)
                 .map(|d| self.state_flows[d as usize][s])
                 .sum();
-            out[s] = ratio(post_sum, pre_sum);
+            *slot = ratio(post_sum, pre_sum);
         }
         out
     }
@@ -156,7 +164,12 @@ impl OutbreakAnalysis {
     /// The paper's NRW test: is NRW's June-23 growth within `tolerance`
     /// (multiplicatively) of the *median* growth of the other states?
     /// Returns `(nrw_growth, median_other_growth, within)`.
-    pub fn nrw_vs_rest(&self, pre: Range<u32>, post: Range<u32>, tolerance: f64) -> (f64, f64, bool) {
+    pub fn nrw_vs_rest(
+        &self,
+        pre: Range<u32>,
+        post: Range<u32>,
+        tolerance: f64,
+    ) -> (f64, f64, bool) {
         let growth = self.state_growth(pre, post);
         let nrw = growth[FederalState::NordrheinWestfalen.index()];
         let mut others: Vec<f64> = (0..16)
@@ -197,9 +210,9 @@ mod tests {
             state_flows[day][FederalState::Berlin.index()] = 50 * boost;
             state_flows[day][FederalState::NordrheinWestfalen.index()] = 50 * boost;
             // Give every other state some base traffic too.
-            for s in 0..16 {
-                if state_flows[day][s] == 0 {
-                    state_flows[day][s] = 40 * boost;
+            for flows in state_flows[day].iter_mut() {
+                if *flows == 0 {
+                    *flows = 40 * boost;
                 }
             }
         }
@@ -210,7 +223,12 @@ mod tests {
         isp2[4] = 15;
         berlin_isp_flows.insert(2u8, isp2);
         berlin_isp_flows.insert(0u8, vec![40u64; days as usize]);
-        OutbreakAnalysis { district_flows, state_flows, berlin_isp_flows, days }
+        OutbreakAnalysis {
+            district_flows,
+            state_flows,
+            berlin_isp_flows,
+            days,
+        }
     }
 
     #[test]
@@ -218,8 +236,8 @@ mod tests {
         let a = synthetic();
         // All states: (3×3 days)/(2×3 days) = 1.5.
         let g = a.state_growth(5..8, 8..11);
-        for s in 0..16 {
-            assert!((g[s] - 1.5).abs() < 1e-12, "state {s}: {}", g[s]);
+        for (s, growth) in g.iter().enumerate() {
+            assert!((growth - 1.5).abs() < 1e-12, "state {s}: {growth}");
         }
         assert!((a.national_growth(5..8, 8..11) - 1.5).abs() < 1e-12);
     }

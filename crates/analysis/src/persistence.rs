@@ -55,7 +55,11 @@ impl PersistenceAnalysis {
     /// Creates an empty analysis for a `days`-day window.
     pub fn new(prefix_len: u8, days: u32) -> Self {
         assert!(days <= 64, "presence bitmap covers at most 64 days");
-        PersistenceAnalysis { prefix_len, presence: HashMap::new(), days }
+        PersistenceAnalysis {
+            prefix_len,
+            presence: HashMap::new(),
+            days,
+        }
     }
 
     /// Ingests filtered records, extracting the client (destination)
@@ -147,7 +151,7 @@ mod tests {
     #[test]
     fn groups_by_prefix() {
         let mut a = PersistenceAnalysis::new(24, 11);
-        let recs = vec![
+        let recs = [
             rec(Ipv4Addr::new(84, 1, 2, 3), 0),
             rec(Ipv4Addr::new(84, 1, 2, 200), 1), // same /24
             rec(Ipv4Addr::new(84, 1, 3, 3), 0),   // different /24
@@ -161,7 +165,7 @@ mod tests {
         let mut a = PersistenceAnalysis::new(24, 11);
         // Seen on days 2, 4, 6: span 5, observed 3 -> 0.6.
         let c = Ipv4Addr::new(84, 1, 2, 3);
-        let recs = vec![rec(c, 2), rec(c, 4), rec(c, 6)];
+        let recs = [rec(c, 2), rec(c, 4), rec(c, 6)];
         a.ingest(recs.iter());
         let p = a.presences();
         assert_eq!(p.len(), 1);
@@ -174,7 +178,7 @@ mod tests {
     #[test]
     fn single_day_prefix_has_fraction_one() {
         let mut a = PersistenceAnalysis::new(24, 11);
-        let recs = vec![rec(Ipv4Addr::new(84, 1, 2, 3), 7)];
+        let recs = [rec(Ipv4Addr::new(84, 1, 2, 3), 7)];
         a.ingest(recs.iter());
         assert!((a.presences()[0].fraction() - 1.0).abs() < 1e-12);
         assert!((a.always_present_share() - 1.0).abs() < 1e-12);
@@ -184,7 +188,7 @@ mod tests {
     fn quantiles() {
         let mut a = PersistenceAnalysis::new(24, 11);
         // Three prefixes with fractions 1.0, 0.5, 0.6.
-        let recs = vec![
+        let recs = [
             rec(Ipv4Addr::new(10, 0, 0, 1), 0),
             rec(Ipv4Addr::new(10, 0, 1, 1), 0),
             rec(Ipv4Addr::new(10, 0, 1, 1), 1), // days 0-1 of 2 => 1.0
@@ -242,7 +246,7 @@ mod tests {
     #[test]
     fn records_beyond_window_ignored() {
         let mut a = PersistenceAnalysis::new(24, 5);
-        let recs = vec![rec(Ipv4Addr::new(84, 1, 2, 3), 9)];
+        let recs = [rec(Ipv4Addr::new(84, 1, 2, 3), 9)];
         a.ingest(recs.iter());
         assert_eq!(a.prefix_count(), 0);
     }

@@ -79,7 +79,10 @@ pub fn bootstrap_growth_ci<R: Rng>(
             ratios.push(post as f64 / pre as f64);
         }
     }
-    (quantile(&ratios, alpha / 2.0), quantile(&ratios, 1.0 - alpha / 2.0))
+    (
+        quantile(&ratios, alpha / 2.0),
+        quantile(&ratios, 1.0 - alpha / 2.0),
+    )
 }
 
 #[cfg(test)]

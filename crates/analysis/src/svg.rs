@@ -69,7 +69,7 @@ pub fn figure2_svg(fig: &Figure2, width: u32, height: u32) -> String {
             m = margin,
             b = h - margin,
             ty = h - margin + 14.0,
-            label = format!("{}", 15 + day)
+            label = 15 + day
         );
     }
     let _ = write!(
@@ -156,7 +156,10 @@ pub fn figure3_svg(germany: &Germany, geo: &GeoResult, width: u32, height: u32) 
         svg,
         r##"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}">"##
     );
-    let _ = write!(svg, r##"<rect width="{width}" height="{height}" fill="white"/>"##);
+    let _ = write!(
+        svg,
+        r##"<rect width="{width}" height="{height}" fill="white"/>"##
+    );
     let _ = write!(
         svg,
         r##"<text x="{cx:.1}" y="16" font-size="11" text-anchor="middle">CWA traffic by district (10 days, normed to max)</text>"##,
@@ -170,7 +173,11 @@ pub fn figure3_svg(germany: &Germany, geo: &GeoResult, width: u32, height: u32) 
         let d = &germany.districts()[idx];
         let v = normalized[idx];
         // Area ∝ intensity; a faint dot for zero-traffic districts.
-        let radius = if v > 0.0 { (v.sqrt() * max_radius).max(1.2) } else { 0.8 };
+        let radius = if v > 0.0 {
+            (v.sqrt() * max_radius).max(1.2)
+        } else {
+            0.8
+        };
         let color = if v > 0.0 { "#d62728" } else { "#bbbbbb" };
         let opacity = if v > 0.0 { 0.35 + 0.4 * v } else { 0.5 };
         let _ = write!(
@@ -236,7 +243,10 @@ mod tests {
         let g = Germany::build();
         let mut flows = vec![1u64; g.len()];
         flows[0] = 100;
-        let geo = GeoResult { district_flows: flows, attribution_counts: HashMap::new() };
+        let geo = GeoResult {
+            district_flows: flows,
+            attribution_counts: HashMap::new(),
+        };
         let svg = figure3_svg(&g, &geo, 500, 600);
         assert!(svg.starts_with("<svg"));
         assert_eq!(svg.matches("<circle").count(), g.len());

@@ -117,7 +117,13 @@ impl HourlySeries {
 
 /// Normalizes a series by its smallest positive element.
 fn normed_to_min(series: &[u64]) -> Vec<f64> {
-    let min = series.iter().filter(|&&v| v > 0).min().copied().unwrap_or(1).max(1) as f64;
+    let min = series
+        .iter()
+        .filter(|&&v| v > 0)
+        .min()
+        .copied()
+        .unwrap_or(1)
+        .max(1) as f64;
     series.iter().map(|&v| v as f64 / min).collect()
 }
 
@@ -146,7 +152,12 @@ mod tests {
 
     #[test]
     fn buckets_by_hour() {
-        let records = vec![rec_at(0, 100), rec_at(0, 200), rec_at(5, 300), rec_at(47, 50)];
+        let records = [
+            rec_at(0, 100),
+            rec_at(0, 200),
+            rec_at(5, 300),
+            rec_at(47, 50),
+        ];
         let s = HourlySeries::from_records(records.iter(), 48);
         assert_eq!(s.flows[0], 2);
         assert_eq!(s.bytes[0], 300);
@@ -157,7 +168,7 @@ mod tests {
 
     #[test]
     fn out_of_range_dropped() {
-        let records = vec![rec_at(100, 10)];
+        let records = [rec_at(100, 10)];
         let s = HourlySeries::from_records(records.iter(), 24);
         assert_eq!(s.total_flows(), 0);
     }
@@ -180,7 +191,10 @@ mod tests {
 
     #[test]
     fn normed_to_min_semantics() {
-        let s = HourlySeries { flows: vec![0, 2, 6, 4], bytes: vec![0, 20, 60, 40] };
+        let s = HourlySeries {
+            flows: vec![0, 2, 6, 4],
+            bytes: vec![0, 20, 60, 40],
+        };
         // Min positive is 2; zeros stay zero.
         assert_eq!(s.flows_normed_to_min(), vec![0.0, 1.0, 3.0, 2.0]);
         assert_eq!(s.bytes_normed_to_min(), vec![0.0, 1.0, 3.0, 2.0]);
@@ -188,7 +202,10 @@ mod tests {
 
     #[test]
     fn release_jump_nan_without_baseline() {
-        let s = HourlySeries { flows: vec![0; 48], bytes: vec![0; 48] };
+        let s = HourlySeries {
+            flows: vec![0; 48],
+            bytes: vec![0; 48],
+        };
         assert!(s.release_jump().is_nan());
     }
 
@@ -197,7 +214,10 @@ mod tests {
         let mut flows = vec![10u64; 24];
         flows[3] = 2;
         flows[20] = 30;
-        let s = HourlySeries { flows, bytes: vec![0; 24] };
+        let s = HourlySeries {
+            flows,
+            bytes: vec![0; 24],
+        };
         assert!((s.diurnal_ratio(0) - 15.0).abs() < 1e-12);
     }
 
@@ -208,7 +228,10 @@ mod tests {
         let shape: Vec<u64> = (0..24u64).map(|h| 10 + h).collect();
         let mut flows = shape.clone();
         flows.extend(shape.iter().map(|f| f * 3));
-        let s = HourlySeries { flows, bytes: vec![0; 48] };
+        let s = HourlySeries {
+            flows,
+            bytes: vec![0; 48],
+        };
         let profile = s.diurnal_profile(0, 2);
         let mean: f64 = profile.iter().sum::<f64>() / 24.0;
         assert!((mean - 1.0).abs() < 1e-9, "mean {mean}");
@@ -225,7 +248,10 @@ mod tests {
     fn diurnal_profile_skips_empty_days() {
         let mut flows = vec![0u64; 24];
         flows.extend((0..24u64).map(|h| 10 + h));
-        let s = HourlySeries { flows, bytes: vec![0; 48] };
+        let s = HourlySeries {
+            flows,
+            bytes: vec![0; 48],
+        };
         let with_empty = s.diurnal_profile(0, 2);
         let without = s.diurnal_profile(1, 2);
         for h in 0..24 {

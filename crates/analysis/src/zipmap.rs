@@ -75,7 +75,11 @@ impl ZipAreaMap {
         let mut out = String::from("zip   flows      intensity  districts\n");
         for a in self.areas.iter().take(n) {
             let names = if a.districts.len() > 3 {
-                format!("{}, … ({} districts)", a.districts[..2].join(", "), a.districts.len())
+                format!(
+                    "{}, … ({} districts)",
+                    a.districts[..2].join(", "),
+                    a.districts.len()
+                )
             } else {
                 a.districts.join(", ")
             };
@@ -99,7 +103,13 @@ mod tests {
         for (i, f) in flows {
             district_flows[i] = f;
         }
-        (g, GeoResult { district_flows, attribution_counts: HashMap::new() })
+        (
+            g,
+            GeoResult {
+                district_flows,
+                attribution_counts: HashMap::new(),
+            },
+        )
     }
 
     #[test]
@@ -123,9 +133,8 @@ mod tests {
 
     #[test]
     fn normalization_and_sorting() {
-        let berlin;
         let g = Germany::build();
-        berlin = usize::from(g.by_name("Berlin").unwrap().id.0);
+        let berlin = usize::from(g.by_name("Berlin").unwrap().id.0);
         let (g, geo) = geo_with(vec![(berlin, 100), (50, 20)]);
         let map = ZipAreaMap::build(&g, &geo);
         assert!((map.areas[0].intensity - 1.0).abs() < 1e-12);
@@ -150,7 +159,10 @@ mod tests {
         let (g, geo) = geo_with(vec![(0, 5)]);
         let map = ZipAreaMap::build(&g, &geo);
         let cov = map.coverage();
-        assert!(cov > 0.0 && cov < 0.2, "one hot district covers few areas: {cov}");
+        assert!(
+            cov > 0.0 && cov < 0.2,
+            "one hot district covers few areas: {cov}"
+        );
     }
 
     #[test]

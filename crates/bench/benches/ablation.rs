@@ -21,7 +21,10 @@ fn run(kind: ScenarioKind, sampling: u32) -> SimOutput {
     Simulation::new(SimConfig {
         scale: SCALE,
         scenario: kind,
-        vantage: VantageConfig { sampling_interval: sampling, ..VantageConfig::default() },
+        vantage: VantageConfig {
+            sampling_interval: sampling,
+            ..VantageConfig::default()
+        },
         ..SimConfig::default()
     })
     .run()
@@ -40,7 +43,10 @@ fn regenerate_and_print() {
     println!("A1: June-23 re-surge (Jun 23–25 / Jun 20–22 flows) by scenario:");
     for (label, kind) in [
         ("paper (outbreaks + national news)", ScenarioKind::Paper),
-        ("outbreaks, no news coverage     ", ScenarioKind::OutbreaksWithoutNews),
+        (
+            "outbreaks, no news coverage     ",
+            ScenarioKind::OutbreaksWithoutNews,
+        ),
         ("quiet (no outbreaks, no news)   ", ScenarioKind::Quiet),
     ] {
         let out = run(kind, 1000);

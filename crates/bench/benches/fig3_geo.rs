@@ -19,7 +19,15 @@ fn isp_table() -> HashMap<u32, IspInfo> {
     sim()
         .isp_table
         .iter()
-        .map(|(&net, e)| (net, IspInfo { isp: e.isp.0, router_district: e.router_district }))
+        .map(|(&net, e)| {
+            (
+                net,
+                IspInfo {
+                    isp: e.isp.0,
+                    router_district: e.router_district,
+                },
+            )
+        })
         .collect()
 }
 
@@ -54,7 +62,7 @@ fn regenerate_and_print(table: &HashMap<u32, IspInfo>) {
     let max = *per_state.iter().max().unwrap() as f64;
     for s in FederalState::ALL {
         let v = per_state[s.index()] as f64 / max;
-        let bar: String = std::iter::repeat('#').take((v * 40.0) as usize).collect();
+        let bar = "#".repeat((v * 40.0) as usize);
         println!("  {:<4} {:>5.2} {}", s.abbrev(), v, bar);
     }
     println!("=========================================================\n");

@@ -17,7 +17,15 @@ fn build() -> (OutbreakAnalysis, HashMap<u32, IspInfo>) {
     let table: HashMap<u32, IspInfo> = out
         .isp_table
         .iter()
-        .map(|(&net, e)| (net, IspInfo { isp: e.isp.0, router_district: e.router_district }))
+        .map(|(&net, e)| {
+            (
+                net,
+                IspInfo {
+                    isp: e.isp.0,
+                    router_district: e.router_district,
+                },
+            )
+        })
         .collect();
     let filter = FlowFilter::cwa(out.cdn.service_prefixes.to_vec());
     let pipeline =
@@ -43,7 +51,11 @@ fn regenerate_and_print(analysis: &OutbreakAnalysis) {
     println!("per-state growth, Jun 23–25 vs Jun 20–22 (paper: increase in ALL states):");
     let growth = analysis.state_growth(5..8, 8..11);
     for s in FederalState::ALL {
-        let marker = if s == FederalState::NordrheinWestfalen { "  <-- NRW (outbreak state)" } else { "" };
+        let marker = if s == FederalState::NordrheinWestfalen {
+            "  <-- NRW (outbreak state)"
+        } else {
+            ""
+        };
         println!("  {:<4} {:>5.2}x{marker}", s.abbrev(), growth[s.index()]);
     }
     let (nrw, median, within) = analysis.nrw_vs_rest(5..8, 8..11, 1.25);
@@ -59,10 +71,19 @@ fn regenerate_and_print(analysis: &OutbreakAnalysis) {
     );
 
     println!("\nBerlin Jun 18 growth per ISP (Jun 18–19 vs Jun 16–17):");
-    let gt_isp = out.plan.isps.iter().find(|i| i.ground_truth_routers).unwrap();
+    let gt_isp = out
+        .plan
+        .isps
+        .iter()
+        .find(|i| i.ground_truth_routers)
+        .unwrap();
     for (isp, growth) in analysis.berlin_isp_growth(1..3, 3..5) {
         let name = &out.plan.isps[usize::from(isp)].name;
-        let marker = if isp == gt_isp.id.0 { "  <-- the single ISP (paper)" } else { "" };
+        let marker = if isp == gt_isp.id.0 {
+            "  <-- the single ISP (paper)"
+        } else {
+            ""
+        };
         println!("  {name:<18} {growth:>5.2}x{marker}");
     }
     println!("=============================================================\n");

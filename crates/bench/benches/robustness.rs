@@ -14,7 +14,10 @@ const SCALE: f64 = 0.02;
 const SEEDS: [u64; 5] = [0x2020_0616, 1, 42, 0xDEAD_BEEF, 7_777_777];
 
 fn regenerate_and_print() {
-    println!("\n=========== Claim pass rate across {} seeds (scale {SCALE}) ===========", SEEDS.len());
+    println!(
+        "\n=========== Claim pass rate across {} seeds (scale {SCALE}) ===========",
+        SEEDS.len()
+    );
     let mut passes: BTreeMap<&'static str, u32> = BTreeMap::new();
     let mut measured: BTreeMap<&'static str, Vec<f64>> = BTreeMap::new();
 
@@ -34,10 +37,7 @@ fn regenerate_and_print() {
         let values = &measured[code];
         let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        println!(
-            "{code:<6} {pass}/{}   [{lo:.3}, {hi:.3}]",
-            SEEDS.len()
-        );
+        println!("{code:<6} {pass}/{}   [{lo:.3}, {hi:.3}]", SEEDS.len());
     }
     println!("=====================================================================\n");
 }

@@ -38,7 +38,9 @@ fn crypto_benches(c: &mut Criterion) {
     });
 
     let aes = Aes128::new(&[7u8; 16]);
-    g.bench_function("aes128/block", |b| b.iter(|| aes.encrypt_block(black_box(&[1u8; 16]))));
+    g.bench_function("aes128/block", |b| {
+        b.iter(|| aes.encrypt_block(black_box(&[1u8; 16])))
+    });
     g.throughput(Throughput::Bytes(1024));
     g.bench_function("aes128_ctr/1KiB", |b| {
         b.iter(|| aes128_ctr(&[7u8; 16], &[0u8; 16], black_box(&data_1k)))
@@ -146,10 +148,8 @@ fn exposure_benches(c: &mut Criterion) {
     // Matching: 50 published keys against a store of 500 encounters.
     let keys: Vec<DiagnosisKey> = (0..50)
         .map(|i| {
-            let t = TemporaryExposureKey::generate(
-                &mut rng,
-                EnIntervalNumber(144 * (18_000 + i % 14)),
-            );
+            let t =
+                TemporaryExposureKey::generate(&mut rng, EnIntervalNumber(144 * (18_000 + i % 14)));
             DiagnosisKey::new(t, 5)
         })
         .collect();
@@ -160,10 +160,7 @@ fn exposure_benches(c: &mut Criterion) {
         store.record(dk.tek.rpi(enin), enin, 30, 10);
     }
     for i in 0..490u64 {
-        let stranger = TemporaryExposureKey::generate(
-            &mut rng,
-            EnIntervalNumber(144 * 18_000),
-        );
+        let stranger = TemporaryExposureKey::generate(&mut rng, EnIntervalNumber(144 * 18_000));
         let enin = EnIntervalNumber(stranger.rolling_start_interval_number + (i % 144) as u32);
         store.record(stranger.rpi(enin), enin, 60, 5);
     }
@@ -175,13 +172,11 @@ fn exposure_benches(c: &mut Criterion) {
     });
 
     // Export encode/decode of a realistic daily file.
-    let export = cwa_exposure::export::TemporaryExposureKeyExport::new_de(
-        0,
-        86_400,
-        keys.clone(),
-    );
+    let export = cwa_exposure::export::TemporaryExposureKeyExport::new_de(0, 86_400, keys.clone());
     let wire = export.encode();
-    g.bench_function("export/encode_50_keys", |b| b.iter(|| export.encode().len()));
+    g.bench_function("export/encode_50_keys", |b| {
+        b.iter(|| export.encode().len())
+    });
     g.bench_function("export/decode_50_keys", |b| {
         b.iter(|| {
             cwa_exposure::export::TemporaryExposureKeyExport::decode(black_box(&wire)).unwrap()
@@ -231,5 +226,12 @@ fn geo_benches(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, crypto_benches, netflow_benches, exposure_benches, p256_benches, geo_benches);
+criterion_group!(
+    benches,
+    crypto_benches,
+    netflow_benches,
+    exposure_benches,
+    p256_benches,
+    geo_benches
+);
 criterion_main!(benches);

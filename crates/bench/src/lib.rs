@@ -36,8 +36,7 @@ pub fn sim() -> &'static SimOutput {
 
 /// Renders an hourly series as a day-by-day table (the Fig. 2 rows).
 pub fn render_daily_table(flows: &[u64], bytes: &[u64]) -> String {
-    let mut out =
-        String::from("day      date    flows     bytes(MB)  flows/min_day  peak_hour\n");
+    let mut out = String::from("day      date    flows     bytes(MB)  flows/min_day  peak_hour\n");
     let day_flow_min = flows
         .chunks(24)
         .map(|d| d.iter().sum::<u64>())

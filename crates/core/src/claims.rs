@@ -150,9 +150,23 @@ mod tests {
 
     #[test]
     fn band_is_inclusive() {
-        let c = Claim::evaluate(ClaimId::C2ReleaseJump, "", None, 4.0, (4.0, 12.0), String::new());
+        let c = Claim::evaluate(
+            ClaimId::C2ReleaseJump,
+            "",
+            None,
+            4.0,
+            (4.0, 12.0),
+            String::new(),
+        );
         assert!(c.pass);
-        let c = Claim::evaluate(ClaimId::C2ReleaseJump, "", None, 12.0, (4.0, 12.0), String::new());
+        let c = Claim::evaluate(
+            ClaimId::C2ReleaseJump,
+            "",
+            None,
+            12.0,
+            (4.0, 12.0),
+            String::new(),
+        );
         assert!(c.pass);
     }
 

@@ -7,11 +7,44 @@ use cwa_analysis::figures::{Figure2, Figure3};
 use crate::claims::Claim;
 use crate::study::StudyConfig;
 
+/// Wall time of one named pipeline phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseTiming {
+    /// Phase name (e.g. `analysis.filter`).
+    pub phase: String,
+    /// Wall-clock duration in nanoseconds.
+    pub duration_ns: u64,
+}
+
+/// Provenance of a study run: what produced this report, and how long
+/// each phase took. Everything except `phase_timings` is a pure
+/// function of the configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Master seed of the simulation.
+    pub seed: u64,
+    /// Traffic scale of the run.
+    pub scale: f64,
+    /// Simulated days.
+    pub days: u32,
+    /// Whether the parallel vantage driver was used.
+    pub parallel: bool,
+    /// SHA-256 (hex, first 16 chars) over the canonical JSON of the
+    /// full study configuration.
+    pub config_hash: String,
+    /// Per-phase wall times, in execution order (volatile: differs
+    /// between runs; strip with [`StudyReport::strip_volatile`] before
+    /// comparing reports).
+    pub phase_timings: Vec<PhaseTiming>,
+}
+
 /// Everything a study run produces, serializable to JSON.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StudyReport {
     /// The configuration that produced this report.
     pub config: StudyConfig,
+    /// Run provenance: seed, scale, config hash, per-phase timings.
+    pub manifest: RunManifest,
     /// Figure 2 reproduction.
     pub figure2: Figure2,
     /// Figure 3 reproduction.
@@ -45,6 +78,16 @@ impl StudyReport {
         self.claims.iter().all(|c| c.pass)
     }
 
+    /// A copy with the wall-clock phase timings removed. Everything
+    /// left is a pure function of the configuration, so two runs of
+    /// the same config — serial or parallel, metrics on or off —
+    /// compare equal (asserted by the integration tests).
+    pub fn strip_volatile(&self) -> StudyReport {
+        let mut report = self.clone();
+        report.manifest.phase_timings.clear();
+        report
+    }
+
     /// The failing claims, if any.
     pub fn failures(&self) -> Vec<&Claim> {
         self.claims.iter().filter(|c| !c.pass).collect()
@@ -63,7 +106,7 @@ impl StudyReport {
         for c in &self.claims {
             let paper = c
                 .paper_value
-                .map(|v| format_value(v))
+                .map(format_value)
                 .unwrap_or_else(|| "(qualitative)".to_owned());
             out.push_str(&format!(
                 "{:<5} {:<30} {:<13} [{}, {}]  {}\n",
@@ -165,6 +208,17 @@ mod tests {
                 sim: SimConfig::test_small(),
                 persistence_prefix_len: 24,
             },
+            manifest: RunManifest {
+                seed: SimConfig::test_small().seed,
+                scale: SimConfig::test_small().scale,
+                days: 11,
+                parallel: false,
+                config_hash: "0123456789abcdef".to_owned(),
+                phase_timings: vec![PhaseTiming {
+                    phase: "analysis.filter".to_owned(),
+                    duration_ns: 12_345,
+                }],
+            },
             figure2: Figure2 {
                 flows_normed: vec![1.0, 2.0],
                 bytes_normed: vec![1.0, 2.0],
@@ -215,6 +269,17 @@ mod tests {
         let json = report.to_json();
         let back: StudyReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn strip_volatile_clears_timings_only() {
+        let report = dummy_report(true);
+        let stripped = report.strip_volatile();
+        assert!(stripped.manifest.phase_timings.is_empty());
+        assert_eq!(stripped.manifest.config_hash, report.manifest.config_hash);
+        assert_eq!(stripped.manifest.seed, report.manifest.seed);
+        assert_eq!(stripped.claims, report.claims);
+        assert_ne!(stripped, report, "timings were present before stripping");
     }
 
     #[test]

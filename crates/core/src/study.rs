@@ -1,8 +1,12 @@
 //! The study runner: simulate → analyze → evaluate.
 
 use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
+
+use cwa_obs::Registry;
 
 use cwa_analysis::figures::{Figure2, Figure3};
 use cwa_analysis::filter::FlowFilter;
@@ -10,14 +14,12 @@ use cwa_analysis::geoloc::{GeolocationPipeline, IspInfo};
 use cwa_analysis::outbreak::OutbreakAnalysis;
 use cwa_analysis::persistence::PersistenceAnalysis;
 use cwa_analysis::timeseries::HourlySeries;
+use cwa_epidemic::timeline::{JULY_24_DAY, MILESTONE_36H_HOUR};
 use cwa_epidemic::{AdoptionConfig, AdoptionModel, Timeline};
-use cwa_epidemic::timeline::{
-    JULY_24_DAY, MILESTONE_36H_HOUR,
-};
 use cwa_simnet::{SimConfig, SimOutput, Simulation};
 
 use crate::claims::{Claim, ClaimId};
-use crate::report::StudyReport;
+use crate::report::{PhaseTiming, RunManifest, StudyReport};
 
 /// Study configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -32,7 +34,10 @@ pub struct StudyConfig {
 impl Default for StudyConfig {
     fn default() -> Self {
         let sim = SimConfig::default();
-        StudyConfig { sim, persistence_prefix_len: persistence_len_for_scale(sim.scale) }
+        StudyConfig {
+            sim,
+            persistence_prefix_len: persistence_len_for_scale(sim.scale),
+        }
     }
 }
 
@@ -40,14 +45,23 @@ impl StudyConfig {
     /// Fast configuration for tests.
     pub fn test_small() -> Self {
         let sim = SimConfig::test_small();
-        StudyConfig { sim, persistence_prefix_len: persistence_len_for_scale(sim.scale) }
+        StudyConfig {
+            sim,
+            persistence_prefix_len: persistence_len_for_scale(sim.scale),
+        }
     }
 
     /// A configuration at an explicit scale with matched persistence
     /// granularity.
     pub fn at_scale(scale: f64) -> Self {
-        let sim = SimConfig { scale, ..SimConfig::default() };
-        StudyConfig { sim, persistence_prefix_len: persistence_len_for_scale(scale) }
+        let sim = SimConfig {
+            scale,
+            ..SimConfig::default()
+        };
+        StudyConfig {
+            sim,
+            persistence_prefix_len: persistence_len_for_scale(scale),
+        }
     }
 }
 
@@ -68,44 +82,118 @@ pub fn persistence_len_for_scale(scale: f64) -> u8 {
 /// The study runner.
 pub struct Study {
     config: StudyConfig,
+    metrics: Option<Arc<Registry>>,
+}
+
+/// Records one finished phase: into the manifest timing list, and —
+/// when a registry is attached — as an observability timer.
+fn record_phase(
+    timings: &mut Vec<PhaseTiming>,
+    metrics: &Option<Arc<Registry>>,
+    phase: &str,
+    elapsed: Duration,
+) {
+    timings.push(PhaseTiming {
+        phase: phase.to_owned(),
+        duration_ns: elapsed.as_nanos().min(u128::from(u64::MAX)) as u64,
+    });
+    if let Some(registry) = metrics {
+        registry.timer(phase).record(elapsed);
+    }
 }
 
 impl Study {
     /// Creates a runner.
     pub fn new(config: StudyConfig) -> Self {
-        Study { config }
+        Study {
+            config,
+            metrics: None,
+        }
+    }
+
+    /// Attaches an observability registry: the simulation's counters
+    /// land in it, and every analysis stage contributes a timer plus
+    /// record counts. Pure observation — reports stay bit-identical
+    /// (modulo the volatile manifest timings) with metrics on or off.
+    pub fn with_metrics(mut self, registry: Arc<Registry>) -> Self {
+        self.metrics = Some(registry);
+        self
     }
 
     /// Runs simulation + analysis + claim evaluation.
     pub fn run(&self) -> StudyReport {
-        let sim = Simulation::new(self.config.sim).run();
-        self.analyze(&sim)
+        let started = Instant::now();
+        let mut simulation = Simulation::new(self.config.sim);
+        if let Some(registry) = &self.metrics {
+            simulation = simulation.with_metrics(Arc::clone(registry));
+        }
+        let sim = simulation.run();
+        let simulate = started.elapsed();
+        self.analyze_with_prelude(&sim, Some(simulate))
     }
 
     /// Runs the analysis on an existing simulation output (lets callers
     /// reuse one expensive simulation for several analyses).
     pub fn analyze(&self, sim: &SimOutput) -> StudyReport {
+        self.analyze_with_prelude(sim, None)
+    }
+
+    fn analyze_with_prelude(&self, sim: &SimOutput, simulate: Option<Duration>) -> StudyReport {
         let cfg = &self.config;
         let days = sim.config.days;
         let hours = days * 24;
         let scale = sim.config.scale;
 
+        let mut timings: Vec<PhaseTiming> = Vec::new();
+        if let Some(elapsed) = simulate {
+            record_phase(&mut timings, &self.metrics, "phase.simulate", elapsed);
+        }
+
         // §2: the data set.
+        let t = Instant::now();
         let filter = FlowFilter::cwa(sim.cdn.service_prefixes.to_vec());
         let matching = filter.apply_owned(&sim.records);
+        record_phase(&mut timings, &self.metrics, "analysis.filter", t.elapsed());
+        if let Some(registry) = &self.metrics {
+            registry
+                .counter("analysis.filter.records_in")
+                .add(sim.records.len() as u64);
+            registry
+                .counter("analysis.filter.records_matched")
+                .add(matching.len() as u64);
+        }
 
         // Figure 2 inputs.
+        let t = Instant::now();
         let series = HourlySeries::from_records(matching.iter(), hours);
         let downloads_hourly: Vec<f64> =
             (0..hours).map(|h| sim.downloads.downloads_at(h)).collect();
         let figure2 = Figure2::assemble(&series, &downloads_hourly, 48);
+        record_phase(
+            &mut timings,
+            &self.metrics,
+            "analysis.timeseries",
+            t.elapsed(),
+        );
+        if let Some(registry) = &self.metrics {
+            registry
+                .counter("analysis.timeseries.hours")
+                .add(u64::from(hours));
+        }
 
         // Side tables in the analysis crate's vocabulary.
+        let t = Instant::now();
         let isp_table: HashMap<u32, IspInfo> = sim
             .isp_table
             .iter()
             .map(|(&net, e)| {
-                (net, IspInfo { isp: e.isp.0, router_district: e.router_district })
+                (
+                    net,
+                    IspInfo {
+                        isp: e.isp.0,
+                        router_district: e.router_district,
+                    },
+                )
             })
             .collect();
         let pipeline = GeolocationPipeline::new(
@@ -119,12 +207,32 @@ impl Study {
         let geo_10day = pipeline.run(&sim.records, &filter, 1, days.min(11));
         let geo_day1 = pipeline.run(&sim.records, &filter, 1, 2);
         let figure3 = Figure3::assemble(&sim.germany, &geo_10day);
+        record_phase(&mut timings, &self.metrics, "analysis.geoloc", t.elapsed());
+        if let Some(registry) = &self.metrics {
+            let attributed: u64 = geo_10day.district_flows.iter().sum();
+            registry
+                .counter("analysis.geoloc.attributed_flows")
+                .add(attributed);
+        }
 
         // Persistence.
+        let t = Instant::now();
         let mut persistence = PersistenceAnalysis::new(cfg.persistence_prefix_len, days);
         persistence.ingest(matching.iter());
+        record_phase(
+            &mut timings,
+            &self.metrics,
+            "analysis.persistence",
+            t.elapsed(),
+        );
+        if let Some(registry) = &self.metrics {
+            registry
+                .counter("analysis.persistence.prefixes")
+                .add(persistence.prefix_count() as u64);
+        }
 
         // Outbreak analysis.
+        let t = Instant::now();
         let outbreak = OutbreakAnalysis::compute(
             &sim.germany,
             &sim.records,
@@ -136,12 +244,25 @@ impl Study {
             },
             days,
         );
+        record_phase(
+            &mut timings,
+            &self.metrics,
+            "analysis.outbreak",
+            t.elapsed(),
+        );
 
         // Adoption milestones need the curve through July 24.
+        let t = Instant::now();
         let adoption_long = AdoptionModel::new(AdoptionConfig::default()).run(
             &sim.germany,
             &sim.scenario,
             Timeline::through_july(),
+        );
+        record_phase(
+            &mut timings,
+            &self.metrics,
+            "analysis.adoption",
+            t.elapsed(),
         );
 
         let mut claims = Vec::new();
@@ -197,7 +318,11 @@ impl Study {
             Some(0.67),
             median,
             (0.45, 0.90),
-            format!("{} prefixes at /{}", persistence.prefix_count(), cfg.persistence_prefix_len),
+            format!(
+                "{} prefixes at /{}",
+                persistence.prefix_count(),
+                cfg.persistence_prefix_len
+            ),
         ));
         claims.push(Claim::evaluate(
             ClaimId::C4bPersistenceP75,
@@ -283,8 +408,7 @@ impl Study {
             .filter(|g| g.is_finite())
             .collect();
         others.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        let other_median =
-            others.get(others.len() / 2).copied().unwrap_or(f64::NAN);
+        let other_median = others.get(others.len() / 2).copied().unwrap_or(f64::NAN);
         claims.push(Claim::evaluate(
             ClaimId::C6cBerlinSingleIsp,
             "Berlin June-18 outbreak visible only within a single ISP (§3)",
@@ -323,8 +447,28 @@ impl Study {
             String::new(),
         ));
 
+        // Run manifest: provenance + timings. The hash covers the
+        // configuration as actually simulated (callers can analyze a
+        // SimOutput produced under a different config than `self`).
+        let effective = StudyConfig {
+            sim: sim.config,
+            persistence_prefix_len: cfg.persistence_prefix_len,
+        };
+        let config_json = serde_json::to_string(&effective).expect("config serializes");
+        let digest = cwa_crypto::sha256(config_json.as_bytes());
+        let config_hash: String = digest[..8].iter().map(|b| format!("{b:02x}")).collect();
+        let manifest = RunManifest {
+            seed: sim.config.seed,
+            scale: sim.config.scale,
+            days: sim.config.days,
+            parallel: sim.config.parallel,
+            config_hash,
+            phase_timings: timings,
+        };
+
         StudyReport {
             config: *cfg,
+            manifest,
             figure2,
             figure3,
             claims,
@@ -353,6 +497,28 @@ mod tests {
         assert_eq!(report.claims.len(), 14);
         assert!(report.matching_flows > 0);
         assert!(report.total_records > report.matching_flows);
+        // The run manifest carries provenance and per-phase timings.
+        assert_eq!(report.manifest.seed, report.config.sim.seed);
+        assert_eq!(report.manifest.scale, report.config.sim.scale);
+        assert_eq!(report.manifest.config_hash.len(), 16);
+        let phases: Vec<&str> = report
+            .manifest
+            .phase_timings
+            .iter()
+            .map(|p| p.phase.as_str())
+            .collect();
+        for expected in [
+            "phase.simulate",
+            "analysis.filter",
+            "analysis.timeseries",
+            "analysis.geoloc",
+            "analysis.persistence",
+            "analysis.outbreak",
+            "analysis.adoption",
+        ] {
+            assert!(phases.contains(&expected), "missing phase {expected}");
+        }
+        assert!(report.strip_volatile().manifest.phase_timings.is_empty());
         // Figure 2 has one point per hour.
         assert_eq!(report.figure2.flows_normed.len(), 264);
         // Figure 3 covers all districts.
@@ -360,7 +526,11 @@ mod tests {
         // The text rendering mentions every claim code.
         let text = report.render_text();
         for claim in &report.claims {
-            assert!(text.contains(claim.id.code()), "missing {}", claim.id.code());
+            assert!(
+                text.contains(claim.id.code()),
+                "missing {}",
+                claim.id.code()
+            );
         }
     }
 }

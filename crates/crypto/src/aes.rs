@@ -148,7 +148,12 @@ fn shift_rows(state: &mut [u8; 16]) {
 #[inline]
 fn mix_columns(state: &mut [u8; 16]) {
     for c in 0..4 {
-        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        let col = [
+            state[4 * c],
+            state[4 * c + 1],
+            state[4 * c + 2],
+            state[4 * c + 3],
+        ];
         let t = col[0] ^ col[1] ^ col[2] ^ col[3];
         state[4 * c] = col[0] ^ t ^ xtime(col[0] ^ col[1]);
         state[4 * c + 1] = col[1] ^ t ^ xtime(col[1] ^ col[2]);
@@ -179,7 +184,10 @@ mod tests {
         let key = unhex16("2b7e151628aed2a6abf7158809cf4f3c");
         let pt = unhex16("3243f6a8885a308d313198a2e0370734");
         let aes = Aes128::new(&key);
-        assert_eq!(hex(&aes.encrypt_block(&pt)), "3925841d02dc09fbdc118597196a0b32");
+        assert_eq!(
+            hex(&aes.encrypt_block(&pt)),
+            "3925841d02dc09fbdc118597196a0b32"
+        );
     }
 
     /// FIPS 197 Appendix C.1 (AES-128 known answer).
@@ -188,7 +196,10 @@ mod tests {
         let key = unhex16("000102030405060708090a0b0c0d0e0f");
         let pt = unhex16("00112233445566778899aabbccddeeff");
         let aes = Aes128::new(&key);
-        assert_eq!(hex(&aes.encrypt_block(&pt)), "69c4e0d86a7b0430d8cdb78070b4c55a");
+        assert_eq!(
+            hex(&aes.encrypt_block(&pt)),
+            "69c4e0d86a7b0430d8cdb78070b4c55a"
+        );
     }
 
     /// NIST SP 800-38A F.1.1 (ECB-AES128 encrypt, all four blocks).
@@ -197,10 +208,22 @@ mod tests {
         let key = unhex16("2b7e151628aed2a6abf7158809cf4f3c");
         let aes = Aes128::new(&key);
         let cases = [
-            ("6bc1bee22e409f96e93d7e117393172a", "3ad77bb40d7a3660a89ecaf32466ef97"),
-            ("ae2d8a571e03ac9c9eb76fac45af8e51", "f5d3d58503b9699de785895a96fdbaaf"),
-            ("30c81c46a35ce411e5fbc1191a0a52ef", "43b1cd7f598ece23881b00e3ed030688"),
-            ("f69f2445df4f9b17ad2b417be66c3710", "7b0c785e27e8ad3f8223207104725dd4"),
+            (
+                "6bc1bee22e409f96e93d7e117393172a",
+                "3ad77bb40d7a3660a89ecaf32466ef97",
+            ),
+            (
+                "ae2d8a571e03ac9c9eb76fac45af8e51",
+                "f5d3d58503b9699de785895a96fdbaaf",
+            ),
+            (
+                "30c81c46a35ce411e5fbc1191a0a52ef",
+                "43b1cd7f598ece23881b00e3ed030688",
+            ),
+            (
+                "f69f2445df4f9b17ad2b417be66c3710",
+                "7b0c785e27e8ad3f8223207104725dd4",
+            ),
         ];
         for (pt, ct) in cases {
             assert_eq!(hex(&aes.encrypt_block(&unhex16(pt))), ct);

@@ -26,7 +26,10 @@ pub fn hkdf_extract(salt: Option<&[u8]>, ikm: &[u8]) -> [u8; 32] {
 ///
 /// Panics if `len > 255 * 32` (RFC 5869 limit).
 pub fn hkdf_expand(prk: &[u8; 32], info: &[u8], len: usize) -> Vec<u8> {
-    assert!(len <= MAX_OUTPUT_LEN, "HKDF output length {len} exceeds RFC 5869 limit");
+    assert!(
+        len <= MAX_OUTPUT_LEN,
+        "HKDF output length {len} exceeds RFC 5869 limit"
+    );
     let mut okm = Vec::with_capacity(len);
     let mut prev: Vec<u8> = Vec::new();
     let mut counter = 1u8;

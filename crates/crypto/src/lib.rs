@@ -37,14 +37,14 @@
 pub mod aes;
 pub mod ctr;
 pub mod hkdf;
-pub mod p256;
 pub mod hmac;
+pub mod p256;
 pub mod sha256;
 pub mod u256;
 
 pub use aes::Aes128;
 pub use ctr::aes128_ctr;
 pub use hkdf::hkdf_sha256;
-pub use p256::{Signature, SigningKey, VerifyingKey};
 pub use hmac::hmac_sha256;
+pub use p256::{Signature, SigningKey, VerifyingKey};
 pub use sha256::{sha256, Sha256};

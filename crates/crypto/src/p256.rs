@@ -62,13 +62,21 @@ struct JacobianPoint {
 }
 
 impl JacobianPoint {
-    const INFINITY: JacobianPoint = JacobianPoint { x: U256::ONE, y: U256::ONE, z: U256::ZERO };
+    const INFINITY: JacobianPoint = JacobianPoint {
+        x: U256::ONE,
+        y: U256::ONE,
+        z: U256::ZERO,
+    };
 
     fn from_affine(p_: &AffinePoint) -> Self {
         if p_.infinity {
             JacobianPoint::INFINITY
         } else {
-            JacobianPoint { x: p_.x, y: p_.y, z: U256::ONE }
+            JacobianPoint {
+                x: p_.x,
+                y: p_.y,
+                z: U256::ONE,
+            }
         }
     }
 
@@ -78,7 +86,11 @@ impl JacobianPoint {
 
     fn to_affine(self) -> AffinePoint {
         if self.is_infinity() {
-            return AffinePoint { x: U256::ZERO, y: U256::ZERO, infinity: true };
+            return AffinePoint {
+                x: U256::ZERO,
+                y: U256::ZERO,
+                infinity: true,
+            };
         }
         let prime = p();
         let z_inv = self.z.inv_mod(&prime);
@@ -124,7 +136,11 @@ impl JacobianPoint {
         let y3 = alpha
             .mul_mod(&beta4.sub_mod(&x3, m), m)
             .sub_mod(&gamma2_8, m);
-        JacobianPoint { x: x3, y: y3, z: z3 }
+        JacobianPoint {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     /// Mixed addition: Jacobian + affine (add-2007-bl, simplified).
@@ -160,7 +176,11 @@ impl JacobianPoint {
             .mul_mod(&v.sub_mod(&x3, m), m)
             .sub_mod(&self.y.mul_mod(&h3, m), m);
         let z3 = self.z.mul_mod(&h, m);
-        JacobianPoint { x: x3, y: y3, z: z3 }
+        JacobianPoint {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 }
 
@@ -226,7 +246,10 @@ impl Signature {
         let mut s = [0u8; 32];
         r.copy_from_slice(&bytes[..32]);
         s.copy_from_slice(&bytes[32..]);
-        Signature { r: U256::from_be_bytes(&r), s: U256::from_be_bytes(&s) }
+        Signature {
+            r: U256::from_be_bytes(&r),
+            s: U256::from_be_bytes(&s),
+        }
     }
 }
 
@@ -244,7 +267,9 @@ impl SigningKey {
 
     /// The corresponding public key.
     pub fn verifying_key(&self) -> VerifyingKey {
-        VerifyingKey { point: scalar_mul(&self.d, &g()) }
+        VerifyingKey {
+            point: scalar_mul(&self.d, &g()),
+        }
     }
 
     /// Signs `message` (hashed with SHA-256) with an RFC 6979
@@ -474,7 +499,10 @@ mod tests {
         // Zero r/s rejected.
         assert!(!vk.verify(
             b"export v1 bytes",
-            &Signature { r: U256::ZERO, s: sig.s }
+            &Signature {
+                r: U256::ZERO,
+                s: sig.s
+            }
         ));
     }
 

@@ -91,9 +91,9 @@ impl U256 {
     pub fn adc(&self, other: &U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut carry = 0u128;
-        for i in 0..4 {
+        for (i, limb) in out.iter_mut().enumerate() {
             let sum = u128::from(self.0[i]) + u128::from(other.0[i]) + carry;
-            out[i] = sum as u64;
+            *limb = sum as u64;
             carry = sum >> 64;
         }
         (U256(out), carry != 0)
@@ -103,13 +103,13 @@ impl U256 {
     pub fn sbb(&self, other: &U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut borrow = 0i128;
-        for i in 0..4 {
+        for (i, limb) in out.iter_mut().enumerate() {
             let diff = i128::from(self.0[i]) - i128::from(other.0[i]) - borrow;
             if diff < 0 {
-                out[i] = (diff + (1i128 << 64)) as u64;
+                *limb = (diff + (1i128 << 64)) as u64;
                 borrow = 1;
             } else {
-                out[i] = diff as u64;
+                *limb = diff as u64;
                 borrow = 0;
             }
         }
@@ -122,9 +122,8 @@ impl U256 {
         for i in 0..4 {
             let mut carry = 0u128;
             for j in 0..4 {
-                let acc = u128::from(out[i + j])
-                    + u128::from(self.0[i]) * u128::from(other.0[j])
-                    + carry;
+                let acc =
+                    u128::from(out[i + j]) + u128::from(self.0[i]) * u128::from(other.0[j]) + carry;
                 out[i + j] = acc as u64;
                 carry = acc >> 64;
             }
@@ -268,9 +267,7 @@ mod tests {
     #[test]
     fn inverse_large_prime() {
         // P-256 field prime.
-        let p = U256::from_hex(
-            "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff",
-        );
+        let p = U256::from_hex("ffffffff00000001000000000000000000000000ffffffffffffffffffffffff");
         let a = U256::from_hex("deadbeefcafebabe0123456789abcdef55555555aaaaaaaa1111111122222222");
         let inv = a.inv_mod(&p);
         assert_eq!(a.mul_mod(&inv, &p), U256::ONE);
@@ -278,9 +275,7 @@ mod tests {
 
     #[test]
     fn reduce_512_matches_mul_mod() {
-        let p = U256::from_hex(
-            "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551",
-        );
+        let p = U256::from_hex("ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551");
         let a = U256::from_hex("aa00bb11cc22dd33ee44ff5566778899aabbccddeeff00112233445566778899");
         let wide = a.widening_mul(&a);
         let r1 = reduce_512(&wide, &p);

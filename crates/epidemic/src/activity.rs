@@ -100,8 +100,8 @@ impl ActivityModel {
         // Background fetches follow the OS scheduler (mildly diurnal);
         // manual opens and curiosity follow human activity and media.
         let background = unaffected * (0.5 + 0.5 * Self::diurnal(hour_of_day));
-        let human = (affected + self.curiosity_opens_per_day * media_factor)
-            * Self::diurnal(hour_of_day);
+        let human =
+            (affected + self.curiosity_opens_per_day * media_factor) * Self::diurnal(hour_of_day);
         (background + human) / 24.0
     }
 
@@ -115,8 +115,7 @@ impl ActivityModel {
         } else {
             let t_days = f64::from(hour - RELEASE_HOUR) / 24.0;
             let interest = (-t_days / self.website_interest_decay_days).exp();
-            self.website_visits_prelaunch_per_day
-                + self.website_visits_launch_peak * interest
+            self.website_visits_prelaunch_per_day + self.website_visits_launch_peak * interest
         };
         per_day * media_factor * Self::diurnal(hour_of_day) / 24.0
     }
@@ -153,8 +152,14 @@ mod tests {
 
     #[test]
     fn bug_lowers_api_rate() {
-        let healthy = ActivityModel { background_restricted_fraction: 0.0, ..Default::default() };
-        let buggy = ActivityModel { background_restricted_fraction: 0.5, ..Default::default() };
+        let healthy = ActivityModel {
+            background_restricted_fraction: 0.0,
+            ..Default::default()
+        };
+        let buggy = ActivityModel {
+            background_restricted_fraction: 0.5,
+            ..Default::default()
+        };
         assert!(buggy.api_requests_per_user_day() < healthy.api_requests_per_user_day());
     }
 
@@ -165,7 +170,10 @@ mod tests {
         let expected = m.api_requests_per_user_day();
         // Background part is flattened (0.5 + 0.5*diurnal) — the day
         // total must still match within a few percent.
-        assert!((daily - expected).abs() / expected < 0.05, "{daily} vs {expected}");
+        assert!(
+            (daily - expected).abs() / expected < 0.05,
+            "{daily} vs {expected}"
+        );
     }
 
     #[test]

@@ -135,7 +135,10 @@ impl AdoptionModel {
         let total: f64 = weights.iter().sum();
         let district_share = weights.into_iter().map(|w| w / total).collect();
 
-        AdoptionCurve { cumulative, district_share }
+        AdoptionCurve {
+            cumulative,
+            district_share,
+        }
     }
 }
 
@@ -148,10 +151,18 @@ mod tests {
     fn curve() -> (Germany, AdoptionCurve) {
         let g = Germany::build();
         let plan = AddressPlan::build(&g, AddressPlanConfig::default());
-        let gt = plan.isps.iter().find(|i| i.ground_truth_routers).unwrap().id;
+        let gt = plan
+            .isps
+            .iter()
+            .find(|i| i.ground_truth_routers)
+            .unwrap()
+            .id;
         let scenario = Scenario::paper_default(&g, gt);
-        let curve =
-            AdoptionModel::new(AdoptionConfig::default()).run(&g, &scenario, Timeline::through_july());
+        let curve = AdoptionModel::new(AdoptionConfig::default()).run(
+            &g,
+            &scenario,
+            Timeline::through_july(),
+        );
         (g, curve)
     }
 
@@ -219,25 +230,26 @@ mod tests {
         let berlin = g.by_name("Berlin").unwrap();
         let pop_share = f64::from(berlin.population) / g.population() as f64;
         let adoption_share = c.district_share[usize::from(berlin.id.0)];
-        assert!(adoption_share > pop_share, "{adoption_share} vs {pop_share}");
+        assert!(
+            adoption_share > pop_share,
+            "{adoption_share} vs {pop_share}"
+        );
     }
 
     #[test]
     fn installed_in_district_consistent() {
         let (g, c) = curve();
         let h = 24 * 9;
-        let total: f64 = g
-            .districts()
-            .iter()
-            .map(|d| c.installed_in(d.id, h))
-            .sum();
+        let total: f64 = g.districts().iter().map(|d| c.installed_in(d.id, h)).sum();
         assert!((total - c.downloads_at(h)).abs() / c.downloads_at(h) < 1e-9);
     }
 
     #[test]
     fn new_downloads_in_hour_sums_to_cumulative() {
         let (_, c) = curve();
-        let total: f64 = (0..c.cumulative.len() as u32).map(|h| c.new_downloads_in_hour(h)).sum();
+        let total: f64 = (0..c.cumulative.len() as u32)
+            .map(|h| c.new_downloads_in_hour(h))
+            .sum();
         let last = *c.cumulative.last().unwrap();
         assert!((total - last).abs() / last < 1e-9);
     }

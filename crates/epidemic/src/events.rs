@@ -178,7 +178,12 @@ impl Scenario {
         let t_days = f64::from(hour) / 24.0;
         let mut factor = 1.0;
         for ev in &self.events {
-            let EventKind::MediaPulse { intensity, decay_days, national, isp_only } = ev.kind
+            let EventKind::MediaPulse {
+                intensity,
+                decay_days,
+                national,
+                isp_only,
+            } = ev.kind
             else {
                 continue;
             };
@@ -209,7 +214,12 @@ impl Scenario {
         let t_days = f64::from(hour) / 24.0;
         let mut factor = 1.0;
         for ev in &self.events {
-            let EventKind::MediaPulse { intensity, decay_days, national: true, .. } = ev.kind
+            let EventKind::MediaPulse {
+                intensity,
+                decay_days,
+                national: true,
+                ..
+            } = ev.kind
             else {
                 continue;
             };
@@ -232,8 +242,12 @@ impl Scenario {
         self.events
             .iter()
             .filter_map(|ev| {
-                let EventKind::MediaPulse { intensity, decay_days, national: false, isp_only } =
-                    ev.kind
+                let EventKind::MediaPulse {
+                    intensity,
+                    decay_days,
+                    national: false,
+                    isp_only,
+                } = ev.kind
                 else {
                     return None;
                 };
@@ -268,7 +282,12 @@ mod tests {
     fn setup() -> (Germany, Scenario, IspId) {
         let g = Germany::build();
         let plan = AddressPlan::build(&g, AddressPlanConfig::default());
-        let gt = plan.isps.iter().find(|i| i.ground_truth_routers).unwrap().id;
+        let gt = plan
+            .isps
+            .iter()
+            .find(|i| i.ground_truth_routers)
+            .unwrap()
+            .id;
         let s = Scenario::paper_default(&g, gt);
         (g, s, gt)
     }
@@ -307,7 +326,10 @@ mod tests {
         let hamburg_gt = s.media_factor(hamburg, Some(gt_isp), h);
 
         assert!(berlin_gt > 1.2, "visible in the single ISP: {berlin_gt}");
-        assert!((berlin_other - 1.0).abs() < 0.05, "invisible elsewhere: {berlin_other}");
+        assert!(
+            (berlin_other - 1.0).abs() < 0.05,
+            "invisible elsewhere: {berlin_other}"
+        );
         assert!((hamburg_gt - 1.0).abs() < 0.05, "local only: {hamburg_gt}");
     }
 

@@ -48,7 +48,7 @@ impl Default for EpidemicConfig {
             detection_delay_days: 3,
             importation_per_million: 0.4,
             initial_per_million: 6.0,
-            seed: 0x5E1_D,
+            seed: 0x5E1D,
         }
     }
 }
@@ -76,12 +76,18 @@ pub struct EpidemicRun {
 impl EpidemicRun {
     /// Total detected cases in a district over the run.
     pub fn total_detected(&self, district: DistrictId) -> u64 {
-        self.detected.iter().map(|day| u64::from(day[usize::from(district.0)])).sum()
+        self.detected
+            .iter()
+            .map(|day| u64::from(day[usize::from(district.0)]))
+            .sum()
     }
 
     /// National detected cases on a day.
     pub fn national_detected(&self, day: u32) -> u64 {
-        self.detected[day as usize].iter().map(|&c| u64::from(c)).sum()
+        self.detected[day as usize]
+            .iter()
+            .map(|&c| u64::from(c))
+            .sum()
     }
 }
 
@@ -135,7 +141,12 @@ impl EpidemicModel {
             .map(|d| {
                 let pop = f64::from(d.population);
                 let i0 = pop * cfg.initial_per_million / 1e6;
-                Compartments { s: pop - i0, e: 0.0, i: i0, r: 0.0 }
+                Compartments {
+                    s: pop - i0,
+                    e: 0.0,
+                    i: i0,
+                    r: 0.0,
+                }
             })
             .collect();
 
@@ -200,7 +211,11 @@ impl EpidemicModel {
             }
         }
 
-        EpidemicRun { days, new_cases, detected }
+        EpidemicRun {
+            days,
+            new_cases,
+            detected,
+        }
     }
 }
 
@@ -241,7 +256,12 @@ mod tests {
     fn run_paper() -> (Germany, EpidemicRun) {
         let g = Germany::build();
         let plan = AddressPlan::build(&g, AddressPlanConfig::default());
-        let gt_isp = plan.isps.iter().find(|i| i.ground_truth_routers).unwrap().id;
+        let gt_isp = plan
+            .isps
+            .iter()
+            .find(|i| i.ground_truth_routers)
+            .unwrap()
+            .id;
         let scenario = Scenario::paper_default(&g, gt_isp);
         let run = EpidemicModel::new(EpidemicConfig::default()).run(&g, &scenario, 20);
         (g, run)
@@ -252,7 +272,10 @@ mod tests {
         // Mid-June 2020 Germany: roughly 300–600 detected cases/day.
         let (_, run) = run_paper();
         let day6 = run.national_detected(6);
-        assert!((100..2_000).contains(&day6), "day-6 national detected {day6}");
+        assert!(
+            (100..2_000).contains(&day6),
+            "day-6 national detected {day6}"
+        );
     }
 
     #[test]
@@ -300,9 +323,17 @@ mod tests {
     fn detection_is_delayed() {
         let g = Germany::build();
         let plan = AddressPlan::build(&g, AddressPlanConfig::default());
-        let gt_isp = plan.isps.iter().find(|i| i.ground_truth_routers).unwrap().id;
+        let gt_isp = plan
+            .isps
+            .iter()
+            .find(|i| i.ground_truth_routers)
+            .unwrap()
+            .id;
         let scenario = Scenario::paper_default(&g, gt_isp);
-        let cfg = EpidemicConfig { detection_delay_days: 3, ..EpidemicConfig::default() };
+        let cfg = EpidemicConfig {
+            detection_delay_days: 3,
+            ..EpidemicConfig::default()
+        };
         let run = EpidemicModel::new(cfg).run(&g, &scenario, 15);
         let gt = g.by_name("Gütersloh").unwrap().id;
         let i = usize::from(gt.0);
@@ -344,7 +375,10 @@ mod tests {
         };
         let matrix = cwa_geo::CommutingMatrix::build(&g, cwa_geo::CommutingConfig::default());
         // A hotter outbreak makes the spillover measurable.
-        let cfg = EpidemicConfig { beta: 0.5, ..EpidemicConfig::default() };
+        let cfg = EpidemicConfig {
+            beta: 0.5,
+            ..EpidemicConfig::default()
+        };
         let model = EpidemicModel::new(cfg);
         let uncoupled = model.run(&g, &scenario, 22);
         let coupled = model.run_coupled(&g, &scenario, 22, &matrix);

@@ -81,12 +81,16 @@ pub struct Timeline {
 impl Timeline {
     /// The measurement window only.
     pub fn measurement() -> Self {
-        Timeline { days: MEASUREMENT_DAYS }
+        Timeline {
+            days: MEASUREMENT_DAYS,
+        }
     }
 
     /// Through July 24 (for the download-curve milestones).
     pub fn through_july() -> Self {
-        Timeline { days: JULY_24_DAY + 1 }
+        Timeline {
+            days: JULY_24_DAY + 1,
+        }
     }
 
     /// Total hours.

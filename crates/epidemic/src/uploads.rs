@@ -90,11 +90,7 @@ impl UploadPipeline {
 
     /// Splits a day's uploads across districts proportionally to that
     /// day's detected cases.
-    pub fn district_uploads(
-        &self,
-        epidemic: &EpidemicRun,
-        day: u32,
-    ) -> Vec<(DistrictId, f64)> {
+    pub fn district_uploads(&self, epidemic: &EpidemicRun, day: u32) -> Vec<(DistrictId, f64)> {
         let total = epidemic.national_detected(day) as f64;
         if total == 0.0 {
             return Vec::new();
@@ -121,14 +117,16 @@ mod tests {
     fn pipeline() -> (Germany, EpidemicRun, UploadPipeline) {
         let g = Germany::build();
         let plan = AddressPlan::build(&g, AddressPlanConfig::default());
-        let gt = plan.isps.iter().find(|i| i.ground_truth_routers).unwrap().id;
+        let gt = plan
+            .isps
+            .iter()
+            .find(|i| i.ground_truth_routers)
+            .unwrap()
+            .id;
         let scenario = Scenario::paper_default(&g, gt);
         let epidemic = EpidemicModel::new(EpidemicConfig::default()).run(&g, &scenario, 20);
-        let adoption = AdoptionModel::new(AdoptionConfig::default()).run(
-            &g,
-            &scenario,
-            Timeline { days: 20 },
-        );
+        let adoption =
+            AdoptionModel::new(AdoptionConfig::default()).run(&g, &scenario, Timeline { days: 20 });
         let p = UploadPipeline::derive(&g, &epidemic, &adoption, UploadConfig::default());
         (g, epidemic, p)
     }

@@ -34,7 +34,11 @@ pub struct PathLossModel {
 
 impl Default for PathLossModel {
     fn default() -> Self {
-        PathLossModel { reference_db: 45.0, exponent: 2.2, fading_sigma_db: 4.0 }
+        PathLossModel {
+            reference_db: 45.0,
+            exponent: 2.2,
+            fading_sigma_db: 4.0,
+        }
     }
 }
 
@@ -172,7 +176,11 @@ mod tests {
         let mut sick = Device::new(1);
         let mut healthy = Device::new(2);
         let day0 = EnIntervalNumber(144 * 18_000);
-        let enc = Encounter { distance_m: 1.0, start: day0.advance(60), intervals: 3 };
+        let enc = Encounter {
+            distance_m: 1.0,
+            start: day0.advance(60),
+            intervals: 3,
+        };
         simulate_encounter(&mut rng, &m, &mut sick, &mut healthy, &enc);
 
         let day1 = EnIntervalNumber(144 * 18_001);
@@ -180,7 +188,10 @@ mod tests {
         let keys = sick.upload_diagnosis_keys(day1, 6);
         let matches = healthy.check_exposure(&keys, day1);
         assert_eq!(matches.len(), 1);
-        assert!(matches[0].risk_score.0 > 0, "close 30-min contact flags v1 risk");
+        assert!(
+            matches[0].risk_score.0 > 0,
+            "close 30-min contact flags v1 risk"
+        );
     }
 
     #[test]
@@ -192,7 +203,10 @@ mod tests {
             start: EnIntervalNumber(144 * 18_000),
             intervals: 3,
         };
-        let far = Encounter { distance_m: 100.0, ..close };
+        let far = Encounter {
+            distance_m: 100.0,
+            ..close
+        };
         let cfg = crate::risk_v2::RiskConfigV2::default();
         let w_close = encounter_to_window(&mut rng, &m, &close, 0, 1);
         let w_far = encounter_to_window(&mut rng, &m, &far, 0, 1);

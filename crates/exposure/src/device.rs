@@ -86,7 +86,8 @@ impl Device {
         attenuation_db: u8,
         duration_minutes: u32,
     ) {
-        self.store.record(adv.rpi, now, attenuation_db, duration_minutes);
+        self.store
+            .record(adv.rpi, now, attenuation_db, duration_minutes);
     }
 
     /// Nightly maintenance: expire encounters older than 14 days.
@@ -206,7 +207,10 @@ mod tests {
         assert_eq!(matches.len(), 1);
         assert_eq!(matches[0].matched_intervals, 3);
         assert_eq!(matches[0].duration_minutes, 27);
-        assert!(matches[0].risk_score.0 > 0, "close long contact must flag risk");
+        assert!(
+            matches[0].risk_score.0 > 0,
+            "close long contact must flag risk"
+        );
 
         // A third device that never met Alice stays clear.
         let mut carol = Device::new(3);

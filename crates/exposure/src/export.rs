@@ -208,7 +208,9 @@ fn decode_key(value: FieldValue) -> Result<DiagnosisKey, ExportError> {
             3 => {
                 let v = value.as_int32()?;
                 if v < 0 {
-                    return Err(ExportError::BadKey("negative rolling_start_interval_number"));
+                    return Err(ExportError::BadKey(
+                        "negative rolling_start_interval_number",
+                    ));
                 }
                 start = Some(v as u32);
             }

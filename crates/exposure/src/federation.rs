@@ -95,7 +95,10 @@ impl FederationGateway {
                 duplicates += 1;
             }
         }
-        UploadReceipt { accepted, duplicates }
+        UploadReceipt {
+            accepted,
+            duplicates,
+        }
     }
 
     /// A national backend downloads the keys relevant to `country` for
@@ -150,7 +153,7 @@ pub fn merge_into_export(
     let mut present: HashSet<[u8; 16]> = keys.iter().map(|k| k.tek.key).collect();
     for fk in federated {
         if present.insert(fk.key.tek.key) {
-            keys.push(fk.key.clone());
+            keys.push(fk.key);
         }
     }
     TemporaryExposureKeyExport::new_de(start_timestamp, end_timestamp, keys)
@@ -260,7 +263,7 @@ mod tests {
         // One federated key collides with a national one.
         let mut federated = fed(keys(&mut rng, 4), "AT", &["DE"]);
         federated.push(FederatedKey {
-            key: national[0].clone(),
+            key: national[0],
             origin: CountryCode::new("AT"),
             visited: vec![CountryCode::new("DE")],
         });
@@ -276,11 +279,9 @@ mod tests {
         // i.e. more bytes per app download at the vantage point.
         let mut rng = ChaCha8Rng::seed_from_u64(6);
         let national = keys(&mut rng, 20);
-        let national_only =
-            merge_into_export(national.clone(), &[], 0, 86_400).encoded_len();
+        let national_only = merge_into_export(national.clone(), &[], 0, 86_400).encoded_len();
         let federated = fed(keys(&mut rng, 15), "IT", &["DE"]);
-        let with_federation =
-            merge_into_export(national, &federated, 0, 86_400).encoded_len();
+        let with_federation = merge_into_export(national, &federated, 0, 86_400).encoded_len();
         assert!(with_federation > national_only);
     }
 }

@@ -59,8 +59,8 @@ pub mod federation;
 pub mod matching;
 pub mod protobuf;
 pub mod risk;
-pub mod signature;
 pub mod risk_v2;
+pub mod signature;
 pub mod tek;
 pub mod time;
 pub mod verification;
@@ -68,12 +68,12 @@ pub mod verification;
 pub use advertisement::BleAdvertisement;
 pub use contact::{Encounter, PathLossModel};
 pub use device::Device;
-pub use risk_v2::{ExposureWindow, RiskConfigV2, RiskLevelV2};
-pub use federation::{CountryCode, FederationGateway};
-pub use signature::{sign_export, verify_export, SignedExport};
-pub use verification::VerificationServer;
 pub use export::TemporaryExposureKeyExport;
+pub use federation::{CountryCode, FederationGateway};
 pub use matching::{ExposureMatch, MatchingEngine};
 pub use risk::{ExposureConfiguration, RiskScore};
+pub use risk_v2::{ExposureWindow, RiskConfigV2, RiskLevelV2};
+pub use signature::{sign_export, verify_export, SignedExport};
 pub use tek::{DiagnosisKey, RollingProximityIdentifier, TemporaryExposureKey};
 pub use time::{EnIntervalNumber, TEK_ROLLING_PERIOD};
+pub use verification::VerificationServer;

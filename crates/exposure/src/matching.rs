@@ -60,7 +60,11 @@ impl EncounterStore {
                 e.duration_minutes += duration_minutes;
                 e.attenuation_db = e.attenuation_db.min(attenuation_db);
             })
-            .or_insert(Encounter { interval, attenuation_db, duration_minutes });
+            .or_insert(Encounter {
+                interval,
+                attenuation_db,
+                duration_minutes,
+            });
     }
 
     /// Number of distinct RPIs remembered.
@@ -204,11 +208,27 @@ mod tests {
         let old = RollingProximityIdentifier([1u8; 16]);
         let fresh = RollingProximityIdentifier([2u8; 16]);
         let now = EnIntervalNumber(TEK_ROLLING_PERIOD * 100);
-        store.record(old, EnIntervalNumber(now.0 - 15 * TEK_ROLLING_PERIOD), 40, 10);
-        store.record(fresh, EnIntervalNumber(now.0 - 13 * TEK_ROLLING_PERIOD), 40, 10);
+        store.record(
+            old,
+            EnIntervalNumber(now.0 - 15 * TEK_ROLLING_PERIOD),
+            40,
+            10,
+        );
+        store.record(
+            fresh,
+            EnIntervalNumber(now.0 - 13 * TEK_ROLLING_PERIOD),
+            40,
+            10,
+        );
         store.expire(now);
-        assert!(store.get(&old).is_none(), "15-day-old encounter must expire");
-        assert!(store.get(&fresh).is_some(), "13-day-old encounter must remain");
+        assert!(
+            store.get(&old).is_none(),
+            "15-day-old encounter must expire"
+        );
+        assert!(
+            store.get(&fresh).is_some(),
+            "13-day-old encounter must remain"
+        );
     }
 
     #[test]

@@ -84,7 +84,9 @@ pub struct Writer {
 impl Writer {
     /// Creates an empty writer.
     pub fn new() -> Self {
-        Writer { buf: BytesMut::new() }
+        Writer {
+            buf: BytesMut::new(),
+        }
     }
 
     /// Writes a raw varint.

@@ -200,14 +200,19 @@ mod tests {
         let close = cfg.score(20, 2, 30, 6);
         let far = cfg.score(80, 2, 30, 6);
         assert!(close > far);
-        assert!(close.0 >= 1000, "close contact should score high: {close:?}");
+        assert!(
+            close.0 >= 1000,
+            "close contact should score high: {close:?}"
+        );
         assert_eq!(far, RiskScore(0), "attenuation bucket 0 scores 0");
     }
 
     #[test]
     fn minimum_threshold_suppresses() {
-        let mut cfg = ExposureConfiguration::default();
-        cfg.minimum_risk_score = 5000; // above the 4096 max
+        let cfg = ExposureConfiguration {
+            minimum_risk_score: 5000, // above the 4096 max
+            ..Default::default()
+        };
         assert_eq!(cfg.score(20, 1, 30, 7), RiskScore(0));
     }
 

@@ -187,7 +187,11 @@ impl RiskConfigV2 {
                 } else {
                     RiskLevelV2::NoRisk
                 };
-                DayRisk { day, weighted_minutes, level }
+                DayRisk {
+                    day,
+                    weighted_minutes,
+                    level,
+                }
             })
             .collect()
     }
@@ -282,12 +286,30 @@ mod tests {
 
     #[test]
     fn infectiousness_mapping() {
-        assert_eq!(Infectiousness::from_days_since_onset(0), Infectiousness::High);
-        assert_eq!(Infectiousness::from_days_since_onset(3), Infectiousness::High);
-        assert_eq!(Infectiousness::from_days_since_onset(5), Infectiousness::Standard);
-        assert_eq!(Infectiousness::from_days_since_onset(-3), Infectiousness::Standard);
-        assert_eq!(Infectiousness::from_days_since_onset(12), Infectiousness::None);
-        assert_eq!(Infectiousness::from_days_since_onset(-10), Infectiousness::None);
+        assert_eq!(
+            Infectiousness::from_days_since_onset(0),
+            Infectiousness::High
+        );
+        assert_eq!(
+            Infectiousness::from_days_since_onset(3),
+            Infectiousness::High
+        );
+        assert_eq!(
+            Infectiousness::from_days_since_onset(5),
+            Infectiousness::Standard
+        );
+        assert_eq!(
+            Infectiousness::from_days_since_onset(-3),
+            Infectiousness::Standard
+        );
+        assert_eq!(
+            Infectiousness::from_days_since_onset(12),
+            Infectiousness::None
+        );
+        assert_eq!(
+            Infectiousness::from_days_since_onset(-10),
+            Infectiousness::None
+        );
     }
 
     #[test]
@@ -315,9 +337,18 @@ mod tests {
             infectiousness: Infectiousness::High,
             report_type: ReportType::ConfirmedTest,
             scan_instances: vec![
-                ScanInstance { typical_attenuation_db: 50, seconds_since_last_scan: 300 },
-                ScanInstance { typical_attenuation_db: 70, seconds_since_last_scan: 300 },
-                ScanInstance { typical_attenuation_db: 90, seconds_since_last_scan: 300 },
+                ScanInstance {
+                    typical_attenuation_db: 50,
+                    seconds_since_last_scan: 300,
+                },
+                ScanInstance {
+                    typical_attenuation_db: 70,
+                    seconds_since_last_scan: 300,
+                },
+                ScanInstance {
+                    typical_attenuation_db: 90,
+                    seconds_since_last_scan: 300,
+                },
             ],
         };
         // 5 + 5*0.495 + 0 = 7.475 minutes.

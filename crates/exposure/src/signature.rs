@@ -107,7 +107,10 @@ pub fn sign_export(
     let mut list = Writer::new();
     list.field_message(1, &tek_sig);
 
-    SignedExport { export_bin, export_sig: list.finish().to_vec() }
+    SignedExport {
+        export_bin,
+        export_sig: list.finish().to_vec(),
+    }
 }
 
 /// Verifies the pair against a pinned key and, on success, parses the
@@ -134,7 +137,9 @@ pub fn verify_export(
         let mut key_version = String::new();
         let mut sig_bytes: Option<[u8; 64]> = None;
         while !r.is_done() {
-            let (f, v) = r.field().map_err(|_| SignatureError::MalformedSignatureFile)?;
+            let (f, v) = r
+                .field()
+                .map_err(|_| SignatureError::MalformedSignatureFile)?;
             match f {
                 1 => {
                     let mut info_r = Reader::new(

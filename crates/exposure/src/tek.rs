@@ -145,7 +145,10 @@ pub struct DiagnosisKey {
 impl DiagnosisKey {
     /// Wraps a TEK with a transmission-risk level, clamping to 0–7.
     pub fn new(tek: TemporaryExposureKey, transmission_risk_level: u8) -> Self {
-        DiagnosisKey { tek, transmission_risk_level: transmission_risk_level.min(7) }
+        DiagnosisKey {
+            tek,
+            transmission_risk_level: transmission_risk_level.min(7),
+        }
     }
 }
 
@@ -254,8 +257,10 @@ mod tests {
         let tek = tek_fixed();
         let meta = [1, 2, 3, 4];
         let a = tek.encrypt_metadata(EnIntervalNumber(tek.rolling_start_interval_number), &meta);
-        let b =
-            tek.encrypt_metadata(EnIntervalNumber(tek.rolling_start_interval_number + 1), &meta);
+        let b = tek.encrypt_metadata(
+            EnIntervalNumber(tek.rolling_start_interval_number + 1),
+            &meta,
+        );
         assert_ne!(a, b);
     }
 

@@ -102,7 +102,10 @@ mod tests {
         // 1592179200 / 600 = 2653632, exactly: midnight is an interval edge.
         assert_eq!(STUDY_EPOCH_UNIX % INTERVAL_SECONDS, 0);
         // And a TEK boundary (divisible by 86400).
-        assert_eq!(STUDY_EPOCH_UNIX % (u64::from(TEK_ROLLING_PERIOD) * INTERVAL_SECONDS), 0);
+        assert_eq!(
+            STUDY_EPOCH_UNIX % (u64::from(TEK_ROLLING_PERIOD) * INTERVAL_SECONDS),
+            0
+        );
     }
 
     #[test]

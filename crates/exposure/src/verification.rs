@@ -135,7 +135,13 @@ impl VerificationServer {
             .map(|_| ALPHABET[(rng.next_u32() as usize) % ALPHABET.len()] as char)
             .collect();
         let key = self.hash(tan.as_bytes());
-        self.teletans.insert(key, Pending { issued_at: now, used: false });
+        self.teletans.insert(
+            key,
+            Pending {
+                issued_at: now,
+                used: false,
+            },
+        );
         Ok(TeleTan(tan))
     }
 
@@ -147,7 +153,10 @@ impl VerificationServer {
         now: u64,
     ) -> Result<RegistrationToken, VerificationError> {
         let key = self.hash(teletan.0.as_bytes());
-        let entry = self.teletans.get_mut(&key).ok_or(VerificationError::InvalidTeleTan)?;
+        let entry = self
+            .teletans
+            .get_mut(&key)
+            .ok_or(VerificationError::InvalidTeleTan)?;
         if entry.used || now.saturating_sub(entry.issued_at) > TELETAN_TTL_S {
             return Err(VerificationError::InvalidTeleTan);
         }
@@ -156,7 +165,13 @@ impl VerificationServer {
         let mut token = [0u8; 16];
         rng.fill_bytes(&mut token);
         let token_key = self.hash(&token);
-        self.registration_tokens.insert(token_key, Pending { issued_at: now, used: false });
+        self.registration_tokens.insert(
+            token_key,
+            Pending {
+                issued_at: now,
+                used: false,
+            },
+        );
         Ok(RegistrationToken(token))
     }
 
@@ -180,7 +195,13 @@ impl VerificationServer {
         let mut tan = [0u8; 16];
         rng.fill_bytes(&mut tan);
         let tan_key = self.hash(&tan);
-        self.upload_tans.insert(tan_key, Pending { issued_at: now, used: false });
+        self.upload_tans.insert(
+            tan_key,
+            Pending {
+                issued_at: now,
+                used: false,
+            },
+        );
         Ok(UploadTan(tan))
     }
 
@@ -191,8 +212,10 @@ impl VerificationServer {
         now: u64,
     ) -> Result<(), VerificationError> {
         let key = self.hash(&tan.0);
-        let entry =
-            self.upload_tans.get_mut(&key).ok_or(VerificationError::InvalidUploadTan)?;
+        let entry = self
+            .upload_tans
+            .get_mut(&key)
+            .ok_or(VerificationError::InvalidUploadTan)?;
         if entry.used || now.saturating_sub(entry.issued_at) > UPLOAD_TAN_TTL_S {
             return Err(VerificationError::InvalidUploadTan);
         }
@@ -260,7 +283,10 @@ mod tests {
         let token = s.register(&mut rng, &tele, 1).unwrap();
         let tan = s.request_upload_tan(&mut rng, &token, 2).unwrap();
         assert_eq!(s.redeem_upload_tan(&tan, 3), Ok(()));
-        assert_eq!(s.redeem_upload_tan(&tan, 4), Err(VerificationError::InvalidUploadTan));
+        assert_eq!(
+            s.redeem_upload_tan(&tan, 4),
+            Err(VerificationError::InvalidUploadTan)
+        );
 
         let tele2 = s.mint_teletan(&mut rng, 10).unwrap();
         let token2 = s.register(&mut rng, &tele2, 11).unwrap();
@@ -305,7 +331,10 @@ mod tests {
         let (mut s, mut rng) = server(2);
         assert!(s.mint_teletan(&mut rng, 0).is_ok());
         assert!(s.mint_teletan(&mut rng, 100).is_ok());
-        assert_eq!(s.mint_teletan(&mut rng, 200), Err(VerificationError::RateLimited));
+        assert_eq!(
+            s.mint_teletan(&mut rng, 200),
+            Err(VerificationError::RateLimited)
+        );
         assert_eq!(s.minted_today(200), 2);
         // Next day the quota resets.
         assert!(s.mint_teletan(&mut rng, 86_400 + 1).is_ok());

@@ -70,8 +70,8 @@ impl CommutingMatrix {
                 if dist > config.max_distance_km {
                     continue;
                 }
-                let w = f64::from(di.population) * f64::from(dj.population)
-                    / dist.powf(config.gamma);
+                let w =
+                    f64::from(di.population) * f64::from(dj.population) / dist.powf(config.gamma);
                 weights.push((dj.id, w));
             }
             // Keep only the strongest destinations.
@@ -85,7 +85,10 @@ impl CommutingMatrix {
             }
             rows.push(weights);
         }
-        CommutingMatrix { rows, home_fraction: 1.0 - config.out_of_district_fraction }
+        CommutingMatrix {
+            rows,
+            home_fraction: 1.0 - config.out_of_district_fraction,
+        }
     }
 
     /// The out-of-district mixing row of a district.
@@ -122,11 +125,7 @@ mod tests {
         let (g, m) = setup();
         for d in g.districts() {
             let sum: f64 = m.row(d.id).iter().map(|(_, w)| w).sum();
-            assert!(
-                sum <= 0.18 + 1e-9,
-                "{}: out-of-district mass {sum}",
-                d.name
-            );
+            assert!(sum <= 0.18 + 1e-9, "{}: out-of-district mass {sum}", d.name);
             // Districts with any neighbour in range carry the full mass.
             if !m.row(d.id).is_empty() {
                 assert!((sum - 0.18).abs() < 1e-9, "{}: {sum}", d.name);

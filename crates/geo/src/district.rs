@@ -59,34 +59,209 @@ impl District {
 /// Real anchor cities: (name, state, population, lat, lon, zip prefix).
 /// Populations are city/district values around 2020.
 pub(crate) const ANCHORS: &[(&str, FederalState, u32, f64, f64, &str)] = &[
-    ("Berlin", FederalState::Berlin, 3_669_000, 52.520, 13.405, "10"),
-    ("Hamburg", FederalState::Hamburg, 1_847_000, 53.551, 9.994, "20"),
-    ("München", FederalState::Bayern, 1_484_000, 48.137, 11.575, "80"),
-    ("Köln", FederalState::NordrheinWestfalen, 1_086_000, 50.938, 6.960, "50"),
-    ("Frankfurt am Main", FederalState::Hessen, 753_000, 50.110, 8.682, "60"),
-    ("Stuttgart", FederalState::BadenWuerttemberg, 635_000, 48.775, 9.182, "70"),
-    ("Düsseldorf", FederalState::NordrheinWestfalen, 620_000, 51.227, 6.773, "40"),
-    ("Leipzig", FederalState::Sachsen, 593_000, 51.340, 12.374, "04"),
-    ("Dortmund", FederalState::NordrheinWestfalen, 588_000, 51.513, 7.465, "44"),
-    ("Essen", FederalState::NordrheinWestfalen, 583_000, 51.455, 7.011, "45"),
+    (
+        "Berlin",
+        FederalState::Berlin,
+        3_669_000,
+        52.520,
+        13.405,
+        "10",
+    ),
+    (
+        "Hamburg",
+        FederalState::Hamburg,
+        1_847_000,
+        53.551,
+        9.994,
+        "20",
+    ),
+    (
+        "München",
+        FederalState::Bayern,
+        1_484_000,
+        48.137,
+        11.575,
+        "80",
+    ),
+    (
+        "Köln",
+        FederalState::NordrheinWestfalen,
+        1_086_000,
+        50.938,
+        6.960,
+        "50",
+    ),
+    (
+        "Frankfurt am Main",
+        FederalState::Hessen,
+        753_000,
+        50.110,
+        8.682,
+        "60",
+    ),
+    (
+        "Stuttgart",
+        FederalState::BadenWuerttemberg,
+        635_000,
+        48.775,
+        9.182,
+        "70",
+    ),
+    (
+        "Düsseldorf",
+        FederalState::NordrheinWestfalen,
+        620_000,
+        51.227,
+        6.773,
+        "40",
+    ),
+    (
+        "Leipzig",
+        FederalState::Sachsen,
+        593_000,
+        51.340,
+        12.374,
+        "04",
+    ),
+    (
+        "Dortmund",
+        FederalState::NordrheinWestfalen,
+        588_000,
+        51.513,
+        7.465,
+        "44",
+    ),
+    (
+        "Essen",
+        FederalState::NordrheinWestfalen,
+        583_000,
+        51.455,
+        7.011,
+        "45",
+    ),
     ("Bremen", FederalState::Bremen, 567_000, 53.079, 8.801, "28"),
-    ("Dresden", FederalState::Sachsen, 557_000, 51.050, 13.738, "01"),
-    ("Hannover", FederalState::Niedersachsen, 536_000, 52.375, 9.732, "30"),
-    ("Nürnberg", FederalState::Bayern, 518_000, 49.453, 11.077, "90"),
-    ("Duisburg", FederalState::NordrheinWestfalen, 498_000, 51.434, 6.762, "47"),
+    (
+        "Dresden",
+        FederalState::Sachsen,
+        557_000,
+        51.050,
+        13.738,
+        "01",
+    ),
+    (
+        "Hannover",
+        FederalState::Niedersachsen,
+        536_000,
+        52.375,
+        9.732,
+        "30",
+    ),
+    (
+        "Nürnberg",
+        FederalState::Bayern,
+        518_000,
+        49.453,
+        11.077,
+        "90",
+    ),
+    (
+        "Duisburg",
+        FederalState::NordrheinWestfalen,
+        498_000,
+        51.434,
+        6.762,
+        "47",
+    ),
     // The paper's June-23 outbreak districts:
-    ("Gütersloh", FederalState::NordrheinWestfalen, 364_000, 51.907, 8.379, "33"),
-    ("Warendorf", FederalState::NordrheinWestfalen, 277_000, 51.953, 7.992, "48"),
+    (
+        "Gütersloh",
+        FederalState::NordrheinWestfalen,
+        364_000,
+        51.907,
+        8.379,
+        "33",
+    ),
+    (
+        "Warendorf",
+        FederalState::NordrheinWestfalen,
+        277_000,
+        51.953,
+        7.992,
+        "48",
+    ),
     // State capitals not yet covered:
-    ("Potsdam", FederalState::Brandenburg, 180_000, 52.396, 13.058, "14"),
-    ("Wiesbaden", FederalState::Hessen, 278_000, 50.082, 8.239, "65"),
-    ("Schwerin", FederalState::MecklenburgVorpommern, 96_000, 53.635, 11.401, "19"),
-    ("Mainz", FederalState::RheinlandPfalz, 217_000, 49.992, 8.247, "55"),
-    ("Saarbrücken", FederalState::Saarland, 330_000, 49.240, 6.997, "66"),
-    ("Magdeburg", FederalState::SachsenAnhalt, 236_000, 52.131, 11.640, "39"),
-    ("Kiel", FederalState::SchleswigHolstein, 247_000, 54.323, 10.123, "24"),
-    ("Erfurt", FederalState::Thueringen, 214_000, 50.984, 11.030, "99"),
-    ("Bremerhaven", FederalState::Bremen, 114_000, 53.540, 8.586, "27"),
+    (
+        "Potsdam",
+        FederalState::Brandenburg,
+        180_000,
+        52.396,
+        13.058,
+        "14",
+    ),
+    (
+        "Wiesbaden",
+        FederalState::Hessen,
+        278_000,
+        50.082,
+        8.239,
+        "65",
+    ),
+    (
+        "Schwerin",
+        FederalState::MecklenburgVorpommern,
+        96_000,
+        53.635,
+        11.401,
+        "19",
+    ),
+    (
+        "Mainz",
+        FederalState::RheinlandPfalz,
+        217_000,
+        49.992,
+        8.247,
+        "55",
+    ),
+    (
+        "Saarbrücken",
+        FederalState::Saarland,
+        330_000,
+        49.240,
+        6.997,
+        "66",
+    ),
+    (
+        "Magdeburg",
+        FederalState::SachsenAnhalt,
+        236_000,
+        52.131,
+        11.640,
+        "39",
+    ),
+    (
+        "Kiel",
+        FederalState::SchleswigHolstein,
+        247_000,
+        54.323,
+        10.123,
+        "24",
+    ),
+    (
+        "Erfurt",
+        FederalState::Thueringen,
+        214_000,
+        50.984,
+        11.030,
+        "99",
+    ),
+    (
+        "Bremerhaven",
+        FederalState::Bremen,
+        114_000,
+        53.540,
+        8.586,
+        "27",
+    ),
 ];
 
 /// Deterministically synthesizes the full 401-district list.
@@ -114,8 +289,7 @@ pub(crate) fn build_districts() -> Vec<District> {
     }
 
     for state in FederalState::ALL {
-        let anchored: Vec<&District> =
-            districts.iter().filter(|d| d.state == state).collect();
+        let anchored: Vec<&District> = districts.iter().filter(|d| d.state == state).collect();
         let anchored_count = anchored.len();
         let anchored_pop: u64 = anchored.iter().map(|d| u64::from(d.population)).sum();
         let remaining_count = state.district_count().saturating_sub(anchored_count);
@@ -126,16 +300,18 @@ pub(crate) fn build_districts() -> Vec<District> {
             (u64::from(state.population_thousands()) * 1000).saturating_sub(anchored_pop);
 
         // Zipf-like weights w_i = 1 / (i + 3): big Landkreise first.
-        let weights: Vec<f64> = (0..remaining_count).map(|i| 1.0 / (i as f64 + 3.0)).collect();
+        let weights: Vec<f64> = (0..remaining_count)
+            .map(|i| 1.0 / (i as f64 + 3.0))
+            .collect();
         let weight_sum: f64 = weights.iter().sum();
 
         let (cap_lat, cap_lon) = state.capital_coords();
         let mut allocated = 0u64;
-        for i in 0..remaining_count {
+        for (i, weight) in weights.iter().enumerate() {
             let pop = if i + 1 == remaining_count {
                 remaining_pop - allocated // exact conservation
             } else {
-                let p = (remaining_pop as f64 * weights[i] / weight_sum) as u64;
+                let p = (remaining_pop as f64 * weight / weight_sum) as u64;
                 allocated += p;
                 p
             };
@@ -144,7 +320,10 @@ pub(crate) fn build_districts() -> Vec<District> {
             let radius_deg = 0.25 + 0.9 * ((i % 7) as f64 / 7.0);
             let lat = cap_lat + radius_deg * angle.sin();
             let lon = cap_lon + radius_deg * 1.4 * angle.cos();
-            let zip = format!("{:02}", (u32::from(state.zip_zone()) + 1 + (i as u32 % 9)) % 100);
+            let zip = format!(
+                "{:02}",
+                (u32::from(state.zip_zone()) + 1 + (i as u32 % 9)) % 100
+            );
             districts.push(District {
                 id: DistrictId(districts.len() as u16),
                 name: format!("Landkreis {} {}", state.abbrev(), i + 1),
@@ -234,7 +413,10 @@ mod tests {
         // Every district must emit *some* traffic potential (Fig. 3:
         // "almost all districts emit requests").
         let d = build_districts();
-        assert!(d.iter().all(|x| x.population > 10_000), "district with tiny population");
+        assert!(
+            d.iter().all(|x| x.population > 10_000),
+            "district with tiny population"
+        );
     }
 
     #[test]

@@ -33,7 +33,11 @@ pub fn mask(addr: Ipv4Addr, len: u8) -> u32 {
         return 0;
     }
     let len = len.min(32);
-    let m = if len == 32 { u32::MAX } else { !(u32::MAX >> len) };
+    let m = if len == 32 {
+        u32::MAX
+    } else {
+        !(u32::MAX >> len)
+    };
     u32::from(addr) & m
 }
 
@@ -52,7 +56,11 @@ pub struct GeoDbConfig {
 
 impl Default for GeoDbConfig {
     fn default() -> Self {
-        GeoDbConfig { city_error_rate: 0.15, nearby_error_fraction: 0.7, seed: 0xC0FFEE }
+        GeoDbConfig {
+            city_error_rate: 0.15,
+            nearby_error_fraction: 0.7,
+            seed: 0xC0FFEE,
+        }
     }
 }
 
@@ -114,10 +122,18 @@ impl GeoDb {
             let d = germany.district(located);
             entries.insert(
                 mask(alloc.network, alloc.len),
-                GeoEntry { located, truth, lat: d.lat, lon: d.lon },
+                GeoEntry {
+                    located,
+                    truth,
+                    lat: d.lat,
+                    lon: d.lon,
+                },
             );
         }
-        GeoDb { prefix_len: plan.config.prefix_len, entries }
+        GeoDb {
+            prefix_len: plan.config.prefix_len,
+            entries,
+        }
     }
 
     /// Looks up an address.
@@ -163,7 +179,10 @@ impl GeoDb {
                 (mask(anon, self.prefix_len), entry)
             })
             .collect();
-        GeoDb { prefix_len: self.prefix_len, entries }
+        GeoDb {
+            prefix_len: self.prefix_len,
+            entries,
+        }
     }
 }
 
@@ -201,7 +220,10 @@ mod tests {
     fn accuracy_matches_configured_error_rate() {
         let (_, _, db) = setup();
         let acc = db.accuracy();
-        assert!((0.80..0.90).contains(&acc), "accuracy {acc} vs expected 0.85");
+        assert!(
+            (0.80..0.90).contains(&acc),
+            "accuracy {acc} vs expected 0.85"
+        );
     }
 
     #[test]
@@ -218,7 +240,11 @@ mod tests {
         let db = GeoDb::build(
             &g,
             &plan,
-            GeoDbConfig { city_error_rate: 0.0, nearby_error_fraction: 0.7, seed: 1 },
+            GeoDbConfig {
+                city_error_rate: 0.0,
+                nearby_error_fraction: 0.7,
+                seed: 1,
+            },
         );
         assert!((db.accuracy() - 1.0).abs() < 1e-12);
     }
@@ -279,7 +305,10 @@ mod tests {
     #[test]
     fn mask_edges() {
         assert_eq!(mask(Ipv4Addr::new(1, 2, 3, 4), 0), 0);
-        assert_eq!(mask(Ipv4Addr::new(1, 2, 3, 4), 32), u32::from(Ipv4Addr::new(1, 2, 3, 4)));
+        assert_eq!(
+            mask(Ipv4Addr::new(1, 2, 3, 4), 32),
+            u32::from(Ipv4Addr::new(1, 2, 3, 4))
+        );
         assert_eq!(
             mask(Ipv4Addr::new(10, 20, 255, 255), 18),
             u32::from(Ipv4Addr::new(10, 20, 192, 0))

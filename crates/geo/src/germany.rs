@@ -14,7 +14,9 @@ pub struct Germany {
 impl Germany {
     /// Builds the canonical 401-district model (deterministic).
     pub fn build() -> Self {
-        Germany { districts: build_districts() }
+        Germany {
+            districts: build_districts(),
+        }
     }
 
     /// All districts, indexable by `DistrictId`.

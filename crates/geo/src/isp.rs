@@ -62,12 +62,54 @@ fn market() -> Vec<Isp> {
         base: Ipv4Addr::from(base),
     };
     vec![
-        mk(0, "TeleNord DSL", 0.38, AccessKind::Dynamic24h, false, [84, 0, 0, 0]),
-        mk(1, "KabelWest", 0.22, AccessKind::StaticLease, false, [86, 0, 0, 0]),
-        mk(2, "RegioNet", 0.18, AccessKind::StaticLease, true, [88, 0, 0, 0]),
-        mk(3, "FunkNetz Mobile", 0.12, AccessKind::Dynamic24h, false, [90, 0, 0, 0]),
-        mk(4, "EinsWeb DSL", 0.08, AccessKind::Dynamic24h, false, [92, 0, 0, 0]),
-        mk(5, "MiscNet", 0.02, AccessKind::StaticLease, false, [94, 0, 0, 0]),
+        mk(
+            0,
+            "TeleNord DSL",
+            0.38,
+            AccessKind::Dynamic24h,
+            false,
+            [84, 0, 0, 0],
+        ),
+        mk(
+            1,
+            "KabelWest",
+            0.22,
+            AccessKind::StaticLease,
+            false,
+            [86, 0, 0, 0],
+        ),
+        mk(
+            2,
+            "RegioNet",
+            0.18,
+            AccessKind::StaticLease,
+            true,
+            [88, 0, 0, 0],
+        ),
+        mk(
+            3,
+            "FunkNetz Mobile",
+            0.12,
+            AccessKind::Dynamic24h,
+            false,
+            [90, 0, 0, 0],
+        ),
+        mk(
+            4,
+            "EinsWeb DSL",
+            0.08,
+            AccessKind::Dynamic24h,
+            false,
+            [92, 0, 0, 0],
+        ),
+        mk(
+            5,
+            "MiscNet",
+            0.02,
+            AccessKind::StaticLease,
+            false,
+            [94, 0, 0, 0],
+        ),
     ]
 }
 
@@ -167,7 +209,11 @@ impl AddressPlan {
         }
 
         allocations.sort_unstable_by_key(|a| u32::from(a.network));
-        AddressPlan { isps, allocations, config }
+        AddressPlan {
+            isps,
+            allocations,
+            config,
+        }
     }
 
     /// All allocations (sorted by network address).
@@ -195,7 +241,9 @@ impl AddressPlan {
 
     /// All allocations serving a district.
     pub fn for_district(&self, district: DistrictId) -> impl Iterator<Item = &PrefixAllocation> {
-        self.allocations.iter().filter(move |a| a.district == district)
+        self.allocations
+            .iter()
+            .filter(move |a| a.district == district)
     }
 
     /// Total subscribers across the plan.
@@ -222,7 +270,10 @@ mod tests {
 
     #[test]
     fn exactly_one_ground_truth_isp_with_18_percent() {
-        let gt: Vec<_> = market().into_iter().filter(|i| i.ground_truth_routers).collect();
+        let gt: Vec<_> = market()
+            .into_iter()
+            .filter(|i| i.ground_truth_routers)
+            .collect();
         assert_eq!(gt.len(), 1);
         assert!((gt[0].market_share - 0.18).abs() < 1e-9);
     }
@@ -284,7 +335,12 @@ mod tests {
         for district in g.districts() {
             let isps: std::collections::HashSet<_> =
                 p.for_district(district.id).map(|a| a.isp).collect();
-            assert!(isps.len() >= 5, "{} served by only {} ISPs", district.name, isps.len());
+            assert!(
+                isps.len() >= 5,
+                "{} served by only {} ISPs",
+                district.name,
+                isps.len()
+            );
         }
     }
 

@@ -169,7 +169,12 @@ mod tests {
     #[test]
     fn covers_every_gt_prefix() {
         let (_, plan, map) = setup();
-        let gt = plan.isps.iter().find(|i| i.ground_truth_routers).unwrap().id;
+        let gt = plan
+            .isps
+            .iter()
+            .find(|i| i.ground_truth_routers)
+            .unwrap()
+            .id;
         let expected = plan.allocations().iter().filter(|a| a.isp == gt).count();
         assert_eq!(map.prefix_count(), expected);
         for a in plan.allocations().iter().filter(|a| a.isp == gt) {
@@ -180,7 +185,12 @@ mod tests {
     #[test]
     fn non_gt_prefixes_unmapped() {
         let (_, plan, map) = setup();
-        let gt = plan.isps.iter().find(|i| i.ground_truth_routers).unwrap().id;
+        let gt = plan
+            .isps
+            .iter()
+            .find(|i| i.ground_truth_routers)
+            .unwrap()
+            .id;
         let other = plan.allocations().iter().find(|a| a.isp != gt).unwrap();
         assert!(map.router_of(u32::from(other.network)).is_none());
     }
@@ -188,7 +198,12 @@ mod tests {
     #[test]
     fn metro_prefixes_stay_home() {
         let (g, plan, map) = setup();
-        let gt = plan.isps.iter().find(|i| i.ground_truth_routers).unwrap().id;
+        let gt = plan
+            .isps
+            .iter()
+            .find(|i| i.ground_truth_routers)
+            .unwrap()
+            .id;
         let berlin = g.by_name("Berlin").unwrap().id;
         for a in plan
             .allocations()
@@ -203,7 +218,12 @@ mod tests {
     #[test]
     fn rural_aggregation_near_configured_rate() {
         let (g, plan, map) = setup();
-        let gt = plan.isps.iter().find(|i| i.ground_truth_routers).unwrap().id;
+        let gt = plan
+            .isps
+            .iter()
+            .find(|i| i.ground_truth_routers)
+            .unwrap()
+            .id;
         let mut rural_total = 0u32;
         let mut rural_off = 0u32;
         for a in plan.allocations().iter().filter(|a| a.isp == gt) {

@@ -205,7 +205,10 @@ impl FederalState {
 
     /// Index in [`FederalState::ALL`].
     pub fn index(self) -> usize {
-        FederalState::ALL.iter().position(|&s| s == self).expect("state in ALL")
+        FederalState::ALL
+            .iter()
+            .position(|&s| s == self)
+            .expect("state in ALL")
     }
 }
 
@@ -223,7 +226,10 @@ mod tests {
 
     #[test]
     fn population_sums_to_germany() {
-        let total: u32 = FederalState::ALL.iter().map(|s| s.population_thousands()).sum();
+        let total: u32 = FederalState::ALL
+            .iter()
+            .map(|s| s.population_thousands())
+            .sum();
         // 2020 Germany: ≈ 83.2 M.
         assert!((82_000..84_500).contains(&total), "total {total}k");
     }

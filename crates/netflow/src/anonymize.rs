@@ -180,7 +180,11 @@ mod tests {
         }
         let inputs: std::collections::HashSet<_> = seen.iter().map(|(a, _)| a).collect();
         let outputs: std::collections::HashSet<_> = seen.iter().map(|(_, b)| b).collect();
-        assert_eq!(inputs.len(), outputs.len(), "anonymization must be injective");
+        assert_eq!(
+            inputs.len(),
+            outputs.len(),
+            "anonymization must be injective"
+        );
     }
 
     #[test]

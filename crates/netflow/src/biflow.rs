@@ -61,7 +61,10 @@ pub struct BiflowConfig {
 
 impl Default for BiflowConfig {
     fn default() -> Self {
-        BiflowConfig { pairing_window_ms: 60_000, service_ports: [443, 80, 53, 8443] }
+        BiflowConfig {
+            pairing_window_ms: 60_000,
+            service_ports: [443, 80, 53, 8443],
+        }
     }
 }
 
@@ -97,7 +100,11 @@ pub fn merge_biflows(records: &[FlowRecord], config: &BiflowConfig) -> Vec<Biflo
         if let Some(candidates) = open.get_mut(&canonical) {
             if let Some(pos) = candidates.iter().position(|&i| {
                 let existing = &out[i];
-                let other = if forward { existing.reverse } else { existing.forward };
+                let other = if forward {
+                    existing.reverse
+                } else {
+                    existing.forward
+                };
                 match other {
                     Some(o) => {
                         let gap = o.first_ms.abs_diff(rec.first_ms);
@@ -123,9 +130,15 @@ pub fn merge_biflows(records: &[FlowRecord], config: &BiflowConfig) -> Vec<Biflo
 
         if !paired {
             let biflow = if forward {
-                Biflow { forward: Some(*rec), reverse: None }
+                Biflow {
+                    forward: Some(*rec),
+                    reverse: None,
+                }
             } else {
-                Biflow { forward: None, reverse: Some(*rec) }
+                Biflow {
+                    forward: None,
+                    reverse: Some(*rec),
+                }
             };
             out.push(biflow);
             open.entry(canonical).or_default().push(out.len() - 1);
@@ -156,7 +169,10 @@ mod tests {
     }
 
     fn up(client_port: u16, first_ms: u64, bytes: u64) -> FlowRecord {
-        FlowRecord { key: down(client_port, first_ms, bytes).key.reversed(), ..down(client_port, first_ms, bytes) }
+        FlowRecord {
+            key: down(client_port, first_ms, bytes).key.reversed(),
+            ..down(client_port, first_ms, bytes)
+        }
     }
 
     #[test]
@@ -167,14 +183,22 @@ mod tests {
         let b = &biflows[0];
         assert!(b.is_complete());
         assert_eq!(b.total_bytes(), 20_500);
-        assert!(b.download_ratio() > 0.9, "downstream-heavy: {}", b.download_ratio());
+        assert!(
+            b.download_ratio() > 0.9,
+            "downstream-heavy: {}",
+            b.download_ratio()
+        );
         // Forward is the client→server side (dst port 443).
         assert_eq!(b.forward.unwrap().key.dst_port, 443);
     }
 
     #[test]
     fn distinct_connections_stay_apart() {
-        let records = vec![up(50_000, 0, 100), up(50_001, 0, 100), down(50_000, 10, 1000)];
+        let records = vec![
+            up(50_000, 0, 100),
+            up(50_001, 0, 100),
+            down(50_000, 10, 1000),
+        ];
         let biflows = merge_biflows(&records, &BiflowConfig::default());
         assert_eq!(biflows.len(), 2);
         let complete = biflows.iter().filter(|b| b.is_complete()).count();

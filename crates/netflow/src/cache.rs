@@ -127,7 +127,13 @@ impl FlowCache {
         }
         self.entries.insert(
             key,
-            Entry { packets: 1, bytes, first_ms: now_ms, last_ms: now_ms, tcp_flags },
+            Entry {
+                packets: 1,
+                bytes,
+                first_ms: now_ms,
+                last_ms: now_ms,
+                tcp_flags,
+            },
         );
     }
 
@@ -227,7 +233,11 @@ mod tests {
     }
 
     fn cfg() -> FlowCacheConfig {
-        FlowCacheConfig { inactive_timeout_ms: 15_000, active_timeout_ms: 120_000, max_entries: 8 }
+        FlowCacheConfig {
+            inactive_timeout_ms: 15_000,
+            active_timeout_ms: 120_000,
+            max_entries: 8,
+        }
     }
 
     #[test]
@@ -270,7 +280,11 @@ mod tests {
         }
         cache.flush();
         let recs = cache.take_expired();
-        assert!(recs.len() >= 3, "long flow split into {} records", recs.len());
+        assert!(
+            recs.len() >= 3,
+            "long flow split into {} records",
+            recs.len()
+        );
         let total: u64 = recs.iter().map(|r| r.packets).sum();
         assert_eq!(total, 31, "no packets lost in splitting");
         assert!(cache.stats().expired_active >= 2);

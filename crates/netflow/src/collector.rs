@@ -8,12 +8,39 @@
 
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
+
+use cwa_obs::{Counter, Registry};
 
 use crate::anonymize::CryptoPan;
 use crate::flow::{in_prefix, FlowRecord};
 use crate::v5::{ExportPacket, V5Error};
+
+/// Observability handles for a [`Collector`] (all increments are single
+/// relaxed atomics; name resolution happens once, here).
+#[derive(Clone)]
+pub struct CollectorMetrics {
+    registry: Arc<Registry>,
+    records: Arc<Counter>,
+    anonymized: Arc<Counter>,
+    sequence_lost: Arc<Counter>,
+    decode_errors: Arc<Counter>,
+}
+
+impl CollectorMetrics {
+    /// Resolves the collector's counters in `registry`.
+    pub fn new(registry: &Arc<Registry>) -> Self {
+        CollectorMetrics {
+            registry: Arc::clone(registry),
+            records: registry.counter("netflow.collector.records"),
+            anonymized: registry.counter("netflow.collector.anonymized_addresses"),
+            sequence_lost: registry.counter("netflow.collector.sequence_lost"),
+            decode_errors: registry.counter("netflow.collector.decode_errors"),
+        }
+    }
+}
 
 /// Per-engine sequence tracking.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -36,6 +63,7 @@ pub struct Collector {
     server_prefixes: Vec<(Ipv4Addr, u8)>,
     records: Vec<FlowRecord>,
     engines: HashMap<u8, (Option<u32>, EngineStats)>,
+    metrics: Option<CollectorMetrics>,
 }
 
 impl Collector {
@@ -46,6 +74,7 @@ impl Collector {
             server_prefixes: Vec::new(),
             records: Vec::new(),
             engines: HashMap::new(),
+            metrics: None,
         }
     }
 
@@ -58,12 +87,32 @@ impl Collector {
             server_prefixes,
             records: Vec::new(),
             engines: HashMap::new(),
+            metrics: None,
+        }
+    }
+
+    /// Attaches observability counters.
+    pub fn set_metrics(&mut self, metrics: CollectorMetrics) {
+        self.metrics = Some(metrics);
+    }
+
+    /// Counts one undecodable datagram (used by callers that decode
+    /// other wire formats — e.g. NetFlow v9 — before `ingest_records`).
+    pub fn note_decode_error(&self) {
+        if let Some(m) = &self.metrics {
+            m.decode_errors.inc();
         }
     }
 
     /// Ingests one encoded v5 datagram.
     pub fn ingest(&mut self, datagram: bytes::Bytes) -> Result<(), V5Error> {
-        let packet = ExportPacket::decode(datagram)?;
+        let packet = match ExportPacket::decode(datagram) {
+            Ok(p) => p,
+            Err(e) => {
+                self.note_decode_error();
+                return Err(e);
+            }
+        };
         self.ingest_packet(packet);
         Ok(())
     }
@@ -73,47 +122,78 @@ impl Collector {
     /// sequence-based loss tracking does not apply (v9 sequences count
     /// datagrams, which the transport layer accounts separately).
     pub fn ingest_records(&mut self, records: Vec<FlowRecord>, engine: u8) {
-        let (_, stats) = self.engines.entry(engine).or_insert((None, EngineStats::default()));
+        let (_, stats) = self
+            .engines
+            .entry(engine)
+            .or_insert((None, EngineStats::default()));
         stats.records += records.len() as u64;
+        if let Some(m) = &self.metrics {
+            m.records.add(records.len() as u64);
+        }
         for mut rec in records {
-            if let Some(cp) = &self.anonymizer {
-                if !self.server_prefixes.iter().any(|&(p, l)| in_prefix(rec.key.src_ip, p, l)) {
-                    rec.key.src_ip = cp.anonymize(rec.key.src_ip);
-                }
-                if !self.server_prefixes.iter().any(|&(p, l)| in_prefix(rec.key.dst_ip, p, l)) {
-                    rec.key.dst_ip = cp.anonymize(rec.key.dst_ip);
-                }
-            }
+            anonymize_record(
+                &self.anonymizer,
+                &self.server_prefixes,
+                &self.metrics,
+                &mut rec,
+            );
             self.records.push(rec);
         }
     }
 
     /// Ingests an already-decoded export packet.
+    ///
+    /// Sequence accounting handles the two realities of UDP export:
+    /// the 32-bit flow sequence **wraps**, and datagrams can arrive
+    /// **out of order**. A forward gap (≤ half the sequence space,
+    /// computed with wrapping arithmetic so it is wrap-safe) counts its
+    /// records as lost; a datagram from the *past* (wrapped distance in
+    /// the upper half) is a late arrival whose records were already
+    /// counted lost when the gap opened, so they are reclaimed instead
+    /// — `lost_records` can neither underflow nor explode.
     pub fn ingest_packet(&mut self, packet: ExportPacket) {
         let engine = packet.header.engine_id;
-        let (last_seq, stats) = self.engines.entry(engine).or_insert((None, EngineStats::default()));
+        let (last_seq, stats) = self
+            .engines
+            .entry(engine)
+            .or_insert((None, EngineStats::default()));
         stats.packets += 1;
         stats.records += packet.records.len() as u64;
-        if let Some(expected) = *last_seq {
-            let gap = packet.header.flow_sequence.wrapping_sub(expected);
-            stats.lost_records += u64::from(gap);
+        if let Some(m) = &self.metrics {
+            m.records.add(packet.records.len() as u64);
         }
-        *last_seq = Some(
-            packet
-                .header
-                .flow_sequence
-                .wrapping_add(packet.records.len() as u32),
-        );
-
-        for mut rec in packet.records {
-            if let Some(cp) = &self.anonymizer {
-                if !self.server_prefixes.iter().any(|&(p, l)| in_prefix(rec.key.src_ip, p, l)) {
-                    rec.key.src_ip = cp.anonymize(rec.key.src_ip);
-                }
-                if !self.server_prefixes.iter().any(|&(p, l)| in_prefix(rec.key.dst_ip, p, l)) {
-                    rec.key.dst_ip = cp.anonymize(rec.key.dst_ip);
+        let seq = packet.header.flow_sequence;
+        let advance = packet.records.len() as u32;
+        match *last_seq {
+            None => *last_seq = Some(seq.wrapping_add(advance)),
+            Some(expected) => {
+                let gap = seq.wrapping_sub(expected);
+                if gap == 0 {
+                    *last_seq = Some(seq.wrapping_add(advance));
+                } else if gap <= u32::MAX / 2 {
+                    stats.lost_records += u64::from(gap);
+                    if let Some(m) = &self.metrics {
+                        m.sequence_lost.add(u64::from(gap));
+                        m.registry
+                            .counter(&format!("netflow.collector.engine{engine:02}.lost_records"))
+                            .add(u64::from(gap));
+                    }
+                    *last_seq = Some(seq.wrapping_add(advance));
+                } else {
+                    // Late/reordered datagram: reclaim its records from
+                    // the loss count, keep the sequence high-water mark.
+                    stats.lost_records = stats.lost_records.saturating_sub(u64::from(advance));
                 }
             }
+        }
+
+        for mut rec in packet.records {
+            anonymize_record(
+                &self.anonymizer,
+                &self.server_prefixes,
+                &self.metrics,
+                &mut rec,
+            );
             self.records.push(rec);
         }
     }
@@ -139,6 +219,34 @@ impl Collector {
     }
 }
 
+/// Applies the anonymization policy to one record, counting rewrites.
+fn anonymize_record(
+    anonymizer: &Option<CryptoPan>,
+    server_prefixes: &[(Ipv4Addr, u8)],
+    metrics: &Option<CollectorMetrics>,
+    rec: &mut FlowRecord,
+) {
+    let Some(cp) = anonymizer else { return };
+    if !server_prefixes
+        .iter()
+        .any(|&(p, l)| in_prefix(rec.key.src_ip, p, l))
+    {
+        rec.key.src_ip = cp.anonymize(rec.key.src_ip);
+        if let Some(m) = metrics {
+            m.anonymized.inc();
+        }
+    }
+    if !server_prefixes
+        .iter()
+        .any(|&(p, l)| in_prefix(rec.key.dst_ip, p, l))
+    {
+        rec.key.dst_ip = cp.anonymize(rec.key.dst_ip);
+        if let Some(m) = metrics {
+            m.anonymized.inc();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,8 +268,9 @@ mod tests {
 
     #[test]
     fn raw_collection_roundtrip() {
-        let recs: Vec<FlowRecord> =
-            (1..=5u8).map(|i| record(Ipv4Addr::new(10, 0, 0, i))).collect();
+        let recs: Vec<FlowRecord> = (1..=5u8)
+            .map(|i| record(Ipv4Addr::new(10, 0, 0, i)))
+            .collect();
         let (pkts, _) = packetize(&recs, 1, 1000, 0, 0);
         let mut col = Collector::new_raw();
         for p in pkts {
@@ -181,7 +290,11 @@ mod tests {
             col.ingest(p.encode()).unwrap();
         }
         let stored = &col.records()[0];
-        assert_eq!(stored.key.src_ip, Ipv4Addr::new(81, 200, 16, 1), "server kept");
+        assert_eq!(
+            stored.key.src_ip,
+            Ipv4Addr::new(81, 200, 16, 1),
+            "server kept"
+        );
         assert_ne!(stored.key.dst_ip, client, "client anonymized");
     }
 
@@ -199,8 +312,9 @@ mod tests {
 
     #[test]
     fn sequence_gap_detection() {
-        let recs: Vec<FlowRecord> =
-            (1..=60u8).map(|i| record(Ipv4Addr::new(10, 0, 0, i))).collect();
+        let recs: Vec<FlowRecord> = (1..=60u8)
+            .map(|i| record(Ipv4Addr::new(10, 0, 0, i)))
+            .collect();
         let (pkts, _) = packetize(&recs, 7, 1000, 0, 0);
         assert_eq!(pkts.len(), 2);
         let mut col = Collector::new_raw();
@@ -227,6 +341,100 @@ mod tests {
         };
         col.ingest_packet(gap_pkt);
         assert_eq!(col.total_lost(), 10);
+    }
+
+    /// Builds a packet with an explicit sequence number and record count.
+    fn seq_pkt(engine: u8, flow_sequence: u32, n_records: u8) -> ExportPacket {
+        ExportPacket {
+            header: V5Header {
+                sys_uptime_ms: 0,
+                unix_secs: 0,
+                unix_nsecs: 0,
+                flow_sequence,
+                engine_type: 0,
+                engine_id: engine,
+                sampling: 0,
+            },
+            records: (1..=n_records)
+                .map(|i| record(Ipv4Addr::new(10, 1, 0, i)))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn sequence_wraparound_is_not_loss() {
+        let mut col = Collector::new_raw();
+        // 3 records ending exactly at the u32 boundary: next expected
+        // wraps to 0, then to 2.
+        col.ingest_packet(seq_pkt(3, u32::MAX - 2, 3));
+        col.ingest_packet(seq_pkt(3, 0, 2));
+        col.ingest_packet(seq_pkt(3, 2, 1));
+        assert_eq!(col.total_lost(), 0, "clean wrap must not count loss");
+
+        // A real gap of 4 records straddling nothing special.
+        col.ingest_packet(seq_pkt(3, 7, 1));
+        assert_eq!(col.total_lost(), 4, "post-wrap gaps still detected");
+    }
+
+    #[test]
+    fn sequence_gap_across_wrap_detected() {
+        let mut col = Collector::new_raw();
+        col.ingest_packet(seq_pkt(4, u32::MAX - 9, 5)); // next expected: MAX-4
+        col.ingest_packet(seq_pkt(4, 1, 2)); // wrapped gap of 6
+        assert_eq!(col.total_lost(), 6);
+    }
+
+    #[test]
+    fn out_of_order_datagram_does_not_explode_loss() {
+        let mut col = Collector::new_raw();
+        col.ingest_packet(seq_pkt(5, 100, 30)); // next expected: 130
+                                                // The seq-130 datagram is delayed; seq-160 arrives first.
+        col.ingest_packet(seq_pkt(5, 160, 10)); // gap of 30 counted lost
+        assert_eq!(col.total_lost(), 30);
+        // The late datagram finally arrives: its 30 records are
+        // reclaimed, not treated as a ~u32::MAX forward gap.
+        col.ingest_packet(seq_pkt(5, 130, 30));
+        assert_eq!(col.total_lost(), 0, "late arrival reclaims counted loss");
+        // Sequence tracking still anchored at the high-water mark.
+        col.ingest_packet(seq_pkt(5, 170, 1));
+        assert_eq!(col.total_lost(), 0);
+    }
+
+    #[test]
+    fn duplicate_datagram_cannot_underflow_loss() {
+        let mut col = Collector::new_raw();
+        col.ingest_packet(seq_pkt(6, 10, 5)); // next expected: 15
+        col.ingest_packet(seq_pkt(6, 10, 5)); // exact duplicate (from the past)
+        col.ingest_packet(seq_pkt(6, 10, 5));
+        assert_eq!(col.total_lost(), 0, "saturating reclaim, no underflow");
+        col.ingest_packet(seq_pkt(6, 15, 1));
+        assert_eq!(col.total_lost(), 0, "tracking recovers after duplicates");
+    }
+
+    #[test]
+    fn metrics_count_records_loss_and_anonymization() {
+        use std::sync::Arc;
+        let registry = Arc::new(Registry::new());
+        let mut col = Collector::new_anonymizing(&[9u8; 32], vec![SERVER_PREFIX]);
+        col.set_metrics(CollectorMetrics::new(&registry));
+        col.ingest_packet(seq_pkt(7, 0, 5)); // next expected: 5
+        col.ingest_packet(seq_pkt(7, 8, 2)); // gap of 3
+        assert_eq!(registry.counter("netflow.collector.records").get(), 7);
+        assert_eq!(registry.counter("netflow.collector.sequence_lost").get(), 3);
+        assert_eq!(
+            registry
+                .counter("netflow.collector.engine07.lost_records")
+                .get(),
+            3
+        );
+        // One client address anonymized per record (servers exempt).
+        assert_eq!(
+            registry
+                .counter("netflow.collector.anonymized_addresses")
+                .get(),
+            7
+        );
+        assert_eq!(registry.counter("netflow.collector.decode_errors").get(), 0);
     }
 
     #[test]

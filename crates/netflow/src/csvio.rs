@@ -28,12 +28,17 @@ pub enum CsvError {
     /// First line did not match [`HEADER`].
     BadHeader,
     /// A data line had the wrong number of fields.
-    FieldCount { /// 1-based line number
-        line: usize },
+    FieldCount {
+        /// 1-based line number
+        line: usize,
+    },
     /// A field failed to parse.
-    BadField { /// 1-based line number
-        line: usize, /// column name
-        column: &'static str },
+    BadField {
+        /// 1-based line number
+        line: usize,
+        /// column name
+        column: &'static str,
+    },
 }
 
 impl std::fmt::Display for CsvError {
@@ -93,15 +98,21 @@ pub fn from_csv(text: &str) -> Result<Vec<FlowRecord>, CsvError> {
             return Err(CsvError::FieldCount { line: line_no });
         }
         let parse_ip = |s: &str, col: &'static str| {
-            Ipv4Addr::from_str(s).map_err(|_| CsvError::BadField { line: line_no, column: col })
+            Ipv4Addr::from_str(s).map_err(|_| CsvError::BadField {
+                line: line_no,
+                column: col,
+            })
         };
         fn parse_num<T: FromStr>(s: &str, line: usize, col: &'static str) -> Result<T, CsvError> {
-            s.parse().map_err(|_| CsvError::BadField { line, column: col })
+            s.parse()
+                .map_err(|_| CsvError::BadField { line, column: col })
         }
 
         let proto_num: u8 = parse_num(fields[4], line_no, "protocol")?;
-        let protocol = Protocol::from_number(proto_num)
-            .ok_or(CsvError::BadField { line: line_no, column: "protocol" })?;
+        let protocol = Protocol::from_number(proto_num).ok_or(CsvError::BadField {
+            line: line_no,
+            column: "protocol",
+        })?;
         records.push(FlowRecord {
             key: FlowKey {
                 src_ip: parse_ip(fields[0], "src_ip")?,
@@ -174,12 +185,18 @@ mod tests {
         let csv = format!("{HEADER}\nnot-an-ip,443,84.0.0.1,50000,6,1,1000,10,20,24\n");
         assert_eq!(
             from_csv(&csv),
-            Err(CsvError::BadField { line: 2, column: "src_ip" })
+            Err(CsvError::BadField {
+                line: 2,
+                column: "src_ip"
+            })
         );
         let csv = format!("{HEADER}\n1.2.3.4,443,84.0.0.1,50000,99,1,1000,10,20,24\n");
         assert_eq!(
             from_csv(&csv),
-            Err(CsvError::BadField { line: 2, column: "protocol" })
+            Err(CsvError::BadField {
+                line: 2,
+                column: "protocol"
+            })
         );
     }
 

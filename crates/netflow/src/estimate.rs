@@ -57,6 +57,19 @@ pub fn estimate_volumes(
     sampling_interval: u32,
     mean_flow_packets: f64,
 ) -> VolumeEstimate {
+    // Degenerate input: no observations support no estimate. Return the
+    // well-defined zero estimate rather than letting 0/0 paths produce
+    // NaN downstream (claim bands and CI bounds must stay finite).
+    if records.is_empty() {
+        return VolumeEstimate {
+            packets: 0.0,
+            packets_se: 0.0,
+            bytes: 0.0,
+            flows: 0.0,
+            records: 0,
+        };
+    }
+
     let n = f64::from(sampling_interval.max(1));
     let sampled_packets: u64 = records.iter().map(|r| r.packets).sum();
     let sampled_bytes: u64 = records.iter().map(|r| r.bytes).sum();
@@ -70,8 +83,20 @@ pub fn estimate_volumes(
     let bytes = sampled_bytes as f64 * n;
 
     // Flow count: P(flow observed) ≈ 1 − (1 − 1/N)^k̄ ≈ k̄/N for k̄ ≪ N.
-    let p_seen = 1.0 - (1.0 - 1.0 / n).powf(mean_flow_packets);
-    let flows = if p_seen > 0.0 { records.len() as f64 / p_seen } else { 0.0 };
+    // The size prior must be a positive finite packet count; a zero,
+    // negative, or NaN prior would drive `powf` into NaN / >1 territory
+    // and the division into ±inf, so the flow estimate degrades to the
+    // zero estimate instead.
+    let flows = if mean_flow_packets.is_finite() && mean_flow_packets > 0.0 {
+        let p_seen = 1.0 - (1.0 - 1.0 / n).powf(mean_flow_packets);
+        if p_seen > 0.0 {
+            records.len() as f64 / p_seen
+        } else {
+            0.0
+        }
+    } else {
+        0.0
+    };
 
     VolumeEstimate {
         packets,
@@ -106,7 +131,9 @@ mod tests {
         let mut true_bytes = 0u64;
         for i in 0..n_flows {
             // Geometric-ish flow sizes with the requested mean.
-            let k = (1.0 + rng.gen::<f64>().ln() * -(mean_size - 1.0)).round().max(1.0) as u64;
+            let k = (1.0 + rng.gen::<f64>().ln() * -(mean_size - 1.0))
+                .round()
+                .max(1.0) as u64;
             let bytes = k * 1000;
             true_packets += k;
             true_bytes += bytes;
@@ -127,7 +154,11 @@ mod tests {
                 });
             }
         }
-        (estimate_volumes(&records, interval, mean_size), true_packets, true_bytes)
+        (
+            estimate_volumes(&records, interval, mean_size),
+            true_packets,
+            true_bytes,
+        )
     }
 
     #[test]
@@ -176,6 +207,59 @@ mod tests {
         assert_eq!(est.packets, 0.0);
         assert_eq!(est.flows, 0.0);
         assert_eq!(est.records, 0);
+    }
+
+    fn assert_all_finite(est: &VolumeEstimate) {
+        assert!(est.packets.is_finite(), "packets {}", est.packets);
+        assert!(est.packets_se.is_finite(), "se {}", est.packets_se);
+        assert!(est.bytes.is_finite(), "bytes {}", est.bytes);
+        assert!(est.flows.is_finite(), "flows {}", est.flows);
+        let (lo, hi) = est.packets_ci95();
+        assert!(lo.is_finite() && hi.is_finite(), "CI [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn degenerate_size_prior_yields_zero_flow_estimate() {
+        let recs = vec![FlowRecord {
+            key: FlowKey::tcp(
+                Ipv4Addr::new(81, 200, 16, 1),
+                443,
+                Ipv4Addr::new(10, 0, 0, 1),
+                50_000,
+            ),
+            packets: 3,
+            bytes: 3000,
+            first_ms: 0,
+            last_ms: 100,
+            tcp_flags: 0x18,
+        }];
+        for prior in [0.0, -7.0, f64::NAN, f64::NEG_INFINITY, f64::INFINITY] {
+            let est = estimate_volumes(&recs, 1000, prior);
+            assert_all_finite(&est);
+            assert_eq!(
+                est.flows, 0.0,
+                "prior {prior}: flow estimate degrades to zero"
+            );
+            // The packet/byte HT estimators don't depend on the prior.
+            assert_eq!(est.packets, 3000.0);
+            assert_eq!(est.bytes, 3_000_000.0);
+            assert_eq!(est.records, 1);
+        }
+    }
+
+    #[test]
+    fn empty_records_with_degenerate_prior_stay_finite() {
+        for prior in [0.0, -1.0, f64::NAN] {
+            for interval in [0u32, 1, 1000] {
+                let est = estimate_volumes(&[], interval, prior);
+                assert_all_finite(&est);
+                assert_eq!(est.packets, 0.0);
+                assert_eq!(est.packets_se, 0.0);
+                assert_eq!(est.bytes, 0.0);
+                assert_eq!(est.flows, 0.0);
+                assert_eq!(est.records, 0);
+            }
+        }
     }
 
     #[test]

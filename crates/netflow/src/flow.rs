@@ -51,7 +51,13 @@ pub struct FlowKey {
 impl FlowKey {
     /// Convenience constructor for a TCP flow.
     pub fn tcp(src_ip: Ipv4Addr, src_port: u16, dst_ip: Ipv4Addr, dst_port: u16) -> Self {
-        FlowKey { src_ip, dst_ip, src_port, dst_port, protocol: Protocol::Tcp }
+        FlowKey {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            protocol: Protocol::Tcp,
+        }
     }
 
     /// The reverse-direction key.
@@ -112,7 +118,11 @@ pub fn in_prefix(addr: Ipv4Addr, prefix: Ipv4Addr, len: u8) -> bool {
         return true;
     }
     let len = len.min(32);
-    let mask = if len == 32 { u32::MAX } else { !(u32::MAX >> len) };
+    let mask = if len == 32 {
+        u32::MAX
+    } else {
+        !(u32::MAX >> len)
+    };
     (u32::from(addr) & mask) == (u32::from(prefix) & mask)
 }
 
@@ -122,7 +132,11 @@ pub fn prefix_of(addr: Ipv4Addr, len: u8) -> Ipv4Addr {
         return Ipv4Addr::UNSPECIFIED;
     }
     let len = len.min(32);
-    let mask = if len == 32 { u32::MAX } else { !(u32::MAX >> len) };
+    let mask = if len == 32 {
+        u32::MAX
+    } else {
+        !(u32::MAX >> len)
+    };
     Ipv4Addr::from(u32::from(addr) & mask)
 }
 
@@ -157,9 +171,21 @@ mod tests {
         assert!(in_prefix(Ipv4Addr::new(81, 200, 19, 255), p, 22));
         assert!(!in_prefix(Ipv4Addr::new(81, 200, 20, 0), p, 22));
         // /0 matches everything; /32 only the exact host.
-        assert!(in_prefix(Ipv4Addr::new(1, 2, 3, 4), Ipv4Addr::UNSPECIFIED, 0));
-        assert!(in_prefix(Ipv4Addr::new(1, 2, 3, 4), Ipv4Addr::new(1, 2, 3, 4), 32));
-        assert!(!in_prefix(Ipv4Addr::new(1, 2, 3, 5), Ipv4Addr::new(1, 2, 3, 4), 32));
+        assert!(in_prefix(
+            Ipv4Addr::new(1, 2, 3, 4),
+            Ipv4Addr::UNSPECIFIED,
+            0
+        ));
+        assert!(in_prefix(
+            Ipv4Addr::new(1, 2, 3, 4),
+            Ipv4Addr::new(1, 2, 3, 4),
+            32
+        ));
+        assert!(!in_prefix(
+            Ipv4Addr::new(1, 2, 3, 5),
+            Ipv4Addr::new(1, 2, 3, 4),
+            32
+        ));
     }
 
     #[test]
@@ -172,7 +198,10 @@ mod tests {
             prefix_of(Ipv4Addr::new(93, 184, 216, 34), 8),
             Ipv4Addr::new(93, 0, 0, 0)
         );
-        assert_eq!(prefix_of(Ipv4Addr::new(93, 184, 216, 34), 0), Ipv4Addr::UNSPECIFIED);
+        assert_eq!(
+            prefix_of(Ipv4Addr::new(93, 184, 216, 34), 0),
+            Ipv4Addr::UNSPECIFIED
+        );
         assert_eq!(
             prefix_of(Ipv4Addr::new(93, 184, 216, 34), 32),
             Ipv4Addr::new(93, 184, 216, 34)

@@ -37,7 +37,11 @@ pub struct PacketSampler {
 impl PacketSampler {
     /// Creates a sampler with interval `n` (clamped to ≥ 1).
     pub fn new(n: u32, mode: SamplingMode) -> Self {
-        PacketSampler { interval: n.max(1), mode, counter: 0 }
+        PacketSampler {
+            interval: n.max(1),
+            mode,
+            counter: 0,
+        }
     }
 
     /// Decides whether the next packet is sampled.
@@ -52,9 +56,7 @@ impl PacketSampler {
                     false
                 }
             }
-            SamplingMode::Random => {
-                self.interval == 1 || rng.gen_range(0..self.interval) == 0
-            }
+            SamplingMode::Random => self.interval == 1 || rng.gen_range(0..self.interval) == 0,
         }
     }
 }
@@ -117,7 +119,10 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let mut s = PacketSampler::new(4, SamplingMode::Deterministic);
         let picks: Vec<bool> = (0..8).map(|_| s.sample(&mut rng)).collect();
-        assert_eq!(picks, [false, false, false, true, false, false, false, true]);
+        assert_eq!(
+            picks,
+            [false, false, false, true, false, false, false, true]
+        );
     }
 
     #[test]

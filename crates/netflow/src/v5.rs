@@ -27,9 +27,12 @@ pub enum V5Error {
     /// Version field was not 5.
     BadVersion(u16),
     /// Header count disagrees with datagram length.
-    CountMismatch { /// records promised by the header
-        promised: u16, /// records actually present
-        actual: usize },
+    CountMismatch {
+        /// records promised by the header
+        promised: u16,
+        /// records actually present
+        actual: usize,
+    },
     /// Record count exceeds the protocol maximum.
     TooManyRecords(u16),
 }
@@ -40,7 +43,10 @@ impl std::fmt::Display for V5Error {
             V5Error::TooShort => write!(f, "datagram shorter than v5 header"),
             V5Error::BadVersion(v) => write!(f, "expected version 5, got {v}"),
             V5Error::CountMismatch { promised, actual } => {
-                write!(f, "header promises {promised} records, datagram holds {actual}")
+                write!(
+                    f,
+                    "header promises {promised} records, datagram holds {actual}"
+                )
             }
             V5Error::TooManyRecords(n) => write!(f, "{n} records exceeds v5 maximum of 30"),
         }
@@ -163,8 +169,11 @@ impl ExportPacket {
             sampling: data.get_u16(),
         };
         let actual = data.len() / RECORD_LEN;
-        if actual != usize::from(count) || data.len() % RECORD_LEN != 0 {
-            return Err(V5Error::CountMismatch { promised: count, actual });
+        if actual != usize::from(count) || !data.len().is_multiple_of(RECORD_LEN) {
+            return Err(V5Error::CountMismatch {
+                promised: count,
+                actual,
+            });
         }
 
         let mut records = Vec::with_capacity(actual);
@@ -184,7 +193,13 @@ impl ExportPacket {
             data.advance(1 + 2 + 2 + 1 + 1 + 2); // tos, ASes, masks, pad2
             let protocol = Protocol::from_number(proto_num).unwrap_or(Protocol::Tcp);
             records.push(FlowRecord {
-                key: FlowKey { src_ip, dst_ip, src_port, dst_port, protocol },
+                key: FlowKey {
+                    src_ip,
+                    dst_ip,
+                    src_port,
+                    dst_port,
+                    protocol,
+                },
                 packets,
                 bytes,
                 first_ms,
@@ -276,7 +291,9 @@ mod tests {
                 engine_id: 3,
                 sampling: V5Header::sampling_field(1, 1000),
             },
-            records: (0..MAX_RECORDS_PER_PACKET as u8).map(sample_record).collect(),
+            records: (0..MAX_RECORDS_PER_PACKET as u8)
+                .map(sample_record)
+                .collect(),
         };
         let back = ExportPacket::decode(pkt.encode()).unwrap();
         assert_eq!(back, pkt);
@@ -300,7 +317,10 @@ mod tests {
         let mut bytes = BytesMut::from(&pkt.encode()[..]);
         bytes[0] = 0;
         bytes[1] = 9;
-        assert_eq!(ExportPacket::decode(bytes.freeze()), Err(V5Error::BadVersion(9)));
+        assert_eq!(
+            ExportPacket::decode(bytes.freeze()),
+            Err(V5Error::BadVersion(9))
+        );
     }
 
     #[test]
@@ -330,7 +350,10 @@ mod tests {
         let truncated = bytes.slice(..bytes.len() - RECORD_LEN);
         assert!(matches!(
             ExportPacket::decode(truncated),
-            Err(V5Error::CountMismatch { promised: 2, actual: 1 })
+            Err(V5Error::CountMismatch {
+                promised: 2,
+                actual: 1
+            })
         ));
     }
 

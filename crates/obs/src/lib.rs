@@ -1,0 +1,577 @@
+//! # cwa-obs — zero-dependency observability
+//!
+//! Counters, gauges, log-scale histograms and span timers for the
+//! sim → vantage → analysis pipeline, plus a [`Registry`] that
+//! serializes every metric to a stable, sorted JSON schema
+//! (`cwa-obs/v1`).
+//!
+//! Design constraints (they shape the whole API):
+//!
+//! * **Cheap on hot paths.** Every mutation is a single relaxed atomic
+//!   RMW on a pre-resolved `Arc` handle; name lookup (the only locking
+//!   operation) happens once at wiring time, not per event.
+//! * **Observation only.** Metrics never feed back into simulation
+//!   logic and never touch an RNG stream, so enabling them cannot
+//!   perturb determinism — serial and parallel runs stay bit-identical
+//!   with metrics on or off (the simnet test suite asserts this).
+//! * **Stable output.** [`Registry::to_json`] emits metrics sorted by
+//!   name with integer-only values, so two snapshots of identical
+//!   counters are byte-identical.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed value that can move both ways (queue depths, utilization).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds a (possibly negative) delta.
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log2 buckets: one per possible bit length of a `u64`,
+/// plus one for zero.
+const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A log2-scale histogram for latencies and sizes.
+///
+/// Bucket `i` counts values whose bit length is `i` (bucket 0 holds
+/// exact zeros), so bucket `i` spans `[2^(i-1), 2^i - 1]` and the whole
+/// `u64` range is covered with 65 slots and no configuration.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Index of the log2 bucket for `v` (its bit length).
+fn bucket_index(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i`.
+fn bucket_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count() == 0 {
+            0
+        } else {
+            self.min.load(Ordering::Relaxed)
+        }
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Non-empty buckets as `(inclusive upper bound, count)` pairs in
+    /// ascending order.
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then(|| (bucket_bound(i), n))
+            })
+            .collect()
+    }
+}
+
+/// Accumulated wall-clock time across [`Span`]s.
+#[derive(Debug, Default)]
+pub struct Timer {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+}
+
+impl Timer {
+    /// Creates an empty timer.
+    pub fn new() -> Self {
+        Timer::default()
+    }
+
+    /// Records one measured duration.
+    pub fn record(&self, d: Duration) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(
+            d.as_nanos().min(u128::from(u64::MAX)) as u64,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Starts a scoped span that records into this timer on drop.
+    pub fn start(self: &Arc<Self>) -> Span {
+        Span {
+            timer: Arc::clone(self),
+            started: Instant::now(),
+            recorded: false,
+        }
+    }
+
+    /// Number of recorded spans.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Total recorded nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.total_ns.load(Ordering::Relaxed)
+    }
+}
+
+/// A scope timer: measures from creation until [`Span::stop`] or drop.
+#[derive(Debug)]
+pub struct Span {
+    timer: Arc<Timer>,
+    started: Instant,
+    recorded: bool,
+}
+
+impl Span {
+    /// Stops the span now, recording the elapsed time.
+    pub fn stop(mut self) -> Duration {
+        let elapsed = self.started.elapsed();
+        self.timer.record(elapsed);
+        self.recorded = true;
+        elapsed
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.recorded {
+            self.timer.record(self.started.elapsed());
+        }
+    }
+}
+
+/// The four metric kinds a registry can hold.
+#[derive(Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+    Timer(Arc<Timer>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+            Metric::Timer(_) => "timer",
+        }
+    }
+}
+
+/// A named collection of metrics with get-or-create handles and a
+/// stable JSON snapshot.
+///
+/// Handle resolution locks a mutex; the returned `Arc` handles are
+/// lock-free. Resolve once at wiring time, mutate freely afterwards.
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn get_or_insert<T, F, G>(&self, name: &str, make: F, extract: G) -> Arc<T>
+    where
+        F: FnOnce() -> Metric,
+        G: FnOnce(&Metric) -> Option<Arc<T>>,
+    {
+        let mut map = self.metrics.lock().expect("obs registry poisoned");
+        let entry = map.entry(name.to_owned()).or_insert_with(make);
+        extract(entry)
+            .unwrap_or_else(|| panic!("metric `{name}` already registered as a {}", entry.kind()))
+    }
+
+    /// Resolves (creating if needed) the counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.get_or_insert(
+            name,
+            || Metric::Counter(Arc::new(Counter::new())),
+            |m| match m {
+                Metric::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Resolves (creating if needed) the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.get_or_insert(
+            name,
+            || Metric::Gauge(Arc::new(Gauge::new())),
+            |m| match m {
+                Metric::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Resolves (creating if needed) the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.get_or_insert(
+            name,
+            || Metric::Histogram(Arc::new(Histogram::new())),
+            |m| match m {
+                Metric::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Resolves (creating if needed) the timer `name`.
+    pub fn timer(&self, name: &str) -> Arc<Timer> {
+        self.get_or_insert(
+            name,
+            || Metric::Timer(Arc::new(Timer::new())),
+            |m| match m {
+                Metric::Timer(t) => Some(Arc::clone(t)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Starts a span on the timer `name`.
+    pub fn span(&self, name: &str) -> Span {
+        self.timer(name).start()
+    }
+
+    /// Compact JSON snapshot (schema `cwa-obs/v1`, names sorted).
+    pub fn to_json(&self) -> String {
+        self.render(false)
+    }
+
+    /// Pretty two-space-indented JSON snapshot.
+    pub fn to_json_pretty(&self) -> String {
+        self.render(true)
+    }
+
+    fn render(&self, pretty: bool) -> String {
+        let map = self.metrics.lock().expect("obs registry poisoned");
+        let (nl, ind1, ind2, ind3, sp) = if pretty {
+            ("\n", "  ", "    ", "      ", " ")
+        } else {
+            ("", "", "", "", "")
+        };
+        let mut out = String::new();
+        out.push_str(&format!("{{{nl}{ind1}\"schema\":{sp}\"cwa-obs/v1\",{nl}"));
+        out.push_str(&format!("{ind1}\"metrics\":{sp}{{{nl}"));
+        for (i, (name, metric)) in map.iter().enumerate() {
+            out.push_str(&format!("{ind2}{}:{sp}", json_string(name)));
+            match metric {
+                Metric::Counter(c) => {
+                    out.push_str(&format!(
+                        "{{\"type\":{sp}\"counter\",{sp}\"value\":{sp}{}}}",
+                        c.get()
+                    ));
+                }
+                Metric::Gauge(g) => {
+                    out.push_str(&format!(
+                        "{{\"type\":{sp}\"gauge\",{sp}\"value\":{sp}{}}}",
+                        g.get()
+                    ));
+                }
+                Metric::Histogram(h) => {
+                    let buckets = h
+                        .buckets()
+                        .iter()
+                        .map(|(le, n)| format!("{{\"le\":{sp}{le},{sp}\"count\":{sp}{n}}}"))
+                        .collect::<Vec<_>>()
+                        .join(&format!(",{sp}"));
+                    out.push_str(&format!(
+                        "{{\"type\":{sp}\"histogram\",{sp}\"count\":{sp}{},{sp}\"sum\":{sp}{},{sp}\
+                         \"min\":{sp}{},{sp}\"max\":{sp}{},{nl}{ind3}\"buckets\":{sp}[{buckets}]}}",
+                        h.count(),
+                        h.sum(),
+                        h.min(),
+                        h.max(),
+                    ));
+                }
+                Metric::Timer(t) => {
+                    let count = t.count();
+                    let mean = t.total_ns().checked_div(count).unwrap_or(0);
+                    out.push_str(&format!(
+                        "{{\"type\":{sp}\"timer\",{sp}\"count\":{sp}{count},{sp}\
+                         \"total_ns\":{sp}{},{sp}\"mean_ns\":{sp}{mean}}}",
+                        t.total_ns(),
+                    ));
+                }
+            }
+            if i + 1 < map.len() {
+                out.push(',');
+            }
+            out.push_str(nl);
+        }
+        out.push_str(&format!("{ind1}}}{nl}}}{nl}"));
+        out
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let map = self.metrics.lock().expect("obs registry poisoned");
+        write!(f, "Registry({} metrics)", map.len())
+    }
+}
+
+/// JSON-escapes a metric name.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+
+        let g = Gauge::new();
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn histogram_log2_buckets() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 8, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1014);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1000);
+        // 0 → le 0; 1 → le 1; 2,3 → le 3; 8 → le 15; 1000 → le 1023.
+        assert_eq!(
+            h.buckets(),
+            vec![(0, 1), (1, 1), (3, 2), (15, 1), (1023, 1)]
+        );
+    }
+
+    #[test]
+    fn empty_histogram_min_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert!(h.buckets().is_empty());
+    }
+
+    #[test]
+    fn timer_spans_accumulate() {
+        let t = Arc::new(Timer::new());
+        t.start().stop();
+        {
+            let _implicit = t.start();
+        }
+        t.record(Duration::from_nanos(500));
+        assert_eq!(t.count(), 3);
+        assert!(t.total_ns() >= 500);
+    }
+
+    #[test]
+    fn registry_get_or_create_shares_handles() {
+        let reg = Registry::new();
+        reg.counter("a").add(2);
+        reg.counter("a").add(3);
+        assert_eq!(reg.counter("a").get(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn registry_rejects_kind_clash() {
+        let reg = Registry::new();
+        reg.counter("x");
+        reg.gauge("x");
+    }
+
+    #[test]
+    fn json_snapshot_round_trips_through_serde_json() {
+        let reg = Registry::new();
+        reg.counter("sim.events").add(7);
+        reg.gauge("queue.depth").set(-2);
+        let h = reg.histogram("sizes");
+        h.record(3);
+        h.record(900);
+        reg.timer("phase").record(Duration::from_micros(5));
+
+        for json in [reg.to_json(), reg.to_json_pretty()] {
+            let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+            let back = serde_json::to_string(&v).expect("serializes");
+            let v2: serde_json::Value = serde_json::from_str(&back).expect("valid JSON");
+            assert_eq!(v, v2, "parse→print→parse stable");
+            assert!(json.contains("\"cwa-obs/v1\""));
+            assert!(json.contains("\"sim.events\""));
+            assert!(json.contains("\"total_ns\""));
+        }
+    }
+
+    #[test]
+    fn json_snapshot_is_deterministic_and_sorted() {
+        let build = |order_flip: bool| {
+            let reg = Registry::new();
+            if order_flip {
+                reg.counter("b").add(1);
+                reg.counter("a").add(2);
+            } else {
+                reg.counter("a").add(2);
+                reg.counter("b").add(1);
+            }
+            reg.to_json()
+        };
+        assert_eq!(build(false), build(true), "registration order irrelevant");
+        let json = build(false);
+        assert!(json.find("\"a\"").unwrap() < json.find("\"b\"").unwrap());
+    }
+
+    #[test]
+    fn concurrent_increments_from_crossbeam_workers() {
+        let reg = Registry::new();
+        let counter = reg.counter("parallel.incs");
+        let hist = reg.histogram("parallel.values");
+        crossbeam::thread::scope(|s| {
+            for w in 0..8u64 {
+                let c = Arc::clone(&counter);
+                let h = Arc::clone(&hist);
+                s.spawn(move |_| {
+                    for i in 0..10_000u64 {
+                        c.inc();
+                        h.record(w * 10_000 + i);
+                    }
+                });
+            }
+        })
+        .expect("no worker panicked");
+        assert_eq!(counter.get(), 80_000);
+        assert_eq!(hist.count(), 80_000);
+        assert_eq!(hist.min(), 0);
+        assert_eq!(hist.max(), 79_999);
+    }
+}

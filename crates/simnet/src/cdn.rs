@@ -18,11 +18,11 @@ use std::net::Ipv4Addr;
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
+use cwa_crypto::p256::SigningKey;
 use cwa_exposure::export::TemporaryExposureKeyExport;
 use cwa_exposure::signature::{sign_export, SignatureInfo};
 use cwa_exposure::tek::{DiagnosisKey, TemporaryExposureKey};
 use cwa_exposure::time::EnIntervalNumber;
-use cwa_crypto::p256::SigningKey;
 
 /// DNS name of the key-distribution / API endpoint (modelled on the real
 /// `svc90.main.px.t-online.de`).

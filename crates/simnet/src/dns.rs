@@ -66,7 +66,7 @@ impl TopListModel {
             return u64::MAX;
         }
         let r = (self.rank1_queries_per_day / queries_per_day).powf(1.0 / self.zipf_exponent);
-        r.max(1.0).min(1e15) as u64
+        r.clamp(1.0, 1e15) as u64
     }
 
     /// The query volume needed to hit a given rank.
@@ -106,14 +106,18 @@ pub fn run_dns_study(
     for day in 0..days {
         let end_hour = day * 24 + 23;
         let installed = adoption.downloads_at(end_hour);
-        let media = national_media.get(end_hour as usize).copied().unwrap_or(1.0);
+        let media = national_media
+            .get(end_hour as usize)
+            .copied()
+            .unwrap_or(1.0);
 
         let api_queries = installed
             * activity.api_requests_per_user_day_media(media)
             * model.api_cache_miss
             * model.resolver_visibility;
-        let web_visits_day: f64 =
-            (0..24).map(|h| activity.website_visits_per_hour(day * 24 + h, media)).sum();
+        let web_visits_day: f64 = (0..24)
+            .map(|h| activity.website_visits_per_hour(day * 24 + h, media))
+            .sum();
         let web_queries = web_visits_day * model.web_cache_miss * model.resolver_visibility;
 
         let jitter_api = (model.jitter_sigma * crate::stats::standard_normal(&mut rng)).exp();
@@ -136,7 +140,12 @@ pub fn run_dns_study(
         .map(|(d, _)| d as u32)
         .collect();
 
-    DnsStudy { api_rank, website_rank, api_top1m_days, website_top1m_days }
+    DnsStudy {
+        api_rank,
+        website_rank,
+        api_top1m_days,
+        website_top1m_days,
+    }
 }
 
 /// The §2 verification step: resolve both CWA DNS names against `n`
@@ -172,15 +181,18 @@ mod tests {
     fn study(days: u32) -> DnsStudy {
         let g = Germany::build();
         let plan = AddressPlan::build(&g, AddressPlanConfig::default());
-        let gt = plan.isps.iter().find(|i| i.ground_truth_routers).unwrap().id;
+        let gt = plan
+            .isps
+            .iter()
+            .find(|i| i.ground_truth_routers)
+            .unwrap()
+            .id;
         let scenario = Scenario::paper_default(&g, gt);
-        let adoption = AdoptionModel::new(AdoptionConfig::default()).run(
-            &g,
-            &scenario,
-            Timeline { days },
-        );
-        let media: Vec<f64> =
-            (0..days * 24).map(|h| scenario.national_media_factor(h)).collect();
+        let adoption =
+            AdoptionModel::new(AdoptionConfig::default()).run(&g, &scenario, Timeline { days });
+        let media: Vec<f64> = (0..days * 24)
+            .map(|h| scenario.national_media_factor(h))
+            .collect();
         run_dns_study(
             &TopListModel::default(),
             &adoption,

@@ -48,4 +48,4 @@ pub use cdn::CdnConfig;
 pub use dns::{DnsStudy, TopListModel};
 pub use sim::{SimConfig, SimOutput, Simulation};
 pub use traffic::{GroundTruth, TrafficConfig};
-pub use vantage::{ExportFormat, IspSideEntry, VantagePoint, VantageConfig};
+pub use vantage::{ExportFormat, IspSideEntry, VantageConfig, VantagePoint};

@@ -120,12 +120,24 @@ pub struct SimOutput {
 /// The simulation runner.
 pub struct Simulation {
     config: SimConfig,
+    metrics: Option<std::sync::Arc<cwa_obs::Registry>>,
 }
 
 impl Simulation {
     /// Creates a runner.
     pub fn new(config: SimConfig) -> Self {
-        Simulation { config }
+        Simulation {
+            config,
+            metrics: None,
+        }
+    }
+
+    /// Attaches an observability registry. Instrumentation is atomic
+    /// counters only and never touches an RNG stream, so the output is
+    /// bit-identical with or without it (asserted by tests).
+    pub fn with_metrics(mut self, registry: std::sync::Arc<cwa_obs::Registry>) -> Self {
+        self.metrics = Some(registry);
+        self
     }
 
     /// Executes the full pipeline.
@@ -136,7 +148,10 @@ impl Simulation {
         let geodb = GeoDb::build(
             &germany,
             &plan,
-            GeoDbConfig { seed: cfg.seed ^ 0x9E0, ..cfg.geodb },
+            GeoDbConfig {
+                seed: cfg.seed ^ 0x9E0,
+                ..cfg.geodb
+            },
         );
         let gt_isp: IspId = plan
             .isps
@@ -166,10 +181,14 @@ impl Simulation {
         let cdn = CdnConfig::default();
 
         // DNS popularity study.
-        let media: Vec<f64> =
-            (0..timeline.hours()).map(|h| scenario.national_media_factor(h)).collect();
+        let media: Vec<f64> = (0..timeline.hours())
+            .map(|h| scenario.national_media_factor(h))
+            .collect();
         let dns = run_dns_study(
-            &TopListModel { seed: cfg.seed ^ 0xD45, ..TopListModel::default() },
+            &TopListModel {
+                seed: cfg.seed ^ 0xD45,
+                ..TopListModel::default()
+            },
             &adoption,
             &activity,
             &media,
@@ -182,16 +201,22 @@ impl Simulation {
             seed: cfg.seed ^ 0x7AF,
             ..TrafficConfig::default()
         };
-        let vantage = VantagePoint::new(
+        let mut vantage = VantagePoint::new(
             cfg.vantage,
             cdn.service_prefixes.to_vec(),
             cfg.plan.prefix_len,
         );
+        if let Some(registry) = &self.metrics {
+            vantage.attach_metrics(registry, cfg.days);
+        }
         // Ground-truth router locations, with rural aggregation error.
         let routers = cwa_geo::RouterMap::build(
             &germany,
             &plan,
-            cwa_geo::RouterMapConfig { seed: cfg.seed ^ 0xB46, ..Default::default() },
+            cwa_geo::RouterMapConfig {
+                seed: cfg.seed ^ 0xB46,
+                ..Default::default()
+            },
         );
         let (geodb_anon, isp_table) = vantage.side_tables_routed(&plan, &geodb, &routers);
         // Daily export size: the real file the app fetches, sized by the
@@ -214,10 +239,8 @@ impl Simulation {
             timeline.hours(),
         )
         .with_export_sizes(&export_sizes);
-        let (records, truth) = if cfg.parallel {
-            let (records, truth, _stats) =
-                crate::vantage::run_parallel(model, vantage, timeline.hours());
-            (records, truth)
+        let (records, truth, run_stats) = if cfg.parallel {
+            crate::vantage::run_parallel(model, vantage, timeline.hours())
         } else {
             let mut vantage = vantage;
             let mut model = model;
@@ -226,9 +249,36 @@ impl Simulation {
                 vantage.end_of_hour(hour);
             }
             let truth = model.into_truth();
-            let records = vantage.finish(timeline.hours() - 1);
-            (records, truth)
+            let (records, stats) = vantage.finish_with_stats(timeline.hours() - 1);
+            (records, truth, stats)
         };
+        if let Some(registry) = &self.metrics {
+            let c = run_stats.cache;
+            registry
+                .counter("simnet.cache.packets_seen")
+                .add(c.packets_seen);
+            registry
+                .counter("simnet.cache.expired_inactive")
+                .add(c.expired_inactive);
+            registry
+                .counter("simnet.cache.expired_active")
+                .add(c.expired_active);
+            registry
+                .counter("simnet.cache.expired_emergency")
+                .add(c.expired_emergency);
+            registry
+                .counter("simnet.cache.expired_flush")
+                .add(c.expired_flush);
+            registry
+                .counter("simnet.cache.evictions")
+                .add(c.expired_inactive + c.expired_active + c.expired_emergency + c.expired_flush);
+            registry
+                .counter("simnet.transport.dropped_datagrams")
+                .add(run_stats.dropped_datagrams);
+            registry
+                .counter("simnet.transport.undecodable_datagrams")
+                .add(run_stats.undecodable_datagrams);
+        }
 
         SimOutput {
             records,
@@ -252,7 +302,11 @@ mod tests {
     use super::*;
 
     fn small_run() -> SimOutput {
-        Simulation::new(SimConfig { days: 4, ..SimConfig::test_small() }).run()
+        Simulation::new(SimConfig {
+            days: 4,
+            ..SimConfig::test_small()
+        })
+        .run()
     }
 
     #[test]
@@ -265,8 +319,11 @@ mod tests {
             .records
             .iter()
             .filter(|r| {
-                let client =
-                    if out.cdn.is_service_addr(r.key.src_ip) { r.key.dst_ip } else { r.key.src_ip };
+                let client = if out.cdn.is_service_addr(r.key.src_ip) {
+                    r.key.dst_ip
+                } else {
+                    r.key.src_ip
+                };
                 out.plan.lookup(client).is_some()
             })
             .count();
@@ -305,29 +362,52 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let a = Simulation::new(SimConfig { days: 3, ..SimConfig::test_small() }).run();
-        let b = Simulation::new(SimConfig { days: 3, ..SimConfig::test_small() }).run();
+        let a = Simulation::new(SimConfig {
+            days: 3,
+            ..SimConfig::test_small()
+        })
+        .run();
+        let b = Simulation::new(SimConfig {
+            days: 3,
+            ..SimConfig::test_small()
+        })
+        .run();
         assert_eq!(a.records, b.records);
         assert_eq!(a.truth.api_flows, b.truth.api_flows);
     }
 
     #[test]
     fn different_seeds_differ() {
-        let a = Simulation::new(SimConfig { days: 3, ..SimConfig::test_small() }).run();
-        let b = Simulation::new(SimConfig { days: 3, seed: 99, ..SimConfig::test_small() }).run();
+        let a = Simulation::new(SimConfig {
+            days: 3,
+            ..SimConfig::test_small()
+        })
+        .run();
+        let b = Simulation::new(SimConfig {
+            days: 3,
+            seed: 99,
+            ..SimConfig::test_small()
+        })
+        .run();
         assert_ne!(a.records, b.records);
     }
 
     #[test]
     fn export_loss_fault_injection() {
         use crate::vantage::{ExportFormat, VantageConfig};
-        let base = SimConfig { days: 3, ..SimConfig::test_small() };
+        let base = SimConfig {
+            days: 3,
+            ..SimConfig::test_small()
+        };
         let clean = Simulation::new(base).run();
 
         // 5% transport loss: fewer records, analysis still functional,
         // and the collector's sequence-gap accounting sees the loss.
         let lossy = Simulation::new(SimConfig {
-            vantage: VantageConfig { export_loss_rate: 0.05, ..base.vantage },
+            vantage: VantageConfig {
+                export_loss_rate: 0.05,
+                ..base.vantage
+            },
             ..base
         })
         .run();
@@ -352,10 +432,16 @@ mod tests {
     #[test]
     fn v9_export_equals_v5() {
         use crate::vantage::{ExportFormat, VantageConfig};
-        let base = SimConfig { days: 2, ..SimConfig::test_small() };
+        let base = SimConfig {
+            days: 2,
+            ..SimConfig::test_small()
+        };
         let v5 = Simulation::new(base).run();
         let v9 = Simulation::new(SimConfig {
-            vantage: VantageConfig { format: ExportFormat::V9, ..base.vantage },
+            vantage: VantageConfig {
+                format: ExportFormat::V9,
+                ..base.vantage
+            },
             ..base
         })
         .run();
@@ -366,12 +452,96 @@ mod tests {
 
     #[test]
     fn parallel_equals_serial() {
-        let base = SimConfig { days: 3, ..SimConfig::test_small() };
+        let base = SimConfig {
+            days: 3,
+            ..SimConfig::test_small()
+        };
         let serial = Simulation::new(base).run();
-        let parallel = Simulation::new(SimConfig { parallel: true, ..base }).run();
+        let parallel = Simulation::new(SimConfig {
+            parallel: true,
+            ..base
+        })
+        .run();
         assert_eq!(serial.records, parallel.records, "bit-identical records");
         assert_eq!(serial.truth.api_flows, parallel.truth.api_flows);
-        assert_eq!(serial.truth.cwa_flows_by_hour, parallel.truth.cwa_flows_by_hour);
+        assert_eq!(
+            serial.truth.cwa_flows_by_hour,
+            parallel.truth.cwa_flows_by_hour
+        );
+    }
+
+    #[test]
+    fn metrics_do_not_perturb_determinism() {
+        use std::sync::Arc;
+        let base = SimConfig {
+            days: 3,
+            ..SimConfig::test_small()
+        };
+
+        let plain_serial = Simulation::new(base).run();
+        let plain_parallel = Simulation::new(SimConfig {
+            parallel: true,
+            ..base
+        })
+        .run();
+
+        let reg_serial = Arc::new(cwa_obs::Registry::new());
+        let metered_serial = Simulation::new(base)
+            .with_metrics(Arc::clone(&reg_serial))
+            .run();
+        let reg_parallel = Arc::new(cwa_obs::Registry::new());
+        let metered_parallel = Simulation::new(SimConfig {
+            parallel: true,
+            ..base
+        })
+        .with_metrics(Arc::clone(&reg_parallel))
+        .run();
+
+        // Bit-identical records across all four combinations of
+        // {serial, parallel} × {metrics off, metrics on}.
+        assert_eq!(
+            plain_serial.records, metered_serial.records,
+            "serial: metrics on == off"
+        );
+        assert_eq!(
+            plain_serial.records, plain_parallel.records,
+            "parallel == serial"
+        );
+        assert_eq!(
+            plain_serial.records, metered_parallel.records,
+            "metered parallel == serial"
+        );
+        assert_eq!(
+            plain_serial.truth.api_flows,
+            metered_parallel.truth.api_flows
+        );
+
+        // The logical counters themselves agree between drivers (only
+        // wall-clock worker timers may differ).
+        for name in [
+            "simnet.traffic.flow_events",
+            "simnet.traffic.flow_events.day00",
+            "simnet.router.00.sampled_packets",
+            "simnet.router.00.unsampled_packets",
+            "simnet.cache.evictions",
+            "simnet.cache.packets_seen",
+            "netflow.collector.records",
+            "netflow.collector.anonymized_addresses",
+            "netflow.collector.sequence_lost",
+        ] {
+            assert_eq!(
+                reg_serial.counter(name).get(),
+                reg_parallel.counter(name).get(),
+                "counter {name} must not depend on the driver"
+            );
+        }
+        assert!(reg_serial.counter("simnet.traffic.flow_events").get() > 0);
+        assert!(reg_serial.counter("netflow.collector.records").get() > 0);
+        assert_eq!(
+            reg_serial.counter("netflow.collector.records").get(),
+            plain_serial.records.len() as u64,
+            "collector counter matches the record set"
+        );
     }
 
     #[test]

@@ -135,8 +135,9 @@ mod tests {
         // Log-normal: mean > median (heavy right tail).
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         let n = 30_000;
-        let mut draws: Vec<u64> =
-            (0..n).map(|_| flow_size(&mut rng, 18.0, 0.9, 900.0).0).collect();
+        let mut draws: Vec<u64> = (0..n)
+            .map(|_| flow_size(&mut rng, 18.0, 0.9, 900.0).0)
+            .collect();
         let mean = draws.iter().sum::<u64>() as f64 / f64::from(n);
         draws.sort_unstable();
         let median = draws[n as usize / 2] as f64;

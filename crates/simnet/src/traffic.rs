@@ -274,9 +274,11 @@ impl<'a> TrafficModel<'a> {
             let n_web = poisson(&mut self.rng, lam_web);
             let n_bg = poisson(&mut self.rng, lam_bg);
 
-            for (kind, count) in
-                [(FlowKind::Api, n_api), (FlowKind::Website, n_web), (FlowKind::Background, n_bg)]
-            {
+            for (kind, count) in [
+                (FlowKind::Api, n_api),
+                (FlowKind::Website, n_web),
+                (FlowKind::Background, n_bg),
+            ] {
                 for _ in 0..count {
                     let ev = self.make_flow(kind, &alloc, isp.access, day, hour_start_ms);
                     self.account_truth(&ev, hour, day);
@@ -335,7 +337,7 @@ impl<'a> TrafficModel<'a> {
         let server = match kind {
             FlowKind::Background => {
                 // A popular non-CWA service (same port, different prefix).
-                Ipv4Addr::from(u32::from(Ipv4Addr::new(203, 0, 113, 0)) + rng.gen_range(0..16))
+                Ipv4Addr::from(u32::from(Ipv4Addr::new(203, 0, 113, 0)) + rng.gen_range(0u32..16))
             }
             _ => self.cdn.server_for(rng.gen::<u64>()),
         };
@@ -386,14 +388,12 @@ impl<'a> TrafficModel<'a> {
             FlowKind::Api => {
                 self.truth.api_flows += 1;
                 self.truth.cwa_flows_by_hour[hour as usize] += 1;
-                self.truth.cwa_flows_by_day_district[day as usize]
-                    [usize::from(ev.district.0)] += 1;
+                self.truth.cwa_flows_by_day_district[day as usize][usize::from(ev.district.0)] += 1;
             }
             FlowKind::Website => {
                 self.truth.web_flows += 1;
                 self.truth.cwa_flows_by_hour[hour as usize] += 1;
-                self.truth.cwa_flows_by_day_district[day as usize]
-                    [usize::from(ev.district.0)] += 1;
+                self.truth.cwa_flows_by_day_district[day as usize][usize::from(ev.district.0)] += 1;
             }
             FlowKind::Background => {
                 self.truth.background_flows += 1;
@@ -405,7 +405,7 @@ impl<'a> TrafficModel<'a> {
 /// Builds the upstream (client→server) counterpart of a downstream flow.
 fn upstream_of<R: Rng>(ev: &FlowEvent, rng: &mut R) -> FlowEvent {
     let packets = (ev.packets / 2).max(2);
-    let bytes = packets * (80 + rng.gen_range(0..60));
+    let bytes = packets * (80 + rng.gen_range(0u64..60));
     FlowEvent {
         key: ev.key.reversed(),
         packets,
@@ -422,9 +422,7 @@ fn upstream_of<R: Rng>(ev: &FlowEvent, rng: &mut R) -> FlowEvent {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cwa_epidemic::{
-        AdoptionConfig, AdoptionModel, Timeline,
-    };
+    use cwa_epidemic::{AdoptionConfig, AdoptionModel, Timeline};
     use cwa_geo::AddressPlanConfig;
 
     fn small_setup() -> (Germany, AddressPlan, Scenario, AdoptionCurve) {
@@ -437,7 +435,12 @@ mod tests {
                 prefix_len: 18,
             },
         );
-        let gt = plan.isps.iter().find(|i| i.ground_truth_routers).unwrap().id;
+        let gt = plan
+            .isps
+            .iter()
+            .find(|i| i.ground_truth_routers)
+            .unwrap()
+            .id;
         let scenario = Scenario::paper_default(&g, gt);
         let adoption = AdoptionModel::new(AdoptionConfig::default()).run(
             &g,
@@ -449,7 +452,11 @@ mod tests {
 
     fn run_scaled(scale: f64, hours: u32) -> (Vec<FlowEvent>, GroundTruth) {
         let (g, plan, scenario, adoption) = small_setup();
-        let cfg = TrafficConfig { scale, seed: 7, ..TrafficConfig::default() };
+        let cfg = TrafficConfig {
+            scale,
+            seed: 7,
+            ..TrafficConfig::default()
+        };
         let model = TrafficModel::new(
             &g,
             &plan,
@@ -493,7 +500,9 @@ mod tests {
         assert_eq!(down, up);
         // Upstream flows reverse the 5-tuple and carry fewer bytes.
         let d = events.iter().find(|e| e.downstream).unwrap();
-        let u = events.iter().find(|e| !e.downstream && e.key == d.key.reversed());
+        let u = events
+            .iter()
+            .find(|e| !e.downstream && e.key == d.key.reversed());
         if let Some(u) = u {
             assert!(u.bytes < d.bytes);
         }
@@ -503,7 +512,10 @@ mod tests {
     fn downstream_cwa_flows_come_from_cdn() {
         let (events, _) = run_scaled(0.0005, 30);
         let cdn = CdnConfig::default();
-        for e in events.iter().filter(|e| e.downstream && e.kind != FlowKind::Background) {
+        for e in events
+            .iter()
+            .filter(|e| e.downstream && e.kind != FlowKind::Background)
+        {
             assert!(cdn.is_service_addr(e.key.src_ip), "src {}", e.key.src_ip);
             assert_eq!(e.key.src_port, 443);
         }
@@ -513,7 +525,10 @@ mod tests {
     fn background_flows_avoid_cdn_prefixes() {
         let (events, _) = run_scaled(0.0005, 30);
         let cdn = CdnConfig::default();
-        for e in events.iter().filter(|e| e.kind == FlowKind::Background && e.downstream) {
+        for e in events
+            .iter()
+            .filter(|e| e.kind == FlowKind::Background && e.downstream)
+        {
             assert!(!cdn.is_service_addr(e.key.src_ip));
         }
     }
@@ -521,7 +536,11 @@ mod tests {
     #[test]
     fn clients_live_in_their_allocation() {
         let (g, plan, scenario, adoption) = small_setup();
-        let cfg = TrafficConfig { scale: 0.0005, seed: 9, ..TrafficConfig::default() };
+        let cfg = TrafficConfig {
+            scale: 0.0005,
+            seed: 9,
+            ..TrafficConfig::default()
+        };
         let model = TrafficModel::new(
             &g,
             &plan,
@@ -545,7 +564,10 @@ mod tests {
             }
         });
         assert!(total > 100, "enough samples: {total}");
-        assert_eq!(ok, total, "every client address maps back to its allocation");
+        assert_eq!(
+            ok, total,
+            "every client address maps back to its allocation"
+        );
         let _ = truth;
     }
 

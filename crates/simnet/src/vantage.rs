@@ -26,6 +26,7 @@
 
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -34,11 +35,12 @@ use serde::{Deserialize, Serialize};
 use cwa_geo::{AddressPlan, DistrictId, GeoDb, IspId};
 use cwa_netflow::anonymize::CryptoPan;
 use cwa_netflow::cache::{CacheStats, FlowCache, FlowCacheConfig};
-use cwa_netflow::collector::Collector;
+use cwa_netflow::collector::{Collector, CollectorMetrics};
 use cwa_netflow::flow::FlowRecord;
 use cwa_netflow::sampling::sample_packet_count;
 use cwa_netflow::v5::packetize;
 use cwa_netflow::v9::{V9Decoder, V9Exporter};
+use cwa_obs::{Counter, Registry};
 
 use crate::traffic::FlowEvent;
 
@@ -97,6 +99,14 @@ pub struct IspSideEntry {
     pub router_district: Option<DistrictId>,
 }
 
+/// Per-router observability handles (single relaxed atomics on the
+/// packet path; resolved once when metrics are attached).
+#[derive(Clone)]
+pub(crate) struct RouterMetrics {
+    sampled: Arc<Counter>,
+    unsampled: Arc<Counter>,
+}
+
 /// One border router: sampler + flow cache + export sequencing.
 pub struct Router {
     /// Engine id used in export headers.
@@ -109,6 +119,8 @@ pub struct Router {
     sequence: u32,
     /// v9 exporter state (template refresh, datagram sequence).
     v9: V9Exporter,
+    /// Observability handles (None = uninstrumented, zero overhead).
+    metrics: Option<RouterMetrics>,
 }
 
 impl Router {
@@ -122,12 +134,21 @@ impl Router {
             format: cfg.format,
             sequence: 0,
             v9: V9Exporter::new(u32::from(id)),
+            metrics: None,
         }
     }
 
     /// Observes one flow event: samples its packets, accounts survivors.
+    ///
+    /// The metric increments happen *after* the sampling draw, so the
+    /// RNG stream — and with it every downstream record — is identical
+    /// with metrics on or off.
     pub fn observe(&mut self, ev: &FlowEvent) {
         let sampled = sample_packet_count(&mut self.rng, ev.packets, self.sampling_interval);
+        if let Some(m) = &self.metrics {
+            m.sampled.add(sampled);
+            m.unsampled.add(ev.packets - sampled);
+        }
         if sampled == 0 {
             return;
         }
@@ -182,7 +203,8 @@ impl Router {
                 expired
                     .chunks(24)
                     .map(|chunk| {
-                        self.v9.export(chunk, unix_secs, (u64::from(hour) * 3_600_000) as u32)
+                        self.v9
+                            .export(chunk, unix_secs, (u64::from(hour) * 3_600_000) as u32)
                     })
                     .collect()
             }
@@ -198,11 +220,46 @@ impl Router {
 /// Deterministically assigns a flow to a router by its client-side
 /// routing prefix (clients of one region traverse one border router).
 pub fn router_for(ev: &FlowEvent, plan_prefix_len: u8, routers: usize) -> usize {
-    let client = if ev.downstream { ev.key.dst_ip } else { ev.key.src_ip };
+    let client = if ev.downstream {
+        ev.key.dst_ip
+    } else {
+        ev.key.src_ip
+    };
     let prefix = cwa_geo::geodb::mask(client, plan_prefix_len);
     // Fibonacci hashing of the prefix.
     let h = (u64::from(prefix)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
     (h >> 32) as usize % routers
+}
+
+/// Vantage-level observability handles shared by the serial and
+/// parallel drivers (so both count the same logical events).
+#[derive(Clone)]
+pub(crate) struct VantageMetrics {
+    registry: Arc<Registry>,
+    flow_events: Arc<Counter>,
+    flow_events_by_day: Vec<Arc<Counter>>,
+}
+
+impl VantageMetrics {
+    /// Counts one generated flow event (total + per simulated day).
+    fn note_event(&self, ev: &FlowEvent) {
+        self.flow_events.inc();
+        let day = (ev.start_ms / 86_400_000) as usize;
+        if let Some(c) = self.flow_events_by_day.get(day) {
+            c.inc();
+        }
+    }
+}
+
+/// Aggregate statistics of one vantage run (cache + transport).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VantageRunStats {
+    /// Flow-cache statistics summed over all routers (post-flush).
+    pub cache: CacheStats,
+    /// Export datagrams dropped by the lossy transport.
+    pub dropped_datagrams: u64,
+    /// v9 data sets undecodable because their template was lost.
+    pub undecodable_datagrams: u64,
 }
 
 /// The vantage point: routers plus the anonymizing collector.
@@ -214,6 +271,7 @@ pub struct VantagePoint {
     format: ExportFormat,
     v9_decoder: V9Decoder,
     transport: Transport,
+    metrics: Option<VantageMetrics>,
 }
 
 /// The (lossy) export transport between routers and collector.
@@ -272,13 +330,40 @@ impl VantagePoint {
             format: cfg.format,
             v9_decoder: V9Decoder::new(),
             transport,
+            metrics: None,
         }
+    }
+
+    /// Attaches observability: per-router sampling counters, per-day
+    /// flow-event counters (`days` pre-registers the day series so the
+    /// snapshot schema is complete even for quiet days), and the
+    /// collector's record/anonymization/sequence-loss counters.
+    pub fn attach_metrics(&mut self, registry: &Arc<Registry>, days: u32) {
+        for router in &mut self.routers {
+            router.metrics = Some(RouterMetrics {
+                sampled: registry
+                    .counter(&format!("simnet.router.{:02}.sampled_packets", router.id)),
+                unsampled: registry
+                    .counter(&format!("simnet.router.{:02}.unsampled_packets", router.id)),
+            });
+        }
+        self.collector.set_metrics(CollectorMetrics::new(registry));
+        self.metrics = Some(VantageMetrics {
+            registry: Arc::clone(registry),
+            flow_events: registry.counter("simnet.traffic.flow_events"),
+            flow_events_by_day: (0..days)
+                .map(|d| registry.counter(&format!("simnet.traffic.flow_events.day{d:02}")))
+                .collect(),
+        });
     }
 
     /// Fault-injection statistics: `(datagrams dropped in transport,
     /// v9 datagrams undecodable due to lost templates)`.
     pub fn transport_stats(&self) -> (u64, u64) {
-        (self.transport.dropped_datagrams, self.transport.undecodable_datagrams)
+        (
+            self.transport.dropped_datagrams,
+            self.transport.undecodable_datagrams,
+        )
     }
 
     /// Feeds one wire datagram into the collector, decoding per the
@@ -295,7 +380,9 @@ impl VantagePoint {
         }
         match format {
             ExportFormat::V5 => {
-                collector.ingest(wire).expect("self-produced v5 datagram is valid");
+                collector
+                    .ingest(wire)
+                    .expect("self-produced v5 datagram is valid");
             }
             ExportFormat::V9 => {
                 // Engine id = v9 source id (set by the router).
@@ -306,6 +393,7 @@ impl VantagePoint {
                         // The template announcement was lost; data sets
                         // stay undecodable until the next re-announcement.
                         transport.undecodable_datagrams += 1;
+                        collector.note_decode_error();
                     }
                     Err(e) => panic!("self-produced v9 datagram invalid: {e}"),
                 }
@@ -315,6 +403,9 @@ impl VantagePoint {
 
     /// Observes one flow event (routes it to the owning router).
     pub fn observe(&mut self, ev: &FlowEvent) {
+        if let Some(m) = &self.metrics {
+            m.note_event(ev);
+        }
         let r = router_for(ev, self.plan_prefix_len, self.routers.len());
         self.routers[r].observe(ev);
     }
@@ -337,7 +428,14 @@ impl VantagePoint {
 
     /// Flushes all caches (end of measurement) and returns every
     /// collected, anonymized record.
-    pub fn finish(mut self, final_hour: u32) -> Vec<FlowRecord> {
+    pub fn finish(self, final_hour: u32) -> Vec<FlowRecord> {
+        self.finish_with_stats(final_hour).0
+    }
+
+    /// [`VantagePoint::finish`] that also reports the run's aggregate
+    /// cache and transport statistics (captured *after* the final flush,
+    /// so flush evictions are included).
+    pub fn finish_with_stats(mut self, final_hour: u32) -> (Vec<FlowRecord>, VantageRunStats) {
         for router in &mut self.routers {
             for wire in router.finish(final_hour) {
                 Self::ingest_wire(
@@ -349,13 +447,25 @@ impl VantagePoint {
                 );
             }
         }
-        self.collector.into_records()
+        let stats = VantageRunStats {
+            cache: self.cache_stats(),
+            dropped_datagrams: self.transport.dropped_datagrams,
+            undecodable_datagrams: self.transport.undecodable_datagrams,
+        };
+        (self.collector.into_records(), stats)
     }
 
     /// Decomposes into parts for the parallel driver.
     pub(crate) fn into_parts(
         self,
-    ) -> (Vec<Router>, Collector, u8, ExportFormat, V9Decoder, Transport) {
+    ) -> (
+        Vec<Router>,
+        Collector,
+        u8,
+        ExportFormat,
+        V9Decoder,
+        Transport,
+    ) {
         (
             self.routers,
             self.collector,
@@ -427,7 +537,13 @@ pub fn side_tables_with(
         } else {
             None
         };
-        isp_table.insert(anon_net, IspSideEntry { isp: alloc.isp, router_district });
+        isp_table.insert(
+            anon_net,
+            IspSideEntry {
+                isp: alloc.isp,
+                router_district,
+            },
+        );
     }
     (geodb_anon, isp_table)
 }
@@ -451,7 +567,12 @@ pub fn run_parallel(
     mut model: crate::traffic::TrafficModel<'_>,
     vantage: VantagePoint,
     hours: u32,
-) -> (Vec<FlowRecord>, crate::traffic::GroundTruth, CacheStats) {
+) -> (
+    Vec<FlowRecord>,
+    crate::traffic::GroundTruth,
+    VantageRunStats,
+) {
+    let metrics = vantage.metrics.clone();
     let (routers, mut collector, plan_prefix_len, format, mut v9_decoder, mut transport) =
         vantage.into_parts();
     let n_routers = routers.len();
@@ -465,10 +586,32 @@ pub fn run_parallel(
             let (tx, rx) = crossbeam::channel::unbounded::<WorkerMsg>();
             worker_txs.push(tx);
             let reply = reply_tx.clone();
+            // Worker-utilization handles: busy wall-time and event
+            // count per router, recorded once when the worker finishes
+            // (wall-clock never feeds back into the simulation).
+            let worker_obs = metrics.as_ref().map(|m| {
+                (
+                    m.registry
+                        .timer(&format!("simnet.worker.{:02}.busy", router.id)),
+                    m.registry
+                        .counter(&format!("simnet.worker.{:02}.events", router.id)),
+                )
+            });
             scope.spawn(move |_| {
+                let mut busy = std::time::Duration::ZERO;
+                let mut events = 0u64;
                 while let Ok(msg) = rx.recv() {
                     match msg {
-                        WorkerMsg::Event(ev) => router.observe(&ev),
+                        WorkerMsg::Event(ev) => {
+                            if worker_obs.is_some() {
+                                let t = std::time::Instant::now();
+                                router.observe(&ev);
+                                busy += t.elapsed();
+                                events += 1;
+                            } else {
+                                router.observe(&ev);
+                            }
+                        }
                         WorkerMsg::EndOfHour(h) => {
                             let packets = router.end_of_hour(h);
                             reply
@@ -484,6 +627,10 @@ pub fn run_parallel(
                         }
                     }
                 }
+                if let Some((timer, counter)) = &worker_obs {
+                    timer.record(busy);
+                    counter.add(events);
+                }
             });
         }
         drop(reply_tx);
@@ -493,8 +640,9 @@ pub fn run_parallel(
                              transport: &mut Transport|
          -> CacheStats {
             // Gather one reply per router, ingest in id order.
-            let mut round: Vec<(u8, Vec<bytes::Bytes>, bool, CacheStats)> =
-                (0..n_routers).map(|_| reply_rx.recv().expect("worker alive")).collect();
+            let mut round: Vec<(u8, Vec<bytes::Bytes>, bool, CacheStats)> = (0..n_routers)
+                .map(|_| reply_rx.recv().expect("worker alive"))
+                .collect();
             round.sort_by_key(|(id, ..)| *id);
             let mut stats = CacheStats::default();
             for (_, datagrams, _, s) in round {
@@ -512,8 +660,13 @@ pub fn run_parallel(
 
         for hour in 0..hours {
             model.generate_hour(hour, &mut |ev| {
+                if let Some(m) = &metrics {
+                    m.note_event(ev);
+                }
                 let r = router_for(ev, plan_prefix_len, n_routers);
-                worker_txs[r].send(WorkerMsg::Event(Box::new(*ev))).expect("worker alive");
+                worker_txs[r]
+                    .send(WorkerMsg::Event(Box::new(*ev)))
+                    .expect("worker alive");
             });
             for tx in &worker_txs {
                 tx.send(WorkerMsg::EndOfHour(hour)).expect("worker alive");
@@ -521,14 +674,19 @@ pub fn run_parallel(
             collect_round(&mut collector, &mut v9_decoder, &mut transport);
         }
         for tx in &worker_txs {
-            tx.send(WorkerMsg::Finish(hours.saturating_sub(1))).expect("worker alive");
+            tx.send(WorkerMsg::Finish(hours.saturating_sub(1)))
+                .expect("worker alive");
         }
-        let final_stats = collect_round(&mut collector, &mut v9_decoder, &mut transport);
-        final_stats
+        collect_round(&mut collector, &mut v9_decoder, &mut transport)
     })
     .expect("no worker panicked");
 
-    (collector.into_records(), model.into_truth(), result)
+    let stats = VantageRunStats {
+        cache: result,
+        dropped_datagrams: transport.dropped_datagrams,
+        undecodable_datagrams: transport.undecodable_datagrams,
+    };
+    (collector.into_records(), model.into_truth(), stats)
 }
 
 #[cfg(test)]
@@ -559,8 +717,14 @@ mod tests {
 
     fn vp(sampling: u32) -> VantagePoint {
         VantagePoint::new(
-            VantageConfig { sampling_interval: sampling, ..VantageConfig::default() },
-            vec![(Ipv4Addr::new(81, 200, 16, 0), 22), (Ipv4Addr::new(185, 139, 96, 0), 22)],
+            VantageConfig {
+                sampling_interval: sampling,
+                ..VantageConfig::default()
+            },
+            vec![
+                (Ipv4Addr::new(81, 200, 16, 0), 22),
+                (Ipv4Addr::new(185, 139, 96, 0), 22),
+            ],
             22,
         )
     }
@@ -574,7 +738,11 @@ mod tests {
         let records = v.finish(0);
         assert_eq!(records.len(), 1);
         assert_eq!(records[0].packets, 10);
-        assert_eq!(records[0].key.src_ip, Ipv4Addr::new(81, 200, 16, 1), "server clear");
+        assert_eq!(
+            records[0].key.src_ip,
+            Ipv4Addr::new(81, 200, 16, 1),
+            "server clear"
+        );
         assert_ne!(records[0].key.dst_ip, client, "client anonymized");
     }
 
@@ -593,8 +761,7 @@ mod tests {
             "{} of 2000 flows observed",
             records.len()
         );
-        let avg: f64 =
-            records.iter().map(|r| r.packets as f64).sum::<f64>() / records.len() as f64;
+        let avg: f64 = records.iter().map(|r| r.packets as f64).sum::<f64>() / records.len() as f64;
         assert!(avg < 2.0, "avg packets {avg}");
     }
 
@@ -640,7 +807,12 @@ mod tests {
         assert_eq!(geodb_anon.len(), geodb.len());
         assert_eq!(isp_table.len(), plan.allocations().len());
 
-        let gt_isp = plan.isps.iter().find(|i| i.ground_truth_routers).unwrap().id;
+        let gt_isp = plan
+            .isps
+            .iter()
+            .find(|i| i.ground_truth_routers)
+            .unwrap()
+            .id;
         let cp = CryptoPan::new(&VantageConfig::default().anon_key);
         for alloc in plan.allocations().iter().take(500) {
             let anon = cwa_geo::geodb::mask(cp.anonymize(alloc.network), 18);

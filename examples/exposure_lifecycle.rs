@@ -57,7 +57,10 @@ fn main() {
     }
     println!("\n== day 2: Alice tests positive, consents to upload ==");
     let diagnosis_keys = alice.upload_diagnosis_keys(day2, 6);
-    println!("  Alice uploads {} temporary exposure keys (verified by health authority)", diagnosis_keys.len());
+    println!(
+        "  Alice uploads {} temporary exposure keys (verified by health authority)",
+        diagnosis_keys.len()
+    );
 
     // ---- The CDN publishes the day's export file, ECDSA-signed. ----
     let export = TemporaryExposureKeyExport::new_de(
@@ -85,9 +88,8 @@ fn main() {
     // and matches — this download is the HTTPS flow the paper's NetFlow
     // traces consist of. ----
     println!("\n== daily key download, signature check & on-phone matching ==");
-    let downloaded =
-        cwa_exposure::verify_export(&signed, &backend_key.verifying_key(), &info)
-            .expect("signature verifies against the pinned key");
+    let downloaded = cwa_exposure::verify_export(&signed, &backend_key.verifying_key(), &info)
+        .expect("signature verifies against the pinned key");
     for (name, device) in [("Bob", &bob), ("Carol", &carol)] {
         let matches = device.check_exposure(&downloaded.keys, day2);
         match matches.first() {

@@ -58,7 +58,10 @@ fn main() {
     );
 
     if !report.all_passed() {
-        eprintln!("WARNING: {} claim(s) outside their bands", report.failures().len());
+        eprintln!(
+            "WARNING: {} claim(s) outside their bands",
+            report.failures().len()
+        );
         std::process::exit(1);
     }
 }

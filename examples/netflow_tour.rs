@@ -102,10 +102,8 @@ fn main() {
 
     // ---- 5. The anonymizing collector end to end. ----
     println!("\n== collector: servers in the clear, clients anonymized ==");
-    let mut collector = Collector::new_anonymizing(
-        &key32,
-        vec![(Ipv4Addr::new(81, 200, 16, 0), 22)],
-    );
+    let mut collector =
+        Collector::new_anonymizing(&key32, vec![(Ipv4Addr::new(81, 200, 16, 0), 22)]);
     for p in packets {
         collector.ingest(p.encode()).expect("valid datagram");
     }
@@ -114,5 +112,8 @@ fn main() {
         "  stored record: {} :{} → {} :{}   (server kept, client hidden)",
         stored[0].key.src_ip, stored[0].key.src_port, stored[0].key.dst_ip, stored[0].key.dst_port
     );
-    println!("  export loss detected via sequence gaps: {} records", collector.total_lost());
+    println!(
+        "  export loss detected via sequence gaps: {} records",
+        collector.total_lost()
+    );
 }

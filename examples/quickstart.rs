@@ -35,7 +35,10 @@ fn main() {
     println!("{}", report.render_text());
 
     if report.all_passed() {
-        println!("all {} claims reproduced within their bands ✓", report.claims.len());
+        println!(
+            "all {} claims reproduced within their bands ✓",
+            report.claims.len()
+        );
     } else {
         println!("claims outside their bands:");
         for c in report.failures() {

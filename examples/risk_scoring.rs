@@ -36,8 +36,18 @@ fn main() {
         // Fresh devices per scenario for a clean comparison.
         let mut infected = Device::new(1);
         let mut contact = Device::new(2);
-        let encounter = Encounter { distance_m, start: day0.advance(60), intervals };
-        simulate_encounter(&mut rng, &path_loss, &mut infected, &mut contact, &encounter);
+        let encounter = Encounter {
+            distance_m,
+            start: day0.advance(60),
+            intervals,
+        };
+        simulate_encounter(
+            &mut rng,
+            &path_loss,
+            &mut infected,
+            &mut contact,
+            &encounter,
+        );
 
         // v1: upload → download → match → score.
         let next_day = EnIntervalNumber(day0.0 + TEK_ROLLING_PERIOD);
@@ -55,9 +65,7 @@ fn main() {
         let minutes = v2.window_minutes(&window);
         let verdict = v2.overall(std::slice::from_ref(&window));
 
-        println!(
-            "{label:<36} {v1_score:<10} {minutes:<17.1} {verdict:?}",
-        );
+        println!("{label:<36} {v1_score:<10} {minutes:<17.1} {verdict:?}",);
     }
 
     println!();

@@ -17,4 +17,5 @@ pub use cwa_epidemic as epidemic;
 pub use cwa_exposure as exposure;
 pub use cwa_geo as geo;
 pub use cwa_netflow as netflow;
+pub use cwa_obs as obs;
 pub use cwa_simnet as simnet;

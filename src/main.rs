@@ -1,7 +1,7 @@
 //! `cwa-repro` — command-line front end for the reproduction.
 //!
 //! ```text
-//! cwa-repro study [--scale S] [--seed N] [--parallel] [--out DIR]
+//! cwa-repro study [--scale S] [--seed N] [--parallel] [--out DIR] [--metrics FILE]
 //! cwa-repro dns   [--days N]
 //! cwa-repro ablation
 //! cwa-repro help
@@ -34,8 +34,9 @@ fn usage() -> String {
     "cwa-repro — reproduction of the SIGCOMM'20 Corona-Warn-App measurement study\n\
      \n\
      USAGE:\n\
-     \x20 cwa-repro study [--scale S] [--seed N] [--parallel] [--out DIR]\n\
-     \x20     run the full study and print the paper-vs-measured report\n\
+     \x20 cwa-repro study [--scale S] [--seed N] [--parallel] [--out DIR] [--metrics FILE]\n\
+     \x20     run the full study and print the paper-vs-measured report;\n\
+     \x20     --metrics writes an observability snapshot (cwa-obs/v1 JSON)\n\
      \x20 cwa-repro dns [--days N]\n\
      \x20     print the Umbrella-style DNS rank model output per day\n\
      \x20 cwa-repro ablation\n\
@@ -46,7 +47,10 @@ fn usage() -> String {
 
 /// Minimal `--key value` / `--flag` parser.
 fn opt(args: &[String], key: &str) -> Option<String> {
-    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1)).cloned()
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 fn flag(args: &[String], key: &str) -> bool {
@@ -73,12 +77,31 @@ fn study(args: &[String]) -> ExitCode {
         }
     }
     config.sim.parallel = flag(args, "--parallel");
+    let metrics_path = opt(args, "--metrics");
+    let registry = metrics_path
+        .as_ref()
+        .map(|_| std::sync::Arc::new(cwa_obs::Registry::new()));
 
-    eprintln!("running study at scale {scale} (seed {:#x}) …", config.sim.seed);
+    eprintln!(
+        "running study at scale {scale} (seed {:#x}) …",
+        config.sim.seed
+    );
     let start = std::time::Instant::now();
-    let report = Study::new(config).run();
+    let mut study = Study::new(config);
+    if let Some(registry) = &registry {
+        study = study.with_metrics(std::sync::Arc::clone(registry));
+    }
+    let report = study.run();
     eprintln!("done in {:?}\n", start.elapsed());
     println!("{}", report.render_text());
+
+    if let (Some(path), Some(registry)) = (&metrics_path, &registry) {
+        if let Err(e) = std::fs::write(path, registry.to_json_pretty()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
 
     if let Some(dir) = opt(args, "--out") {
         let dir = std::path::PathBuf::from(dir);
@@ -113,8 +136,15 @@ fn study(args: &[String]) -> ExitCode {
 }
 
 fn dns(args: &[String]) -> ExitCode {
-    let days: u32 = opt(args, "--days").and_then(|s| s.parse().ok()).unwrap_or(11);
-    let out = Simulation::new(SimConfig { days, scale: 0.001, ..SimConfig::test_small() }).run();
+    let days: u32 = opt(args, "--days")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(11);
+    let out = Simulation::new(SimConfig {
+        days,
+        scale: 0.001,
+        ..SimConfig::test_small()
+    })
+    .run();
     let fmt_rank = |r: u64| {
         if r > 1_000_000_000_000 {
             "—".to_owned()
@@ -130,7 +160,11 @@ fn dns(args: &[String]) -> ExitCode {
             15 + d,
             fmt_rank(out.dns.api_rank[d]),
             fmt_rank(out.dns.website_rank[d]),
-            if out.dns.api_top1m_days.contains(&(d as u32)) { "yes" } else { "" }
+            if out.dns.api_top1m_days.contains(&(d as u32)) {
+                "yes"
+            } else {
+                ""
+            }
         );
     }
     ExitCode::SUCCESS
@@ -140,7 +174,10 @@ fn ablation() -> ExitCode {
     println!("June-23 re-surge (Jun 23–25 / Jun 20–22 true CWA flows):");
     for (label, kind) in [
         ("paper (outbreaks + news)", ScenarioKind::Paper),
-        ("outbreaks without news  ", ScenarioKind::OutbreaksWithoutNews),
+        (
+            "outbreaks without news  ",
+            ScenarioKind::OutbreaksWithoutNews,
+        ),
         ("quiet                   ", ScenarioKind::Quiet),
     ] {
         let out = Simulation::new(SimConfig {

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-774e2eb365a88270.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-774e2eb365a88270.rlib: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-774e2eb365a88270.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

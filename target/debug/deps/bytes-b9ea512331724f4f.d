@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-b9ea512331724f4f.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/bytes-b9ea512331724f4f: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/claims-8f2854044ee435df.d: crates/bench/benches/claims.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclaims-8f2854044ee435df.rmeta: crates/bench/benches/claims.rs Cargo.toml
+
+crates/bench/benches/claims.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

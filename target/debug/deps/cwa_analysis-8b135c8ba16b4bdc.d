@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/cwa_analysis-8b135c8ba16b4bdc.d: crates/analysis/src/lib.rs crates/analysis/src/changepoint.rs crates/analysis/src/figures.rs crates/analysis/src/filter.rs crates/analysis/src/geoloc.rs crates/analysis/src/outbreak.rs crates/analysis/src/persistence.rs crates/analysis/src/stats.rs crates/analysis/src/svg.rs crates/analysis/src/timeseries.rs crates/analysis/src/zipmap.rs
+
+/root/repo/target/debug/deps/libcwa_analysis-8b135c8ba16b4bdc.rlib: crates/analysis/src/lib.rs crates/analysis/src/changepoint.rs crates/analysis/src/figures.rs crates/analysis/src/filter.rs crates/analysis/src/geoloc.rs crates/analysis/src/outbreak.rs crates/analysis/src/persistence.rs crates/analysis/src/stats.rs crates/analysis/src/svg.rs crates/analysis/src/timeseries.rs crates/analysis/src/zipmap.rs
+
+/root/repo/target/debug/deps/libcwa_analysis-8b135c8ba16b4bdc.rmeta: crates/analysis/src/lib.rs crates/analysis/src/changepoint.rs crates/analysis/src/figures.rs crates/analysis/src/filter.rs crates/analysis/src/geoloc.rs crates/analysis/src/outbreak.rs crates/analysis/src/persistence.rs crates/analysis/src/stats.rs crates/analysis/src/svg.rs crates/analysis/src/timeseries.rs crates/analysis/src/zipmap.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/changepoint.rs:
+crates/analysis/src/figures.rs:
+crates/analysis/src/filter.rs:
+crates/analysis/src/geoloc.rs:
+crates/analysis/src/outbreak.rs:
+crates/analysis/src/persistence.rs:
+crates/analysis/src/stats.rs:
+crates/analysis/src/svg.rs:
+crates/analysis/src/timeseries.rs:
+crates/analysis/src/zipmap.rs:

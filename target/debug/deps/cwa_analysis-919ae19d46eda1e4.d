@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/cwa_analysis-919ae19d46eda1e4.d: crates/analysis/src/lib.rs crates/analysis/src/changepoint.rs crates/analysis/src/figures.rs crates/analysis/src/filter.rs crates/analysis/src/geoloc.rs crates/analysis/src/outbreak.rs crates/analysis/src/persistence.rs crates/analysis/src/stats.rs crates/analysis/src/svg.rs crates/analysis/src/timeseries.rs crates/analysis/src/zipmap.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcwa_analysis-919ae19d46eda1e4.rmeta: crates/analysis/src/lib.rs crates/analysis/src/changepoint.rs crates/analysis/src/figures.rs crates/analysis/src/filter.rs crates/analysis/src/geoloc.rs crates/analysis/src/outbreak.rs crates/analysis/src/persistence.rs crates/analysis/src/stats.rs crates/analysis/src/svg.rs crates/analysis/src/timeseries.rs crates/analysis/src/zipmap.rs Cargo.toml
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/changepoint.rs:
+crates/analysis/src/figures.rs:
+crates/analysis/src/filter.rs:
+crates/analysis/src/geoloc.rs:
+crates/analysis/src/outbreak.rs:
+crates/analysis/src/persistence.rs:
+crates/analysis/src/stats.rs:
+crates/analysis/src/svg.rs:
+crates/analysis/src/timeseries.rs:
+crates/analysis/src/zipmap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

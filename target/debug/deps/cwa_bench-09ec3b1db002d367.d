@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cwa_bench-09ec3b1db002d367.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcwa_bench-09ec3b1db002d367.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcwa_bench-09ec3b1db002d367.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

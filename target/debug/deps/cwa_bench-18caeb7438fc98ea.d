@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cwa_bench-18caeb7438fc98ea.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/cwa_bench-18caeb7438fc98ea: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cwa_bench-b93adf048e8b5c76.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcwa_bench-b93adf048e8b5c76.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcwa_bench-b93adf048e8b5c76.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cwa_bench-cf841baf797cbca9.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/cwa_bench-cf841baf797cbca9: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cwa_core-3a358bc69e446a0f.d: crates/core/src/lib.rs crates/core/src/claims.rs crates/core/src/report.rs crates/core/src/study.rs
+
+/root/repo/target/debug/deps/cwa_core-3a358bc69e446a0f: crates/core/src/lib.rs crates/core/src/claims.rs crates/core/src/report.rs crates/core/src/study.rs
+
+crates/core/src/lib.rs:
+crates/core/src/claims.rs:
+crates/core/src/report.rs:
+crates/core/src/study.rs:

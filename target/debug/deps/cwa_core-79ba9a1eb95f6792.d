@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cwa_core-79ba9a1eb95f6792.d: crates/core/src/lib.rs crates/core/src/claims.rs crates/core/src/report.rs crates/core/src/study.rs
+
+/root/repo/target/debug/deps/libcwa_core-79ba9a1eb95f6792.rlib: crates/core/src/lib.rs crates/core/src/claims.rs crates/core/src/report.rs crates/core/src/study.rs
+
+/root/repo/target/debug/deps/libcwa_core-79ba9a1eb95f6792.rmeta: crates/core/src/lib.rs crates/core/src/claims.rs crates/core/src/report.rs crates/core/src/study.rs
+
+crates/core/src/lib.rs:
+crates/core/src/claims.rs:
+crates/core/src/report.rs:
+crates/core/src/study.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cwa_core-fecc976b04e8f021.d: crates/core/src/lib.rs crates/core/src/claims.rs crates/core/src/report.rs crates/core/src/study.rs
+
+/root/repo/target/debug/deps/cwa_core-fecc976b04e8f021: crates/core/src/lib.rs crates/core/src/claims.rs crates/core/src/report.rs crates/core/src/study.rs
+
+crates/core/src/lib.rs:
+crates/core/src/claims.rs:
+crates/core/src/report.rs:
+crates/core/src/study.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/cwa_crypto-493c17e6f5b4b155.d: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/ctr.rs crates/crypto/src/hkdf.rs crates/crypto/src/hmac.rs crates/crypto/src/p256.rs crates/crypto/src/sha256.rs crates/crypto/src/u256.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcwa_crypto-493c17e6f5b4b155.rmeta: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/ctr.rs crates/crypto/src/hkdf.rs crates/crypto/src/hmac.rs crates/crypto/src/p256.rs crates/crypto/src/sha256.rs crates/crypto/src/u256.rs Cargo.toml
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/aes.rs:
+crates/crypto/src/ctr.rs:
+crates/crypto/src/hkdf.rs:
+crates/crypto/src/hmac.rs:
+crates/crypto/src/p256.rs:
+crates/crypto/src/sha256.rs:
+crates/crypto/src/u256.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

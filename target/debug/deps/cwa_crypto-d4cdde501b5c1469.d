@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cwa_crypto-d4cdde501b5c1469.d: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/ctr.rs crates/crypto/src/hkdf.rs crates/crypto/src/hmac.rs crates/crypto/src/p256.rs crates/crypto/src/sha256.rs crates/crypto/src/u256.rs
+
+/root/repo/target/debug/deps/cwa_crypto-d4cdde501b5c1469: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/ctr.rs crates/crypto/src/hkdf.rs crates/crypto/src/hmac.rs crates/crypto/src/p256.rs crates/crypto/src/sha256.rs crates/crypto/src/u256.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/aes.rs:
+crates/crypto/src/ctr.rs:
+crates/crypto/src/hkdf.rs:
+crates/crypto/src/hmac.rs:
+crates/crypto/src/p256.rs:
+crates/crypto/src/sha256.rs:
+crates/crypto/src/u256.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cwa_epidemic-2bfbfa095534ef92.d: crates/epidemic/src/lib.rs crates/epidemic/src/activity.rs crates/epidemic/src/adoption.rs crates/epidemic/src/events.rs crates/epidemic/src/seir.rs crates/epidemic/src/timeline.rs crates/epidemic/src/uploads.rs
+
+/root/repo/target/debug/deps/libcwa_epidemic-2bfbfa095534ef92.rlib: crates/epidemic/src/lib.rs crates/epidemic/src/activity.rs crates/epidemic/src/adoption.rs crates/epidemic/src/events.rs crates/epidemic/src/seir.rs crates/epidemic/src/timeline.rs crates/epidemic/src/uploads.rs
+
+/root/repo/target/debug/deps/libcwa_epidemic-2bfbfa095534ef92.rmeta: crates/epidemic/src/lib.rs crates/epidemic/src/activity.rs crates/epidemic/src/adoption.rs crates/epidemic/src/events.rs crates/epidemic/src/seir.rs crates/epidemic/src/timeline.rs crates/epidemic/src/uploads.rs
+
+crates/epidemic/src/lib.rs:
+crates/epidemic/src/activity.rs:
+crates/epidemic/src/adoption.rs:
+crates/epidemic/src/events.rs:
+crates/epidemic/src/seir.rs:
+crates/epidemic/src/timeline.rs:
+crates/epidemic/src/uploads.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/cwa_epidemic-4cef4f54f3116cf7.d: crates/epidemic/src/lib.rs crates/epidemic/src/activity.rs crates/epidemic/src/adoption.rs crates/epidemic/src/events.rs crates/epidemic/src/seir.rs crates/epidemic/src/timeline.rs crates/epidemic/src/uploads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcwa_epidemic-4cef4f54f3116cf7.rmeta: crates/epidemic/src/lib.rs crates/epidemic/src/activity.rs crates/epidemic/src/adoption.rs crates/epidemic/src/events.rs crates/epidemic/src/seir.rs crates/epidemic/src/timeline.rs crates/epidemic/src/uploads.rs Cargo.toml
+
+crates/epidemic/src/lib.rs:
+crates/epidemic/src/activity.rs:
+crates/epidemic/src/adoption.rs:
+crates/epidemic/src/events.rs:
+crates/epidemic/src/seir.rs:
+crates/epidemic/src/timeline.rs:
+crates/epidemic/src/uploads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

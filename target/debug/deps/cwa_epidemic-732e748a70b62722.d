@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cwa_epidemic-732e748a70b62722.d: crates/epidemic/src/lib.rs crates/epidemic/src/activity.rs crates/epidemic/src/adoption.rs crates/epidemic/src/events.rs crates/epidemic/src/seir.rs crates/epidemic/src/timeline.rs crates/epidemic/src/uploads.rs
+
+/root/repo/target/debug/deps/cwa_epidemic-732e748a70b62722: crates/epidemic/src/lib.rs crates/epidemic/src/activity.rs crates/epidemic/src/adoption.rs crates/epidemic/src/events.rs crates/epidemic/src/seir.rs crates/epidemic/src/timeline.rs crates/epidemic/src/uploads.rs
+
+crates/epidemic/src/lib.rs:
+crates/epidemic/src/activity.rs:
+crates/epidemic/src/adoption.rs:
+crates/epidemic/src/events.rs:
+crates/epidemic/src/seir.rs:
+crates/epidemic/src/timeline.rs:
+crates/epidemic/src/uploads.rs:

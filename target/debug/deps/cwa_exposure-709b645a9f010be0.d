@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/cwa_exposure-709b645a9f010be0.d: crates/exposure/src/lib.rs crates/exposure/src/advertisement.rs crates/exposure/src/contact.rs crates/exposure/src/device.rs crates/exposure/src/export.rs crates/exposure/src/federation.rs crates/exposure/src/matching.rs crates/exposure/src/protobuf.rs crates/exposure/src/risk.rs crates/exposure/src/risk_v2.rs crates/exposure/src/signature.rs crates/exposure/src/tek.rs crates/exposure/src/time.rs crates/exposure/src/verification.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcwa_exposure-709b645a9f010be0.rmeta: crates/exposure/src/lib.rs crates/exposure/src/advertisement.rs crates/exposure/src/contact.rs crates/exposure/src/device.rs crates/exposure/src/export.rs crates/exposure/src/federation.rs crates/exposure/src/matching.rs crates/exposure/src/protobuf.rs crates/exposure/src/risk.rs crates/exposure/src/risk_v2.rs crates/exposure/src/signature.rs crates/exposure/src/tek.rs crates/exposure/src/time.rs crates/exposure/src/verification.rs Cargo.toml
+
+crates/exposure/src/lib.rs:
+crates/exposure/src/advertisement.rs:
+crates/exposure/src/contact.rs:
+crates/exposure/src/device.rs:
+crates/exposure/src/export.rs:
+crates/exposure/src/federation.rs:
+crates/exposure/src/matching.rs:
+crates/exposure/src/protobuf.rs:
+crates/exposure/src/risk.rs:
+crates/exposure/src/risk_v2.rs:
+crates/exposure/src/signature.rs:
+crates/exposure/src/tek.rs:
+crates/exposure/src/time.rs:
+crates/exposure/src/verification.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/cwa_geo-2c69d7e6be801a3e.d: crates/geo/src/lib.rs crates/geo/src/commuting.rs crates/geo/src/district.rs crates/geo/src/geodb.rs crates/geo/src/germany.rs crates/geo/src/isp.rs crates/geo/src/routers.rs crates/geo/src/state.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcwa_geo-2c69d7e6be801a3e.rmeta: crates/geo/src/lib.rs crates/geo/src/commuting.rs crates/geo/src/district.rs crates/geo/src/geodb.rs crates/geo/src/germany.rs crates/geo/src/isp.rs crates/geo/src/routers.rs crates/geo/src/state.rs Cargo.toml
+
+crates/geo/src/lib.rs:
+crates/geo/src/commuting.rs:
+crates/geo/src/district.rs:
+crates/geo/src/geodb.rs:
+crates/geo/src/germany.rs:
+crates/geo/src/isp.rs:
+crates/geo/src/routers.rs:
+crates/geo/src/state.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

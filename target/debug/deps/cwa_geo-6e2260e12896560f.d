@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cwa_geo-6e2260e12896560f.d: crates/geo/src/lib.rs crates/geo/src/commuting.rs crates/geo/src/district.rs crates/geo/src/geodb.rs crates/geo/src/germany.rs crates/geo/src/isp.rs crates/geo/src/routers.rs crates/geo/src/state.rs
+
+/root/repo/target/debug/deps/libcwa_geo-6e2260e12896560f.rlib: crates/geo/src/lib.rs crates/geo/src/commuting.rs crates/geo/src/district.rs crates/geo/src/geodb.rs crates/geo/src/germany.rs crates/geo/src/isp.rs crates/geo/src/routers.rs crates/geo/src/state.rs
+
+/root/repo/target/debug/deps/libcwa_geo-6e2260e12896560f.rmeta: crates/geo/src/lib.rs crates/geo/src/commuting.rs crates/geo/src/district.rs crates/geo/src/geodb.rs crates/geo/src/germany.rs crates/geo/src/isp.rs crates/geo/src/routers.rs crates/geo/src/state.rs
+
+crates/geo/src/lib.rs:
+crates/geo/src/commuting.rs:
+crates/geo/src/district.rs:
+crates/geo/src/geodb.rs:
+crates/geo/src/germany.rs:
+crates/geo/src/isp.rs:
+crates/geo/src/routers.rs:
+crates/geo/src/state.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cwa_geo-ccfaa681a2ec1903.d: crates/geo/src/lib.rs crates/geo/src/commuting.rs crates/geo/src/district.rs crates/geo/src/geodb.rs crates/geo/src/germany.rs crates/geo/src/isp.rs crates/geo/src/routers.rs crates/geo/src/state.rs
+
+/root/repo/target/debug/deps/cwa_geo-ccfaa681a2ec1903: crates/geo/src/lib.rs crates/geo/src/commuting.rs crates/geo/src/district.rs crates/geo/src/geodb.rs crates/geo/src/germany.rs crates/geo/src/isp.rs crates/geo/src/routers.rs crates/geo/src/state.rs
+
+crates/geo/src/lib.rs:
+crates/geo/src/commuting.rs:
+crates/geo/src/district.rs:
+crates/geo/src/geodb.rs:
+crates/geo/src/germany.rs:
+crates/geo/src/isp.rs:
+crates/geo/src/routers.rs:
+crates/geo/src/state.rs:

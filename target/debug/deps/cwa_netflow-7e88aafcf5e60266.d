@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/cwa_netflow-7e88aafcf5e60266.d: crates/netflow/src/lib.rs crates/netflow/src/anonymize.rs crates/netflow/src/biflow.rs crates/netflow/src/cache.rs crates/netflow/src/collector.rs crates/netflow/src/csvio.rs crates/netflow/src/estimate.rs crates/netflow/src/flow.rs crates/netflow/src/sampling.rs crates/netflow/src/v5.rs crates/netflow/src/v9.rs
+
+/root/repo/target/debug/deps/cwa_netflow-7e88aafcf5e60266: crates/netflow/src/lib.rs crates/netflow/src/anonymize.rs crates/netflow/src/biflow.rs crates/netflow/src/cache.rs crates/netflow/src/collector.rs crates/netflow/src/csvio.rs crates/netflow/src/estimate.rs crates/netflow/src/flow.rs crates/netflow/src/sampling.rs crates/netflow/src/v5.rs crates/netflow/src/v9.rs
+
+crates/netflow/src/lib.rs:
+crates/netflow/src/anonymize.rs:
+crates/netflow/src/biflow.rs:
+crates/netflow/src/cache.rs:
+crates/netflow/src/collector.rs:
+crates/netflow/src/csvio.rs:
+crates/netflow/src/estimate.rs:
+crates/netflow/src/flow.rs:
+crates/netflow/src/sampling.rs:
+crates/netflow/src/v5.rs:
+crates/netflow/src/v9.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cwa_obs-181f715375329633.d: crates/obs/src/lib.rs
+
+/root/repo/target/debug/deps/libcwa_obs-181f715375329633.rlib: crates/obs/src/lib.rs
+
+/root/repo/target/debug/deps/libcwa_obs-181f715375329633.rmeta: crates/obs/src/lib.rs
+
+crates/obs/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cwa_obs-35f4f4bb92d5d3a5.d: crates/obs/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcwa_obs-35f4f4bb92d5d3a5.rmeta: crates/obs/src/lib.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cwa_obs-4541480e7906bd5b.d: crates/obs/src/lib.rs
+
+/root/repo/target/debug/deps/cwa_obs-4541480e7906bd5b: crates/obs/src/lib.rs
+
+crates/obs/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cwa_obs-60b6b7dcbb4137f9.d: crates/obs/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcwa_obs-60b6b7dcbb4137f9.rmeta: crates/obs/src/lib.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

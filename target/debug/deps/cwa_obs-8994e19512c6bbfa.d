@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cwa_obs-8994e19512c6bbfa.d: crates/obs/src/lib.rs
+
+/root/repo/target/debug/deps/libcwa_obs-8994e19512c6bbfa.rlib: crates/obs/src/lib.rs
+
+/root/repo/target/debug/deps/libcwa_obs-8994e19512c6bbfa.rmeta: crates/obs/src/lib.rs
+
+crates/obs/src/lib.rs:

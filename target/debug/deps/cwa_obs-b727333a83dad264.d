@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cwa_obs-b727333a83dad264.d: crates/obs/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcwa_obs-b727333a83dad264.rmeta: crates/obs/src/lib.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

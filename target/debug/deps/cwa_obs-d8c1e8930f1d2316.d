@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cwa_obs-d8c1e8930f1d2316.d: crates/obs/src/lib.rs
+
+/root/repo/target/debug/deps/cwa_obs-d8c1e8930f1d2316: crates/obs/src/lib.rs
+
+crates/obs/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cwa_repro-1f0dcab085674704.d: src/main.rs
+
+/root/repo/target/debug/deps/cwa_repro-1f0dcab085674704: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cwa_repro-24286c72a2d632d5.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcwa_repro-24286c72a2d632d5.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcwa_repro-24286c72a2d632d5.rmeta: src/lib.rs
+
+src/lib.rs:

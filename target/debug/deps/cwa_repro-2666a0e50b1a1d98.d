@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cwa_repro-2666a0e50b1a1d98.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcwa_repro-2666a0e50b1a1d98.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcwa_repro-2666a0e50b1a1d98.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cwa_repro-3c68350ca38c2a04.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcwa_repro-3c68350ca38c2a04.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

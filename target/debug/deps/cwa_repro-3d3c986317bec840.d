@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cwa_repro-3d3c986317bec840.d: src/main.rs
+
+/root/repo/target/debug/deps/cwa_repro-3d3c986317bec840: src/main.rs
+
+src/main.rs:

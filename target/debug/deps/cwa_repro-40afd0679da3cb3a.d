@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cwa_repro-40afd0679da3cb3a.d: src/main.rs
+
+/root/repo/target/debug/deps/cwa_repro-40afd0679da3cb3a: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cwa_repro-4b5aeb602979c152.d: src/main.rs
+
+/root/repo/target/debug/deps/cwa_repro-4b5aeb602979c152: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cwa_repro-5ee2d13429dec3aa.d: src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcwa_repro-5ee2d13429dec3aa.rmeta: src/main.rs Cargo.toml
+
+src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

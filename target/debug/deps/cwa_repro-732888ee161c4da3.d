@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cwa_repro-732888ee161c4da3.d: src/main.rs
+
+/root/repo/target/debug/deps/cwa_repro-732888ee161c4da3: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cwa_repro-75a0e672206d6890.d: src/lib.rs
+
+/root/repo/target/debug/deps/cwa_repro-75a0e672206d6890: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cwa_repro-81785106b3b1d131.d: src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcwa_repro-81785106b3b1d131.rmeta: src/main.rs Cargo.toml
+
+src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

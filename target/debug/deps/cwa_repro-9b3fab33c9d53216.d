@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cwa_repro-9b3fab33c9d53216.d: src/lib.rs
+
+/root/repo/target/debug/deps/cwa_repro-9b3fab33c9d53216: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cwa_repro-b4d5300669435126.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcwa_repro-b4d5300669435126.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcwa_repro-b4d5300669435126.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cwa_repro-ea4e12666980ba2e.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcwa_repro-ea4e12666980ba2e.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

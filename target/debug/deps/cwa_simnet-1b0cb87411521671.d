@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cwa_simnet-1b0cb87411521671.d: crates/simnet/src/lib.rs crates/simnet/src/cdn.rs crates/simnet/src/dns.rs crates/simnet/src/sim.rs crates/simnet/src/stats.rs crates/simnet/src/traffic.rs crates/simnet/src/vantage.rs
+
+/root/repo/target/debug/deps/cwa_simnet-1b0cb87411521671: crates/simnet/src/lib.rs crates/simnet/src/cdn.rs crates/simnet/src/dns.rs crates/simnet/src/sim.rs crates/simnet/src/stats.rs crates/simnet/src/traffic.rs crates/simnet/src/vantage.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/cdn.rs:
+crates/simnet/src/dns.rs:
+crates/simnet/src/sim.rs:
+crates/simnet/src/stats.rs:
+crates/simnet/src/traffic.rs:
+crates/simnet/src/vantage.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cwa_simnet-786c24496f482cfa.d: crates/simnet/src/lib.rs crates/simnet/src/cdn.rs crates/simnet/src/dns.rs crates/simnet/src/sim.rs crates/simnet/src/stats.rs crates/simnet/src/traffic.rs crates/simnet/src/vantage.rs
+
+/root/repo/target/debug/deps/libcwa_simnet-786c24496f482cfa.rlib: crates/simnet/src/lib.rs crates/simnet/src/cdn.rs crates/simnet/src/dns.rs crates/simnet/src/sim.rs crates/simnet/src/stats.rs crates/simnet/src/traffic.rs crates/simnet/src/vantage.rs
+
+/root/repo/target/debug/deps/libcwa_simnet-786c24496f482cfa.rmeta: crates/simnet/src/lib.rs crates/simnet/src/cdn.rs crates/simnet/src/dns.rs crates/simnet/src/sim.rs crates/simnet/src/stats.rs crates/simnet/src/traffic.rs crates/simnet/src/vantage.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/cdn.rs:
+crates/simnet/src/dns.rs:
+crates/simnet/src/sim.rs:
+crates/simnet/src/stats.rs:
+crates/simnet/src/traffic.rs:
+crates/simnet/src/vantage.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cwa_simnet-c1d39f017ebd625d.d: crates/simnet/src/lib.rs crates/simnet/src/cdn.rs crates/simnet/src/dns.rs crates/simnet/src/sim.rs crates/simnet/src/stats.rs crates/simnet/src/traffic.rs crates/simnet/src/vantage.rs
+
+/root/repo/target/debug/deps/libcwa_simnet-c1d39f017ebd625d.rlib: crates/simnet/src/lib.rs crates/simnet/src/cdn.rs crates/simnet/src/dns.rs crates/simnet/src/sim.rs crates/simnet/src/stats.rs crates/simnet/src/traffic.rs crates/simnet/src/vantage.rs
+
+/root/repo/target/debug/deps/libcwa_simnet-c1d39f017ebd625d.rmeta: crates/simnet/src/lib.rs crates/simnet/src/cdn.rs crates/simnet/src/dns.rs crates/simnet/src/sim.rs crates/simnet/src/stats.rs crates/simnet/src/traffic.rs crates/simnet/src/vantage.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/cdn.rs:
+crates/simnet/src/dns.rs:
+crates/simnet/src/sim.rs:
+crates/simnet/src/stats.rs:
+crates/simnet/src/traffic.rs:
+crates/simnet/src/vantage.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exposure_e2e-a2dfddc044f56a67.d: tests/exposure_e2e.rs
+
+/root/repo/target/debug/deps/exposure_e2e-a2dfddc044f56a67: tests/exposure_e2e.rs
+
+tests/exposure_e2e.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exposure_e2e-cb40242734d2db96.d: tests/exposure_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexposure_e2e-cb40242734d2db96.rmeta: tests/exposure_e2e.rs Cargo.toml
+
+tests/exposure_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exposure_e2e-fc19dd54c2e0746d.d: tests/exposure_e2e.rs
+
+/root/repo/target/debug/deps/exposure_e2e-fc19dd54c2e0746d: tests/exposure_e2e.rs
+
+tests/exposure_e2e.rs:

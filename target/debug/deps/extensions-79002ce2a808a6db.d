@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-79002ce2a808a6db.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-79002ce2a808a6db: tests/extensions.rs
+
+tests/extensions.rs:

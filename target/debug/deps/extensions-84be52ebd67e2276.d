@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-84be52ebd67e2276.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-84be52ebd67e2276: tests/extensions.rs
+
+tests/extensions.rs:

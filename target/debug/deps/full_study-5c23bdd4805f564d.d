@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/full_study-5c23bdd4805f564d.d: tests/full_study.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfull_study-5c23bdd4805f564d.rmeta: tests/full_study.rs Cargo.toml
+
+tests/full_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_study-b92194154d06ef1a.d: tests/full_study.rs
+
+/root/repo/target/debug/deps/full_study-b92194154d06ef1a: tests/full_study.rs
+
+tests/full_study.rs:

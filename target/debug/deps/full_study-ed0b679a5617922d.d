@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_study-ed0b679a5617922d.d: tests/full_study.rs
+
+/root/repo/target/debug/deps/full_study-ed0b679a5617922d: tests/full_study.rs
+
+tests/full_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/metrics-9b999e3b9a5b6225.d: tests/metrics.rs
+
+/root/repo/target/debug/deps/metrics-9b999e3b9a5b6225: tests/metrics.rs
+
+tests/metrics.rs:

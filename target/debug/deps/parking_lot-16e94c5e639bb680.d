@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-16e94c5e639bb680.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-16e94c5e639bb680.rlib: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-16e94c5e639bb680.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

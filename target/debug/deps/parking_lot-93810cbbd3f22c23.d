@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-93810cbbd3f22c23.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/parking_lot-93810cbbd3f22c23: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_consistency-01d2e92172e5577e.d: tests/pipeline_consistency.rs
+
+/root/repo/target/debug/deps/pipeline_consistency-01d2e92172e5577e: tests/pipeline_consistency.rs
+
+tests/pipeline_consistency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_consistency-180c8347e68129a1.d: tests/pipeline_consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_consistency-180c8347e68129a1.rmeta: tests/pipeline_consistency.rs Cargo.toml
+
+tests/pipeline_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

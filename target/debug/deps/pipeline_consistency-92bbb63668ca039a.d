@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_consistency-92bbb63668ca039a.d: tests/pipeline_consistency.rs
+
+/root/repo/target/debug/deps/pipeline_consistency-92bbb63668ca039a: tests/pipeline_consistency.rs
+
+tests/pipeline_consistency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-91763c9de5809b95.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-91763c9de5809b95: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-fa81eac612e70aa2.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-fa81eac612e70aa2: tests/properties.rs
+
+tests/properties.rs:

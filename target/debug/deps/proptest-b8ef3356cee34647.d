@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-b8ef3356cee34647.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-b8ef3356cee34647: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

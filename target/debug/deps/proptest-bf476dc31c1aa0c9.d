@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-bf476dc31c1aa0c9.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-bf476dc31c1aa0c9.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-bf476dc31c1aa0c9.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

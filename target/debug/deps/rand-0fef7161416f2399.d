@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-0fef7161416f2399.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-0fef7161416f2399.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-0fef7161416f2399.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

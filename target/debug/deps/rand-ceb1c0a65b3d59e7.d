@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-ceb1c0a65b3d59e7.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-ceb1c0a65b3d59e7: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

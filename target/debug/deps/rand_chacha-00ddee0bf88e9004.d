@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_chacha-00ddee0bf88e9004.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/rand_chacha-00ddee0bf88e9004: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_chacha-496546e2c83e4ce6.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-496546e2c83e4ce6.rlib: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-496546e2c83e4ce6.rmeta: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

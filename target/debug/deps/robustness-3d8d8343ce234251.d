@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robustness-3d8d8343ce234251.d: crates/bench/benches/robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobustness-3d8d8343ce234251.rmeta: crates/bench/benches/robustness.rs Cargo.toml
+
+crates/bench/benches/robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

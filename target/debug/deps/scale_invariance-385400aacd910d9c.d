@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scale_invariance-385400aacd910d9c.d: tests/scale_invariance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscale_invariance-385400aacd910d9c.rmeta: tests/scale_invariance.rs Cargo.toml
+
+tests/scale_invariance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

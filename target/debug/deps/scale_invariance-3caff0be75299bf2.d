@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scale_invariance-3caff0be75299bf2.d: tests/scale_invariance.rs
+
+/root/repo/target/debug/deps/scale_invariance-3caff0be75299bf2: tests/scale_invariance.rs
+
+tests/scale_invariance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scale_invariance-4d4298c789b77188.d: tests/scale_invariance.rs
+
+/root/repo/target/debug/deps/scale_invariance-4d4298c789b77188: tests/scale_invariance.rs
+
+tests/scale_invariance.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-1f11c4e670175e75.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-1f11c4e670175e75.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-1f11c4e670175e75.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

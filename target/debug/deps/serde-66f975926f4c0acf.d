@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-66f975926f4c0acf.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-66f975926f4c0acf.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-66f975926f4c0acf.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

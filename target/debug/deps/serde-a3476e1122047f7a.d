@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-a3476e1122047f7a.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-a3476e1122047f7a: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

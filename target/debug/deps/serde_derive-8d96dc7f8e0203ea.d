@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-8d96dc7f8e0203ea.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/serde_derive-8d96dc7f8e0203ea: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-7df7f3f21a8bcec8.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-7df7f3f21a8bcec8.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-7df7f3f21a8bcec8.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

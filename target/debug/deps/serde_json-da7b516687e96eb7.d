@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-da7b516687e96eb7.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-da7b516687e96eb7: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

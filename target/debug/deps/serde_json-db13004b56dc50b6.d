@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-db13004b56dc50b6.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-db13004b56dc50b6.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-db13004b56dc50b6.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/exposure_lifecycle-0b4882387e00a5ee.d: examples/exposure_lifecycle.rs Cargo.toml
+
+/root/repo/target/debug/examples/libexposure_lifecycle-0b4882387e00a5ee.rmeta: examples/exposure_lifecycle.rs Cargo.toml
+
+examples/exposure_lifecycle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/exposure_lifecycle-883088e1179fef0c.d: examples/exposure_lifecycle.rs
+
+/root/repo/target/debug/examples/exposure_lifecycle-883088e1179fef0c: examples/exposure_lifecycle.rs
+
+examples/exposure_lifecycle.rs:

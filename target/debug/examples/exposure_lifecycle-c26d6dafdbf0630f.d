@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/exposure_lifecycle-c26d6dafdbf0630f.d: examples/exposure_lifecycle.rs
+
+/root/repo/target/debug/examples/exposure_lifecycle-c26d6dafdbf0630f: examples/exposure_lifecycle.rs
+
+examples/exposure_lifecycle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/nationwide_study-734dbac1ab0fa85c.d: examples/nationwide_study.rs
+
+/root/repo/target/debug/examples/nationwide_study-734dbac1ab0fa85c: examples/nationwide_study.rs
+
+examples/nationwide_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/nationwide_study-88188229641e8246.d: examples/nationwide_study.rs
+
+/root/repo/target/debug/examples/nationwide_study-88188229641e8246: examples/nationwide_study.rs
+
+examples/nationwide_study.rs:

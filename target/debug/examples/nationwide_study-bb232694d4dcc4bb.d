@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/nationwide_study-bb232694d4dcc4bb.d: examples/nationwide_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnationwide_study-bb232694d4dcc4bb.rmeta: examples/nationwide_study.rs Cargo.toml
+
+examples/nationwide_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/netflow_tour-4e0e2323f99c24b8.d: examples/netflow_tour.rs
+
+/root/repo/target/debug/examples/netflow_tour-4e0e2323f99c24b8: examples/netflow_tour.rs
+
+examples/netflow_tour.rs:

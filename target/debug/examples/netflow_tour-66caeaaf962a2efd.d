@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/netflow_tour-66caeaaf962a2efd.d: examples/netflow_tour.rs
+
+/root/repo/target/debug/examples/netflow_tour-66caeaaf962a2efd: examples/netflow_tour.rs
+
+examples/netflow_tour.rs:

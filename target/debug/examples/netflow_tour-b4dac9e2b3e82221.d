@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/netflow_tour-b4dac9e2b3e82221.d: examples/netflow_tour.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnetflow_tour-b4dac9e2b3e82221.rmeta: examples/netflow_tour.rs Cargo.toml
+
+examples/netflow_tour.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/outbreak_lab-92e4609742a0f9c5.d: examples/outbreak_lab.rs
+
+/root/repo/target/debug/examples/outbreak_lab-92e4609742a0f9c5: examples/outbreak_lab.rs
+
+examples/outbreak_lab.rs:

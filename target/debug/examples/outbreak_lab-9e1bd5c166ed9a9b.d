@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/outbreak_lab-9e1bd5c166ed9a9b.d: examples/outbreak_lab.rs Cargo.toml
+
+/root/repo/target/debug/examples/liboutbreak_lab-9e1bd5c166ed9a9b.rmeta: examples/outbreak_lab.rs Cargo.toml
+
+examples/outbreak_lab.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/outbreak_lab-efa51892ba546496.d: examples/outbreak_lab.rs
+
+/root/repo/target/debug/examples/outbreak_lab-efa51892ba546496: examples/outbreak_lab.rs
+
+examples/outbreak_lab.rs:

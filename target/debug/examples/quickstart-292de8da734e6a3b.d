@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-292de8da734e6a3b.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-292de8da734e6a3b: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-db28ef69adf35fa6.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-db28ef69adf35fa6: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/risk_scoring-409afff7d2c5a286.d: examples/risk_scoring.rs
+
+/root/repo/target/debug/examples/risk_scoring-409afff7d2c5a286: examples/risk_scoring.rs
+
+examples/risk_scoring.rs:

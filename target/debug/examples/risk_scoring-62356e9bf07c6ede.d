@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/risk_scoring-62356e9bf07c6ede.d: examples/risk_scoring.rs
+
+/root/repo/target/debug/examples/risk_scoring-62356e9bf07c6ede: examples/risk_scoring.rs
+
+examples/risk_scoring.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/risk_scoring-d4326f03bd5946d9.d: examples/risk_scoring.rs Cargo.toml
+
+/root/repo/target/debug/examples/librisk_scoring-d4326f03bd5946d9.rmeta: examples/risk_scoring.rs Cargo.toml
+
+examples/risk_scoring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

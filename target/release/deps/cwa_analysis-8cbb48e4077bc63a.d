@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/cwa_analysis-8cbb48e4077bc63a.d: crates/analysis/src/lib.rs crates/analysis/src/changepoint.rs crates/analysis/src/figures.rs crates/analysis/src/filter.rs crates/analysis/src/geoloc.rs crates/analysis/src/outbreak.rs crates/analysis/src/persistence.rs crates/analysis/src/stats.rs crates/analysis/src/svg.rs crates/analysis/src/timeseries.rs crates/analysis/src/zipmap.rs
+
+/root/repo/target/release/deps/libcwa_analysis-8cbb48e4077bc63a.rlib: crates/analysis/src/lib.rs crates/analysis/src/changepoint.rs crates/analysis/src/figures.rs crates/analysis/src/filter.rs crates/analysis/src/geoloc.rs crates/analysis/src/outbreak.rs crates/analysis/src/persistence.rs crates/analysis/src/stats.rs crates/analysis/src/svg.rs crates/analysis/src/timeseries.rs crates/analysis/src/zipmap.rs
+
+/root/repo/target/release/deps/libcwa_analysis-8cbb48e4077bc63a.rmeta: crates/analysis/src/lib.rs crates/analysis/src/changepoint.rs crates/analysis/src/figures.rs crates/analysis/src/filter.rs crates/analysis/src/geoloc.rs crates/analysis/src/outbreak.rs crates/analysis/src/persistence.rs crates/analysis/src/stats.rs crates/analysis/src/svg.rs crates/analysis/src/timeseries.rs crates/analysis/src/zipmap.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/changepoint.rs:
+crates/analysis/src/figures.rs:
+crates/analysis/src/filter.rs:
+crates/analysis/src/geoloc.rs:
+crates/analysis/src/outbreak.rs:
+crates/analysis/src/persistence.rs:
+crates/analysis/src/stats.rs:
+crates/analysis/src/svg.rs:
+crates/analysis/src/timeseries.rs:
+crates/analysis/src/zipmap.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cwa_bench-6641efb85dd254e7.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcwa_bench-6641efb85dd254e7.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcwa_bench-6641efb85dd254e7.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

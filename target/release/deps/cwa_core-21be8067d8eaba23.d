@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/cwa_core-21be8067d8eaba23.d: crates/core/src/lib.rs crates/core/src/claims.rs crates/core/src/report.rs crates/core/src/study.rs
+
+/root/repo/target/release/deps/libcwa_core-21be8067d8eaba23.rlib: crates/core/src/lib.rs crates/core/src/claims.rs crates/core/src/report.rs crates/core/src/study.rs
+
+/root/repo/target/release/deps/libcwa_core-21be8067d8eaba23.rmeta: crates/core/src/lib.rs crates/core/src/claims.rs crates/core/src/report.rs crates/core/src/study.rs
+
+crates/core/src/lib.rs:
+crates/core/src/claims.rs:
+crates/core/src/report.rs:
+crates/core/src/study.rs:

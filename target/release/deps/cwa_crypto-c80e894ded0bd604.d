@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/cwa_crypto-c80e894ded0bd604.d: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/ctr.rs crates/crypto/src/hkdf.rs crates/crypto/src/hmac.rs crates/crypto/src/p256.rs crates/crypto/src/sha256.rs crates/crypto/src/u256.rs
+
+/root/repo/target/release/deps/libcwa_crypto-c80e894ded0bd604.rlib: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/ctr.rs crates/crypto/src/hkdf.rs crates/crypto/src/hmac.rs crates/crypto/src/p256.rs crates/crypto/src/sha256.rs crates/crypto/src/u256.rs
+
+/root/repo/target/release/deps/libcwa_crypto-c80e894ded0bd604.rmeta: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/ctr.rs crates/crypto/src/hkdf.rs crates/crypto/src/hmac.rs crates/crypto/src/p256.rs crates/crypto/src/sha256.rs crates/crypto/src/u256.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/aes.rs:
+crates/crypto/src/ctr.rs:
+crates/crypto/src/hkdf.rs:
+crates/crypto/src/hmac.rs:
+crates/crypto/src/p256.rs:
+crates/crypto/src/sha256.rs:
+crates/crypto/src/u256.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/cwa_epidemic-b70d6f8ca95f13b7.d: crates/epidemic/src/lib.rs crates/epidemic/src/activity.rs crates/epidemic/src/adoption.rs crates/epidemic/src/events.rs crates/epidemic/src/seir.rs crates/epidemic/src/timeline.rs crates/epidemic/src/uploads.rs
+
+/root/repo/target/release/deps/libcwa_epidemic-b70d6f8ca95f13b7.rlib: crates/epidemic/src/lib.rs crates/epidemic/src/activity.rs crates/epidemic/src/adoption.rs crates/epidemic/src/events.rs crates/epidemic/src/seir.rs crates/epidemic/src/timeline.rs crates/epidemic/src/uploads.rs
+
+/root/repo/target/release/deps/libcwa_epidemic-b70d6f8ca95f13b7.rmeta: crates/epidemic/src/lib.rs crates/epidemic/src/activity.rs crates/epidemic/src/adoption.rs crates/epidemic/src/events.rs crates/epidemic/src/seir.rs crates/epidemic/src/timeline.rs crates/epidemic/src/uploads.rs
+
+crates/epidemic/src/lib.rs:
+crates/epidemic/src/activity.rs:
+crates/epidemic/src/adoption.rs:
+crates/epidemic/src/events.rs:
+crates/epidemic/src/seir.rs:
+crates/epidemic/src/timeline.rs:
+crates/epidemic/src/uploads.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/cwa_exposure-4135cc54f1b9b879.d: crates/exposure/src/lib.rs crates/exposure/src/advertisement.rs crates/exposure/src/contact.rs crates/exposure/src/device.rs crates/exposure/src/export.rs crates/exposure/src/federation.rs crates/exposure/src/matching.rs crates/exposure/src/protobuf.rs crates/exposure/src/risk.rs crates/exposure/src/risk_v2.rs crates/exposure/src/signature.rs crates/exposure/src/tek.rs crates/exposure/src/time.rs crates/exposure/src/verification.rs
+
+/root/repo/target/release/deps/libcwa_exposure-4135cc54f1b9b879.rlib: crates/exposure/src/lib.rs crates/exposure/src/advertisement.rs crates/exposure/src/contact.rs crates/exposure/src/device.rs crates/exposure/src/export.rs crates/exposure/src/federation.rs crates/exposure/src/matching.rs crates/exposure/src/protobuf.rs crates/exposure/src/risk.rs crates/exposure/src/risk_v2.rs crates/exposure/src/signature.rs crates/exposure/src/tek.rs crates/exposure/src/time.rs crates/exposure/src/verification.rs
+
+/root/repo/target/release/deps/libcwa_exposure-4135cc54f1b9b879.rmeta: crates/exposure/src/lib.rs crates/exposure/src/advertisement.rs crates/exposure/src/contact.rs crates/exposure/src/device.rs crates/exposure/src/export.rs crates/exposure/src/federation.rs crates/exposure/src/matching.rs crates/exposure/src/protobuf.rs crates/exposure/src/risk.rs crates/exposure/src/risk_v2.rs crates/exposure/src/signature.rs crates/exposure/src/tek.rs crates/exposure/src/time.rs crates/exposure/src/verification.rs
+
+crates/exposure/src/lib.rs:
+crates/exposure/src/advertisement.rs:
+crates/exposure/src/contact.rs:
+crates/exposure/src/device.rs:
+crates/exposure/src/export.rs:
+crates/exposure/src/federation.rs:
+crates/exposure/src/matching.rs:
+crates/exposure/src/protobuf.rs:
+crates/exposure/src/risk.rs:
+crates/exposure/src/risk_v2.rs:
+crates/exposure/src/signature.rs:
+crates/exposure/src/tek.rs:
+crates/exposure/src/time.rs:
+crates/exposure/src/verification.rs:

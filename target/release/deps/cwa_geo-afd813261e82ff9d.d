@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/cwa_geo-afd813261e82ff9d.d: crates/geo/src/lib.rs crates/geo/src/commuting.rs crates/geo/src/district.rs crates/geo/src/geodb.rs crates/geo/src/germany.rs crates/geo/src/isp.rs crates/geo/src/routers.rs crates/geo/src/state.rs
+
+/root/repo/target/release/deps/libcwa_geo-afd813261e82ff9d.rlib: crates/geo/src/lib.rs crates/geo/src/commuting.rs crates/geo/src/district.rs crates/geo/src/geodb.rs crates/geo/src/germany.rs crates/geo/src/isp.rs crates/geo/src/routers.rs crates/geo/src/state.rs
+
+/root/repo/target/release/deps/libcwa_geo-afd813261e82ff9d.rmeta: crates/geo/src/lib.rs crates/geo/src/commuting.rs crates/geo/src/district.rs crates/geo/src/geodb.rs crates/geo/src/germany.rs crates/geo/src/isp.rs crates/geo/src/routers.rs crates/geo/src/state.rs
+
+crates/geo/src/lib.rs:
+crates/geo/src/commuting.rs:
+crates/geo/src/district.rs:
+crates/geo/src/geodb.rs:
+crates/geo/src/germany.rs:
+crates/geo/src/isp.rs:
+crates/geo/src/routers.rs:
+crates/geo/src/state.rs:

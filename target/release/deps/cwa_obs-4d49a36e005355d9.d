@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cwa_obs-4d49a36e005355d9.d: crates/obs/src/lib.rs
+
+/root/repo/target/release/deps/libcwa_obs-4d49a36e005355d9.rlib: crates/obs/src/lib.rs
+
+/root/repo/target/release/deps/libcwa_obs-4d49a36e005355d9.rmeta: crates/obs/src/lib.rs
+
+crates/obs/src/lib.rs:

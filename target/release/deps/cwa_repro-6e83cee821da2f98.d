@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cwa_repro-6e83cee821da2f98.d: src/main.rs
+
+/root/repo/target/release/deps/cwa_repro-6e83cee821da2f98: src/main.rs
+
+src/main.rs:

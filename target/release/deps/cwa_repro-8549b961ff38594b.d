@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cwa_repro-8549b961ff38594b.d: src/lib.rs
+
+/root/repo/target/release/deps/libcwa_repro-8549b961ff38594b.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcwa_repro-8549b961ff38594b.rmeta: src/lib.rs
+
+src/lib.rs:

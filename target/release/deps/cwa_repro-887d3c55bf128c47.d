@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cwa_repro-887d3c55bf128c47.d: src/main.rs
+
+/root/repo/target/release/deps/cwa_repro-887d3c55bf128c47: src/main.rs
+
+src/main.rs:

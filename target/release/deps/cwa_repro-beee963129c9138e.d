@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cwa_repro-beee963129c9138e.d: src/lib.rs
+
+/root/repo/target/release/deps/libcwa_repro-beee963129c9138e.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcwa_repro-beee963129c9138e.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/cwa_simnet-c310859a137c0ae9.d: crates/simnet/src/lib.rs crates/simnet/src/cdn.rs crates/simnet/src/dns.rs crates/simnet/src/sim.rs crates/simnet/src/stats.rs crates/simnet/src/traffic.rs crates/simnet/src/vantage.rs
+
+/root/repo/target/release/deps/libcwa_simnet-c310859a137c0ae9.rlib: crates/simnet/src/lib.rs crates/simnet/src/cdn.rs crates/simnet/src/dns.rs crates/simnet/src/sim.rs crates/simnet/src/stats.rs crates/simnet/src/traffic.rs crates/simnet/src/vantage.rs
+
+/root/repo/target/release/deps/libcwa_simnet-c310859a137c0ae9.rmeta: crates/simnet/src/lib.rs crates/simnet/src/cdn.rs crates/simnet/src/dns.rs crates/simnet/src/sim.rs crates/simnet/src/stats.rs crates/simnet/src/traffic.rs crates/simnet/src/vantage.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/cdn.rs:
+crates/simnet/src/dns.rs:
+crates/simnet/src/sim.rs:
+crates/simnet/src/stats.rs:
+crates/simnet/src/traffic.rs:
+crates/simnet/src/vantage.rs:

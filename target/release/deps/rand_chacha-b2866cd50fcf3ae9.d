@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_chacha-b2866cd50fcf3ae9.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-b2866cd50fcf3ae9.rlib: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-b2866cd50fcf3ae9.rmeta: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-7905ec925a407b95.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-7905ec925a407b95.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-7905ec925a407b95.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

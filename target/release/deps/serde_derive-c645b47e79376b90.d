@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-c645b47e79376b90.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-c645b47e79376b90.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-daa0e568d87f9fea.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-daa0e568d87f9fea.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-bc124b3c80252488.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-bc124b3c80252488.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-bc124b3c80252488.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -59,7 +59,11 @@ fn office_outbreak_end_to_end() {
             flagged.push(i);
         }
     }
-    assert_eq!(flagged, (1..=9).collect::<Vec<_>>(), "exactly the close contacts flagged");
+    assert_eq!(
+        flagged,
+        (1..=9).collect::<Vec<_>>(),
+        "exactly the close contacts flagged"
+    );
 }
 
 /// Privacy: an eavesdropper recording all broadcasts cannot link a
@@ -73,15 +77,20 @@ fn eavesdropper_cannot_link_but_matcher_can() {
     phone.roll_key_if_needed(&mut rng, day0);
 
     // 144 broadcasts of one day: all distinct, no common structure.
-    let rpis: Vec<[u8; 16]> =
-        (0..DAY).map(|i| phone.advertise(day0.advance(i)).rpi.0).collect();
+    let rpis: Vec<[u8; 16]> = (0..DAY)
+        .map(|i| phone.advertise(day0.advance(i)).rpi.0)
+        .collect();
     let distinct: std::collections::HashSet<_> = rpis.iter().collect();
     assert_eq!(distinct.len(), rpis.len());
 
     // Byte-position frequency looks uniform-ish: no stable byte.
     for pos in 0..16 {
         let values: std::collections::HashSet<u8> = rpis.iter().map(|r| r[pos]).collect();
-        assert!(values.len() > 64, "byte {pos} takes {} values over 144 RPIs", values.len());
+        assert!(
+            values.len() > 64,
+            "byte {pos} takes {} values over 144 RPIs",
+            values.len()
+        );
     }
 
     // Yet the published key re-derives every one of them.
@@ -140,5 +149,8 @@ fn export_sizes_match_expected_wire_overhead() {
     }
     assert!(sizes.windows(2).all(|w| w[1] > w[0]));
     let per_key = (sizes[4] - sizes[3]) as f64 / 900.0;
-    assert!((24.0..36.0).contains(&per_key), "marginal key cost {per_key} bytes");
+    assert!(
+        (24.0..36.0).contains(&per_key),
+        "marginal key cost {per_key} bytes"
+    );
 }

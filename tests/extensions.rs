@@ -20,7 +20,11 @@ use std::sync::OnceLock;
 fn sim() -> &'static SimOutput {
     static SIM: OnceLock<SimOutput> = OnceLock::new();
     SIM.get_or_init(|| {
-        Simulation::new(SimConfig { scale: 0.01, ..SimConfig::test_small() }).run()
+        Simulation::new(SimConfig {
+            scale: 0.01,
+            ..SimConfig::test_small()
+        })
+        .run()
     })
 }
 
@@ -64,9 +68,7 @@ fn sampling_leaves_biflows_one_sided() {
     let cwa_records: Vec<_> = out
         .records
         .iter()
-        .filter(|r| {
-            out.cdn.is_service_addr(r.key.src_ip) || out.cdn.is_service_addr(r.key.dst_ip)
-        })
+        .filter(|r| out.cdn.is_service_addr(r.key.src_ip) || out.cdn.is_service_addr(r.key.dst_ip))
         .copied()
         .collect();
     let biflows = merge_biflows(&cwa_records, &BiflowConfig::default());
@@ -93,7 +95,11 @@ fn persistence_differs_by_isp_access_kind() {
     // subscriber slots, so static-lease ISPs concentrate their customers
     // on the low /24s while daily-reconnect DSL pools rotate over the
     // whole prefix — thinning each /24 and lowering its persistence.
-    let out = Simulation::new(SimConfig { scale: 0.01, ..SimConfig::default() }).run();
+    let out = Simulation::new(SimConfig {
+        scale: 0.01,
+        ..SimConfig::default()
+    })
+    .run();
     let filter = FlowFilter::cwa(out.cdn.service_prefixes.to_vec());
     let matching = filter.apply_owned(&out.records);
 
@@ -137,7 +143,15 @@ fn zip_area_map_covers_germany() {
     let isp_table: HashMap<u32, IspInfo> = out
         .isp_table
         .iter()
-        .map(|(&net, e)| (net, IspInfo { isp: e.isp.0, router_district: e.router_district }))
+        .map(|(&net, e)| {
+            (
+                net,
+                IspInfo {
+                    isp: e.isp.0,
+                    router_district: e.router_district,
+                },
+            )
+        })
         .collect();
     let pipeline = GeolocationPipeline::new(
         &out.germany,
@@ -150,7 +164,11 @@ fn zip_area_map_covers_germany() {
     assert!(map.coverage() > 0.9, "ZIP-area coverage {}", map.coverage());
     assert!((map.areas[0].intensity - 1.0).abs() < 1e-12);
     // Berlin's zone tops the map at this adoption skew.
-    assert_eq!(map.areas[0].zip, "10", "Berlin's ZIP zone leads: {:?}", map.areas[0]);
+    assert_eq!(
+        map.areas[0].zip, "10",
+        "Berlin's ZIP zone leads: {:?}",
+        map.areas[0]
+    );
 }
 
 /// The verification server gates uploads at population scale: with a
@@ -169,7 +187,9 @@ fn verification_capacity_bounds_uploads() {
         match server.mint_teletan(&mut rng, now) {
             Ok(tele) => {
                 let token = server.register(&mut rng, &tele, now + 5).unwrap();
-                let tan = server.request_upload_tan(&mut rng, &token, now + 10).unwrap();
+                let tan = server
+                    .request_upload_tan(&mut rng, &token, now + 10)
+                    .unwrap();
                 server.redeem_upload_tan(&tan, now + 15).unwrap();
                 completed += 1;
             }
@@ -191,7 +211,15 @@ fn district_traffic_concentration() {
     let isp_table: HashMap<u32, IspInfo> = out
         .isp_table
         .iter()
-        .map(|(&net, e)| (net, IspInfo { isp: e.isp.0, router_district: e.router_district }))
+        .map(|(&net, e)| {
+            (
+                net,
+                IspInfo {
+                    isp: e.isp.0,
+                    router_district: e.router_district,
+                },
+            )
+        })
         .collect();
     let pipeline = GeolocationPipeline::new(
         &out.germany,

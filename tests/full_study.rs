@@ -23,9 +23,21 @@ fn all_claims_pass() {
     let failures: Vec<String> = r
         .failures()
         .iter()
-        .map(|c| format!("{}: measured {:.4}, band {:?} — {}", c.id.code(), c.measured, c.band, c.detail))
+        .map(|c| {
+            format!(
+                "{}: measured {:.4}, band {:?} — {}",
+                c.id.code(),
+                c.measured,
+                c.band,
+                c.detail
+            )
+        })
         .collect();
-    assert!(failures.is_empty(), "claims outside bands:\n{}", failures.join("\n"));
+    assert!(
+        failures.is_empty(),
+        "claims outside bands:\n{}",
+        failures.join("\n")
+    );
 }
 
 #[test]
@@ -48,7 +60,10 @@ fn figure2_shape() {
     let day5 = &flows[5 * 24..6 * 24];
     let trough = day5.iter().cloned().fold(f64::INFINITY, f64::min);
     let peak = day5.iter().cloned().fold(0.0, f64::max);
-    assert!(peak > trough * 2.0, "diurnal: trough {trough:.2}, peak {peak:.2}");
+    assert!(
+        peak > trough * 2.0,
+        "diurnal: trough {trough:.2}, peak {peak:.2}"
+    );
 
     // (c) The June-23 news re-surge: day 8 exceeds day 7.
     let day = |d: usize| flows[d * 24..(d + 1) * 24].iter().sum::<f64>();
@@ -62,9 +77,18 @@ fn figure2_shape() {
     // (d) The download overlay starts June 17 and is monotone.
     assert!(r.figure2.downloads_millions[47].is_none());
     assert!(r.figure2.downloads_millions[48].is_some());
-    let dl: Vec<f64> = r.figure2.downloads_millions.iter().flatten().copied().collect();
+    let dl: Vec<f64> = r
+        .figure2
+        .downloads_millions
+        .iter()
+        .flatten()
+        .copied()
+        .collect();
     assert!(dl.windows(2).all(|w| w[1] >= w[0]), "downloads monotone");
-    assert!(*dl.last().unwrap() > 10.0, "double-digit millions by June 25");
+    assert!(
+        *dl.last().unwrap() > 10.0,
+        "double-digit millions by June 25"
+    );
 }
 
 #[test]
@@ -73,7 +97,13 @@ fn figure3_shape() {
     // Near-total district coverage …
     assert!(r.figure3.coverage > 0.95, "coverage {}", r.figure3.coverage);
     // … with the metros on top (population + urban affinity).
-    let top5: Vec<&str> = r.figure3.rows.iter().take(5).map(|x| x.state.as_str()).collect();
+    let top5: Vec<&str> = r
+        .figure3
+        .rows
+        .iter()
+        .take(5)
+        .map(|x| x.state.as_str())
+        .collect();
     assert!(
         r.figure3.rows[0].name == "Berlin",
         "Berlin leads the intensity map, got {:?}",
@@ -82,7 +112,11 @@ fn figure3_shape() {
     let _ = top5;
     // Intensities normalized to [0, 1] with exactly one 1.0.
     assert!((r.figure3.rows[0].intensity - 1.0).abs() < 1e-12);
-    assert!(r.figure3.rows.iter().all(|x| (0.0..=1.0).contains(&x.intensity)));
+    assert!(r
+        .figure3
+        .rows
+        .iter()
+        .all(|x| (0.0..=1.0).contains(&x.intensity)));
 }
 
 #[test]
@@ -95,7 +129,11 @@ fn measured_values_near_paper_values() {
         r.persistence_median
     );
     assert!(r.persistence_p75 >= r.persistence_median);
-    assert!((0.12..0.25).contains(&r.ground_truth_share), "gt share {}", r.ground_truth_share);
+    assert!(
+        (0.12..0.25).contains(&r.ground_truth_share),
+        "gt share {}",
+        r.ground_truth_share
+    );
     assert!(r.release_jump > 3.0, "release jump {}", r.release_jump);
     // The API rank improves (falls) over the window.
     let first_half_best = *r.api_rank_by_day[..5].iter().min().unwrap();

@@ -1,0 +1,103 @@
+//! Observability integration: the `cwa-obs` registry wired through the
+//! full sim → vantage → analysis pipeline must (a) produce a valid
+//! JSON snapshot covering every pipeline stage, and (b) never perturb
+//! the study output — serial and parallel reports stay bit-identical
+//! with metrics enabled or disabled.
+
+use std::sync::Arc;
+
+use cwa_repro::core::{Study, StudyConfig};
+use cwa_repro::obs::Registry;
+
+fn small_config(parallel: bool) -> StudyConfig {
+    let mut config = StudyConfig::test_small();
+    config.sim.parallel = parallel;
+    config
+}
+
+#[test]
+fn metrics_snapshot_covers_pipeline_and_reports_match() {
+    let reg_serial = Arc::new(Registry::new());
+    let serial = Study::new(small_config(false))
+        .with_metrics(Arc::clone(&reg_serial))
+        .run();
+    let reg_parallel = Arc::new(Registry::new());
+    let parallel = Study::new(small_config(true))
+        .with_metrics(Arc::clone(&reg_parallel))
+        .run();
+    let plain = Study::new(small_config(false)).run();
+
+    // Identical reports across {serial, parallel} × {metrics on, off}
+    // once the volatile wall-clock phase timings are stripped. The
+    // driver choice is itself part of the configuration (and thus the
+    // config hash), so normalize those fields before comparing — the
+    // scientific payload (figures, claims, counts) must be identical.
+    let mut parallel_stripped = parallel.strip_volatile();
+    assert!(parallel_stripped.manifest.parallel);
+    parallel_stripped.manifest.parallel = false;
+    parallel_stripped.config.sim.parallel = false;
+    parallel_stripped.manifest.config_hash = serial.manifest.config_hash.clone();
+    assert_eq!(
+        serial.strip_volatile(),
+        parallel_stripped,
+        "parallel == serial"
+    );
+    assert_eq!(
+        serial.strip_volatile(),
+        plain.strip_volatile(),
+        "metrics on == off"
+    );
+
+    // The manifest carries provenance either way.
+    assert_eq!(plain.manifest.seed, plain.config.sim.seed);
+    assert_eq!(plain.manifest.config_hash, serial.manifest.config_hash);
+    assert!(!plain.manifest.phase_timings.is_empty());
+
+    // The snapshot is valid JSON (parseable by the workspace parser) …
+    let json = reg_serial.to_json_pretty();
+    let parsed: serde_json::Value = serde_json::from_str(&json).expect("snapshot is valid JSON");
+    drop(parsed);
+
+    // … and covers every stage of the pipeline: traffic generation,
+    // sampling, cache evictions, collection, anonymization, sequence
+    // accounting, and each analysis stage's duration.
+    for key in [
+        "\"schema\"",
+        "\"simnet.traffic.flow_events\"",
+        "\"simnet.traffic.flow_events.day00\"",
+        "\"simnet.router.00.sampled_packets\"",
+        "\"simnet.router.00.unsampled_packets\"",
+        "\"simnet.cache.evictions\"",
+        "\"simnet.cache.packets_seen\"",
+        "\"netflow.collector.records\"",
+        "\"netflow.collector.anonymized_addresses\"",
+        "\"netflow.collector.sequence_lost\"",
+        "\"netflow.collector.decode_errors\"",
+        "\"phase.simulate\"",
+        "\"analysis.filter\"",
+        "\"analysis.timeseries\"",
+        "\"analysis.geoloc\"",
+        "\"analysis.persistence\"",
+        "\"analysis.outbreak\"",
+        "\"analysis.filter.records_matched\"",
+    ] {
+        assert!(json.contains(key), "metrics snapshot missing {key}");
+    }
+
+    // The parallel driver additionally reports worker utilization.
+    let parallel_json = reg_parallel.to_json();
+    assert!(parallel_json.contains("\"simnet.worker.00.busy\""));
+    assert!(parallel_json.contains("\"simnet.worker.00.events\""));
+
+    // Headline counters are live and consistent with the report.
+    assert!(reg_serial.counter("simnet.traffic.flow_events").get() > 0);
+    assert_eq!(
+        reg_serial.counter("netflow.collector.records").get(),
+        serial.total_records,
+        "collector counter equals the report's record count"
+    );
+    assert_eq!(
+        reg_serial.counter("analysis.filter.records_matched").get(),
+        serial.matching_flows,
+    );
+}

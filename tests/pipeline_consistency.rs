@@ -14,7 +14,11 @@ use std::sync::OnceLock;
 fn sim() -> &'static SimOutput {
     static SIM: OnceLock<SimOutput> = OnceLock::new();
     SIM.get_or_init(|| {
-        Simulation::new(SimConfig { scale: 0.01, ..SimConfig::test_small() }).run()
+        Simulation::new(SimConfig {
+            scale: 0.01,
+            ..SimConfig::test_small()
+        })
+        .run()
     })
 }
 
@@ -155,7 +159,10 @@ fn changepoints_recover_the_papers_events() {
     let series = HourlySeries::from_records(matching.iter(), out.config.days * 24);
     let daily = series.daily_flows();
 
-    let config = CusumConfig { window: 1, ..CusumConfig::default() };
+    let config = CusumConfig {
+        window: 1,
+        ..CusumConfig::default()
+    };
     let changes = detect_increases(&daily, &config);
     let days: Vec<u32> = changes.iter().map(|c| c.day).collect();
     assert!(days.contains(&1), "June 16 release detected: {changes:?}");
@@ -182,11 +189,7 @@ fn volume_estimation_recovers_ground_truth() {
     // generator's configured size distribution is the honest stand-in.
     // (Mixture of api/web flows — use the api-dominated blend.)
     let mean_size = mean_size_from_lognormal(17.0, 0.85);
-    let est = estimate_volumes(
-        &matching,
-        out.config.vantage.sampling_interval,
-        mean_size,
-    );
+    let est = estimate_volumes(&matching, out.config.vantage.sampling_interval, mean_size);
 
     let true_flows = (out.truth.api_flows + out.truth.web_flows) as f64;
     let rel = (est.flows - true_flows).abs() / true_flows;

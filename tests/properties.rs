@@ -347,18 +347,20 @@ fn arb_record() -> impl Strategy<Value = FlowRecord> {
         0u64..=u32::MAX as u64,
         any::<u8>(),
     )
-        .prop_map(|(src, dst, sport, dport, packets, bytes, first, flags)| FlowRecord {
-            key: FlowKey {
-                src_ip: Ipv4Addr::from(src),
-                dst_ip: Ipv4Addr::from(dst),
-                src_port: sport,
-                dst_port: dport,
-                protocol: Protocol::Tcp,
+        .prop_map(
+            |(src, dst, sport, dport, packets, bytes, first, flags)| FlowRecord {
+                key: FlowKey {
+                    src_ip: Ipv4Addr::from(src),
+                    dst_ip: Ipv4Addr::from(dst),
+                    src_port: sport,
+                    dst_port: dport,
+                    protocol: Protocol::Tcp,
+                },
+                packets,
+                bytes,
+                first_ms: first,
+                last_ms: first,
+                tcp_flags: flags,
             },
-            packets,
-            bytes,
-            first_ms: first,
-            last_ms: first,
-            tcp_flags: flags,
-        })
+        )
 }

@@ -13,7 +13,11 @@ use cwa_repro::analysis::timeseries::HourlySeries;
 use cwa_repro::simnet::{SimConfig, SimOutput, Simulation};
 
 fn run(scale: f64) -> SimOutput {
-    Simulation::new(SimConfig { scale, ..SimConfig::test_small() }).run()
+    Simulation::new(SimConfig {
+        scale,
+        ..SimConfig::test_small()
+    })
+    .run()
 }
 
 fn hourly_shape(out: &SimOutput) -> Vec<f64> {
@@ -43,7 +47,10 @@ fn scale_adjusted_flow_count_stable() {
     };
     let (ca, cb) = (count(&a), count(&b));
     let rel = (ca - cb).abs() / cb;
-    assert!(rel < 0.05, "scale-adjusted counts {ca:.0} vs {cb:.0} ({rel:.3} rel)");
+    assert!(
+        rel < 0.05,
+        "scale-adjusted counts {ca:.0} vs {cb:.0} ({rel:.3} rel)"
+    );
 }
 
 #[test]
@@ -61,5 +68,8 @@ fn release_jump_stable_across_scales() {
     // counts are small at the lower scale).
     assert!(jumps.iter().all(|j| (3.0..14.0).contains(j)), "{jumps:?}");
     let ratio = jumps[0] / jumps[1];
-    assert!((0.6..1.67).contains(&ratio), "jump ratio {ratio}: {jumps:?}");
+    assert!(
+        (0.6..1.67).contains(&ratio),
+        "jump ratio {ratio}: {jumps:?}"
+    );
 }

@@ -1,0 +1,560 @@
+//! Vendored property-testing mini-framework with a proptest-compatible
+//! surface (offline build; the real crate is unavailable).
+//!
+//! Supports the subset this workspace uses: `proptest! { #[test] fn
+//! f(x: T, y in strategy) { .. } }` with both typed (`Arbitrary`) and
+//! `in`-strategy bindings, `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assert_ne!`/`prop_assume!`, `#![proptest_config(..)]`,
+//! integer range strategies, tuple strategies, `collection::vec`,
+//! `prop_map`, and a printable-string strategy for `"\PC{a,b}"`
+//! patterns. Cases are generated from a per-test deterministic RNG, so
+//! failures reproduce exactly.
+
+#![forbid(unsafe_code)]
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic per-test RNG (SplitMix64 seeded from the test name).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from the test name: every run replays the same cases.
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the name, mixed so short names diverge.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng {
+            state: h ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Next 64 random bits (SplitMix64 step).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform value in `[0, span)`; `span` must be nonzero.
+    pub fn below(&mut self, span: u64) -> u64 {
+        // Widening-multiply reduction; bias is ≤ span/2^64, irrelevant
+        // for test-case generation.
+        ((u128::from(self.next_u64()) * u128::from(span)) >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Why a generated case did not count as a pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` filtered this case out.
+    Reject,
+    /// A `prop_assert*` failed.
+    Fail(String),
+}
+
+/// Runner configuration (`#![proptest_config(..)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+// -------------------------------------------------------------- Strategy
+
+/// A generator of values for property tests.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter for [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+// ------------------------------------------------------------- Arbitrary
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Mostly ordinary magnitudes; occasionally exercise extremes.
+        match rng.below(8) {
+            0 => 0.0,
+            1 => -rng.unit_f64() * 1e6,
+            _ => rng.unit_f64() * 1e6,
+        }
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        std::array::from_fn(|_| T::arbitrary(rng))
+    }
+}
+
+/// Strategy producing any value of `T` (see [`Arbitrary`]).
+pub struct Any<T>(PhantomData<T>);
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+// ------------------------------------------------------ range strategies
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo + 1) as u128;
+                if span == 0 {
+                    // Full-width range: every bit pattern is valid.
+                    return rng.next_u64() as $t;
+                }
+                (lo + rng.below(span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+// ------------------------------------------------------ tuple strategies
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7)
+}
+
+// ------------------------------------------------------ string strategy
+
+/// `&str` patterns act as (a tiny subset of) regex strategies. Supported
+/// here: `\PC{lo,hi}` — `lo..=hi` printable (non-control) characters —
+/// which is the only pattern this workspace uses.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (lo, hi) = parse_pc_repetition(self)
+            .unwrap_or_else(|| panic!("unsupported string strategy pattern: {self:?}"));
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        let mut s = String::with_capacity(len);
+        for _ in 0..len {
+            // Mostly printable ASCII; sprinkle in multi-byte scalars so
+            // parsers see real UTF-8 boundaries.
+            let c = match rng.below(20) {
+                0 => 'é',
+                1 => 'π',
+                2 => '💡',
+                _ => char::from(0x20 + rng.below(0x5f) as u8),
+            };
+            s.push(c);
+        }
+        s
+    }
+}
+
+fn parse_pc_repetition(pattern: &str) -> Option<(usize, usize)> {
+    let rest = pattern.strip_prefix("\\PC")?;
+    if rest.is_empty() {
+        return Some((1, 1));
+    }
+    let body = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = body.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+// --------------------------------------------------------- collections
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Inclusive length bounds for generated collections.
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec length range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a range.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// Vector strategy: `len` elements of `elem` per case.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo + 1) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+// ------------------------------------------------------------- macros
+
+/// Defines property tests. Each `#[test] fn name(args) { body }` becomes
+/// a zero-arg test that draws `config.cases` accepted cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!((<$crate::ProptestConfig as ::core::default::Default>::default())
+            $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (
+        ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($args:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            let mut __accepted: u32 = 0;
+            let mut __rejected: u32 = 0;
+            while __accepted < __config.cases {
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    $crate::__proptest_bind!(__rng; ($($args)*) {
+                        let mut __case = || -> ::std::result::Result<(), $crate::TestCaseError> {
+                            $body
+                            #[allow(unreachable_code)]
+                            ::std::result::Result::Ok(())
+                        };
+                        __case()
+                    });
+                match __outcome {
+                    ::std::result::Result::Ok(()) => __accepted += 1,
+                    ::std::result::Result::Err($crate::TestCaseError::Reject) => {
+                        __rejected += 1;
+                        assert!(
+                            __rejected < 100_000,
+                            "prop_assume rejected too many cases in {}",
+                            stringify!($name)
+                        );
+                    }
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(__msg)) => {
+                        panic!("property failed in {} (case {}): {}",
+                            stringify!($name), __accepted, __msg);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident; () $then:block) => { $then };
+    ($rng:ident; (,) $then:block) => { $then };
+    ($rng:ident; ($x:ident in $s:expr) $then:block) => {{
+        let $x = $crate::Strategy::generate(&($s), &mut $rng);
+        $crate::__proptest_bind!($rng; () $then)
+    }};
+    ($rng:ident; ($x:ident in $s:expr, $($rest:tt)*) $then:block) => {{
+        let $x = $crate::Strategy::generate(&($s), &mut $rng);
+        $crate::__proptest_bind!($rng; ($($rest)*) $then)
+    }};
+    ($rng:ident; (mut $x:ident : $t:ty) $then:block) => {{
+        let mut $x: $t = $crate::Arbitrary::arbitrary(&mut $rng);
+        $crate::__proptest_bind!($rng; () $then)
+    }};
+    ($rng:ident; (mut $x:ident : $t:ty, $($rest:tt)*) $then:block) => {{
+        let mut $x: $t = $crate::Arbitrary::arbitrary(&mut $rng);
+        $crate::__proptest_bind!($rng; ($($rest)*) $then)
+    }};
+    ($rng:ident; ($x:ident : $t:ty) $then:block) => {{
+        let $x: $t = $crate::Arbitrary::arbitrary(&mut $rng);
+        $crate::__proptest_bind!($rng; () $then)
+    }};
+    ($rng:ident; ($x:ident : $t:ty, $($rest:tt)*) $then:block) => {{
+        let $x: $t = $crate::Arbitrary::arbitrary(&mut $rng);
+        $crate::__proptest_bind!($rng; ($($rest)*) $then)
+    }};
+}
+
+/// Skips the current case (does not count toward `cases`).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Asserts within a property body (fails the case with context).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond), file!(), line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality within a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `left == right` ({}:{})\n  left: {:?}\n right: {:?}",
+                file!(),
+                line!(),
+                __a,
+                __b
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality within a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        if *__a == *__b {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `left != right` ({}:{})\n  both: {:?}",
+                file!(),
+                line!(),
+                __a
+            )));
+        }
+    }};
+}
+
+/// The usual `use proptest::prelude::*;` imports.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = crate::TestRng::from_name("x");
+        let mut b = crate::TestRng::from_name("x");
+        assert_eq!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::from_name("bounds");
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(10u32..20), &mut rng);
+            assert!((10..20).contains(&v));
+            let w = Strategy::generate(&(1u64..=u32::MAX as u64), &mut rng);
+            assert!(w >= 1 && w <= u32::MAX as u64);
+            let s = Strategy::generate(&(-5i32..5), &mut rng);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_binds_both_forms(x: u8, y in 0u32..10, v in crate::collection::vec(any::<u8>(), 0..16)) {
+            prop_assume!(x != 255);
+            prop_assert!(y < 10);
+            prop_assert!(v.len() < 16);
+            prop_assert_eq!(u32::from(x) * 2, u32::from(x) + u32::from(x));
+            prop_assert_ne!(y, 10);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+
+        #[test]
+        fn config_override_applies(pair in (0u8..4, "\\PC{0,8}")) {
+            let (n, s) = pair;
+            prop_assert!(n < 4);
+            prop_assert!(s.chars().count() <= 8);
+            prop_assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Vendored ChaCha-based RNGs (`ChaCha8Rng`, `ChaCha12Rng`,
+//! `ChaCha20Rng`) implementing the vendored `rand` traits.
+//!
+//! The keystream follows the ChaCha specification (RFC 8439 quarter
+//! round, "expand 32-byte k" constants, 64-bit block counter in words
+//! 12–13, zero nonce) with output consumed little-endian byte-wise, so
+//! seeded streams are stable across platforms and releases.
+
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, SeedableRng};
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+const BLOCK_BYTES: usize = 64;
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// A ChaCha keystream generator with `ROUNDS` rounds.
+#[derive(Debug, Clone)]
+pub struct ChaChaRng<const ROUNDS: usize> {
+    key: [u32; 8],
+    counter: u64,
+    stream: u64,
+    buf: [u8; BLOCK_BYTES],
+    /// Bytes of `buf` already consumed.
+    index: usize,
+}
+
+impl<const ROUNDS: usize> ChaChaRng<ROUNDS> {
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = self.stream as u32;
+        state[15] = (self.stream >> 32) as u32;
+
+        let mut working = state;
+        for _ in 0..ROUNDS / 2 {
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (i, (w, s)) in working.iter().zip(state.iter()).enumerate() {
+            let word = w.wrapping_add(*s);
+            self.buf[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.index = 0;
+    }
+
+    fn take(&mut self, dest: &mut [u8]) {
+        let mut written = 0;
+        while written < dest.len() {
+            if self.index == BLOCK_BYTES {
+                self.refill();
+            }
+            let n = (dest.len() - written).min(BLOCK_BYTES - self.index);
+            dest[written..written + n].copy_from_slice(&self.buf[self.index..self.index + n]);
+            self.index += n;
+            written += n;
+        }
+    }
+
+    /// Selects an independent keystream (nonce words).
+    pub fn set_stream(&mut self, stream: u64) {
+        self.stream = stream;
+        self.index = BLOCK_BYTES; // force refill
+    }
+}
+
+impl<const ROUNDS: usize> SeedableRng for ChaChaRng<ROUNDS> {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (i, k) in key.iter_mut().enumerate() {
+            *k = u32::from_le_bytes([
+                seed[i * 4],
+                seed[i * 4 + 1],
+                seed[i * 4 + 2],
+                seed[i * 4 + 3],
+            ]);
+        }
+        ChaChaRng {
+            key,
+            counter: 0,
+            stream: 0,
+            buf: [0; BLOCK_BYTES],
+            index: BLOCK_BYTES,
+        }
+    }
+}
+
+impl<const ROUNDS: usize> RngCore for ChaChaRng<ROUNDS> {
+    fn next_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.take(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.take(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.take(dest);
+    }
+}
+
+/// ChaCha with 8 rounds (the workspace's workhorse RNG).
+pub type ChaCha8Rng = ChaChaRng<8>;
+/// ChaCha with 12 rounds.
+pub type ChaCha12Rng = ChaChaRng<12>;
+/// ChaCha with 20 rounds.
+pub type ChaCha20Rng = ChaChaRng<20>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(1234);
+        let mut b = ChaCha8Rng::seed_from_u64(1234);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaCha8Rng::seed_from_u64(1235);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn chacha20_known_block() {
+        // RFC 8439 §2.3.2 test vector: key 00..1f, counter 1,
+        // nonce 000000090000004a00000000. Our layout fixes the nonce to
+        // the stream id, so check the zero-nonce/zero-counter keystream
+        // against an independently computed reference property instead:
+        // the first block must differ from the second and be stable.
+        let mut rng = ChaCha20Rng::from_seed([0u8; 32]);
+        let first = rng.next_u64();
+        let mut rng2 = ChaCha20Rng::from_seed([0u8; 32]);
+        assert_eq!(first, rng2.next_u64());
+        // Known first 8 keystream bytes of ChaCha20 with zero key,
+        // zero nonce, counter 0: 76 b8 e0 ad a0 f1 3d 90.
+        let mut rng3 = ChaCha20Rng::from_seed([0u8; 32]);
+        let mut out = [0u8; 8];
+        rng3.fill_bytes(&mut out);
+        assert_eq!(out, [0x76, 0xb8, 0xe0, 0xad, 0xa0, 0xf1, 0x3d, 0x90]);
+    }
+
+    #[test]
+    fn byte_and_word_reads_agree() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        let mut bytes = [0u8; 8];
+        a.fill_bytes(&mut bytes);
+        assert_eq!(u64::from_le_bytes(bytes), b.next_u64());
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        b.set_stream(1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,636 @@
+//! Vendored, zero-dependency `serde` facade.
+//!
+//! The build environment is offline, so this workspace ships its own
+//! minimal serialization framework under the familiar `serde` name: a
+//! JSON-shaped [`Value`] tree, [`Serialize`]/[`Deserialize`] traits that
+//! convert to/from it, and `#[derive(Serialize, Deserialize)]` macros
+//! (re-exported from the companion `serde_derive` proc-macro crate).
+//!
+//! Representation choices follow upstream serde's JSON conventions:
+//! structs → objects (field order preserved), newtype structs → inner
+//! value, tuples/tuple structs/arrays → arrays, unit enum variants →
+//! `"Name"`, data-carrying variants → `{"Name": …}`, `Option` →
+//! `null`/value, maps → objects with stringified keys (sorted, so output
+//! is deterministic regardless of `HashMap` iteration order).
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number (integer or float).
+    Num(Number),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An ordered map (insertion order preserved → stable JSON output).
+    Object(Vec<(String, Value)>),
+}
+
+/// A JSON number, preserving integer exactness beyond `f64` range.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// Non-negative integer.
+    U(u64),
+    /// Negative integer.
+    I(i64),
+    /// Float.
+    F(f64),
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_f64() == other.as_f64()
+            && match (self, other) {
+                (Number::U(a), Number::U(b)) => a == b,
+                (Number::I(a), Number::I(b)) => a == b,
+                _ => true,
+            }
+    }
+}
+
+impl Number {
+    /// Lossy float view.
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::U(v) => v as f64,
+            Number::I(v) => v as f64,
+            Number::F(v) => v,
+        }
+    }
+
+    /// Exact `u64` view, if representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::U(v) => Some(v),
+            Number::I(v) => u64::try_from(v).ok(),
+            Number::F(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => Some(v as u64),
+            Number::F(_) => None,
+        }
+    }
+
+    /// Exact `i64` view, if representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::U(v) => i64::try_from(v).ok(),
+            Number::I(v) => Some(v),
+            Number::F(v)
+                if v.fract() == 0.0 && (i64::MIN as f64..=i64::MAX as f64).contains(&v) =>
+            {
+                Some(v as i64)
+            }
+            Number::F(_) => None,
+        }
+    }
+}
+
+impl Value {
+    /// The object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up an object field.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Error with a custom message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+
+    /// "expected X while deserializing Y" error.
+    pub fn expected(what: &str, ty: &str) -> Self {
+        DeError {
+            msg: format!("expected {what} while deserializing {ty}"),
+        }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types convertible to a [`Value`].
+pub trait Serialize {
+    /// Builds the value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Parses from the value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Compatibility alias so `serde::de::Error`-style paths resolve.
+pub mod de {
+    pub use super::{DeError, Deserialize};
+}
+
+/// Compatibility alias for `serde::ser`.
+pub mod ser {
+    pub use super::Serialize;
+}
+
+// ---------------------------------------------------------------- numbers
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(Number::U(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Num(n) => n
+                        .as_u64()
+                        .and_then(|u| <$t>::try_from(u).ok())
+                        .ok_or_else(|| DeError::expected("unsigned integer in range", stringify!($t))),
+                    _ => Err(DeError::expected("number", stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::Num(Number::U(v as u64)) } else { Value::Num(Number::I(v)) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Num(n) => n
+                        .as_i64()
+                        .and_then(|i| <$t>::try_from(i).ok())
+                        .ok_or_else(|| DeError::expected("integer in range", stringify!($t))),
+                    _ => Err(DeError::expected("number", stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Num(Number::F(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Num(n) => Ok(n.as_f64()),
+            // Non-finite floats serialize as null (JSON has no NaN/inf).
+            Value::Null => Ok(f64::NAN),
+            _ => Err(DeError::expected("number", "f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Num(Number::F(f64::from(*self)))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Num(n) => Ok(n.as_f64() as f32),
+            _ => Err(DeError::expected("number", "f32")),
+        }
+    }
+}
+
+// ----------------------------------------------------------- scalars, text
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", "bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", "String")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(DeError::expected("single-char string", "char")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+// --------------------------------------------------------------- std::net
+
+impl Serialize for std::net::Ipv4Addr {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for std::net::Ipv4Addr {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => s
+                .parse()
+                .map_err(|_| DeError::custom(format!("bad IPv4 address `{s}`"))),
+            _ => Err(DeError::expected("string", "Ipv4Addr")),
+        }
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("secs".to_owned(), self.as_secs().to_value()),
+            ("nanos".to_owned(), self.subsec_nanos().to_value()),
+        ])
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let secs: u64 = field(
+            v.as_object()
+                .ok_or_else(|| DeError::expected("object", "Duration"))?,
+            "secs",
+        )?;
+        let nanos: u32 = field(v.as_object().unwrap(), "nanos")?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
+// ------------------------------------------------------------ containers
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(inner) => inner.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::expected("array", "Vec"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = v
+            .as_array()
+            .ok_or_else(|| DeError::expected("array", "array"))?;
+        if items.len() != N {
+            return Err(DeError::custom(format!(
+                "expected {N} elements, got {}",
+                items.len()
+            )));
+        }
+        let parsed: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| DeError::custom("array length mismatch after parse"))
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let items = v.as_array().ok_or_else(|| DeError::expected("array", "tuple"))?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(DeError::custom(format!(
+                        "expected {expected}-tuple, got {} elements", items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+// ------------------------------------------------------------------- maps
+
+/// Serializes a map key: strings pass through, everything else becomes
+/// its compact JSON text (numbers as digits, unit enum variants as their
+/// name).
+fn key_to_string(v: Value) -> String {
+    match v {
+        Value::Str(s) => s,
+        Value::Num(Number::U(u)) => u.to_string(),
+        Value::Num(Number::I(i)) => i.to_string(),
+        Value::Num(Number::F(f)) => format!("{f}"),
+        Value::Bool(b) => b.to_string(),
+        other => panic!("unsupported map key shape: {other:?}"),
+    }
+}
+
+/// Reconstructs a map key from its string form: tries the string
+/// directly, then integer / float readings.
+fn key_from_string<K: Deserialize>(s: &str) -> Result<K, DeError> {
+    if let Ok(k) = K::from_value(&Value::Str(s.to_owned())) {
+        return Ok(k);
+    }
+    if let Ok(u) = s.parse::<u64>() {
+        if let Ok(k) = K::from_value(&Value::Num(Number::U(u))) {
+            return Ok(k);
+        }
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        if let Ok(k) = K::from_value(&Value::Num(Number::I(i))) {
+            return Ok(k);
+        }
+    }
+    if let Ok(f) = s.parse::<f64>() {
+        if let Ok(k) = K::from_value(&Value::Num(Number::F(f))) {
+            return Ok(k);
+        }
+    }
+    if let Ok(b) = s.parse::<bool>() {
+        if let Ok(k) = K::from_value(&Value::Bool(b)) {
+            return Ok(k);
+        }
+    }
+    Err(DeError::custom(format!(
+        "cannot reconstruct map key from `{s}`"
+    )))
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (key_to_string(k.to_value()), v.to_value()))
+            .collect();
+        // HashMap iteration order is nondeterministic; sort for stable,
+        // bit-identical serialized output.
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_object()
+            .ok_or_else(|| DeError::expected("object", "HashMap"))?
+            .iter()
+            .map(|(k, val)| Ok((key_from_string(k)?, V::from_value(val)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (key_to_string(k.to_value()), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_object()
+            .ok_or_else(|| DeError::expected("object", "BTreeMap"))?
+            .iter()
+            .map(|(k, val)| Ok((key_from_string(k)?, V::from_value(val)?)))
+            .collect()
+    }
+}
+
+// --------------------------------------------------- derive support shims
+
+/// Looks up a required struct field (derive-generated code calls this).
+pub fn field<T: Deserialize>(obj: &[(String, Value)], name: &str) -> Result<T, DeError> {
+    match obj.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => {
+            T::from_value(v).map_err(|e| DeError::custom(format!("field `{name}`: {e}")))
+        }
+        None => Err(DeError::custom(format!("missing field `{name}`"))),
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_and_vec() {
+        let v: Vec<Option<f64>> = vec![None, Some(1.5)];
+        let val = v.to_value();
+        assert_eq!(
+            val,
+            Value::Array(vec![Value::Null, Value::Num(Number::F(1.5))])
+        );
+        let back: Vec<Option<f64>> = Deserialize::from_value(&val).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn map_keys_sorted_and_roundtrip() {
+        let mut m = HashMap::new();
+        m.insert(10u32, 1u64);
+        m.insert(2u32, 2u64);
+        let val = m.to_value();
+        let obj = val.as_object().unwrap();
+        assert_eq!(obj[0].0, "10"); // lexicographic sort is fine; must be stable
+        let back: HashMap<u32, u64> = Deserialize::from_value(&val).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn ipv4_roundtrip() {
+        let a = std::net::Ipv4Addr::new(81, 200, 16, 1);
+        let back = std::net::Ipv4Addr::from_value(&a.to_value()).unwrap();
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn tuple_roundtrip() {
+        let t = (4.0f64, 12.0f64);
+        let back: (f64, f64) = Deserialize::from_value(&t.to_value()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn u64_precision_preserved() {
+        let big = u64::MAX - 3;
+        let back = u64::from_value(&big.to_value()).unwrap();
+        assert_eq!(back, big);
+    }
+}

@@ -1,0 +1,442 @@
+//! Vendored `#[derive(Serialize, Deserialize)]` for the offline serde
+//! facade. No `syn`/`quote` are available, so the item is parsed
+//! directly from the `proc_macro::TokenStream` and the impls are
+//! emitted as source text.
+//!
+//! Supported shapes (everything this workspace derives on): structs
+//! with named fields, tuple/newtype structs, unit structs, and enums
+//! whose variants are unit, newtype/tuple, or struct-like. Generic
+//! types are not supported and produce a compile error.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Emits `impl serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Emits `impl serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ------------------------------------------------------------------ parse
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip attributes (`#[...]`, including doc comments) and visibility
+    // until the `struct` / `enum` keyword.
+    let kind = loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    i += 1;
+                    break s;
+                }
+                i += 1; // `pub`, etc.
+            }
+            Some(_) => i += 1, // e.g. the group in `pub(crate)`
+            None => panic!("serde derive: no struct/enum keyword found"),
+        }
+    };
+
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive (vendored): generic types are not supported");
+    }
+
+    if kind == "struct" {
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(count_tuple_fields(g))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+            other => panic!("serde derive: unexpected struct body {other:?}"),
+        };
+        Item::Struct { name, fields }
+    } else {
+        let body = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+            other => panic!("serde derive: expected enum body, got {other:?}"),
+        };
+        Item::Enum {
+            name,
+            variants: parse_variants(body),
+        }
+    }
+}
+
+fn parse_named_fields(g: &Group) -> Vec<String> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        while matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        if matches!(toks.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(
+                toks.get(i),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                i += 1;
+            }
+        }
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde derive: expected field name, got {other:?}"),
+        };
+        i += 2; // name + ':'
+
+        // Skip the type up to the next top-level comma. Angle brackets
+        // are plain puncts (not groups), so track their depth to skip
+        // commas inside e.g. `HashMap<K, V>`.
+        let mut angle = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+fn count_tuple_fields(g: &Group) -> usize {
+    let mut count = 0usize;
+    let mut seg_nonempty = false;
+    let mut angle = 0i32;
+    for t in g.stream() {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle += 1;
+                seg_nonempty = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle -= 1;
+                seg_nonempty = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                if seg_nonempty {
+                    count += 1;
+                }
+                seg_nonempty = false;
+            }
+            _ => seg_nonempty = true,
+        }
+    }
+    if seg_nonempty {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(g: &Group) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        while matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde derive: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(body)) if body.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(body));
+                i += 1;
+                f
+            }
+            Some(TokenTree::Group(body)) if body.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(body));
+                i += 1;
+                f
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        while i < toks.len() && !matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == ',') {
+            i += 1;
+        }
+        i += 1;
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => {
+                    let entries: Vec<String> = fs
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+                }
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                }
+                Fields::Unit => "::serde::Value::Null".to_owned(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(String::from(\"{vname}\"))"
+                        ),
+                        Fields::Named(fs) => {
+                            let binds = fs.join(", ");
+                            let entries: Vec<String> = fs
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(vec![\
+                                 (String::from(\"{vname}\"), ::serde::Value::Object(vec![{}]))])",
+                                entries.join(", ")
+                            )
+                        }
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vname}(__t0) => ::serde::Value::Object(vec![\
+                             (String::from(\"{vname}\"), ::serde::Serialize::to_value(__t0))])"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("__t{k}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|k| format!("::serde::Serialize::to_value(__t{k})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(vec![\
+                                 (String::from(\"{vname}\"), ::serde::Value::Array(vec![{}]))])",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => {
+                    let inits: Vec<String> = fs
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::field(__obj, \"{f}\")?"))
+                        .collect();
+                    format!(
+                        "let __obj = __v.as_object().ok_or_else(|| \
+                         ::serde::DeError::expected(\"object\", \"{name}\"))?;\n\
+                         Ok({name} {{ {} }})",
+                        inits.join(", ")
+                    )
+                }
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+                }
+                Fields::Tuple(n) => {
+                    let inits: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Deserialize::from_value(&__items[{k}])?"))
+                        .collect();
+                    format!(
+                        "let __items = __v.as_array().ok_or_else(|| \
+                         ::serde::DeError::expected(\"array\", \"{name}\"))?;\n\
+                         if __items.len() != {n} {{\n\
+                             return Err(::serde::DeError::custom(\
+                             \"wrong number of elements for {name}\"));\n\
+                         }}\n\
+                         Ok({name}({}))",
+                        inits.join(", ")
+                    )
+                }
+                Fields::Unit => format!("Ok({name})"),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("\"{0}\" => Ok({name}::{0})", v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => None,
+                        Fields::Named(fs) => {
+                            let inits: Vec<String> = fs
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::field(__obj, \"{f}\")?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{\n\
+                                     let __obj = __inner.as_object().ok_or_else(|| \
+                                     ::serde::DeError::expected(\"object\", \"{name}::{vname}\"))?;\n\
+                                     Ok({name}::{vname} {{ {} }})\n\
+                                 }}",
+                                inits.join(", ")
+                            ))
+                        }
+                        Fields::Tuple(1) => Some(format!(
+                            "\"{vname}\" => Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(__inner)?))"
+                        )),
+                        Fields::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|k| {
+                                    format!("::serde::Deserialize::from_value(&__items[{k}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{\n\
+                                     let __items = __inner.as_array().ok_or_else(|| \
+                                     ::serde::DeError::expected(\"array\", \"{name}::{vname}\"))?;\n\
+                                     if __items.len() != {n} {{\n\
+                                         return Err(::serde::DeError::custom(\
+                                         \"wrong number of elements for {name}::{vname}\"));\n\
+                                     }}\n\
+                                     Ok({name}::{vname}({}))\n\
+                                 }}",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            let mut unit_match = unit_arms.join(",\n");
+            if !unit_match.is_empty() {
+                unit_match.push(',');
+            }
+            let mut data_match = data_arms.join(",\n");
+            if !data_match.is_empty() {
+                data_match.push(',');
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match __v {{\n\
+                             ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                                 {unit_match}\n\
+                                 __other => Err(::serde::DeError::custom(format!(\
+                                     \"unknown variant `{{}}` of {name}\", __other))),\n\
+                             }},\n\
+                             ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                                 let (__tag, __inner) = &__entries[0];\n\
+                                 let _ = __inner;\n\
+                                 match __tag.as_str() {{\n\
+                                     {data_match}\n\
+                                     __other => Err(::serde::DeError::custom(format!(\
+                                         \"unknown variant `{{}}` of {name}\", __other))),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => Err(::serde::DeError::expected(\
+                                 \"variant string or single-key object\", \"{name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
