@@ -17,6 +17,7 @@ use serde::{Deserialize, Serialize};
 
 use cwa_geo::{DistrictId, GeoDb, Germany};
 use cwa_netflow::flow::FlowRecord;
+use cwa_netflow::sink::FlowSink;
 
 use crate::filter::FlowFilter;
 
@@ -152,7 +153,8 @@ impl<'a> GeolocationPipeline<'a> {
     }
 
     /// Geolocates all matching records, restricted to study days
-    /// `[from_day, to_day)`.
+    /// `[from_day, to_day)`. Delegates to [`GeoDayAccumulator`], so the
+    /// batch and streaming paths share one implementation.
     pub fn run(
         &self,
         records: &[FlowRecord],
@@ -160,26 +162,110 @@ impl<'a> GeolocationPipeline<'a> {
         from_day: u32,
         to_day: u32,
     ) -> GeoResult {
-        let mut district_flows = vec![0u64; self.germany.len()];
-        let mut attribution_counts: HashMap<GeoAttribution, u64> = HashMap::new();
+        let mut acc = GeoDayAccumulator::new(self, to_day);
         for rec in records {
-            if !filter.matches(rec) {
-                continue;
+            if filter.matches(rec) {
+                acc.observe(rec);
             }
-            let day = (rec.first_ms / 86_400_000) as u32;
-            if day < from_day || day >= to_day {
-                continue;
+        }
+        acc.result(from_day, to_day)
+    }
+}
+
+/// Maps an attribution to its slot in the per-day count arrays.
+fn attribution_index(attr: GeoAttribution) -> usize {
+    match attr {
+        GeoAttribution::RouterGroundTruth => 0,
+        GeoAttribution::GeoDatabase => 1,
+        GeoAttribution::Unlocated => 2,
+    }
+}
+
+const ATTRIBUTIONS: [GeoAttribution; 3] = [
+    GeoAttribution::RouterGroundTruth,
+    GeoAttribution::GeoDatabase,
+    GeoAttribution::Unlocated,
+];
+
+/// Per-day geolocation accumulator: **one** pass over the (already
+/// §2-filtered) record stream yields the [`GeoResult`] of *any* day
+/// window afterwards — the 10-day map and the day-1 map of `Study` no
+/// longer need separate record scans.
+///
+/// Records are expected to have passed the flow filter; the client is
+/// the destination address (CDN → user direction), exactly
+/// [`FlowFilter::client_of`]. Records on days `>= days` are dropped.
+pub struct GeoDayAccumulator<'a> {
+    pipeline: &'a GeolocationPipeline<'a>,
+    /// `day_district_flows[day][district]`.
+    day_district_flows: Vec<Vec<u64>>,
+    /// Per-day attribution counts, indexed by [`attribution_index`].
+    day_attributions: Vec<[u64; 3]>,
+    days: u32,
+}
+
+impl<'a> GeoDayAccumulator<'a> {
+    /// Creates an accumulator covering study days `[0, days)`.
+    pub fn new(pipeline: &'a GeolocationPipeline<'a>, days: u32) -> Self {
+        GeoDayAccumulator {
+            pipeline,
+            day_district_flows: vec![vec![0u64; pipeline.germany.len()]; days as usize],
+            day_attributions: vec![[0u64; 3]; days as usize],
+            days,
+        }
+    }
+
+    /// Geolocates one filtered record into its day's tables.
+    pub fn observe(&mut self, rec: &FlowRecord) {
+        let day = (rec.first_ms / 86_400_000) as u32;
+        if day >= self.days {
+            return;
+        }
+        let (district, attribution) = self.pipeline.locate(rec.key.dst_ip);
+        self.day_attributions[day as usize][attribution_index(attribution)] += 1;
+        if let Some(d) = district {
+            self.day_district_flows[day as usize][usize::from(d.0)] += 1;
+        }
+    }
+
+    /// The aggregated [`GeoResult`] for the window `[from_day, to_day)`
+    /// (clipped to the accumulator's coverage). Attribution counts only
+    /// contain keys that were actually observed, matching the batch
+    /// pipeline's map exactly.
+    pub fn result(&self, from_day: u32, to_day: u32) -> GeoResult {
+        let mut district_flows = vec![0u64; self.pipeline.germany.len()];
+        let mut attributions = [0u64; 3];
+        for day in from_day..to_day.min(self.days) {
+            for (total, day_count) in district_flows
+                .iter_mut()
+                .zip(&self.day_district_flows[day as usize])
+            {
+                *total += day_count;
             }
-            let (district, attribution) = self.locate(filter.client_of(rec));
-            *attribution_counts.entry(attribution).or_insert(0) += 1;
-            if let Some(d) = district {
-                district_flows[usize::from(d.0)] += 1;
+            for (total, day_count) in attributions
+                .iter_mut()
+                .zip(&self.day_attributions[day as usize])
+            {
+                *total += day_count;
+            }
+        }
+        let mut attribution_counts = HashMap::new();
+        for attr in ATTRIBUTIONS {
+            let count = attributions[attribution_index(attr)];
+            if count > 0 {
+                attribution_counts.insert(attr, count);
             }
         }
         GeoResult {
             district_flows,
             attribution_counts,
         }
+    }
+}
+
+impl FlowSink for GeoDayAccumulator<'_> {
+    fn observe(&mut self, rec: &FlowRecord) {
+        GeoDayAccumulator::observe(self, rec);
     }
 }
 
@@ -290,6 +376,67 @@ mod tests {
         let result = pipeline.run(&records, &filter(), 0, 10);
         let total: u64 = result.district_flows.iter().sum();
         assert_eq!(total, 2, "day-10 record excluded");
+    }
+
+    /// The pre-accumulator implementation of `run`, kept inline as the
+    /// reference for the single-pass refactor.
+    fn reference_run(
+        pipeline: &GeolocationPipeline<'_>,
+        records: &[FlowRecord],
+        f: &FlowFilter,
+        from_day: u32,
+        to_day: u32,
+    ) -> GeoResult {
+        let mut district_flows = vec![0u64; pipeline.germany.len()];
+        let mut attribution_counts: HashMap<GeoAttribution, u64> = HashMap::new();
+        for r in records {
+            if !f.matches(r) {
+                continue;
+            }
+            let day = (r.first_ms / 86_400_000) as u32;
+            if day < from_day || day >= to_day {
+                continue;
+            }
+            let (district, attribution) = pipeline.locate(f.client_of(r));
+            *attribution_counts.entry(attribution).or_insert(0) += 1;
+            if let Some(d) = district {
+                district_flows[usize::from(d.0)] += 1;
+            }
+        }
+        GeoResult {
+            district_flows,
+            attribution_counts,
+        }
+    }
+
+    #[test]
+    fn one_pass_accumulator_matches_two_pass_reference() {
+        let (g, plan, geodb, isp_table) = setup();
+        let pipeline = GeolocationPipeline::new(&g, &geodb, &isp_table, 18);
+        let f = filter();
+        let mut records = Vec::new();
+        for (i, alloc) in plan.allocations().iter().take(200).enumerate() {
+            records.push(rec(alloc.host(1), (i % 11) as u64));
+        }
+        records.push(rec(Ipv4Addr::new(8, 8, 8, 8), 1)); // unlocated
+
+        // One accumulator pass serves both windows…
+        let mut acc = GeoDayAccumulator::new(&pipeline, 11);
+        for r in &records {
+            if f.matches(r) {
+                acc.observe(r);
+            }
+        }
+        // …and must equal the old implementation's separate full scans.
+        for (from, to) in [(1u32, 11u32), (1, 2), (0, 11), (3, 7)] {
+            let single = acc.result(from, to);
+            let double = reference_run(&pipeline, &records, &f, from, to);
+            assert_eq!(single.district_flows, double.district_flows, "{from}..{to}");
+            assert_eq!(
+                single.attribution_counts, double.attribution_counts,
+                "{from}..{to}"
+            );
+        }
     }
 
     #[test]

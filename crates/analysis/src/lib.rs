@@ -22,6 +22,10 @@
 //! * [`outbreak`] — §3's outbreak analysis: growth ratios around June 23
 //!   per federal state (NRW vs. the rest), the Gütersloh local check,
 //!   and the Berlin June-18 single-ISP check.
+//! * [`stream`] — the streaming fan-out driver: applies the §2 filter
+//!   once and feeds each matching record to every registered
+//!   [`FlowSink`](cwa_netflow::sink::FlowSink) consumer — all analyses
+//!   in **one** record pass, O(chunk) resident memory.
 //! * [`figures`] — assembles the Figure-2 and Figure-3 data structures
 //!   and renders them as text/CSV for the benches and examples.
 //! * [`zipmap`] — ZIP-code-area roll-up (the figure's actual spatial
@@ -40,14 +44,16 @@ pub mod geoloc;
 pub mod outbreak;
 pub mod persistence;
 pub mod stats;
+pub mod stream;
 pub mod svg;
 pub mod timeseries;
 pub mod zipmap;
 
 pub use figures::{Figure2, Figure3};
 pub use filter::FlowFilter;
-pub use geoloc::{GeoAttribution, GeolocationPipeline};
-pub use outbreak::OutbreakAnalysis;
+pub use geoloc::{GeoAttribution, GeoDayAccumulator, GeolocationPipeline};
+pub use outbreak::{OutbreakAccumulator, OutbreakAnalysis};
 pub use persistence::PersistenceAnalysis;
+pub use stream::FanOut;
 pub use timeseries::HourlySeries;
 pub use zipmap::ZipAreaMap;

@@ -24,6 +24,7 @@ use serde::{Deserialize, Serialize};
 
 use cwa_geo::{DistrictId, FederalState, Germany};
 use cwa_netflow::flow::FlowRecord;
+use cwa_netflow::sink::FlowSink;
 
 use crate::filter::FlowFilter;
 use crate::geoloc::GeolocationPipeline;
@@ -55,42 +56,13 @@ impl OutbreakAnalysis {
     where
         F: Fn(Ipv4Addr) -> Option<u8>,
     {
-        let n = germany.len();
-        let mut district_flows = vec![vec![0u64; n]; days as usize];
-        let mut state_flows = vec![[0u64; 16]; days as usize];
-        let mut berlin_isp_flows: HashMap<u8, Vec<u64>> = HashMap::new();
-        let berlin = germany.by_name("Berlin").map(|d| d.id);
-
+        let mut acc = OutbreakAccumulator::new(germany, pipeline, isp_of, days);
         for rec in records {
-            if !filter.matches(rec) {
-                continue;
-            }
-            let day = (rec.first_ms / 86_400_000) as u32;
-            if day >= days {
-                continue;
-            }
-            let client = filter.client_of(rec);
-            let (district, _attr) = pipeline.locate(client);
-            let Some(district) = district else { continue };
-            district_flows[day as usize][usize::from(district.0)] += 1;
-            let state = germany.district(district).state;
-            state_flows[day as usize][state.index()] += 1;
-
-            if Some(district) == berlin {
-                if let Some(isp) = isp_of(client) {
-                    berlin_isp_flows
-                        .entry(isp)
-                        .or_insert_with(|| vec![0u64; days as usize])[day as usize] += 1;
-                }
+            if filter.matches(rec) {
+                acc.observe(rec);
             }
         }
-
-        OutbreakAnalysis {
-            district_flows,
-            state_flows,
-            berlin_isp_flows,
-            days,
-        }
+        acc.into_analysis()
     }
 
     /// Sum of a day range for one district.
@@ -189,6 +161,89 @@ fn ratio(post: u64, pre: u64) -> f64 {
         return f64::NAN;
     }
     post as f64 / pre as f64
+}
+
+/// Streaming form of [`OutbreakAnalysis::compute`]: feed it one
+/// (already §2-filtered) record at a time, then take the finished
+/// tables with [`into_analysis`](OutbreakAccumulator::into_analysis).
+///
+/// The client is the record's destination address (CDN → user
+/// direction), exactly [`FlowFilter::client_of`].
+pub struct OutbreakAccumulator<'a, F> {
+    germany: &'a Germany,
+    pipeline: &'a GeolocationPipeline<'a>,
+    isp_of: F,
+    berlin: Option<DistrictId>,
+    district_flows: Vec<Vec<u64>>,
+    state_flows: Vec<[u64; 16]>,
+    berlin_isp_flows: HashMap<u8, Vec<u64>>,
+    days: u32,
+}
+
+impl<'a, F> OutbreakAccumulator<'a, F>
+where
+    F: Fn(Ipv4Addr) -> Option<u8>,
+{
+    /// Creates an empty accumulator for a `days`-day study window.
+    pub fn new(
+        germany: &'a Germany,
+        pipeline: &'a GeolocationPipeline<'a>,
+        isp_of: F,
+        days: u32,
+    ) -> Self {
+        let n = germany.len();
+        OutbreakAccumulator {
+            germany,
+            pipeline,
+            isp_of,
+            berlin: germany.by_name("Berlin").map(|d| d.id),
+            district_flows: vec![vec![0u64; n]; days as usize],
+            state_flows: vec![[0u64; 16]; days as usize],
+            berlin_isp_flows: HashMap::new(),
+            days,
+        }
+    }
+
+    /// Geolocates one filtered record into the day tables.
+    pub fn observe(&mut self, rec: &FlowRecord) {
+        let day = (rec.first_ms / 86_400_000) as u32;
+        if day >= self.days {
+            return;
+        }
+        let client = rec.key.dst_ip;
+        let (district, _attr) = self.pipeline.locate(client);
+        let Some(district) = district else { return };
+        self.district_flows[day as usize][usize::from(district.0)] += 1;
+        let state = self.germany.district(district).state;
+        self.state_flows[day as usize][state.index()] += 1;
+
+        if Some(district) == self.berlin {
+            if let Some(isp) = (self.isp_of)(client) {
+                self.berlin_isp_flows
+                    .entry(isp)
+                    .or_insert_with(|| vec![0u64; self.days as usize])[day as usize] += 1;
+            }
+        }
+    }
+
+    /// Finishes the stream, yielding the analysis tables.
+    pub fn into_analysis(self) -> OutbreakAnalysis {
+        OutbreakAnalysis {
+            district_flows: self.district_flows,
+            state_flows: self.state_flows,
+            berlin_isp_flows: self.berlin_isp_flows,
+            days: self.days,
+        }
+    }
+}
+
+impl<F> FlowSink for OutbreakAccumulator<'_, F>
+where
+    F: Fn(Ipv4Addr) -> Option<u8>,
+{
+    fn observe(&mut self, rec: &FlowRecord) {
+        OutbreakAccumulator::observe(self, rec);
+    }
 }
 
 #[cfg(test)]

@@ -18,6 +18,7 @@ use std::net::Ipv4Addr;
 use serde::{Deserialize, Serialize};
 
 use cwa_netflow::flow::{prefix_of, FlowRecord};
+use cwa_netflow::sink::FlowSink;
 
 /// Per-prefix presence statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -62,6 +63,18 @@ impl PersistenceAnalysis {
         }
     }
 
+    /// Marks one filtered record's client prefix present on its day
+    /// (the streaming form of [`ingest`](PersistenceAnalysis::ingest)).
+    pub fn observe(&mut self, rec: &FlowRecord) {
+        let day = (rec.first_ms / 86_400_000) as u32;
+        if day >= self.days {
+            return;
+        }
+        let prefix = prefix_of(rec.key.dst_ip, self.prefix_len);
+        let bits = self.presence.entry(prefix).or_insert(PresenceBits(0));
+        bits.0 |= 1u64 << day;
+    }
+
     /// Ingests filtered records, extracting the client (destination)
     /// address of each.
     pub fn ingest<'a, I>(&mut self, records: I)
@@ -69,13 +82,7 @@ impl PersistenceAnalysis {
         I: IntoIterator<Item = &'a FlowRecord>,
     {
         for rec in records {
-            let day = (rec.first_ms / 86_400_000) as u32;
-            if day >= self.days {
-                continue;
-            }
-            let prefix = prefix_of(rec.key.dst_ip, self.prefix_len);
-            let bits = self.presence.entry(prefix).or_insert(PresenceBits(0));
-            bits.0 |= 1u64 << day;
+            self.observe(rec);
         }
     }
 
@@ -123,6 +130,12 @@ impl PersistenceAnalysis {
             return f64::NAN;
         }
         p.iter().filter(|x| x.fraction() >= 1.0).count() as f64 / p.len() as f64
+    }
+}
+
+impl FlowSink for PersistenceAnalysis {
+    fn observe(&mut self, rec: &FlowRecord) {
+        PersistenceAnalysis::observe(self, rec);
     }
 }
 

@@ -1,0 +1,164 @@
+//! The streaming fan-out driver: one record pass, every consumer fed.
+//!
+//! [`FanOut`] is itself a [`FlowSink`], so it plugs directly into the
+//! producers' chunked emission (`PreparedSim::run_traffic` in
+//! `cwa-simnet`). It applies the §2 flow filter **once** per record and
+//! forwards each match to every registered consumer — the streaming
+//! replacement for the five-plus full scans the batch pipeline used to
+//! make (filter, hourly series, two geolocation windows, persistence,
+//! outbreak).
+//!
+//! The driver keeps plain `u64` counts (records in, records matched,
+//! per-consumer deliveries); the caller publishes them to an
+//! observability registry if one is attached — this crate stays free of
+//! any obs dependency.
+
+use cwa_netflow::flow::FlowRecord;
+use cwa_netflow::sink::FlowSink;
+
+use crate::filter::FlowFilter;
+
+/// One registered consumer with its delivery count.
+struct Consumer<'a> {
+    name: &'static str,
+    sink: &'a mut dyn FlowSink,
+    records: u64,
+}
+
+/// Filters the record stream once and fans each matching record out to
+/// every registered consumer, in registration order.
+pub struct FanOut<'a> {
+    filter: &'a FlowFilter,
+    consumers: Vec<Consumer<'a>>,
+    records_in: u64,
+    records_matched: u64,
+}
+
+impl<'a> FanOut<'a> {
+    /// Creates a driver applying `filter` to the incoming stream.
+    pub fn new(filter: &'a FlowFilter) -> Self {
+        FanOut {
+            filter,
+            consumers: Vec::new(),
+            records_in: 0,
+            records_matched: 0,
+        }
+    }
+
+    /// Registers a named consumer. Matching records are delivered in
+    /// registration order.
+    pub fn register(&mut self, name: &'static str, sink: &'a mut dyn FlowSink) {
+        self.consumers.push(Consumer {
+            name,
+            sink,
+            records: 0,
+        });
+    }
+
+    /// Total records seen (before filtering).
+    pub fn records_in(&self) -> u64 {
+        self.records_in
+    }
+
+    /// Records that passed the filter (each was delivered to every
+    /// consumer).
+    pub fn records_matched(&self) -> u64 {
+        self.records_matched
+    }
+
+    /// Per-consumer delivery counts, in registration order.
+    pub fn consumer_counts(&self) -> Vec<(&'static str, u64)> {
+        self.consumers.iter().map(|c| (c.name, c.records)).collect()
+    }
+}
+
+impl FlowSink for FanOut<'_> {
+    fn observe(&mut self, rec: &FlowRecord) {
+        self.records_in += 1;
+        if !self.filter.matches(rec) {
+            return;
+        }
+        self.records_matched += 1;
+        for c in &mut self.consumers {
+            c.sink.observe(rec);
+            c.records += 1;
+        }
+    }
+
+    fn finish(&mut self) {
+        for c in &mut self.consumers {
+            c.sink.finish();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeseries::HourlySeries;
+    use cwa_netflow::flow::{FlowKey, Protocol};
+    use cwa_netflow::sink::CountingSink;
+    use std::net::Ipv4Addr;
+
+    fn cdn_rec(hour: u64) -> FlowRecord {
+        FlowRecord {
+            key: FlowKey {
+                src_ip: Ipv4Addr::new(81, 200, 16, 1),
+                dst_ip: Ipv4Addr::new(84, 0, 0, 1),
+                src_port: 443,
+                dst_port: 50_000,
+                protocol: Protocol::Tcp,
+            },
+            packets: 1,
+            bytes: 700,
+            first_ms: hour * 3_600_000,
+            last_ms: hour * 3_600_000 + 100,
+            tcp_flags: 0x18,
+        }
+    }
+
+    fn background_rec() -> FlowRecord {
+        let mut r = cdn_rec(0);
+        r.key.src_ip = Ipv4Addr::new(203, 0, 113, 9);
+        r
+    }
+
+    fn filter() -> FlowFilter {
+        FlowFilter::cwa(vec![(Ipv4Addr::new(81, 200, 16, 0), 22)])
+    }
+
+    #[test]
+    fn filters_once_and_fans_out_to_all() {
+        let f = filter();
+        let mut series = HourlySeries::new(24);
+        let mut count = CountingSink::default();
+        let mut fan = FanOut::new(&f);
+        fan.register("timeseries", &mut series);
+        fan.register("count", &mut count);
+
+        fan.observe(&cdn_rec(0));
+        fan.observe(&background_rec());
+        fan.observe(&cdn_rec(3));
+        fan.finish();
+
+        assert_eq!(fan.records_in(), 3);
+        assert_eq!(fan.records_matched(), 2);
+        assert_eq!(fan.consumer_counts(), vec![("timeseries", 2), ("count", 2)]);
+        assert_eq!(series.total_flows(), 2);
+        assert_eq!(series.flows[3], 1);
+        assert_eq!(count.records, 2);
+        assert!(count.finished, "finish propagates to consumers");
+    }
+
+    #[test]
+    fn empty_stream_is_well_formed() {
+        let f = filter();
+        let mut count = CountingSink::default();
+        let mut fan = FanOut::new(&f);
+        fan.register("count", &mut count);
+        fan.finish();
+        assert_eq!(fan.records_in(), 0);
+        assert_eq!(fan.records_matched(), 0);
+        assert!(count.finished);
+    }
+}

@@ -9,6 +9,7 @@
 use serde::{Deserialize, Serialize};
 
 use cwa_netflow::flow::FlowRecord;
+use cwa_netflow::sink::FlowSink;
 
 /// Hour-resolved flow/byte counts over the measurement window.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -20,21 +21,34 @@ pub struct HourlySeries {
 }
 
 impl HourlySeries {
+    /// Creates an empty series with `hours` hourly bins.
+    pub fn new(hours: u32) -> Self {
+        HourlySeries {
+            flows: vec![0u64; hours as usize],
+            bytes: vec![0u64; hours as usize],
+        }
+    }
+
+    /// Accounts one record into its hourly bin (the streaming form;
+    /// records beyond the window are dropped, as in batch bucketing).
+    pub fn observe(&mut self, rec: &FlowRecord) {
+        let hour = (rec.first_ms / 3_600_000) as usize;
+        if hour < self.flows.len() {
+            self.flows[hour] += 1;
+            self.bytes[hour] += rec.bytes;
+        }
+    }
+
     /// Buckets records into `hours` hourly bins by `first_ms`.
     pub fn from_records<'a, I>(records: I, hours: u32) -> Self
     where
         I: IntoIterator<Item = &'a FlowRecord>,
     {
-        let mut flows = vec![0u64; hours as usize];
-        let mut bytes = vec![0u64; hours as usize];
+        let mut series = HourlySeries::new(hours);
         for rec in records {
-            let hour = (rec.first_ms / 3_600_000) as usize;
-            if hour < flows.len() {
-                flows[hour] += 1;
-                bytes[hour] += rec.bytes;
-            }
+            series.observe(rec);
         }
-        HourlySeries { flows, bytes }
+        series
     }
 
     /// Total flows.
@@ -112,6 +126,12 @@ impl HourlySeries {
             }
         }
         profile
+    }
+}
+
+impl FlowSink for HourlySeries {
+    fn observe(&mut self, rec: &FlowRecord) {
+        HourlySeries::observe(self, rec);
     }
 }
 

@@ -1,0 +1,114 @@
+//! **Batch vs. streaming study pipeline** — wall time and record
+//! residency of `Study::run` (materialize all flow records, then five
+//! analysis passes) against `Study::run_streaming` (fused single-pass
+//! fan-out, one export-hour chunk resident at a time), at two scales.
+//!
+//! Plain `harness = false` binary with manual timing: each measurement
+//! is a full simulate+analyze run (seconds), so Criterion's sampling
+//! machinery would only add noise-floor theater around a handful of
+//! iterations. Results are printed as a table and written to
+//! `BENCH_streaming.json` at the workspace root.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use serde::Serialize;
+
+use cwa_core::{Study, StudyConfig};
+use cwa_netflow::CountingSink;
+use cwa_simnet::Simulation;
+
+const SCALES: [f64; 2] = [0.005, 0.02];
+const REPS: usize = 3;
+
+#[derive(Serialize)]
+struct RunRow {
+    scale: f64,
+    batch_wall_ms: f64,
+    streaming_wall_ms: f64,
+    speedup: f64,
+    total_records: u64,
+    peak_resident_records_batch: u64,
+    peak_resident_records_streaming: u64,
+    matching_flows: u64,
+}
+
+#[derive(Serialize)]
+struct BenchDoc {
+    schema: &'static str,
+    generated_by: &'static str,
+    reps_per_path: usize,
+    statistic: &'static str,
+    runs: Vec<RunRow>,
+}
+
+fn median_ms(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
+
+fn time_runs<F: FnMut() -> u64>(mut run: F) -> (f64, u64) {
+    let mut samples = Vec::with_capacity(REPS);
+    let mut check = 0;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        check = black_box(run());
+        samples.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    (median_ms(samples), check)
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    println!("scale    batch_ms   stream_ms  speedup  resident(batch)  resident(stream)");
+    for scale in SCALES {
+        let config = StudyConfig::at_scale(scale);
+
+        let (batch_ms, batch_flows) = time_runs(|| Study::new(config).run().matching_flows);
+        let (stream_ms, stream_flows) =
+            time_runs(|| Study::new(config).run_streaming().matching_flows);
+        assert_eq!(
+            batch_flows, stream_flows,
+            "batch and streaming must agree on the matching-flow count"
+        );
+
+        // Residency: drive the producer once into a counting sink. The
+        // batch path holds every record at peak; the streaming path
+        // holds at most one export hour.
+        let prepared = Simulation::new(config.sim).prepare();
+        let mut sink = CountingSink::default();
+        let (_truth, stats) = prepared.run_traffic(&mut sink);
+        assert!(stats.peak_resident_records < sink.records);
+
+        println!(
+            "{scale:<8} {batch_ms:<10.1} {stream_ms:<10.1} {:<8.2} {:<16} {}",
+            batch_ms / stream_ms,
+            sink.records,
+            stats.peak_resident_records
+        );
+        rows.push(RunRow {
+            scale,
+            batch_wall_ms: (batch_ms * 1e3).round() / 1e3,
+            streaming_wall_ms: (stream_ms * 1e3).round() / 1e3,
+            speedup: ((batch_ms / stream_ms) * 1e3).round() / 1e3,
+            total_records: sink.records,
+            peak_resident_records_batch: sink.records,
+            peak_resident_records_streaming: stats.peak_resident_records,
+            matching_flows: batch_flows,
+        });
+    }
+
+    let doc = BenchDoc {
+        schema: "cwa-bench-streaming/v1",
+        generated_by: "cargo bench -p cwa-bench --bench streaming",
+        reps_per_path: REPS,
+        statistic: "median wall ms",
+        runs: rows,
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_streaming.json");
+    let pretty = serde_json::to_string_pretty(&doc).expect("serializes");
+    match std::fs::write(path, pretty + "\n") {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+}

@@ -10,13 +10,14 @@ use cwa_obs::Registry;
 
 use cwa_analysis::figures::{Figure2, Figure3};
 use cwa_analysis::filter::FlowFilter;
-use cwa_analysis::geoloc::{GeolocationPipeline, IspInfo};
-use cwa_analysis::outbreak::OutbreakAnalysis;
+use cwa_analysis::geoloc::{GeoDayAccumulator, GeoResult, GeolocationPipeline, IspInfo};
+use cwa_analysis::outbreak::{OutbreakAccumulator, OutbreakAnalysis};
 use cwa_analysis::persistence::PersistenceAnalysis;
+use cwa_analysis::stream::FanOut;
 use cwa_analysis::timeseries::HourlySeries;
 use cwa_epidemic::timeline::{JULY_24_DAY, MILESTONE_36H_HOUR};
 use cwa_epidemic::{AdoptionConfig, AdoptionModel, Timeline};
-use cwa_simnet::{SimConfig, SimOutput, Simulation};
+use cwa_simnet::{IspSideEntry, SimConfig, SimOutput, Simulation};
 
 use crate::claims::{Claim, ClaimId};
 use crate::report::{PhaseTiming, RunManifest, StudyReport};
@@ -102,6 +103,49 @@ fn record_phase(
     }
 }
 
+/// Converts the simulator's ISP side table into the analysis crate's
+/// vocabulary (shared by the batch and streaming paths).
+fn analysis_isp_table(table: &HashMap<u32, IspSideEntry>) -> HashMap<u32, IspInfo> {
+    table
+        .iter()
+        .map(|(&net, e)| {
+            (
+                net,
+                IspInfo {
+                    isp: e.isp.0,
+                    router_district: e.router_district,
+                },
+            )
+        })
+        .collect()
+}
+
+/// Client-address → ISP resolver over the anonymized side table.
+fn isp_resolver(
+    isp_table: &HashMap<u32, IspInfo>,
+    prefix_len: u8,
+) -> impl Fn(std::net::Ipv4Addr) -> Option<u8> + '_ {
+    move |client| {
+        let net = cwa_geo::geodb::mask(client, prefix_len);
+        isp_table.get(&net).map(|e| e.isp)
+    }
+}
+
+/// Everything the analysis stages produce before claim evaluation. Both
+/// the batch path ([`Study::run`] / [`Study::analyze`]) and the
+/// streaming path ([`Study::run_streaming`]) fill this struct and hand
+/// it to the shared report assembly, which guarantees the two paths
+/// cannot diverge in how claims are derived.
+struct AnalysisProducts {
+    series: HourlySeries,
+    geo_10day: GeoResult,
+    geo_day1: GeoResult,
+    persistence: PersistenceAnalysis,
+    outbreak: OutbreakAnalysis,
+    matching_flows: u64,
+    total_records: u64,
+}
+
 impl Study {
     /// Creates a runner.
     pub fn new(config: StudyConfig) -> Self {
@@ -142,17 +186,17 @@ impl Study {
         let cfg = &self.config;
         let days = sim.config.days;
         let hours = days * 24;
-        let scale = sim.config.scale;
 
         let mut timings: Vec<PhaseTiming> = Vec::new();
         if let Some(elapsed) = simulate {
             record_phase(&mut timings, &self.metrics, "phase.simulate", elapsed);
         }
 
-        // §2: the data set.
+        // §2: the data set. Borrowed references into `sim.records` —
+        // the matching set is not materialized a second time.
         let t = Instant::now();
         let filter = FlowFilter::cwa(sim.cdn.service_prefixes.to_vec());
-        let matching = filter.apply_owned(&sim.records);
+        let matching = filter.apply(&sim.records);
         record_phase(&mut timings, &self.metrics, "analysis.filter", t.elapsed());
         if let Some(registry) = &self.metrics {
             registry
@@ -165,10 +209,7 @@ impl Study {
 
         // Figure 2 inputs.
         let t = Instant::now();
-        let series = HourlySeries::from_records(matching.iter(), hours);
-        let downloads_hourly: Vec<f64> =
-            (0..hours).map(|h| sim.downloads.downloads_at(h)).collect();
-        let figure2 = Figure2::assemble(&series, &downloads_hourly, 48);
+        let series = HourlySeries::from_records(matching.iter().copied(), hours);
         record_phase(
             &mut timings,
             &self.metrics,
@@ -183,19 +224,7 @@ impl Study {
 
         // Side tables in the analysis crate's vocabulary.
         let t = Instant::now();
-        let isp_table: HashMap<u32, IspInfo> = sim
-            .isp_table
-            .iter()
-            .map(|(&net, e)| {
-                (
-                    net,
-                    IspInfo {
-                        isp: e.isp.0,
-                        router_district: e.router_district,
-                    },
-                )
-            })
-            .collect();
+        let isp_table = analysis_isp_table(&sim.isp_table);
         let pipeline = GeolocationPipeline::new(
             &sim.germany,
             &sim.geodb,
@@ -203,10 +232,16 @@ impl Study {
             sim.config.plan.prefix_len,
         );
 
-        // Figure 3: 10 days starting at release (June 16–25).
-        let geo_10day = pipeline.run(&sim.records, &filter, 1, days.min(11));
-        let geo_day1 = pipeline.run(&sim.records, &filter, 1, 2);
-        let figure3 = Figure3::assemble(&sim.germany, &geo_10day);
+        // Figure 3: 10 days starting at release (June 16–25). One
+        // accumulator pass over the already-filtered records serves
+        // both the 10-day and the day-1 windows (the day-1 map used to
+        // cost a second full scan of all records).
+        let mut geo_acc = GeoDayAccumulator::new(&pipeline, days.min(11));
+        for rec in matching.iter().copied() {
+            geo_acc.observe(rec);
+        }
+        let geo_10day = geo_acc.result(1, days.min(11));
+        let geo_day1 = geo_acc.result(1, 2);
         record_phase(&mut timings, &self.metrics, "analysis.geoloc", t.elapsed());
         if let Some(registry) = &self.metrics {
             let attributed: u64 = geo_10day.district_flows.iter().sum();
@@ -218,7 +253,7 @@ impl Study {
         // Persistence.
         let t = Instant::now();
         let mut persistence = PersistenceAnalysis::new(cfg.persistence_prefix_len, days);
-        persistence.ingest(matching.iter());
+        persistence.ingest(matching.iter().copied());
         record_phase(
             &mut timings,
             &self.metrics,
@@ -231,25 +266,184 @@ impl Study {
                 .add(persistence.prefix_count() as u64);
         }
 
-        // Outbreak analysis.
+        // Outbreak analysis over the same already-filtered records —
+        // no further full scan.
         let t = Instant::now();
-        let outbreak = OutbreakAnalysis::compute(
+        let mut outbreak_acc = OutbreakAccumulator::new(
             &sim.germany,
-            &sim.records,
-            &filter,
             &pipeline,
-            |client| {
-                let net = cwa_geo::geodb::mask(client, sim.config.plan.prefix_len);
-                isp_table.get(&net).map(|e| e.isp)
-            },
+            isp_resolver(&isp_table, sim.config.plan.prefix_len),
             days,
         );
+        for rec in matching.iter().copied() {
+            outbreak_acc.observe(rec);
+        }
+        let outbreak = outbreak_acc.into_analysis();
         record_phase(
             &mut timings,
             &self.metrics,
             "analysis.outbreak",
             t.elapsed(),
         );
+
+        let products = AnalysisProducts {
+            series,
+            geo_10day,
+            geo_day1,
+            persistence,
+            outbreak,
+            matching_flows: matching.len() as u64,
+            total_records: sim.records.len() as u64,
+        };
+        self.assemble_report(sim, products, timings)
+    }
+
+    /// Runs the fused simulate+analyze streaming pipeline.
+    ///
+    /// The simulation emits each export hour's flow records straight
+    /// into a [`FanOut`] driver, which applies the §2 filter once and
+    /// feeds every analysis consumer incrementally — the full record
+    /// vector is never materialized; only one emission chunk (an export
+    /// hour) is resident at a time. The resulting [`StudyReport`] is
+    /// bit-identical to [`Study::run`]'s modulo the volatile phase
+    /// timings (compare after [`StudyReport::strip_volatile`]).
+    pub fn run_streaming(&self) -> StudyReport {
+        let cfg = &self.config;
+        let days = cfg.sim.days;
+        let hours = days * 24;
+
+        let started = Instant::now();
+        let mut simulation = Simulation::new(cfg.sim);
+        if let Some(registry) = &self.metrics {
+            simulation = simulation.with_metrics(Arc::clone(registry));
+        }
+        let prepared = simulation.prepare();
+
+        let mut timings: Vec<PhaseTiming> = Vec::new();
+        let (products, truth) = {
+            let filter = FlowFilter::cwa(prepared.cdn.service_prefixes.to_vec());
+            let isp_table = analysis_isp_table(&prepared.isp_table);
+            let pipeline = GeolocationPipeline::new(
+                &prepared.germany,
+                &prepared.geodb,
+                &isp_table,
+                prepared.config.plan.prefix_len,
+            );
+
+            let mut series = HourlySeries::new(hours);
+            let mut geo_acc = GeoDayAccumulator::new(&pipeline, days.min(11));
+            let mut persistence = PersistenceAnalysis::new(cfg.persistence_prefix_len, days);
+            let mut outbreak_acc = OutbreakAccumulator::new(
+                &prepared.germany,
+                &pipeline,
+                isp_resolver(&isp_table, prepared.config.plan.prefix_len),
+                days,
+            );
+
+            let (records_in, records_matched, consumer_counts, truth) = {
+                let mut fan = FanOut::new(&filter);
+                fan.register("timeseries", &mut series);
+                fan.register("geoloc", &mut geo_acc);
+                fan.register("persistence", &mut persistence);
+                fan.register("outbreak", &mut outbreak_acc);
+                let (truth, _stats) = prepared.run_traffic(&mut fan);
+                (
+                    fan.records_in(),
+                    fan.records_matched(),
+                    fan.consumer_counts(),
+                    truth,
+                )
+            };
+            record_phase(
+                &mut timings,
+                &self.metrics,
+                "phase.simulate_analyze",
+                started.elapsed(),
+            );
+
+            let geo_10day = geo_acc.result(1, days.min(11));
+            let geo_day1 = geo_acc.result(1, 2);
+
+            if let Some(registry) = &self.metrics {
+                // Streaming-specific counters: one per consumer plus
+                // the driver's own in/matched totals.
+                registry
+                    .counter("analysis.stream.records_in")
+                    .add(records_in);
+                registry
+                    .counter("analysis.stream.records_matched")
+                    .add(records_matched);
+                for (name, count) in &consumer_counts {
+                    registry
+                        .counter(&format!("analysis.stream.{name}.records"))
+                        .add(*count);
+                }
+                // Plus the batch pipeline's counters with identical
+                // values, so dashboards read the same either way.
+                registry
+                    .counter("analysis.filter.records_in")
+                    .add(records_in);
+                registry
+                    .counter("analysis.filter.records_matched")
+                    .add(records_matched);
+                registry
+                    .counter("analysis.timeseries.hours")
+                    .add(u64::from(hours));
+                registry
+                    .counter("analysis.geoloc.attributed_flows")
+                    .add(geo_10day.district_flows.iter().sum::<u64>());
+                registry
+                    .counter("analysis.persistence.prefixes")
+                    .add(persistence.prefix_count() as u64);
+            }
+
+            (
+                AnalysisProducts {
+                    series,
+                    geo_10day,
+                    geo_day1,
+                    persistence,
+                    outbreak: outbreak_acc.into_analysis(),
+                    matching_flows: records_matched,
+                    total_records: records_in,
+                },
+                truth,
+            )
+        };
+
+        // Side data (DNS study, download curve, plan ground truth) for
+        // claim evaluation; `records` stays empty by construction.
+        let sim = prepared.into_output(Vec::new(), truth);
+        self.assemble_report(&sim, products, timings)
+    }
+
+    /// Claim evaluation, figures, and manifest assembly — shared
+    /// verbatim by the batch and streaming paths so both produce the
+    /// exact same report from the same analysis products.
+    fn assemble_report(
+        &self,
+        sim: &SimOutput,
+        products: AnalysisProducts,
+        mut timings: Vec<PhaseTiming>,
+    ) -> StudyReport {
+        let cfg = &self.config;
+        let days = sim.config.days;
+        let hours = days * 24;
+        let scale = sim.config.scale;
+        let AnalysisProducts {
+            series,
+            geo_10day,
+            geo_day1,
+            persistence,
+            outbreak,
+            matching_flows,
+            total_records,
+        } = products;
+
+        let downloads_hourly: Vec<f64> =
+            (0..hours).map(|h| sim.downloads.downloads_at(h)).collect();
+        let figure2 = Figure2::assemble(&series, &downloads_hourly, 48);
+        let figure3 = Figure3::assemble(&sim.germany, &geo_10day);
 
         // Adoption milestones need the curve through July 24.
         let t = Instant::now();
@@ -268,14 +462,14 @@ impl Study {
         let mut claims = Vec::new();
 
         // ---- C1: ≈3.3 M matching flows (scale-adjusted). ----
-        let flows_fullscale = matching.len() as f64 / scale;
+        let flows_fullscale = matching_flows as f64 / scale;
         claims.push(Claim::evaluate(
             ClaimId::C1MatchingFlows,
             "≈3.3M matching flows within June 15–25 (§2)",
             Some(3.3e6),
             flows_fullscale,
             (1.5e6, 6.5e6),
-            format!("{} records at scale {scale}", matching.len()),
+            format!("{matching_flows} records at scale {scale}"),
         ));
 
         // ---- C2: 7.5× release-day jump. ----
@@ -472,8 +666,8 @@ impl Study {
             figure2,
             figure3,
             claims,
-            matching_flows: matching.len() as u64,
-            total_records: sim.records.len() as u64,
+            matching_flows,
+            total_records,
             district_flows: geo_10day.district_flows.clone(),
             persistence_median: median,
             persistence_p75: p75,

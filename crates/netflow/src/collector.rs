@@ -16,6 +16,7 @@ use cwa_obs::{Counter, Registry};
 
 use crate::anonymize::CryptoPan;
 use crate::flow::{in_prefix, FlowRecord};
+use crate::sink::FlowSink;
 use crate::v5::{ExportPacket, V5Error};
 
 /// Observability handles for a [`Collector`] (all increments are single
@@ -64,6 +65,7 @@ pub struct Collector {
     records: Vec<FlowRecord>,
     engines: HashMap<u8, (Option<u32>, EngineStats)>,
     metrics: Option<CollectorMetrics>,
+    peak_resident: usize,
 }
 
 impl Collector {
@@ -75,6 +77,7 @@ impl Collector {
             records: Vec::new(),
             engines: HashMap::new(),
             metrics: None,
+            peak_resident: 0,
         }
     }
 
@@ -88,6 +91,7 @@ impl Collector {
             records: Vec::new(),
             engines: HashMap::new(),
             metrics: None,
+            peak_resident: 0,
         }
     }
 
@@ -139,6 +143,7 @@ impl Collector {
             );
             self.records.push(rec);
         }
+        self.peak_resident = self.peak_resident.max(self.records.len());
     }
 
     /// Ingests an already-decoded export packet.
@@ -196,6 +201,7 @@ impl Collector {
             );
             self.records.push(rec);
         }
+        self.peak_resident = self.peak_resident.max(self.records.len());
     }
 
     /// All records collected so far.
@@ -206,6 +212,24 @@ impl Collector {
     /// Consumes the collector, returning its records.
     pub fn into_records(self) -> Vec<FlowRecord> {
         self.records
+    }
+
+    /// Streams every resident record into `sink` (in collection order)
+    /// and clears the buffer, keeping its capacity. This is the chunked
+    /// emission primitive: draining after every export round bounds the
+    /// collector's resident set to one chunk.
+    pub fn drain_into(&mut self, sink: &mut dyn FlowSink) {
+        for rec in &self.records {
+            sink.observe(rec);
+        }
+        self.records.clear();
+    }
+
+    /// High-water mark of records resident in the collector at once.
+    /// Under chunked draining this is the chunk size; under batch
+    /// collection it equals the total record count.
+    pub fn peak_resident_records(&self) -> usize {
+        self.peak_resident
     }
 
     /// Per-engine statistics.
@@ -448,6 +472,34 @@ mod tests {
         assert_eq!(col.engine_stats(1).unwrap().records, 1);
         assert_eq!(col.engine_stats(2).unwrap().records, 1);
         assert!(col.engine_stats(3).is_none());
+    }
+
+    #[test]
+    fn drain_into_preserves_order_and_bounds_residency() {
+        let recs: Vec<FlowRecord> = (1..=60u8)
+            .map(|i| record(Ipv4Addr::new(10, 0, 0, i)))
+            .collect();
+        let (pkts, _) = packetize(&recs, 1, 1000, 0, 0);
+        assert!(pkts.len() >= 2, "need several chunks");
+
+        // Drained after every packet: peak residency is one packet's
+        // worth of records, and the drained stream equals the batch.
+        let mut drained: Vec<FlowRecord> = Vec::new();
+        let mut col = Collector::new_raw();
+        for p in &pkts {
+            col.ingest_packet(p.clone());
+            col.drain_into(&mut drained);
+        }
+        assert_eq!(drained, recs);
+        assert!(col.records().is_empty());
+        assert!(col.peak_resident_records() < recs.len());
+
+        // Batch collection: peak residency equals the total.
+        let mut batch = Collector::new_raw();
+        for p in &pkts {
+            batch.ingest_packet(p.clone());
+        }
+        assert_eq!(batch.peak_resident_records(), recs.len());
     }
 
     #[test]

@@ -30,6 +30,9 @@
 //!   the "prefix-preserving anonymized" property of §2.
 //! * [`collector`] — reassembles export packets into a record stream and
 //!   tracks export-loss via sequence numbers.
+//! * [`sink`] — the [`FlowSink`] streaming-consumer trait: producers
+//!   hand records to consumers chunk by chunk so resident memory stays
+//!   O(chunk) instead of O(total records).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,6 +45,7 @@ pub mod csvio;
 pub mod estimate;
 pub mod flow;
 pub mod sampling;
+pub mod sink;
 pub mod v5;
 pub mod v9;
 
@@ -52,5 +56,6 @@ pub use collector::Collector;
 pub use estimate::{estimate_volumes, VolumeEstimate};
 pub use flow::{FlowKey, FlowRecord, Protocol};
 pub use sampling::{PacketSampler, SamplingMode};
+pub use sink::{CountingSink, FlowSink};
 pub use v5::{ExportPacket, V5Header};
 pub use v9::{V9Decoder, V9Exporter};

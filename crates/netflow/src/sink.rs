@@ -1,0 +1,110 @@
+//! Streaming record consumers.
+//!
+//! The paper's vantage point never holds the full study's flow set in
+//! memory — NetFlow is a *stream* of export records, and every analysis
+//! in §2–§4 (hourly series, geolocation, persistence, outbreak windows)
+//! is incrementally computable. [`FlowSink`] is the one-method contract
+//! that lets producers (the collector, the simulated vantage point)
+//! hand records to consumers chunk by chunk, so resident memory stays
+//! O(chunk) instead of O(total records).
+
+use crate::flow::FlowRecord;
+
+/// A consumer of a stream of flow records.
+///
+/// Producers call [`observe`](FlowSink::observe) once per record, in
+/// collection order, and [`finish`](FlowSink::finish) exactly once
+/// after the last record. Implementations must not assume they see the
+/// whole stream at once — that is the point.
+pub trait FlowSink {
+    /// Consumes one record. The record is borrowed; copy it only if it
+    /// must outlive the call.
+    fn observe(&mut self, rec: &FlowRecord);
+
+    /// Signals the end of the stream. Default: no-op.
+    fn finish(&mut self) {}
+}
+
+/// The trivial batching sink: collects every record into a `Vec`. This
+/// is how the streaming producers provide the legacy batch API.
+impl FlowSink for Vec<FlowRecord> {
+    fn observe(&mut self, rec: &FlowRecord) {
+        self.push(*rec);
+    }
+}
+
+/// A sink that only counts records — useful for memory-footprint
+/// assertions and smoke tests where the records themselves are not
+/// needed.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountingSink {
+    /// Records observed so far.
+    pub records: u64,
+    /// Whether `finish` has been called.
+    pub finished: bool,
+}
+
+impl FlowSink for CountingSink {
+    fn observe(&mut self, _rec: &FlowRecord) {
+        self.records += 1;
+    }
+
+    fn finish(&mut self) {
+        self.finished = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::{FlowKey, Protocol};
+    use std::net::Ipv4Addr;
+
+    fn rec(i: u8) -> FlowRecord {
+        FlowRecord {
+            key: FlowKey {
+                src_ip: Ipv4Addr::new(81, 200, 16, 1),
+                dst_ip: Ipv4Addr::new(84, 0, 0, i),
+                src_port: 443,
+                dst_port: 50_000,
+                protocol: Protocol::Tcp,
+            },
+            packets: 1,
+            bytes: 100,
+            first_ms: 0,
+            last_ms: 10,
+            tcp_flags: 0x18,
+        }
+    }
+
+    #[test]
+    fn vec_sink_collects_in_order() {
+        let mut sink: Vec<FlowRecord> = Vec::new();
+        for i in 0..5 {
+            sink.observe(&rec(i));
+        }
+        sink.finish();
+        assert_eq!(sink.len(), 5);
+        assert_eq!(sink[3], rec(3));
+    }
+
+    #[test]
+    fn counting_sink_counts_and_finishes() {
+        let mut sink = CountingSink::default();
+        sink.observe(&rec(0));
+        sink.observe(&rec(1));
+        assert_eq!(sink.records, 2);
+        assert!(!sink.finished);
+        sink.finish();
+        assert!(sink.finished);
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let mut v: Vec<FlowRecord> = Vec::new();
+        let sink: &mut dyn FlowSink = &mut v;
+        sink.observe(&rec(9));
+        sink.finish();
+        assert_eq!(v.len(), 1);
+    }
+}

@@ -46,6 +46,6 @@ pub mod vantage;
 
 pub use cdn::CdnConfig;
 pub use dns::{DnsStudy, TopListModel};
-pub use sim::{SimConfig, SimOutput, Simulation};
+pub use sim::{PreparedSim, SimConfig, SimOutput, Simulation};
 pub use traffic::{GroundTruth, TrafficConfig};
-pub use vantage::{ExportFormat, IspSideEntry, VantageConfig, VantagePoint};
+pub use vantage::{ExportFormat, IspSideEntry, VantageConfig, VantagePoint, VantageRunStats};

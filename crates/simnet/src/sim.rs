@@ -17,12 +17,16 @@ use cwa_epidemic::{
     Scenario, Timeline, UploadConfig, UploadPipeline,
 };
 use cwa_geo::{AddressPlan, AddressPlanConfig, GeoDb, GeoDbConfig, Germany, IspId};
+use cwa_netflow::anonymize::CryptoPan;
 use cwa_netflow::flow::FlowRecord;
+use cwa_netflow::sink::FlowSink;
 
 use crate::cdn::CdnConfig;
 use crate::dns::{run_dns_study, DnsStudy, TopListModel};
 use crate::traffic::{GroundTruth, TrafficConfig, TrafficModel};
-use crate::vantage::{IspSideEntry, VantageConfig, VantagePoint};
+use crate::vantage::{
+    side_tables_with, IspSideEntry, VantageConfig, VantagePoint, VantageRunStats,
+};
 
 /// Which scenario variant to simulate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -140,8 +144,28 @@ impl Simulation {
         self
     }
 
-    /// Executes the full pipeline.
+    /// Executes the full pipeline, materializing every record.
+    ///
+    /// This is the batch API: a thin composition of
+    /// [`prepare`](Simulation::prepare) + streaming the traffic into a
+    /// `Vec` sink, so the batch and streaming paths share one code path
+    /// and stay bit-identical by construction.
     pub fn run(&self) -> SimOutput {
+        let prepared = self.prepare();
+        let mut records: Vec<FlowRecord> = Vec::new();
+        let (truth, _stats) = prepared.run_traffic(&mut records);
+        prepared.into_output(records, truth)
+    }
+
+    /// Builds the world — country, address plan, side tables, scenario,
+    /// adoption/epidemic/uploads, DNS study — *without* generating any
+    /// traffic. The returned [`PreparedSim`] can then stream records to
+    /// any [`FlowSink`] via [`PreparedSim::run_traffic`].
+    ///
+    /// Every phase derives its RNG from the master seed independently,
+    /// so splitting preparation from traffic generation does not change
+    /// any stream.
+    pub fn prepare(&self) -> PreparedSim {
         let cfg = self.config;
         let germany = Germany::build();
         let plan = AddressPlan::build(&germany, cfg.plan);
@@ -195,21 +219,9 @@ impl Simulation {
             cfg.days,
         );
 
-        // Traffic through the vantage point.
-        let traffic_cfg = TrafficConfig {
-            scale: cfg.scale,
-            seed: cfg.seed ^ 0x7AF,
-            ..TrafficConfig::default()
-        };
-        let mut vantage = VantagePoint::new(
-            cfg.vantage,
-            cdn.service_prefixes.to_vec(),
-            cfg.plan.prefix_len,
-        );
-        if let Some(registry) = &self.metrics {
-            vantage.attach_metrics(registry, cfg.days);
-        }
-        // Ground-truth router locations, with rural aggregation error.
+        // Side tables the operator hands over together with the traces.
+        // Built from the *same* Crypto-PAn key the vantage point will
+        // use, and the realistic router map (rural aggregation error).
         let routers = cwa_geo::RouterMap::build(
             &germany,
             &plan,
@@ -218,7 +230,8 @@ impl Simulation {
                 ..Default::default()
             },
         );
-        let (geodb_anon, isp_table) = vantage.side_tables_routed(&plan, &geodb, &routers);
+        let cryptopan = CryptoPan::new(&cfg.vantage.anon_key);
+        let (geodb_anon, isp_table) = side_tables_with(&cryptopan, &plan, &geodb, Some(&routers));
         // Daily export size: the real file the app fetches, sized by the
         // day's published key count via the actual wire format.
         let mut size_rng = rand_chacha::ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xE47);
@@ -228,29 +241,109 @@ impl Simulation {
                 cdn.export_size_bytes(&mut size_rng, day, keys) as f64
             })
             .collect();
-        let model = TrafficModel::new(
-            &germany,
-            &plan,
-            &scenario,
-            &adoption,
+
+        PreparedSim {
+            config: cfg,
+            metrics: self.metrics.clone(),
+            germany,
+            plan,
+            geodb: geodb_anon,
+            isp_table,
+            scenario,
+            downloads: adoption,
+            uploads,
+            dns,
+            cdn,
             activity,
-            cdn.clone(),
+            export_sizes,
+        }
+    }
+}
+
+/// A fully built world, ready to generate traffic. Produced by
+/// [`Simulation::prepare`]; every field except the traffic itself.
+///
+/// The side tables (`geodb`, `isp_table`) are available *before* the
+/// traffic run, which is what lets a streaming study construct its
+/// analysis consumers up front and fuse simulate + analyze into one
+/// pass.
+pub struct PreparedSim {
+    /// The configuration used.
+    pub config: SimConfig,
+    metrics: Option<std::sync::Arc<cwa_obs::Registry>>,
+    /// The country model.
+    pub germany: Germany,
+    /// The address plan (ground truth; tests/calibration only).
+    pub plan: AddressPlan,
+    /// Geolocation DB re-keyed to anonymized prefixes (side table).
+    pub geodb: GeoDb,
+    /// Anonymized prefix → ISP / router-ground-truth table (side table).
+    pub isp_table: HashMap<u32, IspSideEntry>,
+    /// The scenario being simulated.
+    pub scenario: Scenario,
+    /// Official national download curve (public statista data).
+    pub downloads: AdoptionCurve,
+    /// Diagnosis-key publication pipeline outputs.
+    pub uploads: UploadPipeline,
+    /// DNS popularity study results.
+    pub dns: DnsStudy,
+    /// The CDN model (its service prefixes are public documentation).
+    pub cdn: CdnConfig,
+    activity: ActivityModel,
+    export_sizes: Vec<f64>,
+}
+
+impl PreparedSim {
+    /// Generates the traffic and streams every collected, anonymized
+    /// record into `sink`, in chunks of one export hour — the collector
+    /// never holds more than one chunk. Calls `sink.finish()` after the
+    /// last record. Returns the traffic ground truth and the vantage
+    /// run statistics (including the collector's peak resident record
+    /// count).
+    ///
+    /// Record order is identical between the serial and parallel
+    /// drivers and identical to the batch [`Simulation::run`] (which is
+    /// this method with a `Vec` sink).
+    pub fn run_traffic(&self, sink: &mut dyn FlowSink) -> (GroundTruth, VantageRunStats) {
+        let cfg = self.config;
+        let timeline = Timeline { days: cfg.days };
+        let traffic_cfg = TrafficConfig {
+            scale: cfg.scale,
+            seed: cfg.seed ^ 0x7AF,
+            ..TrafficConfig::default()
+        };
+        let mut vantage = VantagePoint::new(
+            cfg.vantage,
+            self.cdn.service_prefixes.to_vec(),
+            cfg.plan.prefix_len,
+        );
+        if let Some(registry) = &self.metrics {
+            vantage.attach_metrics(registry, cfg.days);
+        }
+        let model = TrafficModel::new(
+            &self.germany,
+            &self.plan,
+            &self.scenario,
+            &self.downloads,
+            self.activity,
+            self.cdn.clone(),
             traffic_cfg,
             timeline.hours(),
         )
-        .with_export_sizes(&export_sizes);
-        let (records, truth, run_stats) = if cfg.parallel {
-            crate::vantage::run_parallel(model, vantage, timeline.hours())
+        .with_export_sizes(&self.export_sizes);
+        let (truth, run_stats) = if cfg.parallel {
+            crate::vantage::run_parallel_into(model, vantage, timeline.hours(), sink)
         } else {
             let mut vantage = vantage;
             let mut model = model;
             for hour in 0..timeline.hours() {
                 model.generate_hour(hour, &mut |ev| vantage.observe(ev));
                 vantage.end_of_hour(hour);
+                vantage.drain_records_into(sink);
             }
             let truth = model.into_truth();
-            let (records, stats) = vantage.finish_with_stats(timeline.hours() - 1);
-            (records, truth, stats)
+            let stats = vantage.finish_into(timeline.hours() - 1, sink);
+            (truth, stats)
         };
         if let Some(registry) = &self.metrics {
             let c = run_stats.cache;
@@ -279,20 +372,27 @@ impl Simulation {
                 .counter("simnet.transport.undecodable_datagrams")
                 .add(run_stats.undecodable_datagrams);
         }
+        sink.finish();
+        (truth, run_stats)
+    }
 
+    /// Assembles a [`SimOutput`] from this world plus the traffic run's
+    /// products. `records` may be empty when the run was streamed into
+    /// analysis consumers instead of materialized.
+    pub fn into_output(self, records: Vec<FlowRecord>, truth: GroundTruth) -> SimOutput {
         SimOutput {
             records,
-            geodb: geodb_anon,
-            isp_table,
-            downloads: adoption,
-            dns,
-            uploads,
-            cdn,
-            scenario,
-            germany,
-            plan,
+            geodb: self.geodb,
+            isp_table: self.isp_table,
+            downloads: self.downloads,
+            dns: self.dns,
+            uploads: self.uploads,
+            cdn: self.cdn,
+            scenario: self.scenario,
+            germany: self.germany,
+            plan: self.plan,
             truth,
-            config: cfg,
+            config: self.config,
         }
     }
 }
@@ -542,6 +642,37 @@ mod tests {
             plain_serial.records.len() as u64,
             "collector counter matches the record set"
         );
+    }
+
+    #[test]
+    fn streamed_run_matches_batch_and_bounds_residency() {
+        use cwa_netflow::sink::CountingSink;
+        let base = SimConfig {
+            days: 3,
+            ..SimConfig::test_small()
+        };
+        let batch = Simulation::new(base).run();
+
+        // Stream the same config into a pure counter: same record
+        // count, but the collector never held the full set.
+        let prepared = Simulation::new(base).prepare();
+        let mut sink = CountingSink::default();
+        let (truth, stats) = prepared.run_traffic(&mut sink);
+        assert!(sink.finished, "run_traffic signals end of stream");
+        assert_eq!(sink.records, batch.records.len() as u64);
+        assert_eq!(truth.api_flows, batch.truth.api_flows);
+        assert!(
+            stats.peak_resident_records < sink.records,
+            "hourly chunks: peak {} of {} total",
+            stats.peak_resident_records,
+            sink.records
+        );
+
+        // Streaming into a Vec reproduces the batch records exactly.
+        let prepared = Simulation::new(base).prepare();
+        let mut records: Vec<FlowRecord> = Vec::new();
+        prepared.run_traffic(&mut records);
+        assert_eq!(records, batch.records);
     }
 
     #[test]

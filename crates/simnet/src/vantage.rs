@@ -38,6 +38,7 @@ use cwa_netflow::cache::{CacheStats, FlowCache, FlowCacheConfig};
 use cwa_netflow::collector::{Collector, CollectorMetrics};
 use cwa_netflow::flow::FlowRecord;
 use cwa_netflow::sampling::sample_packet_count;
+use cwa_netflow::sink::FlowSink;
 use cwa_netflow::v5::packetize;
 use cwa_netflow::v9::{V9Decoder, V9Exporter};
 use cwa_obs::{Counter, Registry};
@@ -260,6 +261,10 @@ pub struct VantageRunStats {
     pub dropped_datagrams: u64,
     /// v9 data sets undecodable because their template was lost.
     pub undecodable_datagrams: u64,
+    /// High-water mark of records resident in the collector at once.
+    /// Under chunked emission (hourly drains to a [`FlowSink`]) this is
+    /// one chunk; under batch collection it is the total record count.
+    pub peak_resident_records: u64,
 }
 
 /// The vantage point: routers plus the anonymizing collector.
@@ -426,6 +431,15 @@ impl VantagePoint {
         }
     }
 
+    /// Streams the records currently resident in the collector into
+    /// `sink` and clears them. Calling this after every
+    /// [`end_of_hour`](VantagePoint::end_of_hour) is the chunked
+    /// emission mode: the collector never holds more than one export
+    /// round's records.
+    pub fn drain_records_into(&mut self, sink: &mut dyn FlowSink) {
+        self.collector.drain_into(sink);
+    }
+
     /// Flushes all caches (end of measurement) and returns every
     /// collected, anonymized record.
     pub fn finish(self, final_hour: u32) -> Vec<FlowRecord> {
@@ -435,7 +449,19 @@ impl VantagePoint {
     /// [`VantagePoint::finish`] that also reports the run's aggregate
     /// cache and transport statistics (captured *after* the final flush,
     /// so flush evictions are included).
-    pub fn finish_with_stats(mut self, final_hour: u32) -> (Vec<FlowRecord>, VantageRunStats) {
+    pub fn finish_with_stats(self, final_hour: u32) -> (Vec<FlowRecord>, VantageRunStats) {
+        let mut records = Vec::new();
+        let stats = self.finish_into(final_hour, &mut records);
+        (records, stats)
+    }
+
+    /// Streaming form of [`finish_with_stats`]: flushes all caches,
+    /// drains the remaining records into `sink` (without signalling
+    /// `sink.finish()` — the caller owns the stream's lifecycle) and
+    /// reports the run's aggregate statistics.
+    ///
+    /// [`finish_with_stats`]: VantagePoint::finish_with_stats
+    pub fn finish_into(mut self, final_hour: u32, sink: &mut dyn FlowSink) -> VantageRunStats {
         for router in &mut self.routers {
             for wire in router.finish(final_hour) {
                 Self::ingest_wire(
@@ -451,8 +477,10 @@ impl VantagePoint {
             cache: self.cache_stats(),
             dropped_datagrams: self.transport.dropped_datagrams,
             undecodable_datagrams: self.transport.undecodable_datagrams,
+            peak_resident_records: self.collector.peak_resident_records() as u64,
         };
-        (self.collector.into_records(), stats)
+        self.collector.drain_into(sink);
+        stats
     }
 
     /// Decomposes into parts for the parallel driver.
@@ -564,7 +592,7 @@ enum WorkerMsg {
 /// exports in router-id order — so the output is **identical** to the
 /// serial driver's.
 pub fn run_parallel(
-    mut model: crate::traffic::TrafficModel<'_>,
+    model: crate::traffic::TrafficModel<'_>,
     vantage: VantagePoint,
     hours: u32,
 ) -> (
@@ -572,6 +600,22 @@ pub fn run_parallel(
     crate::traffic::GroundTruth,
     VantageRunStats,
 ) {
+    let mut records = Vec::new();
+    let (truth, stats) = run_parallel_into(model, vantage, hours, &mut records);
+    (records, truth, stats)
+}
+
+/// Streaming form of [`run_parallel`]: drains the collector into `sink`
+/// after every export round, so no more than one round's records are
+/// resident at once. Record order is identical to [`run_parallel`]
+/// (per-round drains concatenate in ingestion order). Does not call
+/// `sink.finish()` — the caller owns the stream's lifecycle.
+pub fn run_parallel_into(
+    mut model: crate::traffic::TrafficModel<'_>,
+    vantage: VantagePoint,
+    hours: u32,
+    sink: &mut dyn FlowSink,
+) -> (crate::traffic::GroundTruth, VantageRunStats) {
     let metrics = vantage.metrics.clone();
     let (routers, mut collector, plan_prefix_len, format, mut v9_decoder, mut transport) =
         vantage.into_parts();
@@ -672,12 +716,15 @@ pub fn run_parallel(
                 tx.send(WorkerMsg::EndOfHour(hour)).expect("worker alive");
             }
             collect_round(&mut collector, &mut v9_decoder, &mut transport);
+            collector.drain_into(sink);
         }
         for tx in &worker_txs {
             tx.send(WorkerMsg::Finish(hours.saturating_sub(1)))
                 .expect("worker alive");
         }
-        collect_round(&mut collector, &mut v9_decoder, &mut transport)
+        let stats = collect_round(&mut collector, &mut v9_decoder, &mut transport);
+        collector.drain_into(sink);
+        stats
     })
     .expect("no worker panicked");
 
@@ -685,8 +732,9 @@ pub fn run_parallel(
         cache: result,
         dropped_datagrams: transport.dropped_datagrams,
         undecodable_datagrams: transport.undecodable_datagrams,
+        peak_resident_records: collector.peak_resident_records() as u64,
     };
-    (collector.into_records(), model.into_truth(), stats)
+    (model.into_truth(), stats)
 }
 
 #[cfg(test)]

@@ -16,4 +16,13 @@ cargo build --release --workspace
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
 
+echo "==> streaming equivalence (batch report == streaming report)"
+cargo test -q --test streaming
+
+echo "==> streaming scale-sweep smoke (claims must pass end to end)"
+# The lower bound sits at 0.02: below that, day-1 district coverage
+# (claim C5b) is statistically starved in batch and streaming alike.
+./target/release/cwa-repro study --scale 0.02 --streaming > /dev/null
+./target/release/cwa-repro study --scale 0.03 --streaming --parallel > /dev/null
+
 echo "==> ci green"

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/claims-a43d77100d7346dc.d: crates/bench/benches/claims.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclaims-a43d77100d7346dc.rmeta: crates/bench/benches/claims.rs Cargo.toml
+
+crates/bench/benches/claims.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/cwa_analysis-06b856e2ab0db965.d: crates/analysis/src/lib.rs crates/analysis/src/changepoint.rs crates/analysis/src/figures.rs crates/analysis/src/filter.rs crates/analysis/src/geoloc.rs crates/analysis/src/outbreak.rs crates/analysis/src/persistence.rs crates/analysis/src/stats.rs crates/analysis/src/stream.rs crates/analysis/src/svg.rs crates/analysis/src/timeseries.rs crates/analysis/src/zipmap.rs
+
+/root/repo/target/debug/deps/libcwa_analysis-06b856e2ab0db965.rlib: crates/analysis/src/lib.rs crates/analysis/src/changepoint.rs crates/analysis/src/figures.rs crates/analysis/src/filter.rs crates/analysis/src/geoloc.rs crates/analysis/src/outbreak.rs crates/analysis/src/persistence.rs crates/analysis/src/stats.rs crates/analysis/src/stream.rs crates/analysis/src/svg.rs crates/analysis/src/timeseries.rs crates/analysis/src/zipmap.rs
+
+/root/repo/target/debug/deps/libcwa_analysis-06b856e2ab0db965.rmeta: crates/analysis/src/lib.rs crates/analysis/src/changepoint.rs crates/analysis/src/figures.rs crates/analysis/src/filter.rs crates/analysis/src/geoloc.rs crates/analysis/src/outbreak.rs crates/analysis/src/persistence.rs crates/analysis/src/stats.rs crates/analysis/src/stream.rs crates/analysis/src/svg.rs crates/analysis/src/timeseries.rs crates/analysis/src/zipmap.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/changepoint.rs:
+crates/analysis/src/figures.rs:
+crates/analysis/src/filter.rs:
+crates/analysis/src/geoloc.rs:
+crates/analysis/src/outbreak.rs:
+crates/analysis/src/persistence.rs:
+crates/analysis/src/stats.rs:
+crates/analysis/src/stream.rs:
+crates/analysis/src/svg.rs:
+crates/analysis/src/timeseries.rs:
+crates/analysis/src/zipmap.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/cwa_analysis-a378109480ad79dc.d: crates/analysis/src/lib.rs crates/analysis/src/changepoint.rs crates/analysis/src/figures.rs crates/analysis/src/filter.rs crates/analysis/src/geoloc.rs crates/analysis/src/outbreak.rs crates/analysis/src/persistence.rs crates/analysis/src/stats.rs crates/analysis/src/svg.rs crates/analysis/src/timeseries.rs crates/analysis/src/zipmap.rs Cargo.toml
+/root/repo/target/debug/deps/cwa_analysis-a378109480ad79dc.d: crates/analysis/src/lib.rs crates/analysis/src/changepoint.rs crates/analysis/src/figures.rs crates/analysis/src/filter.rs crates/analysis/src/geoloc.rs crates/analysis/src/outbreak.rs crates/analysis/src/persistence.rs crates/analysis/src/stats.rs crates/analysis/src/stream.rs crates/analysis/src/svg.rs crates/analysis/src/timeseries.rs crates/analysis/src/zipmap.rs Cargo.toml
 
-/root/repo/target/debug/deps/libcwa_analysis-a378109480ad79dc.rmeta: crates/analysis/src/lib.rs crates/analysis/src/changepoint.rs crates/analysis/src/figures.rs crates/analysis/src/filter.rs crates/analysis/src/geoloc.rs crates/analysis/src/outbreak.rs crates/analysis/src/persistence.rs crates/analysis/src/stats.rs crates/analysis/src/svg.rs crates/analysis/src/timeseries.rs crates/analysis/src/zipmap.rs Cargo.toml
+/root/repo/target/debug/deps/libcwa_analysis-a378109480ad79dc.rmeta: crates/analysis/src/lib.rs crates/analysis/src/changepoint.rs crates/analysis/src/figures.rs crates/analysis/src/filter.rs crates/analysis/src/geoloc.rs crates/analysis/src/outbreak.rs crates/analysis/src/persistence.rs crates/analysis/src/stats.rs crates/analysis/src/stream.rs crates/analysis/src/svg.rs crates/analysis/src/timeseries.rs crates/analysis/src/zipmap.rs Cargo.toml
 
 crates/analysis/src/lib.rs:
 crates/analysis/src/changepoint.rs:
@@ -10,6 +10,7 @@ crates/analysis/src/geoloc.rs:
 crates/analysis/src/outbreak.rs:
 crates/analysis/src/persistence.rs:
 crates/analysis/src/stats.rs:
+crates/analysis/src/stream.rs:
 crates/analysis/src/svg.rs:
 crates/analysis/src/timeseries.rs:
 crates/analysis/src/zipmap.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cwa_bench-222d6370e5643bc8.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcwa_bench-222d6370e5643bc8.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcwa_bench-222d6370e5643bc8.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

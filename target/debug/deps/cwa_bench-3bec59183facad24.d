@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cwa_bench-3bec59183facad24.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/cwa_bench-3bec59183facad24: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

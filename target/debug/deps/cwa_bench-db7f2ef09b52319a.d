@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cwa_bench-db7f2ef09b52319a.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcwa_bench-db7f2ef09b52319a.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcwa_bench-db7f2ef09b52319a.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cwa_core-b976b048cde7641b.d: crates/core/src/lib.rs crates/core/src/claims.rs crates/core/src/report.rs crates/core/src/study.rs
+
+/root/repo/target/debug/deps/libcwa_core-b976b048cde7641b.rlib: crates/core/src/lib.rs crates/core/src/claims.rs crates/core/src/report.rs crates/core/src/study.rs
+
+/root/repo/target/debug/deps/libcwa_core-b976b048cde7641b.rmeta: crates/core/src/lib.rs crates/core/src/claims.rs crates/core/src/report.rs crates/core/src/study.rs
+
+crates/core/src/lib.rs:
+crates/core/src/claims.rs:
+crates/core/src/report.rs:
+crates/core/src/study.rs:

@@ -1,14 +1,14 @@
-/root/repo/target/debug/deps/cwa_crypto-d538694d8a2020e3.d: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/ctr.rs crates/crypto/src/hkdf.rs crates/crypto/src/p256.rs crates/crypto/src/hmac.rs crates/crypto/src/sha256.rs crates/crypto/src/u256.rs
+/root/repo/target/debug/deps/cwa_crypto-d538694d8a2020e3.d: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/ctr.rs crates/crypto/src/hkdf.rs crates/crypto/src/hmac.rs crates/crypto/src/p256.rs crates/crypto/src/sha256.rs crates/crypto/src/u256.rs
 
-/root/repo/target/debug/deps/libcwa_crypto-d538694d8a2020e3.rlib: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/ctr.rs crates/crypto/src/hkdf.rs crates/crypto/src/p256.rs crates/crypto/src/hmac.rs crates/crypto/src/sha256.rs crates/crypto/src/u256.rs
+/root/repo/target/debug/deps/libcwa_crypto-d538694d8a2020e3.rlib: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/ctr.rs crates/crypto/src/hkdf.rs crates/crypto/src/hmac.rs crates/crypto/src/p256.rs crates/crypto/src/sha256.rs crates/crypto/src/u256.rs
 
-/root/repo/target/debug/deps/libcwa_crypto-d538694d8a2020e3.rmeta: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/ctr.rs crates/crypto/src/hkdf.rs crates/crypto/src/p256.rs crates/crypto/src/hmac.rs crates/crypto/src/sha256.rs crates/crypto/src/u256.rs
+/root/repo/target/debug/deps/libcwa_crypto-d538694d8a2020e3.rmeta: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/ctr.rs crates/crypto/src/hkdf.rs crates/crypto/src/hmac.rs crates/crypto/src/p256.rs crates/crypto/src/sha256.rs crates/crypto/src/u256.rs
 
 crates/crypto/src/lib.rs:
 crates/crypto/src/aes.rs:
 crates/crypto/src/ctr.rs:
 crates/crypto/src/hkdf.rs:
-crates/crypto/src/p256.rs:
 crates/crypto/src/hmac.rs:
+crates/crypto/src/p256.rs:
 crates/crypto/src/sha256.rs:
 crates/crypto/src/u256.rs:

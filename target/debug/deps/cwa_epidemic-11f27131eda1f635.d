@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cwa_epidemic-11f27131eda1f635.d: crates/epidemic/src/lib.rs crates/epidemic/src/activity.rs crates/epidemic/src/adoption.rs crates/epidemic/src/events.rs crates/epidemic/src/seir.rs crates/epidemic/src/timeline.rs crates/epidemic/src/uploads.rs
+
+/root/repo/target/debug/deps/libcwa_epidemic-11f27131eda1f635.rlib: crates/epidemic/src/lib.rs crates/epidemic/src/activity.rs crates/epidemic/src/adoption.rs crates/epidemic/src/events.rs crates/epidemic/src/seir.rs crates/epidemic/src/timeline.rs crates/epidemic/src/uploads.rs
+
+/root/repo/target/debug/deps/libcwa_epidemic-11f27131eda1f635.rmeta: crates/epidemic/src/lib.rs crates/epidemic/src/activity.rs crates/epidemic/src/adoption.rs crates/epidemic/src/events.rs crates/epidemic/src/seir.rs crates/epidemic/src/timeline.rs crates/epidemic/src/uploads.rs
+
+crates/epidemic/src/lib.rs:
+crates/epidemic/src/activity.rs:
+crates/epidemic/src/adoption.rs:
+crates/epidemic/src/events.rs:
+crates/epidemic/src/seir.rs:
+crates/epidemic/src/timeline.rs:
+crates/epidemic/src/uploads.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/cwa_exposure-985fa7760399121e.d: crates/exposure/src/lib.rs crates/exposure/src/advertisement.rs crates/exposure/src/contact.rs crates/exposure/src/device.rs crates/exposure/src/export.rs crates/exposure/src/federation.rs crates/exposure/src/matching.rs crates/exposure/src/protobuf.rs crates/exposure/src/risk.rs crates/exposure/src/risk_v2.rs crates/exposure/src/signature.rs crates/exposure/src/tek.rs crates/exposure/src/time.rs crates/exposure/src/verification.rs
+
+/root/repo/target/debug/deps/libcwa_exposure-985fa7760399121e.rlib: crates/exposure/src/lib.rs crates/exposure/src/advertisement.rs crates/exposure/src/contact.rs crates/exposure/src/device.rs crates/exposure/src/export.rs crates/exposure/src/federation.rs crates/exposure/src/matching.rs crates/exposure/src/protobuf.rs crates/exposure/src/risk.rs crates/exposure/src/risk_v2.rs crates/exposure/src/signature.rs crates/exposure/src/tek.rs crates/exposure/src/time.rs crates/exposure/src/verification.rs
+
+/root/repo/target/debug/deps/libcwa_exposure-985fa7760399121e.rmeta: crates/exposure/src/lib.rs crates/exposure/src/advertisement.rs crates/exposure/src/contact.rs crates/exposure/src/device.rs crates/exposure/src/export.rs crates/exposure/src/federation.rs crates/exposure/src/matching.rs crates/exposure/src/protobuf.rs crates/exposure/src/risk.rs crates/exposure/src/risk_v2.rs crates/exposure/src/signature.rs crates/exposure/src/tek.rs crates/exposure/src/time.rs crates/exposure/src/verification.rs
+
+crates/exposure/src/lib.rs:
+crates/exposure/src/advertisement.rs:
+crates/exposure/src/contact.rs:
+crates/exposure/src/device.rs:
+crates/exposure/src/export.rs:
+crates/exposure/src/federation.rs:
+crates/exposure/src/matching.rs:
+crates/exposure/src/protobuf.rs:
+crates/exposure/src/risk.rs:
+crates/exposure/src/risk_v2.rs:
+crates/exposure/src/signature.rs:
+crates/exposure/src/tek.rs:
+crates/exposure/src/time.rs:
+crates/exposure/src/verification.rs:

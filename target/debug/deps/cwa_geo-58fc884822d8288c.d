@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cwa_geo-58fc884822d8288c.d: crates/geo/src/lib.rs crates/geo/src/commuting.rs crates/geo/src/district.rs crates/geo/src/geodb.rs crates/geo/src/germany.rs crates/geo/src/isp.rs crates/geo/src/routers.rs crates/geo/src/state.rs
+
+/root/repo/target/debug/deps/libcwa_geo-58fc884822d8288c.rlib: crates/geo/src/lib.rs crates/geo/src/commuting.rs crates/geo/src/district.rs crates/geo/src/geodb.rs crates/geo/src/germany.rs crates/geo/src/isp.rs crates/geo/src/routers.rs crates/geo/src/state.rs
+
+/root/repo/target/debug/deps/libcwa_geo-58fc884822d8288c.rmeta: crates/geo/src/lib.rs crates/geo/src/commuting.rs crates/geo/src/district.rs crates/geo/src/geodb.rs crates/geo/src/germany.rs crates/geo/src/isp.rs crates/geo/src/routers.rs crates/geo/src/state.rs
+
+crates/geo/src/lib.rs:
+crates/geo/src/commuting.rs:
+crates/geo/src/district.rs:
+crates/geo/src/geodb.rs:
+crates/geo/src/germany.rs:
+crates/geo/src/isp.rs:
+crates/geo/src/routers.rs:
+crates/geo/src/state.rs:

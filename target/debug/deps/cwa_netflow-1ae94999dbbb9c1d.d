@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/cwa_netflow-1ae94999dbbb9c1d.d: crates/netflow/src/lib.rs crates/netflow/src/anonymize.rs crates/netflow/src/biflow.rs crates/netflow/src/cache.rs crates/netflow/src/collector.rs crates/netflow/src/csvio.rs crates/netflow/src/estimate.rs crates/netflow/src/flow.rs crates/netflow/src/sampling.rs crates/netflow/src/sink.rs crates/netflow/src/v5.rs crates/netflow/src/v9.rs
+
+/root/repo/target/debug/deps/libcwa_netflow-1ae94999dbbb9c1d.rlib: crates/netflow/src/lib.rs crates/netflow/src/anonymize.rs crates/netflow/src/biflow.rs crates/netflow/src/cache.rs crates/netflow/src/collector.rs crates/netflow/src/csvio.rs crates/netflow/src/estimate.rs crates/netflow/src/flow.rs crates/netflow/src/sampling.rs crates/netflow/src/sink.rs crates/netflow/src/v5.rs crates/netflow/src/v9.rs
+
+/root/repo/target/debug/deps/libcwa_netflow-1ae94999dbbb9c1d.rmeta: crates/netflow/src/lib.rs crates/netflow/src/anonymize.rs crates/netflow/src/biflow.rs crates/netflow/src/cache.rs crates/netflow/src/collector.rs crates/netflow/src/csvio.rs crates/netflow/src/estimate.rs crates/netflow/src/flow.rs crates/netflow/src/sampling.rs crates/netflow/src/sink.rs crates/netflow/src/v5.rs crates/netflow/src/v9.rs
+
+crates/netflow/src/lib.rs:
+crates/netflow/src/anonymize.rs:
+crates/netflow/src/biflow.rs:
+crates/netflow/src/cache.rs:
+crates/netflow/src/collector.rs:
+crates/netflow/src/csvio.rs:
+crates/netflow/src/estimate.rs:
+crates/netflow/src/flow.rs:
+crates/netflow/src/sampling.rs:
+crates/netflow/src/sink.rs:
+crates/netflow/src/v5.rs:
+crates/netflow/src/v9.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/cwa_netflow-3480794e6ae9a217.d: crates/netflow/src/lib.rs crates/netflow/src/anonymize.rs crates/netflow/src/biflow.rs crates/netflow/src/cache.rs crates/netflow/src/collector.rs crates/netflow/src/csvio.rs crates/netflow/src/estimate.rs crates/netflow/src/flow.rs crates/netflow/src/sampling.rs crates/netflow/src/v5.rs crates/netflow/src/v9.rs
+/root/repo/target/debug/deps/cwa_netflow-3480794e6ae9a217.d: crates/netflow/src/lib.rs crates/netflow/src/anonymize.rs crates/netflow/src/biflow.rs crates/netflow/src/cache.rs crates/netflow/src/collector.rs crates/netflow/src/csvio.rs crates/netflow/src/estimate.rs crates/netflow/src/flow.rs crates/netflow/src/sampling.rs crates/netflow/src/sink.rs crates/netflow/src/v5.rs crates/netflow/src/v9.rs
 
-/root/repo/target/debug/deps/cwa_netflow-3480794e6ae9a217: crates/netflow/src/lib.rs crates/netflow/src/anonymize.rs crates/netflow/src/biflow.rs crates/netflow/src/cache.rs crates/netflow/src/collector.rs crates/netflow/src/csvio.rs crates/netflow/src/estimate.rs crates/netflow/src/flow.rs crates/netflow/src/sampling.rs crates/netflow/src/v5.rs crates/netflow/src/v9.rs
+/root/repo/target/debug/deps/cwa_netflow-3480794e6ae9a217: crates/netflow/src/lib.rs crates/netflow/src/anonymize.rs crates/netflow/src/biflow.rs crates/netflow/src/cache.rs crates/netflow/src/collector.rs crates/netflow/src/csvio.rs crates/netflow/src/estimate.rs crates/netflow/src/flow.rs crates/netflow/src/sampling.rs crates/netflow/src/sink.rs crates/netflow/src/v5.rs crates/netflow/src/v9.rs
 
 crates/netflow/src/lib.rs:
 crates/netflow/src/anonymize.rs:
@@ -11,5 +11,6 @@ crates/netflow/src/csvio.rs:
 crates/netflow/src/estimate.rs:
 crates/netflow/src/flow.rs:
 crates/netflow/src/sampling.rs:
+crates/netflow/src/sink.rs:
 crates/netflow/src/v5.rs:
 crates/netflow/src/v9.rs:

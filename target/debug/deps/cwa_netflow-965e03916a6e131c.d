@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/cwa_netflow-965e03916a6e131c.d: crates/netflow/src/lib.rs crates/netflow/src/anonymize.rs crates/netflow/src/biflow.rs crates/netflow/src/cache.rs crates/netflow/src/collector.rs crates/netflow/src/csvio.rs crates/netflow/src/estimate.rs crates/netflow/src/flow.rs crates/netflow/src/sampling.rs crates/netflow/src/v5.rs crates/netflow/src/v9.rs
+/root/repo/target/debug/deps/cwa_netflow-965e03916a6e131c.d: crates/netflow/src/lib.rs crates/netflow/src/anonymize.rs crates/netflow/src/biflow.rs crates/netflow/src/cache.rs crates/netflow/src/collector.rs crates/netflow/src/csvio.rs crates/netflow/src/estimate.rs crates/netflow/src/flow.rs crates/netflow/src/sampling.rs crates/netflow/src/sink.rs crates/netflow/src/v5.rs crates/netflow/src/v9.rs
 
-/root/repo/target/debug/deps/libcwa_netflow-965e03916a6e131c.rlib: crates/netflow/src/lib.rs crates/netflow/src/anonymize.rs crates/netflow/src/biflow.rs crates/netflow/src/cache.rs crates/netflow/src/collector.rs crates/netflow/src/csvio.rs crates/netflow/src/estimate.rs crates/netflow/src/flow.rs crates/netflow/src/sampling.rs crates/netflow/src/v5.rs crates/netflow/src/v9.rs
+/root/repo/target/debug/deps/libcwa_netflow-965e03916a6e131c.rlib: crates/netflow/src/lib.rs crates/netflow/src/anonymize.rs crates/netflow/src/biflow.rs crates/netflow/src/cache.rs crates/netflow/src/collector.rs crates/netflow/src/csvio.rs crates/netflow/src/estimate.rs crates/netflow/src/flow.rs crates/netflow/src/sampling.rs crates/netflow/src/sink.rs crates/netflow/src/v5.rs crates/netflow/src/v9.rs
 
-/root/repo/target/debug/deps/libcwa_netflow-965e03916a6e131c.rmeta: crates/netflow/src/lib.rs crates/netflow/src/anonymize.rs crates/netflow/src/biflow.rs crates/netflow/src/cache.rs crates/netflow/src/collector.rs crates/netflow/src/csvio.rs crates/netflow/src/estimate.rs crates/netflow/src/flow.rs crates/netflow/src/sampling.rs crates/netflow/src/v5.rs crates/netflow/src/v9.rs
+/root/repo/target/debug/deps/libcwa_netflow-965e03916a6e131c.rmeta: crates/netflow/src/lib.rs crates/netflow/src/anonymize.rs crates/netflow/src/biflow.rs crates/netflow/src/cache.rs crates/netflow/src/collector.rs crates/netflow/src/csvio.rs crates/netflow/src/estimate.rs crates/netflow/src/flow.rs crates/netflow/src/sampling.rs crates/netflow/src/sink.rs crates/netflow/src/v5.rs crates/netflow/src/v9.rs
 
 crates/netflow/src/lib.rs:
 crates/netflow/src/anonymize.rs:
@@ -13,5 +13,6 @@ crates/netflow/src/csvio.rs:
 crates/netflow/src/estimate.rs:
 crates/netflow/src/flow.rs:
 crates/netflow/src/sampling.rs:
+crates/netflow/src/sink.rs:
 crates/netflow/src/v5.rs:
 crates/netflow/src/v9.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/cwa_netflow-a8576bcd81d2958c.d: crates/netflow/src/lib.rs crates/netflow/src/anonymize.rs crates/netflow/src/biflow.rs crates/netflow/src/cache.rs crates/netflow/src/collector.rs crates/netflow/src/csvio.rs crates/netflow/src/estimate.rs crates/netflow/src/flow.rs crates/netflow/src/sampling.rs crates/netflow/src/v5.rs crates/netflow/src/v9.rs Cargo.toml
+/root/repo/target/debug/deps/cwa_netflow-a8576bcd81d2958c.d: crates/netflow/src/lib.rs crates/netflow/src/anonymize.rs crates/netflow/src/biflow.rs crates/netflow/src/cache.rs crates/netflow/src/collector.rs crates/netflow/src/csvio.rs crates/netflow/src/estimate.rs crates/netflow/src/flow.rs crates/netflow/src/sampling.rs crates/netflow/src/sink.rs crates/netflow/src/v5.rs crates/netflow/src/v9.rs Cargo.toml
 
-/root/repo/target/debug/deps/libcwa_netflow-a8576bcd81d2958c.rmeta: crates/netflow/src/lib.rs crates/netflow/src/anonymize.rs crates/netflow/src/biflow.rs crates/netflow/src/cache.rs crates/netflow/src/collector.rs crates/netflow/src/csvio.rs crates/netflow/src/estimate.rs crates/netflow/src/flow.rs crates/netflow/src/sampling.rs crates/netflow/src/v5.rs crates/netflow/src/v9.rs Cargo.toml
+/root/repo/target/debug/deps/libcwa_netflow-a8576bcd81d2958c.rmeta: crates/netflow/src/lib.rs crates/netflow/src/anonymize.rs crates/netflow/src/biflow.rs crates/netflow/src/cache.rs crates/netflow/src/collector.rs crates/netflow/src/csvio.rs crates/netflow/src/estimate.rs crates/netflow/src/flow.rs crates/netflow/src/sampling.rs crates/netflow/src/sink.rs crates/netflow/src/v5.rs crates/netflow/src/v9.rs Cargo.toml
 
 crates/netflow/src/lib.rs:
 crates/netflow/src/anonymize.rs:
@@ -11,6 +11,7 @@ crates/netflow/src/csvio.rs:
 crates/netflow/src/estimate.rs:
 crates/netflow/src/flow.rs:
 crates/netflow/src/sampling.rs:
+crates/netflow/src/sink.rs:
 crates/netflow/src/v5.rs:
 crates/netflow/src/v9.rs:
 Cargo.toml:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cwa_repro-28865c521d5dab5e.d: src/main.rs
+
+/root/repo/target/debug/deps/cwa_repro-28865c521d5dab5e: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cwa_repro-9592976c10290068.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcwa_repro-9592976c10290068.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcwa_repro-9592976c10290068.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cwa_simnet-edbde4766efa9677.d: crates/simnet/src/lib.rs crates/simnet/src/cdn.rs crates/simnet/src/dns.rs crates/simnet/src/sim.rs crates/simnet/src/stats.rs crates/simnet/src/traffic.rs crates/simnet/src/vantage.rs
+
+/root/repo/target/debug/deps/libcwa_simnet-edbde4766efa9677.rlib: crates/simnet/src/lib.rs crates/simnet/src/cdn.rs crates/simnet/src/dns.rs crates/simnet/src/sim.rs crates/simnet/src/stats.rs crates/simnet/src/traffic.rs crates/simnet/src/vantage.rs
+
+/root/repo/target/debug/deps/libcwa_simnet-edbde4766efa9677.rmeta: crates/simnet/src/lib.rs crates/simnet/src/cdn.rs crates/simnet/src/dns.rs crates/simnet/src/sim.rs crates/simnet/src/stats.rs crates/simnet/src/traffic.rs crates/simnet/src/vantage.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/cdn.rs:
+crates/simnet/src/dns.rs:
+crates/simnet/src/sim.rs:
+crates/simnet/src/stats.rs:
+crates/simnet/src/traffic.rs:
+crates/simnet/src/vantage.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_timeseries-754ad22e030e49cf.d: crates/bench/benches/fig2_timeseries.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_timeseries-754ad22e030e49cf.rmeta: crates/bench/benches/fig2_timeseries.rs Cargo.toml
+
+crates/bench/benches/fig2_timeseries.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_geo-2a4bc76cddaad58d.d: crates/bench/benches/fig3_geo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_geo-2a4bc76cddaad58d.rmeta: crates/bench/benches/fig3_geo.rs Cargo.toml
+
+crates/bench/benches/fig3_geo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/outbreak-4924bae086cc811b.d: crates/bench/benches/outbreak.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboutbreak-4924bae086cc811b.rmeta: crates/bench/benches/outbreak.rs Cargo.toml
+
+crates/bench/benches/outbreak.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

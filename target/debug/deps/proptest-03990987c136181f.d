@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-03990987c136181f.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-03990987c136181f.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-03990987c136181f.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

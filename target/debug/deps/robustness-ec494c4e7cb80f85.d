@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robustness-ec494c4e7cb80f85.d: crates/bench/benches/robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobustness-ec494c4e7cb80f85.rmeta: crates/bench/benches/robustness.rs Cargo.toml
+
+crates/bench/benches/robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-e583e8ccb4ec1218.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-e583e8ccb4ec1218.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

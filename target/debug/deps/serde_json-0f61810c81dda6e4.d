@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-0f61810c81dda6e4.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-0f61810c81dda6e4.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-0f61810c81dda6e4.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/streaming-86f4c4504e0eea80.d: tests/streaming.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstreaming-86f4c4504e0eea80.rmeta: tests/streaming.rs Cargo.toml
+
+tests/streaming.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

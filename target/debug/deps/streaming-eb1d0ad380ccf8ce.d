@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/streaming-eb1d0ad380ccf8ce.d: crates/bench/benches/streaming.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstreaming-eb1d0ad380ccf8ce.rmeta: crates/bench/benches/streaming.rs Cargo.toml
+
+crates/bench/benches/streaming.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/streaming-f1e994978d924079.d: tests/streaming.rs
+
+/root/repo/target/debug/deps/streaming-f1e994978d924079: tests/streaming.rs
+
+tests/streaming.rs:

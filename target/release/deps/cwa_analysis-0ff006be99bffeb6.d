@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/cwa_analysis-0ff006be99bffeb6.d: crates/analysis/src/lib.rs crates/analysis/src/changepoint.rs crates/analysis/src/figures.rs crates/analysis/src/filter.rs crates/analysis/src/geoloc.rs crates/analysis/src/outbreak.rs crates/analysis/src/persistence.rs crates/analysis/src/stats.rs crates/analysis/src/svg.rs crates/analysis/src/timeseries.rs crates/analysis/src/zipmap.rs
+/root/repo/target/release/deps/cwa_analysis-0ff006be99bffeb6.d: crates/analysis/src/lib.rs crates/analysis/src/changepoint.rs crates/analysis/src/figures.rs crates/analysis/src/filter.rs crates/analysis/src/geoloc.rs crates/analysis/src/outbreak.rs crates/analysis/src/persistence.rs crates/analysis/src/stats.rs crates/analysis/src/stream.rs crates/analysis/src/svg.rs crates/analysis/src/timeseries.rs crates/analysis/src/zipmap.rs
 
-/root/repo/target/release/deps/libcwa_analysis-0ff006be99bffeb6.rlib: crates/analysis/src/lib.rs crates/analysis/src/changepoint.rs crates/analysis/src/figures.rs crates/analysis/src/filter.rs crates/analysis/src/geoloc.rs crates/analysis/src/outbreak.rs crates/analysis/src/persistence.rs crates/analysis/src/stats.rs crates/analysis/src/svg.rs crates/analysis/src/timeseries.rs crates/analysis/src/zipmap.rs
+/root/repo/target/release/deps/libcwa_analysis-0ff006be99bffeb6.rlib: crates/analysis/src/lib.rs crates/analysis/src/changepoint.rs crates/analysis/src/figures.rs crates/analysis/src/filter.rs crates/analysis/src/geoloc.rs crates/analysis/src/outbreak.rs crates/analysis/src/persistence.rs crates/analysis/src/stats.rs crates/analysis/src/stream.rs crates/analysis/src/svg.rs crates/analysis/src/timeseries.rs crates/analysis/src/zipmap.rs
 
-/root/repo/target/release/deps/libcwa_analysis-0ff006be99bffeb6.rmeta: crates/analysis/src/lib.rs crates/analysis/src/changepoint.rs crates/analysis/src/figures.rs crates/analysis/src/filter.rs crates/analysis/src/geoloc.rs crates/analysis/src/outbreak.rs crates/analysis/src/persistence.rs crates/analysis/src/stats.rs crates/analysis/src/svg.rs crates/analysis/src/timeseries.rs crates/analysis/src/zipmap.rs
+/root/repo/target/release/deps/libcwa_analysis-0ff006be99bffeb6.rmeta: crates/analysis/src/lib.rs crates/analysis/src/changepoint.rs crates/analysis/src/figures.rs crates/analysis/src/filter.rs crates/analysis/src/geoloc.rs crates/analysis/src/outbreak.rs crates/analysis/src/persistence.rs crates/analysis/src/stats.rs crates/analysis/src/stream.rs crates/analysis/src/svg.rs crates/analysis/src/timeseries.rs crates/analysis/src/zipmap.rs
 
 crates/analysis/src/lib.rs:
 crates/analysis/src/changepoint.rs:
@@ -12,6 +12,7 @@ crates/analysis/src/geoloc.rs:
 crates/analysis/src/outbreak.rs:
 crates/analysis/src/persistence.rs:
 crates/analysis/src/stats.rs:
+crates/analysis/src/stream.rs:
 crates/analysis/src/svg.rs:
 crates/analysis/src/timeseries.rs:
 crates/analysis/src/zipmap.rs:

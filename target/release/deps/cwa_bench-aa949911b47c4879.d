@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cwa_bench-aa949911b47c4879.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcwa_bench-aa949911b47c4879.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcwa_bench-aa949911b47c4879.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

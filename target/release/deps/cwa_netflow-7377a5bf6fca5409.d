@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/cwa_netflow-7377a5bf6fca5409.d: crates/netflow/src/lib.rs crates/netflow/src/anonymize.rs crates/netflow/src/biflow.rs crates/netflow/src/cache.rs crates/netflow/src/collector.rs crates/netflow/src/csvio.rs crates/netflow/src/estimate.rs crates/netflow/src/flow.rs crates/netflow/src/sampling.rs crates/netflow/src/v5.rs crates/netflow/src/v9.rs
+/root/repo/target/release/deps/cwa_netflow-7377a5bf6fca5409.d: crates/netflow/src/lib.rs crates/netflow/src/anonymize.rs crates/netflow/src/biflow.rs crates/netflow/src/cache.rs crates/netflow/src/collector.rs crates/netflow/src/csvio.rs crates/netflow/src/estimate.rs crates/netflow/src/flow.rs crates/netflow/src/sampling.rs crates/netflow/src/sink.rs crates/netflow/src/v5.rs crates/netflow/src/v9.rs
 
-/root/repo/target/release/deps/libcwa_netflow-7377a5bf6fca5409.rlib: crates/netflow/src/lib.rs crates/netflow/src/anonymize.rs crates/netflow/src/biflow.rs crates/netflow/src/cache.rs crates/netflow/src/collector.rs crates/netflow/src/csvio.rs crates/netflow/src/estimate.rs crates/netflow/src/flow.rs crates/netflow/src/sampling.rs crates/netflow/src/v5.rs crates/netflow/src/v9.rs
+/root/repo/target/release/deps/libcwa_netflow-7377a5bf6fca5409.rlib: crates/netflow/src/lib.rs crates/netflow/src/anonymize.rs crates/netflow/src/biflow.rs crates/netflow/src/cache.rs crates/netflow/src/collector.rs crates/netflow/src/csvio.rs crates/netflow/src/estimate.rs crates/netflow/src/flow.rs crates/netflow/src/sampling.rs crates/netflow/src/sink.rs crates/netflow/src/v5.rs crates/netflow/src/v9.rs
 
-/root/repo/target/release/deps/libcwa_netflow-7377a5bf6fca5409.rmeta: crates/netflow/src/lib.rs crates/netflow/src/anonymize.rs crates/netflow/src/biflow.rs crates/netflow/src/cache.rs crates/netflow/src/collector.rs crates/netflow/src/csvio.rs crates/netflow/src/estimate.rs crates/netflow/src/flow.rs crates/netflow/src/sampling.rs crates/netflow/src/v5.rs crates/netflow/src/v9.rs
+/root/repo/target/release/deps/libcwa_netflow-7377a5bf6fca5409.rmeta: crates/netflow/src/lib.rs crates/netflow/src/anonymize.rs crates/netflow/src/biflow.rs crates/netflow/src/cache.rs crates/netflow/src/collector.rs crates/netflow/src/csvio.rs crates/netflow/src/estimate.rs crates/netflow/src/flow.rs crates/netflow/src/sampling.rs crates/netflow/src/sink.rs crates/netflow/src/v5.rs crates/netflow/src/v9.rs
 
 crates/netflow/src/lib.rs:
 crates/netflow/src/anonymize.rs:
@@ -13,5 +13,6 @@ crates/netflow/src/csvio.rs:
 crates/netflow/src/estimate.rs:
 crates/netflow/src/flow.rs:
 crates/netflow/src/sampling.rs:
+crates/netflow/src/sink.rs:
 crates/netflow/src/v5.rs:
 crates/netflow/src/v9.rs:

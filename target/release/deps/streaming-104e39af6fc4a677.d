@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/streaming-104e39af6fc4a677.d: crates/bench/benches/streaming.rs
+
+/root/repo/target/release/deps/streaming-104e39af6fc4a677: crates/bench/benches/streaming.rs
+
+crates/bench/benches/streaming.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

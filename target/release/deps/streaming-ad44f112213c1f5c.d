@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/streaming-ad44f112213c1f5c.d: crates/bench/benches/streaming.rs
+
+/root/repo/target/release/deps/streaming-ad44f112213c1f5c: crates/bench/benches/streaming.rs
+
+crates/bench/benches/streaming.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

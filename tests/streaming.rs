@@ -1,0 +1,123 @@
+//! Streaming-pipeline equivalence: the fused single-pass
+//! simulate+analyze path (`Study::run_streaming`) must produce a report
+//! byte-identical to the batch path (`Study::run`) once the volatile
+//! wall-clock phase timings are stripped — with metrics on or off, and
+//! under both the serial and the parallel traffic driver — while never
+//! materializing the full flow-record vector.
+
+use std::sync::Arc;
+
+use cwa_repro::core::{Study, StudyConfig};
+use cwa_repro::netflow::CountingSink;
+use cwa_repro::obs::Registry;
+use cwa_repro::simnet::Simulation;
+
+fn small_config(parallel: bool) -> StudyConfig {
+    let mut config = StudyConfig::test_small();
+    config.sim.parallel = parallel;
+    config
+}
+
+/// Strips the volatile timings and serializes — byte-level equality is
+/// the strongest statement we can make about the two paths.
+fn canonical_json(report: &cwa_repro::core::StudyReport) -> String {
+    serde_json::to_string(&report.strip_volatile()).expect("report serializes")
+}
+
+#[test]
+fn streaming_report_is_bit_identical_to_batch() {
+    let batch = Study::new(small_config(false)).run();
+    let streaming = Study::new(small_config(false)).run_streaming();
+    assert_eq!(
+        canonical_json(&batch),
+        canonical_json(&streaming),
+        "streaming == batch (serial, metrics off)"
+    );
+    // The scientific payload is populated, not just trivially equal.
+    assert_eq!(streaming.claims.len(), 14);
+    assert!(streaming.matching_flows > 0);
+    assert!(streaming.total_records > streaming.matching_flows);
+}
+
+#[test]
+fn streaming_matches_batch_with_metrics_and_parallel_driver() {
+    // Metrics on, serial driver.
+    let reg_batch = Arc::new(Registry::new());
+    let batch = Study::new(small_config(false))
+        .with_metrics(Arc::clone(&reg_batch))
+        .run();
+    let reg_stream = Arc::new(Registry::new());
+    let streaming = Study::new(small_config(false))
+        .with_metrics(Arc::clone(&reg_stream))
+        .run_streaming();
+    assert_eq!(
+        canonical_json(&batch),
+        canonical_json(&streaming),
+        "streaming == batch (serial, metrics on)"
+    );
+
+    // Parallel driver: normalize the driver-choice fields exactly as
+    // the metrics test does — the driver is part of the config hash.
+    let parallel = Study::new(small_config(true)).run_streaming();
+    let mut parallel_stripped = parallel.strip_volatile();
+    assert!(parallel_stripped.manifest.parallel);
+    parallel_stripped.manifest.parallel = false;
+    parallel_stripped.config.sim.parallel = false;
+    parallel_stripped.manifest.config_hash = batch.manifest.config_hash.clone();
+    assert_eq!(
+        batch.strip_volatile(),
+        parallel_stripped,
+        "streaming parallel == batch serial"
+    );
+
+    // The streaming registry carries the per-consumer stream counters …
+    let json = reg_stream.to_json_pretty();
+    for key in [
+        "\"analysis.stream.records_in\"",
+        "\"analysis.stream.records_matched\"",
+        "\"analysis.stream.timeseries.records\"",
+        "\"analysis.stream.geoloc.records\"",
+        "\"analysis.stream.persistence.records\"",
+        "\"analysis.stream.outbreak.records\"",
+        "\"phase.simulate_analyze\"",
+    ] {
+        assert!(json.contains(key), "streaming snapshot missing {key}");
+    }
+    // … that are live and consistent with the report and with the
+    // batch pipeline's counter vocabulary.
+    assert_eq!(
+        reg_stream.counter("analysis.stream.records_in").get(),
+        streaming.total_records
+    );
+    assert_eq!(
+        reg_stream.counter("analysis.stream.records_matched").get(),
+        streaming.matching_flows
+    );
+    assert_eq!(
+        reg_stream.counter("analysis.stream.geoloc.records").get(),
+        streaming.matching_flows,
+        "every consumer sees every matching record exactly once"
+    );
+    assert_eq!(
+        reg_stream.counter("analysis.filter.records_matched").get(),
+        reg_batch.counter("analysis.filter.records_matched").get(),
+        "legacy counter parity between the two paths"
+    );
+}
+
+#[test]
+fn chunked_emission_bounds_resident_records() {
+    let config = StudyConfig::test_small();
+    let prepared = Simulation::new(config.sim).prepare();
+    let mut sink = CountingSink::default();
+    let (_truth, stats) = prepared.run_traffic(&mut sink);
+    assert!(sink.finished, "producer closes the stream");
+    assert!(sink.records > 0);
+    assert!(
+        stats.peak_resident_records < sink.records,
+        "peak resident ({}) must stay below the total emitted ({}) — \
+         only one export hour is buffered at a time",
+        stats.peak_resident_records,
+        sink.records
+    );
+}
