@@ -228,6 +228,39 @@ impl<'a> GeoDayAccumulator<'a> {
         }
     }
 
+    /// Merges another accumulator's day tables into this one
+    /// (element-wise sums; commutative and associative). The other
+    /// accumulator may borrow a different pipeline — per-shard pipelines
+    /// over identical side tables produce identical attributions, so the
+    /// merged tables equal a single-pass accumulation of the combined
+    /// record stream.
+    pub fn absorb(&mut self, other: &GeoDayAccumulator<'_>) {
+        assert_eq!(self.days, other.days, "same day window required");
+        assert_eq!(
+            self.pipeline.germany.len(),
+            other.pipeline.germany.len(),
+            "same district universe required"
+        );
+        for (mine, theirs) in self
+            .day_district_flows
+            .iter_mut()
+            .zip(&other.day_district_flows)
+        {
+            for (a, b) in mine.iter_mut().zip(theirs) {
+                *a += b;
+            }
+        }
+        for (mine, theirs) in self
+            .day_attributions
+            .iter_mut()
+            .zip(&other.day_attributions)
+        {
+            for (a, b) in mine.iter_mut().zip(theirs) {
+                *a += b;
+            }
+        }
+    }
+
     /// The aggregated [`GeoResult`] for the window `[from_day, to_day)`
     /// (clipped to the accumulator's coverage). Attribution counts only
     /// contain keys that were actually observed, matching the batch
@@ -436,6 +469,50 @@ mod tests {
                 single.attribution_counts, double.attribution_counts,
                 "{from}..{to}"
             );
+        }
+    }
+
+    #[test]
+    fn absorb_equals_single_pass() {
+        let (g, plan, geodb, isp_table) = setup();
+        let pipeline = GeolocationPipeline::new(&g, &geodb, &isp_table, 18);
+        let f = filter();
+        let mut records = Vec::new();
+        for (i, alloc) in plan.allocations().iter().take(120).enumerate() {
+            records.push(rec(alloc.host(1), (i % 11) as u64));
+        }
+        records.push(rec(Ipv4Addr::new(8, 8, 8, 8), 1)); // unlocated
+
+        let mut single = GeoDayAccumulator::new(&pipeline, 11);
+        for r in &records {
+            if f.matches(r) {
+                single.observe(r);
+            }
+        }
+        // Split round-robin into three parts, accumulate each apart
+        // (one via a second pipeline instance over the same tables, as
+        // shards do), then merge.
+        let pipeline2 = GeolocationPipeline::new(&g, &geodb, &isp_table, 18);
+        let mut parts = [
+            GeoDayAccumulator::new(&pipeline, 11),
+            GeoDayAccumulator::new(&pipeline2, 11),
+            GeoDayAccumulator::new(&pipeline, 11),
+        ];
+        for (i, r) in records.iter().enumerate() {
+            if f.matches(r) {
+                parts[i % 3].observe(r);
+            }
+        }
+        let [mut merged, p1, p2] = parts;
+        merged.absorb(&p1);
+        merged.absorb(&p2);
+        merged.absorb(&GeoDayAccumulator::new(&pipeline, 11)); // identity
+
+        for (from, to) in [(1u32, 11u32), (1, 2), (0, 11)] {
+            let a = merged.result(from, to);
+            let b = single.result(from, to);
+            assert_eq!(a.district_flows, b.district_flows, "{from}..{to}");
+            assert_eq!(a.attribution_counts, b.attribution_counts, "{from}..{to}");
         }
     }
 

@@ -54,6 +54,6 @@ pub use filter::FlowFilter;
 pub use geoloc::{GeoAttribution, GeoDayAccumulator, GeolocationPipeline};
 pub use outbreak::{OutbreakAccumulator, OutbreakAnalysis};
 pub use persistence::PersistenceAnalysis;
-pub use stream::FanOut;
+pub use stream::{FanOut, StreamCounts};
 pub use timeseries::HourlySeries;
 pub use zipmap::ZipAreaMap;

@@ -150,7 +150,11 @@ impl OutbreakAnalysis {
             .filter(|g| g.is_finite())
             .collect();
         others.sort_by(|a, b| a.partial_cmp(b).expect("finite growths"));
-        let median = others[others.len() / 2];
+        // At starvation-level scales every other state can end up with a
+        // zero pre-window sum (growth NaN), leaving nothing to take a
+        // median over — report NaN rather than panicking so the claim
+        // simply evaluates out-of-band.
+        let median = others.get(others.len() / 2).copied().unwrap_or(f64::NAN);
         let within = nrw.is_finite() && (nrw / median).max(median / nrw) <= tolerance;
         (nrw, median, within)
     }
@@ -222,6 +226,42 @@ where
                 self.berlin_isp_flows
                     .entry(isp)
                     .or_insert_with(|| vec![0u64; self.days as usize])[day as usize] += 1;
+            }
+        }
+    }
+
+    /// Merges another accumulator's day tables into this one
+    /// (element-wise sums; per-ISP Berlin series united by ISP id). The
+    /// other accumulator may use a different resolver type — shards
+    /// resolve through identical side tables, so the merged tables equal
+    /// a single-pass accumulation of the combined record stream.
+    pub fn absorb<G>(&mut self, other: &OutbreakAccumulator<'_, G>)
+    where
+        G: Fn(Ipv4Addr) -> Option<u8>,
+    {
+        assert_eq!(self.days, other.days, "same day window required");
+        assert_eq!(
+            self.germany.len(),
+            other.germany.len(),
+            "same district universe required"
+        );
+        for (mine, theirs) in self.district_flows.iter_mut().zip(&other.district_flows) {
+            for (a, b) in mine.iter_mut().zip(theirs) {
+                *a += b;
+            }
+        }
+        for (mine, theirs) in self.state_flows.iter_mut().zip(&other.state_flows) {
+            for (a, b) in mine.iter_mut().zip(theirs) {
+                *a += b;
+            }
+        }
+        for (isp, series) in &other.berlin_isp_flows {
+            let mine = self
+                .berlin_isp_flows
+                .entry(*isp)
+                .or_insert_with(|| vec![0u64; self.days as usize]);
+            for (a, b) in mine.iter_mut().zip(series) {
+                *a += b;
             }
         }
     }
@@ -333,6 +373,84 @@ mod tests {
         };
         assert!(a.national_growth(0..3, 3..6).is_nan());
         assert!(a.district_growth(DistrictId(0), 0..3, 3..6).is_nan());
+    }
+
+    #[test]
+    fn absorb_equals_single_pass() {
+        use crate::geoloc::IspInfo;
+        use cwa_geo::{AddressPlan, AddressPlanConfig, GeoDb, GeoDbConfig};
+        use cwa_netflow::flow::{FlowKey, Protocol};
+
+        let g = Germany::build();
+        let plan = AddressPlan::build(
+            &g,
+            AddressPlanConfig {
+                persons_per_subscription: 2.0,
+                prefix_capacity: 16_384,
+                prefix_len: 18,
+            },
+        );
+        let geodb = GeoDb::build(&g, &plan, GeoDbConfig::default());
+        let mut isp_table = HashMap::new();
+        for alloc in plan.allocations() {
+            let is_gt = plan.isp(alloc.isp).ground_truth_routers;
+            isp_table.insert(
+                cwa_geo::geodb::mask(alloc.network, alloc.len),
+                IspInfo {
+                    isp: alloc.isp.0,
+                    router_district: is_gt.then_some(alloc.district),
+                },
+            );
+        }
+        let pipeline = GeolocationPipeline::new(&g, &geodb, &isp_table, 18);
+        let isp_of = |client: Ipv4Addr| {
+            isp_table
+                .get(&cwa_geo::geodb::mask(client, 18))
+                .map(|e| e.isp)
+        };
+        let rec = |client: Ipv4Addr, day: u64| FlowRecord {
+            key: FlowKey {
+                src_ip: Ipv4Addr::new(81, 200, 16, 1),
+                dst_ip: client,
+                src_port: 443,
+                dst_port: 50_000,
+                protocol: Protocol::Tcp,
+            },
+            packets: 1,
+            bytes: 100,
+            first_ms: day * 86_400_000 + 7,
+            last_ms: day * 86_400_000 + 400,
+            tcp_flags: 0,
+        };
+        let records: Vec<FlowRecord> = plan
+            .allocations()
+            .iter()
+            .take(150)
+            .enumerate()
+            .map(|(i, alloc)| rec(alloc.host(3), (i % 11) as u64))
+            .collect();
+
+        let mut single = OutbreakAccumulator::new(&g, &pipeline, isp_of, 11);
+        for r in &records {
+            single.observe(r);
+        }
+        let mut left = OutbreakAccumulator::new(&g, &pipeline, isp_of, 11);
+        let mut right = OutbreakAccumulator::new(&g, &pipeline, isp_of, 11);
+        for (i, r) in records.iter().enumerate() {
+            if i % 2 == 0 {
+                left.observe(r);
+            } else {
+                right.observe(r);
+            }
+        }
+        left.absorb(&right);
+        left.absorb(&OutbreakAccumulator::new(&g, &pipeline, isp_of, 11)); // identity
+
+        let merged = left.into_analysis();
+        let one = single.into_analysis();
+        assert_eq!(merged.district_flows, one.district_flows);
+        assert_eq!(merged.state_flows, one.state_flows);
+        assert_eq!(merged.berlin_isp_flows, one.berlin_isp_flows);
     }
 
     #[test]

@@ -86,6 +86,24 @@ impl PersistenceAnalysis {
         }
     }
 
+    /// Merges another analysis into this one: per-prefix day sets are
+    /// OR-united. Bit-OR is commutative, associative and idempotent, so
+    /// absorbing per-shard partials in any order — even with prefixes
+    /// observed by several shards — equals the single-pass analysis over
+    /// the union of their record streams, **provided both partials were
+    /// keyed under the same anonymization key** (distinct Crypto-PAn
+    /// keys map one client prefix to different anonymized prefixes).
+    pub fn absorb(&mut self, other: &PersistenceAnalysis) {
+        assert_eq!(
+            (self.prefix_len, self.days),
+            (other.prefix_len, other.days),
+            "can only merge analyses with the same prefix length and day window"
+        );
+        for (prefix, bits) in &other.presence {
+            self.presence.entry(*prefix).or_insert(PresenceBits(0)).0 |= bits.0;
+        }
+    }
+
     /// Number of distinct prefixes observed.
     pub fn prefix_count(&self) -> usize {
         self.presence.len()
@@ -240,6 +258,39 @@ mod tests {
         assert!((a.fraction_quantile(0.0) - 0.2).abs() < 1e-12);
         assert!((a.fraction_quantile(1.0) - 1.0).abs() < 1e-12);
         assert!((a.always_present_share() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorb_unions_day_sets() {
+        // Split one stream so both parts see the same prefix on
+        // overlapping days; the union must match the single pass.
+        let c = Ipv4Addr::new(84, 1, 2, 3);
+        let d = Ipv4Addr::new(84, 9, 9, 9);
+        let all = [rec(c, 2), rec(c, 4), rec(c, 6), rec(d, 1)];
+        let mut single = PersistenceAnalysis::new(24, 11);
+        single.ingest(all.iter());
+
+        let mut left = PersistenceAnalysis::new(24, 11);
+        left.ingest([rec(c, 2), rec(c, 4)].iter());
+        let mut right = PersistenceAnalysis::new(24, 11);
+        right.ingest([rec(c, 4), rec(c, 6), rec(d, 1)].iter());
+        left.absorb(&right);
+        left.absorb(&PersistenceAnalysis::new(24, 11)); // identity
+
+        assert_eq!(left.prefix_count(), single.prefix_count());
+        let frac = |a: &PersistenceAnalysis| {
+            let mut f: Vec<f64> = a.presences().iter().map(|p| p.fraction()).collect();
+            f.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            f
+        };
+        assert_eq!(frac(&left), frac(&single));
+    }
+
+    #[test]
+    #[should_panic(expected = "same prefix length")]
+    fn absorb_rejects_mismatched_shapes() {
+        let mut a = PersistenceAnalysis::new(24, 11);
+        a.absorb(&PersistenceAnalysis::new(18, 11));
     }
 
     #[test]

@@ -70,6 +70,60 @@ impl<'a> FanOut<'a> {
     pub fn consumer_counts(&self) -> Vec<(&'static str, u64)> {
         self.consumers.iter().map(|c| (c.name, c.records)).collect()
     }
+
+    /// Snapshot of every driver counter as a mergeable value (the
+    /// per-shard form: each shard's driver contributes one snapshot,
+    /// merged totals equal a single driver over the combined stream).
+    pub fn counts(&self) -> StreamCounts {
+        StreamCounts {
+            records_in: self.records_in,
+            records_matched: self.records_matched,
+            consumers: self.consumer_counts(),
+        }
+    }
+}
+
+/// The fan-out driver's counters as plain mergeable data.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StreamCounts {
+    /// Total records seen (before filtering).
+    pub records_in: u64,
+    /// Records that passed the filter.
+    pub records_matched: u64,
+    /// Per-consumer delivery counts, in registration order.
+    pub consumers: Vec<(&'static str, u64)>,
+}
+
+impl StreamCounts {
+    /// Creates zeroed counts for the given consumer names.
+    pub fn zeroed(consumer_names: &[&'static str]) -> Self {
+        StreamCounts {
+            records_in: 0,
+            records_matched: 0,
+            consumers: consumer_names.iter().map(|&n| (n, 0)).collect(),
+        }
+    }
+
+    /// Merges another driver's counters into this one. Both must list
+    /// the same consumers in the same registration order.
+    pub fn absorb(&mut self, other: &StreamCounts) {
+        assert_eq!(
+            self.consumers.len(),
+            other.consumers.len(),
+            "same consumer set required"
+        );
+        self.records_in += other.records_in;
+        self.records_matched += other.records_matched;
+        for ((name, count), (other_name, other_count)) in
+            self.consumers.iter_mut().zip(&other.consumers)
+        {
+            assert_eq!(
+                name, other_name,
+                "same consumer registration order required"
+            );
+            *count += other_count;
+        }
+    }
 }
 
 impl FlowSink for FanOut<'_> {
@@ -148,6 +202,37 @@ mod tests {
         assert_eq!(series.flows[3], 1);
         assert_eq!(count.records, 2);
         assert!(count.finished, "finish propagates to consumers");
+    }
+
+    #[test]
+    fn stream_counts_merge_like_one_driver() {
+        let f = filter();
+        // One driver over the full stream …
+        let mut all = CountingSink::default();
+        let mut fan = FanOut::new(&f);
+        fan.register("count", &mut all);
+        fan.observe(&cdn_rec(0));
+        fan.observe(&background_rec());
+        fan.observe(&cdn_rec(3));
+        let single = fan.counts();
+
+        // … equals two drivers over a split of it, merged.
+        let mut part_a = CountingSink::default();
+        let mut fan_a = FanOut::new(&f);
+        fan_a.register("count", &mut part_a);
+        fan_a.observe(&cdn_rec(0));
+        fan_a.observe(&background_rec());
+        let mut part_b = CountingSink::default();
+        let mut fan_b = FanOut::new(&f);
+        fan_b.register("count", &mut part_b);
+        fan_b.observe(&cdn_rec(3));
+
+        let mut merged = StreamCounts::zeroed(&["count"]);
+        merged.absorb(&fan_a.counts());
+        merged.absorb(&fan_b.counts());
+        assert_eq!(merged, single);
+        assert_eq!(merged.records_in, 3);
+        assert_eq!(merged.records_matched, 2);
     }
 
     #[test]

@@ -51,6 +51,24 @@ impl HourlySeries {
         series
     }
 
+    /// Merges another series into this one (element-wise sums). The
+    /// accumulation is commutative and associative, so absorbing
+    /// per-shard partials in any order equals the single-pass series
+    /// over the union of their record streams.
+    pub fn absorb(&mut self, other: &HourlySeries) {
+        assert_eq!(
+            self.flows.len(),
+            other.flows.len(),
+            "can only merge series over the same hour window"
+        );
+        for (a, b) in self.flows.iter_mut().zip(&other.flows) {
+            *a += b;
+        }
+        for (a, b) in self.bytes.iter_mut().zip(&other.bytes) {
+            *a += b;
+        }
+    }
+
     /// Total flows.
     pub fn total_flows(&self) -> u64 {
         self.flows.iter().sum()
@@ -184,6 +202,28 @@ mod tests {
         assert_eq!(s.flows[5], 1);
         assert_eq!(s.flows[47], 1);
         assert_eq!(s.total_flows(), 4);
+    }
+
+    #[test]
+    fn absorb_equals_single_pass() {
+        let records = [
+            rec_at(0, 100),
+            rec_at(0, 200),
+            rec_at(5, 300),
+            rec_at(47, 50),
+        ];
+        let single = HourlySeries::from_records(records.iter(), 48);
+        let mut merged = HourlySeries::from_records(records[..2].iter(), 48);
+        merged.absorb(&HourlySeries::from_records(records[2..].iter(), 48));
+        merged.absorb(&HourlySeries::new(48)); // identity
+        assert_eq!(merged, single);
+    }
+
+    #[test]
+    #[should_panic(expected = "same hour window")]
+    fn absorb_rejects_mismatched_windows() {
+        let mut a = HourlySeries::new(24);
+        a.absorb(&HourlySeries::new(48));
     }
 
     #[test]

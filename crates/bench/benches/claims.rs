@@ -11,7 +11,7 @@ use cwa_core::{Study, StudyConfig};
 fn bench(c: &mut Criterion) {
     let out = sim();
     let study = Study::new(StudyConfig::at_scale(BENCH_SCALE));
-    let report = study.analyze(out);
+    let report = study.analyze(out).expect("analysis failed");
 
     println!("\n================ Claims C1–C7 (regenerated) ================");
     println!("{}", report.render_text());
@@ -21,7 +21,11 @@ fn bench(c: &mut Criterion) {
     println!("=============================================================\n");
 
     c.bench_function("claims/full_analysis_pass", |b| {
-        b.iter(|| black_box(study.analyze(black_box(out))).claims.len())
+        b.iter(|| {
+            black_box(study.analyze(black_box(out)).expect("analysis failed"))
+                .claims
+                .len()
+        })
     });
     c.bench_function("claims/persistence_quantiles", |b| {
         use cwa_analysis::filter::FlowFilter;

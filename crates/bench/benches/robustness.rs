@@ -24,7 +24,7 @@ fn regenerate_and_print() {
     for &seed in &SEEDS {
         let mut config = StudyConfig::at_scale(SCALE);
         config.sim.seed = seed;
-        let report = Study::new(config).run();
+        let report = Study::new(config).run().expect("study failed");
         for claim in &report.claims {
             let code = claim.id.code();
             *passes.entry(code).or_insert(0) += u32::from(claim.pass);
@@ -48,7 +48,9 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("full_study_scale_0.004", |b| {
         b.iter(|| {
-            let report = Study::new(StudyConfig::test_small()).run();
+            let report = Study::new(StudyConfig::test_small())
+                .run()
+                .expect("study failed");
             black_box(report.claims.len())
         })
     });

@@ -1,0 +1,152 @@
+//! **Sharded vs. unsharded streaming pipeline** — wall time of
+//! `Study::run_sharded(n)` (router fleet split across `n` crossbeam
+//! workers, each filtering and analyzing its own record partition,
+//! partials merged at the end) against the single-threaded
+//! `Study::run_streaming` baseline, at two scales.
+//!
+//! Speedup scales with physical cores: on a single-core host every
+//! shard count time-slices one CPU and speedup hovers around 1.0 (the
+//! sharded path then only pays channel + merge overhead). The host's
+//! parallelism is recorded in the output so downstream checks can
+//! interpret the numbers (`scripts/ci.sh` only enforces a speedup
+//! floor when `host_cpus >= 2`).
+//!
+//! Plain `harness = false` binary with manual timing, same as the
+//! streaming bench. Results go to `BENCH_sharded.json`.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use serde::Serialize;
+
+use cwa_core::{Study, StudyConfig};
+use cwa_netflow::CountingSink;
+use cwa_simnet::{ShardKeyMode, Simulation};
+
+const SCALES: [f64; 2] = [0.005, 0.02];
+const SHARDS: [usize; 3] = [1, 2, 4];
+const REPS: usize = 3;
+
+#[derive(Serialize)]
+struct ShardRow {
+    shards: usize,
+    wall_ms: f64,
+    /// Wall-time ratio `run_streaming / run_sharded(n)`.
+    speedup: f64,
+    /// Largest per-shard export-hour chunk — the sharded path's memory
+    /// bound (each worker holds at most one chunk of its own shard).
+    max_shard_peak_resident_records: u64,
+}
+
+#[derive(Serialize)]
+struct RunRow {
+    scale: f64,
+    streaming_wall_ms: f64,
+    total_records: u64,
+    matching_flows: u64,
+    sharded: Vec<ShardRow>,
+}
+
+#[derive(Serialize)]
+struct BenchDoc {
+    schema: &'static str,
+    generated_by: &'static str,
+    /// `std::thread::available_parallelism()` on the measuring host —
+    /// speedup is only meaningful relative to this.
+    host_cpus: usize,
+    reps_per_path: usize,
+    statistic: &'static str,
+    runs: Vec<RunRow>,
+}
+
+fn median_ms(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
+
+fn time_runs<F: FnMut() -> u64>(mut run: F) -> (f64, u64) {
+    let mut samples = Vec::with_capacity(REPS);
+    let mut check = 0;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        check = black_box(run());
+        samples.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    (median_ms(samples), check)
+}
+
+fn main() {
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut rows = Vec::new();
+    println!("host cpus: {host_cpus}");
+    println!("scale    shards  wall_ms    speedup  max_shard_resident");
+    for scale in SCALES {
+        let config = StudyConfig::at_scale(scale);
+
+        let (stream_ms, stream_flows) = time_runs(|| {
+            Study::new(config)
+                .run_streaming()
+                .expect("study failed")
+                .matching_flows
+        });
+        println!("{scale:<8} stream  {stream_ms:<10.1} 1.00");
+
+        let prepared = Simulation::new(config.sim).prepare();
+        let mut counting = CountingSink::default();
+        let (_truth, _stats) = prepared.run_traffic(&mut counting);
+
+        let mut sharded_rows = Vec::new();
+        for shards in SHARDS {
+            let (wall_ms, flows) = time_runs(|| {
+                Study::new(config)
+                    .run_sharded(shards)
+                    .expect("study failed")
+                    .matching_flows
+            });
+            assert_eq!(
+                flows, stream_flows,
+                "sharded and streaming must agree on the matching-flow count"
+            );
+            let (_truth, results) = prepared
+                .run_traffic_sharded(ShardKeyMode::Common, vec![CountingSink::default(); shards]);
+            let max_peak = results
+                .iter()
+                .map(|(_, stats)| stats.peak_resident_records)
+                .max()
+                .unwrap_or(0);
+            let speedup = stream_ms / wall_ms;
+            println!("{scale:<8} {shards:<7} {wall_ms:<10.1} {speedup:<8.2} {max_peak}");
+            sharded_rows.push(ShardRow {
+                shards,
+                wall_ms: (wall_ms * 1e3).round() / 1e3,
+                speedup: (speedup * 1e3).round() / 1e3,
+                max_shard_peak_resident_records: max_peak,
+            });
+        }
+
+        rows.push(RunRow {
+            scale,
+            streaming_wall_ms: (stream_ms * 1e3).round() / 1e3,
+            total_records: counting.records,
+            matching_flows: stream_flows,
+            sharded: sharded_rows,
+        });
+    }
+
+    let doc = BenchDoc {
+        schema: "cwa-bench-sharded/v1",
+        generated_by: "cargo bench -p cwa-bench --bench sharded",
+        host_cpus,
+        reps_per_path: REPS,
+        statistic: "median wall ms",
+        runs: rows,
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sharded.json");
+    let pretty = serde_json::to_string_pretty(&doc).expect("serializes");
+    match std::fs::write(path, pretty + "\n") {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+}

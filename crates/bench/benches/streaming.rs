@@ -64,9 +64,18 @@ fn main() {
     for scale in SCALES {
         let config = StudyConfig::at_scale(scale);
 
-        let (batch_ms, batch_flows) = time_runs(|| Study::new(config).run().matching_flows);
-        let (stream_ms, stream_flows) =
-            time_runs(|| Study::new(config).run_streaming().matching_flows);
+        let (batch_ms, batch_flows) = time_runs(|| {
+            Study::new(config)
+                .run()
+                .expect("study failed")
+                .matching_flows
+        });
+        let (stream_ms, stream_flows) = time_runs(|| {
+            Study::new(config)
+                .run_streaming()
+                .expect("study failed")
+                .matching_flows
+        });
         assert_eq!(
             batch_flows, stream_flows,
             "batch and streaming must agree on the matching-flow count"

@@ -14,7 +14,7 @@
 //! ```no_run
 //! use cwa_core::{Study, StudyConfig};
 //!
-//! let report = Study::new(StudyConfig::default()).run();
+//! let report = Study::new(StudyConfig::default()).run().unwrap();
 //! println!("{}", report.render_text());
 //! assert!(report.all_passed());
 //! ```
@@ -31,4 +31,4 @@ pub mod study;
 
 pub use claims::{Claim, ClaimId};
 pub use report::StudyReport;
-pub use study::{Study, StudyConfig};
+pub use study::{Study, StudyConfig, StudyError};

@@ -1,26 +1,78 @@
 //! The study runner: simulate → analyze → evaluate.
 
 use std::collections::HashMap;
+use std::fmt;
+use std::net::Ipv4Addr;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
-use cwa_obs::Registry;
+use cwa_obs::{Counter, Registry};
 
 use cwa_analysis::figures::{Figure2, Figure3};
 use cwa_analysis::filter::FlowFilter;
 use cwa_analysis::geoloc::{GeoDayAccumulator, GeoResult, GeolocationPipeline, IspInfo};
 use cwa_analysis::outbreak::{OutbreakAccumulator, OutbreakAnalysis};
 use cwa_analysis::persistence::PersistenceAnalysis;
-use cwa_analysis::stream::FanOut;
+use cwa_analysis::stream::{FanOut, StreamCounts};
 use cwa_analysis::timeseries::HourlySeries;
 use cwa_epidemic::timeline::{JULY_24_DAY, MILESTONE_36H_HOUR};
 use cwa_epidemic::{AdoptionConfig, AdoptionModel, Timeline};
-use cwa_simnet::{IspSideEntry, SimConfig, SimOutput, Simulation};
+use cwa_geo::GeoDb;
+use cwa_netflow::flow::FlowRecord;
+use cwa_netflow::sink::FlowSink;
+use cwa_simnet::{shard_keys, IspSideEntry, ShardKeyMode, SimConfig, SimOutput, Simulation};
 
 use crate::claims::{Claim, ClaimId};
 use crate::report::{PhaseTiming, RunManifest, StudyReport};
+
+/// A structured failure of a study run — the conditions under which no
+/// meaningful report can be produced. Everything else (claim misses,
+/// out-of-band values) is reported *inside* the [`StudyReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum StudyError {
+    /// The run produced records, but none matched the §2 CWA filter —
+    /// typically a scale so small that not a single sampled CWA flow
+    /// survived 1-in-N packet sampling. A report built from this would
+    /// be all-NaN claims, so it is refused instead.
+    NoMatchingFlows {
+        /// The traffic scale that was simulated.
+        scale: f64,
+        /// How many (non-matching) records the run did produce.
+        total_records: u64,
+    },
+    /// A sharded run was asked for more shards than there are export
+    /// engines (routers) to split across, or for zero shards.
+    InvalidShardCount {
+        /// The requested shard count.
+        requested: usize,
+        /// The configured router count (the maximum).
+        routers: u8,
+    },
+}
+
+impl fmt::Display for StudyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StudyError::NoMatchingFlows {
+                scale,
+                total_records,
+            } => write!(
+                f,
+                "no flows matched the §2 CWA filter at scale {scale} \
+                 ({total_records} records total); increase --scale"
+            ),
+            StudyError::InvalidShardCount { requested, routers } => write!(
+                f,
+                "shard count {requested} is invalid: must be between 1 \
+                 and the router count ({routers})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StudyError {}
 
 /// Study configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -146,6 +198,55 @@ struct AnalysisProducts {
     total_records: u64,
 }
 
+/// The consumer names shared by the streaming and sharded paths (must
+/// stay in [`FanOut`] registration order so merged counts line up).
+const CONSUMER_NAMES: [&str; 4] = ["timeseries", "geoloc", "persistence", "outbreak"];
+
+/// One shard's private analysis chain: the §2 filter applied once, then
+/// fan-out into shard-local partial accumulators — a [`FanOut`] without
+/// the `&mut dyn` borrows, so the whole chain is `Send` and can live on
+/// a crossbeam worker. Each worker fills its own `ShardConsumers`; the
+/// main thread then merges the partials with the accumulators' `absorb`
+/// operations, which is exact because every accumulator is a
+/// commutative monoid over records.
+struct ShardConsumers<'w> {
+    filter: &'w FlowFilter,
+    series: HourlySeries,
+    geo: GeoDayAccumulator<'w>,
+    persistence: PersistenceAnalysis,
+    outbreak: OutbreakAccumulator<'w, Box<dyn Fn(Ipv4Addr) -> Option<u8> + Send + Sync + 'w>>,
+    counts: StreamCounts,
+    /// `sim.shard.<i>.records` — live per-shard record throughput.
+    records_counter: Option<Arc<Counter>>,
+}
+
+impl FlowSink for ShardConsumers<'_> {
+    fn observe(&mut self, rec: &FlowRecord) {
+        self.counts.records_in += 1;
+        if let Some(counter) = &self.records_counter {
+            counter.add(1);
+        }
+        if !self.filter.matches(rec) {
+            return;
+        }
+        self.counts.records_matched += 1;
+        self.series.observe(rec);
+        self.geo.observe(rec);
+        self.persistence.observe(rec);
+        self.outbreak.observe(rec);
+        for (_, count) in &mut self.counts.consumers {
+            *count += 1;
+        }
+    }
+
+    fn finish(&mut self) {
+        self.series.finish();
+        self.geo.finish();
+        self.persistence.finish();
+        self.outbreak.finish();
+    }
+}
+
 impl Study {
     /// Creates a runner.
     pub fn new(config: StudyConfig) -> Self {
@@ -165,7 +266,10 @@ impl Study {
     }
 
     /// Runs simulation + analysis + claim evaluation.
-    pub fn run(&self) -> StudyReport {
+    ///
+    /// Fails with [`StudyError::NoMatchingFlows`] when the configured
+    /// scale is too small for any CWA flow to survive sampling.
+    pub fn run(&self) -> Result<StudyReport, StudyError> {
         let started = Instant::now();
         let mut simulation = Simulation::new(self.config.sim);
         if let Some(registry) = &self.metrics {
@@ -178,11 +282,15 @@ impl Study {
 
     /// Runs the analysis on an existing simulation output (lets callers
     /// reuse one expensive simulation for several analyses).
-    pub fn analyze(&self, sim: &SimOutput) -> StudyReport {
+    pub fn analyze(&self, sim: &SimOutput) -> Result<StudyReport, StudyError> {
         self.analyze_with_prelude(sim, None)
     }
 
-    fn analyze_with_prelude(&self, sim: &SimOutput, simulate: Option<Duration>) -> StudyReport {
+    fn analyze_with_prelude(
+        &self,
+        sim: &SimOutput,
+        simulate: Option<Duration>,
+    ) -> Result<StudyReport, StudyError> {
         let cfg = &self.config;
         let days = sim.config.days;
         let hours = days * 24;
@@ -307,7 +415,7 @@ impl Study {
     /// hour) is resident at a time. The resulting [`StudyReport`] is
     /// bit-identical to [`Study::run`]'s modulo the volatile phase
     /// timings (compare after [`StudyReport::strip_volatile`]).
-    pub fn run_streaming(&self) -> StudyReport {
+    pub fn run_streaming(&self) -> Result<StudyReport, StudyError> {
         let cfg = &self.config;
         let days = cfg.sim.days;
         let hours = days * 24;
@@ -417,6 +525,179 @@ impl Study {
         self.assemble_report(&sim, products, timings)
     }
 
+    /// Runs the sharded streaming pipeline: the router fleet is split
+    /// into `shards` vantage-point shards, each producing, filtering
+    /// and analyzing its own record partition on a dedicated worker
+    /// (bounded channels provide backpressure), and the partial
+    /// accumulators are merged deterministically at the end.
+    ///
+    /// All shards anonymize under the common study key
+    /// ([`ShardKeyMode::Common`]), so the merged report is identical to
+    /// [`Study::run_streaming`]'s after
+    /// [`strip_volatile`](StudyReport::strip_volatile) — and exactly
+    /// identical for `shards == 1`, where the partition is trivial.
+    pub fn run_sharded(&self, shards: usize) -> Result<StudyReport, StudyError> {
+        self.run_sharded_with(shards, ShardKeyMode::Common)
+    }
+
+    /// [`run_sharded`](Study::run_sharded) with an explicit key mode.
+    ///
+    /// Under [`ShardKeyMode::PerShard`] every shard anonymizes with its
+    /// own derived Crypto-PAn key and analyzes against side tables
+    /// re-keyed to match (the paper's per-engine anonymization, §2).
+    /// Claim values then differ slightly from the common-key run: the
+    /// persistence analysis cannot unify a prefix observed by two
+    /// differently-keyed shards.
+    pub fn run_sharded_with(
+        &self,
+        shards: usize,
+        key_mode: ShardKeyMode,
+    ) -> Result<StudyReport, StudyError> {
+        let cfg = &self.config;
+        let routers = cfg.sim.vantage.routers;
+        if shards == 0 || shards > usize::from(routers) {
+            return Err(StudyError::InvalidShardCount {
+                requested: shards,
+                routers,
+            });
+        }
+        let days = cfg.sim.days;
+        let hours = days * 24;
+        let prefix_len = cfg.sim.plan.prefix_len;
+
+        let started = Instant::now();
+        let mut simulation = Simulation::new(cfg.sim);
+        if let Some(registry) = &self.metrics {
+            simulation = simulation.with_metrics(Arc::clone(registry));
+        }
+        let prepared = simulation.prepare();
+
+        let mut timings: Vec<PhaseTiming> = Vec::new();
+        let (products, truth) = {
+            let filter = FlowFilter::cwa(prepared.cdn.service_prefixes.to_vec());
+            let common_table = analysis_isp_table(&prepared.isp_table);
+            // Per-shard side tables, re-keyed to each shard's own Crypto-PAn
+            // key; empty (all shards share the prepared tables) under the
+            // common key.
+            let keyed_tables: Vec<(GeoDb, HashMap<u32, IspInfo>)> = match key_mode {
+                ShardKeyMode::Common => Vec::new(),
+                ShardKeyMode::PerShard => shard_keys(&cfg.sim.vantage.anon_key, shards, key_mode)
+                    .iter()
+                    .map(|key| {
+                        let (geodb, table) = prepared.side_tables_for_key(key);
+                        (geodb, analysis_isp_table(&table))
+                    })
+                    .collect(),
+            };
+            let shard_tables = |i: usize| -> (&GeoDb, &HashMap<u32, IspInfo>) {
+                match key_mode {
+                    ShardKeyMode::Common => (&prepared.geodb, &common_table),
+                    ShardKeyMode::PerShard => (&keyed_tables[i].0, &keyed_tables[i].1),
+                }
+            };
+            let pipelines: Vec<GeolocationPipeline> = (0..shards)
+                .map(|i| {
+                    let (geodb, table) = shard_tables(i);
+                    GeolocationPipeline::new(&prepared.germany, geodb, table, prefix_len)
+                })
+                .collect();
+            let sinks: Vec<ShardConsumers> = (0..shards)
+                .map(|i| {
+                    let (_, table) = shard_tables(i);
+                    ShardConsumers {
+                        filter: &filter,
+                        series: HourlySeries::new(hours),
+                        geo: GeoDayAccumulator::new(&pipelines[i], days.min(11)),
+                        persistence: PersistenceAnalysis::new(cfg.persistence_prefix_len, days),
+                        outbreak: OutbreakAccumulator::new(
+                            &prepared.germany,
+                            &pipelines[i],
+                            Box::new(isp_resolver(table, prefix_len)),
+                            days,
+                        ),
+                        counts: StreamCounts::zeroed(&CONSUMER_NAMES),
+                        records_counter: self
+                            .metrics
+                            .as_ref()
+                            .map(|m| m.counter(&format!("sim.shard.{i:02}.records"))),
+                    }
+                })
+                .collect();
+
+            let (truth, results) = prepared.run_traffic_sharded(key_mode, sinks);
+            record_phase(
+                &mut timings,
+                &self.metrics,
+                "phase.simulate_analyze",
+                started.elapsed(),
+            );
+
+            // Deterministic merge: absorb the partials in shard order. Every
+            // accumulator merge is an element-wise monoid operation, so the
+            // result equals a single pass over the union stream.
+            let t = Instant::now();
+            let mut parts = results.into_iter().map(|(sink, _stats)| sink);
+            let mut merged = parts.next().expect("at least one shard");
+            for part in parts {
+                merged.series.absorb(&part.series);
+                merged.geo.absorb(&part.geo);
+                merged.persistence.absorb(&part.persistence);
+                merged.outbreak.absorb(&part.outbreak);
+                merged.counts.absorb(&part.counts);
+            }
+            record_phase(&mut timings, &self.metrics, "phase.merge", t.elapsed());
+
+            let geo_10day = merged.geo.result(1, days.min(11));
+            let geo_day1 = merged.geo.result(1, 2);
+
+            if let Some(registry) = &self.metrics {
+                // Same counter names and values as the unsharded streaming
+                // run, computed from the merged totals.
+                registry
+                    .counter("analysis.stream.records_in")
+                    .add(merged.counts.records_in);
+                registry
+                    .counter("analysis.stream.records_matched")
+                    .add(merged.counts.records_matched);
+                for (name, count) in &merged.counts.consumers {
+                    registry
+                        .counter(&format!("analysis.stream.{name}.records"))
+                        .add(*count);
+                }
+                registry
+                    .counter("analysis.filter.records_in")
+                    .add(merged.counts.records_in);
+                registry
+                    .counter("analysis.filter.records_matched")
+                    .add(merged.counts.records_matched);
+                registry
+                    .counter("analysis.timeseries.hours")
+                    .add(u64::from(hours));
+                registry
+                    .counter("analysis.geoloc.attributed_flows")
+                    .add(geo_10day.district_flows.iter().sum::<u64>());
+                registry
+                    .counter("analysis.persistence.prefixes")
+                    .add(merged.persistence.prefix_count() as u64);
+            }
+
+            (
+                AnalysisProducts {
+                    series: merged.series,
+                    geo_10day,
+                    geo_day1,
+                    persistence: merged.persistence,
+                    outbreak: merged.outbreak.into_analysis(),
+                    matching_flows: merged.counts.records_matched,
+                    total_records: merged.counts.records_in,
+                },
+                truth,
+            )
+        };
+        let sim = prepared.into_output(Vec::new(), truth);
+        self.assemble_report(&sim, products, timings)
+    }
+
     /// Claim evaluation, figures, and manifest assembly — shared
     /// verbatim by the batch and streaming paths so both produce the
     /// exact same report from the same analysis products.
@@ -425,7 +706,13 @@ impl Study {
         sim: &SimOutput,
         products: AnalysisProducts,
         mut timings: Vec<PhaseTiming>,
-    ) -> StudyReport {
+    ) -> Result<StudyReport, StudyError> {
+        if products.matching_flows == 0 {
+            return Err(StudyError::NoMatchingFlows {
+                scale: sim.config.scale,
+                total_records: products.total_records,
+            });
+        }
         let cfg = &self.config;
         let days = sim.config.days;
         let hours = days * 24;
@@ -660,7 +947,7 @@ impl Study {
             phase_timings: timings,
         };
 
-        StudyReport {
+        Ok(StudyReport {
             config: *cfg,
             manifest,
             figure2,
@@ -675,7 +962,7 @@ impl Study {
             release_jump: jump,
             api_rank_by_day: sim.dns.api_rank.clone(),
             website_rank_by_day: sim.dns.website_rank.clone(),
-        }
+        })
     }
 }
 
@@ -687,7 +974,9 @@ mod tests {
     /// claim-by-claim validation lives in the integration tests).
     #[test]
     fn study_runs_and_reports() {
-        let report = Study::new(StudyConfig::test_small()).run();
+        let report = Study::new(StudyConfig::test_small())
+            .run()
+            .expect("small study produces matching flows");
         assert_eq!(report.claims.len(), 14);
         assert!(report.matching_flows > 0);
         assert!(report.total_records > report.matching_flows);

@@ -48,4 +48,7 @@ pub use cdn::CdnConfig;
 pub use dns::{DnsStudy, TopListModel};
 pub use sim::{PreparedSim, SimConfig, SimOutput, Simulation};
 pub use traffic::{GroundTruth, TrafficConfig};
-pub use vantage::{ExportFormat, IspSideEntry, VantageConfig, VantagePoint, VantageRunStats};
+pub use vantage::{
+    run_sharded_into, shard_keys, ExportFormat, IspSideEntry, ShardKeyMode, VantageConfig,
+    VantagePoint, VantageRunStats,
+};

@@ -25,7 +25,7 @@ use crate::cdn::CdnConfig;
 use crate::dns::{run_dns_study, DnsStudy, TopListModel};
 use crate::traffic::{GroundTruth, TrafficConfig, TrafficModel};
 use crate::vantage::{
-    side_tables_with, IspSideEntry, VantageConfig, VantagePoint, VantageRunStats,
+    side_tables_with, IspSideEntry, ShardKeyMode, VantageConfig, VantagePoint, VantageRunStats,
 };
 
 /// Which scenario variant to simulate.
@@ -256,6 +256,8 @@ impl Simulation {
             cdn,
             activity,
             export_sizes,
+            geodb_raw: geodb,
+            router_map: routers,
         }
     }
 }
@@ -291,6 +293,11 @@ pub struct PreparedSim {
     pub cdn: CdnConfig,
     activity: ActivityModel,
     export_sizes: Vec<f64>,
+    /// Raw (non-anonymized) geolocation DB — kept so side tables can be
+    /// re-keyed for shards with their own anonymization keys.
+    geodb_raw: GeoDb,
+    /// Realistic router map used for ground-truth side-table entries.
+    router_map: cwa_geo::RouterMap,
 }
 
 impl PreparedSim {
@@ -346,34 +353,90 @@ impl PreparedSim {
             (truth, stats)
         };
         if let Some(registry) = &self.metrics {
-            let c = run_stats.cache;
-            registry
-                .counter("simnet.cache.packets_seen")
-                .add(c.packets_seen);
-            registry
-                .counter("simnet.cache.expired_inactive")
-                .add(c.expired_inactive);
-            registry
-                .counter("simnet.cache.expired_active")
-                .add(c.expired_active);
-            registry
-                .counter("simnet.cache.expired_emergency")
-                .add(c.expired_emergency);
-            registry
-                .counter("simnet.cache.expired_flush")
-                .add(c.expired_flush);
-            registry
-                .counter("simnet.cache.evictions")
-                .add(c.expired_inactive + c.expired_active + c.expired_emergency + c.expired_flush);
-            registry
-                .counter("simnet.transport.dropped_datagrams")
-                .add(run_stats.dropped_datagrams);
-            registry
-                .counter("simnet.transport.undecodable_datagrams")
-                .add(run_stats.undecodable_datagrams);
+            publish_vantage_counters(registry, &run_stats);
         }
         sink.finish();
         (truth, run_stats)
+    }
+
+    /// Sharded form of [`run_traffic`](PreparedSim::run_traffic): splits
+    /// the vantage fleet into `sinks.len()` shards (each with its own
+    /// collector, worker thread and — per `key_mode` — Crypto-PAn key)
+    /// and streams every shard's records into its own sink, in chunks of
+    /// one export hour. Each sink's `finish()` is called by its worker
+    /// after the final flush. Returns the traffic ground truth plus
+    /// every shard's `(sink, run statistics)` in shard order.
+    ///
+    /// Under [`ShardKeyMode::Common`] the union of the shards' record
+    /// streams is exactly the records of [`run_traffic`]
+    /// — same set, partitioned by owning router.
+    pub fn run_traffic_sharded<S: FlowSink + Send>(
+        &self,
+        key_mode: ShardKeyMode,
+        sinks: Vec<S>,
+    ) -> (GroundTruth, Vec<(S, VantageRunStats)>) {
+        let cfg = self.config;
+        let timeline = Timeline { days: cfg.days };
+        let traffic_cfg = TrafficConfig {
+            scale: cfg.scale,
+            seed: cfg.seed ^ 0x7AF,
+            ..TrafficConfig::default()
+        };
+        let mut vantages = VantagePoint::shard(
+            cfg.vantage,
+            self.cdn.service_prefixes.to_vec(),
+            cfg.plan.prefix_len,
+            sinks.len(),
+            key_mode,
+        );
+        if let Some(registry) = &self.metrics {
+            for vantage in &mut vantages {
+                vantage.attach_metrics(registry, cfg.days);
+            }
+        }
+        let model = TrafficModel::new(
+            &self.germany,
+            &self.plan,
+            &self.scenario,
+            &self.downloads,
+            self.activity,
+            self.cdn.clone(),
+            traffic_cfg,
+            timeline.hours(),
+        )
+        .with_export_sizes(&self.export_sizes);
+        let shards: Vec<(VantagePoint, S)> = vantages.into_iter().zip(sinks).collect();
+        let (truth, results) = crate::vantage::run_sharded_into(model, shards, timeline.hours());
+        if let Some(registry) = &self.metrics {
+            // One fleet-wide publication of the summed per-shard stats,
+            // under the same counter names as the unsharded run.
+            let mut total = VantageRunStats::default();
+            for (_, stats) in &results {
+                let c = stats.cache;
+                total.cache.packets_seen += c.packets_seen;
+                total.cache.expired_inactive += c.expired_inactive;
+                total.cache.expired_active += c.expired_active;
+                total.cache.expired_emergency += c.expired_emergency;
+                total.cache.expired_flush += c.expired_flush;
+                total.dropped_datagrams += stats.dropped_datagrams;
+                total.undecodable_datagrams += stats.undecodable_datagrams;
+            }
+            publish_vantage_counters(registry, &total);
+        }
+        (truth, results)
+    }
+
+    /// Re-keys the side tables (geolocation DB + prefix → ISP table)
+    /// under an explicit Crypto-PAn key — what the operator hands over
+    /// for a shard that anonymizes under its own key
+    /// ([`ShardKeyMode::PerShard`]).
+    pub fn side_tables_for_key(&self, key: &[u8; 32]) -> (GeoDb, HashMap<u32, IspSideEntry>) {
+        side_tables_with(
+            &CryptoPan::new(key),
+            &self.plan,
+            &self.geodb_raw,
+            Some(&self.router_map),
+        )
     }
 
     /// Assembles a [`SimOutput`] from this world plus the traffic run's
@@ -395,6 +458,37 @@ impl PreparedSim {
             config: self.config,
         }
     }
+}
+
+/// Publishes a run's cache/transport statistics to the registry under
+/// the shared counter names — one code path for the serial, parallel
+/// and sharded drivers, so their observability output is comparable.
+fn publish_vantage_counters(registry: &cwa_obs::Registry, stats: &VantageRunStats) {
+    let c = stats.cache;
+    registry
+        .counter("simnet.cache.packets_seen")
+        .add(c.packets_seen);
+    registry
+        .counter("simnet.cache.expired_inactive")
+        .add(c.expired_inactive);
+    registry
+        .counter("simnet.cache.expired_active")
+        .add(c.expired_active);
+    registry
+        .counter("simnet.cache.expired_emergency")
+        .add(c.expired_emergency);
+    registry
+        .counter("simnet.cache.expired_flush")
+        .add(c.expired_flush);
+    registry
+        .counter("simnet.cache.evictions")
+        .add(c.expired_inactive + c.expired_active + c.expired_emergency + c.expired_flush);
+    registry
+        .counter("simnet.transport.dropped_datagrams")
+        .add(stats.dropped_datagrams);
+    registry
+        .counter("simnet.transport.undecodable_datagrams")
+        .add(stats.undecodable_datagrams);
 }
 
 #[cfg(test)]
@@ -673,6 +767,69 @@ mod tests {
         let mut records: Vec<FlowRecord> = Vec::new();
         prepared.run_traffic(&mut records);
         assert_eq!(records, batch.records);
+    }
+
+    #[test]
+    fn sharded_union_equals_unsharded_set() {
+        let base = SimConfig {
+            days: 3,
+            ..SimConfig::test_small()
+        };
+        let batch = Simulation::new(base).run();
+
+        let sort_key = |r: &FlowRecord| {
+            (
+                r.first_ms,
+                r.last_ms,
+                r.key,
+                r.bytes,
+                r.packets,
+                r.tcp_flags,
+            )
+        };
+        let mut expected = batch.records.clone();
+        expected.sort_by_key(sort_key);
+
+        for shards in [1usize, 2, 3] {
+            let prepared = Simulation::new(base).prepare();
+            let sinks: Vec<Vec<FlowRecord>> = vec![Vec::new(); shards];
+            let (truth, results) = prepared.run_traffic_sharded(ShardKeyMode::Common, sinks);
+            assert_eq!(truth.api_flows, batch.truth.api_flows);
+            let mut union: Vec<FlowRecord> = Vec::new();
+            for (records, stats) in &results {
+                union.extend_from_slice(records);
+                assert!(
+                    stats.peak_resident_records <= records.len() as u64,
+                    "shard residency bounded by its own record count"
+                );
+            }
+            union.sort_by_key(sort_key);
+            assert_eq!(
+                union, expected,
+                "{shards}-shard union must equal the unsharded record set"
+            );
+        }
+    }
+
+    #[test]
+    fn per_shard_keys_change_anonymization_but_not_volume() {
+        let base = SimConfig {
+            days: 2,
+            ..SimConfig::test_small()
+        };
+        let common = Simulation::new(base)
+            .prepare()
+            .run_traffic_sharded(ShardKeyMode::Common, vec![Vec::<FlowRecord>::new(); 2]);
+        let keyed = Simulation::new(base)
+            .prepare()
+            .run_traffic_sharded(ShardKeyMode::PerShard, vec![Vec::<FlowRecord>::new(); 2]);
+        for ((a, _), (b, _)) in common.1.iter().zip(&keyed.1) {
+            assert_eq!(a.len(), b.len(), "keying never changes record volume");
+        }
+        // Every per-shard key is derived (none equals the base key), so
+        // each shard's addresses must actually re-anonymize.
+        assert_ne!(common.1[0].0, keyed.1[0].0);
+        assert_ne!(common.1[1].0, keyed.1[1].0);
     }
 
     #[test]

@@ -90,6 +90,35 @@ impl Default for VantageConfig {
     }
 }
 
+/// How a sharded vantage fleet derives each shard's Crypto-PAn key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShardKeyMode {
+    /// Every shard anonymizes under the base `anon_key`. One client
+    /// prefix maps to one anonymized prefix fleet-wide, so merged
+    /// per-shard analyses equal the single-vantage run exactly.
+    Common,
+    /// Each shard derives its own key from the base key (§2's
+    /// per-engine anonymization). Realistic, but one client prefix
+    /// observed by two shards anonymizes to two different prefixes, so
+    /// cross-shard prefix analyses are no longer merge-exact.
+    PerShard,
+}
+
+/// The per-shard Crypto-PAn keys for an `n`-shard fleet.
+pub fn shard_keys(base: &[u8; 32], n: usize, mode: ShardKeyMode) -> Vec<[u8; 32]> {
+    match mode {
+        ShardKeyMode::Common => vec![*base; n],
+        ShardKeyMode::PerShard => (0..n)
+            .map(|i| {
+                let mut material = Vec::with_capacity(40);
+                material.extend_from_slice(base);
+                material.extend_from_slice(&(i as u64).to_le_bytes());
+                cwa_crypto::sha256(&material)
+            })
+            .collect(),
+    }
+}
+
 /// One side-table entry per routing prefix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct IspSideEntry {
@@ -268,8 +297,19 @@ pub struct VantageRunStats {
 }
 
 /// The vantage point: routers plus the anonymizing collector.
+///
+/// Either the whole fleet (via [`VantagePoint::new`]) or one shard of
+/// it (via [`VantagePoint::shard`]): a shard owns a contiguous range of
+/// the global router ids starting at `router_base`, while event routing
+/// always hashes over the *fleet-wide* `total_routers` — so the events
+/// a given router observes are identical whether or not the fleet is
+/// sharded.
 pub struct VantagePoint {
     routers: Vec<Router>,
+    /// Global id of `routers[0]` (0 for an unsharded vantage point).
+    router_base: usize,
+    /// Fleet-wide router count event routing hashes over.
+    total_routers: usize,
     collector: Collector,
     cryptopan: CryptoPan,
     plan_prefix_len: u8,
@@ -323,11 +363,13 @@ impl VantagePoint {
         server_prefixes: Vec<(Ipv4Addr, u8)>,
         plan_prefix_len: u8,
     ) -> Self {
-        let routers = (0..cfg.routers).map(|id| Router::new(id, &cfg)).collect();
+        let routers: Vec<Router> = (0..cfg.routers).map(|id| Router::new(id, &cfg)).collect();
         let collector = Collector::new_anonymizing(&cfg.anon_key, server_prefixes);
         let cryptopan = CryptoPan::new(&cfg.anon_key);
         let transport = Transport::new(&cfg);
         VantagePoint {
+            router_base: 0,
+            total_routers: routers.len(),
             routers,
             collector,
             cryptopan,
@@ -337,6 +379,61 @@ impl VantagePoint {
             transport,
             metrics: None,
         }
+    }
+
+    /// Splits the vantage fleet into `n` shards, each owning a
+    /// contiguous range of the global router ids (sizes differing by at
+    /// most one) with its own collector and — per `key_mode` — its own
+    /// Crypto-PAn key. Routers keep their *global* ids, so every
+    /// router's sampling RNG stream is identical to the unsharded
+    /// fleet's; under [`ShardKeyMode::Common`] the union of all shards'
+    /// records is therefore exactly the unsharded record set.
+    pub fn shard(
+        cfg: VantageConfig,
+        server_prefixes: Vec<(Ipv4Addr, u8)>,
+        plan_prefix_len: u8,
+        n: usize,
+        key_mode: ShardKeyMode,
+    ) -> Vec<VantagePoint> {
+        let total = usize::from(cfg.routers);
+        assert!(
+            (1..=total).contains(&n),
+            "shard count {n} must be in 1..={total} (the router count)"
+        );
+        let keys = shard_keys(&cfg.anon_key, n, key_mode);
+        let base_size = total / n;
+        let remainder = total % n;
+        let mut shards = Vec::with_capacity(n);
+        let mut next_router = 0usize;
+        for (i, key) in keys.into_iter().enumerate() {
+            let size = base_size + usize::from(i < remainder);
+            let shard_cfg = VantageConfig {
+                anon_key: key,
+                ..cfg
+            };
+            let routers: Vec<Router> = (0..size)
+                .map(|k| Router::new((next_router + k) as u8, &shard_cfg))
+                .collect();
+            shards.push(VantagePoint {
+                router_base: next_router,
+                total_routers: total,
+                routers,
+                collector: Collector::new_anonymizing(&key, server_prefixes.clone()),
+                cryptopan: CryptoPan::new(&key),
+                plan_prefix_len,
+                format: cfg.format,
+                v9_decoder: V9Decoder::new(),
+                transport: Transport::new(&shard_cfg),
+                metrics: None,
+            });
+            next_router += size;
+        }
+        shards
+    }
+
+    /// Global ids of the routers this vantage point owns.
+    pub fn router_ids(&self) -> std::ops::Range<usize> {
+        self.router_base..self.router_base + self.routers.len()
     }
 
     /// Attaches observability: per-router sampling counters, per-day
@@ -406,13 +503,19 @@ impl VantagePoint {
         }
     }
 
-    /// Observes one flow event (routes it to the owning router).
+    /// Observes one flow event (routes it to the owning router). The
+    /// router hash is over the fleet-wide router count; for a shard, the
+    /// event must belong to one of its routers.
     pub fn observe(&mut self, ev: &FlowEvent) {
         if let Some(m) = &self.metrics {
             m.note_event(ev);
         }
-        let r = router_for(ev, self.plan_prefix_len, self.routers.len());
-        self.routers[r].observe(ev);
+        let r = router_for(ev, self.plan_prefix_len, self.total_routers);
+        let local = r
+            .checked_sub(self.router_base)
+            .filter(|&l| l < self.routers.len())
+            .expect("event dispatched to a router outside this shard");
+        self.routers[local].observe(ev);
     }
 
     /// End-of-hour housekeeping across all routers (in id order, keeping
@@ -735,6 +838,159 @@ pub fn run_parallel_into(
         peak_resident_records: collector.peak_resident_records() as u64,
     };
     (model.into_truth(), stats)
+}
+
+/// Messages the sharded driver sends to shard workers.
+enum ShardMsg {
+    /// A batch of flow events owned by this shard's routers.
+    Events(Vec<FlowEvent>),
+    EndOfHour(u32),
+    Finish(u32),
+}
+
+/// Events per [`ShardMsg::Events`] batch (amortizes channel traffic).
+const SHARD_EVENT_BATCH: usize = 256;
+/// Bounded channel capacity in batches: the generator can run at most
+/// this many batches ahead of a shard worker before blocking
+/// (backpressure keeping per-shard memory flat).
+const SHARD_CHANNEL_CAP: usize = 64;
+
+/// Drives a traffic generator through a sharded vantage fleet: one
+/// crossbeam worker per shard runs that shard's routers, collector and
+/// sink, fed event batches over a bounded channel. Each worker drains
+/// its collector into its own sink every export hour and calls
+/// `sink.finish()` after the final flush, then returns the sink and the
+/// shard's run statistics (in shard order).
+///
+/// Determinism: the main thread generates events in the exact serial
+/// order and routes each to its owning shard, where the owning *router*
+/// — keyed by global id — consumes its subsequence with the same RNG
+/// stream as in the unsharded fleet. Each shard's record stream is
+/// therefore exactly the unsharded stream restricted to its routers
+/// (re-keyed if the shard has its own Crypto-PAn key).
+pub fn run_sharded_into<S: FlowSink + Send>(
+    mut model: crate::traffic::TrafficModel<'_>,
+    shards: Vec<(VantagePoint, S)>,
+    hours: u32,
+) -> (crate::traffic::GroundTruth, Vec<(S, VantageRunStats)>) {
+    assert!(!shards.is_empty(), "at least one shard required");
+    let n_shards = shards.len();
+    let metrics = shards[0].0.metrics.clone();
+    let plan_prefix_len = shards[0].0.plan_prefix_len;
+    let total_routers = shards[0].0.total_routers;
+    let mut owner_of_router = vec![usize::MAX; total_routers];
+    for (i, (vp, _)) in shards.iter().enumerate() {
+        for r in vp.router_ids() {
+            owner_of_router[r] = i;
+        }
+    }
+    assert!(
+        owner_of_router.iter().all(|&o| o != usize::MAX),
+        "shards must cover every router of the fleet"
+    );
+    // Channel-depth gauges (batches in flight per shard; pure
+    // observation, main thread increments and the worker decrements).
+    let depth_gauges: Vec<Option<Arc<cwa_obs::Gauge>>> = (0..n_shards)
+        .map(|i| {
+            metrics
+                .as_ref()
+                .map(|m| m.registry.gauge(&format!("sim.shard.{i:02}.channel_depth")))
+        })
+        .collect();
+
+    let results = crossbeam::thread::scope(|scope| {
+        let mut txs = Vec::with_capacity(n_shards);
+        let mut handles = Vec::with_capacity(n_shards);
+        for (i, (mut vp, mut sink)) in shards.into_iter().enumerate() {
+            let (tx, rx) = crossbeam::channel::bounded::<ShardMsg>(SHARD_CHANNEL_CAP);
+            txs.push(tx);
+            // Flow events are counted once, by the main thread.
+            vp.metrics = None;
+            let depth = depth_gauges[i].clone();
+            handles.push(scope.spawn(move |_| {
+                let mut vp = Some(vp);
+                let mut stats = VantageRunStats::default();
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        ShardMsg::Events(batch) => {
+                            if let Some(g) = &depth {
+                                g.add(-1);
+                            }
+                            let v = vp.as_mut().expect("events after finish");
+                            for ev in &batch {
+                                v.observe(ev);
+                            }
+                        }
+                        ShardMsg::EndOfHour(hour) => {
+                            let v = vp.as_mut().expect("hours after finish");
+                            v.end_of_hour(hour);
+                            v.drain_records_into(&mut sink);
+                        }
+                        ShardMsg::Finish(hour) => {
+                            let v = vp.take().expect("exactly one finish");
+                            stats = v.finish_into(hour, &mut sink);
+                            sink.finish();
+                            break;
+                        }
+                    }
+                }
+                (sink, stats)
+            }));
+        }
+
+        let mut batches: Vec<Vec<FlowEvent>> = (0..n_shards)
+            .map(|_| Vec::with_capacity(SHARD_EVENT_BATCH))
+            .collect();
+        for hour in 0..hours {
+            model.generate_hour(hour, &mut |ev| {
+                if let Some(m) = &metrics {
+                    m.note_event(ev);
+                }
+                let shard = owner_of_router[router_for(ev, plan_prefix_len, total_routers)];
+                let buf = &mut batches[shard];
+                buf.push(*ev);
+                if buf.len() == SHARD_EVENT_BATCH {
+                    let full = std::mem::replace(buf, Vec::with_capacity(SHARD_EVENT_BATCH));
+                    if let Some(g) = &depth_gauges[shard] {
+                        g.add(1);
+                    }
+                    txs[shard]
+                        .send(ShardMsg::Events(full))
+                        .expect("worker alive");
+                }
+            });
+            for (shard, tx) in txs.iter().enumerate() {
+                let buf = &mut batches[shard];
+                if !buf.is_empty() {
+                    let full = std::mem::take(buf);
+                    if let Some(g) = &depth_gauges[shard] {
+                        g.add(1);
+                    }
+                    tx.send(ShardMsg::Events(full)).expect("worker alive");
+                }
+                tx.send(ShardMsg::EndOfHour(hour)).expect("worker alive");
+            }
+        }
+        for tx in &txs {
+            tx.send(ShardMsg::Finish(hours.saturating_sub(1)))
+                .expect("worker alive");
+        }
+        drop(txs);
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect::<Vec<(S, VantageRunStats)>>()
+    })
+    .expect("no shard worker panicked");
+
+    if let Some(m) = &metrics {
+        for (i, (_, stats)) in results.iter().enumerate() {
+            m.registry
+                .gauge(&format!("sim.shard.{i:02}.peak_resident_records"))
+                .set(stats.peak_resident_records as i64);
+        }
+    }
+    (model.into_truth(), results)
 }
 
 #[cfg(test)]

@@ -30,7 +30,7 @@ fn main() {
 
     eprintln!("running nationwide study at scale {scale} …");
     let start = std::time::Instant::now();
-    let report = Study::new(config).run();
+    let report = Study::new(config).run().expect("study failed");
     eprintln!("simulation + analysis finished in {:?}", start.elapsed());
 
     // Human-readable report.

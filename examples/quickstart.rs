@@ -29,7 +29,7 @@ fn main() {
     );
 
     let start = std::time::Instant::now();
-    let report = Study::new(config).run();
+    let report = Study::new(config).run().expect("study failed");
     eprintln!("done in {:?}\n", start.elapsed());
 
     println!("{}", report.render_text());

@@ -16,13 +16,46 @@ cargo build --release --workspace
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
 
-echo "==> streaming equivalence (batch report == streaming report)"
+echo "==> streaming + sharded equivalence (batch == streaming == sharded)"
 cargo test -q --test streaming
+cargo test -q --test merge_prop
 
 echo "==> streaming scale-sweep smoke (claims must pass end to end)"
 # The lower bound sits at 0.02: below that, day-1 district coverage
-# (claim C5b) is statistically starved in batch and streaming alike.
+# (claim C5b) is statistically starved in batch and streaming alike
+# (starved scales now surface as a structured StudyError, covered by
+# tests/streaming.rs::starved_scale_returns_structured_error).
 ./target/release/cwa-repro study --scale 0.02 --streaming > /dev/null
 ./target/release/cwa-repro study --scale 0.03 --streaming --parallel > /dev/null
+
+echo "==> sharded smoke (2 shards at scale 0.02)"
+./target/release/cwa-repro study --scale 0.02 --shards 2 > /dev/null
+
+echo "==> sharded speedup guard (BENCH_sharded.json)"
+# Guard against accidental serialization of the merge path: with real
+# parallel hardware, 4 shards must beat the single-threaded streaming
+# run. On a single-core host every shard count time-slices one CPU, so
+# the floor is only enforced when the measuring host had >= 2 CPUs.
+if [ -f BENCH_sharded.json ]; then
+    python3 - <<'EOF'
+import json, sys
+doc = json.load(open("BENCH_sharded.json"))
+cpus = doc.get("host_cpus", 1)
+if cpus < 2:
+    print(f"    host_cpus={cpus}: speedup floor not enforced (no parallel hardware)")
+    sys.exit(0)
+for run in doc["runs"]:
+    for row in run["sharded"]:
+        if row["shards"] == 4 and row["speedup"] < 1.0:
+            sys.exit(
+                f"4-shard speedup {row['speedup']} < 1.0 at scale "
+                f"{run['scale']} (host_cpus={cpus}): merge path serialized?"
+            )
+print(f"    host_cpus={cpus}: 4-shard speedup floor holds")
+EOF
+else
+    echo "    BENCH_sharded.json missing; run: cargo bench -p cwa-bench --bench sharded"
+    exit 1
+fi
 
 echo "==> ci green"

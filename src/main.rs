@@ -1,7 +1,7 @@
 //! `cwa-repro` — command-line front end for the reproduction.
 //!
 //! ```text
-//! cwa-repro study [--scale S] [--seed N] [--parallel] [--streaming] [--out DIR] [--metrics FILE]
+//! cwa-repro study [--scale S] [--seed N] [--parallel] [--streaming] [--shards N] [--out DIR] [--metrics FILE]
 //! cwa-repro dns   [--days N]
 //! cwa-repro ablation
 //! cwa-repro help
@@ -34,11 +34,14 @@ fn usage() -> String {
     "cwa-repro — reproduction of the SIGCOMM'20 Corona-Warn-App measurement study\n\
      \n\
      USAGE:\n\
-     \x20 cwa-repro study [--scale S] [--seed N] [--parallel] [--streaming] [--out DIR] [--metrics FILE]\n\
+     \x20 cwa-repro study [--scale S] [--seed N] [--parallel] [--streaming] [--shards N] [--out DIR] [--metrics FILE]\n\
      \x20     run the full study and print the paper-vs-measured report;\n\
      \x20     --streaming fuses simulate+analyze into one single-pass\n\
      \x20     pipeline that never materializes the full record set\n\
      \x20     (same report modulo phase timings);\n\
+     \x20     --shards N splits the router fleet across N worker threads,\n\
+     \x20     each filtering+analyzing its own record partition, merged\n\
+     \x20     deterministically at the end (same report as --streaming);\n\
      \x20     --metrics writes an observability snapshot (cwa-obs/v1 JSON)\n\
      \x20 cwa-repro dns [--days N]\n\
      \x20     print the Umbrella-style DNS rank model output per day\n\
@@ -81,25 +84,43 @@ fn study(args: &[String]) -> ExitCode {
     }
     config.sim.parallel = flag(args, "--parallel");
     let streaming = flag(args, "--streaming");
+    let shards: Option<usize> = match opt(args, "--shards").map(|s| s.parse()) {
+        Some(Ok(n)) => Some(n),
+        None => None,
+        Some(Err(_)) => {
+            eprintln!("--shards must be a positive integer");
+            return ExitCode::FAILURE;
+        }
+    };
     let metrics_path = opt(args, "--metrics");
     let registry = metrics_path
         .as_ref()
         .map(|_| std::sync::Arc::new(cwa_obs::Registry::new()));
 
     eprintln!(
-        "running study at scale {scale} (seed {:#x}{}) …",
+        "running study at scale {scale} (seed {:#x}{}{}) …",
         config.sim.seed,
-        if streaming { ", streaming" } else { "" }
+        if streaming { ", streaming" } else { "" },
+        shards.map(|n| format!(", {n} shards")).unwrap_or_default()
     );
     let start = std::time::Instant::now();
     let mut study = Study::new(config);
     if let Some(registry) = &registry {
         study = study.with_metrics(std::sync::Arc::clone(registry));
     }
-    let report = if streaming {
+    let result = if let Some(n) = shards {
+        study.run_sharded(n)
+    } else if streaming {
         study.run_streaming()
     } else {
         study.run()
+    };
+    let report = match result {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("study failed: {e}");
+            return ExitCode::FAILURE;
+        }
     };
     eprintln!("done in {:?}\n", start.elapsed());
     println!("{}", report.render_text());

@@ -14,7 +14,11 @@ use std::sync::OnceLock;
 /// expensive part; the assertions are cheap).
 fn report() -> &'static StudyReport {
     static REPORT: OnceLock<StudyReport> = OnceLock::new();
-    REPORT.get_or_init(|| Study::new(StudyConfig::at_scale(0.02)).run())
+    REPORT.get_or_init(|| {
+        Study::new(StudyConfig::at_scale(0.02))
+            .run()
+            .expect("study failed")
+    })
 }
 
 #[test]

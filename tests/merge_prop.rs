@@ -1,0 +1,201 @@
+//! Merge correctness for the sharded pipeline: for a realistic record
+//! stream and *any* split into `k` parts, merging the per-part partial
+//! accumulators with `absorb` must equal the single-pass accumulator —
+//! for all four analysis consumers plus the stream counters. Together
+//! with absorbing an always-empty part this exercises associativity and
+//! identity of the merge, which is exactly what `Study::run_sharded`
+//! relies on.
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use cwa_repro::analysis::geoloc::{GeoDayAccumulator, GeolocationPipeline, IspInfo};
+use cwa_repro::analysis::outbreak::OutbreakAccumulator;
+use cwa_repro::analysis::persistence::PersistenceAnalysis;
+use cwa_repro::analysis::stream::StreamCounts;
+use cwa_repro::analysis::timeseries::HourlySeries;
+use cwa_repro::netflow::FlowSink;
+use cwa_repro::simnet::{SimConfig, SimOutput, Simulation};
+
+/// One shared small simulation: a realistic anonymized record stream
+/// plus the side tables the geo/outbreak consumers need.
+fn world() -> &'static SimOutput {
+    static WORLD: OnceLock<SimOutput> = OnceLock::new();
+    WORLD.get_or_init(|| {
+        let config = SimConfig {
+            scale: 0.001,
+            ..SimConfig::test_small()
+        };
+        Simulation::new(config).run()
+    })
+}
+
+fn isp_info_table(sim: &SimOutput) -> HashMap<u32, IspInfo> {
+    sim.isp_table
+        .iter()
+        .map(|(&net, e)| {
+            (
+                net,
+                IspInfo {
+                    isp: e.isp.0,
+                    router_district: e.router_district,
+                },
+            )
+        })
+        .collect()
+}
+
+/// Deterministic per-index part assignment (splitmix64 finalizer).
+fn part_of(seed: u64, index: usize, parts: usize) -> usize {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index as u64 + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) as usize % parts
+}
+
+/// One full consumer set, as `Study::run_sharded` builds per shard.
+struct Consumers<'a> {
+    series: HourlySeries,
+    geo: GeoDayAccumulator<'a>,
+    persistence: PersistenceAnalysis,
+    outbreak: OutbreakAccumulator<'a, Box<dyn Fn(std::net::Ipv4Addr) -> Option<u8> + 'a>>,
+    counts: StreamCounts,
+}
+
+fn consumers<'a>(
+    sim: &'a SimOutput,
+    pipeline: &'a GeolocationPipeline<'a>,
+    isp_table: &'a HashMap<u32, IspInfo>,
+) -> Consumers<'a> {
+    let days = sim.config.days;
+    let hours = days * 24;
+    let prefix_len = sim.config.plan.prefix_len;
+    let isp_of: Box<dyn Fn(std::net::Ipv4Addr) -> Option<u8>> = Box::new(move |client| {
+        let net = cwa_repro::geo::geodb::mask(client, prefix_len);
+        isp_table.get(&net).map(|e| e.isp)
+    });
+    Consumers {
+        series: HourlySeries::new(hours),
+        geo: GeoDayAccumulator::new(pipeline, days.min(11)),
+        persistence: PersistenceAnalysis::new(20, days),
+        outbreak: OutbreakAccumulator::new(&sim.germany, pipeline, isp_of, days),
+        counts: StreamCounts::zeroed(&["timeseries", "geoloc", "persistence", "outbreak"]),
+    }
+}
+
+impl Consumers<'_> {
+    fn observe(&mut self, rec: &cwa_repro::netflow::FlowRecord) {
+        self.counts.records_in += 1;
+        self.counts.records_matched += 1;
+        self.series.observe(rec);
+        self.geo.observe(rec);
+        self.persistence.observe(rec);
+        self.outbreak.observe(rec);
+        for (_, n) in &mut self.counts.consumers {
+            *n += 1;
+        }
+    }
+
+    fn finish(&mut self) {
+        FlowSink::finish(&mut self.series);
+        FlowSink::finish(&mut self.geo);
+        FlowSink::finish(&mut self.persistence);
+        FlowSink::finish(&mut self.outbreak);
+    }
+
+    fn absorb(&mut self, other: &Consumers<'_>) {
+        self.series.absorb(&other.series);
+        self.geo.absorb(&other.geo);
+        self.persistence.absorb(&other.persistence);
+        self.outbreak.absorb(&other.outbreak);
+        self.counts.absorb(&other.counts);
+    }
+}
+
+/// Order-independent persistence summary: the per-prefix presence
+/// triples (the underlying map iterates in arbitrary order).
+fn persistence_summary(p: &PersistenceAnalysis) -> Vec<(u32, u32, u32)> {
+    let mut v: Vec<(u32, u32, u32)> = p
+        .presences()
+        .iter()
+        .map(|pr| (pr.first_day, pr.last_day, pr.days_observed))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    // Each case replays the whole record pool k+1 times; keep the case
+    // count moderate.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// k-way split + merge == single pass, for any assignment of
+    /// records to parts (including parts that stay empty).
+    #[test]
+    fn merged_partials_equal_single_pass(k in 1usize..6, seed: u64) {
+        let sim = world();
+        let isp_table = isp_info_table(sim);
+        let pipeline = GeolocationPipeline::new(
+            &sim.germany,
+            &sim.geodb,
+            &isp_table,
+            sim.config.plan.prefix_len,
+        );
+        prop_assume!(!sim.records.is_empty());
+
+        // Single pass over the whole stream, in order.
+        let mut single = consumers(sim, &pipeline, &isp_table);
+        for rec in &sim.records {
+            single.observe(rec);
+        }
+        single.finish();
+
+        // The same stream split across k parts, each observing only its
+        // own records (in stream order), plus one part that stays empty
+        // — merging it must be the identity.
+        let mut parts: Vec<Consumers> = (0..k + 1)
+            .map(|_| consumers(sim, &pipeline, &isp_table))
+            .collect();
+        for (i, rec) in sim.records.iter().enumerate() {
+            parts[part_of(seed, i, k)].observe(rec);
+        }
+        for part in &mut parts {
+            part.finish();
+        }
+        let mut merged = parts.remove(0);
+        for part in &parts {
+            merged.absorb(part);
+        }
+
+        // Time series: element-wise equality.
+        prop_assert_eq!(&merged.series, &single.series);
+        // Geolocation: identical per-district attribution for both the
+        // 10-day and the day-1 windows.
+        let days = sim.config.days;
+        for (from, to) in [(1, days.min(11)), (1, 2)] {
+            let m = merged.geo.result(from, to);
+            let s = single.geo.result(from, to);
+            prop_assert_eq!(&m.district_flows, &s.district_flows);
+            prop_assert_eq!(&m.attribution_counts, &s.attribution_counts);
+        }
+        // Persistence: same prefix population and presence bitsets.
+        prop_assert_eq!(merged.persistence.prefix_count(), single.persistence.prefix_count());
+        prop_assert_eq!(
+            persistence_summary(&merged.persistence),
+            persistence_summary(&single.persistence)
+        );
+        let mq = merged.persistence.fraction_quantile(0.5);
+        let sq = single.persistence.fraction_quantile(0.5);
+        prop_assert!(mq == sq || (mq.is_nan() && sq.is_nan()));
+        // Outbreak: identical district, state, and Berlin-ISP tables.
+        let m = merged.outbreak.into_analysis();
+        let s = single.outbreak.into_analysis();
+        prop_assert_eq!(&m.district_flows, &s.district_flows);
+        prop_assert_eq!(&m.state_flows, &s.state_flows);
+        prop_assert_eq!(&m.berlin_isp_flows, &s.berlin_isp_flows);
+        // Stream counters: exact totals, consumer by consumer.
+        prop_assert_eq!(&merged.counts, &single.counts);
+    }
+}

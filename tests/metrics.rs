@@ -20,12 +20,16 @@ fn metrics_snapshot_covers_pipeline_and_reports_match() {
     let reg_serial = Arc::new(Registry::new());
     let serial = Study::new(small_config(false))
         .with_metrics(Arc::clone(&reg_serial))
-        .run();
+        .run()
+        .expect("small study produces matching flows");
     let reg_parallel = Arc::new(Registry::new());
     let parallel = Study::new(small_config(true))
         .with_metrics(Arc::clone(&reg_parallel))
-        .run();
-    let plain = Study::new(small_config(false)).run();
+        .run()
+        .expect("small study produces matching flows");
+    let plain = Study::new(small_config(false))
+        .run()
+        .expect("small study produces matching flows");
 
     // Identical reports across {serial, parallel} × {metrics on, off}
     // once the volatile wall-clock phase timings are stripped. The

@@ -3,14 +3,18 @@
 //! byte-identical to the batch path (`Study::run`) once the volatile
 //! wall-clock phase timings are stripped — with metrics on or off, and
 //! under both the serial and the parallel traffic driver — while never
-//! materializing the full flow-record vector.
+//! materializing the full flow-record vector. The sharded path
+//! (`Study::run_sharded`) must in turn match the streaming report for
+//! any shard count, with per-shard memory still bounded to one
+//! export-hour chunk.
 
 use std::sync::Arc;
 
-use cwa_repro::core::{Study, StudyConfig};
+use cwa_repro::core::study::persistence_len_for_scale;
+use cwa_repro::core::{Study, StudyConfig, StudyError};
 use cwa_repro::netflow::CountingSink;
 use cwa_repro::obs::Registry;
-use cwa_repro::simnet::Simulation;
+use cwa_repro::simnet::{ShardKeyMode, Simulation};
 
 fn small_config(parallel: bool) -> StudyConfig {
     let mut config = StudyConfig::test_small();
@@ -26,8 +30,12 @@ fn canonical_json(report: &cwa_repro::core::StudyReport) -> String {
 
 #[test]
 fn streaming_report_is_bit_identical_to_batch() {
-    let batch = Study::new(small_config(false)).run();
-    let streaming = Study::new(small_config(false)).run_streaming();
+    let batch = Study::new(small_config(false))
+        .run()
+        .expect("small study produces matching flows");
+    let streaming = Study::new(small_config(false))
+        .run_streaming()
+        .expect("small study produces matching flows");
     assert_eq!(
         canonical_json(&batch),
         canonical_json(&streaming),
@@ -45,11 +53,13 @@ fn streaming_matches_batch_with_metrics_and_parallel_driver() {
     let reg_batch = Arc::new(Registry::new());
     let batch = Study::new(small_config(false))
         .with_metrics(Arc::clone(&reg_batch))
-        .run();
+        .run()
+        .expect("small study produces matching flows");
     let reg_stream = Arc::new(Registry::new());
     let streaming = Study::new(small_config(false))
         .with_metrics(Arc::clone(&reg_stream))
-        .run_streaming();
+        .run_streaming()
+        .expect("small study produces matching flows");
     assert_eq!(
         canonical_json(&batch),
         canonical_json(&streaming),
@@ -58,7 +68,9 @@ fn streaming_matches_batch_with_metrics_and_parallel_driver() {
 
     // Parallel driver: normalize the driver-choice fields exactly as
     // the metrics test does — the driver is part of the config hash.
-    let parallel = Study::new(small_config(true)).run_streaming();
+    let parallel = Study::new(small_config(true))
+        .run_streaming()
+        .expect("small study produces matching flows");
     let mut parallel_stripped = parallel.strip_volatile();
     assert!(parallel_stripped.manifest.parallel);
     parallel_stripped.manifest.parallel = false;
@@ -120,4 +132,159 @@ fn chunked_emission_bounds_resident_records() {
         stats.peak_resident_records,
         sink.records
     );
+}
+
+#[test]
+fn sharded_report_matches_streaming_for_all_shard_counts() {
+    let baseline = Study::new(small_config(false))
+        .run_streaming()
+        .expect("small study produces matching flows");
+    let baseline_json = canonical_json(&baseline);
+
+    for shards in [1usize, 2, 4] {
+        for metrics in [false, true] {
+            let registry = metrics.then(|| Arc::new(Registry::new()));
+            let mut study = Study::new(small_config(false));
+            if let Some(registry) = &registry {
+                study = study.with_metrics(Arc::clone(registry));
+            }
+            let sharded = study
+                .run_sharded(shards)
+                .expect("small study produces matching flows");
+            assert_eq!(
+                baseline_json,
+                canonical_json(&sharded),
+                "run_sharded({shards}) == run_streaming (metrics {})",
+                if metrics { "on" } else { "off" },
+            );
+
+            // The sharded run's registry carries per-shard throughput
+            // counters, channel-depth gauges, and the merge timer on
+            // top of the shared streaming vocabulary.
+            if let Some(registry) = &registry {
+                let json = registry.to_json_pretty();
+                for i in 0..shards {
+                    for stem in ["records", "channel_depth", "peak_resident_records"] {
+                        let key = format!("\"sim.shard.{i:02}.{stem}\"");
+                        assert!(json.contains(&key), "sharded snapshot missing {key}");
+                    }
+                }
+                for key in [
+                    "\"phase.merge\"",
+                    "\"phase.simulate_analyze\"",
+                    "\"analysis.stream.records_in\"",
+                    "\"analysis.stream.records_matched\"",
+                ] {
+                    assert!(json.contains(key), "sharded snapshot missing {key}");
+                }
+                assert_eq!(
+                    registry.counter("analysis.stream.records_in").get(),
+                    sharded.total_records
+                );
+                let per_shard: u64 = (0..shards)
+                    .map(|i| registry.counter(&format!("sim.shard.{i:02}.records")).get())
+                    .sum();
+                assert_eq!(
+                    per_shard, sharded.total_records,
+                    "shard throughput counters partition the record stream"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_emission_bounds_resident_records_per_shard() {
+    let config = StudyConfig::test_small();
+    let prepared = Simulation::new(config.sim).prepare();
+
+    // Unsharded baseline: total record count and fleet-wide peak.
+    let mut baseline = CountingSink::default();
+    let (_truth, fleet_stats) = prepared.run_traffic(&mut baseline);
+
+    let (_truth, results) =
+        prepared.run_traffic_sharded(ShardKeyMode::Common, vec![CountingSink::default(); 2]);
+    assert_eq!(results.len(), 2);
+    let mut total = 0u64;
+    for (i, (sink, stats)) in results.iter().enumerate() {
+        assert!(sink.finished, "shard {i} closes its stream");
+        assert!(sink.records > 0, "shard {i} owns part of the fleet");
+        assert!(
+            stats.peak_resident_records < sink.records,
+            "shard {i}: peak resident ({}) must stay below its total ({})",
+            stats.peak_resident_records,
+            sink.records
+        );
+        assert!(
+            stats.peak_resident_records <= fleet_stats.peak_resident_records,
+            "shard {i}: a shard's export-hour chunk ({}) cannot exceed \
+             the fleet-wide one ({})",
+            stats.peak_resident_records,
+            fleet_stats.peak_resident_records
+        );
+        total += sink.records;
+    }
+    assert_eq!(
+        total, baseline.records,
+        "the shards partition exactly the unsharded record stream"
+    );
+}
+
+/// The scale-sweep starvation edge: a scale too small for any CWA flow
+/// to survive sampling must surface as a structured error, not a panic
+/// or an all-NaN report, while merely-sparse scales still succeed.
+#[test]
+fn starved_scale_returns_structured_error() {
+    // Sparse but populated: scale 0.001 still produces matching flows
+    // and a full report (this used to starve C5b / panic in the
+    // outbreak median before the structured-error path existed).
+    let mut sparse = StudyConfig::test_small();
+    sparse.sim.scale = 0.001;
+    sparse.persistence_prefix_len = persistence_len_for_scale(sparse.sim.scale);
+    let report = Study::new(sparse)
+        .run()
+        .expect("scale 0.001 still yields matching flows");
+    assert!(report.matching_flows > 0);
+
+    // Fully starved: nothing survives 1-in-N sampling.
+    let mut starved = StudyConfig::test_small();
+    starved.sim.scale = 1e-7;
+    starved.persistence_prefix_len = persistence_len_for_scale(starved.sim.scale);
+    match Study::new(starved).run() {
+        Err(StudyError::NoMatchingFlows {
+            scale,
+            total_records,
+        }) => {
+            assert_eq!(scale, 1e-7);
+            assert_eq!(total_records, 0);
+        }
+        other => panic!("expected NoMatchingFlows, got {other:?}"),
+    }
+    // The streaming and sharded paths refuse identically.
+    assert!(matches!(
+        Study::new(starved).run_streaming(),
+        Err(StudyError::NoMatchingFlows { .. })
+    ));
+    assert!(matches!(
+        Study::new(starved).run_sharded(2),
+        Err(StudyError::NoMatchingFlows { .. })
+    ));
+}
+
+#[test]
+fn invalid_shard_counts_are_rejected() {
+    let config = StudyConfig::test_small();
+    let routers = config.sim.vantage.routers;
+    for bad in [0usize, usize::from(routers) + 1] {
+        match Study::new(config).run_sharded(bad) {
+            Err(StudyError::InvalidShardCount {
+                requested,
+                routers: r,
+            }) => {
+                assert_eq!(requested, bad);
+                assert_eq!(r, routers);
+            }
+            other => panic!("expected InvalidShardCount for {bad}, got {other:?}"),
+        }
+    }
 }

@@ -53,12 +53,22 @@ pub mod thread {
 
 /// Multi-producer channels (over `std::sync::mpsc`).
 pub mod channel {
+    /// One sending half, unbounded or bounded (as in the real crate,
+    /// where a single `Sender` type serves both flavours).
+    enum SenderKind<T> {
+        Unbounded(std::sync::mpsc::Sender<T>),
+        Bounded(std::sync::mpsc::SyncSender<T>),
+    }
+
     /// Sending half; cloneable.
-    pub struct Sender<T>(std::sync::mpsc::Sender<T>);
+    pub struct Sender<T>(SenderKind<T>);
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            Sender(self.0.clone())
+            Sender(match &self.0 {
+                SenderKind::Unbounded(tx) => SenderKind::Unbounded(tx.clone()),
+                SenderKind::Bounded(tx) => SenderKind::Bounded(tx.clone()),
+            })
         }
     }
 
@@ -94,9 +104,14 @@ pub mod channel {
     impl std::error::Error for RecvError {}
 
     impl<T> Sender<T> {
-        /// Enqueues a message.
+        /// Enqueues a message. On a bounded channel this blocks while
+        /// the channel is full — the backpressure that keeps a fast
+        /// producer from outrunning its consumers.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.0.send(value).map_err(|e| SendError(e.0))
+            match &self.0 {
+                SenderKind::Unbounded(tx) => tx.send(value).map_err(|e| SendError(e.0)),
+                SenderKind::Bounded(tx) => tx.send(value).map_err(|e| SendError(e.0)),
+            }
         }
     }
 
@@ -122,7 +137,14 @@ pub mod channel {
     /// Creates an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = std::sync::mpsc::channel();
-        (Sender(tx), Receiver(rx))
+        (Sender(SenderKind::Unbounded(tx)), Receiver(rx))
+    }
+
+    /// Creates a bounded channel holding at most `cap` messages;
+    /// `send` blocks while the channel is full (backpressure).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = std::sync::mpsc::sync_channel(cap);
+        (Sender(SenderKind::Bounded(tx)), Receiver(rx))
     }
 }
 
@@ -147,6 +169,35 @@ mod tests {
             s.spawn(|_| panic!("boom"));
         });
         assert!(res.is_err());
+    }
+
+    #[test]
+    fn bounded_channel_applies_backpressure() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let (tx, rx) = crate::channel::bounded::<u64>(4);
+        let sent = AtomicU64::new(0);
+        crate::thread::scope(|s| {
+            s.spawn(|_| {
+                for i in 0..1000 {
+                    tx.send(i).unwrap();
+                    sent.store(i + 1, Ordering::SeqCst);
+                }
+            });
+            // The producer can never be more than capacity ahead of us.
+            for i in 0..1000 {
+                assert_eq!(rx.recv().unwrap(), i);
+                let ahead = sent.load(Ordering::SeqCst).saturating_sub(i);
+                assert!(ahead <= 4 + 1, "producer ran {ahead} ahead of capacity");
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn bounded_send_to_dropped_receiver_errors() {
+        let (tx, rx) = crate::channel::bounded::<u8>(1);
+        drop(rx);
+        assert!(tx.send(1).is_err());
     }
 
     #[test]
