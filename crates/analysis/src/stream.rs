@@ -10,11 +10,17 @@
 //!
 //! The driver keeps plain `u64` counts (records in, records matched,
 //! per-consumer deliveries); the caller publishes them to an
-//! observability registry if one is attached — this crate stays free of
-//! any obs dependency.
+//! observability registry if one is attached. For the flight recorder
+//! the driver can carry a [`cwa_obs::StageLog`]: per-record filter and
+//! per-consumer busy time is accumulated and flushed as coalesced trace
+//! spans at every producer checkpoint (export-hour boundary) — the
+//! record path never emits an event per record.
+
+use std::sync::Arc;
 
 use cwa_netflow::flow::FlowRecord;
 use cwa_netflow::sink::FlowSink;
+use cwa_obs::{StageLog, TraceBuf, Tracer};
 
 use crate::filter::FlowFilter;
 
@@ -32,6 +38,7 @@ pub struct FanOut<'a> {
     consumers: Vec<Consumer<'a>>,
     records_in: u64,
     records_matched: u64,
+    trace: Option<StageLog>,
 }
 
 impl<'a> FanOut<'a> {
@@ -42,7 +49,17 @@ impl<'a> FanOut<'a> {
             consumers: Vec::new(),
             records_in: 0,
             records_matched: 0,
+            trace: None,
         }
+    }
+
+    /// Attaches flight-recorder stage timing, emitting onto `buf`. Call
+    /// *after* registering every consumer: the consumer names become the
+    /// per-stage trace span names. Observation-only — attaching a trace
+    /// never changes what consumers see.
+    pub fn attach_trace(&mut self, tracer: &Tracer, buf: Arc<TraceBuf>) {
+        let names: Vec<&str> = self.consumers.iter().map(|c| c.name).collect();
+        self.trace = Some(StageLog::new(tracer, buf, &names));
     }
 
     /// Registers a named consumer. Matching records are delivered in
@@ -129,19 +146,51 @@ impl StreamCounts {
 impl FlowSink for FanOut<'_> {
     fn observe(&mut self, rec: &FlowRecord) {
         self.records_in += 1;
-        if !self.filter.matches(rec) {
+        let Some(log) = &mut self.trace else {
+            // Untraced fast path: zero timing overhead.
+            if !self.filter.matches(rec) {
+                return;
+            }
+            self.records_matched += 1;
+            for c in &mut self.consumers {
+                c.sink.observe(rec);
+                c.records += 1;
+            }
+            return;
+        };
+        let mut t = log.now_ns();
+        let matched = self.filter.matches(rec);
+        let after_filter = log.now_ns();
+        log.add_filter(after_filter.saturating_sub(t));
+        if !matched {
             return;
         }
+        t = after_filter;
         self.records_matched += 1;
-        for c in &mut self.consumers {
+        for (i, c) in self.consumers.iter_mut().enumerate() {
             c.sink.observe(rec);
             c.records += 1;
+            let now = log.now_ns();
+            log.add_stage(i, now.saturating_sub(t));
+            t = now;
         }
     }
 
     fn finish(&mut self) {
+        if let Some(log) = &mut self.trace {
+            log.flush();
+        }
         for c in &mut self.consumers {
             c.sink.finish();
+        }
+    }
+
+    fn checkpoint(&mut self) {
+        if let Some(log) = &mut self.trace {
+            log.flush();
+        }
+        for c in &mut self.consumers {
+            c.sink.checkpoint();
         }
     }
 }
@@ -233,6 +282,34 @@ mod tests {
         assert_eq!(merged, single);
         assert_eq!(merged.records_in, 3);
         assert_eq!(merged.records_matched, 2);
+    }
+
+    #[test]
+    fn tracing_is_observation_only_and_flushes_at_checkpoint() {
+        let f = filter();
+        let mut series = HourlySeries::new(24);
+        let mut count = CountingSink::default();
+        let mut fan = FanOut::new(&f);
+        fan.register("timeseries", &mut series);
+        fan.register("count", &mut count);
+        let tracer = Tracer::new();
+        fan.attach_trace(&tracer, tracer.thread(1, 2, "analysis"));
+
+        fan.observe(&cdn_rec(0));
+        fan.observe(&background_rec());
+        fan.observe(&cdn_rec(3));
+        fan.checkpoint();
+        fan.finish();
+
+        // Same counts as the untraced driver sees.
+        assert_eq!(fan.records_in(), 3);
+        assert_eq!(fan.records_matched(), 2);
+        assert_eq!(fan.consumer_counts(), vec![("timeseries", 2), ("count", 2)]);
+
+        let json = tracer.to_chrome_json();
+        for name in ["\"filter\"", "\"analyze\"", "\"timeseries\"", "\"count\""] {
+            assert!(json.contains(name), "missing {name} in {json}");
+        }
     }
 
     #[test]

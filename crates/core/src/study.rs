@@ -3,12 +3,12 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::net::Ipv4Addr;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
-use cwa_obs::{Counter, Registry};
+use cwa_obs::{Counter, Registry, StageLog, TraceBuf, Tracer};
 
 use cwa_analysis::figures::{Figure2, Figure3};
 use cwa_analysis::filter::FlowFilter;
@@ -61,7 +61,10 @@ impl fmt::Display for StudyError {
             } => write!(
                 f,
                 "no flows matched the §2 CWA filter at scale {scale} \
-                 ({total_records} records total); increase --scale"
+                 ({total_records} records total); retry with a larger \
+                 --scale — 0.02 is the smallest known-viable setting \
+                 (per EXPERIMENTS.md the C5b day-1 coverage claim \
+                 starves below it)"
             ),
             StudyError::InvalidShardCount { requested, routers } => write!(
                 f,
@@ -136,23 +139,10 @@ pub fn persistence_len_for_scale(scale: f64) -> u8 {
 pub struct Study {
     config: StudyConfig,
     metrics: Option<Arc<Registry>>,
-}
-
-/// Records one finished phase: into the manifest timing list, and —
-/// when a registry is attached — as an observability timer.
-fn record_phase(
-    timings: &mut Vec<PhaseTiming>,
-    metrics: &Option<Arc<Registry>>,
-    phase: &str,
-    elapsed: Duration,
-) {
-    timings.push(PhaseTiming {
-        phase: phase.to_owned(),
-        duration_ns: elapsed.as_nanos().min(u128::from(u64::MAX)) as u64,
-    });
-    if let Some(registry) = metrics {
-        registry.timer(phase).record(elapsed);
-    }
+    trace: Option<Arc<Tracer>>,
+    /// Lazily-created flight-recorder track for study-level phase spans
+    /// (pid 0 / tid 201 "study"), shared by every run on this runner.
+    phase_buf: OnceLock<Arc<TraceBuf>>,
 }
 
 /// Converts the simulator's ISP side table into the analysis crate's
@@ -218,6 +208,10 @@ struct ShardConsumers<'w> {
     counts: StreamCounts,
     /// `sim.shard.<i>.records` — live per-shard record throughput.
     records_counter: Option<Arc<Counter>>,
+    /// Flight-recorder stage timing onto this shard's "analysis" track,
+    /// flushed as coalesced filter/analyze spans at every export-hour
+    /// checkpoint.
+    trace: Option<StageLog>,
 }
 
 impl FlowSink for ShardConsumers<'_> {
@@ -226,24 +220,64 @@ impl FlowSink for ShardConsumers<'_> {
         if let Some(counter) = &self.records_counter {
             counter.add(1);
         }
-        if !self.filter.matches(rec) {
+        let Some(log) = &mut self.trace else {
+            // Untraced fast path: zero timing overhead.
+            if !self.filter.matches(rec) {
+                return;
+            }
+            self.counts.records_matched += 1;
+            self.series.observe(rec);
+            self.geo.observe(rec);
+            self.persistence.observe(rec);
+            self.outbreak.observe(rec);
+            for (_, count) in &mut self.counts.consumers {
+                *count += 1;
+            }
+            return;
+        };
+        let mut t = log.now_ns();
+        let matched = self.filter.matches(rec);
+        let now = log.now_ns();
+        log.add_filter(now.saturating_sub(t));
+        if !matched {
             return;
         }
+        t = now;
         self.counts.records_matched += 1;
         self.series.observe(rec);
+        let now = log.now_ns();
+        log.add_stage(0, now.saturating_sub(t));
+        t = now;
         self.geo.observe(rec);
+        let now = log.now_ns();
+        log.add_stage(1, now.saturating_sub(t));
+        t = now;
         self.persistence.observe(rec);
+        let now = log.now_ns();
+        log.add_stage(2, now.saturating_sub(t));
+        t = now;
         self.outbreak.observe(rec);
+        let now = log.now_ns();
+        log.add_stage(3, now.saturating_sub(t));
         for (_, count) in &mut self.counts.consumers {
             *count += 1;
         }
     }
 
     fn finish(&mut self) {
+        if let Some(log) = &mut self.trace {
+            log.flush();
+        }
         self.series.finish();
         self.geo.finish();
         self.persistence.finish();
         self.outbreak.finish();
+    }
+
+    fn checkpoint(&mut self) {
+        if let Some(log) = &mut self.trace {
+            log.flush();
+        }
     }
 }
 
@@ -253,6 +287,8 @@ impl Study {
         Study {
             config,
             metrics: None,
+            trace: None,
+            phase_buf: OnceLock::new(),
         }
     }
 
@@ -265,6 +301,39 @@ impl Study {
         self
     }
 
+    /// Attaches a flight recorder: every pipeline stage (produce,
+    /// export, drain, filter, analyze, channel stalls) lands in the
+    /// tracer's per-thread ring buffers, exportable as Chrome
+    /// trace-event JSON via [`Tracer::to_chrome_json`]. Pure
+    /// observation — reports stay bit-identical (modulo the volatile
+    /// manifest timings) with tracing on or off.
+    pub fn with_trace(mut self, tracer: Arc<Tracer>) -> Self {
+        self.trace = Some(tracer);
+        self
+    }
+
+    /// Records one finished phase: into the manifest timing list, as an
+    /// observability timer when a registry is attached, and as a
+    /// back-dated span on the "study" trace track when a tracer is.
+    fn record_phase(&self, timings: &mut Vec<PhaseTiming>, phase: &str, elapsed: Duration) {
+        let duration_ns = elapsed.as_nanos().min(u128::from(u64::MAX)) as u64;
+        timings.push(PhaseTiming {
+            phase: phase.to_owned(),
+            duration_ns,
+        });
+        if let Some(registry) = &self.metrics {
+            registry.timer(phase).record(elapsed);
+        }
+        if let Some(tracer) = &self.trace {
+            let buf = self
+                .phase_buf
+                .get_or_init(|| tracer.thread(0, 201, "study"));
+            let name = tracer.name(phase);
+            let now = buf.now_ns();
+            buf.complete(name, now.saturating_sub(duration_ns), duration_ns);
+        }
+    }
+
     /// Runs simulation + analysis + claim evaluation.
     ///
     /// Fails with [`StudyError::NoMatchingFlows`] when the configured
@@ -274,6 +343,9 @@ impl Study {
         let mut simulation = Simulation::new(self.config.sim);
         if let Some(registry) = &self.metrics {
             simulation = simulation.with_metrics(Arc::clone(registry));
+        }
+        if let Some(tracer) = &self.trace {
+            simulation = simulation.with_trace(Arc::clone(tracer));
         }
         let sim = simulation.run();
         let simulate = started.elapsed();
@@ -297,7 +369,7 @@ impl Study {
 
         let mut timings: Vec<PhaseTiming> = Vec::new();
         if let Some(elapsed) = simulate {
-            record_phase(&mut timings, &self.metrics, "phase.simulate", elapsed);
+            self.record_phase(&mut timings, "phase.simulate", elapsed);
         }
 
         // §2: the data set. Borrowed references into `sim.records` —
@@ -305,7 +377,7 @@ impl Study {
         let t = Instant::now();
         let filter = FlowFilter::cwa(sim.cdn.service_prefixes.to_vec());
         let matching = filter.apply(&sim.records);
-        record_phase(&mut timings, &self.metrics, "analysis.filter", t.elapsed());
+        self.record_phase(&mut timings, "analysis.filter", t.elapsed());
         if let Some(registry) = &self.metrics {
             registry
                 .counter("analysis.filter.records_in")
@@ -318,12 +390,7 @@ impl Study {
         // Figure 2 inputs.
         let t = Instant::now();
         let series = HourlySeries::from_records(matching.iter().copied(), hours);
-        record_phase(
-            &mut timings,
-            &self.metrics,
-            "analysis.timeseries",
-            t.elapsed(),
-        );
+        self.record_phase(&mut timings, "analysis.timeseries", t.elapsed());
         if let Some(registry) = &self.metrics {
             registry
                 .counter("analysis.timeseries.hours")
@@ -350,7 +417,7 @@ impl Study {
         }
         let geo_10day = geo_acc.result(1, days.min(11));
         let geo_day1 = geo_acc.result(1, 2);
-        record_phase(&mut timings, &self.metrics, "analysis.geoloc", t.elapsed());
+        self.record_phase(&mut timings, "analysis.geoloc", t.elapsed());
         if let Some(registry) = &self.metrics {
             let attributed: u64 = geo_10day.district_flows.iter().sum();
             registry
@@ -362,12 +429,7 @@ impl Study {
         let t = Instant::now();
         let mut persistence = PersistenceAnalysis::new(cfg.persistence_prefix_len, days);
         persistence.ingest(matching.iter().copied());
-        record_phase(
-            &mut timings,
-            &self.metrics,
-            "analysis.persistence",
-            t.elapsed(),
-        );
+        self.record_phase(&mut timings, "analysis.persistence", t.elapsed());
         if let Some(registry) = &self.metrics {
             registry
                 .counter("analysis.persistence.prefixes")
@@ -387,12 +449,7 @@ impl Study {
             outbreak_acc.observe(rec);
         }
         let outbreak = outbreak_acc.into_analysis();
-        record_phase(
-            &mut timings,
-            &self.metrics,
-            "analysis.outbreak",
-            t.elapsed(),
-        );
+        self.record_phase(&mut timings, "analysis.outbreak", t.elapsed());
 
         let products = AnalysisProducts {
             series,
@@ -425,6 +482,9 @@ impl Study {
         if let Some(registry) = &self.metrics {
             simulation = simulation.with_metrics(Arc::clone(registry));
         }
+        if let Some(tracer) = &self.trace {
+            simulation = simulation.with_trace(Arc::clone(tracer));
+        }
         let prepared = simulation.prepare();
 
         let mut timings: Vec<PhaseTiming> = Vec::new();
@@ -454,6 +514,9 @@ impl Study {
                 fan.register("geoloc", &mut geo_acc);
                 fan.register("persistence", &mut persistence);
                 fan.register("outbreak", &mut outbreak_acc);
+                if let Some(tracer) = &self.trace {
+                    fan.attach_trace(tracer, tracer.thread(0, 200, "analysis"));
+                }
                 let (truth, _stats) = prepared.run_traffic(&mut fan);
                 (
                     fan.records_in(),
@@ -462,12 +525,7 @@ impl Study {
                     truth,
                 )
             };
-            record_phase(
-                &mut timings,
-                &self.metrics,
-                "phase.simulate_analyze",
-                started.elapsed(),
-            );
+            self.record_phase(&mut timings, "phase.simulate_analyze", started.elapsed());
 
             let geo_10day = geo_acc.result(1, days.min(11));
             let geo_day1 = geo_acc.result(1, 2);
@@ -570,6 +628,9 @@ impl Study {
         if let Some(registry) = &self.metrics {
             simulation = simulation.with_metrics(Arc::clone(registry));
         }
+        if let Some(tracer) = &self.trace {
+            simulation = simulation.with_trace(Arc::clone(tracer));
+        }
         let prepared = simulation.prepare();
 
         let mut timings: Vec<PhaseTiming> = Vec::new();
@@ -620,17 +681,16 @@ impl Study {
                             .metrics
                             .as_ref()
                             .map(|m| m.counter(&format!("sim.shard.{i:02}.records"))),
+                        trace: self.trace.as_ref().map(|t| {
+                            let buf = t.thread((i + 1) as u32, 2, "analysis");
+                            StageLog::new(t, buf, &CONSUMER_NAMES)
+                        }),
                     }
                 })
                 .collect();
 
             let (truth, results) = prepared.run_traffic_sharded(key_mode, sinks);
-            record_phase(
-                &mut timings,
-                &self.metrics,
-                "phase.simulate_analyze",
-                started.elapsed(),
-            );
+            self.record_phase(&mut timings, "phase.simulate_analyze", started.elapsed());
 
             // Deterministic merge: absorb the partials in shard order. Every
             // accumulator merge is an element-wise monoid operation, so the
@@ -645,7 +705,7 @@ impl Study {
                 merged.outbreak.absorb(&part.outbreak);
                 merged.counts.absorb(&part.counts);
             }
-            record_phase(&mut timings, &self.metrics, "phase.merge", t.elapsed());
+            self.record_phase(&mut timings, "phase.merge", t.elapsed());
 
             let geo_10day = merged.geo.result(1, days.min(11));
             let geo_day1 = merged.geo.result(1, 2);
@@ -739,12 +799,7 @@ impl Study {
             &sim.scenario,
             Timeline::through_july(),
         );
-        record_phase(
-            &mut timings,
-            &self.metrics,
-            "analysis.adoption",
-            t.elapsed(),
-        );
+        self.record_phase(&mut timings, "analysis.adoption", t.elapsed());
 
         let mut claims = Vec::new();
 

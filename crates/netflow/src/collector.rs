@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
-use cwa_obs::{Counter, Registry};
+use cwa_obs::{Counter, NameId, Registry, TraceBuf, Tracer};
 
 use crate::anonymize::CryptoPan;
 use crate::flow::{in_prefix, FlowRecord};
@@ -43,6 +43,26 @@ impl CollectorMetrics {
     }
 }
 
+/// Flight-recorder handle for a [`Collector`]: every ingested export
+/// datagram becomes one `collect.ingest` complete event on the owning
+/// thread's trace buffer (names are interned once, here, so the ingest
+/// path stays allocation-free).
+pub struct CollectorTrace {
+    buf: Arc<TraceBuf>,
+    ingest: NameId,
+}
+
+impl CollectorTrace {
+    /// Interns the collector's span names against `tracer`, recording
+    /// onto `buf`.
+    pub fn new(tracer: &Tracer, buf: Arc<TraceBuf>) -> Self {
+        CollectorTrace {
+            ingest: tracer.name("collect.ingest"),
+            buf,
+        }
+    }
+}
+
 /// Per-engine sequence tracking.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EngineStats {
@@ -65,6 +85,7 @@ pub struct Collector {
     records: Vec<FlowRecord>,
     engines: HashMap<u8, (Option<u32>, EngineStats)>,
     metrics: Option<CollectorMetrics>,
+    trace: Option<CollectorTrace>,
     peak_resident: usize,
 }
 
@@ -77,6 +98,7 @@ impl Collector {
             records: Vec::new(),
             engines: HashMap::new(),
             metrics: None,
+            trace: None,
             peak_resident: 0,
         }
     }
@@ -91,6 +113,7 @@ impl Collector {
             records: Vec::new(),
             engines: HashMap::new(),
             metrics: None,
+            trace: None,
             peak_resident: 0,
         }
     }
@@ -98,6 +121,11 @@ impl Collector {
     /// Attaches observability counters.
     pub fn set_metrics(&mut self, metrics: CollectorMetrics) {
         self.metrics = Some(metrics);
+    }
+
+    /// Attaches flight-recorder span recording.
+    pub fn set_trace(&mut self, trace: CollectorTrace) {
+        self.trace = Some(trace);
     }
 
     /// Counts one undecodable datagram (used by callers that decode
@@ -157,6 +185,7 @@ impl Collector {
     /// counted lost when the gap opened, so they are reclaimed instead
     /// — `lost_records` can neither underflow nor explode.
     pub fn ingest_packet(&mut self, packet: ExportPacket) {
+        let ingest_start = self.trace.as_ref().map(|t| t.buf.now_ns());
         let engine = packet.header.engine_id;
         let (last_seq, stats) = self
             .engines
@@ -202,6 +231,10 @@ impl Collector {
             self.records.push(rec);
         }
         self.peak_resident = self.peak_resident.max(self.records.len());
+        if let (Some(t), Some(start)) = (&self.trace, ingest_start) {
+            t.buf
+                .complete(t.ingest, start, t.buf.now_ns().saturating_sub(start));
+        }
     }
 
     /// All records collected so far.
@@ -459,6 +492,20 @@ mod tests {
             7
         );
         assert_eq!(registry.counter("netflow.collector.decode_errors").get(), 0);
+    }
+
+    #[test]
+    fn trace_records_one_ingest_span_per_datagram() {
+        let tracer = Tracer::new();
+        let buf = tracer.thread(0, 0, "collector");
+        let mut col = Collector::new_raw();
+        col.set_trace(CollectorTrace::new(&tracer, Arc::clone(&buf)));
+        col.ingest_packet(seq_pkt(1, 0, 3));
+        col.ingest_packet(seq_pkt(1, 3, 2));
+        let json = tracer.to_chrome_json();
+        assert_eq!(json.matches("\"collect.ingest\"").count(), 2);
+        // Tracing is observation-only: the records are unaffected.
+        assert_eq!(col.records().len(), 5);
     }
 
     #[test]

@@ -23,6 +23,13 @@ pub trait FlowSink {
 
     /// Signals the end of the stream. Default: no-op.
     fn finish(&mut self) {}
+
+    /// Marks a producer-defined stream checkpoint (the simulated
+    /// vantage point calls this at every export-hour boundary).
+    /// Observation-only consumers use it to flush coalesced bookkeeping
+    /// — e.g. trace spans — at a bounded cadence; it carries no stream
+    /// data and the default is a no-op.
+    fn checkpoint(&mut self) {}
 }
 
 /// The trivial batching sink: collects every record into a `Vec`. This

@@ -17,8 +17,16 @@
 //! * **Stable output.** [`Registry::to_json`] emits metrics sorted by
 //!   name with integer-only values, so two snapshots of identical
 //!   counters are byte-identical.
+//!
+//! The [`trace`] module adds the flight recorder: per-thread ring
+//! buffers of span events with a Chrome trace-event export, for the
+//! *when* that aggregate metrics cannot answer.
 
 #![forbid(unsafe_code)]
+
+pub mod trace;
+
+pub use trace::{NameId, StageLog, TraceBuf, TraceSpan, Tracer};
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -127,6 +135,15 @@ fn bucket_bound(i: usize) -> u64 {
     }
 }
 
+/// Inclusive lower bound of bucket `i`.
+fn bucket_floor(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
 impl Histogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
@@ -164,6 +181,39 @@ impl Histogram {
     /// Largest observation (0 when empty).
     pub fn max(&self) -> u64 {
         self.max.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (q in [0, 1]) of the recorded distribution,
+    /// linearly interpolated *within* the log2 bucket that holds the
+    /// target rank: exact log2-resolution quantiles without storing a
+    /// single sample.
+    ///
+    /// With `n` observations the target rank is `q·n`; walking the
+    /// buckets in order finds the bucket whose cumulative count first
+    /// reaches it, and the value is interpolated between that bucket's
+    /// inclusive bounds by the rank's fractional position inside it.
+    /// Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        let target = q.clamp(0.0, 1.0) * n as f64;
+        let mut cum = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            let c = bucket.load(Ordering::Relaxed);
+            if c == 0 {
+                continue;
+            }
+            if (cum + c) as f64 >= target {
+                let lo = bucket_floor(i) as f64;
+                let hi = bucket_bound(i) as f64;
+                let within = ((target - cum as f64) / c as f64).clamp(0.0, 1.0);
+                return lo + (hi - lo) * within;
+            }
+            cum += c;
+        }
+        self.max() as f64
     }
 
     /// Non-empty buckets as `(inclusive upper bound, count)` pairs in
@@ -358,6 +408,54 @@ impl Registry {
         self.render(true)
     }
 
+    /// Prometheus text exposition (version 0.0.4) of every metric,
+    /// names sorted and sanitized to the Prometheus charset (`.` and
+    /// any other invalid character become `_`). Counters gain the
+    /// conventional `_total` suffix; histograms expose cumulative
+    /// `_bucket{le=...}` series plus `_sum`/`_count`; timers expose
+    /// `_ns_total` and `_count`.
+    pub fn to_prometheus(&self) -> String {
+        let map = self.metrics.lock().expect("obs registry poisoned");
+        let mut out = String::new();
+        for (name, metric) in map.iter() {
+            let base = prometheus_name(name);
+            match metric {
+                Metric::Counter(c) => {
+                    out.push_str(&format!(
+                        "# TYPE {base}_total counter\n{base}_total {}\n",
+                        c.get()
+                    ));
+                }
+                Metric::Gauge(g) => {
+                    out.push_str(&format!("# TYPE {base} gauge\n{base} {}\n", g.get()));
+                }
+                Metric::Histogram(h) => {
+                    out.push_str(&format!("# TYPE {base} histogram\n"));
+                    let mut cum = 0u64;
+                    for (le, n) in h.buckets() {
+                        cum += n;
+                        out.push_str(&format!("{base}_bucket{{le=\"{le}\"}} {cum}\n"));
+                    }
+                    out.push_str(&format!(
+                        "{base}_bucket{{le=\"+Inf\"}} {}\n{base}_sum {}\n{base}_count {}\n",
+                        h.count(),
+                        h.sum(),
+                        h.count()
+                    ));
+                }
+                Metric::Timer(t) => {
+                    out.push_str(&format!(
+                        "# TYPE {base}_ns_total counter\n{base}_ns_total {}\n\
+                         # TYPE {base}_count counter\n{base}_count {}\n",
+                        t.total_ns(),
+                        t.count()
+                    ));
+                }
+            }
+        }
+        out
+    }
+
     fn render(&self, pretty: bool) -> String {
         let map = self.metrics.lock().expect("obs registry poisoned");
         let (nl, ind1, ind2, ind3, sp) = if pretty {
@@ -392,11 +490,16 @@ impl Registry {
                         .join(&format!(",{sp}"));
                     out.push_str(&format!(
                         "{{\"type\":{sp}\"histogram\",{sp}\"count\":{sp}{},{sp}\"sum\":{sp}{},{sp}\
-                         \"min\":{sp}{},{sp}\"max\":{sp}{},{nl}{ind3}\"buckets\":{sp}[{buckets}]}}",
+                         \"min\":{sp}{},{sp}\"max\":{sp}{},{sp}\
+                         \"p50\":{sp}{},{sp}\"p90\":{sp}{},{sp}\"p99\":{sp}{},{nl}{ind3}\
+                         \"buckets\":{sp}[{buckets}]}}",
                         h.count(),
                         h.sum(),
                         h.min(),
                         h.max(),
+                        h.quantile(0.50).round() as u64,
+                        h.quantile(0.90).round() as u64,
+                        h.quantile(0.99).round() as u64,
                     ));
                 }
                 Metric::Timer(t) => {
@@ -426,8 +529,27 @@ impl std::fmt::Debug for Registry {
     }
 }
 
+/// Sanitizes a metric name to the Prometheus charset
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+fn prometheus_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.is_empty() || out.starts_with(|c: char| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
 /// JSON-escapes a metric name.
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -482,6 +604,75 @@ mod tests {
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 0);
         assert!(h.buckets().is_empty());
+        assert_eq!(h.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_one_bucket() {
+        // 4, 5, 6, 7 all land in the bucket [4, 7]: n = 4, so the
+        // p50 target rank is 2.0, half-way into the bucket's 4 counts,
+        // hence 4 + (7 − 4)·0.5 = 5.5; p99 is 4 + 3·0.99 = 6.97.
+        let h = Histogram::new();
+        for v in [4u64, 5, 6, 7] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.5), 5.5);
+        assert_eq!(h.quantile(0.99), 6.97);
+        assert_eq!(h.quantile(0.0), 4.0);
+        assert_eq!(h.quantile(1.0), 7.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate_across_buckets() {
+        // 1 → [1,1]; 2,2 → [2,3]; 8 → [8,15].  p50 target rank 2.0
+        // falls half-way into the [2,3] bucket: 2 + 1·0.5 = 2.5.
+        // p90 target rank 3.6 is 0.6 into the [8,15] bucket:
+        // 8 + 7·0.6 = 12.2.
+        let h = Histogram::new();
+        for v in [1u64, 2, 2, 8] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.5), 2.5);
+        assert!((h.quantile(0.9) - 12.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_snapshot_emits_quantiles() {
+        let reg = Registry::new();
+        let h = reg.histogram("sizes");
+        for v in [4u64, 5, 6, 7] {
+            h.record(v);
+        }
+        let json = reg.to_json();
+        // 5.5 → 6 and 6.97 → 7 after rounding to integers.
+        assert!(json.contains("\"p50\":6"), "got: {json}");
+        assert!(json.contains("\"p90\":7"), "got: {json}");
+        assert!(json.contains("\"p99\":7"), "got: {json}");
+    }
+
+    #[test]
+    fn prometheus_exposition_covers_all_kinds() {
+        let reg = Registry::new();
+        reg.counter("sim.events").add(7);
+        reg.gauge("queue.depth").set(-2);
+        let h = reg.histogram("sizes");
+        h.record(3);
+        h.record(900);
+        reg.timer("phase").record(Duration::from_micros(5));
+
+        let text = reg.to_prometheus();
+        assert!(text.contains("# TYPE sim_events_total counter"));
+        assert!(text.contains("sim_events_total 7"));
+        assert!(text.contains("queue_depth -2"));
+        assert!(text.contains("sizes_bucket{le=\"3\"} 1"));
+        assert!(text.contains("sizes_bucket{le=\"1023\"} 2"));
+        assert!(text.contains("sizes_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("sizes_sum 903"));
+        assert!(text.contains("sizes_count 2"));
+        assert!(text.contains("phase_ns_total 5000"));
+        assert!(text.contains("phase_count 1"));
+        // Deterministic: identical registries render identically.
+        assert_eq!(text, reg.to_prometheus());
     }
 
     #[test]

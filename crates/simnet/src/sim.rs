@@ -25,7 +25,8 @@ use crate::cdn::CdnConfig;
 use crate::dns::{run_dns_study, DnsStudy, TopListModel};
 use crate::traffic::{GroundTruth, TrafficConfig, TrafficModel};
 use crate::vantage::{
-    side_tables_with, IspSideEntry, ShardKeyMode, VantageConfig, VantagePoint, VantageRunStats,
+    side_tables_with, IspSideEntry, ShardKeyMode, ThreadTrace, VantageConfig, VantagePoint,
+    VantageRunStats,
 };
 
 /// Which scenario variant to simulate.
@@ -125,6 +126,7 @@ pub struct SimOutput {
 pub struct Simulation {
     config: SimConfig,
     metrics: Option<std::sync::Arc<cwa_obs::Registry>>,
+    trace: Option<std::sync::Arc<cwa_obs::Tracer>>,
 }
 
 impl Simulation {
@@ -133,6 +135,7 @@ impl Simulation {
         Simulation {
             config,
             metrics: None,
+            trace: None,
         }
     }
 
@@ -141,6 +144,16 @@ impl Simulation {
     /// bit-identical with or without it (asserted by tests).
     pub fn with_metrics(mut self, registry: std::sync::Arc<cwa_obs::Registry>) -> Self {
         self.metrics = Some(registry);
+        self
+    }
+
+    /// Attaches the flight recorder: the run drivers wrap every
+    /// pipeline phase (produce, export, drain, channel stalls) in trace
+    /// spans. Like metrics, tracing reads the wall clock only and never
+    /// an RNG stream, so the output is bit-identical with or without it
+    /// (asserted by tests).
+    pub fn with_trace(mut self, tracer: std::sync::Arc<cwa_obs::Tracer>) -> Self {
+        self.trace = Some(tracer);
         self
     }
 
@@ -245,6 +258,7 @@ impl Simulation {
         PreparedSim {
             config: cfg,
             metrics: self.metrics.clone(),
+            trace: self.trace.clone(),
             germany,
             plan,
             geodb: geodb_anon,
@@ -273,6 +287,7 @@ pub struct PreparedSim {
     /// The configuration used.
     pub config: SimConfig,
     metrics: Option<std::sync::Arc<cwa_obs::Registry>>,
+    trace: Option<std::sync::Arc<cwa_obs::Tracer>>,
     /// The country model.
     pub germany: Germany,
     /// The address plan (ground truth; tests/calibration only).
@@ -327,6 +342,9 @@ impl PreparedSim {
         if let Some(registry) = &self.metrics {
             vantage.attach_metrics(registry, cfg.days);
         }
+        if let Some(tracer) = &self.trace {
+            vantage.set_trace(std::sync::Arc::clone(tracer));
+        }
         let model = TrafficModel::new(
             &self.germany,
             &self.plan,
@@ -343,13 +361,39 @@ impl PreparedSim {
         } else {
             let mut vantage = vantage;
             let mut model = model;
+            // Serial driver: the whole day loop lives on one thread
+            // (pid 0, tid 0) — produce/export/drain spans per hour.
+            let tr = self.trace.as_ref().map(|t| {
+                t.set_process_name(0, "simulation");
+                let tr = ThreadTrace::new(t, 0, 0, "day-loop");
+                vantage.trace_collector_onto(t, std::sync::Arc::clone(&tr.buf));
+                tr
+            });
             for hour in 0..timeline.hours() {
+                let produce_start = tr.as_ref().map(|tr| tr.buf.now_ns());
                 model.generate_hour(hour, &mut |ev| vantage.observe(ev));
+                if let (Some(tr), Some(start)) = (&tr, produce_start) {
+                    tr.span_since(tr.produce, start);
+                }
+                let export_start = tr.as_ref().map(|tr| tr.buf.now_ns());
                 vantage.end_of_hour(hour);
+                if let (Some(tr), Some(start)) = (&tr, export_start) {
+                    tr.span_since(tr.export, start);
+                }
+                let drain_start = tr.as_ref().map(|tr| tr.buf.now_ns());
                 vantage.drain_records_into(sink);
+                sink.checkpoint();
+                if let (Some(tr), Some(start)) = (&tr, drain_start) {
+                    tr.span_since(tr.drain, start);
+                }
             }
             let truth = model.into_truth();
+            let finish_start = tr.as_ref().map(|tr| tr.buf.now_ns());
             let stats = vantage.finish_into(timeline.hours() - 1, sink);
+            sink.checkpoint();
+            if let (Some(tr), Some(start)) = (&tr, finish_start) {
+                tr.span_since(tr.finish, start);
+            }
             (truth, stats)
         };
         if let Some(registry) = &self.metrics {
@@ -392,6 +436,11 @@ impl PreparedSim {
         if let Some(registry) = &self.metrics {
             for vantage in &mut vantages {
                 vantage.attach_metrics(registry, cfg.days);
+            }
+        }
+        if let Some(tracer) = &self.trace {
+            for vantage in &mut vantages {
+                vantage.set_trace(std::sync::Arc::clone(tracer));
             }
         }
         let model = TrafficModel::new(

@@ -35,13 +35,13 @@ use serde::{Deserialize, Serialize};
 use cwa_geo::{AddressPlan, DistrictId, GeoDb, IspId};
 use cwa_netflow::anonymize::CryptoPan;
 use cwa_netflow::cache::{CacheStats, FlowCache, FlowCacheConfig};
-use cwa_netflow::collector::{Collector, CollectorMetrics};
+use cwa_netflow::collector::{Collector, CollectorMetrics, CollectorTrace};
 use cwa_netflow::flow::FlowRecord;
 use cwa_netflow::sampling::sample_packet_count;
 use cwa_netflow::sink::FlowSink;
 use cwa_netflow::v5::packetize;
 use cwa_netflow::v9::{V9Decoder, V9Exporter};
-use cwa_obs::{Counter, Registry};
+use cwa_obs::{Counter, NameId, Registry, TraceBuf, Tracer};
 
 use crate::traffic::FlowEvent;
 
@@ -281,6 +281,39 @@ impl VantageMetrics {
     }
 }
 
+/// Pre-interned flight-recorder span names for one pipeline thread
+/// (driver, feed, or worker). Interning happens once at wiring time so
+/// the hot paths record spans with atomics only.
+pub(crate) struct ThreadTrace {
+    pub(crate) buf: Arc<TraceBuf>,
+    pub(crate) produce: NameId,
+    pub(crate) export: NameId,
+    pub(crate) drain: NameId,
+    pub(crate) recv_idle: NameId,
+    pub(crate) send_block: NameId,
+    pub(crate) finish: NameId,
+}
+
+impl ThreadTrace {
+    pub(crate) fn new(tracer: &Tracer, pid: u32, tid: u32, label: &str) -> Self {
+        ThreadTrace {
+            produce: tracer.name("produce"),
+            export: tracer.name("export"),
+            drain: tracer.name("drain"),
+            recv_idle: tracer.name("recv_idle"),
+            send_block: tracer.name("send_block"),
+            finish: tracer.name("finish"),
+            buf: tracer.thread(pid, tid, label),
+        }
+    }
+
+    /// Records a complete span from `start_ns` until now.
+    pub(crate) fn span_since(&self, name: NameId, start_ns: u64) {
+        self.buf
+            .complete(name, start_ns, self.buf.now_ns().saturating_sub(start_ns));
+    }
+}
+
 /// Aggregate statistics of one vantage run (cache + transport).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct VantageRunStats {
@@ -317,6 +350,9 @@ pub struct VantagePoint {
     v9_decoder: V9Decoder,
     transport: Transport,
     metrics: Option<VantageMetrics>,
+    /// Flight recorder (None = untraced, zero overhead). The drivers
+    /// read this to wrap produce/export/drain in spans.
+    pub(crate) trace: Option<Arc<Tracer>>,
 }
 
 /// The (lossy) export transport between routers and collector.
@@ -378,6 +414,7 @@ impl VantagePoint {
             v9_decoder: V9Decoder::new(),
             transport,
             metrics: None,
+            trace: None,
         }
     }
 
@@ -425,6 +462,7 @@ impl VantagePoint {
                 v9_decoder: V9Decoder::new(),
                 transport: Transport::new(&shard_cfg),
                 metrics: None,
+                trace: None,
             });
             next_router += size;
         }
@@ -457,6 +495,21 @@ impl VantagePoint {
                 .map(|d| registry.counter(&format!("simnet.traffic.flow_events.day{d:02}")))
                 .collect(),
         });
+    }
+
+    /// Attaches the flight recorder. The run drivers wrap every
+    /// produce/export/drain step in trace spans; tracing never touches
+    /// an RNG stream, so the record output is identical with or without
+    /// it (asserted by the determinism test suite).
+    pub fn set_trace(&mut self, tracer: Arc<Tracer>) {
+        self.trace = Some(tracer);
+    }
+
+    /// Points the collector's per-datagram ingest spans at `buf` (the
+    /// trace track of whatever thread ends up driving this vantage
+    /// point — the drivers call this once the thread layout is known).
+    pub(crate) fn trace_collector_onto(&mut self, tracer: &Tracer, buf: Arc<TraceBuf>) {
+        self.collector.set_trace(CollectorTrace::new(tracer, buf));
     }
 
     /// Fault-injection statistics: `(datagrams dropped in transport,
@@ -720,6 +773,14 @@ pub fn run_parallel_into(
     sink: &mut dyn FlowSink,
 ) -> (crate::traffic::GroundTruth, VantageRunStats) {
     let metrics = vantage.metrics.clone();
+    let tracer = vantage.trace.clone();
+    let mut vantage = vantage;
+    let driver_tr = tracer.as_ref().map(|t| {
+        t.set_process_name(0, "vantage");
+        let tr = ThreadTrace::new(t, 0, 0, "driver");
+        vantage.trace_collector_onto(t, Arc::clone(&tr.buf));
+        tr
+    });
     let (routers, mut collector, plan_prefix_len, format, mut v9_decoder, mut transport) =
         vantage.into_parts();
     let n_routers = routers.len();
@@ -744,29 +805,61 @@ pub fn run_parallel_into(
                         .counter(&format!("simnet.worker.{:02}.events", router.id)),
                 )
             });
+            let worker_tr = tracer.as_ref().map(|t| {
+                ThreadTrace::new(
+                    t,
+                    0,
+                    1 + u32::from(router.id),
+                    &format!("router{:02}", router.id),
+                )
+            });
             scope.spawn(move |_| {
                 let mut busy = std::time::Duration::ZERO;
                 let mut events = 0u64;
+                // Observe busy-time since the last export, emitted as
+                // one coalesced `produce` span per hour (per-event
+                // spans would swamp the ring).
+                let mut produce_ns = 0u64;
+                let timed = worker_obs.is_some() || worker_tr.is_some();
                 while let Ok(msg) = rx.recv() {
                     match msg {
                         WorkerMsg::Event(ev) => {
-                            if worker_obs.is_some() {
+                            if timed {
                                 let t = std::time::Instant::now();
                                 router.observe(&ev);
-                                busy += t.elapsed();
+                                let d = t.elapsed();
+                                busy += d;
+                                produce_ns += d.as_nanos() as u64;
                                 events += 1;
                             } else {
                                 router.observe(&ev);
                             }
                         }
                         WorkerMsg::EndOfHour(h) => {
+                            if let Some(tr) = &worker_tr {
+                                let end = tr.buf.now_ns();
+                                tr.buf.complete(
+                                    tr.produce,
+                                    end.saturating_sub(produce_ns),
+                                    produce_ns,
+                                );
+                                produce_ns = 0;
+                            }
+                            let export_start = worker_tr.as_ref().map(|tr| tr.buf.now_ns());
                             let packets = router.end_of_hour(h);
+                            if let (Some(tr), Some(start)) = (&worker_tr, export_start) {
+                                tr.span_since(tr.export, start);
+                            }
                             reply
                                 .send((router.id, packets, false, router.stats()))
                                 .expect("main thread alive");
                         }
                         WorkerMsg::Finish(h) => {
+                            let finish_start = worker_tr.as_ref().map(|tr| tr.buf.now_ns());
                             let packets = router.finish(h);
+                            if let (Some(tr), Some(start)) = (&worker_tr, finish_start) {
+                                tr.span_since(tr.finish, start);
+                            }
                             reply
                                 .send((router.id, packets, true, router.stats()))
                                 .expect("main thread alive");
@@ -806,6 +899,7 @@ pub fn run_parallel_into(
         };
 
         for hour in 0..hours {
+            let produce_start = driver_tr.as_ref().map(|tr| tr.buf.now_ns());
             model.generate_hour(hour, &mut |ev| {
                 if let Some(m) = &metrics {
                     m.note_event(ev);
@@ -815,18 +909,31 @@ pub fn run_parallel_into(
                     .send(WorkerMsg::Event(Box::new(*ev)))
                     .expect("worker alive");
             });
+            if let (Some(tr), Some(start)) = (&driver_tr, produce_start) {
+                tr.span_since(tr.produce, start);
+            }
             for tx in &worker_txs {
                 tx.send(WorkerMsg::EndOfHour(hour)).expect("worker alive");
             }
+            let drain_start = driver_tr.as_ref().map(|tr| tr.buf.now_ns());
             collect_round(&mut collector, &mut v9_decoder, &mut transport);
             collector.drain_into(sink);
+            sink.checkpoint();
+            if let (Some(tr), Some(start)) = (&driver_tr, drain_start) {
+                tr.span_since(tr.drain, start);
+            }
         }
         for tx in &worker_txs {
             tx.send(WorkerMsg::Finish(hours.saturating_sub(1)))
                 .expect("worker alive");
         }
+        let finish_start = driver_tr.as_ref().map(|tr| tr.buf.now_ns());
         let stats = collect_round(&mut collector, &mut v9_decoder, &mut transport);
         collector.drain_into(sink);
+        sink.checkpoint();
+        if let (Some(tr), Some(start)) = (&driver_tr, finish_start) {
+            tr.span_since(tr.finish, start);
+        }
         stats
     })
     .expect("no worker panicked");
@@ -876,6 +983,7 @@ pub fn run_sharded_into<S: FlowSink + Send>(
     assert!(!shards.is_empty(), "at least one shard required");
     let n_shards = shards.len();
     let metrics = shards[0].0.metrics.clone();
+    let tracer = shards[0].0.trace.clone();
     let plan_prefix_len = shards[0].0.plan_prefix_len;
     let total_routers = shards[0].0.total_routers;
     let mut owner_of_router = vec![usize::MAX; total_routers];
@@ -897,6 +1005,73 @@ pub fn run_sharded_into<S: FlowSink + Send>(
                 .map(|m| m.registry.gauge(&format!("sim.shard.{i:02}.channel_depth")))
         })
         .collect();
+    // Stall accounting: per shard, nanoseconds the generator spent
+    // blocked sending into the full bounded channel and nanoseconds the
+    // worker spent idle waiting to receive.
+    let send_block_counters: Vec<Option<Arc<Counter>>> = (0..n_shards)
+        .map(|i| {
+            metrics.as_ref().map(|m| {
+                m.registry
+                    .counter(&format!("sim.shard.{i:02}.send_block_ns"))
+            })
+        })
+        .collect();
+    let recv_idle_counters: Vec<Option<Arc<Counter>>> = (0..n_shards)
+        .map(|i| {
+            metrics.as_ref().map(|m| {
+                m.registry
+                    .counter(&format!("sim.shard.{i:02}.recv_idle_ns"))
+            })
+        })
+        .collect();
+    // Trace layout: one Chrome-trace "process" per shard (pid i+1,
+    // stable across runs), with the generator-side feed on tid 0 and
+    // the shard worker on tid 1. Pid 0 stays the generator/study.
+    let feed_traces: Vec<Option<ThreadTrace>> = (0..n_shards)
+        .map(|i| {
+            tracer.as_ref().map(|t| {
+                t.set_process_name((i + 1) as u32, &format!("shard{i:02}"));
+                ThreadTrace::new(t, (i + 1) as u32, 0, "feed")
+            })
+        })
+        .collect();
+    let generator_tr = tracer.as_ref().map(|t| {
+        t.set_process_name(0, "generator");
+        ThreadTrace::new(t, 0, 0, "generator")
+    });
+
+    /// Sends one message, accounting time blocked on a full channel as
+    /// a `send_block` span and `sim.shard.NN.send_block_ns`. Untraced
+    /// and unmetered feeds take the plain blocking path.
+    fn send_accounted(
+        tx: &crossbeam::channel::Sender<ShardMsg>,
+        msg: ShardMsg,
+        feed_tr: &Option<ThreadTrace>,
+        counter: &Option<Arc<Counter>>,
+    ) {
+        if feed_tr.is_none() && counter.is_none() {
+            tx.send(msg).expect("worker alive");
+            return;
+        }
+        match tx.try_send(msg) {
+            Ok(()) => {}
+            Err(crossbeam::channel::TrySendError::Full(msg)) => {
+                let start = std::time::Instant::now();
+                let start_ns = feed_tr.as_ref().map(|tr| tr.buf.now_ns());
+                tx.send(msg).expect("worker alive");
+                let blocked = start.elapsed().as_nanos() as u64;
+                if let (Some(tr), Some(ns)) = (feed_tr, start_ns) {
+                    tr.buf.complete(tr.send_block, ns, blocked);
+                }
+                if let Some(c) = counter {
+                    c.add(blocked);
+                }
+            }
+            Err(crossbeam::channel::TrySendError::Disconnected(_)) => {
+                panic!("worker alive");
+            }
+        }
+    }
 
     let results = crossbeam::thread::scope(|scope| {
         let mut txs = Vec::with_capacity(n_shards);
@@ -906,30 +1081,72 @@ pub fn run_sharded_into<S: FlowSink + Send>(
             txs.push(tx);
             // Flow events are counted once, by the main thread.
             vp.metrics = None;
+            vp.trace = None;
             let depth = depth_gauges[i].clone();
+            let idle_counter = recv_idle_counters[i].clone();
+            let worker_tracer = tracer.clone();
+            let worker_tr = tracer
+                .as_ref()
+                .map(|t| ThreadTrace::new(t, (i + 1) as u32, 1, "worker"));
+            if let (Some(t), Some(tr)) = (&worker_tracer, &worker_tr) {
+                vp.trace_collector_onto(t, Arc::clone(&tr.buf));
+            }
             handles.push(scope.spawn(move |_| {
                 let mut vp = Some(vp);
                 let mut stats = VantageRunStats::default();
-                while let Ok(msg) = rx.recv() {
+                let timed_idle = worker_tr.is_some() || idle_counter.is_some();
+                loop {
+                    // Idle time: from wanting the next message to having
+                    // it — a starved worker shows long recv_idle spans.
+                    let idle_from = std::time::Instant::now();
+                    let idle_from_ns = worker_tr.as_ref().map(|tr| tr.buf.now_ns());
+                    let Ok(msg) = rx.recv() else { break };
+                    if timed_idle {
+                        let idle = idle_from.elapsed().as_nanos() as u64;
+                        if let (Some(tr), Some(ns)) = (&worker_tr, idle_from_ns) {
+                            tr.buf.complete(tr.recv_idle, ns, idle);
+                        }
+                        if let Some(c) = &idle_counter {
+                            c.add(idle);
+                        }
+                    }
                     match msg {
                         ShardMsg::Events(batch) => {
                             if let Some(g) = &depth {
                                 g.add(-1);
                             }
+                            let produce_start = worker_tr.as_ref().map(|tr| tr.buf.now_ns());
                             let v = vp.as_mut().expect("events after finish");
                             for ev in &batch {
                                 v.observe(ev);
                             }
+                            if let (Some(tr), Some(start)) = (&worker_tr, produce_start) {
+                                tr.span_since(tr.produce, start);
+                            }
                         }
                         ShardMsg::EndOfHour(hour) => {
                             let v = vp.as_mut().expect("hours after finish");
+                            let export_start = worker_tr.as_ref().map(|tr| tr.buf.now_ns());
                             v.end_of_hour(hour);
+                            if let (Some(tr), Some(start)) = (&worker_tr, export_start) {
+                                tr.span_since(tr.export, start);
+                            }
+                            let drain_start = worker_tr.as_ref().map(|tr| tr.buf.now_ns());
                             v.drain_records_into(&mut sink);
+                            sink.checkpoint();
+                            if let (Some(tr), Some(start)) = (&worker_tr, drain_start) {
+                                tr.span_since(tr.drain, start);
+                            }
                         }
                         ShardMsg::Finish(hour) => {
                             let v = vp.take().expect("exactly one finish");
+                            let finish_start = worker_tr.as_ref().map(|tr| tr.buf.now_ns());
                             stats = v.finish_into(hour, &mut sink);
+                            sink.checkpoint();
                             sink.finish();
+                            if let (Some(tr), Some(start)) = (&worker_tr, finish_start) {
+                                tr.span_since(tr.finish, start);
+                            }
                             break;
                         }
                     }
@@ -942,6 +1159,7 @@ pub fn run_sharded_into<S: FlowSink + Send>(
             .map(|_| Vec::with_capacity(SHARD_EVENT_BATCH))
             .collect();
         for hour in 0..hours {
+            let produce_start = generator_tr.as_ref().map(|tr| tr.buf.now_ns());
             model.generate_hour(hour, &mut |ev| {
                 if let Some(m) = &metrics {
                     m.note_event(ev);
@@ -954,11 +1172,17 @@ pub fn run_sharded_into<S: FlowSink + Send>(
                     if let Some(g) = &depth_gauges[shard] {
                         g.add(1);
                     }
-                    txs[shard]
-                        .send(ShardMsg::Events(full))
-                        .expect("worker alive");
+                    send_accounted(
+                        &txs[shard],
+                        ShardMsg::Events(full),
+                        &feed_traces[shard],
+                        &send_block_counters[shard],
+                    );
                 }
             });
+            if let (Some(tr), Some(start)) = (&generator_tr, produce_start) {
+                tr.span_since(tr.produce, start);
+            }
             for (shard, tx) in txs.iter().enumerate() {
                 let buf = &mut batches[shard];
                 if !buf.is_empty() {
@@ -966,14 +1190,28 @@ pub fn run_sharded_into<S: FlowSink + Send>(
                     if let Some(g) = &depth_gauges[shard] {
                         g.add(1);
                     }
-                    tx.send(ShardMsg::Events(full)).expect("worker alive");
+                    send_accounted(
+                        tx,
+                        ShardMsg::Events(full),
+                        &feed_traces[shard],
+                        &send_block_counters[shard],
+                    );
                 }
-                tx.send(ShardMsg::EndOfHour(hour)).expect("worker alive");
+                send_accounted(
+                    tx,
+                    ShardMsg::EndOfHour(hour),
+                    &feed_traces[shard],
+                    &send_block_counters[shard],
+                );
             }
         }
-        for tx in &txs {
-            tx.send(ShardMsg::Finish(hours.saturating_sub(1)))
-                .expect("worker alive");
+        for (shard, tx) in txs.iter().enumerate() {
+            send_accounted(
+                tx,
+                ShardMsg::Finish(hours.saturating_sub(1)),
+                &feed_traces[shard],
+                &send_block_counters[shard],
+            );
         }
         drop(txs);
         handles

@@ -31,6 +31,27 @@ echo "==> streaming scale-sweep smoke (claims must pass end to end)"
 echo "==> sharded smoke (2 shards at scale 0.02)"
 ./target/release/cwa-repro study --scale 0.02 --shards 2 > /dev/null
 
+echo "==> flight-recorder smoke (2 shards, --trace + trace-summary)"
+TRACE_TMP="$(mktemp /tmp/cwa-trace.XXXXXX.json)"
+./target/release/cwa-repro study --scale 0.02 --shards 2 --trace "$TRACE_TMP" > /dev/null
+python3 - "$TRACE_TMP" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+spans = {(e["pid"], e["name"]) for e in events if e.get("ph") == "X"}
+procs = {e["pid"]: e["args"]["name"] for e in events
+         if e.get("ph") == "M" and e.get("name") == "process_name"}
+shards = sorted(p for p, n in procs.items() if n.startswith("shard"))
+assert len(shards) == 2, f"expected 2 shard processes, got {procs}"
+for pid in shards:
+    for span in ("produce", "filter", "analyze"):
+        assert (pid, span) in spans, f"missing {span} span for {procs[pid]}"
+print(f"    {len(events)} events; {', '.join(procs[p] for p in shards)} "
+      "each carry produce/filter/analyze spans")
+EOF
+./target/release/cwa-repro trace-summary "$TRACE_TMP" > /dev/null
+rm -f "$TRACE_TMP"
+
 echo "==> sharded speedup guard (BENCH_sharded.json)"
 # Guard against accidental serialization of the merge path: with real
 # parallel hardware, 4 shards must beat the single-threaded streaming

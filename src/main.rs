@@ -1,7 +1,8 @@
 //! `cwa-repro` — command-line front end for the reproduction.
 //!
 //! ```text
-//! cwa-repro study [--scale S] [--seed N] [--parallel] [--streaming] [--shards N] [--out DIR] [--metrics FILE]
+//! cwa-repro study [--scale S] [--seed N] [--parallel] [--streaming] [--shards N] [--out DIR] [--metrics FILE] [--trace FILE]
+//! cwa-repro trace-summary FILE
 //! cwa-repro dns   [--days N]
 //! cwa-repro ablation
 //! cwa-repro help
@@ -17,6 +18,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("study") => study(&args[1..]),
+        Some("trace-summary") => trace_summary(&args[1..]),
         Some("dns") => dns(&args[1..]),
         Some("ablation") => ablation(),
         Some("help") | None => {
@@ -34,7 +36,7 @@ fn usage() -> String {
     "cwa-repro — reproduction of the SIGCOMM'20 Corona-Warn-App measurement study\n\
      \n\
      USAGE:\n\
-     \x20 cwa-repro study [--scale S] [--seed N] [--parallel] [--streaming] [--shards N] [--out DIR] [--metrics FILE]\n\
+     \x20 cwa-repro study [--scale S] [--seed N] [--parallel] [--streaming] [--shards N] [--out DIR] [--metrics FILE] [--trace FILE]\n\
      \x20     run the full study and print the paper-vs-measured report;\n\
      \x20     --streaming fuses simulate+analyze into one single-pass\n\
      \x20     pipeline that never materializes the full record set\n\
@@ -42,7 +44,15 @@ fn usage() -> String {
      \x20     --shards N splits the router fleet across N worker threads,\n\
      \x20     each filtering+analyzing its own record partition, merged\n\
      \x20     deterministically at the end (same report as --streaming);\n\
-     \x20     --metrics writes an observability snapshot (cwa-obs/v1 JSON)\n\
+     \x20     --metrics writes an observability snapshot — cwa-obs/v1\n\
+     \x20     JSON, or Prometheus text exposition when FILE ends in .prom;\n\
+     \x20     --trace records a flight-recorder timeline of every pipeline\n\
+     \x20     stage (produce/export/drain/filter/analyze + channel stalls)\n\
+     \x20     as Chrome trace-event JSON — load it in Perfetto or summarize\n\
+     \x20     it with `cwa-repro trace-summary`\n\
+     \x20 cwa-repro trace-summary FILE\n\
+     \x20     print a per-thread self-time breakdown (utilization, send\n\
+     \x20     block, receive idle) of a --trace capture\n\
      \x20 cwa-repro dns [--days N]\n\
      \x20     print the Umbrella-style DNS rank model output per day\n\
      \x20 cwa-repro ablation\n\
@@ -96,6 +106,10 @@ fn study(args: &[String]) -> ExitCode {
     let registry = metrics_path
         .as_ref()
         .map(|_| std::sync::Arc::new(cwa_obs::Registry::new()));
+    let trace_path = opt(args, "--trace");
+    let tracer = trace_path
+        .as_ref()
+        .map(|_| std::sync::Arc::new(cwa_obs::Tracer::new()));
 
     eprintln!(
         "running study at scale {scale} (seed {:#x}{}{}) …",
@@ -108,6 +122,9 @@ fn study(args: &[String]) -> ExitCode {
     if let Some(registry) = &registry {
         study = study.with_metrics(std::sync::Arc::clone(registry));
     }
+    if let Some(tracer) = &tracer {
+        study = study.with_trace(std::sync::Arc::clone(tracer));
+    }
     let result = if let Some(n) = shards {
         study.run_sharded(n)
     } else if streaming {
@@ -115,6 +132,22 @@ fn study(args: &[String]) -> ExitCode {
     } else {
         study.run()
     };
+
+    // The flight recorder is written even when the study itself fails —
+    // a trace of a failing run is exactly what one wants to look at.
+    if let (Some(path), Some(tracer)) = (&trace_path, &tracer) {
+        if let Err(e) = std::fs::write(path, tracer.to_chrome_json()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        let dropped = tracer.total_dropped();
+        if dropped > 0 {
+            eprintln!("wrote {path} ({dropped} events dropped to ring wraparound)");
+        } else {
+            eprintln!("wrote {path}");
+        }
+    }
+
     let report = match result {
         Ok(report) => report,
         Err(e) => {
@@ -126,7 +159,12 @@ fn study(args: &[String]) -> ExitCode {
     println!("{}", report.render_text());
 
     if let (Some(path), Some(registry)) = (&metrics_path, &registry) {
-        if let Err(e) = std::fs::write(path, registry.to_json_pretty()) {
+        let snapshot = if path.ends_with(".prom") {
+            registry.to_prometheus()
+        } else {
+            registry.to_json_pretty()
+        };
+        if let Err(e) = std::fs::write(path, snapshot) {
             eprintln!("cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }
@@ -163,6 +201,177 @@ fn study(args: &[String]) -> ExitCode {
         eprintln!("{} claim(s) outside their bands", report.failures().len());
         ExitCode::FAILURE
     }
+}
+
+/// One (pid, tid) track's complete spans: `(ts_us, dur_us, name)`.
+type TrackSpans = Vec<(f64, f64, String)>;
+
+/// Computes per-name *self* time for one track: a span's self time is
+/// its duration minus the durations of spans nested inside it (the
+/// standard flame-graph attribution). Returns the self-time map plus
+/// the track's wall-clock extent `(first_start, last_end)`.
+fn track_self_times(spans: &mut TrackSpans) -> (std::collections::BTreeMap<String, f64>, f64) {
+    // Parents before children: ascending start, longest-first on ties.
+    spans.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .expect("finite ts")
+            .then(b.1.partial_cmp(&a.1).expect("finite dur"))
+    });
+    let mut selfs: std::collections::BTreeMap<String, f64> = std::collections::BTreeMap::new();
+    // Open-span stack: (end_us, dur_us, name, nested_child_dur_us).
+    let mut stack: Vec<(f64, f64, String, f64)> = Vec::new();
+    let close = |stack: &mut Vec<(f64, f64, String, f64)>,
+                 selfs: &mut std::collections::BTreeMap<String, f64>| {
+        let (_, dur, name, child) = stack.pop().expect("non-empty stack");
+        *selfs.entry(name).or_insert(0.0) += (dur - child).max(0.0);
+        if let Some(parent) = stack.last_mut() {
+            parent.3 += dur;
+        }
+    };
+    let mut first = f64::INFINITY;
+    let mut last = 0.0f64;
+    for (ts, dur, name) in spans.iter() {
+        first = first.min(*ts);
+        last = last.max(ts + dur);
+        while stack.last().is_some_and(|top| *ts >= top.0 - 1e-6) {
+            close(&mut stack, &mut selfs);
+        }
+        stack.push((ts + dur, *dur, name.clone(), 0.0));
+    }
+    while !stack.is_empty() {
+        close(&mut stack, &mut selfs);
+    }
+    let wall = if first.is_finite() { last - first } else { 0.0 };
+    (selfs, wall)
+}
+
+/// Summarizes a `--trace` capture: per-thread self-time broken down by
+/// span name, with the stall split (send-block / receive-idle) the
+/// sharded pipeline records, so a backpressured shard is visible at a
+/// glance without loading the trace into Perfetto.
+fn trace_summary(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("usage: cwa-repro trace-summary FILE");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let root: serde_json::Value = match serde_json::from_str(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{path} is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let num_u32 = |v: &serde_json::Value| -> Option<u32> {
+        match v {
+            serde_json::Value::Num(n) => n.as_u64().map(|x| x as u32),
+            _ => None,
+        }
+    };
+    let num_f64 = |v: &serde_json::Value| -> Option<f64> {
+        match v {
+            serde_json::Value::Num(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    };
+    let Some(events) = root.get("traceEvents").and_then(|e| e.as_array()) else {
+        eprintln!("{path}: no traceEvents array — not a cwa --trace capture?");
+        return ExitCode::FAILURE;
+    };
+    let dropped = root
+        .get("otherData")
+        .and_then(|o| o.get("dropped_events"))
+        .and_then(num_f64)
+        .unwrap_or(0.0);
+
+    let mut proc_names: std::collections::BTreeMap<u32, String> = std::collections::BTreeMap::new();
+    let mut thread_names: std::collections::BTreeMap<(u32, u32), String> =
+        std::collections::BTreeMap::new();
+    let mut tracks: std::collections::BTreeMap<(u32, u32), TrackSpans> =
+        std::collections::BTreeMap::new();
+    let mut instants = 0u64;
+    for ev in events {
+        let ph = ev.get("ph").and_then(|p| p.as_str()).unwrap_or("");
+        let pid = ev.get("pid").and_then(&num_u32).unwrap_or(0);
+        let tid = ev.get("tid").and_then(&num_u32).unwrap_or(0);
+        let name = ev.get("name").and_then(|n| n.as_str()).unwrap_or("?");
+        match ph {
+            "M" => {
+                let label = ev
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(|n| n.as_str().map(str::to_owned));
+                match (name, label) {
+                    ("process_name", Some(label)) => {
+                        proc_names.insert(pid, label);
+                    }
+                    ("thread_name", Some(label)) => {
+                        thread_names.insert((pid, tid), label);
+                    }
+                    _ => {}
+                }
+            }
+            "X" => {
+                let ts = ev.get("ts").and_then(&num_f64).unwrap_or(0.0);
+                let dur = ev.get("dur").and_then(&num_f64).unwrap_or(0.0);
+                tracks
+                    .entry((pid, tid))
+                    .or_default()
+                    .push((ts, dur, name.to_owned()));
+            }
+            "i" => instants += 1,
+            _ => {}
+        }
+    }
+
+    let span_total: usize = tracks.values().map(Vec::len).sum();
+    println!("{path}: {span_total} spans, {instants} instants, {dropped} dropped");
+    for ((pid, tid), spans) in &mut tracks {
+        let process = proc_names
+            .get(pid)
+            .cloned()
+            .unwrap_or_else(|| format!("pid{pid}"));
+        let thread = thread_names
+            .get(&(*pid, *tid))
+            .cloned()
+            .unwrap_or_else(|| format!("tid{tid}"));
+        let (selfs, wall) = track_self_times(spans);
+        let wall = wall.max(1e-9);
+        let block = selfs.get("send_block").copied().unwrap_or(0.0);
+        let idle = selfs.get("recv_idle").copied().unwrap_or(0.0);
+        // `+ 0.0` normalizes a negative zero out of the float sum so a
+        // stall-only track prints "util 0.0%", not "util -0.0%".
+        let busy: f64 = selfs
+            .iter()
+            .filter(|(name, _)| name.as_str() != "send_block" && name.as_str() != "recv_idle")
+            .map(|(_, us)| us)
+            .sum::<f64>()
+            .max(0.0)
+            + 0.0;
+        println!(
+            "\n[{process}/{thread}] wall {:.3} ms — util {:.1}%, block {:.1}%, idle {:.1}%",
+            wall / 1000.0,
+            100.0 * busy / wall,
+            100.0 * block / wall,
+            100.0 * idle / wall,
+        );
+        let mut rows: Vec<(&String, &f64)> = selfs.iter().collect();
+        rows.sort_by(|a, b| b.1.partial_cmp(a.1).expect("finite self time"));
+        for (name, self_us) in rows {
+            println!(
+                "    {name:<14} {:>10.3} ms  {:>5.1}%",
+                self_us / 1000.0,
+                100.0 * self_us / wall,
+            );
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn dns(args: &[String]) -> ExitCode {

@@ -7,7 +7,7 @@
 use std::sync::Arc;
 
 use cwa_repro::core::{Study, StudyConfig};
-use cwa_repro::obs::Registry;
+use cwa_repro::obs::{Registry, Tracer};
 
 fn small_config(parallel: bool) -> StudyConfig {
     let mut config = StudyConfig::test_small();
@@ -104,4 +104,104 @@ fn metrics_snapshot_covers_pipeline_and_reports_match() {
         reg_serial.counter("analysis.filter.records_matched").get(),
         serial.matching_flows,
     );
+}
+
+/// The flight recorder is observation-only: with a tracer attached the
+/// report stays bit-identical (after `strip_volatile`) to the untraced
+/// run — across the batch, streaming, and sharded drivers alike.
+#[test]
+fn tracer_never_perturbs_reports() {
+    let traced_batch = Study::new(small_config(false))
+        .with_trace(Arc::new(Tracer::new()))
+        .run()
+        .expect("small study produces matching flows");
+    let plain_batch = Study::new(small_config(false))
+        .run()
+        .expect("small study produces matching flows");
+    assert_eq!(
+        traced_batch.strip_volatile(),
+        plain_batch.strip_volatile(),
+        "batch: tracer on == off"
+    );
+
+    let traced_streaming = Study::new(small_config(false))
+        .with_trace(Arc::new(Tracer::new()))
+        .run_streaming()
+        .expect("small study produces matching flows");
+    let plain_streaming = Study::new(small_config(false))
+        .run_streaming()
+        .expect("small study produces matching flows");
+    assert_eq!(
+        traced_streaming.strip_volatile(),
+        plain_streaming.strip_volatile(),
+        "streaming: tracer on == off"
+    );
+
+    let traced_sharded = Study::new(small_config(false))
+        .with_trace(Arc::new(Tracer::new()))
+        .run_sharded(2)
+        .expect("small study produces matching flows");
+    let plain_sharded = Study::new(small_config(false))
+        .run_sharded(2)
+        .expect("small study produces matching flows");
+    assert_eq!(
+        traced_sharded.strip_volatile(),
+        plain_sharded.strip_volatile(),
+        "sharded(2): tracer on == off"
+    );
+}
+
+/// A sharded run's trace carries one Chrome "process" per shard with
+/// the full stage vocabulary: produce and stall accounting on the
+/// worker track, coalesced filter/analyze spans on the analysis track,
+/// plus the study-level phase spans.
+#[test]
+fn sharded_trace_covers_every_stage() {
+    let tracer = Arc::new(Tracer::new());
+    Study::new(small_config(false))
+        .with_trace(Arc::clone(&tracer))
+        .run_sharded(2)
+        .expect("small study produces matching flows");
+
+    let json = tracer.to_chrome_json();
+    let parsed: serde_json::Value = serde_json::from_str(&json).expect("trace is valid JSON");
+    assert!(
+        parsed.get("traceEvents").is_some(),
+        "chrome trace has a traceEvents array"
+    );
+    for needle in [
+        // Process/thread layout: shard i is pid i+1 with feed, worker
+        // and analysis tracks; the generator and study run on pid 0.
+        "\"shard00\"",
+        "\"shard01\"",
+        "\"generator\"",
+        "\"feed\"",
+        "\"worker\"",
+        "\"analysis\"",
+        "\"study\"",
+        // Worker-side stage spans and stall accounting.
+        "\"produce\"",
+        "\"export\"",
+        "\"drain\"",
+        "\"recv_idle\"",
+        "\"collect.ingest\"",
+        // Coalesced per-record analysis spans.
+        "\"filter\"",
+        "\"analyze\"",
+        "\"timeseries\"",
+        "\"geoloc\"",
+        "\"persistence\"",
+        "\"outbreak\"",
+        // Study-level phases.
+        "\"phase.simulate_analyze\"",
+        "\"phase.merge\"",
+    ] {
+        assert!(json.contains(needle), "trace missing {needle}");
+    }
+    // Both shard processes actually emitted span events (not just
+    // metadata): pid 1 and pid 2 appear as complete events.
+    for pid in [1, 2] {
+        let marker = format!("\"ph\":\"X\",\"pid\":{pid},");
+        assert!(json.contains(&marker), "no spans for shard pid {pid}");
+    }
 }

@@ -91,6 +91,54 @@ pub mod channel {
 
     impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
 
+    /// Error from [`Sender::try_send`]: the message comes back either
+    /// because the bounded queue is full or because the receiver hung up.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is full; the caller may retry (or block via
+        /// [`Sender::send`]).
+        Full(T),
+        /// The receiving half disconnected; no send can ever succeed.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// Recovers the unsent message.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+            }
+        }
+
+        /// True when the failure was a full queue (retryable).
+        pub fn is_full(&self) -> bool {
+            matches!(self, TrySendError::Full(_))
+        }
+    }
+
+    // As in the real crate: Debug without requiring `T: Debug`.
+    impl<T> std::fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "Full(..)"),
+                TrySendError::Disconnected(_) => write!(f, "Disconnected(..)"),
+            }
+        }
+    }
+
+    impl<T> std::fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "sending on a full channel"),
+                TrySendError::Disconnected(_) => {
+                    write!(f, "sending on a disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl<T: std::fmt::Debug> std::error::Error for TrySendError<T> {}
+
     /// Error: the sending half disconnected and the queue drained.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
@@ -111,6 +159,23 @@ pub mod channel {
             match &self.0 {
                 SenderKind::Unbounded(tx) => tx.send(value).map_err(|e| SendError(e.0)),
                 SenderKind::Bounded(tx) => tx.send(value).map_err(|e| SendError(e.0)),
+            }
+        }
+
+        /// Non-blocking enqueue. On a full bounded channel the message
+        /// comes straight back as [`TrySendError::Full`] instead of
+        /// blocking — letting callers observe backpressure (e.g. to
+        /// account time spent blocked) before falling back to `send`.
+        /// Unbounded channels never report `Full`.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            match &self.0 {
+                SenderKind::Unbounded(tx) => {
+                    tx.send(value).map_err(|e| TrySendError::Disconnected(e.0))
+                }
+                SenderKind::Bounded(tx) => tx.try_send(value).map_err(|e| match e {
+                    std::sync::mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                    std::sync::mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+                }),
             }
         }
     }
@@ -198,6 +263,27 @@ mod tests {
         let (tx, rx) = crate::channel::bounded::<u8>(1);
         drop(rx);
         assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn try_send_reports_full_then_succeeds_after_drain() {
+        use crate::channel::TrySendError;
+        let (tx, rx) = crate::channel::bounded::<u8>(1);
+        assert!(tx.try_send(1).is_ok());
+        match tx.try_send(2) {
+            Err(e @ TrySendError::Full(_)) => {
+                assert!(e.is_full());
+                assert_eq!(e.into_inner(), 2);
+            }
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert!(tx.try_send(2).is_ok());
+        drop(rx);
+        match tx.try_send(3) {
+            Err(TrySendError::Disconnected(v)) => assert_eq!(v, 3),
+            other => panic!("expected Disconnected, got {other:?}"),
+        }
     }
 
     #[test]

@@ -340,13 +340,20 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 character (input is valid UTF-8
-                    // since it came from &str).
-                    let rest = &self.bytes[self.pos..];
-                    let text = std::str::from_utf8(rest).map_err(|_| Error::new("bad utf-8"))?;
-                    let c = text.chars().next().unwrap();
-                    s.push(c);
-                    self.pos += c.len_utf8();
+                    // Bulk-consume up to the next quote or escape and
+                    // validate only that chunk — validating from here to
+                    // the end of the input per character would make large
+                    // documents quadratic to parse.
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| Error::new("bad utf-8"))?;
+                    s.push_str(chunk);
                 }
             }
         }
@@ -418,6 +425,30 @@ mod tests {
             let v2: Value = from_str::<Value>(&back).unwrap();
             assert_eq!(v, v2, "roundtrip failed for {src}");
         }
+    }
+
+    #[test]
+    fn strings_parse_in_linear_time_with_multibyte_chars() {
+        // A megabyte-scale document full of strings must parse without
+        // re-validating the input tail per character (once quadratic,
+        // this takes minutes instead of milliseconds).
+        let unit = "\"päyload — 日本語 text\\n\",";
+        let mut doc = String::from("[");
+        for _ in 0..50_000 {
+            doc.push_str(unit);
+        }
+        doc.push_str("\"end\"]");
+        let start = std::time::Instant::now();
+        let v: Value = from_str(&doc).unwrap();
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(10),
+            "string parsing is super-linear: {:?}",
+            start.elapsed()
+        );
+        let items = v.as_array().unwrap();
+        assert_eq!(items.len(), 50_001);
+        assert_eq!(items[0].as_str(), Some("päyload — 日本語 text\n"));
+        assert_eq!(items[50_000].as_str(), Some("end"));
     }
 
     #[test]
