@@ -1002,6 +1002,13 @@ impl Study {
             phase_timings: timings,
         };
 
+        // Live telemetry: the run is complete — `/progress` flips to
+        // "done" and `/healthz` stops treating flat record counters as
+        // a stall.
+        if let Some(registry) = &self.metrics {
+            registry.gauge("sim.progress.done").set(1);
+        }
+
         Ok(StudyReport {
             config: *cfg,
             manifest,

@@ -25,6 +25,7 @@ use crate::v5::{ExportPacket, V5Error};
 pub struct CollectorMetrics {
     registry: Arc<Registry>,
     records: Arc<Counter>,
+    bytes: Arc<Counter>,
     anonymized: Arc<Counter>,
     sequence_lost: Arc<Counter>,
     decode_errors: Arc<Counter>,
@@ -36,6 +37,7 @@ impl CollectorMetrics {
         CollectorMetrics {
             registry: Arc::clone(registry),
             records: registry.counter("netflow.collector.records"),
+            bytes: registry.counter("netflow.collector.bytes"),
             anonymized: registry.counter("netflow.collector.anonymized_addresses"),
             sequence_lost: registry.counter("netflow.collector.sequence_lost"),
             decode_errors: registry.counter("netflow.collector.decode_errors"),
@@ -161,6 +163,7 @@ impl Collector {
         stats.records += records.len() as u64;
         if let Some(m) = &self.metrics {
             m.records.add(records.len() as u64);
+            m.bytes.add(records.iter().map(|r| r.bytes).sum());
         }
         for mut rec in records {
             anonymize_record(
@@ -195,6 +198,7 @@ impl Collector {
         stats.records += packet.records.len() as u64;
         if let Some(m) = &self.metrics {
             m.records.add(packet.records.len() as u64);
+            m.bytes.add(packet.records.iter().map(|r| r.bytes).sum());
         }
         let seq = packet.header.flow_sequence;
         let advance = packet.records.len() as u32;
@@ -477,6 +481,11 @@ mod tests {
         col.ingest_packet(seq_pkt(7, 0, 5)); // next expected: 5
         col.ingest_packet(seq_pkt(7, 8, 2)); // gap of 3
         assert_eq!(registry.counter("netflow.collector.records").get(), 7);
+        assert_eq!(
+            registry.counter("netflow.collector.bytes").get(),
+            7 * 2800,
+            "every ingested record's bytes are accounted"
+        );
         assert_eq!(registry.counter("netflow.collector.sequence_lost").get(), 3);
         assert_eq!(
             registry

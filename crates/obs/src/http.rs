@@ -1,0 +1,516 @@
+//! Tiny HTTP/1.0 scrape server for live telemetry.
+//!
+//! Built directly on `std::net::TcpListener` — no vendored HTTP
+//! dependency — because a Prometheus-style scrape endpoint needs
+//! nothing beyond "read one request line, write one response, close".
+//! The accept loop runs on its own thread with a nonblocking listener
+//! polled against a stop flag, so shutdown needs no self-connect
+//! trick and no platform-specific socket teardown.
+//!
+//! Endpoints:
+//!
+//! | path            | content                                         |
+//! |-----------------|-------------------------------------------------|
+//! | `/metrics`      | Prometheus text exposition 0.0.4                |
+//! | `/metrics.json` | cwa-obs/v1 JSON snapshot                        |
+//! | `/progress`     | run progress: days done/total, per-shard rates, |
+//! |                 | stall ratios, ETA from the heartbeat ring       |
+//! | `/healthz`      | readiness + liveness (503 when stalled)         |
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::heartbeat::HeartbeatRing;
+use crate::{json_string, Registry};
+
+/// Metric names the progress/health endpoints are derived from. These
+/// are the names the pipeline registers (see `cwa-simnet`,
+/// `cwa-netflow`, `cwa-core`); a registry without them simply reports
+/// zero progress.
+pub mod names {
+    /// Flow records ingested across all collectors.
+    pub const RECORDS: &str = "netflow.collector.records";
+    /// Flow bytes ingested across all collectors.
+    pub const BYTES: &str = "netflow.collector.bytes";
+    /// Simulated hours completed / total.
+    pub const HOURS_DONE: &str = "sim.progress.hours_done";
+    /// Total simulated hours in the run.
+    pub const HOURS_TOTAL: &str = "sim.progress.hours_total";
+    /// Simulated days completed / total.
+    pub const DAYS_DONE: &str = "sim.progress.days_done";
+    /// Total simulated days in the run.
+    pub const DAYS_TOTAL: &str = "sim.progress.days_total";
+    /// 1 once the study's report has been assembled.
+    pub const DONE: &str = "sim.progress.done";
+}
+
+/// Everything a scrape needs: the live registry, the heartbeat ring
+/// for rate derivation, and the liveness policy.
+#[derive(Clone)]
+pub struct TelemetryState {
+    /// The registry the run is writing into.
+    pub registry: Arc<Registry>,
+    /// Heartbeat ring (shared with the [`crate::Heartbeat`] sampler).
+    pub ring: Arc<Mutex<HeartbeatRing>>,
+    /// `/healthz` reports `stalled` (HTTP 503) when the record counter
+    /// made no progress across this many consecutive heartbeats while
+    /// the run is not done.
+    pub stall_heartbeats: usize,
+}
+
+/// A running scrape server; shuts down on [`TelemetryServer::shutdown`]
+/// or drop.
+pub struct TelemetryServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl TelemetryServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an OS-assigned port) and
+    /// starts serving. The bound address — with the real port — is
+    /// available via [`TelemetryServer::local_addr`].
+    pub fn serve<A: ToSocketAddrs>(addr: A, state: TelemetryState) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("cwa-telemetry".into())
+            .spawn(move || {
+                while !thread_stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            let _ = handle_connection(stream, &state);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                    }
+                }
+            })?;
+
+        Ok(TelemetryServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (real port even when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins the server thread. In-flight
+    /// responses finish first (the accept loop only checks the flag
+    /// between connections).
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.stop.store(true, Ordering::Relaxed);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+impl std::fmt::Debug for TelemetryServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TelemetryServer({})", self.addr)
+    }
+}
+
+/// Reads one request, routes it, writes one response, closes.
+fn handle_connection(mut stream: TcpStream, state: &TelemetryState) -> std::io::Result<()> {
+    // Accepted sockets do not reliably inherit the listener's
+    // (nonblocking) mode on every platform; force blocking with a
+    // timeout so a stuck client cannot wedge the accept loop forever.
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+
+    let path = match read_request_path(&mut stream) {
+        Some(path) => path,
+        None => {
+            return respond(
+                &mut stream,
+                400,
+                "Bad Request",
+                "text/plain",
+                "malformed request line\n",
+            )
+        }
+    };
+
+    match path.as_str() {
+        "/metrics" => {
+            let body = state.registry.to_prometheus();
+            respond(&mut stream, 200, "OK", "text/plain; version=0.0.4", &body)
+        }
+        "/metrics.json" => {
+            let body = state.registry.to_json();
+            respond(&mut stream, 200, "OK", "application/json", &body)
+        }
+        "/progress" => {
+            let body = progress_body(state);
+            respond(&mut stream, 200, "OK", "application/json", &body)
+        }
+        "/healthz" => {
+            let (status, reason, body) = health_body(state);
+            respond(&mut stream, status, reason, "application/json", &body)
+        }
+        "/" => respond(
+            &mut stream,
+            200,
+            "OK",
+            "text/plain",
+            "cwa-repro live telemetry\n\
+             /metrics       Prometheus text exposition\n\
+             /metrics.json  cwa-obs/v1 snapshot\n\
+             /progress      run progress, per-shard rates, ETA\n\
+             /healthz       readiness + liveness\n",
+        ),
+        _ => respond(&mut stream, 404, "Not Found", "text/plain", "not found\n"),
+    }
+}
+
+/// Parses `GET <path> ...` off the first request line; drains nothing
+/// else (HTTP/1.0, connection closes after the response anyway).
+fn read_request_path(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = [0u8; 1024];
+    let mut line = Vec::new();
+    loop {
+        let n = stream.read(&mut buf).ok()?;
+        if n == 0 {
+            break;
+        }
+        line.extend_from_slice(&buf[..n]);
+        if line.contains(&b'\n') || line.len() > 4096 {
+            break;
+        }
+    }
+    let line = String::from_utf8_lossy(&line);
+    let first = line.lines().next()?;
+    let mut parts = first.split_whitespace();
+    let method = parts.next()?;
+    let path = parts.next()?;
+    if method != "GET" {
+        return None;
+    }
+    // Ignore any query string: /progress?pretty routes like /progress.
+    let path = path.split('?').next().unwrap_or(path);
+    Some(path.to_string())
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let header = format!(
+        "HTTP/1.0 {status} {reason}\r\n\
+         Content-Type: {content_type}\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Formats an f64 as JSON: finite values with limited precision,
+/// non-finite as `null` (JSON has no Inf/NaN).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_opt_f64(v: Option<f64>) -> String {
+    match v {
+        Some(v) => json_f64(v),
+        None => "null".to_string(),
+    }
+}
+
+/// Shard ids present in a sample, discovered from the
+/// `sim.shard.NN.records` counters the sharded driver registers.
+fn shard_ids(sample: &BTreeMap<String, i64>) -> Vec<String> {
+    sample
+        .keys()
+        .filter_map(|k| {
+            let id = k.strip_prefix("sim.shard.")?.strip_suffix(".records")?;
+            // Exact `sim.shard.NN.records` only — not, say,
+            // `sim.shard.NN.peak_resident_records`.
+            (!id.contains('.')).then(|| id.to_string())
+        })
+        .collect()
+}
+
+/// Builds the `/progress` JSON document (`cwa-progress/v1`).
+fn progress_body(state: &TelemetryState) -> String {
+    let sample = state.registry.sample();
+    let get = |k: &str| sample.get(k).copied().unwrap_or(0);
+    let ring = state.ring.lock().expect("heartbeat ring poisoned");
+
+    let hours_total = get(names::HOURS_TOTAL);
+    let hours_done = get(names::HOURS_DONE);
+    let done = get(names::DONE) == 1;
+    let run_state = if done { "done" } else { "running" };
+
+    // ETA: remaining simulated hours over the hours/s rate observed
+    // across the heartbeat window. Null until the window shows
+    // forward progress; 0 once the run is done.
+    let eta_s = if done {
+        Some(0.0)
+    } else {
+        match ring.window_rate(names::HOURS_DONE) {
+            Some(rate) if rate > 0.0 => Some(((hours_total - hours_done).max(0)) as f64 / rate),
+            _ => None,
+        }
+    };
+
+    let mut shards = String::new();
+    for (i, id) in shard_ids(&sample).iter().enumerate() {
+        let prefix = format!("sim.shard.{id}");
+        let records_rate = ring.window_rate(&format!("{prefix}.records"));
+        // Stall ratio: fraction of the window the shard spent blocked
+        // on its channel (producer side) or waiting for input
+        // (consumer side).
+        let ratio = |counter: &str| {
+            ring.window_delta(&format!("{prefix}.{counter}"))
+                .map(|(d, dt)| (d.max(0) as f64 / dt as f64).min(1.0))
+        };
+        if i > 0 {
+            shards.push(',');
+        }
+        shards.push_str(&format!(
+            "{{\"shard\":{},\"hours_done\":{},\"records\":{},\
+             \"records_per_s\":{},\"send_block_ratio\":{},\"recv_idle_ratio\":{}}}",
+            json_string(id),
+            get(&format!("{prefix}.hours_done")),
+            get(&format!("{prefix}.records")),
+            json_opt_f64(records_rate),
+            json_opt_f64(ratio("send_block_ns")),
+            json_opt_f64(ratio("recv_idle_ns")),
+        ));
+    }
+
+    format!(
+        "{{\"schema\":\"cwa-progress/v1\",\"state\":\"{run_state}\",\
+         \"days_done\":{},\"days_total\":{},\
+         \"hours_done\":{hours_done},\"hours_total\":{hours_total},\
+         \"records\":{},\"records_per_s\":{},\"bytes_per_s\":{},\
+         \"eta_s\":{},\"heartbeats\":{},\"shards\":[{shards}]}}",
+        get(names::DAYS_DONE),
+        get(names::DAYS_TOTAL),
+        get(names::RECORDS),
+        json_opt_f64(ring.window_rate(names::RECORDS)),
+        json_opt_f64(ring.window_rate(names::BYTES)),
+        json_opt_f64(eta_s),
+        ring.total(),
+    )
+}
+
+/// Builds the `/healthz` response: readiness (a heartbeat has been
+/// taken) and liveness (records still advancing, or the run is done).
+fn health_body(state: &TelemetryState) -> (u16, &'static str, String) {
+    let sample = state.registry.sample();
+    let done = sample.get(names::DONE).copied().unwrap_or(0) == 1;
+    let ring = state.ring.lock().expect("heartbeat ring poisoned");
+    let ready = !ring.is_empty();
+    let stalled = !done && ring.stalled(names::RECORDS, state.stall_heartbeats);
+
+    let status_word = if stalled {
+        "stalled"
+    } else if done {
+        "done"
+    } else {
+        "ok"
+    };
+    let body = format!(
+        "{{\"status\":\"{status_word}\",\"ready\":{ready},\"done\":{done},\
+         \"heartbeats\":{}}}",
+        ring.total()
+    );
+    if stalled {
+        (503, "Service Unavailable", body)
+    } else {
+        (200, "OK", body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heartbeat::HeartbeatSample;
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.0\r\n\r\n").expect("request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("response");
+        let status: u16 = response
+            .lines()
+            .next()
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|s| s.parse().ok())
+            .expect("status line");
+        let body = response
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    fn test_state() -> TelemetryState {
+        let registry = Arc::new(Registry::new());
+        registry.counter(names::RECORDS).add(1_000);
+        registry.counter(names::BYTES).add(64_000);
+        registry.gauge(names::HOURS_TOTAL).set(264);
+        registry.gauge(names::HOURS_DONE).set(24);
+        registry.gauge(names::DAYS_TOTAL).set(11);
+        registry.gauge(names::DAYS_DONE).set(1);
+        registry.gauge(names::DONE).set(0);
+        registry.counter("sim.shard.00.records").add(500);
+        registry.counter("sim.shard.01.records").add(500);
+
+        let mut ring = HeartbeatRing::new(16);
+        for i in 0..4u64 {
+            let v = |base: i64| base + (i as i64) * 100;
+            ring.push(HeartbeatSample {
+                t_ns: i * 1_000_000_000,
+                values: [
+                    (names::RECORDS.to_string(), v(0)),
+                    (names::BYTES.to_string(), v(0) * 64),
+                    (names::HOURS_DONE.to_string(), (i as i64) * 6),
+                    ("sim.shard.00.records".to_string(), v(0) / 2),
+                    ("sim.shard.01.records".to_string(), v(0) / 2),
+                ]
+                .into_iter()
+                .collect(),
+            });
+        }
+        TelemetryState {
+            registry,
+            ring: Arc::new(Mutex::new(ring)),
+            stall_heartbeats: 3,
+        }
+    }
+
+    #[test]
+    fn serves_all_endpoints_and_shuts_down() {
+        let server = TelemetryServer::serve("127.0.0.1:0", test_state()).expect("bind");
+        let addr = server.local_addr();
+
+        let (status, body) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+        assert!(body.contains("# TYPE netflow_collector_records_total counter"));
+        assert!(body.ends_with('\n'));
+
+        let (status, body) = get(addr, "/metrics.json");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"cwa-obs/v1\""));
+
+        let (status, body) = get(addr, "/progress");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"cwa-progress/v1\""), "got: {body}");
+        assert!(body.contains("\"state\":\"running\""), "got: {body}");
+        assert!(body.contains("\"records_per_s\":100.000"), "got: {body}");
+        assert!(body.contains("\"shard\":\"00\""), "got: {body}");
+        // 240 hours remain at 6 hours/s → 40s ETA.
+        assert!(body.contains("\"eta_s\":40.000"), "got: {body}");
+
+        let (status, body) = get(addr, "/healthz");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"status\":\"ok\""), "got: {body}");
+        assert!(body.contains("\"ready\":true"), "got: {body}");
+
+        let (status, _) = get(addr, "/nope");
+        assert_eq!(status, 404);
+
+        server.shutdown();
+        assert!(
+            TcpStream::connect(addr).is_err(),
+            "listener must be closed after shutdown"
+        );
+    }
+
+    #[test]
+    fn concurrent_scrapes_all_succeed() {
+        let server = TelemetryServer::serve("127.0.0.1:0", test_state()).expect("bind");
+        let addr = server.local_addr();
+        let paths = ["/metrics", "/metrics.json", "/progress", "/healthz"];
+        let handles: Vec<_> = paths
+            .into_iter()
+            .map(|path| {
+                std::thread::spawn(move || {
+                    let (status, body) = get(addr, path);
+                    assert_eq!(status, 200, "{path}");
+                    assert!(!body.is_empty(), "{path}");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("scrape thread");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn healthz_reports_stall_with_503() {
+        let state = test_state();
+        {
+            let mut ring = state.ring.lock().unwrap();
+            for i in 4..10u64 {
+                ring.push(HeartbeatSample {
+                    t_ns: i * 1_000_000_000,
+                    values: [(names::RECORDS.to_string(), 300)].into_iter().collect(),
+                });
+            }
+        }
+        let server = TelemetryServer::serve("127.0.0.1:0", state).expect("bind");
+        let (status, body) = get(server.local_addr(), "/healthz");
+        assert_eq!(status, 503);
+        assert!(body.contains("\"status\":\"stalled\""), "got: {body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn done_run_reports_zero_eta() {
+        let state = test_state();
+        state.registry.gauge(names::DONE).set(1);
+        state.registry.gauge(names::HOURS_DONE).set(264);
+        let server = TelemetryServer::serve("127.0.0.1:0", state).expect("bind");
+        let (status, body) = get(server.local_addr(), "/progress");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"state\":\"done\""), "got: {body}");
+        assert!(body.contains("\"eta_s\":0.000"), "got: {body}");
+        let (status, body) = get(server.local_addr(), "/healthz");
+        assert_eq!(status, 200, "done is healthy even with flat records");
+        assert!(body.contains("\"status\":\"done\""), "got: {body}");
+        server.shutdown();
+    }
+}

@@ -20,12 +20,21 @@
 //!
 //! The [`trace`] module adds the flight recorder: per-thread ring
 //! buffers of span events with a Chrome trace-event export, for the
-//! *when* that aggregate metrics cannot answer.
+//! *when* that aggregate metrics cannot answer. The [`heartbeat`] and
+//! [`http`] modules add *live* telemetry: a background sampler that
+//! snapshots the registry on an interval (bounded ring + optional
+//! `metrics.jsonl` stream) and a tiny HTTP/1.0 scrape server exposing
+//! `/metrics`, `/metrics.json`, `/progress` and `/healthz` while a run
+//! is still in flight.
 
 #![forbid(unsafe_code)]
 
+pub mod heartbeat;
+pub mod http;
 pub mod trace;
 
+pub use heartbeat::{Heartbeat, HeartbeatConfig, HeartbeatRing, HeartbeatSample};
+pub use http::{TelemetryServer, TelemetryState};
 pub use trace::{NameId, StageLog, TraceBuf, TraceSpan, Tracer};
 
 use std::collections::BTreeMap;
@@ -192,11 +201,13 @@ impl Histogram {
     /// buckets in order finds the bucket whose cumulative count first
     /// reaches it, and the value is interpolated between that bucket's
     /// inclusive bounds by the rank's fractional position inside it.
-    /// Returns 0 for an empty histogram.
-    pub fn quantile(&self, q: f64) -> f64 {
+    /// Returns `None` for an empty histogram — there is no
+    /// distribution to take a quantile of, and emitting 0 would be
+    /// indistinguishable from a real all-zero sample.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
         let n = self.count();
         if n == 0 {
-            return 0.0;
+            return None;
         }
         let target = q.clamp(0.0, 1.0) * n as f64;
         let mut cum = 0u64;
@@ -209,11 +220,11 @@ impl Histogram {
                 let lo = bucket_floor(i) as f64;
                 let hi = bucket_bound(i) as f64;
                 let within = ((target - cum as f64) / c as f64).clamp(0.0, 1.0);
-                return lo + (hi - lo) * within;
+                return Some(lo + (hi - lo) * within);
             }
             cum += c;
         }
-        self.max() as f64
+        Some(self.max() as f64)
     }
 
     /// Non-empty buckets as `(inclusive upper bound, count)` pairs in
@@ -400,20 +411,58 @@ impl Registry {
 
     /// Compact JSON snapshot (schema `cwa-obs/v1`, names sorted).
     pub fn to_json(&self) -> String {
-        self.render(false)
+        self.render(false, None)
     }
 
     /// Pretty two-space-indented JSON snapshot.
     pub fn to_json_pretty(&self) -> String {
-        self.render(true)
+        self.render(true, None)
+    }
+
+    /// Compact JSON snapshot with a `ts_ms` wall-clock field, for
+    /// append-only heartbeat streams (`metrics.jsonl`): one snapshot
+    /// per line, each line a full self-describing cwa-obs/v1 document.
+    pub fn to_json_with_ts(&self, ts_ms: u64) -> String {
+        self.render(false, Some(ts_ms))
+    }
+
+    /// Numeric sample of every metric, for rate derivation between
+    /// consecutive snapshots: counters and gauges appear under their
+    /// registered name; timers contribute `<name>.total_ns` and
+    /// `<name>.count`; histograms contribute `<name>.count` and
+    /// `<name>.sum`.
+    pub fn sample(&self) -> BTreeMap<String, i64> {
+        let map = self.metrics.lock().expect("obs registry poisoned");
+        let clamp = |v: u64| v.min(i64::MAX as u64) as i64;
+        let mut out = BTreeMap::new();
+        for (name, metric) in map.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    out.insert(name.clone(), clamp(c.get()));
+                }
+                Metric::Gauge(g) => {
+                    out.insert(name.clone(), g.get());
+                }
+                Metric::Histogram(h) => {
+                    out.insert(format!("{name}.count"), clamp(h.count()));
+                    out.insert(format!("{name}.sum"), clamp(h.sum()));
+                }
+                Metric::Timer(t) => {
+                    out.insert(format!("{name}.total_ns"), clamp(t.total_ns()));
+                    out.insert(format!("{name}.count"), clamp(t.count()));
+                }
+            }
+        }
+        out
     }
 
     /// Prometheus text exposition (version 0.0.4) of every metric,
     /// names sorted and sanitized to the Prometheus charset (`.` and
-    /// any other invalid character become `_`). Counters gain the
-    /// conventional `_total` suffix; histograms expose cumulative
-    /// `_bucket{le=...}` series plus `_sum`/`_count`; timers expose
-    /// `_ns_total` and `_count`.
+    /// any other invalid character become `_`), label values escaped
+    /// per the exposition format (`\\`, `\"`, `\n`), every line
+    /// newline-terminated. Counters gain the conventional `_total`
+    /// suffix; histograms expose cumulative `_bucket{le=...}` series
+    /// plus `_sum`/`_count`; timers expose `_ns_total` and `_count`.
     pub fn to_prometheus(&self) -> String {
         let map = self.metrics.lock().expect("obs registry poisoned");
         let mut out = String::new();
@@ -434,7 +483,10 @@ impl Registry {
                     let mut cum = 0u64;
                     for (le, n) in h.buckets() {
                         cum += n;
-                        out.push_str(&format!("{base}_bucket{{le=\"{le}\"}} {cum}\n"));
+                        out.push_str(&format!(
+                            "{base}_bucket{{le=\"{}\"}} {cum}\n",
+                            prometheus_label_value(&le.to_string())
+                        ));
                     }
                     out.push_str(&format!(
                         "{base}_bucket{{le=\"+Inf\"}} {}\n{base}_sum {}\n{base}_count {}\n",
@@ -456,7 +508,7 @@ impl Registry {
         out
     }
 
-    fn render(&self, pretty: bool) -> String {
+    fn render(&self, pretty: bool, ts_ms: Option<u64>) -> String {
         let map = self.metrics.lock().expect("obs registry poisoned");
         let (nl, ind1, ind2, ind3, sp) = if pretty {
             ("\n", "  ", "    ", "      ", " ")
@@ -465,6 +517,9 @@ impl Registry {
         };
         let mut out = String::new();
         out.push_str(&format!("{{{nl}{ind1}\"schema\":{sp}\"cwa-obs/v1\",{nl}"));
+        if let Some(ts) = ts_ms {
+            out.push_str(&format!("{ind1}\"ts_ms\":{sp}{ts},{nl}"));
+        }
         out.push_str(&format!("{ind1}\"metrics\":{sp}{{{nl}"));
         for (i, (name, metric)) in map.iter().enumerate() {
             out.push_str(&format!("{ind2}{}:{sp}", json_string(name)));
@@ -488,18 +543,26 @@ impl Registry {
                         .map(|(le, n)| format!("{{\"le\":{sp}{le},{sp}\"count\":{sp}{n}}}"))
                         .collect::<Vec<_>>()
                         .join(&format!(",{sp}"));
+                    // An empty histogram has no distribution to
+                    // summarize: the quantile keys are omitted rather
+                    // than emitted as a fake 0 sample.
+                    let quantiles = match (h.quantile(0.50), h.quantile(0.90), h.quantile(0.99)) {
+                        (Some(p50), Some(p90), Some(p99)) => format!(
+                            "{sp}\"p50\":{sp}{},{sp}\"p90\":{sp}{},{sp}\"p99\":{sp}{},",
+                            p50.round() as u64,
+                            p90.round() as u64,
+                            p99.round() as u64,
+                        ),
+                        _ => String::new(),
+                    };
                     out.push_str(&format!(
                         "{{\"type\":{sp}\"histogram\",{sp}\"count\":{sp}{},{sp}\"sum\":{sp}{},{sp}\
-                         \"min\":{sp}{},{sp}\"max\":{sp}{},{sp}\
-                         \"p50\":{sp}{},{sp}\"p90\":{sp}{},{sp}\"p99\":{sp}{},{nl}{ind3}\
+                         \"min\":{sp}{},{sp}\"max\":{sp}{},{quantiles}{nl}{ind3}\
                          \"buckets\":{sp}[{buckets}]}}",
                         h.count(),
                         h.sum(),
                         h.min(),
                         h.max(),
-                        h.quantile(0.50).round() as u64,
-                        h.quantile(0.90).round() as u64,
-                        h.quantile(0.99).round() as u64,
                     ));
                 }
                 Metric::Timer(t) => {
@@ -527,6 +590,22 @@ impl std::fmt::Debug for Registry {
         let map = self.metrics.lock().expect("obs registry poisoned");
         write!(f, "Registry({} metrics)", map.len())
     }
+}
+
+/// Escapes a Prometheus label value per the text exposition format:
+/// backslash, double quote and newline must be backslash-escaped; all
+/// other characters (including UTF-8) pass through verbatim.
+pub(crate) fn prometheus_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Sanitizes a metric name to the Prometheus charset
@@ -604,7 +683,33 @@ mod tests {
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 0);
         assert!(h.buckets().is_empty());
-        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.quantile(0.0), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.quantile(1.0), None);
+    }
+
+    #[test]
+    fn empty_histogram_json_omits_quantile_keys() {
+        let reg = Registry::new();
+        reg.histogram("empty.sizes");
+        reg.histogram("full.sizes").record(5);
+        let as_u64 = |v: &serde_json::Value| match v {
+            serde_json::Value::Num(n) => n.as_u64(),
+            _ => None,
+        };
+        for json in [reg.to_json(), reg.to_json_pretty()] {
+            let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+            let metrics = v.get("metrics").unwrap();
+            let empty = metrics.get("empty.sizes").unwrap();
+            for key in ["p50", "p90", "p99"] {
+                assert!(empty.get(key).is_none(), "{key} present in: {json}");
+            }
+            assert_eq!(as_u64(empty.get("count").unwrap()), Some(0));
+            // 5 sits in the log2 bucket [4,7]; p50 interpolates to
+            // its midpoint 5.5, which rounds to 6.
+            let full = metrics.get("full.sizes").unwrap();
+            assert_eq!(as_u64(full.get("p50").unwrap()), Some(6));
+        }
     }
 
     #[test]
@@ -616,10 +721,10 @@ mod tests {
         for v in [4u64, 5, 6, 7] {
             h.record(v);
         }
-        assert_eq!(h.quantile(0.5), 5.5);
-        assert_eq!(h.quantile(0.99), 6.97);
-        assert_eq!(h.quantile(0.0), 4.0);
-        assert_eq!(h.quantile(1.0), 7.0);
+        assert_eq!(h.quantile(0.5), Some(5.5));
+        assert_eq!(h.quantile(0.99), Some(6.97));
+        assert_eq!(h.quantile(0.0), Some(4.0));
+        assert_eq!(h.quantile(1.0), Some(7.0));
     }
 
     #[test]
@@ -632,8 +737,8 @@ mod tests {
         for v in [1u64, 2, 2, 8] {
             h.record(v);
         }
-        assert_eq!(h.quantile(0.5), 2.5);
-        assert!((h.quantile(0.9) - 12.2).abs() < 1e-9);
+        assert_eq!(h.quantile(0.5), Some(2.5));
+        assert!((h.quantile(0.9).unwrap() - 12.2).abs() < 1e-9);
     }
 
     #[test]
@@ -673,6 +778,117 @@ mod tests {
         assert!(text.contains("phase_count 1"));
         // Deterministic: identical registries render identically.
         assert_eq!(text, reg.to_prometheus());
+    }
+
+    /// Line-level conformance with the Prometheus text exposition
+    /// format 0.0.4: trailing newline, well-formed `# TYPE` comments
+    /// with known kinds, sample names in the legal charset, numeric
+    /// values, and every sample preceded by a TYPE declaration for its
+    /// family (modulo the `_bucket`/`_sum`/`_count` histogram
+    /// suffixes).
+    #[test]
+    fn prometheus_exposition_is_line_conformant() {
+        let reg = Registry::new();
+        reg.counter("sim.shard.00.records").add(12);
+        reg.gauge("weird metric-name!\"quoted\"").set(3);
+        let h = reg.histogram("sizes");
+        h.record(0);
+        h.record(77);
+        reg.timer("phase.analyze").record(Duration::from_millis(2));
+
+        let text = reg.to_prometheus();
+        assert!(text.ends_with('\n'), "exposition must end with newline");
+
+        let name_ok = |s: &str| {
+            !s.is_empty()
+                && !s.starts_with(|c: char| c.is_ascii_digit())
+                && s.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        };
+        let mut typed: Vec<String> = Vec::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split(' ');
+                let (name, kind) = (parts.next().unwrap(), parts.next().unwrap());
+                assert!(parts.next().is_none(), "extra tokens in TYPE line: {line}");
+                assert!(name_ok(name), "bad TYPE name: {line}");
+                assert!(
+                    ["counter", "gauge", "histogram"].contains(&kind),
+                    "unknown kind: {line}"
+                );
+                assert!(!typed.contains(&name.to_string()), "duplicate TYPE: {line}");
+                typed.push(name.to_string());
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("sample line has a value");
+            assert!(value.parse::<f64>().is_ok(), "non-numeric value: {line}");
+            let name = match series.split_once('{') {
+                Some((name, labels)) => {
+                    assert!(labels.ends_with('}'), "unterminated labels: {line}");
+                    let body = &labels[..labels.len() - 1];
+                    let (key, val) = body.split_once('=').expect("label has key=value");
+                    assert!(name_ok(key), "bad label key: {line}");
+                    assert!(
+                        val.starts_with('"') && val.ends_with('"') && val.len() >= 2,
+                        "label value not quoted: {line}"
+                    );
+                    name
+                }
+                None => series,
+            };
+            assert!(name_ok(name), "bad sample name: {line}");
+            let family_typed = typed.iter().any(|t| {
+                name == t
+                    || ["_bucket", "_sum", "_count"]
+                        .iter()
+                        .any(|suf| name.strip_suffix(suf) == Some(t))
+            });
+            assert!(family_typed, "sample without TYPE declaration: {line}");
+        }
+    }
+
+    #[test]
+    fn prometheus_label_values_are_escaped() {
+        assert_eq!(prometheus_label_value("plain"), "plain");
+        assert_eq!(
+            prometheus_label_value("a\\b\"c\nd"),
+            "a\\\\b\\\"c\\nd",
+            "backslash, quote and newline must be escaped"
+        );
+    }
+
+    #[test]
+    fn registry_sample_flattens_every_kind() {
+        let reg = Registry::new();
+        reg.counter("records").add(41);
+        reg.gauge("depth").set(-3);
+        let h = reg.histogram("sizes");
+        h.record(10);
+        h.record(20);
+        reg.timer("phase").record(Duration::from_nanos(700));
+
+        let s = reg.sample();
+        assert_eq!(s.get("records"), Some(&41));
+        assert_eq!(s.get("depth"), Some(&-3));
+        assert_eq!(s.get("sizes.count"), Some(&2));
+        assert_eq!(s.get("sizes.sum"), Some(&30));
+        assert_eq!(s.get("phase.total_ns"), Some(&700));
+        assert_eq!(s.get("phase.count"), Some(&1));
+    }
+
+    #[test]
+    fn timestamped_snapshot_keeps_schema_and_parses() {
+        let reg = Registry::new();
+        reg.counter("records").add(5);
+        let line = reg.to_json_with_ts(1_720_000_000_123);
+        let v: serde_json::Value = serde_json::from_str(&line).expect("valid JSON");
+        assert_eq!(v.get("schema").and_then(|s| s.as_str()), Some("cwa-obs/v1"));
+        let ts = match v.get("ts_ms").unwrap() {
+            serde_json::Value::Num(n) => n.as_u64(),
+            _ => None,
+        };
+        assert_eq!(ts, Some(1_720_000_000_123));
+        assert!(v.get("metrics").is_some());
     }
 
     #[test]

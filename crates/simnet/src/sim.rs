@@ -361,6 +361,10 @@ impl PreparedSim {
         } else {
             let mut vantage = vantage;
             let mut model = model;
+            let progress = self
+                .metrics
+                .as_ref()
+                .map(|r| crate::vantage::ProgressGauges::new(r, timeline.hours()));
             // Serial driver: the whole day loop lives on one thread
             // (pid 0, tid 0) — produce/export/drain spans per hour.
             let tr = self.trace.as_ref().map(|t| {
@@ -385,6 +389,9 @@ impl PreparedSim {
                 sink.checkpoint();
                 if let (Some(tr), Some(start)) = (&tr, drain_start) {
                     tr.span_since(tr.drain, start);
+                }
+                if let Some(p) = &progress {
+                    p.hour_done(hour);
                 }
             }
             let truth = model.into_truth();

@@ -281,6 +281,45 @@ impl VantageMetrics {
     }
 }
 
+/// Live run-progress gauges (`sim.progress.*`), shared by the serial,
+/// parallel and sharded drivers so the `/progress` endpoint and the
+/// `watch` dashboard see the same namespace regardless of driver.
+///
+/// Totals are published at construction; `hour_done` advances the
+/// completion gauges after each simulated hour. Pure observation —
+/// gauge stores only, no feedback into the drivers.
+pub(crate) struct ProgressGauges {
+    hours_done: Arc<cwa_obs::Gauge>,
+    days_done: Arc<cwa_obs::Gauge>,
+}
+
+impl ProgressGauges {
+    /// Publishes the run's totals and zeroes the completion gauges.
+    pub(crate) fn new(registry: &Arc<Registry>, hours: u32) -> Self {
+        registry
+            .gauge("sim.progress.hours_total")
+            .set(i64::from(hours));
+        registry
+            .gauge("sim.progress.days_total")
+            .set(i64::from(hours.div_ceil(24)));
+        registry.gauge("sim.progress.done").set(0);
+        let hours_done = registry.gauge("sim.progress.hours_done");
+        hours_done.set(0);
+        let days_done = registry.gauge("sim.progress.days_done");
+        days_done.set(0);
+        ProgressGauges {
+            hours_done,
+            days_done,
+        }
+    }
+
+    /// Marks simulated hour `hour` (0-based) complete.
+    pub(crate) fn hour_done(&self, hour: u32) {
+        self.hours_done.set(i64::from(hour) + 1);
+        self.days_done.set(i64::from((hour + 1) / 24));
+    }
+}
+
 /// Pre-interned flight-recorder span names for one pipeline thread
 /// (driver, feed, or worker). Interning happens once at wiring time so
 /// the hot paths record spans with atomics only.
@@ -773,6 +812,9 @@ pub fn run_parallel_into(
     sink: &mut dyn FlowSink,
 ) -> (crate::traffic::GroundTruth, VantageRunStats) {
     let metrics = vantage.metrics.clone();
+    let progress = metrics
+        .as_ref()
+        .map(|m| ProgressGauges::new(&m.registry, hours));
     let tracer = vantage.trace.clone();
     let mut vantage = vantage;
     let driver_tr = tracer.as_ref().map(|t| {
@@ -922,6 +964,9 @@ pub fn run_parallel_into(
             if let (Some(tr), Some(start)) = (&driver_tr, drain_start) {
                 tr.span_since(tr.drain, start);
             }
+            if let Some(p) = &progress {
+                p.hour_done(hour);
+            }
         }
         for tx in &worker_txs {
             tx.send(WorkerMsg::Finish(hours.saturating_sub(1)))
@@ -1024,6 +1069,19 @@ pub fn run_sharded_into<S: FlowSink + Send>(
             })
         })
         .collect();
+    // Live progress: fleet-wide `sim.progress.*` advanced by the
+    // generator, plus a per-shard hours-done gauge advanced by each
+    // worker — a starving shard is visible as a lagging gauge.
+    let progress = metrics
+        .as_ref()
+        .map(|m| ProgressGauges::new(&m.registry, hours));
+    let shard_hours_gauges: Vec<Option<Arc<cwa_obs::Gauge>>> = (0..n_shards)
+        .map(|i| {
+            metrics
+                .as_ref()
+                .map(|m| m.registry.gauge(&format!("sim.shard.{i:02}.hours_done")))
+        })
+        .collect();
     // Trace layout: one Chrome-trace "process" per shard (pid i+1,
     // stable across runs), with the generator-side feed on tid 0 and
     // the shard worker on tid 1. Pid 0 stays the generator/study.
@@ -1084,6 +1142,7 @@ pub fn run_sharded_into<S: FlowSink + Send>(
             vp.trace = None;
             let depth = depth_gauges[i].clone();
             let idle_counter = recv_idle_counters[i].clone();
+            let hours_gauge = shard_hours_gauges[i].clone();
             let worker_tracer = tracer.clone();
             let worker_tr = tracer
                 .as_ref()
@@ -1136,6 +1195,9 @@ pub fn run_sharded_into<S: FlowSink + Send>(
                             sink.checkpoint();
                             if let (Some(tr), Some(start)) = (&worker_tr, drain_start) {
                                 tr.span_since(tr.drain, start);
+                            }
+                            if let Some(g) = &hours_gauge {
+                                g.set(i64::from(hour) + 1);
                             }
                         }
                         ShardMsg::Finish(hour) => {
@@ -1203,6 +1265,11 @@ pub fn run_sharded_into<S: FlowSink + Send>(
                     &feed_traces[shard],
                     &send_block_counters[shard],
                 );
+            }
+            // Generator-side view: this hour's events are fully fed
+            // (workers may still be draining their channels).
+            if let Some(p) = &progress {
+                p.hour_done(hour);
             }
         }
         for (shard, tx) in txs.iter().enumerate() {

@@ -52,6 +52,63 @@ EOF
 ./target/release/cwa-repro trace-summary "$TRACE_TMP" > /dev/null
 rm -f "$TRACE_TMP"
 
+echo "==> live telemetry smoke (2 shards, --serve + heartbeat jsonl)"
+HB_JSONL="$(mktemp /tmp/cwa-heartbeat.XXXXXX.jsonl)"
+TELEM_LOG="$(mktemp /tmp/cwa-telemetry.XXXXXX.log)"
+./target/release/cwa-repro study --scale 0.02 --shards 2 \
+    --serve 127.0.0.1:0 --serve-linger-ms 6000 \
+    --heartbeat-ms 100 --heartbeat-jsonl "$HB_JSONL" \
+    > /dev/null 2> "$TELEM_LOG" &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's/.*serving telemetry on \([0-9.:]*\).*/\1/p' "$TELEM_LOG" | head -n1)"
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "scrape server never announced its address"; exit 1; }
+# The registry is empty until the pipeline wires its first metrics;
+# wait for the first counter to land before asserting on content.
+WARM=""
+for _ in $(seq 1 100); do
+    if ./target/release/cwa-repro scrape "$ADDR" /metrics 2>/dev/null | grep -q '^# TYPE '; then
+        WARM=1
+        break
+    fi
+    sleep 0.1
+done
+[ -n "$WARM" ] || { echo "/metrics never produced a sample"; exit 1; }
+./target/release/cwa-repro scrape "$ADDR" /healthz      | grep -q '"status"'          || { echo "/healthz malformed"; exit 1; }
+./target/release/cwa-repro scrape "$ADDR" /metrics      | grep -q '^# TYPE '          || { echo "/metrics malformed"; exit 1; }
+./target/release/cwa-repro scrape "$ADDR" /metrics.json | grep -q '"cwa-obs/v1"'      || { echo "/metrics.json malformed"; exit 1; }
+./target/release/cwa-repro scrape "$ADDR" /progress     | grep -q '"cwa-progress/v1"' || { echo "/progress malformed"; exit 1; }
+wait "$SERVE_PID"
+python3 - "$HB_JSONL" <<'EOF'
+import json, sys
+lines = [l for l in open(sys.argv[1]) if l.strip()]
+assert len(lines) >= 3, f"heartbeat wrote only {len(lines)} samples"
+last_ts = 0
+for line in lines:
+    doc = json.loads(line)
+    assert doc["schema"] == "cwa-obs/v1", doc.get("schema")
+    assert doc["ts_ms"] >= last_ts, "timestamps regressed"
+    last_ts = doc["ts_ms"]
+assert "sim.progress.done" in lines[-1], "final sample lacks completion gauge"
+print(f"    {len(lines)} append-valid heartbeat samples; scrape endpoints answered live")
+EOF
+rm -f "$HB_JSONL" "$TELEM_LOG"
+
+echo "==> obs-diff regression gate (same-seed streaming snapshots)"
+# Wall-clock phase timers on a shared CI host are volatile, so the gate
+# uses a generous threshold; it exists to catch order-of-magnitude
+# regressions and exercise the nonzero-exit path wiring.
+OBS_A="$(mktemp /tmp/cwa-obs-a.XXXXXX.json)"
+OBS_B="$(mktemp /tmp/cwa-obs-b.XXXXXX.json)"
+./target/release/cwa-repro study --scale 0.02 --streaming --metrics "$OBS_A" > /dev/null
+./target/release/cwa-repro study --scale 0.02 --streaming --metrics "$OBS_B" > /dev/null
+./target/release/cwa-repro obs-diff "$OBS_A" "$OBS_B" --threshold 300
+rm -f "$OBS_A" "$OBS_B"
+
 echo "==> sharded speedup guard (BENCH_sharded.json)"
 # Guard against accidental serialization of the merge path: with real
 # parallel hardware, 4 shards must beat the single-threaded streaming

@@ -2,6 +2,10 @@
 //!
 //! ```text
 //! cwa-repro study [--scale S] [--seed N] [--parallel] [--streaming] [--shards N] [--out DIR] [--metrics FILE] [--trace FILE]
+//!                 [--serve ADDR] [--heartbeat-ms N] [--heartbeat-jsonl FILE] [--serve-linger-ms N]
+//! cwa-repro watch ADDR [--interval-ms N]
+//! cwa-repro scrape ADDR PATH
+//! cwa-repro obs-diff A.json B.json [--threshold PCT]
 //! cwa-repro trace-summary FILE
 //! cwa-repro dns   [--days N]
 //! cwa-repro ablation
@@ -18,6 +22,9 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("study") => study(&args[1..]),
+        Some("watch") => watch(&args[1..]),
+        Some("scrape") => scrape(&args[1..]),
+        Some("obs-diff") => obs_diff(&args[1..]),
         Some("trace-summary") => trace_summary(&args[1..]),
         Some("dns") => dns(&args[1..]),
         Some("ablation") => ablation(),
@@ -49,7 +56,24 @@ fn usage() -> String {
      \x20     --trace records a flight-recorder timeline of every pipeline\n\
      \x20     stage (produce/export/drain/filter/analyze + channel stalls)\n\
      \x20     as Chrome trace-event JSON — load it in Perfetto or summarize\n\
-     \x20     it with `cwa-repro trace-summary`\n\
+     \x20     it with `cwa-repro trace-summary`;\n\
+     \x20     --serve ADDR starts a live-telemetry HTTP server (endpoints\n\
+     \x20     /metrics, /metrics.json, /progress, /healthz) for the run's\n\
+     \x20     duration; --serve-linger-ms keeps it up after the run ends;\n\
+     \x20     --heartbeat-ms sets the sampling interval (default 250) and\n\
+     \x20     --heartbeat-jsonl streams one cwa-obs/v1 snapshot per\n\
+     \x20     heartbeat to FILE, append-only\n\
+     \x20 cwa-repro watch ADDR [--interval-ms N]\n\
+     \x20     live terminal dashboard over a --serve endpoint: polls\n\
+     \x20     /progress, renders per-shard throughput and stall ratios,\n\
+     \x20     exits when the run completes\n\
+     \x20 cwa-repro scrape ADDR PATH\n\
+     \x20     one-shot HTTP GET against a --serve endpoint (std TcpStream,\n\
+     \x20     no curl needed); prints the body, exits nonzero on non-2xx\n\
+     \x20 cwa-repro obs-diff A.json B.json [--threshold PCT]\n\
+     \x20     compare two cwa-obs/v1 snapshots metric by metric; with\n\
+     \x20     --threshold, exit nonzero when any phase.* timer regressed\n\
+     \x20     by more than PCT percent\n\
      \x20 cwa-repro trace-summary FILE\n\
      \x20     print a per-thread self-time breakdown (utilization, send\n\
      \x20     block, receive idle) of a --trace capture\n\
@@ -103,13 +127,74 @@ fn study(args: &[String]) -> ExitCode {
         }
     };
     let metrics_path = opt(args, "--metrics");
-    let registry = metrics_path
-        .as_ref()
-        .map(|_| std::sync::Arc::new(cwa_obs::Registry::new()));
+    let serve_addr = opt(args, "--serve");
+    let heartbeat_jsonl = opt(args, "--heartbeat-jsonl");
+    let heartbeat_ms: u64 = match opt(args, "--heartbeat-ms").map(|s| s.parse()) {
+        Some(Ok(ms)) if ms > 0 => ms,
+        None => 250,
+        _ => {
+            eprintln!("--heartbeat-ms must be a positive integer");
+            return ExitCode::FAILURE;
+        }
+    };
+    let linger_ms: u64 = match opt(args, "--serve-linger-ms").map(|s| s.parse()) {
+        Some(Ok(ms)) => ms,
+        None => 0,
+        Some(Err(_)) => {
+            eprintln!("--serve-linger-ms must be an integer");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Live telemetry needs a registry even without --metrics.
+    let want_registry = metrics_path.is_some() || serve_addr.is_some() || heartbeat_jsonl.is_some();
+    let registry = want_registry.then(|| std::sync::Arc::new(cwa_obs::Registry::new()));
     let trace_path = opt(args, "--trace");
     let tracer = trace_path
         .as_ref()
         .map(|_| std::sync::Arc::new(cwa_obs::Tracer::new()));
+
+    // Heartbeat sampler + scrape server, torn down after the run (and
+    // after the optional linger window that CI uses to scrape a
+    // finished run deterministically).
+    let mut heartbeat = None;
+    let mut server = None;
+    if serve_addr.is_some() || heartbeat_jsonl.is_some() {
+        let registry = registry.as_ref().expect("registry exists when serving");
+        let hb = match cwa_obs::Heartbeat::start(
+            std::sync::Arc::clone(registry),
+            cwa_obs::HeartbeatConfig {
+                interval: std::time::Duration::from_millis(heartbeat_ms),
+                capacity: 240,
+                jsonl: heartbeat_jsonl.as_ref().map(std::path::PathBuf::from),
+            },
+        ) {
+            Ok(hb) => hb,
+            Err(e) => {
+                eprintln!("cannot start heartbeat sampler: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Some(addr) = &serve_addr {
+            let state = cwa_obs::TelemetryState {
+                registry: std::sync::Arc::clone(registry),
+                ring: hb.ring(),
+                stall_heartbeats: 20,
+            };
+            match cwa_obs::TelemetryServer::serve(addr.as_str(), state) {
+                Ok(s) => {
+                    // Stderr, parseable: with `--serve 127.0.0.1:0` this
+                    // line is how scripts learn the real port.
+                    eprintln!("serving telemetry on {}", s.local_addr());
+                    server = Some(s);
+                }
+                Err(e) => {
+                    eprintln!("cannot bind telemetry server on {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        heartbeat = Some(hb);
+    }
 
     eprintln!(
         "running study at scale {scale} (seed {:#x}{}{}) …",
@@ -132,6 +217,27 @@ fn study(args: &[String]) -> ExitCode {
     } else {
         study.run()
     };
+
+    // Telemetry teardown. A successful run already set
+    // `sim.progress.done` in report assembly; set it here too so a
+    // *failed* run reads as done rather than stalled during the
+    // linger window. Linger keeps the endpoints scrapeable after the
+    // run (CI scrapes a bound-to-port-0 server without racing run
+    // completion), then the server and sampler stop cleanly.
+    if heartbeat.is_some() || server.is_some() {
+        if let Some(registry) = &registry {
+            registry.gauge("sim.progress.done").set(1);
+        }
+        if linger_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(linger_ms));
+        }
+        if let Some(s) = server.take() {
+            s.shutdown();
+        }
+        if let Some(hb) = heartbeat.take() {
+            hb.stop();
+        }
+    }
 
     // The flight recorder is written even when the study itself fails —
     // a trace of a failing run is exactly what one wants to look at.
@@ -201,6 +307,326 @@ fn study(args: &[String]) -> ExitCode {
         eprintln!("{} claim(s) outside their bands", report.failures().len());
         ExitCode::FAILURE
     }
+}
+
+/// Minimal HTTP/1.0 GET over a std `TcpStream` (the telemetry scrape
+/// client: no HTTP dependency, mirrors what the server speaks).
+/// Returns `(status, body)`.
+fn http_get(addr: &str, path: &str) -> Result<(u16, String), String> {
+    use std::io::{Read, Write};
+    let timeout = std::time::Duration::from_secs(5);
+    let sock_addr: std::net::SocketAddr = addr
+        .parse()
+        .map_err(|e| format!("bad address `{addr}`: {e}"))?;
+    let mut stream = std::net::TcpStream::connect_timeout(&sock_addr, timeout)
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .and_then(|_| stream.set_write_timeout(Some(timeout)))
+        .map_err(|e| format!("cannot configure socket: {e}"))?;
+    write!(stream, "GET {path} HTTP/1.0\r\nHost: {addr}\r\n\r\n")
+        .map_err(|e| format!("request failed: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("read failed: {e}"))?;
+    let status: u16 = response
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed response from {addr}"))?;
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+/// `cwa-repro scrape ADDR PATH` — one-shot GET, body to stdout.
+fn scrape(args: &[String]) -> ExitCode {
+    let (Some(addr), Some(path)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: cwa-repro scrape ADDR PATH   (e.g. scrape 127.0.0.1:9100 /healthz)");
+        return ExitCode::FAILURE;
+    };
+    match http_get(addr, path) {
+        Ok((status, body)) => {
+            print!("{body}");
+            if (200..300).contains(&status) {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("HTTP {status} from {addr}{path}");
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Numeric accessor for the vendored JSON value.
+fn json_num(v: Option<&serde_json::Value>) -> Option<f64> {
+    match v {
+        Some(serde_json::Value::Num(n)) => Some(n.as_f64()),
+        _ => None,
+    }
+}
+
+/// Renders one `/progress` document as a dashboard frame.
+fn render_progress_frame(doc: &serde_json::Value) -> String {
+    let state = doc.get("state").and_then(|s| s.as_str()).unwrap_or("?");
+    let num = |k: &str| json_num(doc.get(k)).unwrap_or(0.0);
+    let rate = |v: Option<f64>| match v {
+        Some(r) if r >= 0.0 => format!("{r:.0}"),
+        _ => "—".to_string(),
+    };
+    let eta = match json_num(doc.get("eta_s")) {
+        Some(s) if state != "done" => format!("ETA {s:.0}s"),
+        _ if state == "done" => "complete".to_string(),
+        _ => "ETA —".to_string(),
+    };
+    let mut out = format!(
+        "{state} | day {}/{} (hour {}/{}) | {} records | {} rec/s | {} B/s | {}\n",
+        num("days_done"),
+        num("days_total"),
+        num("hours_done"),
+        num("hours_total"),
+        num("records"),
+        rate(json_num(doc.get("records_per_s"))),
+        rate(json_num(doc.get("bytes_per_s"))),
+        eta,
+    );
+    let shards = doc
+        .get("shards")
+        .and_then(|s| s.as_array())
+        .unwrap_or_default();
+    if !shards.is_empty() {
+        out.push_str("  shard  hours     records     rec/s  block%   idle%\n");
+        for sh in shards {
+            let pct = |k: &str| match json_num(sh.get(k)) {
+                Some(r) => format!("{:.1}", 100.0 * r),
+                None => "—".to_string(),
+            };
+            out.push_str(&format!(
+                "  {:<5} {:>6} {:>11} {:>9} {:>7} {:>7}\n",
+                sh.get("shard").and_then(|s| s.as_str()).unwrap_or("?"),
+                json_num(sh.get("hours_done")).unwrap_or(0.0),
+                json_num(sh.get("records")).unwrap_or(0.0),
+                rate(json_num(sh.get("records_per_s"))),
+                pct("send_block_ratio"),
+                pct("recv_idle_ratio"),
+            ));
+        }
+    }
+    out
+}
+
+/// `cwa-repro watch ADDR` — polls `/progress` and renders a per-shard
+/// rate/stall table until the run completes (state `done`) or the
+/// endpoint goes away after at least one successful poll (run ended
+/// and the server shut down).
+fn watch(args: &[String]) -> ExitCode {
+    let Some(addr) = args.first() else {
+        eprintln!("usage: cwa-repro watch ADDR [--interval-ms N]");
+        return ExitCode::FAILURE;
+    };
+    let interval_ms: u64 = opt(args, "--interval-ms")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1000);
+    let mut successes = 0u64;
+    let mut connect_failures = 0u32;
+    loop {
+        match http_get(addr, "/progress") {
+            Ok((200, body)) => {
+                connect_failures = 0;
+                successes += 1;
+                let doc: serde_json::Value = match serde_json::from_str(&body) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        eprintln!("bad /progress payload: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                print!("{}", render_progress_frame(&doc));
+                if doc.get("state").and_then(|s| s.as_str()) == Some("done") {
+                    println!("run complete.");
+                    return ExitCode::SUCCESS;
+                }
+            }
+            Ok((status, _)) => {
+                eprintln!("HTTP {status} from {addr}/progress");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                if successes > 0 {
+                    // Watched the run and the server is gone: it ended.
+                    println!("endpoint gone after {successes} poll(s); run ended.");
+                    return ExitCode::SUCCESS;
+                }
+                connect_failures += 1;
+                if connect_failures >= 10 {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}
+
+/// Flattens a parsed cwa-obs/v1 snapshot to `name → value` exactly
+/// like `Registry::sample` does for the live registry: counters and
+/// gauges by name, timers as `.total_ns`/`.count`, histograms as
+/// `.count`/`.sum`.
+fn flatten_obs_snapshot(
+    doc: &serde_json::Value,
+) -> Result<std::collections::BTreeMap<String, i64>, String> {
+    if doc.get("schema").and_then(|s| s.as_str()) != Some("cwa-obs/v1") {
+        return Err("not a cwa-obs/v1 snapshot (missing/unknown schema)".to_string());
+    }
+    let metrics = doc
+        .get("metrics")
+        .and_then(|m| m.as_object())
+        .ok_or_else(|| "snapshot has no metrics object".to_string())?;
+    let mut out = std::collections::BTreeMap::new();
+    for (name, m) in metrics {
+        let geti = |k: &str| match m.get(k) {
+            Some(serde_json::Value::Num(n)) => n.as_i64().unwrap_or(0),
+            _ => 0,
+        };
+        match m.get("type").and_then(|t| t.as_str()).unwrap_or("") {
+            "counter" | "gauge" => {
+                out.insert(name.clone(), geti("value"));
+            }
+            "timer" => {
+                out.insert(format!("{name}.total_ns"), geti("total_ns"));
+                out.insert(format!("{name}.count"), geti("count"));
+            }
+            "histogram" => {
+                out.insert(format!("{name}.count"), geti("count"));
+                out.insert(format!("{name}.sum"), geti("sum"));
+            }
+            _ => {}
+        }
+    }
+    Ok(out)
+}
+
+/// One row of an obs-diff: values in A and B (None = absent).
+type DiffRow = (String, Option<i64>, Option<i64>);
+
+/// Joins two flattened snapshots over the union of their metric names.
+fn diff_snapshots(
+    a: &std::collections::BTreeMap<String, i64>,
+    b: &std::collections::BTreeMap<String, i64>,
+) -> Vec<DiffRow> {
+    let names: std::collections::BTreeSet<&String> = a.keys().chain(b.keys()).collect();
+    names
+        .into_iter()
+        .map(|name| (name.clone(), a.get(name).copied(), b.get(name).copied()))
+        .collect()
+}
+
+/// Relative change B vs A in percent (None when A is 0 or absent).
+fn rel_change_pct(a: Option<i64>, b: Option<i64>) -> Option<f64> {
+    match (a, b) {
+        (Some(a), Some(b)) if a != 0 => Some(100.0 * (b - a) as f64 / a.abs() as f64),
+        _ => None,
+    }
+}
+
+/// `phase.*` timer rows whose total grew by more than `threshold_pct`.
+fn phase_regressions(rows: &[DiffRow], threshold_pct: f64) -> Vec<(String, f64)> {
+    rows.iter()
+        .filter(|(name, ..)| name.starts_with("phase.") && name.ends_with(".total_ns"))
+        .filter_map(|(name, a, b)| {
+            let rel = rel_change_pct(*a, *b)?;
+            (rel > threshold_pct).then(|| (name.clone(), rel))
+        })
+        .collect()
+}
+
+/// `cwa-repro obs-diff A.json B.json [--threshold PCT]`.
+fn obs_diff(args: &[String]) -> ExitCode {
+    let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let (Some(path_a), Some(path_b)) = (files.first(), files.get(1)) else {
+        eprintln!("usage: cwa-repro obs-diff A.json B.json [--threshold PCT]");
+        return ExitCode::FAILURE;
+    };
+    let threshold: Option<f64> = match opt(args, "--threshold").map(|s| s.parse()) {
+        Some(Ok(pct)) => Some(pct),
+        None => None,
+        Some(Err(_)) => {
+            eprintln!("--threshold must be a number (percent)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let load = |path: &str| -> Result<std::collections::BTreeMap<String, i64>, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let doc: serde_json::Value =
+            serde_json::from_str(&text).map_err(|e| format!("{path} is not valid JSON: {e}"))?;
+        flatten_obs_snapshot(&doc).map_err(|e| format!("{path}: {e}"))
+    };
+    let (a, b) = match (load(path_a), load(path_b)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let rows = diff_snapshots(&a, &b);
+    let changed: Vec<&DiffRow> = rows.iter().filter(|(_, a, b)| a != b).collect();
+    println!(
+        "{} metrics compared ({} changed, {} only in A, {} only in B)",
+        rows.len(),
+        changed
+            .iter()
+            .filter(|(_, a, b)| a.is_some() && b.is_some())
+            .count(),
+        rows.iter().filter(|(_, _, b)| b.is_none()).count(),
+        rows.iter().filter(|(_, a, _)| a.is_none()).count(),
+    );
+    if !changed.is_empty() {
+        println!(
+            "{:<52} {:>16} {:>16} {:>12} {:>9}",
+            "metric", "A", "B", "delta", "rel"
+        );
+        for (name, va, vb) in &changed {
+            let fmt = |v: Option<i64>| match v {
+                Some(v) => v.to_string(),
+                None => "—".to_string(),
+            };
+            let delta = match (va, vb) {
+                (Some(a), Some(b)) => format!("{:+}", b - a),
+                _ => "—".to_string(),
+            };
+            let rel = match rel_change_pct(*va, *vb) {
+                Some(pct) => format!("{pct:+.1}%"),
+                None => "—".to_string(),
+            };
+            println!(
+                "{name:<52} {:>16} {:>16} {delta:>12} {rel:>9}",
+                fmt(*va),
+                fmt(*vb)
+            );
+        }
+    }
+
+    if let Some(threshold) = threshold {
+        let regressions = phase_regressions(&rows, threshold);
+        if regressions.is_empty() {
+            println!("no phase.* timer regressed beyond {threshold}%");
+        } else {
+            for (name, rel) in &regressions {
+                eprintln!("REGRESSION {name}: {rel:+.1}% (threshold {threshold}%)");
+            }
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 /// One (pid, tid) track's complete spans: `(ts_us, dur_us, name)`.
@@ -431,4 +857,80 @@ fn ablation() -> ExitCode {
         println!("  {label}: {:.3}x", post as f64 / pre.max(1) as f64);
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(json: &str) -> std::collections::BTreeMap<String, i64> {
+        let doc: serde_json::Value = serde_json::from_str(json).expect("valid JSON");
+        flatten_obs_snapshot(&doc).expect("valid snapshot")
+    }
+
+    const A: &str = r#"{"schema":"cwa-obs/v1","metrics":{
+        "netflow.collector.records":{"type":"counter","value":1000},
+        "queue.depth":{"type":"gauge","value":-2},
+        "sizes":{"type":"histogram","count":4,"sum":40,"min":10,"max":10,"buckets":[]},
+        "phase.analyze":{"type":"timer","count":1,"total_ns":1000000,"mean_ns":1000000}}}"#;
+
+    #[test]
+    fn flatten_matches_registry_sample_layout() {
+        let s = snapshot(A);
+        assert_eq!(s.get("netflow.collector.records"), Some(&1000));
+        assert_eq!(s.get("queue.depth"), Some(&-2));
+        assert_eq!(s.get("sizes.count"), Some(&4));
+        assert_eq!(s.get("sizes.sum"), Some(&40));
+        assert_eq!(s.get("phase.analyze.total_ns"), Some(&1_000_000));
+        assert_eq!(s.get("phase.analyze.count"), Some(&1));
+    }
+
+    #[test]
+    fn flatten_rejects_foreign_schema() {
+        let doc: serde_json::Value =
+            serde_json::from_str(r#"{"schema":"other/v2","metrics":{}}"#).unwrap();
+        assert!(flatten_obs_snapshot(&doc).is_err());
+    }
+
+    #[test]
+    fn diff_joins_over_union_of_names() {
+        let a = snapshot(A);
+        let mut b = a.clone();
+        b.insert("netflow.collector.records".into(), 1500);
+        b.remove("queue.depth");
+        b.insert("new.counter".into(), 7);
+        let rows = diff_snapshots(&a, &b);
+        let row = |name: &str| rows.iter().find(|(n, ..)| n == name).unwrap();
+        assert_eq!(row("netflow.collector.records").1, Some(1000));
+        assert_eq!(row("netflow.collector.records").2, Some(1500));
+        assert_eq!(row("queue.depth").2, None, "absent in B");
+        assert_eq!(row("new.counter").1, None, "absent in A");
+    }
+
+    #[test]
+    fn relative_change_guards_division_by_zero() {
+        assert_eq!(rel_change_pct(Some(100), Some(150)), Some(50.0));
+        assert_eq!(rel_change_pct(Some(0), Some(10)), None);
+        assert_eq!(rel_change_pct(None, Some(10)), None);
+        // Negative baseline (a gauge): relative to |A|.
+        assert_eq!(rel_change_pct(Some(-100), Some(-50)), Some(50.0));
+    }
+
+    #[test]
+    fn regression_gate_only_fires_on_phase_timers() {
+        let a = snapshot(A);
+        let mut b = a.clone();
+        // Timer doubled (+100%) and a non-phase counter exploded.
+        b.insert("phase.analyze.total_ns".into(), 2_000_000);
+        b.insert("netflow.collector.records".into(), 1_000_000);
+        let rows = diff_snapshots(&a, &b);
+        assert!(
+            phase_regressions(&rows, 150.0).is_empty(),
+            "+100% is within a 150% threshold"
+        );
+        let hits = phase_regressions(&rows, 50.0);
+        assert_eq!(hits.len(), 1, "only the phase timer counts: {hits:?}");
+        assert_eq!(hits[0].0, "phase.analyze.total_ns");
+        assert!((hits[0].1 - 100.0).abs() < 1e-9);
+    }
 }

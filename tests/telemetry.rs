@@ -1,0 +1,247 @@
+//! Live telemetry integration: the heartbeat sampler + scrape server
+//! attached to a real study run must (a) answer every endpoint with a
+//! valid response *while the run is in flight*, with `/progress`
+//! reporting nonzero per-shard throughput and a finite ETA, (b) stream
+//! an append-valid `metrics.jsonl`, and (c) never perturb the study
+//! output — serve on/off reports stay bit-identical after
+//! `strip_volatile()` across the serial and sharded drivers.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use cwa_repro::core::{Study, StudyConfig};
+use cwa_repro::obs::{Heartbeat, HeartbeatConfig, Registry, TelemetryServer, TelemetryState};
+
+/// Minimal HTTP/1.0 GET against the scrape server; returns (status, body).
+fn get(addr: std::net::SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to scrape server");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    write!(stream, "GET {path} HTTP/1.0\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn json_f64(v: &serde_json::Value, key: &str) -> Option<f64> {
+    match v.get(key)? {
+        serde_json::Value::Num(n) => Some(n.as_f64()),
+        _ => None,
+    }
+}
+
+/// Drive a 2-shard study with the full telemetry stack attached and
+/// scrape all four endpoints concurrently mid-run.
+#[test]
+fn live_endpoints_answer_during_sharded_run() {
+    let registry = Arc::new(Registry::new());
+    let dir = std::env::temp_dir();
+    let jsonl = dir.join(format!("cwa-telemetry-test-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&jsonl);
+
+    let heartbeat = Heartbeat::start(
+        Arc::clone(&registry),
+        HeartbeatConfig {
+            interval: Duration::from_millis(10),
+            capacity: 512,
+            jsonl: Some(jsonl.clone()),
+        },
+    )
+    .expect("heartbeat starts");
+    let server = TelemetryServer::serve(
+        "127.0.0.1:0",
+        TelemetryState {
+            registry: Arc::clone(&registry),
+            ring: heartbeat.ring(),
+            stall_heartbeats: 50,
+        },
+    )
+    .expect("server binds");
+    let addr = server.local_addr();
+
+    // The run is long enough (~seconds at scale 0.02) that a polling
+    // loop on this thread reliably observes the "running" state.
+    let study_registry = Arc::clone(&registry);
+    let run = thread::spawn(move || {
+        Study::new(StudyConfig::at_scale(0.02))
+            .with_metrics(study_registry)
+            .run_sharded(2)
+            .expect("sharded study succeeds")
+    });
+
+    let mut saw_midrun_rates = false;
+    let mut saw_finite_eta = false;
+    let mut saw_all_endpoints_midrun = false;
+    while !run.is_finished() {
+        let (status, body) = get(addr, "/progress");
+        assert_eq!(status, 200, "/progress answers while running");
+        let v: serde_json::Value =
+            serde_json::from_str(&body).expect("/progress body is valid JSON");
+        assert_eq!(
+            v.get("schema").and_then(|s| s.as_str()),
+            Some("cwa-progress/v1")
+        );
+        let running = v.get("state").and_then(|s| s.as_str()) == Some("running");
+        let shards = v.get("shards").and_then(|s| s.as_array()).unwrap_or(&[]);
+        if running && shards.len() == 2 {
+            let all_rates_nonzero = shards
+                .iter()
+                .all(|s| json_f64(s, "records_per_s").is_some_and(|r| r > 0.0));
+            if all_rates_nonzero {
+                saw_midrun_rates = true;
+            }
+            if json_f64(&v, "eta_s").is_some_and(f64::is_finite) {
+                saw_finite_eta = true;
+            }
+            if !saw_all_endpoints_midrun {
+                // All four endpoints answer concurrently mid-run.
+                let handles: Vec<_> = ["/metrics", "/metrics.json", "/progress", "/healthz"]
+                    .into_iter()
+                    .map(|path| thread::spawn(move || get(addr, path)))
+                    .collect();
+                let mut ok = true;
+                for (path, handle) in ["/metrics", "/metrics.json", "/progress", "/healthz"]
+                    .iter()
+                    .zip(handles)
+                {
+                    let (status, body) = handle.join().expect("scrape thread");
+                    ok &= status == 200 && !body.is_empty();
+                    match *path {
+                        "/metrics" => ok &= body.starts_with("# TYPE ") && body.ends_with('\n'),
+                        "/metrics.json" => ok &= body.contains("\"cwa-obs/v1\""),
+                        "/progress" => ok &= body.contains("\"cwa-progress/v1\""),
+                        "/healthz" => ok &= body.contains("\"ready\":true"),
+                        _ => unreachable!(),
+                    }
+                }
+                saw_all_endpoints_midrun = ok;
+            }
+        }
+        thread::sleep(Duration::from_millis(20));
+    }
+    let report = run.join().expect("study thread");
+    assert!(report.total_records > 0);
+    assert!(
+        saw_midrun_rates,
+        "both shards reported records/s > 0 mid-run"
+    );
+    assert!(saw_finite_eta, "progress reported a finite ETA mid-run");
+    assert!(
+        saw_all_endpoints_midrun,
+        "all four endpoints answered concurrently mid-run"
+    );
+
+    // After the run the driver marks completion; /progress converges.
+    registry.gauge("sim.progress.done").set(1);
+    let (status, body) = get(addr, "/progress");
+    assert_eq!(status, 200);
+    let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(v.get("state").and_then(|s| s.as_str()), Some("done"));
+    assert_eq!(json_f64(&v, "eta_s"), Some(0.0));
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"done\":true"));
+
+    server.shutdown();
+    heartbeat.stop();
+
+    // The heartbeat streamed an append-valid metrics.jsonl: every line
+    // is a standalone timestamped cwa-obs/v1 snapshot, timestamps are
+    // monotone non-decreasing, and the final line reflects the end
+    // state (progress marked done).
+    let file = std::fs::File::open(&jsonl).expect("jsonl exists");
+    let mut lines = 0u64;
+    let mut last_ts = 0u64;
+    let mut last_line = String::new();
+    for line in BufReader::new(file).lines() {
+        let line = line.expect("read jsonl line");
+        let v: serde_json::Value = serde_json::from_str(&line).expect("jsonl line parses");
+        assert_eq!(v.get("schema").and_then(|s| s.as_str()), Some("cwa-obs/v1"));
+        let ts = match v.get("ts_ms").expect("ts_ms present") {
+            serde_json::Value::Num(n) => n.as_u64().expect("ts_ms is unsigned"),
+            other => panic!("ts_ms not a number: {other:?}"),
+        };
+        assert!(ts >= last_ts, "timestamps are monotone");
+        last_ts = ts;
+        lines += 1;
+        last_line = line;
+    }
+    assert!(lines >= 3, "heartbeat wrote multiple samples, got {lines}");
+    assert!(
+        last_line.contains("\"sim.progress.done\""),
+        "final sample reflects the end state"
+    );
+    let _ = std::fs::remove_file(&jsonl);
+}
+
+/// Telemetry is observation-only: a run with the full heartbeat +
+/// scrape-server stack attached produces a report bit-identical (after
+/// `strip_volatile()`) to a bare run — for both the serial and the
+/// sharded drivers.
+#[test]
+fn telemetry_never_perturbs_reports() {
+    let run_with_telemetry = |sharded: bool| {
+        let registry = Arc::new(Registry::new());
+        let heartbeat = Heartbeat::start(
+            Arc::clone(&registry),
+            HeartbeatConfig {
+                interval: Duration::from_millis(5),
+                capacity: 64,
+                jsonl: None,
+            },
+        )
+        .expect("heartbeat starts");
+        let server = TelemetryServer::serve(
+            "127.0.0.1:0",
+            TelemetryState {
+                registry: Arc::clone(&registry),
+                ring: heartbeat.ring(),
+                stall_heartbeats: 50,
+            },
+        )
+        .expect("server binds");
+        let study = Study::new(StudyConfig::test_small()).with_metrics(registry);
+        let report = if sharded {
+            study.run_sharded(2)
+        } else {
+            study.run()
+        }
+        .expect("study succeeds");
+        server.shutdown();
+        heartbeat.stop();
+        report
+    };
+    let run_plain = |sharded: bool| {
+        let study = Study::new(StudyConfig::test_small());
+        if sharded {
+            study.run_sharded(2)
+        } else {
+            study.run()
+        }
+        .expect("study succeeds")
+    };
+
+    assert_eq!(
+        run_with_telemetry(false).strip_volatile(),
+        run_plain(false).strip_volatile(),
+        "serial: serve on == off"
+    );
+    assert_eq!(
+        run_with_telemetry(true).strip_volatile(),
+        run_plain(true).strip_volatile(),
+        "sharded(2): serve on == off"
+    );
+}
