@@ -1,0 +1,168 @@
+//! **Scenario sweep** — wall time of `run_sweep` over a small scenario
+//! matrix, serial vs. sharded, plus the cost of scenario parsing and
+//! overlay alone.
+//!
+//! The matrix deliberately includes a starved scenario (scale far below
+//! the 0.02 viability floor): starvation is the sweep's steady state,
+//! not an edge case, so the bench must pay for it. The serial and
+//! sharded tables are asserted byte-identical before any timing is
+//! reported — a sweep that disagrees with itself is not worth timing.
+//!
+//! Plain `harness = false` binary with manual timing, same as the
+//! streaming and sharded benches. Results go to `BENCH_sweep.json`.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use serde::Serialize;
+
+use cwa_core::{run_sweep, ScenarioMatrix, StudyConfig};
+
+const BASE_SCALE: f64 = 0.01;
+const REPS: usize = 3;
+
+const MATRIX: &str = r#"
+[[scenario]]
+name = "baseline"
+
+[[scenario]]
+name = "slow-logistic-launch"
+[scenario.adoption]
+family = "logistic"
+
+[[scenario]]
+name = "coarse-sampling"
+[scenario.vantage]
+sampling_interval = 1000
+
+[[scenario]]
+name = "starved-tiny-scale"
+scale = 0.004
+
+[[scenario]]
+name = "migrated-cdn"
+[scenario.cdn_migration]
+day = 3
+share_percent = 40
+
+[[scenario]]
+name = "no-outbreaks"
+remove_outbreaks = ["Berlin", "Gütersloh", "Warendorf"]
+"#;
+
+#[derive(Serialize)]
+struct SweepRow {
+    shards: usize,
+    wall_ms: f64,
+    /// Wall-time ratio `serial / sharded(n)`.
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct BenchDoc {
+    schema: &'static str,
+    generated_by: &'static str,
+    host_cpus: usize,
+    reps_per_path: usize,
+    statistic: &'static str,
+    base_scale: f64,
+    scenarios: usize,
+    starved_cells: usize,
+    parse_overlay_us: f64,
+    runs: Vec<SweepRow>,
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite wall time"));
+    xs[xs.len() / 2]
+}
+
+fn time_runs(mut f: impl FnMut() -> String) -> (f64, String) {
+    let mut walls = Vec::with_capacity(REPS);
+    let mut out = String::new();
+    for _ in 0..REPS {
+        let start = Instant::now();
+        out = black_box(f());
+        walls.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    (median(walls), out)
+}
+
+fn main() {
+    let host_cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let base = StudyConfig::at_scale(BASE_SCALE);
+    let matrix = ScenarioMatrix::parse(MATRIX).expect("bench matrix parses");
+
+    // Parse + overlay alone, amortized: the fixed cost a sweep pays
+    // before any simulation runs.
+    let start = Instant::now();
+    const PARSE_REPS: u32 = 200;
+    for _ in 0..PARSE_REPS {
+        black_box(ScenarioMatrix::parse(black_box(MATRIX)).expect("parses"));
+    }
+    let parse_overlay_us = start.elapsed().as_secs_f64() * 1e6 / f64::from(PARSE_REPS);
+
+    println!(
+        "\n=========== Scenario sweep: {} scenarios at base scale {BASE_SCALE} ({host_cpus} cpus) ===========",
+        matrix.scenarios.len()
+    );
+    println!("parse+matrix: {parse_overlay_us:.1} us");
+    println!("{:<8} {:<10} speedup", "shards", "wall ms");
+
+    let (serial_ms, serial_json) = time_runs(|| {
+        run_sweep(&matrix, &base, 1)
+            .expect("sweep failed")
+            .to_json()
+    });
+    println!("{:<8} {serial_ms:<10.1} 1.00", "1");
+    let starved_cells = serial_json.matches("\"starved\"").count();
+    assert!(
+        starved_cells > 0,
+        "the starved-tiny-scale scenario must starve at least one cell"
+    );
+
+    let mut rows = vec![SweepRow {
+        shards: 1,
+        wall_ms: (serial_ms * 1e3).round() / 1e3,
+        speedup: 1.0,
+    }];
+    for shards in [2usize, 4] {
+        let (wall_ms, json) = time_runs(|| {
+            run_sweep(&matrix, &base, shards)
+                .expect("sweep failed")
+                .to_json()
+        });
+        assert_eq!(
+            json, serial_json,
+            "survival table must be byte-identical across shard counts"
+        );
+        let speedup = serial_ms / wall_ms;
+        println!("{shards:<8} {wall_ms:<10.1} {speedup:<8.2}");
+        rows.push(SweepRow {
+            shards,
+            wall_ms: (wall_ms * 1e3).round() / 1e3,
+            speedup: (speedup * 1e3).round() / 1e3,
+        });
+    }
+
+    let doc = BenchDoc {
+        schema: "cwa-bench-sweep/v1",
+        generated_by: "cargo bench -p cwa-bench --bench sweep",
+        host_cpus,
+        reps_per_path: REPS,
+        statistic: "median wall ms",
+        base_scale: BASE_SCALE,
+        scenarios: matrix.scenarios.len(),
+        starved_cells,
+        parse_overlay_us: (parse_overlay_us * 1e3).round() / 1e3,
+        runs: rows,
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
+    let pretty = serde_json::to_string_pretty(&doc).expect("serializes");
+    match std::fs::write(path, pretty + "\n") {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+}

@@ -63,6 +63,71 @@ impl ClaimId {
     }
 }
 
+/// The analysis input cell a claim draws its measured value from. When
+/// a cell carries too little data at a small scale, the claims reading
+/// it are marked [`Verdict::Starved`] rather than pass/fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Cell {
+    /// The §2-filtered matching flow set itself.
+    Flows,
+    /// The hourly flow time series (Figure 2).
+    HourlySeries,
+    /// A geolocation window (Figure 3 / coverage / attribution).
+    GeoWindow,
+    /// The prefix-persistence distribution.
+    Persistence,
+    /// An outbreak pre/post comparison window.
+    Outbreak,
+    /// Public side data (download curve, DNS ranks) — never starves.
+    SideData,
+}
+
+/// Per-claim outcome: in band, out of band, or not evaluable because
+/// the claim's input cell lacks data at the simulated scale.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// Measured value is finite and inside the band.
+    Pass,
+    /// Measured value is finite but outside the band — a genuine
+    /// reproduction failure.
+    Fail,
+    /// The claim's input cell is starved: the value is meaningless
+    /// (sparse or NaN), not wrong. Degrades the claim instead of
+    /// aborting the whole report.
+    Starved {
+        /// Which input cell lacked data.
+        cell: Cell,
+        /// The run's §2 matching-flow count, for context.
+        matching_flows: u64,
+    },
+}
+
+impl Verdict {
+    /// True for [`Verdict::Pass`].
+    pub fn is_pass(self) -> bool {
+        matches!(self, Verdict::Pass)
+    }
+
+    /// True for [`Verdict::Fail`].
+    pub fn is_fail(self) -> bool {
+        matches!(self, Verdict::Fail)
+    }
+
+    /// True for [`Verdict::Starved`].
+    pub fn is_starved(self) -> bool {
+        matches!(self, Verdict::Starved { .. })
+    }
+
+    /// Short lowercase label for tables: "pass" / "fail" / "starved".
+    pub fn label(self) -> &'static str {
+        match self {
+            Verdict::Pass => "pass",
+            Verdict::Fail => "fail",
+            Verdict::Starved { .. } => "starved",
+        }
+    }
+}
+
 /// One evaluated claim.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Claim {
@@ -76,8 +141,11 @@ pub struct Claim {
     pub measured: f64,
     /// The acceptance band `[lo, hi]` (inclusive).
     pub band: (f64, f64),
-    /// Whether the measured value falls in the band.
+    /// Whether the measured value falls in the band (false for both
+    /// fail and starved; kept alongside `verdict` for compatibility).
     pub pass: bool,
+    /// The three-way outcome (pass / fail / starved).
+    pub verdict: Verdict,
     /// Extra context (e.g. per-state numbers).
     pub detail: String,
 }
@@ -100,8 +168,30 @@ impl Claim {
             measured,
             band,
             pass,
+            verdict: if pass { Verdict::Pass } else { Verdict::Fail },
             detail,
         }
+    }
+
+    /// Downgrades this claim to [`Verdict::Starved`] when its input
+    /// cell carries less data than `min_support` observations — or when
+    /// the measured value is not finite (a NaN from an empty window is
+    /// starvation by definition, never a reproduction failure).
+    pub fn with_starvation(
+        mut self,
+        cell: Cell,
+        support: u64,
+        min_support: u64,
+        matching_flows: u64,
+    ) -> Self {
+        if support < min_support || !self.measured.is_finite() {
+            self.pass = false;
+            self.verdict = Verdict::Starved {
+                cell,
+                matching_flows,
+            };
+        }
+        self
     }
 }
 
@@ -168,6 +258,94 @@ mod tests {
             String::new(),
         );
         assert!(c.pass);
+    }
+
+    #[test]
+    fn verdict_tracks_pass_flag() {
+        let ok = Claim::evaluate(
+            ClaimId::C2ReleaseJump,
+            "",
+            None,
+            6.0,
+            (4.0, 12.0),
+            String::new(),
+        );
+        assert_eq!(ok.verdict, Verdict::Pass);
+        assert!(ok.verdict.is_pass() && ok.pass);
+        let bad = Claim::evaluate(
+            ClaimId::C2ReleaseJump,
+            "",
+            None,
+            1.0,
+            (4.0, 12.0),
+            String::new(),
+        );
+        assert_eq!(bad.verdict, Verdict::Fail);
+        assert!(bad.verdict.is_fail() && !bad.pass);
+    }
+
+    #[test]
+    fn starvation_downgrades_low_support() {
+        let c = Claim::evaluate(
+            ClaimId::C5bCoverageDay1,
+            "",
+            None,
+            0.99,
+            (0.85, 1.01),
+            String::new(),
+        )
+        .with_starvation(Cell::GeoWindow, 3, 100, 7);
+        assert!(!c.pass, "an in-band value from starved data is not a pass");
+        assert_eq!(
+            c.verdict,
+            Verdict::Starved {
+                cell: Cell::GeoWindow,
+                matching_flows: 7
+            }
+        );
+        assert_eq!(c.verdict.label(), "starved");
+    }
+
+    #[test]
+    fn starvation_catches_nan_even_with_support() {
+        let c = Claim::evaluate(
+            ClaimId::C6aNrwVsRest,
+            "",
+            None,
+            f64::NAN,
+            (0.8, 1.25),
+            String::new(),
+        )
+        .with_starvation(Cell::Outbreak, 10_000, 100, 9);
+        assert!(c.verdict.is_starved(), "NaN is starvation, not failure");
+    }
+
+    #[test]
+    fn starvation_leaves_supported_claims_alone() {
+        let ok = Claim::evaluate(
+            ClaimId::C2ReleaseJump,
+            "",
+            None,
+            6.0,
+            (4.0, 12.0),
+            String::new(),
+        )
+        .with_starvation(Cell::HourlySeries, 500, 100, 42);
+        assert_eq!(ok.verdict, Verdict::Pass);
+        let bad = Claim::evaluate(
+            ClaimId::C2ReleaseJump,
+            "",
+            None,
+            1.0,
+            (4.0, 12.0),
+            String::new(),
+        )
+        .with_starvation(Cell::HourlySeries, 500, 100, 42);
+        assert_eq!(
+            bad.verdict,
+            Verdict::Fail,
+            "out-of-band with good support stays a failure"
+        );
     }
 
     #[test]

@@ -27,8 +27,12 @@
 
 pub mod claims;
 pub mod report;
+pub mod scenario;
 pub mod study;
+pub mod sweep;
 
-pub use claims::{Claim, ClaimId};
+pub use claims::{Cell, Claim, ClaimId, Verdict};
 pub use report::StudyReport;
+pub use scenario::{ScenarioError, ScenarioMatrix, ScenarioSpec};
 pub use study::{Study, StudyConfig, StudyError};
+pub use sweep::{run_sweep, SurvivalCell, SurvivalRow, SurvivalTable, SweepError};

@@ -4,7 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use cwa_analysis::figures::{Figure2, Figure3};
 
-use crate::claims::Claim;
+use crate::claims::{Claim, Verdict};
 use crate::study::StudyConfig;
 
 /// Wall time of one named pipeline phase.
@@ -88,9 +88,19 @@ impl StudyReport {
         report
     }
 
-    /// The failing claims, if any.
+    /// The claims with a genuine out-of-band failure ([`Verdict::Fail`]).
+    /// Starved claims are *not* failures — they carry no evidence either
+    /// way and are listed by [`starved`](StudyReport::starved) instead.
     pub fn failures(&self) -> Vec<&Claim> {
-        self.claims.iter().filter(|c| !c.pass).collect()
+        self.claims.iter().filter(|c| c.verdict.is_fail()).collect()
+    }
+
+    /// The claims whose input cell lacked data ([`Verdict::Starved`]).
+    pub fn starved(&self) -> Vec<&Claim> {
+        self.claims
+            .iter()
+            .filter(|c| c.verdict.is_starved())
+            .collect()
     }
 
     /// Renders the paper-vs-measured table plus figure summaries.
@@ -101,8 +111,12 @@ impl StudyReport {
             "records: {} total, {} matching the §2 filter (scale {})\n\n",
             self.total_records, self.matching_flows, self.config.sim.scale
         ));
-        out.push_str("id    paper                          measured      band             pass\n");
-        out.push_str("----  -----------------------------  ------------  ---------------  ----\n");
+        out.push_str(
+            "id    paper                          measured      band             verdict\n",
+        );
+        out.push_str(
+            "----  -----------------------------  ------------  ---------------  -------\n",
+        );
         for c in &self.claims {
             let paper = c
                 .paper_value
@@ -115,10 +129,27 @@ impl StudyReport {
                 format_value(c.measured),
                 format_value(c.band.0),
                 format_value(c.band.1),
-                if c.pass { "ok" } else { "FAIL" }
+                match c.verdict {
+                    Verdict::Pass => "ok",
+                    Verdict::Fail => "FAIL",
+                    Verdict::Starved { .. } => "starved",
+                }
             ));
         }
         out.push('\n');
+        let starved = self.starved();
+        if !starved.is_empty() {
+            out.push_str(&format!(
+                "{} claim(s) starved at scale {} (insufficient data, not a failure): {}\n\n",
+                starved.len(),
+                self.config.sim.scale,
+                starved
+                    .iter()
+                    .map(|c| c.id.code())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
         out.push_str("Figure 2 (hourly flows normed to min, one char per hour):\n");
         out.push_str(&self.figure2.ascii_flows(self.figure2.flows_normed.len()));
         out.push('\n');
@@ -167,7 +198,11 @@ impl StudyReport {
                 format_value(c.measured),
                 format_value(c.band.0),
                 format_value(c.band.1),
-                if c.pass { "✅" } else { "❌" }
+                match c.verdict {
+                    Verdict::Pass => "✅",
+                    Verdict::Fail => "❌",
+                    Verdict::Starved { .. } => "⚠️ starved",
+                }
             ));
         }
         out
@@ -251,6 +286,23 @@ mod tests {
         let failing = dummy_report(false);
         assert!(!failing.all_passed());
         assert_eq!(failing.failures().len(), 1);
+        assert!(failing.starved().is_empty());
+    }
+
+    #[test]
+    fn starved_claims_are_not_failures() {
+        use crate::claims::Cell;
+        let mut report = dummy_report(true);
+        report.claims[0] = report.claims[0]
+            .clone()
+            .with_starvation(Cell::GeoWindow, 0, 100, 123);
+        assert!(report.failures().is_empty(), "starved ≠ failed");
+        assert_eq!(report.starved().len(), 1);
+        assert!(!report.all_passed(), "but starved is not a pass either");
+        let text = report.render_text();
+        assert!(text.contains("starved"), "rendering names the verdict");
+        let md = report.to_markdown_rows();
+        assert!(md.contains("starved"));
     }
 
     #[test]

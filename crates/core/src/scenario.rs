@@ -1,0 +1,897 @@
+//! Config-driven scenario overlays and the TOML-subset matrix format.
+//!
+//! A *scenario* is a named set of overrides applied on top of a base
+//! [`StudyConfig`]: adoption-curve family and parameters, per-router
+//! sampling rate, extra/removed outbreaks, a CDN prefix migration,
+//! cache timeouts and the DSL reconnect policy, traffic mix, and scale.
+//! A *matrix* is a list of scenarios parsed from a TOML file; the
+//! `sweep` subcommand runs each one and tabulates which claims survive
+//! (see [`crate::sweep`]).
+//!
+//! The repository vendors no TOML crate, so this module ships a small
+//! hand-written parser for the subset the matrix format needs:
+//! `[[scenario]]` array-of-tables headers, `[scenario.sub]` sub-table
+//! headers, dotted keys, strings, integers (incl. `0x…` and `_`
+//! separators), floats, booleans, single-line string arrays, and `#`
+//! comments. Unknown keys are hard errors — a typo must not silently
+//! run the baseline.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use cwa_epidemic::AdoptionFamily;
+use cwa_geo::Germany;
+use cwa_simnet::{CdnMigration, ExtraOutbreak, ScenarioKind};
+
+use crate::study::{persistence_len_for_scale, StudyConfig};
+
+/// A structured scenario-file failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// Syntax error in the TOML subset.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// A key the scenario schema does not know.
+    UnknownKey {
+        /// The scenario's name (or its index if the name is missing).
+        scenario: String,
+        /// The offending (dotted) key.
+        key: String,
+    },
+    /// A known key with an ill-typed or out-of-range value.
+    BadValue {
+        /// The scenario's name.
+        scenario: String,
+        /// The (dotted) key.
+        key: String,
+        /// What was expected.
+        msg: String,
+    },
+    /// A district name that does not resolve in the country model.
+    UnknownDistrict {
+        /// The scenario's name.
+        scenario: String,
+        /// The unresolvable name.
+        district: String,
+    },
+    /// A structurally invalid matrix (e.g. no scenarios at all).
+    Invalid(String),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Parse { line, msg } => {
+                write!(f, "scenario file line {line}: {msg}")
+            }
+            ScenarioError::UnknownKey { scenario, key } => {
+                write!(f, "scenario '{scenario}': unknown key '{key}'")
+            }
+            ScenarioError::BadValue { scenario, key, msg } => {
+                write!(f, "scenario '{scenario}', key '{key}': {msg}")
+            }
+            ScenarioError::UnknownDistrict { scenario, district } => {
+                write!(
+                    f,
+                    "scenario '{scenario}': district '{district}' is not in the country model"
+                )
+            }
+            ScenarioError::Invalid(msg) => write!(f, "invalid scenario matrix: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// A parsed TOML-subset value.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+    List(Vec<Value>),
+}
+
+impl Value {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "string",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "boolean",
+            Value::List(_) => "array",
+        }
+    }
+}
+
+/// One scenario's overrides on top of the base configuration. Every
+/// field is optional; an empty spec is the baseline run under a
+/// different name.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ScenarioSpec {
+    /// Display name (row label in the survival table).
+    pub name: String,
+    /// Traffic scale override.
+    pub scale: Option<f64>,
+    /// Master-seed override.
+    pub seed: Option<u64>,
+    /// Base event-list variant ("paper" / "quiet" /
+    /// "outbreaks-without-news").
+    pub base: Option<ScenarioKind>,
+    /// Adoption-curve family ("bass" / "logistic" / "linear").
+    pub adoption_family: Option<AdoptionFamily>,
+    /// Adoption launch-burst override.
+    pub launch_burst: Option<f64>,
+    /// Adoption innovation-rate override.
+    pub p_innovation: Option<f64>,
+    /// Adoption imitation-rate override.
+    pub q_imitation: Option<f64>,
+    /// Adoption market-size override.
+    pub market_size: Option<f64>,
+    /// Router-fleet size override.
+    pub routers: Option<u8>,
+    /// Packet-sampling interval override (100 ⇒ 1:100).
+    pub sampling_interval: Option<u32>,
+    /// Flow-cache inactive timeout override (ms).
+    pub inactive_timeout_ms: Option<u64>,
+    /// Flow-cache active timeout override (ms).
+    pub active_timeout_ms: Option<u64>,
+    /// Background-traffic ratio override.
+    pub background_ratio: Option<f64>,
+    /// DSL reconnect policy: active-subscriber fraction override.
+    pub active_subscriber_fraction: Option<f64>,
+    /// CDN migration start day.
+    pub cdn_migration_day: Option<u32>,
+    /// CDN migration share (percent of backend flows, 0–100).
+    pub cdn_migration_share: Option<u8>,
+    /// District names whose scenario events are removed.
+    pub remove_outbreaks: Vec<String>,
+    /// Extra outbreak: district name.
+    pub extra_outbreak_district: Option<String>,
+    /// Extra outbreak: start day.
+    pub extra_outbreak_day: Option<u32>,
+    /// Extra outbreak: seed cases.
+    pub extra_outbreak_seed_cases: Option<u32>,
+    /// Extra outbreak: national media-pulse intensity (0 = unreported).
+    pub extra_outbreak_media: Option<f64>,
+}
+
+impl ScenarioSpec {
+    /// Applies the overrides to `base`, resolving district names via
+    /// `germany`. Returns the effective configuration for this row.
+    pub fn apply(
+        &self,
+        base: &StudyConfig,
+        germany: &Germany,
+    ) -> Result<StudyConfig, ScenarioError> {
+        let mut cfg = *base;
+        if let Some(scale) = self.scale {
+            cfg.sim.scale = scale;
+            cfg.persistence_prefix_len = persistence_len_for_scale(scale);
+        }
+        if let Some(seed) = self.seed {
+            cfg.sim.seed = seed;
+        }
+        if let Some(kind) = self.base {
+            cfg.sim.scenario = kind;
+        }
+        if let Some(family) = self.adoption_family {
+            cfg.sim.adoption.family = family;
+        }
+        if let Some(v) = self.launch_burst {
+            cfg.sim.adoption.launch_burst = v;
+        }
+        if let Some(v) = self.p_innovation {
+            cfg.sim.adoption.p_innovation = v;
+        }
+        if let Some(v) = self.q_imitation {
+            cfg.sim.adoption.q_imitation = v;
+        }
+        if let Some(v) = self.market_size {
+            cfg.sim.adoption.market_size = v;
+        }
+        if let Some(n) = self.routers {
+            if n == 0 {
+                return Err(ScenarioError::BadValue {
+                    scenario: self.name.clone(),
+                    key: "vantage.routers".to_owned(),
+                    msg: "the fleet needs at least one router".to_owned(),
+                });
+            }
+            cfg.sim.vantage.routers = n;
+        }
+        if let Some(v) = self.sampling_interval {
+            if v == 0 {
+                return Err(ScenarioError::BadValue {
+                    scenario: self.name.clone(),
+                    key: "vantage.sampling_interval".to_owned(),
+                    msg: "sampling interval must be ≥ 1".to_owned(),
+                });
+            }
+            cfg.sim.vantage.sampling_interval = v;
+        }
+        if let Some(v) = self.inactive_timeout_ms {
+            cfg.sim.vantage.cache.inactive_timeout_ms = v;
+        }
+        if let Some(v) = self.active_timeout_ms {
+            cfg.sim.vantage.cache.active_timeout_ms = v;
+        }
+        if let Some(v) = self.background_ratio {
+            cfg.sim.traffic.background_ratio = v;
+        }
+        if let Some(v) = self.active_subscriber_fraction {
+            cfg.sim.traffic.active_subscriber_fraction = v;
+        }
+        match (self.cdn_migration_day, self.cdn_migration_share) {
+            (None, None) => {}
+            (Some(day), Some(share)) => {
+                if share > 100 {
+                    return Err(ScenarioError::BadValue {
+                        scenario: self.name.clone(),
+                        key: "cdn_migration.share_percent".to_owned(),
+                        msg: "a percentage, 0–100".to_owned(),
+                    });
+                }
+                cfg.sim.cdn_migration = Some(CdnMigration {
+                    day,
+                    share_percent: share,
+                });
+            }
+            _ => {
+                return Err(ScenarioError::BadValue {
+                    scenario: self.name.clone(),
+                    key: "cdn_migration".to_owned(),
+                    msg: "needs both 'day' and 'share_percent'".to_owned(),
+                });
+            }
+        }
+        let mut tweaks = cfg.sim.outbreaks;
+        if self.remove_outbreaks.len() > tweaks.remove.len() {
+            return Err(ScenarioError::BadValue {
+                scenario: self.name.clone(),
+                key: "remove_outbreaks".to_owned(),
+                msg: format!("at most {} districts", tweaks.remove.len()),
+            });
+        }
+        for (slot, name) in tweaks.remove.iter_mut().zip(&self.remove_outbreaks) {
+            let district = germany
+                .by_name(name)
+                .ok_or_else(|| ScenarioError::UnknownDistrict {
+                    scenario: self.name.clone(),
+                    district: name.clone(),
+                })?;
+            *slot = Some(district.id);
+        }
+        if let Some(name) = &self.extra_outbreak_district {
+            let district = germany
+                .by_name(name)
+                .ok_or_else(|| ScenarioError::UnknownDistrict {
+                    scenario: self.name.clone(),
+                    district: name.clone(),
+                })?;
+            tweaks.extra = Some(ExtraOutbreak {
+                district: district.id,
+                day: self.extra_outbreak_day.unwrap_or(2),
+                seed_cases: self.extra_outbreak_seed_cases.unwrap_or(800),
+                media_intensity: self.extra_outbreak_media.unwrap_or(0.8),
+            });
+        } else if self.extra_outbreak_day.is_some()
+            || self.extra_outbreak_seed_cases.is_some()
+            || self.extra_outbreak_media.is_some()
+        {
+            return Err(ScenarioError::BadValue {
+                scenario: self.name.clone(),
+                key: "extra_outbreak".to_owned(),
+                msg: "needs a 'district' name".to_owned(),
+            });
+        }
+        cfg.sim.outbreaks = tweaks;
+        Ok(cfg)
+    }
+
+    fn from_table(index: usize, table: BTreeMap<String, Value>) -> Result<Self, ScenarioError> {
+        let name = match table.get("name") {
+            Some(Value::Str(s)) => s.clone(),
+            Some(v) => {
+                return Err(ScenarioError::BadValue {
+                    scenario: format!("#{index}"),
+                    key: "name".to_owned(),
+                    msg: format!("expected a string, got {}", v.type_name()),
+                })
+            }
+            None => format!("scenario-{index}"),
+        };
+        let mut spec = ScenarioSpec {
+            name: name.clone(),
+            ..ScenarioSpec::default()
+        };
+        let bad = |key: &str, msg: String| ScenarioError::BadValue {
+            scenario: name.clone(),
+            key: key.to_owned(),
+            msg,
+        };
+        let as_f64 = |key: &str, v: &Value| match v {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            other => Err(bad(
+                key,
+                format!("expected a number, got {}", other.type_name()),
+            )),
+        };
+        let as_u64 = |key: &str, v: &Value| match v {
+            Value::Int(i) if *i >= 0 => Ok(*i as u64),
+            other => Err(bad(
+                key,
+                format!("expected a non-negative integer, got {other:?}"),
+            )),
+        };
+        for (key, value) in &table {
+            match key.as_str() {
+                "name" => {}
+                "scale" => spec.scale = Some(as_f64(key, value)?),
+                "seed" => spec.seed = Some(as_u64(key, value)?),
+                "base" => {
+                    let s = match value {
+                        Value::Str(s) => s.as_str(),
+                        other => {
+                            return Err(bad(
+                                key,
+                                format!("expected a string, got {}", other.type_name()),
+                            ))
+                        }
+                    };
+                    spec.base = Some(match s {
+                        "paper" => ScenarioKind::Paper,
+                        "quiet" => ScenarioKind::Quiet,
+                        "outbreaks-without-news" => ScenarioKind::OutbreaksWithoutNews,
+                        other => {
+                            return Err(bad(
+                                key,
+                                format!(
+                                    "unknown base '{other}' (paper, quiet, outbreaks-without-news)"
+                                ),
+                            ))
+                        }
+                    });
+                }
+                "adoption.family" => {
+                    let s = match value {
+                        Value::Str(s) => s.as_str(),
+                        other => {
+                            return Err(bad(
+                                key,
+                                format!("expected a string, got {}", other.type_name()),
+                            ))
+                        }
+                    };
+                    spec.adoption_family = Some(match s {
+                        "bass" => AdoptionFamily::Bass,
+                        "logistic" => AdoptionFamily::Logistic,
+                        "linear" => AdoptionFamily::Linear,
+                        other => {
+                            return Err(bad(
+                                key,
+                                format!("unknown family '{other}' (bass, logistic, linear)"),
+                            ))
+                        }
+                    });
+                }
+                "adoption.launch_burst" => spec.launch_burst = Some(as_f64(key, value)?),
+                "adoption.p_innovation" => spec.p_innovation = Some(as_f64(key, value)?),
+                "adoption.q_imitation" => spec.q_imitation = Some(as_f64(key, value)?),
+                "adoption.market_size" => spec.market_size = Some(as_f64(key, value)?),
+                "vantage.routers" => {
+                    let v = as_u64(key, value)?;
+                    spec.routers =
+                        Some(u8::try_from(v).map_err(|_| bad(key, "at most 255".to_owned()))?);
+                }
+                "vantage.sampling_interval" => {
+                    let v = as_u64(key, value)?;
+                    spec.sampling_interval =
+                        Some(u32::try_from(v).map_err(|_| bad(key, "fits in u32".to_owned()))?);
+                }
+                "cache.inactive_timeout_ms" => spec.inactive_timeout_ms = Some(as_u64(key, value)?),
+                "cache.active_timeout_ms" => spec.active_timeout_ms = Some(as_u64(key, value)?),
+                "traffic.background_ratio" => spec.background_ratio = Some(as_f64(key, value)?),
+                "traffic.active_subscriber_fraction" => {
+                    spec.active_subscriber_fraction = Some(as_f64(key, value)?)
+                }
+                "cdn_migration.day" => {
+                    let v = as_u64(key, value)?;
+                    spec.cdn_migration_day =
+                        Some(u32::try_from(v).map_err(|_| bad(key, "fits in u32".to_owned()))?);
+                }
+                "cdn_migration.share_percent" => {
+                    let v = as_u64(key, value)?;
+                    spec.cdn_migration_share = Some(
+                        u8::try_from(v).map_err(|_| bad(key, "a percentage, 0–100".to_owned()))?,
+                    );
+                }
+                "remove_outbreaks" => {
+                    let list = match value {
+                        Value::List(items) => items,
+                        other => {
+                            return Err(bad(
+                                key,
+                                format!(
+                                    "expected an array of district names, got {}",
+                                    other.type_name()
+                                ),
+                            ))
+                        }
+                    };
+                    for item in list {
+                        match item {
+                            Value::Str(s) => spec.remove_outbreaks.push(s.clone()),
+                            other => {
+                                return Err(bad(
+                                    key,
+                                    format!(
+                                        "district names must be strings, got {}",
+                                        other.type_name()
+                                    ),
+                                ))
+                            }
+                        }
+                    }
+                }
+                "extra_outbreak.district" => {
+                    spec.extra_outbreak_district = Some(match value {
+                        Value::Str(s) => s.clone(),
+                        other => {
+                            return Err(bad(
+                                key,
+                                format!("expected a string, got {}", other.type_name()),
+                            ))
+                        }
+                    });
+                }
+                "extra_outbreak.day" => {
+                    let v = as_u64(key, value)?;
+                    spec.extra_outbreak_day =
+                        Some(u32::try_from(v).map_err(|_| bad(key, "fits in u32".to_owned()))?);
+                }
+                "extra_outbreak.seed_cases" => {
+                    let v = as_u64(key, value)?;
+                    spec.extra_outbreak_seed_cases =
+                        Some(u32::try_from(v).map_err(|_| bad(key, "fits in u32".to_owned()))?);
+                }
+                "extra_outbreak.media_intensity" => {
+                    spec.extra_outbreak_media = Some(as_f64(key, value)?)
+                }
+                unknown => {
+                    return Err(ScenarioError::UnknownKey {
+                        scenario: name,
+                        key: unknown.to_owned(),
+                    })
+                }
+            }
+        }
+        Ok(spec)
+    }
+}
+
+/// A parsed scenario matrix: the ordered list of rows a sweep runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioMatrix {
+    /// The scenarios, in file order.
+    pub scenarios: Vec<ScenarioSpec>,
+}
+
+impl ScenarioMatrix {
+    /// Parses a matrix from the TOML-subset text format.
+    pub fn parse(text: &str) -> Result<Self, ScenarioError> {
+        let tables = parse_toml_subset(text)?;
+        if tables.is_empty() {
+            return Err(ScenarioError::Invalid(
+                "no [[scenario]] tables found".to_owned(),
+            ));
+        }
+        let mut scenarios = Vec::with_capacity(tables.len());
+        for (i, table) in tables.into_iter().enumerate() {
+            scenarios.push(ScenarioSpec::from_table(i, table)?);
+        }
+        let mut names: Vec<&str> = scenarios.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        if names.len() != scenarios.len() {
+            return Err(ScenarioError::Invalid(
+                "scenario names must be unique".to_owned(),
+            ));
+        }
+        Ok(ScenarioMatrix { scenarios })
+    }
+}
+
+/// Parses the `[[scenario]]` TOML subset into one flat dotted-key table
+/// per scenario.
+fn parse_toml_subset(text: &str) -> Result<Vec<BTreeMap<String, Value>>, ScenarioError> {
+    let mut tables: Vec<BTreeMap<String, Value>> = Vec::new();
+    // Dotted prefix from the last `[scenario.sub]` header.
+    let mut prefix = String::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: String| ScenarioError::Parse { line: lineno, msg };
+        if let Some(header) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
+            if header.trim() != "scenario" {
+                return Err(err(format!(
+                    "unknown table array '[[{}]]' (only [[scenario]] is supported)",
+                    header.trim()
+                )));
+            }
+            tables.push(BTreeMap::new());
+            prefix.clear();
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            let header = header.trim();
+            let sub = header.strip_prefix("scenario.").ok_or_else(|| {
+                err(format!(
+                    "unknown table '[{header}]' (use [scenario.<section>] after a [[scenario]])"
+                ))
+            })?;
+            if tables.is_empty() {
+                return Err(err(format!("'[{header}]' before the first [[scenario]]")));
+            }
+            prefix = format!("{sub}.");
+            continue;
+        }
+        let (key, value_src) = line
+            .split_once('=')
+            .ok_or_else(|| err(format!("expected 'key = value', got '{line}'")))?;
+        let key = key.trim();
+        if key.is_empty()
+            || !key
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        {
+            return Err(err(format!("invalid key '{key}'")));
+        }
+        let table = tables
+            .last_mut()
+            .ok_or_else(|| err("key before the first [[scenario]]".to_owned()))?;
+        let value = parse_value(value_src.trim()).map_err(&err)?;
+        let full_key = format!("{prefix}{key}");
+        if table.insert(full_key.clone(), value).is_some() {
+            return Err(err(format!("duplicate key '{full_key}'")));
+        }
+    }
+    Ok(tables)
+}
+
+/// Strips a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(src: &str) -> Result<Value, String> {
+    if src.is_empty() {
+        return Err("missing value".to_owned());
+    }
+    if let Some(body) = src.strip_prefix('[') {
+        let body = body
+            .strip_suffix(']')
+            .ok_or_else(|| "unterminated array (arrays must be single-line)".to_owned())?;
+        let mut items = Vec::new();
+        for part in split_array_items(body)? {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            items.push(parse_value(part)?);
+        }
+        return Ok(Value::List(items));
+    }
+    if src.starts_with('"') {
+        return parse_string(src).map(Value::Str);
+    }
+    match src {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    let cleaned: String = src.chars().filter(|&c| c != '_').collect();
+    if let Some(hex) = cleaned
+        .strip_prefix("0x")
+        .or_else(|| cleaned.strip_prefix("0X"))
+    {
+        return i64::from_str_radix(hex, 16)
+            .map(Value::Int)
+            .map_err(|_| format!("invalid hex integer '{src}'"));
+    }
+    if cleaned.contains('.') || cleaned.contains('e') || cleaned.contains('E') {
+        return cleaned
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| format!("invalid float '{src}'"));
+    }
+    cleaned
+        .parse::<i64>()
+        .map(Value::Int)
+        .map_err(|_| format!("invalid value '{src}'"))
+}
+
+/// Splits array items at top-level commas (commas inside strings don't
+/// count).
+fn split_array_items(body: &str) -> Result<Vec<&str>, String> {
+    let mut items = Vec::new();
+    let mut start = 0usize;
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in body.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            ',' if !in_str => {
+                items.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if in_str {
+        return Err("unterminated string in array".to_owned());
+    }
+    items.push(&body[start..]);
+    Ok(items)
+}
+
+fn parse_string(src: &str) -> Result<String, String> {
+    let inner = src
+        .strip_prefix('"')
+        .ok_or_else(|| "expected a string".to_owned())?;
+    let mut out = String::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                let rest: String = chars.collect();
+                if !rest.trim().is_empty() {
+                    return Err(format!("trailing garbage after string: '{rest}'"));
+                }
+                return Ok(out);
+            }
+            '\\' => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                other => return Err(format!("unsupported escape '\\{other:?}'")),
+            },
+            c => out.push(c),
+        }
+    }
+    Err("unterminated string".to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXAMPLE: &str = r#"
+# The matrix the walkthrough uses.
+[[scenario]]
+name = "baseline"
+
+[[scenario]]
+name = "slow-news-launch"
+[scenario.adoption]
+family = "logistic"
+
+[[scenario]]
+name = "coarse-sampling"
+vantage.sampling_interval = 100  # 1:100 instead of 1:1000
+seed = 0x2020_0616
+
+[[scenario]]
+name = "migrated-cdn"
+cdn_migration.day = 5
+cdn_migration.share_percent = 60
+
+[[scenario]]
+name = "no-outbreaks"
+remove_outbreaks = ["Berlin", "Gütersloh", "Warendorf"]
+
+[[scenario]]
+name = "muenchen-outbreak"
+[scenario.extra_outbreak]
+district = "München"
+day = 4
+seed_cases = 900
+media_intensity = 1.2
+"#;
+
+    #[test]
+    fn parses_the_example_matrix() {
+        let matrix = ScenarioMatrix::parse(EXAMPLE).unwrap();
+        assert_eq!(matrix.scenarios.len(), 6);
+        assert_eq!(matrix.scenarios[0].name, "baseline");
+        assert_eq!(
+            matrix.scenarios[0],
+            ScenarioSpec {
+                name: "baseline".to_owned(),
+                ..ScenarioSpec::default()
+            }
+        );
+        assert_eq!(
+            matrix.scenarios[1].adoption_family,
+            Some(AdoptionFamily::Logistic)
+        );
+        assert_eq!(matrix.scenarios[2].sampling_interval, Some(100));
+        assert_eq!(matrix.scenarios[2].seed, Some(0x2020_0616));
+        assert_eq!(matrix.scenarios[3].cdn_migration_day, Some(5));
+        assert_eq!(matrix.scenarios[3].cdn_migration_share, Some(60));
+        assert_eq!(
+            matrix.scenarios[4].remove_outbreaks,
+            vec!["Berlin", "Gütersloh", "Warendorf"]
+        );
+        assert_eq!(
+            matrix.scenarios[5].extra_outbreak_district.as_deref(),
+            Some("München")
+        );
+        assert_eq!(matrix.scenarios[5].extra_outbreak_day, Some(4));
+    }
+
+    #[test]
+    fn unknown_key_is_an_error() {
+        let err = ScenarioMatrix::parse("[[scenario]]\nname = \"x\"\nscael = 0.1\n").unwrap_err();
+        assert_eq!(
+            err,
+            ScenarioError::UnknownKey {
+                scenario: "x".to_owned(),
+                key: "scael".to_owned()
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_section_is_an_error() {
+        let err = ScenarioMatrix::parse("[[scenario]]\n[scenario.adoptoin]\nfamily = \"bass\"\n")
+            .unwrap_err();
+        assert!(
+            matches!(err, ScenarioError::UnknownKey { ref key, .. } if key == "adoptoin.family")
+        );
+    }
+
+    #[test]
+    fn empty_matrix_is_an_error() {
+        assert!(matches!(
+            ScenarioMatrix::parse("# nothing here\n"),
+            Err(ScenarioError::Invalid(_))
+        ));
+        assert!(matches!(
+            ScenarioMatrix::parse("scale = 0.1\n"),
+            Err(ScenarioError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let text = "[[scenario]]\nname = \"a\"\n[[scenario]]\nname = \"a\"\n";
+        assert!(matches!(
+            ScenarioMatrix::parse(text),
+            Err(ScenarioError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn value_types() {
+        let t = "[[scenario]]\nname = \"v\"\nscale = 0.01\nseed = 1_000\nbase = \"quiet\"\n";
+        let m = ScenarioMatrix::parse(t).unwrap();
+        assert_eq!(m.scenarios[0].scale, Some(0.01));
+        assert_eq!(m.scenarios[0].seed, Some(1000));
+        assert_eq!(m.scenarios[0].base, Some(ScenarioKind::Quiet));
+    }
+
+    #[test]
+    fn comments_respect_strings() {
+        let t = "[[scenario]]\nname = \"has # hash\" # real comment\n";
+        let m = ScenarioMatrix::parse(t).unwrap();
+        assert_eq!(m.scenarios[0].name, "has # hash");
+    }
+
+    #[test]
+    fn apply_overlays_the_base_config() {
+        let germany = Germany::build();
+        let base = StudyConfig::test_small();
+        let matrix = ScenarioMatrix::parse(EXAMPLE).unwrap();
+
+        let baseline = matrix.scenarios[0].apply(&base, &germany).unwrap();
+        assert_eq!(baseline, base, "an empty spec is the identity");
+
+        let logistic = matrix.scenarios[1].apply(&base, &germany).unwrap();
+        assert_eq!(logistic.sim.adoption.family, AdoptionFamily::Logistic);
+
+        let coarse = matrix.scenarios[2].apply(&base, &germany).unwrap();
+        assert_eq!(coarse.sim.vantage.sampling_interval, 100);
+
+        let migrated = matrix.scenarios[3].apply(&base, &germany).unwrap();
+        assert_eq!(
+            migrated.sim.cdn_migration,
+            Some(CdnMigration {
+                day: 5,
+                share_percent: 60
+            })
+        );
+
+        let removed = matrix.scenarios[4].apply(&base, &germany).unwrap();
+        let removed_ids: Vec<_> = removed.sim.outbreaks.remove.iter().flatten().collect();
+        assert_eq!(removed_ids.len(), 3);
+
+        let extra = matrix.scenarios[5].apply(&base, &germany).unwrap();
+        let ob = extra.sim.outbreaks.extra.unwrap();
+        assert_eq!(ob.day, 4);
+        assert_eq!(ob.seed_cases, 900);
+        assert_eq!(
+            germany.districts()[usize::from(ob.district.0)].name,
+            "München"
+        );
+    }
+
+    #[test]
+    fn apply_rejects_unknown_district() {
+        let germany = Germany::build();
+        let base = StudyConfig::test_small();
+        let m = ScenarioMatrix::parse(
+            "[[scenario]]\nname = \"x\"\nremove_outbreaks = [\"Atlantis\"]\n",
+        )
+        .unwrap();
+        assert!(matches!(
+            m.scenarios[0].apply(&base, &germany),
+            Err(ScenarioError::UnknownDistrict { .. })
+        ));
+    }
+
+    #[test]
+    fn apply_rescales_persistence_granularity() {
+        let germany = Germany::build();
+        let base = StudyConfig::default();
+        let m = ScenarioMatrix::parse("[[scenario]]\nname = \"tiny\"\nscale = 0.005\n").unwrap();
+        let cfg = m.scenarios[0].apply(&base, &germany).unwrap();
+        assert_eq!(cfg.sim.scale, 0.005);
+        assert_eq!(
+            cfg.persistence_prefix_len,
+            persistence_len_for_scale(0.005),
+            "scale override re-derives the prefix length"
+        );
+    }
+
+    #[test]
+    fn half_specified_migration_rejected() {
+        let germany = Germany::build();
+        let base = StudyConfig::test_small();
+        let m =
+            ScenarioMatrix::parse("[[scenario]]\nname = \"x\"\ncdn_migration.day = 3\n").unwrap();
+        assert!(matches!(
+            m.scenarios[0].apply(&base, &germany),
+            Err(ScenarioError::BadValue { .. })
+        ));
+    }
+}

@@ -20,9 +20,28 @@ use cwa_geo::{DistrictId, Germany, UrbanClass};
 use crate::events::Scenario;
 use crate::timeline::{Timeline, RELEASE_HOUR};
 
+/// Which adoption-curve family the model integrates. The paper's
+/// history is Bass-with-burst; the other families exist for scenario
+/// sweeps asking "which claims survive if Germany had adopted the app
+/// differently?".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AdoptionFamily {
+    /// Bass diffusion with a decaying launch burst (the calibrated
+    /// default that matches the store download milestones).
+    Bass,
+    /// Logistic growth: no launch burst, pure innovation + imitation.
+    /// A slow-news launch — the 36 h milestone cannot be met.
+    Logistic,
+    /// Constant-rate installs: `p_innovation × market_size` per day
+    /// (media-modulated), capped at the market size.
+    Linear,
+}
+
 /// Bass-with-burst adoption parameters (rates are per day).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AdoptionConfig {
+    /// The curve family to integrate.
+    pub family: AdoptionFamily,
     /// Potential market size (people who would ever install), persons.
     pub market_size: f64,
     /// Peak innovation rate at release.
@@ -40,6 +59,7 @@ pub struct AdoptionConfig {
 impl Default for AdoptionConfig {
     fn default() -> Self {
         AdoptionConfig {
+            family: AdoptionFamily::Bass,
             market_size: 20.0e6,
             launch_burst: 0.34,
             burst_decay_days: 1.5,
@@ -107,12 +127,22 @@ impl AdoptionModel {
 
         for h in 0..hours {
             if h >= RELEASE_HOUR {
-                let t_since_release_days = f64::from(h - RELEASE_HOUR) / 24.0;
-                let p = cfg.launch_burst * (-t_since_release_days / cfg.burst_decay_days).exp()
-                    + cfg.p_innovation;
                 let media = scenario.national_media_factor(h);
-                let rate_per_day =
-                    (p + cfg.q_imitation * d / cfg.market_size) * (cfg.market_size - d) * media;
+                let rate_per_day = match cfg.family {
+                    AdoptionFamily::Bass => {
+                        let t_since_release_days = f64::from(h - RELEASE_HOUR) / 24.0;
+                        let p = cfg.launch_burst
+                            * (-t_since_release_days / cfg.burst_decay_days).exp()
+                            + cfg.p_innovation;
+                        (p + cfg.q_imitation * d / cfg.market_size) * (cfg.market_size - d) * media
+                    }
+                    AdoptionFamily::Logistic => {
+                        (cfg.p_innovation + cfg.q_imitation * d / cfg.market_size)
+                            * (cfg.market_size - d)
+                            * media
+                    }
+                    AdoptionFamily::Linear => cfg.p_innovation * cfg.market_size * media,
+                };
                 d = (d + rate_per_day / 24.0).min(cfg.market_size);
             }
             cumulative.push(d);
@@ -258,5 +288,46 @@ mod tests {
     fn clamps_beyond_curve() {
         let (_, c) = curve();
         assert_eq!(c.downloads_at(10_000_000), *c.cumulative.last().unwrap());
+    }
+
+    fn family_curve(family: AdoptionFamily) -> AdoptionCurve {
+        let g = Germany::build();
+        let plan = AddressPlan::build(&g, AddressPlanConfig::default());
+        let gt = plan
+            .isps
+            .iter()
+            .find(|i| i.ground_truth_routers)
+            .unwrap()
+            .id;
+        let scenario = Scenario::paper_default(&g, gt);
+        AdoptionModel::new(AdoptionConfig {
+            family,
+            ..AdoptionConfig::default()
+        })
+        .run(&g, &scenario, Timeline::through_july())
+    }
+
+    #[test]
+    fn logistic_misses_the_36h_milestone() {
+        let bass = family_curve(AdoptionFamily::Bass);
+        let logistic = family_curve(AdoptionFamily::Logistic);
+        assert!(
+            logistic.downloads_at(MILESTONE_36H_HOUR)
+                < bass.downloads_at(MILESTONE_36H_HOUR) * 0.25,
+            "without the launch burst the day-one spike disappears"
+        );
+        for w in logistic.cumulative.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn linear_is_constant_rate_outside_media_pulses() {
+        let c = family_curve(AdoptionFamily::Linear);
+        // Hours 30 and 31 sit after release and before the first pulse:
+        // identical hourly increments.
+        let inc = |h: u32| c.downloads_at(h + 1) - c.downloads_at(h);
+        assert!((inc(30) - inc(31)).abs() < 1e-6);
+        assert!(c.cumulative.last().unwrap() <= &AdoptionConfig::default().market_size);
     }
 }

@@ -38,7 +38,7 @@ pub mod timeline;
 pub mod uploads;
 
 pub use activity::ActivityModel;
-pub use adoption::{AdoptionConfig, AdoptionCurve, AdoptionModel};
+pub use adoption::{AdoptionConfig, AdoptionCurve, AdoptionFamily, AdoptionModel};
 pub use events::{EventKind, Scenario, ScenarioEvent};
 pub use seir::{EpidemicConfig, EpidemicModel, EpidemicRun};
 pub use timeline::{StudyDay, Timeline};

@@ -31,6 +31,23 @@ pub const API_DNS_NAME: &str = "svc90.cwa-cdn.example-telekom.de";
 /// DNS name of the project website (modelled on `www.coronawarn.app`).
 pub const WEBSITE_DNS_NAME: &str = "www.coronawarn-app.example.de";
 
+/// The undocumented prefix CWA backend traffic migrates to under a
+/// [`CdnMigration`] scenario. Deliberately *not* in
+/// [`CdnConfig::service_prefixes`]: the §2 filter only knows the
+/// documented prefixes, so migrated flows escape it — the scenario
+/// models the measurement methodology silently going stale.
+pub const MIGRATION_PREFIX: (Ipv4Addr, u8) = (Ipv4Addr::new(198, 51, 100, 0), 24);
+
+/// A scenario overlay: from `day` on, a share of CWA backend traffic is
+/// served from [`MIGRATION_PREFIX`] instead of the documented prefixes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CdnMigration {
+    /// First study day (0-based) the migration is active.
+    pub day: u32,
+    /// Percentage (0–100) of backend flows served from the new prefix.
+    pub share_percent: u8,
+}
+
 /// The CDN address plan and serving parameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CdnConfig {
@@ -38,6 +55,8 @@ pub struct CdnConfig {
     pub service_prefixes: [(Ipv4Addr, u8); 2],
     /// Number of distinct server addresses used per prefix.
     pub servers_per_prefix: u8,
+    /// Optional mid-study migration to an undocumented prefix.
+    pub migration: Option<CdnMigration>,
 }
 
 impl Default for CdnConfig {
@@ -49,6 +68,7 @@ impl Default for CdnConfig {
                 (Ipv4Addr::new(185, 139, 96, 0), 22),
             ],
             servers_per_prefix: 8,
+            migration: None,
         }
     }
 }
@@ -60,6 +80,19 @@ impl CdnConfig {
         let (net, _len) = self.service_prefixes[(selector % 2) as usize];
         let host = 1 + (selector / 2) % u64::from(self.servers_per_prefix);
         Ipv4Addr::from(u32::from(net) + host as u32)
+    }
+
+    /// Like [`server_for`](CdnConfig::server_for), but day-aware: once a
+    /// configured [`CdnMigration`] is active, the migrated share of
+    /// selectors is served from [`MIGRATION_PREFIX`].
+    pub fn server_for_day(&self, selector: u64, day: u32) -> Ipv4Addr {
+        if let Some(m) = self.migration {
+            if day >= m.day && selector % 100 < u64::from(m.share_percent) {
+                let host = 1 + (selector / 100) % u64::from(self.servers_per_prefix);
+                return Ipv4Addr::from(u32::from(MIGRATION_PREFIX.0) + host as u32);
+            }
+        }
+        self.server_for(selector)
     }
 
     /// True if `addr` belongs to one of the service prefixes.
@@ -163,5 +196,46 @@ mod tests {
     #[test]
     fn dns_names_differ() {
         assert_ne!(API_DNS_NAME, WEBSITE_DNS_NAME);
+    }
+
+    #[test]
+    fn migration_moves_share_off_documented_prefixes() {
+        let cdn = CdnConfig {
+            migration: Some(CdnMigration {
+                day: 5,
+                share_percent: 40,
+            }),
+            ..CdnConfig::default()
+        };
+        // Before the migration day: identical to server_for.
+        for sel in 0..200u64 {
+            assert_eq!(cdn.server_for_day(sel, 4), cdn.server_for(sel));
+        }
+        // From the migration day on: exactly share_percent of selectors
+        // land in the undocumented prefix, which the §2 filter misses.
+        let migrated = (0..200u64)
+            .filter(|&s| {
+                let addr = cdn.server_for_day(s, 5);
+                cwa_netflow::flow::in_prefix(addr, MIGRATION_PREFIX.0, MIGRATION_PREFIX.1)
+            })
+            .count();
+        assert_eq!(migrated, 80);
+        for sel in 0..200u64 {
+            let addr = cdn.server_for_day(sel, 7);
+            let documented = cdn.is_service_addr(addr);
+            let undocumented =
+                cwa_netflow::flow::in_prefix(addr, MIGRATION_PREFIX.0, MIGRATION_PREFIX.1);
+            assert!(documented ^ undocumented, "selector {sel} in exactly one");
+        }
+    }
+
+    #[test]
+    fn no_migration_is_a_noop() {
+        let cdn = CdnConfig::default();
+        for sel in 0..100u64 {
+            for day in [0, 5, 10] {
+                assert_eq!(cdn.server_for_day(sel, day), cdn.server_for(sel));
+            }
+        }
     }
 }

@@ -44,9 +44,12 @@ pub mod stats;
 pub mod traffic;
 pub mod vantage;
 
-pub use cdn::CdnConfig;
+pub use cdn::{CdnConfig, CdnMigration, MIGRATION_PREFIX};
 pub use dns::{DnsStudy, TopListModel};
-pub use sim::{PreparedSim, SimConfig, SimOutput, Simulation};
+pub use sim::{
+    ExtraOutbreak, OutbreakTweaks, PreparedSim, ScenarioKind, SimConfig, SimOutput, Simulation,
+    TrafficTuning,
+};
 pub use traffic::{GroundTruth, TrafficConfig};
 pub use vantage::{
     run_sharded_into, shard_keys, ExportFormat, IspSideEntry, ShardKeyMode, VantageConfig,

@@ -14,14 +14,14 @@ use serde::{Deserialize, Serialize};
 
 use cwa_epidemic::{
     ActivityModel, AdoptionConfig, AdoptionCurve, AdoptionModel, EpidemicConfig, EpidemicModel,
-    Scenario, Timeline, UploadConfig, UploadPipeline,
+    EventKind, Scenario, ScenarioEvent, Timeline, UploadConfig, UploadPipeline,
 };
-use cwa_geo::{AddressPlan, AddressPlanConfig, GeoDb, GeoDbConfig, Germany, IspId};
+use cwa_geo::{AddressPlan, AddressPlanConfig, DistrictId, GeoDb, GeoDbConfig, Germany, IspId};
 use cwa_netflow::anonymize::CryptoPan;
 use cwa_netflow::flow::FlowRecord;
 use cwa_netflow::sink::FlowSink;
 
-use crate::cdn::CdnConfig;
+use crate::cdn::{CdnConfig, CdnMigration};
 use crate::dns::{run_dns_study, DnsStudy, TopListModel};
 use crate::traffic::{GroundTruth, TrafficConfig, TrafficModel};
 use crate::vantage::{
@@ -38,6 +38,81 @@ pub enum ScenarioKind {
     OutbreaksWithoutNews,
     /// Nothing happens at all (baseline).
     Quiet,
+}
+
+/// The scenario-tunable slice of the traffic generator's configuration
+/// (the rest of [`TrafficConfig`] is calibration, not scenario).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrafficTuning {
+    /// Background (non-CWA) flow volume as a ratio of CWA volume.
+    pub background_ratio: f64,
+    /// Fraction of a prefix's subscriber capacity active on a given day
+    /// (the DSL reconnect / address-churn policy knob).
+    pub active_subscriber_fraction: f64,
+}
+
+impl Default for TrafficTuning {
+    fn default() -> Self {
+        TrafficTuning {
+            background_ratio: 0.6,
+            active_subscriber_fraction: 0.45,
+        }
+    }
+}
+
+/// One synthetic outbreak added on top of the base scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExtraOutbreak {
+    /// Affected district.
+    pub district: DistrictId,
+    /// Study day (0-based) the outbreak starts.
+    pub day: u32,
+    /// Extra exposed individuals introduced on the start day.
+    pub seed_cases: u32,
+    /// Intensity of the accompanying *national* media pulse
+    /// (0 ⇒ the outbreak goes unreported).
+    pub media_intensity: f64,
+}
+
+/// Scenario-overlay edits to the base event list: remove all events
+/// anchored to named districts and/or add one synthetic outbreak.
+/// Fixed-size so [`SimConfig`] stays `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct OutbreakTweaks {
+    /// Districts whose events (seeds *and* media pulses) are dropped.
+    pub remove: [Option<DistrictId>; 4],
+    /// An additional outbreak, if any.
+    pub extra: Option<ExtraOutbreak>,
+}
+
+impl OutbreakTweaks {
+    /// Applies the tweaks to a built scenario.
+    pub fn apply(&self, scenario: &mut Scenario) {
+        scenario
+            .events
+            .retain(|ev| !self.remove.iter().flatten().any(|d| *d == ev.district));
+        if let Some(extra) = self.extra {
+            scenario.events.push(ScenarioEvent {
+                day: extra.day,
+                district: extra.district,
+                kind: EventKind::OutbreakSeed {
+                    seed_cases: extra.seed_cases,
+                },
+            });
+            if extra.media_intensity > 0.0 {
+                scenario.events.push(ScenarioEvent {
+                    day: extra.day,
+                    district: extra.district,
+                    kind: EventKind::MediaPulse {
+                        intensity: extra.media_intensity,
+                        decay_days: 2.5,
+                        national: true,
+                        isp_only: None,
+                    },
+                });
+            }
+        }
+    }
 }
 
 /// Full simulation configuration.
@@ -61,6 +136,14 @@ pub struct SimConfig {
     /// Drive the vantage point with one crossbeam worker per router
     /// (bit-identical output, faster at large scales).
     pub parallel: bool,
+    /// Adoption-curve family and parameters.
+    pub adoption: AdoptionConfig,
+    /// Scenario-tunable traffic knobs.
+    pub traffic: TrafficTuning,
+    /// Optional mid-study CDN migration to an undocumented prefix.
+    pub cdn_migration: Option<CdnMigration>,
+    /// Edits to the base scenario's outbreak/media events.
+    pub outbreaks: OutbreakTweaks,
 }
 
 impl Default for SimConfig {
@@ -74,6 +157,10 @@ impl Default for SimConfig {
             geodb: GeoDbConfig::default(),
             vantage: VantageConfig::default(),
             parallel: false,
+            adoption: AdoptionConfig::default(),
+            traffic: TrafficTuning::default(),
+            cdn_migration: None,
+            outbreaks: OutbreakTweaks::default(),
         }
     }
 }
@@ -197,15 +284,15 @@ impl Simulation {
             .expect("market has a ground-truth ISP")
             .id;
 
-        let scenario = match cfg.scenario {
+        let mut scenario = match cfg.scenario {
             ScenarioKind::Paper => Scenario::paper_default(&germany, gt_isp),
             ScenarioKind::OutbreaksWithoutNews => Scenario::outbreaks_without_news(&germany),
             ScenarioKind::Quiet => Scenario::quiet(),
         };
+        cfg.outbreaks.apply(&mut scenario);
 
         let timeline = Timeline { days: cfg.days };
-        let adoption =
-            AdoptionModel::new(AdoptionConfig::default()).run(&germany, &scenario, timeline);
+        let adoption = AdoptionModel::new(cfg.adoption).run(&germany, &scenario, timeline);
         let epidemic = EpidemicModel::new(EpidemicConfig {
             seed: cfg.seed ^ 0x5E1,
             ..EpidemicConfig::default()
@@ -215,7 +302,10 @@ impl Simulation {
             UploadPipeline::derive(&germany, &epidemic, &adoption, UploadConfig::default());
 
         let activity = ActivityModel::default();
-        let cdn = CdnConfig::default();
+        let cdn = CdnConfig {
+            migration: cfg.cdn_migration,
+            ..CdnConfig::default()
+        };
 
         // DNS popularity study.
         let media: Vec<f64> = (0..timeline.hours())
@@ -332,6 +422,8 @@ impl PreparedSim {
         let traffic_cfg = TrafficConfig {
             scale: cfg.scale,
             seed: cfg.seed ^ 0x7AF,
+            background_ratio: cfg.traffic.background_ratio,
+            active_subscriber_fraction: cfg.traffic.active_subscriber_fraction,
             ..TrafficConfig::default()
         };
         let mut vantage = VantagePoint::new(
@@ -431,6 +523,8 @@ impl PreparedSim {
         let traffic_cfg = TrafficConfig {
             scale: cfg.scale,
             seed: cfg.seed ^ 0x7AF,
+            background_ratio: cfg.traffic.background_ratio,
+            active_subscriber_fraction: cfg.traffic.active_subscriber_fraction,
             ..TrafficConfig::default()
         };
         let mut vantages = VantagePoint::shard(

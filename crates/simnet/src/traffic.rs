@@ -339,7 +339,7 @@ impl<'a> TrafficModel<'a> {
                 // A popular non-CWA service (same port, different prefix).
                 Ipv4Addr::from(u32::from(Ipv4Addr::new(203, 0, 113, 0)) + rng.gen_range(0u32..16))
             }
-            _ => self.cdn.server_for(rng.gen::<u64>()),
+            _ => self.cdn.server_for_day(rng.gen::<u64>(), day),
         };
 
         let (median, sigma) = match kind {

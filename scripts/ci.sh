@@ -21,12 +21,47 @@ cargo test -q --test streaming
 cargo test -q --test merge_prop
 
 echo "==> streaming scale-sweep smoke (claims must pass end to end)"
-# The lower bound sits at 0.02: below that, day-1 district coverage
-# (claim C5b) is statistically starved in batch and streaming alike
-# (starved scales now surface as a structured StudyError, covered by
-# tests/streaming.rs::starved_scale_returns_structured_error).
+# 0.02 is the smallest scale at which every cell clears its min_support
+# threshold (the full claim table evaluates). Below it, starved cells
+# degrade into per-claim Starved verdicts — exit 0 without --strict —
+# covered by tests/streaming.rs::starved_scale_degrades_identically_across_paths.
 ./target/release/cwa-repro study --scale 0.02 --streaming > /dev/null
 ./target/release/cwa-repro study --scale 0.03 --streaming --parallel > /dev/null
+
+echo "==> starved-scale degradation smoke (0.005 must degrade, not abort)"
+STARVED_OUT="$(mktemp /tmp/cwa-starved.XXXXXX.txt)"
+./target/release/cwa-repro study --scale 0.005 --streaming > "$STARVED_OUT"
+grep -q 'starved' "$STARVED_OUT" || { echo "scale 0.005 produced no starved verdicts"; exit 1; }
+# The same scale under --strict must refuse with the structured error.
+if ./target/release/cwa-repro study --scale 0.0000001 --strict > /dev/null 2>&1; then
+    echo "--strict accepted a fully starved scale"; exit 1
+fi
+rm -f "$STARVED_OUT"
+
+echo "==> scenario sweep smoke (claim-survival matrix, starved cell expected)"
+SWEEP_TOML="$(mktemp /tmp/cwa-sweep.XXXXXX.toml)"
+SWEEP_JSON_A="$(mktemp /tmp/cwa-sweep-a.XXXXXX.json)"
+SWEEP_JSON_B="$(mktemp /tmp/cwa-sweep-b.XXXXXX.json)"
+cat > "$SWEEP_TOML" <<'EOF'
+[[scenario]]
+name = "baseline"
+
+[[scenario]]
+name = "coarse-sampling"
+[scenario.vantage]
+sampling_interval = 1000
+
+[[scenario]]
+name = "starved-tiny-scale"
+scale = 0.004
+EOF
+SWEEP_OUT="$(./target/release/cwa-repro sweep --scenarios "$SWEEP_TOML" --scale 0.01 --json "$SWEEP_JSON_A" 2>/dev/null)"
+echo "$SWEEP_OUT" | grep -q 'starved' || { echo "sweep reported no starved cell for the drained scenario"; exit 1; }
+echo "$SWEEP_OUT" | grep -q 'starved-tiny-scale' || { echo "sweep dropped a scenario row"; exit 1; }
+# The survival table must not depend on the shard count.
+./target/release/cwa-repro sweep --scenarios "$SWEEP_TOML" --scale 0.01 --shards 2 --json "$SWEEP_JSON_B" > /dev/null 2>&1
+cmp -s "$SWEEP_JSON_A" "$SWEEP_JSON_B" || { echo "sweep JSON differs between 1 and 2 shards"; exit 1; }
+rm -f "$SWEEP_TOML" "$SWEEP_JSON_A" "$SWEEP_JSON_B"
 
 echo "==> sharded smoke (2 shards at scale 0.02)"
 ./target/release/cwa-repro study --scale 0.02 --shards 2 > /dev/null

@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! cwa-repro study [--scale S] [--seed N] [--parallel] [--streaming] [--shards N] [--out DIR] [--metrics FILE] [--trace FILE]
+//!                 [--strict] [--scenario FILE]
 //!                 [--serve ADDR] [--heartbeat-ms N] [--heartbeat-jsonl FILE] [--serve-linger-ms N]
+//! cwa-repro sweep --scenarios FILE [--scale S] [--seed N] [--shards N] [--json FILE]
 //! cwa-repro watch ADDR [--interval-ms N]
 //! cwa-repro scrape ADDR PATH
 //! cwa-repro obs-diff A.json B.json [--threshold PCT]
@@ -14,7 +16,7 @@
 
 use std::process::ExitCode;
 
-use cwa_core::{Study, StudyConfig};
+use cwa_core::{run_sweep, ScenarioMatrix, Study, StudyConfig};
 use cwa_simnet::sim::ScenarioKind;
 use cwa_simnet::{SimConfig, Simulation};
 
@@ -22,6 +24,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("study") => study(&args[1..]),
+        Some("sweep") => sweep(&args[1..]),
         Some("watch") => watch(&args[1..]),
         Some("scrape") => scrape(&args[1..]),
         Some("obs-diff") => obs_diff(&args[1..]),
@@ -62,7 +65,20 @@ fn usage() -> String {
      \x20     duration; --serve-linger-ms keeps it up after the run ends;\n\
      \x20     --heartbeat-ms sets the sampling interval (default 250) and\n\
      \x20     --heartbeat-jsonl streams one cwa-obs/v1 snapshot per\n\
-     \x20     heartbeat to FILE, append-only\n\
+     \x20     heartbeat to FILE, append-only;\n\
+     \x20     --scenario FILE overlays a single [[scenario]] from FILE\n\
+     \x20     onto the run's configuration;\n\
+     \x20     --strict restores the old all-or-nothing behavior: abort\n\
+     \x20     with NoMatchingFlows when nothing matched the §2 filter and\n\
+     \x20     exit nonzero on *any* non-pass verdict. Without it, starved\n\
+     \x20     claims are reported in the table (verdict `starved`) and\n\
+     \x20     only genuine out-of-band failures exit nonzero\n\
+     \x20 cwa-repro sweep --scenarios FILE [--scale S] [--seed N] [--shards N] [--json FILE]\n\
+     \x20     run every [[scenario]] in FILE over the sharded workers and\n\
+     \x20     print the claim-survival table (scenario × claim →\n\
+     \x20     pass/fail/starved); --json also writes the table as JSON,\n\
+     \x20     byte-identical across --shards values; --scale/--seed set\n\
+     \x20     the base configuration scenarios overlay\n\
      \x20 cwa-repro watch ADDR [--interval-ms N]\n\
      \x20     live terminal dashboard over a --serve endpoint: polls\n\
      \x20     /progress, renders per-shard throughput and stall ratios,\n\
@@ -117,6 +133,39 @@ fn study(args: &[String]) -> ExitCode {
         }
     }
     config.sim.parallel = flag(args, "--parallel");
+    let strict = flag(args, "--strict");
+    if let Some(path) = opt(args, "--scenario") {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let matrix = match ScenarioMatrix::parse(&text) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if matrix.scenarios.len() != 1 {
+            eprintln!(
+                "{path} holds {} scenarios; `study --scenario` takes exactly one (use `sweep` for a matrix)",
+                matrix.scenarios.len()
+            );
+            return ExitCode::FAILURE;
+        }
+        let germany = cwa_geo::Germany::build();
+        config = match matrix.scenarios[0].apply(&config, &germany) {
+            Ok(cfg) => cfg,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        eprintln!("applied scenario '{}'", matrix.scenarios[0].name);
+    }
     let streaming = flag(args, "--streaming");
     let shards: Option<usize> = match opt(args, "--shards").map(|s| s.parse()) {
         Some(Ok(n)) => Some(n),
@@ -203,7 +252,7 @@ fn study(args: &[String]) -> ExitCode {
         shards.map(|n| format!(", {n} shards")).unwrap_or_default()
     );
     let start = std::time::Instant::now();
-    let mut study = Study::new(config);
+    let mut study = Study::new(config).strict(strict);
     if let Some(registry) = &registry {
         study = study.with_metrics(std::sync::Arc::clone(registry));
     }
@@ -301,12 +350,102 @@ fn study(args: &[String]) -> ExitCode {
         }
     }
 
-    if report.all_passed() {
+    let starved = report.starved();
+    if !starved.is_empty() {
+        eprintln!(
+            "{} claim(s) starved at scale {scale} (insufficient data, not a failure)",
+            starved.len()
+        );
+    }
+    // Starvation degrades the report but only fails the run under
+    // --strict; genuine out-of-band claims fail it either way.
+    let ok = if strict {
+        report.all_passed()
+    } else {
+        report.failures().is_empty()
+    };
+    if ok {
         ExitCode::SUCCESS
     } else {
-        eprintln!("{} claim(s) outside their bands", report.failures().len());
+        if !report.failures().is_empty() {
+            eprintln!("{} claim(s) outside their bands", report.failures().len());
+        }
         ExitCode::FAILURE
     }
+}
+
+fn sweep(args: &[String]) -> ExitCode {
+    let Some(path) = opt(args, "--scenarios") else {
+        eprintln!("sweep requires --scenarios FILE (a [[scenario]] matrix)");
+        return ExitCode::FAILURE;
+    };
+    let scale: f64 = match opt(args, "--scale").map(|s| s.parse()) {
+        Some(Ok(s)) if s > 0.0 && s <= 1.0 => s,
+        None => 0.02,
+        _ => {
+            eprintln!("--scale must be a number in (0, 1]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let shards: usize = match opt(args, "--shards").map(|s| s.parse()) {
+        Some(Ok(n)) => n,
+        None => 1,
+        Some(Err(_)) => {
+            eprintln!("--shards must be a non-negative integer");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut base = StudyConfig::at_scale(scale);
+    if let Some(seed) = opt(args, "--seed") {
+        match seed.parse() {
+            Ok(s) => base.sim.seed = s,
+            Err(_) => {
+                eprintln!("--seed must be an integer");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if text.trim().is_empty() {
+        eprintln!("{path} is empty — not a scenario matrix");
+        return ExitCode::FAILURE;
+    }
+    let matrix = match ScenarioMatrix::parse(&text) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "sweeping {} scenario(s) at base scale {scale} (seed {:#x}, {shards} shard(s) requested) …",
+        matrix.scenarios.len(),
+        base.sim.seed
+    );
+    let start = std::time::Instant::now();
+    let table = match run_sweep(&matrix, &base, shards) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("done in {:?}\n", start.elapsed());
+    println!("{}", table.render_text());
+    if let Some(json_path) = opt(args, "--json") {
+        if let Err(e) = std::fs::write(&json_path, table.to_json()) {
+            eprintln!("cannot write {json_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {json_path}");
+    }
+    ExitCode::SUCCESS
 }
 
 /// Minimal HTTP/1.0 GET over a std `TcpStream` (the telemetry scrape
@@ -565,6 +704,9 @@ fn obs_diff(args: &[String]) -> ExitCode {
     };
     let load = |path: &str| -> Result<std::collections::BTreeMap<String, i64>, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        if text.trim().is_empty() {
+            return Err(format!("{path} is empty — not a metrics snapshot"));
+        }
         let doc: serde_json::Value =
             serde_json::from_str(&text).map_err(|e| format!("{path} is not valid JSON: {e}"))?;
         flatten_obs_snapshot(&doc).map_err(|e| format!("{path}: {e}"))
@@ -687,6 +829,10 @@ fn trace_summary(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if text.trim().is_empty() {
+        eprintln!("{path} is empty — not a trace capture");
+        return ExitCode::FAILURE;
+    }
     let root: serde_json::Value = match serde_json::from_str(&text) {
         Ok(v) => v,
         Err(e) => {
@@ -746,6 +892,11 @@ fn trace_summary(args: &[String]) -> ExitCode {
             "X" => {
                 let ts = ev.get("ts").and_then(&num_f64).unwrap_or(0.0);
                 let dur = ev.get("dur").and_then(&num_f64).unwrap_or(0.0);
+                // A hand-edited or truncated capture can hold NaN here;
+                // track_self_times sorts on ts/dur and requires finite.
+                if !ts.is_finite() || !dur.is_finite() {
+                    continue;
+                }
                 tracks
                     .entry((pid, tid))
                     .or_default()
