@@ -11,6 +11,7 @@ use std::net::Ipv4Addr;
 use serde::{Deserialize, Serialize};
 
 use cwa_netflow::flow::{in_prefix, FlowRecord, Protocol};
+use cwa_netflow::sink::FlowChunk;
 
 /// The §2 flow filter.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -58,6 +59,40 @@ impl FlowFilter {
     /// The client (user-side) address of a matching record.
     pub fn client_of(&self, rec: &FlowRecord) -> Ipv4Addr {
         rec.key.dst_ip
+    }
+
+    /// Columnar form of [`matches`](FlowFilter::matches): evaluates the
+    /// filter over a whole chunk's columns and gathers the matching
+    /// rows into `out` (cleared first). Selects exactly the rows whose
+    /// reassembled records `matches` accepts, in order.
+    pub fn select_into(&self, chunk: &FlowChunk, out: &mut FlowChunk) {
+        out.clear();
+        let tcp = Protocol::Tcp.number();
+        // (mask, want) per prefix, hoisted out of the row loop.
+        let prefixes: Vec<(u32, u32)> = self
+            .server_prefixes
+            .iter()
+            .map(|&(p, l)| {
+                let mask = if l == 0 {
+                    0
+                } else if l >= 32 {
+                    u32::MAX
+                } else {
+                    !(u32::MAX >> l)
+                };
+                (mask, u32::from(p) & mask)
+            })
+            .collect();
+        for i in 0..chunk.len() {
+            if chunk.protocol[i] == tcp
+                && chunk.src_port[i] == self.port
+                && prefixes
+                    .iter()
+                    .any(|&(mask, want)| chunk.src_ip[i] & mask == want)
+            {
+                out.push_row_from(chunk, i);
+            }
+        }
     }
 }
 
@@ -163,6 +198,36 @@ mod tests {
         ];
         assert_eq!(f.apply(&records).len(), 2);
         assert_eq!(f.apply_owned(&records).len(), 2);
+    }
+
+    #[test]
+    fn select_into_equals_per_record_matches() {
+        let f = filter();
+        let client = Ipv4Addr::new(84, 5, 5, 5);
+        let records = vec![
+            rec(Ipv4Addr::new(81, 200, 17, 3), 443, client, Protocol::Tcp),
+            rec(client, 50_000, Ipv4Addr::new(81, 200, 17, 3), Protocol::Tcp),
+            rec(Ipv4Addr::new(203, 0, 113, 9), 443, client, Protocol::Tcp),
+            rec(Ipv4Addr::new(185, 139, 96, 9), 443, client, Protocol::Tcp),
+            rec(Ipv4Addr::new(81, 200, 17, 3), 443, client, Protocol::Udp),
+            rec(Ipv4Addr::new(81, 200, 17, 3), 80, client, Protocol::Tcp),
+        ];
+        let mut chunk = FlowChunk::default();
+        for r in &records {
+            chunk.push(r);
+        }
+        let mut sel = FlowChunk::default();
+        f.select_into(&chunk, &mut sel);
+        let selected: Vec<FlowRecord> = sel.iter().collect();
+        let expected: Vec<FlowRecord> = records.iter().filter(|r| f.matches(r)).copied().collect();
+        assert_eq!(selected, expected);
+
+        // Zero-length prefix: matches everything on protocol+port alone.
+        let all = FlowFilter::cwa(vec![(Ipv4Addr::new(0, 0, 0, 0), 0)]);
+        all.select_into(&chunk, &mut sel);
+        let expected: Vec<FlowRecord> =
+            records.iter().filter(|r| all.matches(r)).copied().collect();
+        assert_eq!(sel.iter().collect::<Vec<_>>(), expected);
     }
 
     #[test]

@@ -17,7 +17,7 @@ use serde::{Deserialize, Serialize};
 
 use cwa_geo::{DistrictId, GeoDb, Germany};
 use cwa_netflow::flow::FlowRecord;
-use cwa_netflow::sink::FlowSink;
+use cwa_netflow::sink::{FlowChunk, FlowSink};
 
 use crate::filter::FlowFilter;
 
@@ -217,11 +217,17 @@ impl<'a> GeoDayAccumulator<'a> {
 
     /// Geolocates one filtered record into its day's tables.
     pub fn observe(&mut self, rec: &FlowRecord) {
-        let day = (rec.first_ms / 86_400_000) as u32;
+        self.observe_client(rec.first_ms, rec.key.dst_ip);
+    }
+
+    /// The column-level form of [`observe`](GeoDayAccumulator::observe):
+    /// the accumulator only reads the record's start time and client.
+    fn observe_client(&mut self, first_ms: u64, client: std::net::Ipv4Addr) {
+        let day = (first_ms / 86_400_000) as u32;
         if day >= self.days {
             return;
         }
-        let (district, attribution) = self.pipeline.locate(rec.key.dst_ip);
+        let (district, attribution) = self.pipeline.locate(client);
         self.day_attributions[day as usize][attribution_index(attribution)] += 1;
         if let Some(d) = district {
             self.day_district_flows[day as usize][usize::from(d.0)] += 1;
@@ -299,6 +305,12 @@ impl<'a> GeoDayAccumulator<'a> {
 impl FlowSink for GeoDayAccumulator<'_> {
     fn observe(&mut self, rec: &FlowRecord) {
         GeoDayAccumulator::observe(self, rec);
+    }
+
+    fn observe_chunk(&mut self, chunk: &FlowChunk) {
+        for (&first_ms, &dst) in chunk.first_ms.iter().zip(&chunk.dst_ip) {
+            self.observe_client(first_ms, std::net::Ipv4Addr::from(dst));
+        }
     }
 }
 

@@ -24,7 +24,7 @@ use serde::{Deserialize, Serialize};
 
 use cwa_geo::{DistrictId, FederalState, Germany};
 use cwa_netflow::flow::FlowRecord;
-use cwa_netflow::sink::FlowSink;
+use cwa_netflow::sink::{FlowChunk, FlowSink};
 
 use crate::filter::FlowFilter;
 use crate::geoloc::GeolocationPipeline;
@@ -210,11 +210,16 @@ where
 
     /// Geolocates one filtered record into the day tables.
     pub fn observe(&mut self, rec: &FlowRecord) {
-        let day = (rec.first_ms / 86_400_000) as u32;
+        self.observe_client(rec.first_ms, rec.key.dst_ip);
+    }
+
+    /// The column-level form of [`observe`](OutbreakAccumulator::observe):
+    /// the accumulator only reads the record's start time and client.
+    fn observe_client(&mut self, first_ms: u64, client: Ipv4Addr) {
+        let day = (first_ms / 86_400_000) as u32;
         if day >= self.days {
             return;
         }
-        let client = rec.key.dst_ip;
         let (district, _attr) = self.pipeline.locate(client);
         let Some(district) = district else { return };
         self.district_flows[day as usize][usize::from(district.0)] += 1;
@@ -283,6 +288,12 @@ where
 {
     fn observe(&mut self, rec: &FlowRecord) {
         OutbreakAccumulator::observe(self, rec);
+    }
+
+    fn observe_chunk(&mut self, chunk: &FlowChunk) {
+        for (&first_ms, &dst) in chunk.first_ms.iter().zip(&chunk.dst_ip) {
+            self.observe_client(first_ms, Ipv4Addr::from(dst));
+        }
     }
 }
 

@@ -18,7 +18,7 @@ use std::net::Ipv4Addr;
 use serde::{Deserialize, Serialize};
 
 use cwa_netflow::flow::{prefix_of, FlowRecord};
-use cwa_netflow::sink::FlowSink;
+use cwa_netflow::sink::{FlowChunk, FlowSink};
 
 /// Per-prefix presence statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -154,6 +154,19 @@ impl PersistenceAnalysis {
 impl FlowSink for PersistenceAnalysis {
     fn observe(&mut self, rec: &FlowRecord) {
         PersistenceAnalysis::observe(self, rec);
+    }
+
+    fn observe_chunk(&mut self, chunk: &FlowChunk) {
+        // Column-wise: the presence bitmap needs only day and client.
+        for (&first_ms, &dst) in chunk.first_ms.iter().zip(&chunk.dst_ip) {
+            let day = (first_ms / 86_400_000) as u32;
+            if day >= self.days {
+                continue;
+            }
+            let prefix = prefix_of(Ipv4Addr::from(dst), self.prefix_len);
+            let bits = self.presence.entry(prefix).or_insert(PresenceBits(0));
+            bits.0 |= 1u64 << day;
+        }
     }
 }
 

@@ -19,7 +19,7 @@
 use std::sync::Arc;
 
 use cwa_netflow::flow::FlowRecord;
-use cwa_netflow::sink::FlowSink;
+use cwa_netflow::sink::{FlowChunk, FlowSink};
 use cwa_obs::{StageLog, TraceBuf, Tracer};
 
 use crate::filter::FlowFilter;
@@ -39,6 +39,8 @@ pub struct FanOut<'a> {
     records_in: u64,
     records_matched: u64,
     trace: Option<StageLog>,
+    /// Reusable selection scratch for the chunked path.
+    selection: FlowChunk,
 }
 
 impl<'a> FanOut<'a> {
@@ -50,6 +52,7 @@ impl<'a> FanOut<'a> {
             records_in: 0,
             records_matched: 0,
             trace: None,
+            selection: FlowChunk::default(),
         }
     }
 
@@ -174,6 +177,43 @@ impl FlowSink for FanOut<'_> {
             log.add_stage(i, now.saturating_sub(t));
             t = now;
         }
+    }
+
+    fn observe_chunk(&mut self, chunk: &FlowChunk) {
+        self.records_in += chunk.len() as u64;
+        let mut sel = std::mem::take(&mut self.selection);
+        match &mut self.trace {
+            None => {
+                // Untraced fast path: one columnar filter pass, one dyn
+                // call per consumer per chunk.
+                self.filter.select_into(chunk, &mut sel);
+                if !sel.is_empty() {
+                    self.records_matched += sel.len() as u64;
+                    for c in &mut self.consumers {
+                        c.sink.observe_chunk(&sel);
+                        c.records += sel.len() as u64;
+                    }
+                }
+            }
+            Some(log) => {
+                let mut t = log.now_ns();
+                self.filter.select_into(chunk, &mut sel);
+                let after_filter = log.now_ns();
+                log.add_filter(after_filter.saturating_sub(t));
+                if !sel.is_empty() {
+                    self.records_matched += sel.len() as u64;
+                    t = after_filter;
+                    for (i, c) in self.consumers.iter_mut().enumerate() {
+                        c.sink.observe_chunk(&sel);
+                        c.records += sel.len() as u64;
+                        let now = log.now_ns();
+                        log.add_stage(i, now.saturating_sub(t));
+                        t = now;
+                    }
+                }
+            }
+        }
+        self.selection = sel;
     }
 
     fn finish(&mut self) {
@@ -309,6 +349,54 @@ mod tests {
         let json = tracer.to_chrome_json();
         for name in ["\"filter\"", "\"analyze\"", "\"timeseries\"", "\"count\""] {
             assert!(json.contains(name), "missing {name} in {json}");
+        }
+    }
+
+    #[test]
+    fn chunked_observation_equals_per_record() {
+        let f = filter();
+        let records = [cdn_rec(0), background_rec(), cdn_rec(3), cdn_rec(5)];
+        let mut chunk = FlowChunk::default();
+        for r in &records {
+            chunk.push(r);
+        }
+
+        // Per-record reference driver.
+        let mut ref_series = HourlySeries::new(24);
+        let mut ref_count = CountingSink::default();
+        let mut ref_fan = FanOut::new(&f);
+        ref_fan.register("timeseries", &mut ref_series);
+        ref_fan.register("count", &mut ref_count);
+        for r in &records {
+            ref_fan.observe(r);
+        }
+        let ref_counts = ref_fan.counts();
+
+        // Chunked driver (untraced).
+        let mut series = HourlySeries::new(24);
+        let mut count = CountingSink::default();
+        let mut fan = FanOut::new(&f);
+        fan.register("timeseries", &mut series);
+        fan.register("count", &mut count);
+        fan.observe_chunk(&chunk);
+        assert_eq!(fan.counts(), ref_counts);
+        assert_eq!(series, ref_series);
+        assert_eq!(count.records, ref_count.records);
+
+        // Chunked driver (traced): same counts, spans still named.
+        let mut series_t = HourlySeries::new(24);
+        let mut count_t = CountingSink::default();
+        let mut fan_t = FanOut::new(&f);
+        fan_t.register("timeseries", &mut series_t);
+        fan_t.register("count", &mut count_t);
+        let tracer = Tracer::new();
+        fan_t.attach_trace(&tracer, tracer.thread(1, 2, "analysis"));
+        fan_t.observe_chunk(&chunk);
+        fan_t.checkpoint();
+        assert_eq!(fan_t.counts(), ref_counts);
+        let json = tracer.to_chrome_json();
+        for name in ["\"filter\"", "\"timeseries\"", "\"count\""] {
+            assert!(json.contains(name), "missing {name}");
         }
     }
 

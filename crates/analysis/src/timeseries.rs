@@ -9,7 +9,7 @@
 use serde::{Deserialize, Serialize};
 
 use cwa_netflow::flow::FlowRecord;
-use cwa_netflow::sink::FlowSink;
+use cwa_netflow::sink::{FlowChunk, FlowSink};
 
 /// Hour-resolved flow/byte counts over the measurement window.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -150,6 +150,17 @@ impl HourlySeries {
 impl FlowSink for HourlySeries {
     fn observe(&mut self, rec: &FlowRecord) {
         HourlySeries::observe(self, rec);
+    }
+
+    fn observe_chunk(&mut self, chunk: &FlowChunk) {
+        // Column-wise: only the two columns the binning needs.
+        for (&first_ms, &bytes) in chunk.first_ms.iter().zip(&chunk.bytes) {
+            let hour = (first_ms / 3_600_000) as usize;
+            if hour < self.flows.len() {
+                self.flows[hour] += 1;
+                self.bytes[hour] += bytes;
+            }
+        }
     }
 }
 

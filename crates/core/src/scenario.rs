@@ -726,12 +726,19 @@ district = "München"
 day = 4
 seed_cases = 900
 media_intensity = 1.2
+
+[[scenario]]
+name = "dsl-reconnect"
+[scenario.cache]
+inactive_timeout_ms = 5000  # flows split on shorter idle gaps
+[scenario.traffic]
+active_subscriber_fraction = 0.25  # smaller pool -> faster address churn
 "#;
 
     #[test]
     fn parses_the_example_matrix() {
         let matrix = ScenarioMatrix::parse(EXAMPLE).unwrap();
-        assert_eq!(matrix.scenarios.len(), 6);
+        assert_eq!(matrix.scenarios.len(), 7);
         assert_eq!(matrix.scenarios[0].name, "baseline");
         assert_eq!(
             matrix.scenarios[0],
@@ -757,6 +764,9 @@ media_intensity = 1.2
             Some("München")
         );
         assert_eq!(matrix.scenarios[5].extra_outbreak_day, Some(4));
+        assert_eq!(matrix.scenarios[6].name, "dsl-reconnect");
+        assert_eq!(matrix.scenarios[6].inactive_timeout_ms, Some(5000));
+        assert_eq!(matrix.scenarios[6].active_subscriber_fraction, Some(0.25));
     }
 
     #[test]
@@ -853,6 +863,10 @@ media_intensity = 1.2
             germany.districts()[usize::from(ob.district.0)].name,
             "München"
         );
+
+        let reconnect = matrix.scenarios[6].apply(&base, &germany).unwrap();
+        assert_eq!(reconnect.sim.vantage.cache.inactive_timeout_ms, 5000);
+        assert_eq!(reconnect.sim.traffic.active_subscriber_fraction, 0.25);
     }
 
     #[test]

@@ -21,7 +21,7 @@ use cwa_epidemic::timeline::{JULY_24_DAY, MILESTONE_36H_HOUR};
 use cwa_epidemic::{AdoptionModel, Timeline};
 use cwa_geo::GeoDb;
 use cwa_netflow::flow::FlowRecord;
-use cwa_netflow::sink::FlowSink;
+use cwa_netflow::sink::{FlowChunk, FlowSink};
 use cwa_simnet::{shard_keys, IspSideEntry, ShardKeyMode, SimConfig, SimOutput, Simulation};
 
 use crate::claims::{Cell, Claim, ClaimId};
@@ -180,6 +180,10 @@ pub struct Study {
     /// Lazily-created flight-recorder track for study-level phase spans
     /// (pid 0 / tid 201 "study"), shared by every run on this runner.
     phase_buf: OnceLock<Arc<TraceBuf>>,
+    /// Override for the columnar batch size on the record path. Not part
+    /// of [`StudyConfig`]: any capacity yields byte-identical reports, so
+    /// it must not perturb the config hash.
+    chunk_capacity: Option<usize>,
 }
 
 /// Converts the simulator's ISP side table into the analysis crate's
@@ -249,6 +253,8 @@ struct ShardConsumers<'w> {
     /// flushed as coalesced filter/analyze spans at every export-hour
     /// checkpoint.
     trace: Option<StageLog>,
+    /// Reusable selection scratch for the chunked path.
+    selection: FlowChunk,
 }
 
 impl FlowSink for ShardConsumers<'_> {
@@ -301,6 +307,62 @@ impl FlowSink for ShardConsumers<'_> {
         }
     }
 
+    fn observe_chunk(&mut self, chunk: &FlowChunk) {
+        self.counts.records_in += chunk.len() as u64;
+        if let Some(counter) = &self.records_counter {
+            counter.add(chunk.len() as u64);
+        }
+        let mut sel = std::mem::take(&mut self.selection);
+        match &mut self.trace {
+            None => {
+                // Untraced fast path: one filter pass and one dyn-free
+                // call per consumer per chunk.
+                self.filter.select_into(chunk, &mut sel);
+                if !sel.is_empty() {
+                    let matched = sel.len() as u64;
+                    self.counts.records_matched += matched;
+                    self.series.observe_chunk(&sel);
+                    self.geo.observe_chunk(&sel);
+                    self.persistence.observe_chunk(&sel);
+                    self.outbreak.observe_chunk(&sel);
+                    for (_, count) in &mut self.counts.consumers {
+                        *count += matched;
+                    }
+                }
+            }
+            Some(log) => {
+                let mut t = log.now_ns();
+                self.filter.select_into(chunk, &mut sel);
+                let now = log.now_ns();
+                log.add_filter(now.saturating_sub(t));
+                if !sel.is_empty() {
+                    let matched = sel.len() as u64;
+                    self.counts.records_matched += matched;
+                    t = now;
+                    self.series.observe_chunk(&sel);
+                    let now = log.now_ns();
+                    log.add_stage(0, now.saturating_sub(t));
+                    t = now;
+                    self.geo.observe_chunk(&sel);
+                    let now = log.now_ns();
+                    log.add_stage(1, now.saturating_sub(t));
+                    t = now;
+                    self.persistence.observe_chunk(&sel);
+                    let now = log.now_ns();
+                    log.add_stage(2, now.saturating_sub(t));
+                    t = now;
+                    self.outbreak.observe_chunk(&sel);
+                    let now = log.now_ns();
+                    log.add_stage(3, now.saturating_sub(t));
+                    for (_, count) in &mut self.counts.consumers {
+                        *count += matched;
+                    }
+                }
+            }
+        }
+        self.selection = sel;
+    }
+
     fn finish(&mut self) {
         if let Some(log) = &mut self.trace {
             log.flush();
@@ -327,7 +389,20 @@ impl Study {
             trace: None,
             strict: false,
             phase_buf: OnceLock::new(),
+            chunk_capacity: None,
         }
+    }
+
+    /// Overrides the capacity of the columnar [`FlowChunk`] batches the
+    /// collector hands to the analysis sinks. Purely a performance knob:
+    /// reports are byte-identical for any capacity, so it is deliberately
+    /// kept out of [`StudyConfig`] (and the config hash). Mostly useful
+    /// for invariance tests; the default of
+    /// [`cwa_netflow::sink::DEFAULT_CHUNK_CAPACITY`] is right for
+    /// production runs.
+    pub fn with_chunk_capacity(mut self, capacity: usize) -> Self {
+        self.chunk_capacity = Some(capacity);
+        self
     }
 
     /// Strict mode: fail with [`StudyError::NoMatchingFlows`] when the
@@ -393,6 +468,9 @@ impl Study {
         }
         if let Some(tracer) = &self.trace {
             simulation = simulation.with_trace(Arc::clone(tracer));
+        }
+        if let Some(capacity) = self.chunk_capacity {
+            simulation = simulation.with_chunk_capacity(capacity);
         }
         let sim = simulation.run();
         let simulate = started.elapsed();
@@ -531,6 +609,9 @@ impl Study {
         }
         if let Some(tracer) = &self.trace {
             simulation = simulation.with_trace(Arc::clone(tracer));
+        }
+        if let Some(capacity) = self.chunk_capacity {
+            simulation = simulation.with_chunk_capacity(capacity);
         }
         let prepared = simulation.prepare();
 
@@ -678,6 +759,9 @@ impl Study {
         if let Some(tracer) = &self.trace {
             simulation = simulation.with_trace(Arc::clone(tracer));
         }
+        if let Some(capacity) = self.chunk_capacity {
+            simulation = simulation.with_chunk_capacity(capacity);
+        }
         let prepared = simulation.prepare();
 
         let mut timings: Vec<PhaseTiming> = Vec::new();
@@ -732,6 +816,7 @@ impl Study {
                             let buf = t.thread((i + 1) as u32, 2, "analysis");
                             StageLog::new(t, buf, &CONSUMER_NAMES)
                         }),
+                        selection: FlowChunk::default(),
                     }
                 })
                 .collect();

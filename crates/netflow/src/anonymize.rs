@@ -51,11 +51,20 @@ impl CryptoPan {
     /// Anonymizes one IPv4 address, preserving prefix relationships.
     pub fn anonymize(&self, addr: Ipv4Addr) -> Ipv4Addr {
         let orig = u32::from(addr);
-        let pad4 = u32::from_be_bytes([self.pad[0], self.pad[1], self.pad[2], self.pad[3]]);
+        Ipv4Addr::from(orig ^ self.flips_in_range(orig, 0, 32))
+    }
 
+    /// Flip mask for bit positions `start..end` (0 = most significant).
+    ///
+    /// The flip of bit `pos` depends only on the top `pos` bits of
+    /// `orig` — the prefix-preservation property — which is what makes
+    /// the mask for positions `0..24` cacheable per /24 prefix (see
+    /// [`CachedCryptoPan`]). One AES block per position.
+    fn flips_in_range(&self, orig: u32, start: u32, end: u32) -> u32 {
+        let pad4 = u32::from_be_bytes([self.pad[0], self.pad[1], self.pad[2], self.pad[3]]);
         let mut result = 0u32;
         let mut input = self.pad;
-        for pos in 0..32u32 {
+        for pos in start..end {
             // First 4 bytes: the first `pos` bits of the original address
             // followed by bits pos..32 of the pad.
             let first4 = if pos == 0 {
@@ -70,7 +79,7 @@ impl CryptoPan {
             // (counting from the most significant address bit).
             result |= u32::from(out[0] >> 7) << (31 - pos);
         }
-        Ipv4Addr::from(orig ^ result)
+        result
     }
 
     /// De-anonymizes an address produced by [`CryptoPan::anonymize`]
@@ -103,6 +112,106 @@ impl CryptoPan {
 /// Length of the longest common prefix of two addresses, in bits.
 pub fn common_prefix_len(a: Ipv4Addr, b: Ipv4Addr) -> u32 {
     (u32::from(a) ^ u32::from(b)).leading_zeros()
+}
+
+/// A memoizing wrapper around [`CryptoPan`].
+///
+/// Crypto-PAn costs 32 AES blocks per address — the dominant cost of
+/// the collector's hot path (up to 64 blocks per record). Exactly
+/// because the construction is prefix-preserving, the flip mask for bit
+/// positions 0..24 depends only on the address's /24 prefix, so it can
+/// be memoized per prefix (a hit leaves 8 AES blocks for the host
+/// bits); full addresses memoize to zero AES blocks. Output is
+/// bit-identical to the uncached [`CryptoPan::anonymize`] — the caches
+/// only short-circuit a pure function — so record streams are unchanged
+/// by construction (asserted by tests).
+///
+/// Both maps are bounded: on reaching capacity they are cleared whole
+/// (a deterministic epoch reset, no eviction order to get wrong).
+pub struct CachedCryptoPan {
+    inner: CryptoPan,
+    /// `addr → anonymized addr`, the full-address memo.
+    addrs: std::collections::HashMap<u32, u32>,
+    /// `addr >> 8 → flip mask for bit positions 0..24`.
+    prefixes: std::collections::HashMap<u32, u32>,
+    addr_cap: usize,
+    prefix_cap: usize,
+    /// Lookups served from the full-address memo (0 AES blocks).
+    pub addr_hits: u64,
+    /// Address misses whose /24 flip mask was memoized (8 AES blocks).
+    pub prefix_hits: u64,
+    /// Lookups that ran the full 32-block walk.
+    pub misses: u64,
+}
+
+impl CachedCryptoPan {
+    /// Default bound on each memo map (~1 M entries ≈ 8 MB apiece).
+    pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+    /// Wraps an anonymizer with the default cache bounds.
+    pub fn new(inner: CryptoPan) -> Self {
+        Self::with_capacity(inner, Self::DEFAULT_CAPACITY, Self::DEFAULT_CAPACITY)
+    }
+
+    /// Wraps an anonymizer with explicit cache bounds (tests).
+    pub fn with_capacity(inner: CryptoPan, addr_cap: usize, prefix_cap: usize) -> Self {
+        CachedCryptoPan {
+            inner,
+            addrs: std::collections::HashMap::new(),
+            prefixes: std::collections::HashMap::new(),
+            addr_cap: addr_cap.max(1),
+            prefix_cap: prefix_cap.max(1),
+            addr_hits: 0,
+            prefix_hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The wrapped anonymizer.
+    pub fn inner(&self) -> &CryptoPan {
+        &self.inner
+    }
+
+    /// Lookups served from either memo level.
+    pub fn hits(&self) -> u64 {
+        self.addr_hits + self.prefix_hits
+    }
+
+    /// Anonymizes one address through the memo caches. Bit-identical to
+    /// `self.inner().anonymize(addr)`.
+    pub fn anonymize(&mut self, addr: Ipv4Addr) -> Ipv4Addr {
+        Ipv4Addr::from(self.anonymize_u32(u32::from(addr)))
+    }
+
+    /// `u32` form of [`anonymize`](CachedCryptoPan::anonymize) — what
+    /// columnar callers use directly.
+    pub fn anonymize_u32(&mut self, orig: u32) -> u32 {
+        if let Some(&anon) = self.addrs.get(&orig) {
+            self.addr_hits += 1;
+            return anon;
+        }
+        let high = match self.prefixes.get(&(orig >> 8)) {
+            Some(&mask) => {
+                self.prefix_hits += 1;
+                mask
+            }
+            None => {
+                self.misses += 1;
+                let mask = self.inner.flips_in_range(orig, 0, 24);
+                if self.prefixes.len() >= self.prefix_cap {
+                    self.prefixes.clear();
+                }
+                self.prefixes.insert(orig >> 8, mask);
+                mask
+            }
+        };
+        let anon = orig ^ high ^ self.inner.flips_in_range(orig, 24, 32);
+        if self.addrs.len() >= self.addr_cap {
+            self.addrs.clear();
+        }
+        self.addrs.insert(orig, anon);
+        anon
+    }
 }
 
 #[cfg(test)]
@@ -208,6 +317,43 @@ mod tests {
             })
             .count();
         assert!(changed > 950, "only {changed}/1000 addresses changed");
+    }
+
+    #[test]
+    fn cached_matches_uncached_exactly() {
+        let cp = cp();
+        let mut cached = CachedCryptoPan::new(cp.clone());
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        // Random addresses with repeats and shared /24s, visited twice so
+        // both memo levels get exercised.
+        let addrs: Vec<Ipv4Addr> = (0..2000)
+            .map(|i| {
+                if i % 3 == 0 {
+                    // cluster in a handful of /24s
+                    Ipv4Addr::from((rng.gen::<u32>() & 0xFF) | 0x5400_1000)
+                } else {
+                    Ipv4Addr::from(rng.gen::<u32>())
+                }
+            })
+            .collect();
+        for &a in addrs.iter().chain(addrs.iter()) {
+            assert_eq!(cached.anonymize(a), cp.anonymize(a), "{a}");
+        }
+        // Second pass is all address hits; clusters give prefix hits.
+        assert!(cached.addr_hits >= 2000, "addr hits {}", cached.addr_hits);
+        assert!(cached.prefix_hits > 0, "prefix hits");
+        assert!(cached.misses > 0 && cached.misses <= 2000);
+    }
+
+    #[test]
+    fn cached_survives_capacity_resets() {
+        let cp = cp();
+        let mut cached = CachedCryptoPan::with_capacity(cp.clone(), 8, 4);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..500 {
+            let a = Ipv4Addr::from(rng.gen::<u32>());
+            assert_eq!(cached.anonymize(a), cp.anonymize(a), "{a}");
+        }
     }
 
     #[test]

@@ -14,9 +14,9 @@ use serde::{Deserialize, Serialize};
 
 use cwa_obs::{Counter, NameId, Registry, TraceBuf, Tracer};
 
-use crate::anonymize::CryptoPan;
+use crate::anonymize::{CachedCryptoPan, CryptoPan};
 use crate::flow::{in_prefix, FlowRecord};
-use crate::sink::FlowSink;
+use crate::sink::{FlowChunk, FlowSink, DEFAULT_CHUNK_CAPACITY};
 use crate::v5::{ExportPacket, V5Error};
 
 /// Observability handles for a [`Collector`] (all increments are single
@@ -29,6 +29,8 @@ pub struct CollectorMetrics {
     anonymized: Arc<Counter>,
     sequence_lost: Arc<Counter>,
     decode_errors: Arc<Counter>,
+    cryptopan_hits: Arc<Counter>,
+    cryptopan_misses: Arc<Counter>,
 }
 
 impl CollectorMetrics {
@@ -41,6 +43,8 @@ impl CollectorMetrics {
             anonymized: registry.counter("netflow.collector.anonymized_addresses"),
             sequence_lost: registry.counter("netflow.collector.sequence_lost"),
             decode_errors: registry.counter("netflow.collector.decode_errors"),
+            cryptopan_hits: registry.counter("netflow.collector.cryptopan_cache_hits"),
+            cryptopan_misses: registry.counter("netflow.collector.cryptopan_cache_misses"),
         }
     }
 }
@@ -79,7 +83,9 @@ pub struct EngineStats {
 /// A collector accumulating anonymized flow records.
 pub struct Collector {
     /// Anonymizer applied to client addresses (None = store raw).
-    anonymizer: Option<CryptoPan>,
+    /// Memoized: repeated client addresses / shared /24s skip most of
+    /// the 32-AES-block Crypto-PAn walk (see [`CachedCryptoPan`]).
+    anonymizer: Option<CachedCryptoPan>,
     /// Server-side prefixes: addresses inside are *not* anonymized
     /// (the CWA CDN prefixes are public knowledge; only clients are
     /// protected, exactly as in the paper's data set).
@@ -89,6 +95,13 @@ pub struct Collector {
     metrics: Option<CollectorMetrics>,
     trace: Option<CollectorTrace>,
     peak_resident: usize,
+    /// Records per [`FlowChunk`] handed to sinks by `drain_into`.
+    chunk_capacity: usize,
+    /// Reusable chunk scratch for `drain_into`.
+    chunk: FlowChunk,
+    /// Cache hit/miss totals already published to the metric counters.
+    published_hits: u64,
+    published_misses: u64,
 }
 
 impl Collector {
@@ -102,6 +115,10 @@ impl Collector {
             metrics: None,
             trace: None,
             peak_resident: 0,
+            chunk_capacity: DEFAULT_CHUNK_CAPACITY,
+            chunk: FlowChunk::default(),
+            published_hits: 0,
+            published_misses: 0,
         }
     }
 
@@ -110,19 +127,39 @@ impl Collector {
     /// Crypto-PAn anonymized.
     pub fn new_anonymizing(key: &[u8; 32], server_prefixes: Vec<(Ipv4Addr, u8)>) -> Self {
         Collector {
-            anonymizer: Some(CryptoPan::new(key)),
+            anonymizer: Some(CachedCryptoPan::new(CryptoPan::new(key))),
             server_prefixes,
             records: Vec::new(),
             engines: HashMap::new(),
             metrics: None,
             trace: None,
             peak_resident: 0,
+            chunk_capacity: DEFAULT_CHUNK_CAPACITY,
+            chunk: FlowChunk::default(),
+            published_hits: 0,
+            published_misses: 0,
         }
     }
 
     /// Attaches observability counters.
     pub fn set_metrics(&mut self, metrics: CollectorMetrics) {
         self.metrics = Some(metrics);
+    }
+
+    /// Sets the number of records per chunk that `drain_into` hands to
+    /// sinks (default [`DEFAULT_CHUNK_CAPACITY`]). Chunk size never
+    /// changes the record stream, only its batching — asserted by the
+    /// chunk-size invariance tests.
+    pub fn set_chunk_capacity(&mut self, capacity: usize) {
+        self.chunk_capacity = capacity.max(1);
+    }
+
+    /// Crypto-PAn memo-cache totals as `(hits, misses)` — zero for a
+    /// raw collector.
+    pub fn cryptopan_cache_stats(&self) -> (u64, u64) {
+        self.anonymizer
+            .as_ref()
+            .map_or((0, 0), |cp| (cp.hits(), cp.misses))
     }
 
     /// Attaches flight-recorder span recording.
@@ -167,7 +204,7 @@ impl Collector {
         }
         for mut rec in records {
             anonymize_record(
-                &self.anonymizer,
+                &mut self.anonymizer,
                 &self.server_prefixes,
                 &self.metrics,
                 &mut rec,
@@ -175,6 +212,7 @@ impl Collector {
             self.records.push(rec);
         }
         self.peak_resident = self.peak_resident.max(self.records.len());
+        self.publish_cache_deltas();
     }
 
     /// Ingests an already-decoded export packet.
@@ -227,7 +265,7 @@ impl Collector {
 
         for mut rec in packet.records {
             anonymize_record(
-                &self.anonymizer,
+                &mut self.anonymizer,
                 &self.server_prefixes,
                 &self.metrics,
                 &mut rec,
@@ -235,10 +273,24 @@ impl Collector {
             self.records.push(rec);
         }
         self.peak_resident = self.peak_resident.max(self.records.len());
+        self.publish_cache_deltas();
         if let (Some(t), Some(start)) = (&self.trace, ingest_start) {
             t.buf
                 .complete(t.ingest, start, t.buf.now_ns().saturating_sub(start));
         }
+    }
+
+    /// Publishes the memo cache's hit/miss growth since the last call
+    /// to the metric counters (cheap: two adds per export datagram).
+    fn publish_cache_deltas(&mut self) {
+        let (Some(m), Some(cp)) = (&self.metrics, &self.anonymizer) else {
+            return;
+        };
+        let (hits, misses) = (cp.hits(), cp.misses);
+        m.cryptopan_hits.add(hits - self.published_hits);
+        m.cryptopan_misses.add(misses - self.published_misses);
+        self.published_hits = hits;
+        self.published_misses = misses;
     }
 
     /// All records collected so far.
@@ -252,13 +304,27 @@ impl Collector {
     }
 
     /// Streams every resident record into `sink` (in collection order)
-    /// and clears the buffer, keeping its capacity. This is the chunked
-    /// emission primitive: draining after every export round bounds the
-    /// collector's resident set to one chunk.
+    /// as columnar [`FlowChunk`]s of at most `chunk_capacity` records,
+    /// then clears the buffer, keeping its capacity. This is the
+    /// batched emission primitive: draining after every export round
+    /// bounds the collector's resident set to one export round, and the
+    /// chunking amortizes the sink's dyn dispatch to one call per chunk.
     pub fn drain_into(&mut self, sink: &mut dyn FlowSink) {
+        let cap = self.chunk_capacity;
+        let mut chunk = std::mem::take(&mut self.chunk);
+        chunk.clear();
         for rec in &self.records {
-            sink.observe(rec);
+            chunk.push(rec);
+            if chunk.len() >= cap {
+                sink.observe_chunk(&chunk);
+                chunk.clear();
+            }
         }
+        if !chunk.is_empty() {
+            sink.observe_chunk(&chunk);
+            chunk.clear();
+        }
+        self.chunk = chunk;
         self.records.clear();
     }
 
@@ -282,7 +348,7 @@ impl Collector {
 
 /// Applies the anonymization policy to one record, counting rewrites.
 fn anonymize_record(
-    anonymizer: &Option<CryptoPan>,
+    anonymizer: &mut Option<CachedCryptoPan>,
     server_prefixes: &[(Ipv4Addr, u8)],
     metrics: &Option<CollectorMetrics>,
     rec: &mut FlowRecord,
@@ -556,6 +622,67 @@ mod tests {
             batch.ingest_packet(p.clone());
         }
         assert_eq!(batch.peak_resident_records(), recs.len());
+    }
+
+    #[test]
+    fn cache_counters_published_and_stream_unchanged() {
+        use std::sync::Arc;
+        let registry = Arc::new(Registry::new());
+        // Two records per client address: the second visit of each
+        // address is a full-address cache hit.
+        let clients: Vec<Ipv4Addr> = (1..=10u8).map(|i| Ipv4Addr::new(93, 10, 20, i)).collect();
+        let recs: Vec<FlowRecord> = clients
+            .iter()
+            .chain(clients.iter())
+            .map(|&c| record(c))
+            .collect();
+        let (pkts, _) = packetize(&recs, 1, 1000, 0, 0);
+        let mut col = Collector::new_anonymizing(&[9u8; 32], vec![SERVER_PREFIX]);
+        col.set_metrics(CollectorMetrics::new(&registry));
+        for p in &pkts {
+            col.ingest_packet(p.clone());
+        }
+        let (hits, misses) = col.cryptopan_cache_stats();
+        assert!(hits >= 10, "second visits hit: {hits}");
+        // All clients share a /24, so only the very first address pays
+        // the full 32-block walk.
+        assert_eq!(misses, 1, "one cold /24");
+        assert_eq!(
+            registry
+                .counter("netflow.collector.cryptopan_cache_hits")
+                .get(),
+            hits
+        );
+        assert_eq!(
+            registry
+                .counter("netflow.collector.cryptopan_cache_misses")
+                .get(),
+            misses
+        );
+        // Caching is invisible in the record stream: same outputs as an
+        // identically keyed uncached walk.
+        let cp = CryptoPan::new(&[9u8; 32]);
+        for (stored, orig) in col.records().iter().zip(&recs) {
+            assert_eq!(stored.key.dst_ip, cp.anonymize(orig.key.dst_ip));
+        }
+    }
+
+    #[test]
+    fn drain_chunk_capacity_invariant() {
+        let recs: Vec<FlowRecord> = (1..=60u8)
+            .map(|i| record(Ipv4Addr::new(10, 0, 0, i)))
+            .collect();
+        let (pkts, _) = packetize(&recs, 1, 1000, 0, 0);
+        for cap in [1usize, 7, 4096] {
+            let mut col = Collector::new_raw();
+            col.set_chunk_capacity(cap);
+            let mut drained: Vec<FlowRecord> = Vec::new();
+            for p in &pkts {
+                col.ingest_packet(p.clone());
+            }
+            col.drain_into(&mut drained);
+            assert_eq!(drained, recs, "chunk capacity {cap}");
+        }
     }
 
     #[test]

@@ -49,13 +49,13 @@ pub mod sink;
 pub mod v5;
 pub mod v9;
 
-pub use anonymize::CryptoPan;
+pub use anonymize::{CachedCryptoPan, CryptoPan};
 pub use biflow::{merge_biflows, Biflow, BiflowConfig};
 pub use cache::{FlowCache, FlowCacheConfig};
 pub use collector::Collector;
 pub use estimate::{estimate_volumes, VolumeEstimate};
 pub use flow::{FlowKey, FlowRecord, Protocol};
 pub use sampling::{PacketSampler, SamplingMode};
-pub use sink::{CountingSink, FlowSink};
+pub use sink::{CountingSink, FlowChunk, FlowSink, DEFAULT_CHUNK_CAPACITY};
 pub use v5::{ExportPacket, V5Header};
 pub use v9::{V9Decoder, V9Exporter};

@@ -22,6 +22,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
+use crate::http::names;
 use crate::Registry;
 
 /// One heartbeat: a monotonic timestamp plus the numeric value of
@@ -251,7 +252,20 @@ impl Heartbeat {
             let _ = writeln!(w, "{}", registry.to_json_with_ts(ts_ms));
             let _ = w.flush();
         }
-        ring.lock().expect("heartbeat ring poisoned").push(sample);
+        let rate = {
+            let mut ring = ring.lock().expect("heartbeat ring poisoned");
+            ring.push(sample);
+            ring.window_rate(names::RECORDS)
+        };
+        // Publish the windowed ingest rate back into the registry as a
+        // gauge: scrapes of `/metrics` (and the jsonl stream) then carry
+        // a ready-made records/s without client-side differencing. Pure
+        // observation — gauges never feed back into simulation logic.
+        if let Some(rate) = rate {
+            registry
+                .gauge(names::RECORDS_PER_SEC)
+                .set(rate.round().clamp(i64::MIN as f64, i64::MAX as f64) as i64);
+        }
     }
 
     /// The sample ring, shared with the scrape server.
@@ -378,6 +392,32 @@ mod tests {
         assert!(ring.stalled("records", 3), "flat across 3 heartbeats");
         ring.push(sample(400, &[("records", 11)]));
         assert!(!ring.stalled("records", 3), "progress clears the stall");
+    }
+
+    #[test]
+    fn sampler_publishes_records_per_sec_gauge() {
+        let reg = Arc::new(Registry::new());
+        let records = reg.counter(names::RECORDS);
+        let hb = Heartbeat::start(
+            Arc::clone(&reg),
+            HeartbeatConfig {
+                interval: Duration::from_millis(5),
+                capacity: 64,
+                jsonl: None,
+            },
+        )
+        .expect("sampler starts");
+        for _ in 0..20 {
+            records.add(1_000);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        hb.stop();
+        let published = reg
+            .sample()
+            .get(names::RECORDS_PER_SEC)
+            .copied()
+            .expect("gauge registered");
+        assert!(published > 0, "counter was rising, got {published}/s");
     }
 
     #[test]

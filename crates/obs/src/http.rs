@@ -35,6 +35,10 @@ use crate::{json_string, Registry};
 pub mod names {
     /// Flow records ingested across all collectors.
     pub const RECORDS: &str = "netflow.collector.records";
+    /// Ingest throughput over the heartbeat window, published back
+    /// into the registry by the sampler so plain `/metrics` scrapes
+    /// (and the jsonl stream) carry a rate without differencing.
+    pub const RECORDS_PER_SEC: &str = "netflow.collector.records_per_sec";
     /// Flow bytes ingested across all collectors.
     pub const BYTES: &str = "netflow.collector.bytes";
     /// Simulated hours completed / total.

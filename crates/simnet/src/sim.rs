@@ -214,6 +214,7 @@ pub struct Simulation {
     config: SimConfig,
     metrics: Option<std::sync::Arc<cwa_obs::Registry>>,
     trace: Option<std::sync::Arc<cwa_obs::Tracer>>,
+    chunk_capacity: Option<usize>,
 }
 
 impl Simulation {
@@ -223,7 +224,18 @@ impl Simulation {
             config,
             metrics: None,
             trace: None,
+            chunk_capacity: None,
         }
+    }
+
+    /// Overrides the collector's records-per-chunk drain batching
+    /// (default `cwa_netflow::DEFAULT_CHUNK_CAPACITY`). Deliberately
+    /// *not* part of [`SimConfig`]: chunking is an execution detail that
+    /// never changes the record stream (asserted by the chunk-size
+    /// invariance tests), so it must not enter config hashes.
+    pub fn with_chunk_capacity(mut self, capacity: usize) -> Self {
+        self.chunk_capacity = Some(capacity);
+        self
     }
 
     /// Attaches an observability registry. Instrumentation is atomic
@@ -349,6 +361,7 @@ impl Simulation {
             config: cfg,
             metrics: self.metrics.clone(),
             trace: self.trace.clone(),
+            chunk_capacity: self.chunk_capacity,
             germany,
             plan,
             geodb: geodb_anon,
@@ -378,6 +391,7 @@ pub struct PreparedSim {
     pub config: SimConfig,
     metrics: Option<std::sync::Arc<cwa_obs::Registry>>,
     trace: Option<std::sync::Arc<cwa_obs::Tracer>>,
+    chunk_capacity: Option<usize>,
     /// The country model.
     pub germany: Germany,
     /// The address plan (ground truth; tests/calibration only).
@@ -431,6 +445,9 @@ impl PreparedSim {
             self.cdn.service_prefixes.to_vec(),
             cfg.plan.prefix_len,
         );
+        if let Some(cap) = self.chunk_capacity {
+            vantage.set_chunk_capacity(cap);
+        }
         if let Some(registry) = &self.metrics {
             vantage.attach_metrics(registry, cfg.days);
         }
@@ -534,6 +551,11 @@ impl PreparedSim {
             sinks.len(),
             key_mode,
         );
+        if let Some(cap) = self.chunk_capacity {
+            for vantage in &mut vantages {
+                vantage.set_chunk_capacity(cap);
+            }
+        }
         if let Some(registry) = &self.metrics {
             for vantage in &mut vantages {
                 vantage.attach_metrics(registry, cfg.days);

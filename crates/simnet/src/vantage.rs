@@ -635,6 +635,16 @@ impl VantagePoint {
         self.collector.drain_into(sink);
     }
 
+    /// Sets the collector's records-per-[`FlowChunk`] drain batching
+    /// (default `cwa_netflow::DEFAULT_CHUNK_CAPACITY`). Batching never
+    /// changes the record stream, only how many records each
+    /// `observe_chunk` call carries.
+    ///
+    /// [`FlowChunk`]: cwa_netflow::FlowChunk
+    pub fn set_chunk_capacity(&mut self, capacity: usize) {
+        self.collector.set_chunk_capacity(capacity);
+    }
+
     /// Flushes all caches (end of measurement) and returns every
     /// collected, anonymized record.
     pub fn finish(self, final_hour: u32) -> Vec<FlowRecord> {

@@ -171,4 +171,55 @@ else
     exit 1
 fi
 
+echo "==> chunked-pipeline smoke (scale 0.2 streaming)"
+# One order of magnitude above the bench scale: exercises the columnar
+# chunk path (collector pack -> FanOut select_into -> per-consumer
+# observe_chunk) long enough for the Crypto-PAn prefix cache to matter.
+./target/release/cwa-repro study --scale 0.2 --streaming > /dev/null
+
+echo "==> chunked record-path floor (BENCH_fullscale.json)"
+# The fullscale bench replays one captured scale-0.02 record stream
+# through both shapes of the record path — per-record uncached
+# Crypto-PAn + per-record filter + 4 dyn observe calls (the
+# pre-refactor shape) vs. chunked memoized Crypto-PAn + one column-wise
+# select_into + 4 observe_chunk calls — so the ratio is attributable to
+# the record path alone. The ≥2x floor guards that stage. The
+# *end-to-end* streaming wall vs. the frozen BENCH_streaming.json
+# baseline is reported but not gated at 2x: the flight recorder
+# attributes ~80% of streaming wall to traffic generation, which this
+# refactor leaves untouched (its RNG stream pins every measured claim),
+# so end-to-end only gets the ingest share — it is held to a ≥0.8x
+# no-regression floor instead. Both floors are only enforced when this
+# host matches the measuring host's CPU count (same gate style as the
+# sharded guard above): numbers inherited from different hardware are
+# reported, not enforced.
+if [ -f BENCH_fullscale.json ]; then
+    python3 - <<'EOF'
+import json, os, sys
+doc = json.load(open("BENCH_fullscale.json"))
+cpus = doc.get("host_cpus", 1)
+host = os.cpu_count() or 1
+enforce = host == cpus
+if not enforce:
+    print(f"    measured on a {cpus}-cpu host, this one has {host}: floors reported, not enforced")
+rp = doc["record_path"]
+print(
+    f"    record path at scale {rp['scale']}: per-record {rp['per_record_ms']}ms, "
+    f"chunked {rp['chunked_ms']}ms -> {rp['speedup']}x"
+)
+if enforce and rp["speedup"] < 2.0:
+    sys.exit(f"chunked record path only {rp['speedup']}x the per-record shape (< 2.0x floor)")
+cmp_ = doc["comparison"]
+e2e = cmp_.get("speedup_vs_baseline")
+if e2e is None:
+    sys.exit("BENCH_fullscale.json has no baseline comparison; is BENCH_streaming.json intact?")
+print(f"    end to end at scale {cmp_['scale']}: {e2e}x the pre-refactor baseline")
+if enforce and e2e < 0.8:
+    sys.exit(f"end-to-end streaming regressed to {e2e}x the frozen baseline (< 0.8x floor)")
+EOF
+else
+    echo "    BENCH_fullscale.json missing; run: cargo bench -p cwa-bench --bench fullscale"
+    exit 1
+fi
+
 echo "==> ci green"

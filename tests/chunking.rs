@@ -1,0 +1,59 @@
+//! Chunk-capacity invariance: the columnar batch size on the record
+//! path is a pure performance knob. Any capacity — including the
+//! degenerate 1 (per-record chunks) and a prime that never divides an
+//! export hour evenly — must produce reports byte-identical to the
+//! default, on every execution path. Because the capacity is not part
+//! of [`StudyConfig`], the manifest's `config_hash` is covered by the
+//! same byte-level comparison: tuning the batch size can never change
+//! a run's identity.
+
+use cwa_repro::core::{Study, StudyConfig};
+
+/// Strips the volatile timings and serializes — byte-level equality is
+/// the strongest statement we can make about two runs.
+fn canonical_json(report: &cwa_repro::core::StudyReport) -> String {
+    serde_json::to_string(&report.strip_volatile()).expect("report serializes")
+}
+
+#[test]
+fn reports_are_invariant_to_chunk_capacity() {
+    let config = StudyConfig::test_small();
+    let baseline = Study::new(config)
+        .run_streaming()
+        .expect("small study produces matching flows");
+    let baseline_json = canonical_json(&baseline);
+
+    for capacity in [1usize, 7, 4096] {
+        let streaming = Study::new(config)
+            .with_chunk_capacity(capacity)
+            .run_streaming()
+            .expect("small study produces matching flows");
+        assert_eq!(
+            baseline_json,
+            canonical_json(&streaming),
+            "run_streaming(capacity {capacity}) == default capacity"
+        );
+
+        let sharded = Study::new(config)
+            .with_chunk_capacity(capacity)
+            .run_sharded(2)
+            .expect("small study produces matching flows");
+        assert_eq!(
+            baseline_json,
+            canonical_json(&sharded),
+            "run_sharded(2, capacity {capacity}) == default capacity"
+        );
+    }
+
+    // The batch path drains through the same chunked collector; the
+    // worst-case capacity must leave it untouched too.
+    let batch = Study::new(config)
+        .with_chunk_capacity(1)
+        .run()
+        .expect("small study produces matching flows");
+    assert_eq!(
+        baseline_json,
+        canonical_json(&batch),
+        "run(capacity 1) == streaming default"
+    );
+}
