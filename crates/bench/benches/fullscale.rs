@@ -3,25 +3,35 @@
 //! wall clock, sustained records/s, peak resident records, and the
 //! Crypto-PAn prefix-cache hit rate.
 //!
-//! Two comparison sections precede the headline (so their timings are
-//! not polluted by a 3-minute run right before them):
+//! Three comparison sections precede the headline (so their timings
+//! are not polluted by a multi-minute run right before them):
 //!
-//! * **record path** — the stage this refactor actually rewrote,
-//!   measured in isolation over a captured scale-0.02 record stream:
-//!   the pre-refactor shape (per-record uncached Crypto-PAn, per-record
-//!   `matches`, four per-record dyn `observe` calls) against the
-//!   chunked shape (memoized Crypto-PAn, one `select_into` per chunk,
-//!   four `observe_chunk` calls). Same records, same filter, same
-//!   consumer set on both sides — the ratio is attributable to the
-//!   record path alone, and `scripts/ci.sh` enforces a floor on it.
+//! * **sampler microbench** — the producer-side distributions in
+//!   isolation: the legacy shapes (Knuth product-loop Poisson with a
+//!   clamped-normal tail, per-packet Bernoulli binomial with a
+//!   clamped-normal tail, one-shot Box–Muller that discards the sine
+//!   variate) are reproduced verbatim inside this bench and raced
+//!   against the exact constant-draw samplers in `cwa-samplers`
+//!   (inversion + PTRS Poisson, BINV + BTPE binomial, paired-normal
+//!   cache) over a workload-shaped mixture of parameters. The ratio is
+//!   attributable to the sampler swap alone.
+//! * **record path** — the chunked-pipeline comparison from the
+//!   previous refactor, kept as a regression guard: the per-record
+//!   shape (uncached Crypto-PAn, per-record `matches`, four per-record
+//!   dyn `observe` calls) against the chunked shape over a captured
+//!   scale-0.02 record stream. `scripts/ci.sh` enforces a floor on it.
 //! * **end to end** — the scale-0.02 streaming study (median of 3)
-//!   against the committed pre-refactor baseline in
+//!   against the committed pre-chunking baseline in
 //!   `BENCH_streaming.json` — that file is the frozen before-picture
-//!   and is never rewritten here. Reported, not gated: the flight
-//!   recorder attributes ~80% of streaming wall clock to traffic
-//!   *generation*, which this refactor deliberately left untouched
-//!   (its RNG stream pins every measured claim), so end-to-end wall
-//!   moves only by the ingest share.
+//!   and is never rewritten here. The flight recorder used to
+//!   attribute ~80% of streaming wall clock to traffic *generation*;
+//!   the sampler swap attacks exactly that share, so end-to-end wall
+//!   now moves multi-× (and ci.sh holds a floor on the speedup).
+//!
+//! The headline run carries the flight recorder, and a producer-only
+//! pass times `generate_hour` end to end: the `producer` section
+//! reports flow events/s and the `produce` span's share of streaming
+//! wall clock at scale 1.0.
 //!
 //! Plain `harness = false` binary with manual timing: each measurement
 //! is a full simulate+analyze run, so Criterion's sampling machinery
@@ -33,6 +43,8 @@ use std::net::Ipv4Addr;
 use std::sync::Arc;
 use std::time::Instant;
 
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
 
 use cwa_analysis::filter::FlowFilter;
@@ -44,13 +56,83 @@ use cwa_netflow::{
     CachedCryptoPan, CountingSink, CryptoPan, FlowChunk, FlowRecord, FlowSink,
     DEFAULT_CHUNK_CAPACITY,
 };
-use cwa_obs::Registry;
+use cwa_obs::{Registry, Tracer};
 use cwa_simnet::Simulation;
 
 /// The scale the comparison sections run at — must match a row of the
 /// committed `BENCH_streaming.json` baseline.
 const COMPARE_SCALE: f64 = 0.02;
 const COMPARE_REPS: usize = 3;
+
+/// Draws per sampler side in the microbench.
+const SAMPLER_DRAWS: u64 = 4_000_000;
+
+/// The pre-swap sampler shapes, reproduced verbatim from the seed's
+/// `cwa-simnet::stats` and `cwa-netflow::sampling` so the microbench
+/// keeps a stable before-picture after the originals are gone.
+mod legacy {
+    use rand::Rng;
+
+    /// One-shot Box–Muller: burns two uniforms and discards the sine
+    /// variate.
+    pub fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen::<f64>();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Knuth's product method below mean 30 (O(mean) uniforms), clamped
+    /// normal approximation above (approximate).
+    pub fn poisson<R: Rng>(rng: &mut R, mean: f64) -> u64 {
+        if mean <= 0.0 {
+            return 0;
+        }
+        if mean < 30.0 {
+            let l = (-mean).exp();
+            let mut k = 0u64;
+            let mut p = 1.0;
+            loop {
+                p *= rng.gen::<f64>();
+                if p <= l {
+                    return k;
+                }
+                k += 1;
+                if k > 100_000 {
+                    return mean as u64;
+                }
+            }
+        } else {
+            let z = standard_normal(rng);
+            (mean + mean.sqrt() * z).max(0.0).round() as u64
+        }
+    }
+
+    /// Per-packet Bernoulli summation up to 64 packets (O(packets)
+    /// uniforms), continuity-corrected clamped normal above
+    /// (approximate).
+    pub fn sample_packet_count<R: Rng>(rng: &mut R, packets: u64, n: u32) -> u64 {
+        let n = n.max(1);
+        if n == 1 {
+            return packets;
+        }
+        let p = 1.0 / f64::from(n);
+        if packets <= 64 {
+            let mut hits = 0u64;
+            for _ in 0..packets {
+                if rng.gen::<f64>() < p {
+                    hits += 1;
+                }
+            }
+            hits
+        } else {
+            let mean = packets as f64 * p;
+            let sd = (packets as f64 * p * (1.0 - p)).sqrt();
+            let z = standard_normal(rng);
+            let draw = (mean + sd * z + 0.5).floor();
+            draw.clamp(0.0, packets as f64) as u64
+        }
+    }
+}
 
 #[derive(Serialize)]
 struct Headline {
@@ -88,13 +170,117 @@ struct Comparison {
 }
 
 #[derive(Serialize)]
+struct SamplerMicro {
+    draws_per_side: u64,
+    legacy_poisson_ns_per_draw: f64,
+    exact_poisson_ns_per_draw: f64,
+    poisson_speedup: f64,
+    legacy_binomial_ns_per_draw: f64,
+    exact_binomial_ns_per_draw: f64,
+    binomial_speedup: f64,
+    legacy_normal_ns_per_draw: f64,
+    paired_normal_ns_per_draw: f64,
+    normal_speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Producer {
+    scale: f64,
+    wall_ms: f64,
+    flow_events: u64,
+    events_per_sec: f64,
+    produce_span_ms: f64,
+    produce_share_of_streaming: f64,
+    sampler: SamplerMicro,
+}
+
+#[derive(Serialize)]
 struct BenchDoc {
     schema: &'static str,
     generated_by: &'static str,
     host_cpus: usize,
     headline: Headline,
+    producer: Producer,
     record_path: RecordPath,
     comparison: Comparison,
+}
+
+/// Times `SAMPLER_DRAWS` draws of `draw` (cycling a workload-shaped
+/// parameter mixture by index) and returns ns/draw.
+fn time_draws(mut draw: impl FnMut(&mut ChaCha8Rng, usize) -> u64) -> f64 {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xBE7C);
+    let mut acc = 0u64;
+    let t = Instant::now();
+    for i in 0..SAMPLER_DRAWS {
+        acc = acc.wrapping_add(draw(&mut rng, i as usize));
+    }
+    let ns = t.elapsed().as_nanos() as f64;
+    black_box(acc);
+    ns / SAMPLER_DRAWS as f64
+}
+
+/// Races the legacy sampler shapes against the exact constant-draw ones
+/// over parameter mixtures shaped like the generator's workload.
+fn sampler_microbench() -> SamplerMicro {
+    // Arrival intensities spanning generate_hour's cohort-hour means,
+    // straddling both samplers' small/large-mean cutoffs.
+    const MEANS: [f64; 5] = [0.4, 2.5, 8.0, 35.0, 140.0];
+    // Flow sizes at 1:1000 packet sampling: mostly small flows (the
+    // log-normal bulk), a bulk-transfer tail crossing the legacy
+    // 64-packet Bernoulli bound and the BINV/BTPE cutoff.
+    const FLOWS: [u64; 5] = [6, 20, 60, 400, 20_000];
+    const INTERVAL: u32 = 1000;
+
+    let legacy_poisson = time_draws(|rng, i| legacy::poisson(rng, MEANS[i % MEANS.len()]));
+    let exact_poisson = time_draws(|rng, i| cwa_samplers::poisson(rng, MEANS[i % MEANS.len()]));
+    let legacy_binomial =
+        time_draws(|rng, i| legacy::sample_packet_count(rng, FLOWS[i % FLOWS.len()], INTERVAL));
+    let exact_binomial = time_draws(|rng, i| {
+        cwa_samplers::binomial(rng, FLOWS[i % FLOWS.len()], 1.0 / f64::from(INTERVAL))
+    });
+    let legacy_normal = time_draws(|rng, _| legacy::standard_normal(rng) as u64);
+    let mut cache = cwa_samplers::NormalCache::new();
+    let paired_normal = time_draws(|rng, _| cache.standard_normal(rng) as u64);
+
+    println!(
+        "samplers ({SAMPLER_DRAWS} draws/side): poisson {legacy_poisson:.1} -> \
+         {exact_poisson:.1} ns/draw ({:.2}x), binomial {legacy_binomial:.1} -> \
+         {exact_binomial:.1} ns/draw ({:.2}x), normal {legacy_normal:.1} -> \
+         {paired_normal:.1} ns/draw ({:.2}x)",
+        legacy_poisson / exact_poisson,
+        legacy_binomial / exact_binomial,
+        legacy_normal / paired_normal,
+    );
+    SamplerMicro {
+        draws_per_side: SAMPLER_DRAWS,
+        legacy_poisson_ns_per_draw: round3(legacy_poisson),
+        exact_poisson_ns_per_draw: round3(exact_poisson),
+        poisson_speedup: round3(legacy_poisson / exact_poisson),
+        legacy_binomial_ns_per_draw: round3(legacy_binomial),
+        exact_binomial_ns_per_draw: round3(exact_binomial),
+        binomial_speedup: round3(legacy_binomial / exact_binomial),
+        legacy_normal_ns_per_draw: round3(legacy_normal),
+        paired_normal_ns_per_draw: round3(paired_normal),
+        normal_speedup: round3(legacy_normal / paired_normal),
+    }
+}
+
+/// Sums the flight recorder's `produce` span durations (Chrome JSON
+/// `dur` fields are microseconds).
+fn produce_span_ms(tracer: &Tracer) -> f64 {
+    let doc: serde_json::Value =
+        serde_json::from_str(&tracer.to_chrome_json()).expect("tracer emits valid JSON");
+    let mut total_us = 0.0;
+    if let Some(events) = doc.get("traceEvents").and_then(|e| e.as_array()) {
+        for ev in events {
+            if ev.get("name").and_then(|n| n.as_str()) == Some("produce") {
+                if let Some(serde_json::Value::Num(dur)) = ev.get("dur") {
+                    total_us += dur.as_f64();
+                }
+            }
+        }
+    }
+    total_us / 1e3
 }
 
 fn median_ms(mut samples: Vec<f64>) -> f64 {
@@ -253,6 +439,10 @@ fn replay_chunked(
 }
 
 fn main() {
+    // ── Samplers: legacy shapes vs. exact constant-draw shapes ─────
+    eprintln!("[fullscale] racing sampler shapes …");
+    let sampler = sampler_microbench();
+
     // ── Record path: per-record legacy shape vs. chunked shape ─────
     // Capture a real scale-0.02 record stream once. `run_traffic`'s
     // output is already anonymized; re-anonymizing it below costs
@@ -360,15 +550,18 @@ fn main() {
     // ── Headline: scale 1.0, one core, chunked streaming path ──────
     let config = StudyConfig::at_scale(1.0);
     let registry = Arc::new(Registry::new());
+    let tracer = Arc::new(Tracer::new());
     eprintln!("[fullscale] running scale 1.0 streaming study (single rep) …");
     let t = Instant::now();
     let report = black_box(
         Study::new(config)
             .with_metrics(Arc::clone(&registry))
+            .with_trace(Arc::clone(&tracer))
             .run_streaming()
             .expect("full-scale study failed"),
     );
     let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    let produce_ms = produce_span_ms(&tracer);
 
     let hits = registry
         .counter("netflow.collector.cryptopan_cache_hits")
@@ -382,14 +575,42 @@ fn main() {
         0.0
     };
 
-    // Residency: drive the producer once more into a counting sink —
-    // the streaming path holds at most one export hour of records.
+    // Residency + producer isolation: drive the producer once more into
+    // a counting sink — the streaming path holds at most one export
+    // hour of records, and with no analysis behind it this pass times
+    // generate_hour (plus vantage bookkeeping) alone.
     eprintln!("[fullscale] measuring peak residency (producer-only pass) …");
-    let prepared = Simulation::new(config.sim).prepare();
+    let producer_registry = Arc::new(Registry::new());
+    let prepared = Simulation::new(config.sim)
+        .with_metrics(Arc::clone(&producer_registry))
+        .prepare();
     let mut sink = CountingSink::default();
+    let producer_t = Instant::now();
     let (_truth, stats) = prepared.run_traffic(&mut sink);
+    let producer_wall_ms = producer_t.elapsed().as_secs_f64() * 1e3;
     assert_eq!(sink.records, report.total_records);
     assert!(stats.peak_resident_records < sink.records);
+    let flow_events = producer_registry
+        .counter("simnet.traffic.flow_events")
+        .get();
+    let events_per_sec = flow_events as f64 / (producer_wall_ms / 1e3);
+    let produce_share = produce_ms / wall_ms;
+    println!(
+        "producer (scale 1.0): {:.1}s wall, {flow_events} flow events \
+         ({events_per_sec:.0}/s); produce span {:.1}s = {:.1}% of streaming wall",
+        producer_wall_ms / 1e3,
+        produce_ms / 1e3,
+        produce_share * 100.0,
+    );
+    let producer = Producer {
+        scale: 1.0,
+        wall_ms: round3(producer_wall_ms),
+        flow_events,
+        events_per_sec: round3(events_per_sec),
+        produce_span_ms: round3(produce_ms),
+        produce_share_of_streaming: round3(produce_share),
+        sampler,
+    };
 
     let records_per_sec = report.total_records as f64 / (wall_ms / 1e3);
     println!(
@@ -422,6 +643,7 @@ fn main() {
             cryptopan_cache_misses: misses,
             cryptopan_cache_hit_rate: round3(hit_rate),
         },
+        producer,
         record_path,
         comparison,
     };

@@ -64,34 +64,18 @@ impl PacketSampler {
 /// Draws how many of `packets` packets a 1-in-`n` random sampler selects:
 /// a Binomial(packets, 1/n) sample.
 ///
-/// Uses exact Bernoulli summation for small flows and a
-/// normal approximation (continuity-corrected, clamped) for large ones,
-/// which is both fast and accurate at the flow sizes the simulator
-/// produces.
+/// Exact at every flow size via [`cwa_samplers::binomial`] — BINV
+/// inversion (one uniform) in the sparse regime the §2 phenomenon
+/// lives in, BTPE rejection for bulk flows. This replaced a
+/// per-packet Bernoulli loop (up to 64 uniforms per flow, the
+/// generator's single hottest RNG sink) and an *approximate*
+/// clamped-normal path above 64 packets.
 pub fn sample_packet_count<R: Rng>(rng: &mut R, packets: u64, n: u32) -> u64 {
     let n = n.max(1);
     if n == 1 {
         return packets;
     }
-    let p = 1.0 / f64::from(n);
-    if packets <= 64 {
-        let mut hits = 0u64;
-        for _ in 0..packets {
-            if rng.gen::<f64>() < p {
-                hits += 1;
-            }
-        }
-        hits
-    } else {
-        let mean = packets as f64 * p;
-        let sd = (packets as f64 * p * (1.0 - p)).sqrt();
-        // Box-Muller standard normal.
-        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-        let u2: f64 = rng.gen::<f64>();
-        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-        let draw = (mean + sd * z + 0.5).floor();
-        draw.clamp(0.0, packets as f64) as u64
-    }
+    cwa_samplers::binomial(rng, packets, 1.0 / f64::from(n))
 }
 
 /// Scales sampled packet/byte counts back up by the sampling interval —

@@ -252,20 +252,28 @@ impl Heartbeat {
             let _ = writeln!(w, "{}", registry.to_json_with_ts(ts_ms));
             let _ = w.flush();
         }
-        let rate = {
+        let (record_rate, event_rate) = {
             let mut ring = ring.lock().expect("heartbeat ring poisoned");
             ring.push(sample);
-            ring.window_rate(names::RECORDS)
+            (
+                ring.window_rate(names::RECORDS),
+                ring.window_rate(names::EVENTS),
+            )
         };
-        // Publish the windowed ingest rate back into the registry as a
-        // gauge: scrapes of `/metrics` (and the jsonl stream) then carry
-        // a ready-made records/s without client-side differencing. Pure
-        // observation — gauges never feed back into simulation logic.
-        if let Some(rate) = rate {
-            registry
-                .gauge(names::RECORDS_PER_SEC)
-                .set(rate.round().clamp(i64::MIN as f64, i64::MAX as f64) as i64);
-        }
+        // Publish the windowed rates back into the registry as gauges:
+        // scrapes of `/metrics` (and the jsonl stream) then carry a
+        // ready-made records/s — and its producer-side twin events/s —
+        // without client-side differencing. Pure observation — gauges
+        // never feed back into simulation logic.
+        let publish = |name: &str, rate: Option<f64>| {
+            if let Some(rate) = rate {
+                registry
+                    .gauge(name)
+                    .set(rate.round().clamp(i64::MIN as f64, i64::MAX as f64) as i64);
+            }
+        };
+        publish(names::RECORDS_PER_SEC, record_rate);
+        publish(names::EVENTS_PER_SEC, event_rate);
     }
 
     /// The sample ring, shared with the scrape server.
@@ -417,6 +425,32 @@ mod tests {
             .get(names::RECORDS_PER_SEC)
             .copied()
             .expect("gauge registered");
+        assert!(published > 0, "counter was rising, got {published}/s");
+    }
+
+    #[test]
+    fn sampler_publishes_events_per_sec_gauge() {
+        let reg = Arc::new(Registry::new());
+        let events = reg.counter(names::EVENTS);
+        let hb = Heartbeat::start(
+            Arc::clone(&reg),
+            HeartbeatConfig {
+                interval: Duration::from_millis(5),
+                capacity: 64,
+                jsonl: None,
+            },
+        )
+        .expect("sampler starts");
+        for _ in 0..20 {
+            events.add(4_000);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        hb.stop();
+        let published = reg
+            .sample()
+            .get(names::EVENTS_PER_SEC)
+            .copied()
+            .expect("producer gauge registered");
         assert!(published > 0, "counter was rising, got {published}/s");
     }
 

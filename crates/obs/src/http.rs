@@ -41,6 +41,14 @@ pub mod names {
     pub const RECORDS_PER_SEC: &str = "netflow.collector.records_per_sec";
     /// Flow bytes ingested across all collectors.
     pub const BYTES: &str = "netflow.collector.bytes";
+    /// Flow events emitted by the traffic generator (producer side;
+    /// pre-sampling, both directions).
+    pub const EVENTS: &str = "simnet.traffic.flow_events";
+    /// Producer throughput over the heartbeat window — the
+    /// generator-side twin of [`RECORDS_PER_SEC`], published by the
+    /// sampler so `/metrics` scrapes can attribute a stall to the
+    /// producer (events flat) vs the collector (records flat).
+    pub const EVENTS_PER_SEC: &str = "simnet.traffic.events_per_sec";
     /// Simulated hours completed / total.
     pub const HOURS_DONE: &str = "sim.progress.hours_done";
     /// Total simulated hours in the run.
@@ -327,12 +335,15 @@ fn progress_body(state: &TelemetryState) -> String {
          \"days_done\":{},\"days_total\":{},\
          \"hours_done\":{hours_done},\"hours_total\":{hours_total},\
          \"records\":{},\"records_per_s\":{},\"bytes_per_s\":{},\
+         \"events\":{},\"events_per_s\":{},\
          \"eta_s\":{},\"heartbeats\":{},\"shards\":[{shards}]}}",
         get(names::DAYS_DONE),
         get(names::DAYS_TOTAL),
         get(names::RECORDS),
         json_opt_f64(ring.window_rate(names::RECORDS)),
         json_opt_f64(ring.window_rate(names::BYTES)),
+        get(names::EVENTS),
+        json_opt_f64(ring.window_rate(names::EVENTS)),
         json_opt_f64(eta_s),
         ring.total(),
     )
@@ -393,6 +404,7 @@ mod tests {
         let registry = Arc::new(Registry::new());
         registry.counter(names::RECORDS).add(1_000);
         registry.counter(names::BYTES).add(64_000);
+        registry.counter(names::EVENTS).add(4_000);
         registry.gauge(names::HOURS_TOTAL).set(264);
         registry.gauge(names::HOURS_DONE).set(24);
         registry.gauge(names::DAYS_TOTAL).set(11);
@@ -409,6 +421,7 @@ mod tests {
                 values: [
                     (names::RECORDS.to_string(), v(0)),
                     (names::BYTES.to_string(), v(0) * 64),
+                    (names::EVENTS.to_string(), v(0) * 4),
                     (names::HOURS_DONE.to_string(), (i as i64) * 6),
                     ("sim.shard.00.records".to_string(), v(0) / 2),
                     ("sim.shard.01.records".to_string(), v(0) / 2),
@@ -443,6 +456,8 @@ mod tests {
         assert!(body.contains("\"cwa-progress/v1\""), "got: {body}");
         assert!(body.contains("\"state\":\"running\""), "got: {body}");
         assert!(body.contains("\"records_per_s\":100.000"), "got: {body}");
+        assert!(body.contains("\"events\":4000"), "got: {body}");
+        assert!(body.contains("\"events_per_s\":400.000"), "got: {body}");
         assert!(body.contains("\"shard\":\"00\""), "got: {body}");
         // 240 hours remain at 6 hours/s → 40s ETA.
         assert!(body.contains("\"eta_s\":40.000"), "got: {body}");

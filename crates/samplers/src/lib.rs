@@ -1,0 +1,573 @@
+//! Exact, constant-draw seeded samplers.
+//!
+//! Every generator in this workspace is driven by a seeded ChaCha8
+//! stream, and at full scale the traffic generator is the hot path —
+//! so samplers here are chosen for a *bounded uniform budget per
+//! draw*, not per unit of probability mass simulated:
+//!
+//! * [`poisson`] — exact at every mean: sequential CDF inversion
+//!   (one uniform) below a small-mean cutoff, Hörmann's PTRS
+//!   transformed rejection (O(1) uniforms, ~1.1 expected) above it.
+//!   Replaces Knuth's product method (~mean+1 uniforms) and the
+//!   *approximate* clamped-normal large-mean fallback.
+//! * [`binomial`] — exact at every size: BINV sequential inversion
+//!   (one uniform) while `n·min(p,1-p)` is small, BTPE
+//!   triangle/parallelogram/tail rejection above it. Replaces both the
+//!   per-packet Bernoulli loop (up to n uniforms) and the approximate
+//!   continuity-corrected normal used for large flows.
+//! * [`NormalCache`] — Box–Muller produces two independent normals
+//!   from two uniforms; the cache hands out both instead of
+//!   discarding the sine variate.
+//! * [`map_bits_u32`] — widening multiply-shift from 32 random bits
+//!   onto `0..n`, for collapsing several per-flow field draws into one
+//!   split `u64`.
+//!
+//! All samplers consume the RNG deterministically, so same-seed runs
+//! stay bit-identical; swapping them in *re-pins* every downstream
+//! seeded stream exactly once.
+
+#![forbid(unsafe_code)]
+
+use rand::Rng;
+
+/// Mean below which [`poisson`] uses one-uniform CDF inversion.
+pub const POISSON_INVERSION_CUTOFF: f64 = 10.0;
+
+/// `n·min(p,1-p)` below which [`binomial`] uses one-uniform BINV
+/// inversion.
+pub const BINOMIAL_INVERSION_CUTOFF: f64 = 10.0;
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7,
+/// 9 coefficients; |rel err| < 1e-13 on the positive axis we use).
+///
+/// `f64::ln_gamma` is nightly-only and the vendored crate set has no
+/// `libm`, so the samplers carry their own.
+pub fn ln_gamma(x: f64) -> f64 {
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula; only reached for arguments < 0.5, which
+        // the samplers never produce (they pass k + 1 ≥ 1).
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let t = x + 7.5;
+    let mut a = COEF[0];
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Draws from Poisson(`mean`), exactly, at any mean.
+///
+/// One uniform (sequential CDF inversion) below
+/// [`POISSON_INVERSION_CUTOFF`]; Hörmann's PTRS transformed rejection
+/// above it, which accepts with ~87 % probability per (u, v) pair so
+/// the expected uniform budget is ~2.3 regardless of the mean.
+pub fn poisson<R: Rng>(rng: &mut R, mean: f64) -> u64 {
+    if mean <= 0.0 {
+        return 0;
+    }
+    if mean < POISSON_INVERSION_CUTOFF {
+        poisson_inversion(rng, mean)
+    } else {
+        poisson_ptrs(rng, mean)
+    }
+}
+
+/// Sequential CDF search: walk the pmf until the single uniform is
+/// consumed. Expected work is O(mean) multiplications but exactly one
+/// RNG draw.
+fn poisson_inversion<R: Rng>(rng: &mut R, mean: f64) -> u64 {
+    let mut u: f64 = rng.gen();
+    let mut k = 0u64;
+    let mut pmf = (-mean).exp();
+    loop {
+        if u <= pmf {
+            return k;
+        }
+        u -= pmf;
+        k += 1;
+        pmf *= mean / k as f64;
+        if k > 500 {
+            return mean.round() as u64; // float-tail guard; unreachable in practice
+        }
+    }
+}
+
+/// PTRS: transformed rejection with squeeze (Hörmann 1993), valid for
+/// mean ≥ 10. Exact — the final comparison is against the true
+/// log-pmf via [`ln_gamma`].
+fn poisson_ptrs<R: Rng>(rng: &mut R, mean: f64) -> u64 {
+    let log_mean = mean.ln();
+    let b = 0.931 + 2.53 * mean.sqrt();
+    let a = -0.059 + 0.024_83 * b;
+    let inv_alpha = 1.1239 + 1.1328 / (b - 3.4);
+    let v_r = 0.9277 - 3.6224 / (b - 2.0);
+    loop {
+        let u = rng.gen::<f64>() - 0.5;
+        let v = rng.gen::<f64>();
+        let us = 0.5 - u.abs();
+        let k = ((2.0 * a / us + b) * u + mean + 0.43).floor();
+        if us >= 0.07 && v <= v_r {
+            return k as u64; // squeeze accept (the common case)
+        }
+        if k < 0.0 || (us < 0.013 && v > us) {
+            continue;
+        }
+        if (v * inv_alpha / (a / (us * us) + b)).ln() <= k * log_mean - mean - ln_gamma(k + 1.0) {
+            return k as u64;
+        }
+    }
+}
+
+/// Draws from Binomial(`n`, `p`), exactly, at any size.
+///
+/// One uniform (BINV sequential inversion) while `n·min(p,1-p)` is
+/// below [`BINOMIAL_INVERSION_CUTOFF`]; BTPE rejection above it (O(1)
+/// uniforms). `p > 0.5` is mirrored onto `n - Binomial(n, 1-p)`.
+pub fn binomial<R: Rng>(rng: &mut R, n: u64, p: f64) -> u64 {
+    if n == 0 || p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    if p > 0.5 {
+        n - binomial_half(rng, n, 1.0 - p)
+    } else {
+        binomial_half(rng, n, p)
+    }
+}
+
+/// Dispatch for `p ≤ 0.5`.
+fn binomial_half<R: Rng>(rng: &mut R, n: u64, p: f64) -> u64 {
+    if n as f64 * p < BINOMIAL_INVERSION_CUTOFF {
+        binomial_binv(rng, n, p)
+    } else {
+        binomial_btpe(rng, n, p)
+    }
+}
+
+/// BINV: invert one uniform through the pmf recursion
+/// `f(k+1) = f(k)·(n-k)p / ((k+1)q)`. Expected work is O(np)
+/// multiplications — for the 1-in-1000 packet-sampling case (np ≈
+/// 0.02) the loop body almost never runs at all.
+fn binomial_binv<R: Rng>(rng: &mut R, n: u64, p: f64) -> u64 {
+    let q = 1.0 - p;
+    let s = p / q;
+    let base = (n as f64 * q.ln()).exp(); // q^n, no underflow while np is small
+                                          // Restart bound: the pmf mass beyond mean + 10σ is < 1e-20; a
+                                          // uniform pointing past it is float-tail noise, so redraw.
+    let np = n as f64 * p;
+    let bound = (np + 10.0 * (np * q + 1.0).sqrt()).min(n as f64) as u64;
+    loop {
+        let mut u: f64 = rng.gen();
+        let mut k = 0u64;
+        let mut pmf = base;
+        loop {
+            if u <= pmf {
+                return k;
+            }
+            u -= pmf;
+            k += 1;
+            if k > bound {
+                break; // redraw
+            }
+            pmf *= s * (n - k + 1) as f64 / k as f64;
+        }
+    }
+}
+
+/// BTPE (Kachitvichyanukul & Schmeiser 1988): sample from a
+/// triangle + parallelogram + two exponential tails hat, accept
+/// against the exact pmf ratio `f(y)/f(m)` via [`ln_gamma`].
+/// Requires `p ≤ 0.5` and `np` above the inversion cutoff.
+fn binomial_btpe<R: Rng>(rng: &mut R, n: u64, p: f64) -> u64 {
+    let nf = n as f64;
+    let q = 1.0 - p;
+    let npq = nf * p * q;
+    let fm = nf * p + p;
+    let m = fm.floor();
+    let p1 = (2.195 * npq.sqrt() - 4.6 * q).floor() + 0.5;
+    let xm = m + 0.5;
+    let xl = xm - p1;
+    let xr = xm + p1;
+    let c = 0.134 + 20.5 / (15.3 + m);
+    let a = (fm - xl) / (fm - xl * p);
+    let lambda_l = a * (1.0 + 0.5 * a);
+    let a = (xr - fm) / (xr * q);
+    let lambda_r = a * (1.0 + 0.5 * a);
+    let p2 = p1 * (1.0 + 2.0 * c);
+    let p3 = p2 + c / lambda_l;
+    let p4 = p3 + c / lambda_r;
+    let log_odds = (p / q).ln();
+    let lg_m = ln_gamma(m + 1.0) + ln_gamma(nf - m + 1.0);
+
+    loop {
+        let u = rng.gen::<f64>() * p4;
+        let mut v: f64 = rng.gen();
+        let y: f64;
+        if u <= p1 {
+            // Triangular core: under the pmf everywhere, accept as-is.
+            y = (xm - p1 * v + u).floor();
+            return y.clamp(0.0, nf) as u64;
+        } else if u <= p2 {
+            // Parallelogram above the triangle.
+            let x = xl + (u - p1) / c;
+            v = v * c + 1.0 - (x - xm).abs() / p1;
+            if v <= 0.0 || v > 1.0 {
+                continue;
+            }
+            y = x.floor();
+        } else if u <= p3 {
+            // Left exponential tail.
+            y = (xl + v.ln() / lambda_l).floor();
+            if y < 0.0 {
+                continue;
+            }
+            v *= (u - p2) * lambda_l;
+        } else {
+            // Right exponential tail.
+            y = (xr - v.ln() / lambda_r).floor();
+            if y > nf {
+                continue;
+            }
+            v *= (u - p3) * lambda_r;
+        }
+        if y < 0.0 || y > nf {
+            continue;
+        }
+        // Exact accept test: v ≤ f(y)/f(m), in logs.
+        let log_ratio = lg_m - ln_gamma(y + 1.0) - ln_gamma(nf - y + 1.0) + (y - m) * log_odds;
+        if v.ln() <= log_ratio {
+            return y as u64;
+        }
+    }
+}
+
+/// Paired Box–Muller: two uniforms make two independent standard
+/// normals; the cache hands out the cosine variate immediately and
+/// the sine variate on the next call instead of discarding it.
+#[derive(Debug, Clone, Default)]
+pub struct NormalCache {
+    spare: Option<f64>,
+}
+
+impl NormalCache {
+    /// A cache with no banked variate.
+    pub fn new() -> Self {
+        NormalCache::default()
+    }
+
+    /// Draws a standard normal (N(0,1)).
+    pub fn standard_normal<R: Rng>(&mut self, rng: &mut R) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Draws from a log-normal with the given *median* (`exp(mu)`)
+    /// and shape `sigma` (σ of the underlying normal).
+    pub fn log_normal<R: Rng>(&mut self, rng: &mut R, median: f64, sigma: f64) -> f64 {
+        (median.ln() + sigma * self.standard_normal(rng)).exp()
+    }
+}
+
+/// One-shot standard normal for callers without a [`NormalCache`]
+/// (discards the paired variate).
+pub fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    NormalCache::new().standard_normal(rng)
+}
+
+/// One-shot log-normal (see [`NormalCache::log_normal`]).
+pub fn log_normal<R: Rng>(rng: &mut R, median: f64, sigma: f64) -> f64 {
+    NormalCache::new().log_normal(rng, median, sigma)
+}
+
+/// Maps 32 uniform random bits onto `0..n` with one widening
+/// multiply and no rejection loop.
+///
+/// Used to collapse several small per-flow field draws into one split
+/// `u64`. Unlike Lemire rejection this is not perfectly unbiased: the
+/// per-value probability deviates by at most `n / 2^32` relatively
+/// (< 3·10⁻⁵ for the ranges the generator uses) — far below anything
+/// a simulation-scale sample can resolve, and draw count stays
+/// constant.
+#[inline]
+pub fn map_bits_u32(bits: u32, n: u32) -> u32 {
+    ((u64::from(bits) * u64::from(n)) >> 32) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn mean_var(draws: &[f64]) -> (f64, f64) {
+        let n = draws.len() as f64;
+        let mean = draws.iter().sum::<f64>() / n;
+        let var = draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        let mut f = 1.0f64;
+        for k in 1..=30u64 {
+            f *= k as f64;
+            let got = ln_gamma(k as f64 + 1.0);
+            assert!(
+                (got - f.ln()).abs() < 1e-10,
+                "ln_gamma({}) = {got}, want {}",
+                k + 1,
+                f.ln()
+            );
+        }
+        // Half-integer anchor: Γ(1/2) = √π.
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn poisson_zero_and_negative() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+        assert_eq!(poisson(&mut rng, -1.0), 0);
+    }
+
+    #[test]
+    fn poisson_moments_across_both_regimes() {
+        // Mean and variance equal the parameter on both sides of the
+        // inversion/PTRS cutoff (Poisson: mean = var = λ).
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        for lam in [0.1f64, 2.0, 8.0, 12.0, 40.0, 300.0] {
+            let n = 60_000;
+            let draws: Vec<f64> = (0..n).map(|_| poisson(&mut rng, lam) as f64).collect();
+            let (mean, var) = mean_var(&draws);
+            let se = (lam / n as f64).sqrt();
+            assert!(
+                (mean - lam).abs() < 5.0 * se.max(1e-3),
+                "λ={lam}: mean {mean}"
+            );
+            assert!((var - lam).abs() / lam < 0.06, "λ={lam}: var {var}");
+        }
+    }
+
+    #[test]
+    fn poisson_tail_matches_exact_pmf() {
+        // P(X ≥ 20 | λ=10) ≈ 0.00345 — a tail the old clamped-normal
+        // approximation visibly distorts; the exact sampler must not.
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let n = 200_000u32;
+        let hits = (0..n).filter(|_| poisson(&mut rng, 10.0) >= 20).count();
+        let frac = hits as f64 / f64::from(n);
+        assert!(
+            (frac - 0.003_45).abs() < 0.000_6,
+            "tail mass {frac}, want ≈0.00345"
+        );
+    }
+
+    #[test]
+    fn poisson_continuous_across_cutoff() {
+        // Distributions at λ just below and above the cutoff must not
+        // jump: compare P(X ≤ 9) to the exact CDF on both sides.
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        for (lam, want) in [(9.9f64, 0.470_5f64), (10.1, 0.445_5)] {
+            let n = 150_000u32;
+            let hits = (0..n).filter(|_| poisson(&mut rng, lam) <= 9).count();
+            let got = hits as f64 / f64::from(n);
+            assert!((got - want).abs() < 0.006, "λ={lam}: P(X≤9) = {got}");
+        }
+    }
+
+    #[test]
+    fn binomial_degenerate_cases() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        assert_eq!(binomial(&mut rng, 0, 0.5), 0);
+        assert_eq!(binomial(&mut rng, 100, 0.0), 0);
+        assert_eq!(binomial(&mut rng, 100, -0.5), 0);
+        assert_eq!(binomial(&mut rng, 100, 1.0), 100);
+        assert_eq!(binomial(&mut rng, 100, 1.5), 100);
+    }
+
+    #[test]
+    fn binomial_moments_across_all_paths() {
+        // (n, p) chosen to cover BINV, BTPE, and the mirrored p > 0.5
+        // variants of both. Binomial: mean = np, var = npq.
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        for (n, p) in [
+            (20u64, 0.1f64),    // BINV
+            (20, 0.9),          // mirrored BINV
+            (64, 0.5),          // BTPE at the old Bernoulli-loop edge
+            (10_000, 0.01),     // BTPE, small p
+            (10_000, 0.99),     // mirrored BTPE
+            (1_000_000, 0.001), // old normal-approx regime, now exact
+        ] {
+            let trials = 40_000;
+            let draws: Vec<f64> = (0..trials)
+                .map(|_| binomial(&mut rng, n, p) as f64)
+                .collect();
+            let (mean, var) = mean_var(&draws);
+            let want_mean = n as f64 * p;
+            let want_var = n as f64 * p * (1.0 - p);
+            let se = (want_var / trials as f64).sqrt();
+            assert!(
+                (mean - want_mean).abs() < 5.0 * se.max(1e-3),
+                "n={n} p={p}: mean {mean}, want {want_mean}"
+            );
+            assert!(
+                (var - want_var).abs() / want_var < 0.06,
+                "n={n} p={p}: var {var}, want {want_var}"
+            );
+        }
+    }
+
+    #[test]
+    fn binomial_never_exceeds_n() {
+        let mut rng = ChaCha8Rng::seed_from_u64(22);
+        for _ in 0..20_000 {
+            assert!(binomial(&mut rng, 50, 0.97) <= 50);
+            assert!(binomial(&mut rng, 3, 0.5) <= 3);
+        }
+    }
+
+    #[test]
+    fn binomial_section2_phenomenon_shape() {
+        // The paper's §2 limitation, as a distribution fact: a
+        // 10-packet flow under 1-in-1000 random sampling is observed
+        // with probability 1-(1-1/1000)^10 ≈ 0.995 %, and conditional
+        // on being seen shows ~1.004 packets.
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        let n = 400_000u32;
+        let mut seen = 0u32;
+        let mut seen_packets = 0u64;
+        for _ in 0..n {
+            let k = binomial(&mut rng, 10, 0.001);
+            if k > 0 {
+                seen += 1;
+                seen_packets += k;
+            }
+        }
+        let frac = f64::from(seen) / f64::from(n);
+        assert!(
+            (frac - 0.009_95).abs() < 0.000_8,
+            "P(seen) = {frac}, want ≈0.00995"
+        );
+        let avg = seen_packets as f64 / f64::from(seen.max(1));
+        assert!(avg < 1.02, "E[packets | seen] = {avg}, want ≈1.004");
+    }
+
+    #[test]
+    fn binomial_tail_matches_exact_mass() {
+        // P(X ≥ 5 | n=1000, p=1/1000) ≈ 0.00364 (≈ Poisson(1) tail).
+        // The Bernoulli loop got this right and the sampler swap must
+        // keep it right.
+        let mut rng = ChaCha8Rng::seed_from_u64(24);
+        let n = 300_000u32;
+        let hits = (0..n)
+            .filter(|_| binomial(&mut rng, 1000, 0.001) >= 5)
+            .count();
+        let frac = hits as f64 / f64::from(n);
+        assert!(
+            (frac - 0.003_64).abs() < 0.000_7,
+            "tail mass {frac}, want ≈0.00364"
+        );
+    }
+
+    #[test]
+    fn normal_cache_moments_and_pairing() {
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let mut cache = NormalCache::new();
+        let n = 100_000;
+        let draws: Vec<f64> = (0..n).map(|_| cache.standard_normal(&mut rng)).collect();
+        let (mean, var) = mean_var(&draws);
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+        // Paired variates are independent: lag-1 autocorrelation ≈ 0.
+        let cov: f64 = draws.windows(2).map(|w| w[0] * w[1]).sum::<f64>() / (n as f64 - 1.0);
+        assert!(cov.abs() < 0.02, "lag-1 autocovariance {cov}");
+    }
+
+    #[test]
+    fn normal_cache_halves_uniform_consumption() {
+        // Two cached draws must consume exactly one Box–Muller pair:
+        // the RNG position after 2 cached normals equals the position
+        // after 2 manual uniform draws.
+        let mut a = ChaCha8Rng::seed_from_u64(32);
+        let mut cache = NormalCache::new();
+        let _ = cache.standard_normal(&mut a);
+        let _ = cache.standard_normal(&mut a);
+        let mut b = ChaCha8Rng::seed_from_u64(32);
+        let _: f64 = b.gen_range(f64::EPSILON..1.0);
+        let _: f64 = b.gen();
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>(), "RNG streams aligned");
+    }
+
+    #[test]
+    fn log_normal_median_is_exact() {
+        let mut rng = ChaCha8Rng::seed_from_u64(33);
+        let n = 50_000;
+        let mut draws: Vec<f64> = (0..n).map(|_| log_normal(&mut rng, 20.0, 0.8)).collect();
+        draws.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = draws[n / 2];
+        assert!((median - 20.0).abs() / 20.0 < 0.05, "median {median}");
+    }
+
+    #[test]
+    fn map_bits_covers_range_uniformly() {
+        let mut rng = ChaCha8Rng::seed_from_u64(41);
+        let n = 16u32;
+        let mut counts = [0u32; 16];
+        let trials = 160_000;
+        for _ in 0..trials {
+            let v = map_bits_u32(rng.gen::<u32>(), n);
+            assert!(v < n);
+            counts[v as usize] += 1;
+        }
+        let expect = trials as f64 / f64::from(n);
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (f64::from(c) - expect).abs() < 5.0 * expect.sqrt(),
+                "bucket {i}: {c} vs {expect}"
+            );
+        }
+        // Endpoints map correctly.
+        assert_eq!(map_bits_u32(0, 100), 0);
+        assert_eq!(map_bits_u32(u32::MAX, 100), 99);
+    }
+
+    #[test]
+    fn samplers_are_deterministic_given_seed() {
+        let draw_all = |seed: u64| -> (Vec<u64>, Vec<u64>, Vec<u64>) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let p: Vec<u64> = (0..100)
+                .map(|i| poisson(&mut rng, 0.5 + i as f64))
+                .collect();
+            let b: Vec<u64> = (0..100).map(|i| binomial(&mut rng, 10 + i, 0.3)).collect();
+            let m: Vec<u64> = (0..100)
+                .map(|_| u64::from(map_bits_u32(rng.gen(), 1000)))
+                .collect();
+            (p, b, m)
+        };
+        assert_eq!(draw_all(7), draw_all(7));
+        assert_ne!(draw_all(7), draw_all(8));
+    }
+}

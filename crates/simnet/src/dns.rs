@@ -100,6 +100,7 @@ pub fn run_dns_study(
     days: u32,
 ) -> DnsStudy {
     let mut rng = ChaCha8Rng::seed_from_u64(model.seed);
+    let mut normals = crate::stats::NormalCache::new();
     let mut api_rank = Vec::with_capacity(days as usize);
     let mut website_rank = Vec::with_capacity(days as usize);
 
@@ -120,8 +121,9 @@ pub fn run_dns_study(
             .sum();
         let web_queries = web_visits_day * model.web_cache_miss * model.resolver_visibility;
 
-        let jitter_api = (model.jitter_sigma * crate::stats::standard_normal(&mut rng)).exp();
-        let jitter_web = (model.jitter_sigma * crate::stats::standard_normal(&mut rng)).exp();
+        // One Box–Muller pair covers both jitters.
+        let jitter_api = (model.jitter_sigma * normals.standard_normal(&mut rng)).exp();
+        let jitter_web = (model.jitter_sigma * normals.standard_normal(&mut rng)).exp();
 
         api_rank.push(model.rank_of_volume(api_queries * jitter_api));
         website_rank.push(model.rank_of_volume(web_queries * jitter_web));

@@ -11,8 +11,11 @@
 //!   backend documentation"), HTTPS-only servers, DNS names for API and
 //!   website, and daily diagnosis-key export files sized by the real
 //!   export format from `cwa-exposure`.
-//! * [`stats`] — seeded samplers (Poisson, log-normal) for the traffic
-//!   generator.
+//! * [`samplers`] / [`stats`] — seeded samplers for the traffic
+//!   generator: exact constant-draw Poisson (inversion + PTRS) and
+//!   Binomial (BINV + BTPE) plus paired Box–Muller normals live in the
+//!   shared `cwa-samplers` crate (re-exported here as [`samplers`]);
+//!   [`stats`] keeps the flow-size policy helpers on top of them.
 //! * [`traffic`] — the prefix-cohort traffic generator: every routing
 //!   prefix carries its district's share of app users and website
 //!   visitors; hourly flow intensities follow adoption × diurnal ×
@@ -43,6 +46,8 @@ pub mod sim;
 pub mod stats;
 pub mod traffic;
 pub mod vantage;
+
+pub use cwa_samplers as samplers;
 
 pub use cdn::{CdnConfig, CdnMigration, MIGRATION_PREFIX};
 pub use dns::{DnsStudy, TopListModel};

@@ -1,63 +1,51 @@
 //! Seeded samplers for the traffic generator.
 //!
-//! The offline crate set includes `rand` but not `rand_distr`, so the
-//! two distributions the generator needs are implemented here: Poisson
-//! (flow arrivals per cohort-hour) and log-normal (flow sizes in
-//! packets).
+//! Since the sampler-swap PR these are thin fronts over
+//! [`cwa_samplers`] (re-exported as [`crate::samplers`]): exact
+//! constant-draw Poisson (inversion + PTRS) and Binomial (BINV +
+//! BTPE), plus paired Box–Muller normals via
+//! [`NormalCache`]. The flow-size helper stays here because its
+//! packet-floor and bytes-per-packet jitter are traffic-model policy,
+//! not distribution math.
 
 use rand::Rng;
 
-/// Draws from Poisson(`mean`).
-///
-/// Knuth's product method below mean 30 (exact), normal approximation
-/// above (fast; relative error negligible at those means).
-pub fn poisson<R: Rng>(rng: &mut R, mean: f64) -> u64 {
-    if mean <= 0.0 {
-        return 0;
-    }
-    if mean < 30.0 {
-        let l = (-mean).exp();
-        let mut k = 0u64;
-        let mut p = 1.0;
-        loop {
-            p *= rng.gen::<f64>();
-            if p <= l {
-                return k;
-            }
-            k += 1;
-            if k > 100_000 {
-                return mean as u64; // numeric guard; unreachable in practice
-            }
-        }
-    } else {
-        let z = standard_normal(rng);
-        (mean + mean.sqrt() * z).max(0.0).round() as u64
-    }
-}
-
-/// Standard normal via Box–Muller.
-pub fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
-    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-    let u2: f64 = rng.gen::<f64>();
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
-}
-
-/// Log-normal sample with the given *median* (`exp(mu)`) and shape
-/// `sigma` (σ of the underlying normal).
-pub fn log_normal<R: Rng>(rng: &mut R, median: f64, sigma: f64) -> f64 {
-    (median.ln() + sigma * standard_normal(rng)).exp()
-}
+pub use cwa_samplers::{binomial, log_normal, poisson, standard_normal, NormalCache};
 
 /// A flow-size draw: packets (≥ 2: a TCP flow has at least SYN+data) and
 /// total bytes, log-normally distributed around `median_packets` with
 /// bytes-per-packet jitter around `bytes_per_packet`.
+///
+/// One-shot form; the generator's hot path uses [`flow_size_with`] so
+/// consecutive draws share Box–Muller pairs.
 pub fn flow_size<R: Rng>(
     rng: &mut R,
     median_packets: f64,
     sigma: f64,
     bytes_per_packet: f64,
 ) -> (u64, u64) {
-    let packets = log_normal(rng, median_packets, sigma).round().max(2.0) as u64;
+    flow_size_with(
+        &mut NormalCache::new(),
+        rng,
+        median_packets,
+        sigma,
+        bytes_per_packet,
+    )
+}
+
+/// [`flow_size`] drawing its normal through a caller-held
+/// [`NormalCache`], so every second log-normal costs zero uniforms.
+pub fn flow_size_with<R: Rng>(
+    normals: &mut NormalCache,
+    rng: &mut R,
+    median_packets: f64,
+    sigma: f64,
+    bytes_per_packet: f64,
+) -> (u64, u64) {
+    let packets = normals
+        .log_normal(rng, median_packets, sigma)
+        .round()
+        .max(2.0) as u64;
     let bpp = (bytes_per_packet * (0.85 + 0.3 * rng.gen::<f64>())).max(60.0);
     let bytes = (packets as f64 * bpp) as u64;
     (packets, bytes)
@@ -128,6 +116,23 @@ mod tests {
             assert!(bytes >= packets * 60, "bytes {bytes} packets {packets}");
             assert!(bytes <= packets * 1600);
         }
+    }
+
+    #[test]
+    fn flow_size_cached_matches_bounds_and_median() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let mut normals = NormalCache::new();
+        let n = 30_000;
+        let mut packets: Vec<u64> = (0..n)
+            .map(|_| {
+                let (p, b) = flow_size_with(&mut normals, &mut rng, 18.0, 0.9, 900.0);
+                assert!(p >= 2 && b >= p * 60 && b <= p * 1600);
+                p
+            })
+            .collect();
+        packets.sort_unstable();
+        let median = packets[n / 2] as f64;
+        assert!((median - 18.0).abs() / 18.0 < 0.06, "median {median}");
     }
 
     #[test]

@@ -23,7 +23,7 @@
 
 use std::net::Ipv4Addr;
 
-use rand::Rng;
+use rand::{Rng, RngCore};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
@@ -32,7 +32,8 @@ use cwa_geo::{AccessKind, AddressPlan, DistrictId, Germany, IspId};
 use cwa_netflow::flow::{FlowKey, Protocol};
 
 use crate::cdn::CdnConfig;
-use crate::stats::{flow_size, poisson};
+use crate::stats::{flow_size_with, poisson, NormalCache};
+use cwa_samplers::map_bits_u32;
 
 /// What kind of traffic a flow is (ground-truth label; the measurement
 /// pipeline never sees this — exactly the §2 limitation that app and
@@ -166,6 +167,8 @@ pub struct TrafficModel<'a> {
     /// key-export payload (empty ⇒ no adjustment).
     export_extra_packets: Vec<f64>,
     rng: ChaCha8Rng,
+    /// Banked Box–Muller sine variates for flow-size draws.
+    normals: NormalCache,
     truth: GroundTruth,
     hours: u32,
 }
@@ -202,6 +205,7 @@ impl<'a> TrafficModel<'a> {
             district_subscribers,
             export_extra_packets: Vec::new(),
             rng,
+            normals: NormalCache::new(),
             truth,
             hours,
         }
@@ -320,6 +324,10 @@ impl<'a> TrafficModel<'a> {
         let rng = &mut self.rng;
         let prefix_size = 1u32 << (32 - u32::from(alloc.len));
 
+        // Two independent small field draws ride one split u64: the
+        // active-pool slot (high 32 bits) and the client port (low 32).
+        let fields = rng.next_u64();
+
         // Client address: the day's traffic comes from the *active*
         // subscriber pool. Static-lease ISPs keep those households at
         // fixed (low-slot) addresses; daily-reconnect DSL re-assigns
@@ -327,19 +335,23 @@ impl<'a> TrafficModel<'a> {
         // rotates.
         let pool = ((f64::from(alloc.capacity) * self.cfg.active_subscriber_fraction) as u32)
             .clamp(1, alloc.capacity.max(1));
-        let slot = rng.gen_range(0..pool);
+        let slot = map_bits_u32((fields >> 32) as u32, pool);
         let host = match access {
             AccessKind::StaticLease => slot % prefix_size,
             AccessKind::Dynamic24h => (slot + day * 2917) % prefix_size,
         };
         let client = Ipv4Addr::from(u32::from(alloc.network) + host);
 
+        // Either branch consumes exactly one u64.
+        let server_bits = rng.next_u64();
         let server = match kind {
             FlowKind::Background => {
                 // A popular non-CWA service (same port, different prefix).
-                Ipv4Addr::from(u32::from(Ipv4Addr::new(203, 0, 113, 0)) + rng.gen_range(0u32..16))
+                Ipv4Addr::from(
+                    u32::from(Ipv4Addr::new(203, 0, 113, 0)) + map_bits_u32(server_bits as u32, 16),
+                )
             }
-            _ => self.cdn.server_for_day(rng.gen::<u64>(), day),
+            _ => self.cdn.server_for_day(server_bits, day),
         };
 
         let (median, sigma) = match kind {
@@ -354,13 +366,22 @@ impl<'a> TrafficModel<'a> {
             FlowKind::Website => (self.cfg.web_median_packets, self.cfg.web_sigma),
             FlowKind::Background => (20.0, 1.2),
         };
-        let (packets, bytes) = flow_size(rng, median, sigma, self.cfg.bytes_per_packet);
+        let (packets, bytes) = flow_size_with(
+            &mut self.normals,
+            rng,
+            median,
+            sigma,
+            self.cfg.bytes_per_packet,
+        );
 
-        let start_ms = hour_start_ms + rng.gen_range(0..3_600_000u64);
+        // Start offset within the hour (high 32 bits) and duration
+        // (low 32) share one more split u64.
+        let timing = rng.next_u64();
+        let start_ms = hour_start_ms + u64::from(map_bits_u32((timing >> 32) as u32, 3_600_000));
         let duration_ms = match kind {
-            FlowKind::Api => rng.gen_range(400..6_000),
-            FlowKind::Website => rng.gen_range(2_000..45_000),
-            FlowKind::Background => rng.gen_range(500..60_000),
+            FlowKind::Api => 400 + u64::from(map_bits_u32(timing as u32, 5_600)),
+            FlowKind::Website => 2_000 + u64::from(map_bits_u32(timing as u32, 43_000)),
+            FlowKind::Background => 500 + u64::from(map_bits_u32(timing as u32, 59_500)),
         };
 
         FlowEvent {
@@ -368,7 +389,7 @@ impl<'a> TrafficModel<'a> {
                 src_ip: server,
                 dst_ip: client,
                 src_port: 443,
-                dst_port: rng.gen_range(1024..=65_000),
+                dst_port: 1024 + map_bits_u32(fields as u32, 63_977) as u16,
                 protocol: Protocol::Tcp,
             },
             packets,
@@ -405,12 +426,17 @@ impl<'a> TrafficModel<'a> {
 /// Builds the upstream (client→server) counterpart of a downstream flow.
 fn upstream_of<R: Rng>(ev: &FlowEvent, rng: &mut R) -> FlowEvent {
     let packets = (ev.packets / 2).max(2);
-    let bytes = packets * (80 + rng.gen_range(0u64..60));
+    // Per-packet byte jitter (high 32 bits) and start backoff (low 32)
+    // share one split u64.
+    let bits = rng.next_u64();
+    let bytes = packets * (80 + u64::from(map_bits_u32((bits >> 32) as u32, 60)));
     FlowEvent {
         key: ev.key.reversed(),
         packets,
         bytes,
-        start_ms: ev.start_ms.saturating_sub(rng.gen_range(0..50)),
+        start_ms: ev
+            .start_ms
+            .saturating_sub(u64::from(map_bits_u32(bits as u32, 50))),
         duration_ms: ev.duration_ms,
         kind: ev.kind,
         district: ev.district,

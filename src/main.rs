@@ -527,13 +527,14 @@ fn render_progress_frame(doc: &serde_json::Value) -> String {
         _ => "ETA —".to_string(),
     };
     let mut out = format!(
-        "{state} | day {}/{} (hour {}/{}) | {} records | {} rec/s | {} B/s | {}\n",
+        "{state} | day {}/{} (hour {}/{}) | {} records | {} rec/s | {} ev/s | {} B/s | {}\n",
         num("days_done"),
         num("days_total"),
         num("hours_done"),
         num("hours_total"),
         num("records"),
         rate(json_num(doc.get("records_per_s"))),
+        rate(json_num(doc.get("events_per_s"))),
         rate(json_num(doc.get("bytes_per_s"))),
         eta,
     );

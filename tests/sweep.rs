@@ -122,7 +122,9 @@ fn starved_scenarios_surface_as_starved_cells_not_errors() {
 /// pipeline is built to survive exactly this churn (the paper's
 /// rationale for same-day address stability), so the headline claims
 /// must hold; only the sparse persistence/outbreak tails starve at
-/// test_small granularity.
+/// test_small granularity. (Re-pinned once for the exact-sampler swap:
+/// the new seeded stream leaves C6b's cell just above its support
+/// threshold, so it now passes instead of starving.)
 #[test]
 fn dsl_reconnect_row_is_pinned() {
     let matrix = ScenarioMatrix::parse(MATRIX).expect("matrix parses");
@@ -143,7 +145,7 @@ fn dsl_reconnect_row_is_pinned() {
         ("C5a", "pass"),
         ("C5b", "starved"),
         ("C6a", "pass"),
-        ("C6b", "starved"),
+        ("C6b", "pass"),
         ("C6c", "starved"),
         ("C7a", "pass"),
         ("C7b", "pass"),
