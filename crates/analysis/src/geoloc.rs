@@ -173,7 +173,7 @@ impl<'a> GeolocationPipeline<'a> {
 }
 
 /// Maps an attribution to its slot in the per-day count arrays.
-fn attribution_index(attr: GeoAttribution) -> usize {
+pub(crate) fn attribution_index(attr: GeoAttribution) -> usize {
     match attr {
         GeoAttribution::RouterGroundTruth => 0,
         GeoAttribution::GeoDatabase => 1,

@@ -26,6 +26,11 @@
 //!   once and feeds each matching record to every registered
 //!   [`FlowSink`](cwa_netflow::sink::FlowSink) consumer — all analyses
 //!   in **one** record pass, O(chunk) resident memory.
+//! * [`windowed`] — the live view: wraps all four consumers in a
+//!   [`WindowedView`](windowed::WindowedView) that keeps cumulative
+//!   study-window state plus a sliding last-N-days window with tiered
+//!   downsampling (raw hours → daily summaries → lifetime totals), so an
+//!   endless run stays memory-bounded while serving current figures.
 //! * [`figures`] — assembles the Figure-2 and Figure-3 data structures
 //!   and renders them as text/CSV for the benches and examples.
 //! * [`zipmap`] — ZIP-code-area roll-up (the figure's actual spatial
@@ -47,6 +52,7 @@ pub mod stats;
 pub mod stream;
 pub mod svg;
 pub mod timeseries;
+pub mod windowed;
 pub mod zipmap;
 
 pub use figures::{Figure2, Figure3};
@@ -56,4 +62,5 @@ pub use outbreak::{OutbreakAccumulator, OutbreakAnalysis};
 pub use persistence::PersistenceAnalysis;
 pub use stream::{FanOut, StreamCounts};
 pub use timeseries::HourlySeries;
+pub use windowed::{WindowConfig, WindowedSnapshot, WindowedView};
 pub use zipmap::ZipAreaMap;

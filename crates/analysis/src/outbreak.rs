@@ -271,6 +271,19 @@ where
         }
     }
 
+    /// Snapshots the tables accumulated so far without ending the
+    /// stream — the live-serving form of
+    /// [`into_analysis`](OutbreakAccumulator::into_analysis). A snapshot
+    /// taken after the last record equals the consumed result.
+    pub fn to_analysis(&self) -> OutbreakAnalysis {
+        OutbreakAnalysis {
+            district_flows: self.district_flows.clone(),
+            state_flows: self.state_flows.clone(),
+            berlin_isp_flows: self.berlin_isp_flows.clone(),
+            days: self.days,
+        }
+    }
+
     /// Finishes the stream, yielding the analysis tables.
     pub fn into_analysis(self) -> OutbreakAnalysis {
         OutbreakAnalysis {

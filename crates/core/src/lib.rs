@@ -26,13 +26,18 @@
 #![warn(missing_docs)]
 
 pub mod claims;
+pub mod live;
 pub mod report;
 pub mod scenario;
 pub mod study;
 pub mod sweep;
 
 pub use claims::{Cell, Claim, ClaimId, Verdict};
+pub use live::LiveOptions;
 pub use report::StudyReport;
 pub use scenario::{ScenarioError, ScenarioMatrix, ScenarioSpec};
 pub use study::{Study, StudyConfig, StudyError};
-pub use sweep::{run_sweep, SurvivalCell, SurvivalRow, SurvivalTable, SweepError};
+pub use sweep::{
+    run_seed_sweep, run_sweep, SeedFractionCell, SeedFractionRow, SeedFractionTable, SurvivalCell,
+    SurvivalRow, SurvivalTable, SweepError,
+};

@@ -8,7 +8,7 @@ use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
-use cwa_obs::{Counter, Registry, StageLog, TraceBuf, Tracer};
+use cwa_obs::{Counter, LiveSnapshot, Registry, StageLog, TraceBuf, Tracer};
 
 use cwa_analysis::figures::{Figure2, Figure3};
 use cwa_analysis::filter::FlowFilter;
@@ -17,14 +17,18 @@ use cwa_analysis::outbreak::{OutbreakAccumulator, OutbreakAnalysis};
 use cwa_analysis::persistence::PersistenceAnalysis;
 use cwa_analysis::stream::{FanOut, StreamCounts};
 use cwa_analysis::timeseries::HourlySeries;
+use cwa_analysis::windowed::WindowedView;
 use cwa_epidemic::timeline::{JULY_24_DAY, MILESTONE_36H_HOUR};
-use cwa_epidemic::{AdoptionModel, Timeline};
-use cwa_geo::GeoDb;
+use cwa_epidemic::{AdoptionCurve, AdoptionModel, Scenario, Timeline};
+use cwa_geo::{AddressPlan, GeoDb, Germany};
 use cwa_netflow::flow::FlowRecord;
 use cwa_netflow::sink::{FlowChunk, FlowSink};
-use cwa_simnet::{shard_keys, IspSideEntry, ShardKeyMode, SimConfig, SimOutput, Simulation};
+use cwa_simnet::{
+    shard_keys, DnsStudy, IspSideEntry, PreparedSim, ShardKeyMode, SimConfig, SimOutput, Simulation,
+};
 
 use crate::claims::{Cell, Claim, ClaimId};
+use crate::live::LiveOptions;
 use crate::report::{PhaseTiming, RunManifest, StudyReport};
 
 /// Minimum per-cell observation counts below which the claims reading a
@@ -376,6 +380,180 @@ impl FlowSink for ShardConsumers<'_> {
     fn checkpoint(&mut self) {
         if let Some(log) = &mut self.trace {
             log.flush();
+        }
+    }
+}
+
+/// Borrowed side data the report assembly needs. Available both from a
+/// finished [`SimOutput`] and — mid-run — from a [`PreparedSim`], which
+/// is what lets live mode assemble interim reports while the traffic
+/// generator is still streaming.
+struct ReportContext<'a> {
+    config: &'a SimConfig,
+    germany: &'a Germany,
+    plan: &'a AddressPlan,
+    scenario: &'a Scenario,
+    downloads: &'a AdoptionCurve,
+    dns: &'a DnsStudy,
+}
+
+impl<'a> ReportContext<'a> {
+    fn from_output(sim: &'a SimOutput) -> Self {
+        ReportContext {
+            config: &sim.config,
+            germany: &sim.germany,
+            plan: &sim.plan,
+            scenario: &sim.scenario,
+            downloads: &sim.downloads,
+            dns: &sim.dns,
+        }
+    }
+
+    fn from_prepared(sim: &'a PreparedSim) -> Self {
+        ReportContext {
+            config: &sim.config,
+            germany: &sim.germany,
+            plan: &sim.plan,
+            scenario: &sim.scenario,
+            downloads: &sim.downloads,
+            dns: &sim.dns,
+        }
+    }
+}
+
+/// One live consumer chain: the §2 filter applied once, feeding a
+/// [`WindowedView`] (the four study-tier accumulators plus the sliding
+/// window tiers). `Send` whenever the resolver is, so the sharded
+/// driver can run one per worker exactly like [`ShardConsumers`].
+struct LiveSink<'w, F> {
+    filter: &'w FlowFilter,
+    view: WindowedView<'w, F>,
+    counts: StreamCounts,
+    /// `sim.shard.<i>.records` — live per-shard record throughput
+    /// (sharded runs only).
+    records_counter: Option<Arc<Counter>>,
+    /// Reusable selection scratch for the chunked path.
+    selection: FlowChunk,
+}
+
+impl<F> FlowSink for LiveSink<'_, F>
+where
+    F: Fn(Ipv4Addr) -> Option<u8>,
+{
+    fn observe(&mut self, rec: &FlowRecord) {
+        self.counts.records_in += 1;
+        if let Some(counter) = &self.records_counter {
+            counter.add(1);
+        }
+        if !self.filter.matches(rec) {
+            return;
+        }
+        self.counts.records_matched += 1;
+        self.view.observe(rec);
+        for (_, count) in &mut self.counts.consumers {
+            *count += 1;
+        }
+    }
+
+    fn observe_chunk(&mut self, chunk: &FlowChunk) {
+        self.counts.records_in += chunk.len() as u64;
+        if let Some(counter) = &self.records_counter {
+            counter.add(chunk.len() as u64);
+        }
+        let mut sel = std::mem::take(&mut self.selection);
+        self.filter.select_into(chunk, &mut sel);
+        if !sel.is_empty() {
+            let matched = sel.len() as u64;
+            self.counts.records_matched += matched;
+            self.view.observe_chunk(&sel);
+            for (_, count) in &mut self.counts.consumers {
+                *count += matched;
+            }
+        }
+        self.selection = sel;
+    }
+
+    fn checkpoint(&mut self) {
+        // Drives the view's day boundaries — one call per export hour,
+        // identical across shards, which is what makes window eviction
+        // commute with the merge.
+        self.view.checkpoint();
+    }
+}
+
+/// Publishes interim documents into the live mailbox: the three figure
+/// documents after every export hour, a full `/report` envelope at
+/// every day boundary (claim evaluation per hour would dominate small
+/// replays).
+struct LivePublisher<'a> {
+    study: &'a Study,
+    ctx: ReportContext<'a>,
+    live: Arc<LiveSnapshot>,
+}
+
+impl LivePublisher<'_> {
+    fn tick<F>(&self, view: &WindowedView<'_, F>, counts: &StreamCounts)
+    where
+        F: Fn(Ipv4Addr) -> Option<u8>,
+    {
+        let snap = view.snapshot();
+        crate::live::publish_figures(&self.live, &snap);
+        if view.hours_seen() % 24 != 0 {
+            return;
+        }
+        let days = self.ctx.config.days;
+        let products = AnalysisProducts {
+            series: view.series.clone(),
+            geo_10day: view.geo.result(1, days.min(11)),
+            geo_day1: view.geo.result(1, 2),
+            persistence: view.persistence.clone(),
+            outbreak: view.outbreak.to_analysis(),
+            matching_flows: counts.records_matched,
+            total_records: counts.records_in,
+        };
+        if let Ok(report) = self
+            .study
+            .assemble_report_ctx(&self.ctx, products, Vec::new(), false)
+        {
+            self.live.publish_report(crate::live::render_report(
+                &report,
+                snap.day,
+                snap.hours_seen,
+                days,
+                false,
+            ));
+        }
+    }
+}
+
+/// Serial-driver wrapper adding wall-clock replay pacing and
+/// per-checkpoint publication on top of a [`LiveSink`].
+struct PacedLiveSink<'w, F> {
+    inner: LiveSink<'w, F>,
+    /// Wall-clock sleep per simulated export hour.
+    pace: Option<Duration>,
+    publisher: Option<LivePublisher<'w>>,
+}
+
+impl<F> FlowSink for PacedLiveSink<'_, F>
+where
+    F: Fn(Ipv4Addr) -> Option<u8>,
+{
+    fn observe(&mut self, rec: &FlowRecord) {
+        self.inner.observe(rec);
+    }
+
+    fn observe_chunk(&mut self, chunk: &FlowChunk) {
+        self.inner.observe_chunk(chunk);
+    }
+
+    fn checkpoint(&mut self) {
+        self.inner.checkpoint();
+        if let Some(pace) = self.pace {
+            std::thread::sleep(pace);
+        }
+        if let Some(publisher) = &self.publisher {
+            publisher.tick(&self.inner.view, &self.inner.counts);
         }
     }
 }
@@ -890,6 +1068,188 @@ impl Study {
         self.assemble_report(&sim, products, timings)
     }
 
+    /// Runs the live windowed pipeline: the same fused simulate+analyze
+    /// stream as [`run_streaming`](Study::run_streaming), but consumed
+    /// through a [`WindowedView`] that additionally maintains the
+    /// sliding last-N-days window with tiered downsampling, optionally
+    /// paced against the wall clock ([`LiveOptions::replay_speed`]) and
+    /// publishing interim `/report` + `/figures/*` documents into a
+    /// [`LiveSnapshot`] mailbox as the replay advances.
+    ///
+    /// The returned report equals [`Study::run_streaming`]'s after
+    /// [`strip_volatile`](StudyReport::strip_volatile) whenever the
+    /// horizon fits the study tier (≤ 64 days, the persistence bitmap's
+    /// width). Longer horizons — endless mode — cap the study tier at
+    /// 64 days while the sliding window keeps advancing with bounded
+    /// resident state; a batch run cannot cover such horizons at all.
+    ///
+    /// With `opts.shards > 1` the view is sharded exactly like
+    /// [`run_sharded`](Study::run_sharded) (common anonymization key,
+    /// deterministic absorb-merge in shard order). Pacing and interim
+    /// publication are serial-driver features: sharded runs replay at
+    /// full speed and publish once on completion.
+    pub fn run_live(&self, opts: &LiveOptions) -> Result<StudyReport, StudyError> {
+        let cfg = &self.config;
+        let routers = cfg.sim.vantage.routers;
+        let shards = opts.shards;
+        if shards == 0 || shards > usize::from(routers) {
+            return Err(StudyError::InvalidShardCount {
+                requested: shards,
+                routers,
+            });
+        }
+        let days = cfg.sim.days;
+        let study_days = days.min(64);
+        let plan_prefix_len = cfg.sim.plan.prefix_len;
+
+        let started = Instant::now();
+        let mut simulation = Simulation::new(cfg.sim);
+        if let Some(registry) = &self.metrics {
+            simulation = simulation.with_metrics(Arc::clone(registry));
+        }
+        if let Some(tracer) = &self.trace {
+            simulation = simulation.with_trace(Arc::clone(tracer));
+        }
+        if let Some(capacity) = self.chunk_capacity {
+            simulation = simulation.with_chunk_capacity(capacity);
+        }
+        let prepared = simulation.prepare();
+
+        let mut timings: Vec<PhaseTiming> = Vec::new();
+        let (products, truth, final_snapshot) = {
+            let filter = FlowFilter::cwa(prepared.cdn.service_prefixes.to_vec());
+            let isp_table = analysis_isp_table(&prepared.isp_table);
+            let pipeline = GeolocationPipeline::new(
+                &prepared.germany,
+                &prepared.geodb,
+                &isp_table,
+                plan_prefix_len,
+            );
+            // A concrete `Clone` closure (not the opaque `isp_resolver`
+            // return): the view clones it into its outbreak study tier.
+            let table = &isp_table;
+            let resolver = move |client: Ipv4Addr| {
+                table
+                    .get(&cwa_geo::geodb::mask(client, plan_prefix_len))
+                    .map(|e| e.isp)
+            };
+            let make_sink = |records_counter: Option<Arc<Counter>>| LiveSink {
+                filter: &filter,
+                view: WindowedView::new(
+                    &prepared.germany,
+                    &pipeline,
+                    resolver,
+                    cfg.persistence_prefix_len,
+                    study_days,
+                    opts.window,
+                ),
+                counts: StreamCounts::zeroed(&CONSUMER_NAMES),
+                records_counter,
+                selection: FlowChunk::default(),
+            };
+
+            let (merged, truth) = if shards == 1 {
+                let mut sink = PacedLiveSink {
+                    inner: make_sink(None),
+                    pace: opts
+                        .replay_speed
+                        .map(|speed| Duration::from_secs_f64(3600.0 / speed.max(1e-6))),
+                    publisher: opts.publish.as_ref().map(|live| LivePublisher {
+                        study: self,
+                        ctx: ReportContext::from_prepared(&prepared),
+                        live: Arc::clone(live),
+                    }),
+                };
+                let (truth, _stats) = prepared.run_traffic(&mut sink);
+                (sink.inner, truth)
+            } else {
+                let sinks: Vec<_> = (0..shards)
+                    .map(|i| {
+                        make_sink(
+                            self.metrics
+                                .as_ref()
+                                .map(|m| m.counter(&format!("sim.shard.{i:02}.records"))),
+                        )
+                    })
+                    .collect();
+                let (truth, results) = prepared.run_traffic_sharded(ShardKeyMode::Common, sinks);
+                let mut parts = results.into_iter().map(|(sink, _stats)| sink);
+                let mut merged = parts.next().expect("at least one shard");
+                for part in parts {
+                    merged.view.absorb(&part.view);
+                    merged.counts.absorb(&part.counts);
+                }
+                (merged, truth)
+            };
+            self.record_phase(&mut timings, "phase.simulate_analyze", started.elapsed());
+
+            let geo_10day = merged.view.geo.result(1, days.min(11));
+            let geo_day1 = merged.view.geo.result(1, 2);
+            let snapshot = merged.view.snapshot();
+
+            if let Some(registry) = &self.metrics {
+                // Same counter names and values as the streaming run.
+                registry
+                    .counter("analysis.stream.records_in")
+                    .add(merged.counts.records_in);
+                registry
+                    .counter("analysis.stream.records_matched")
+                    .add(merged.counts.records_matched);
+                for (name, count) in &merged.counts.consumers {
+                    registry
+                        .counter(&format!("analysis.stream.{name}.records"))
+                        .add(*count);
+                }
+                registry
+                    .counter("analysis.filter.records_in")
+                    .add(merged.counts.records_in);
+                registry
+                    .counter("analysis.filter.records_matched")
+                    .add(merged.counts.records_matched);
+                registry
+                    .counter("analysis.timeseries.hours")
+                    .add(u64::from(study_days * 24));
+                registry
+                    .counter("analysis.geoloc.attributed_flows")
+                    .add(geo_10day.district_flows.iter().sum::<u64>());
+                registry
+                    .counter("analysis.persistence.prefixes")
+                    .add(merged.view.persistence.prefix_count() as u64);
+            }
+
+            let counts = merged.counts;
+            let view = merged.view;
+            (
+                AnalysisProducts {
+                    series: view.series,
+                    geo_10day,
+                    geo_day1,
+                    persistence: view.persistence,
+                    outbreak: view.outbreak.into_analysis(),
+                    matching_flows: counts.records_matched,
+                    total_records: counts.records_in,
+                },
+                truth,
+                snapshot,
+            )
+        };
+
+        let sim = prepared.into_output(Vec::new(), truth);
+        let report = self.assemble_report(&sim, products, timings)?;
+        if let Some(live) = &opts.publish {
+            // The served end state is exactly the returned report.
+            crate::live::publish_figures(live, &final_snapshot);
+            live.publish_report(crate::live::render_report(
+                &report,
+                final_snapshot.day,
+                final_snapshot.hours_seen,
+                days,
+                true,
+            ));
+        }
+        Ok(report)
+    }
+
     /// Claim evaluation, figures, and manifest assembly — shared
     /// verbatim by the batch and streaming paths so both produce the
     /// exact same report from the same analysis products.
@@ -897,9 +1257,24 @@ impl Study {
         &self,
         sim: &SimOutput,
         products: AnalysisProducts,
-        mut timings: Vec<PhaseTiming>,
+        timings: Vec<PhaseTiming>,
     ) -> Result<StudyReport, StudyError> {
-        if self.strict && products.matching_flows == 0 {
+        self.assemble_report_ctx(&ReportContext::from_output(sim), products, timings, true)
+    }
+
+    /// [`assemble_report`](Study::assemble_report) over borrowed side
+    /// data, so live mode can evaluate the claim table mid-run from a
+    /// [`PreparedSim`]. `finalize` marks the end-of-run call: only that
+    /// one enforces `--strict` and flips the `sim.progress.done` gauge
+    /// (an interim report must not make `/progress` claim completion).
+    fn assemble_report_ctx(
+        &self,
+        sim: &ReportContext<'_>,
+        products: AnalysisProducts,
+        mut timings: Vec<PhaseTiming>,
+        finalize: bool,
+    ) -> Result<StudyReport, StudyError> {
+        if finalize && self.strict && products.matching_flows == 0 {
             return Err(StudyError::NoMatchingFlows {
                 scale: sim.config.scale,
                 total_records: products.total_records,
@@ -919,18 +1294,24 @@ impl Study {
             total_records,
         } = products;
 
-        let downloads_hourly: Vec<f64> =
-            (0..hours).map(|h| sim.downloads.downloads_at(h)).collect();
+        // Endless live runs cap the study tier at 64 days (the
+        // persistence bitmap's width), so Figure 2 covers at most the
+        // tier the series actually holds; for every batch run the series
+        // spans the full horizon and this is exactly `hours`.
+        let figure_hours = hours.min(series.flows.len() as u32);
+        let downloads_hourly: Vec<f64> = (0..figure_hours)
+            .map(|h| sim.downloads.downloads_at(h))
+            .collect();
         let figure2 = Figure2::assemble(&series, &downloads_hourly, 48);
-        let figure3 = Figure3::assemble(&sim.germany, &geo_10day);
+        let figure3 = Figure3::assemble(sim.germany, &geo_10day);
 
         // Adoption milestones need the curve through July 24, under the
         // run's own adoption parameters (a scenario overlay may have
         // changed the curve family).
         let t = Instant::now();
         let adoption_long = AdoptionModel::new(sim.config.adoption).run(
-            &sim.germany,
-            &sim.scenario,
+            sim.germany,
+            sim.scenario,
             Timeline::through_july(),
         );
         self.record_phase(&mut timings, "analysis.adoption", t.elapsed());
@@ -1240,7 +1621,7 @@ impl Study {
         // configuration as actually simulated (callers can analyze a
         // SimOutput produced under a different config than `self`).
         let effective = StudyConfig {
-            sim: sim.config,
+            sim: *sim.config,
             persistence_prefix_len: cfg.persistence_prefix_len,
         };
         let config_json = serde_json::to_string(&effective).expect("config serializes");
@@ -1257,9 +1638,11 @@ impl Study {
 
         // Live telemetry: the run is complete — `/progress` flips to
         // "done" and `/healthz` stops treating flat record counters as
-        // a stall.
-        if let Some(registry) = &self.metrics {
-            registry.gauge("sim.progress.done").set(1);
+        // a stall. Interim (non-finalizing) assemblies must not flip it.
+        if finalize {
+            if let Some(registry) = &self.metrics {
+                registry.gauge("sim.progress.done").set(1);
+            }
         }
 
         Ok(StudyReport {

@@ -13,6 +13,13 @@
 //! reads atomics, never feeds back into simulation logic, and never
 //! touches an RNG stream, so a run with a heartbeat attached stays
 //! bit-identical to one without.
+//!
+//! The ring's mutex is locked with poison *recovery*
+//! (`lock().unwrap_or_else(|e| e.into_inner())`): a panic on some
+//! scrape or sampler thread while holding the lock must not silently
+//! kill telemetry for the rest of the run — the ring holds plain
+//! counters that stay internally consistent even if a holder died
+//! mid-update.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::fs::File;
@@ -205,11 +212,11 @@ impl Heartbeat {
                 loop {
                     Self::take_sample(&registry, &thread_ring, epoch, jsonl.as_mut());
                     let (lock, cvar) = &*thread_stop;
-                    let mut stopped = lock.lock().expect("heartbeat stop flag poisoned");
+                    let mut stopped = lock.lock().unwrap_or_else(|e| e.into_inner());
                     while !*stopped {
                         let (guard, timed_out) = cvar
                             .wait_timeout(stopped, interval)
-                            .expect("heartbeat stop flag poisoned");
+                            .unwrap_or_else(|e| e.into_inner());
                         stopped = guard;
                         if timed_out.timed_out() {
                             break;
@@ -253,7 +260,7 @@ impl Heartbeat {
             let _ = w.flush();
         }
         let (record_rate, event_rate) = {
-            let mut ring = ring.lock().expect("heartbeat ring poisoned");
+            let mut ring = ring.lock().unwrap_or_else(|e| e.into_inner());
             ring.push(sample);
             (
                 ring.window_rate(names::RECORDS),
@@ -290,7 +297,7 @@ impl Heartbeat {
     fn stop_inner(&mut self) {
         if let Some(handle) = self.handle.take() {
             let (lock, cvar) = &*self.stop;
-            *lock.lock().expect("heartbeat stop flag poisoned") = true;
+            *lock.lock().unwrap_or_else(|e| e.into_inner()) = true;
             cvar.notify_all();
             let _ = handle.join();
         }
@@ -305,7 +312,7 @@ impl Drop for Heartbeat {
 
 impl std::fmt::Debug for Heartbeat {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let ring = self.ring.lock().expect("heartbeat ring poisoned");
+        let ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
         write!(
             f,
             "Heartbeat({} resident / {} total samples)",
@@ -452,6 +459,50 @@ mod tests {
             .copied()
             .expect("producer gauge registered");
         assert!(published > 0, "counter was rising, got {published}/s");
+    }
+
+    #[test]
+    fn sampler_survives_a_poisoned_ring() {
+        // Regression: a panic while holding the ring lock used to
+        // poison it and every later `.expect("… poisoned")` — sampler,
+        // scrape server, Debug impl — died with it, silently ending
+        // telemetry for the rest of the run.
+        let reg = Arc::new(Registry::new());
+        let counter = reg.counter(names::RECORDS);
+        let hb = Heartbeat::start(
+            Arc::clone(&reg),
+            HeartbeatConfig {
+                interval: Duration::from_millis(5),
+                capacity: 64,
+                jsonl: None,
+            },
+        )
+        .expect("sampler starts");
+        let ring = hb.ring();
+
+        // Poison the mutex from a panicking thread.
+        let poisoner = Arc::clone(&ring);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.lock().unwrap();
+            panic!("deliberate poison");
+        })
+        .join();
+        assert!(ring.lock().is_err(), "ring lock must be poisoned");
+
+        // The sampler must keep pushing samples regardless.
+        let before = ring.lock().unwrap_or_else(|e| e.into_inner()).total();
+        for _ in 0..10 {
+            counter.add(100);
+            std::thread::sleep(Duration::from_millis(3));
+        }
+        let after = ring.lock().unwrap_or_else(|e| e.into_inner()).total();
+        assert!(
+            after > before,
+            "sampler stopped after poisoning: {before} -> {after}"
+        );
+        // Debug formatting recovers too (it reads through the lock).
+        let _ = format!("{hb:?}");
+        hb.stop();
     }
 
     #[test]

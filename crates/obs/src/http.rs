@@ -16,6 +16,8 @@
 //! | `/progress`     | run progress: days done/total, per-shard rates, |
 //! |                 | stall ratios, ETA from the heartbeat ring       |
 //! | `/healthz`      | readiness + liveness (503 when stalled)         |
+//! | `/report`       | live claims table (only on `study --live` runs) |
+//! | `/figures/*`    | live figure data: adoption, geo, outbreak       |
 
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
@@ -26,6 +28,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::heartbeat::HeartbeatRing;
+use crate::live::{LiveFigure, LiveSnapshot};
 use crate::{json_string, Registry};
 
 /// Metric names the progress/health endpoints are derived from. These
@@ -73,6 +76,9 @@ pub struct TelemetryState {
     /// made no progress across this many consecutive heartbeats while
     /// the run is not done.
     pub stall_heartbeats: usize,
+    /// Live analysis documents (`/report`, `/figures/*`); `None` on
+    /// batch runs, where those endpoints answer 404.
+    pub live: Option<Arc<LiveSnapshot>>,
 }
 
 /// A running scrape server; shuts down on [`TelemetryServer::shutdown`]
@@ -188,18 +194,57 @@ fn handle_connection(mut stream: TcpStream, state: &TelemetryState) -> std::io::
             let (status, reason, body) = health_body(state);
             respond(&mut stream, status, reason, "application/json", &body)
         }
+        "/report" => live_respond(&mut stream, state, |live| live.report()),
+        "/figures/adoption" => {
+            live_respond(&mut stream, state, |live| live.figure(LiveFigure::Adoption))
+        }
+        "/figures/geo" => live_respond(&mut stream, state, |live| live.figure(LiveFigure::Geo)),
+        "/figures/outbreak" => {
+            live_respond(&mut stream, state, |live| live.figure(LiveFigure::Outbreak))
+        }
         "/" => respond(
             &mut stream,
             200,
             "OK",
             "text/plain",
             "cwa-repro live telemetry\n\
-             /metrics       Prometheus text exposition\n\
-             /metrics.json  cwa-obs/v1 snapshot\n\
-             /progress      run progress, per-shard rates, ETA\n\
-             /healthz       readiness + liveness\n",
+             /metrics            Prometheus text exposition\n\
+             /metrics.json       cwa-obs/v1 snapshot\n\
+             /progress           run progress, per-shard rates, ETA\n\
+             /healthz            readiness + liveness\n\
+             /report             live claims table (study --live)\n\
+             /figures/adoption   live Figure-2 view (study --live)\n\
+             /figures/geo        live Figure-3 view (study --live)\n\
+             /figures/outbreak   live outbreak view (study --live)\n",
         ),
         _ => respond(&mut stream, 404, "Not Found", "text/plain", "not found\n"),
+    }
+}
+
+/// Serves one live document: 404 when the run has no live layer at
+/// all, 503 while the driver has not published the first document yet.
+fn live_respond<F>(stream: &mut TcpStream, state: &TelemetryState, fetch: F) -> std::io::Result<()>
+where
+    F: Fn(&LiveSnapshot) -> Option<String>,
+{
+    match &state.live {
+        None => respond(
+            stream,
+            404,
+            "Not Found",
+            "application/json",
+            "{\"error\":\"not a live run; start with study --live\"}\n",
+        ),
+        Some(live) => match fetch(live) {
+            Some(body) => respond(stream, 200, "OK", "application/json", &body),
+            None => respond(
+                stream,
+                503,
+                "Service Unavailable",
+                "application/json",
+                "{\"error\":\"no document published yet\"}\n",
+            ),
+        },
     }
 }
 
@@ -285,7 +330,7 @@ fn shard_ids(sample: &BTreeMap<String, i64>) -> Vec<String> {
 fn progress_body(state: &TelemetryState) -> String {
     let sample = state.registry.sample();
     let get = |k: &str| sample.get(k).copied().unwrap_or(0);
-    let ring = state.ring.lock().expect("heartbeat ring poisoned");
+    let ring = state.ring.lock().unwrap_or_else(|e| e.into_inner());
 
     let hours_total = get(names::HOURS_TOTAL);
     let hours_done = get(names::HOURS_DONE);
@@ -354,9 +399,15 @@ fn progress_body(state: &TelemetryState) -> String {
 fn health_body(state: &TelemetryState) -> (u16, &'static str, String) {
     let sample = state.registry.sample();
     let done = sample.get(names::DONE).copied().unwrap_or(0) == 1;
-    let ring = state.ring.lock().expect("heartbeat ring poisoned");
+    let ring = state.ring.lock().unwrap_or_else(|e| e.into_inner());
     let ready = !ring.is_empty();
-    let stalled = !done && ring.stalled(names::RECORDS, state.stall_heartbeats);
+    // A stall needs BOTH the record counter and simulated time to be
+    // flat: a live/replay run paces itself against wall clock, so
+    // records legitimately idle between simulated hours — only "no
+    // records AND no simulated progress" is a wedged run.
+    let stalled = !done
+        && ring.stalled(names::RECORDS, state.stall_heartbeats)
+        && ring.stalled(names::HOURS_DONE, state.stall_heartbeats);
 
     let status_word = if stalled {
         "stalled"
@@ -434,6 +485,7 @@ mod tests {
             registry,
             ring: Arc::new(Mutex::new(ring)),
             stall_heartbeats: 3,
+            live: None,
         }
     }
 
@@ -514,6 +566,104 @@ mod tests {
         let (status, body) = get(server.local_addr(), "/healthz");
         assert_eq!(status, 503);
         assert!(body.contains("\"status\":\"stalled\""), "got: {body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn healthz_stays_ok_when_simulated_time_advances_without_records() {
+        // Live/replay runs idle between simulated hours: the record
+        // counter may be flat across many heartbeats while the sim
+        // clock still moves. That must NOT read as a stall.
+        let state = test_state();
+        {
+            let mut ring = state.ring.lock().unwrap();
+            for i in 4..10u64 {
+                ring.push(HeartbeatSample {
+                    t_ns: i * 1_000_000_000,
+                    values: [
+                        (names::RECORDS.to_string(), 300),
+                        (names::HOURS_DONE.to_string(), i as i64 * 6),
+                    ]
+                    .into_iter()
+                    .collect(),
+                });
+            }
+        }
+        let server = TelemetryServer::serve("127.0.0.1:0", state).expect("bind");
+        let (status, body) = get(server.local_addr(), "/healthz");
+        assert_eq!(status, 200, "got: {body}");
+        assert!(body.contains("\"status\":\"ok\""), "got: {body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn live_endpoints_answer_404_on_batch_runs() {
+        let server = TelemetryServer::serve("127.0.0.1:0", test_state()).expect("bind");
+        let addr = server.local_addr();
+        for path in [
+            "/report",
+            "/figures/adoption",
+            "/figures/geo",
+            "/figures/outbreak",
+        ] {
+            let (status, body) = get(addr, path);
+            assert_eq!(status, 404, "{path}: {body}");
+            assert!(body.contains("not a live run"), "{path}: {body}");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn live_endpoints_serve_published_documents() {
+        let live = Arc::new(LiveSnapshot::new());
+        let mut state = test_state();
+        state.live = Some(Arc::clone(&live));
+        let server = TelemetryServer::serve("127.0.0.1:0", state).expect("bind");
+        let addr = server.local_addr();
+
+        // Before the first publication: 503, the run just hasn't
+        // produced a document yet.
+        let (status, body) = get(addr, "/report");
+        assert_eq!(status, 503, "got: {body}");
+        assert!(body.contains("no document published yet"), "got: {body}");
+
+        live.publish_report("{\"schema\":\"cwa-live/v1\",\"day\":3}".into());
+        live.publish_figure(LiveFigure::Geo, "{\"district_flows\":[1,2]}".into());
+        let (status, body) = get(addr, "/report");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"cwa-live/v1\""), "got: {body}");
+        let (status, body) = get(addr, "/figures/geo");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"district_flows\""), "got: {body}");
+        let (status, _) = get(addr, "/figures/adoption");
+        assert_eq!(status, 503, "unpublished figure");
+
+        // Publishing replaces the document the server hands out.
+        live.publish_report("{\"schema\":\"cwa-live/v1\",\"day\":4}".into());
+        let (_, body) = get(addr, "/report");
+        assert!(body.contains("\"day\":4"), "got: {body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn scrapes_survive_a_poisoned_ring() {
+        // Regression (see heartbeat.rs): a poisoned ring used to kill
+        // every later /progress and /healthz response.
+        let state = test_state();
+        let poisoner = Arc::clone(&state.ring);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.lock().unwrap();
+            panic!("deliberate poison");
+        })
+        .join();
+        assert!(state.ring.lock().is_err(), "ring lock must be poisoned");
+        let server = TelemetryServer::serve("127.0.0.1:0", state).expect("bind");
+        let addr = server.local_addr();
+        let (status, body) = get(addr, "/progress");
+        assert_eq!(status, 200, "got: {body}");
+        assert!(body.contains("\"cwa-progress/v1\""), "got: {body}");
+        let (status, _) = get(addr, "/healthz");
+        assert_eq!(status, 200);
         server.shutdown();
     }
 

@@ -25,16 +25,19 @@
 //! snapshots the registry on an interval (bounded ring + optional
 //! `metrics.jsonl` stream) and a tiny HTTP/1.0 scrape server exposing
 //! `/metrics`, `/metrics.json`, `/progress` and `/healthz` while a run
-//! is still in flight.
+//! is still in flight. The [`live`] module adds the mailbox live runs
+//! publish their rendered `/report` and `/figures/*` documents into.
 
 #![forbid(unsafe_code)]
 
 pub mod heartbeat;
 pub mod http;
+pub mod live;
 pub mod trace;
 
 pub use heartbeat::{Heartbeat, HeartbeatConfig, HeartbeatRing, HeartbeatSample};
 pub use http::{TelemetryServer, TelemetryState};
+pub use live::{LiveFigure, LiveSnapshot};
 pub use trace::{NameId, StageLog, TraceBuf, TraceSpan, Tracer};
 
 use std::collections::BTreeMap;

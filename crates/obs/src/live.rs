@@ -1,0 +1,140 @@
+//! Live analysis publication: the mailbox between the study driver and
+//! the HTTP server.
+//!
+//! `cwa-obs` cannot depend on `cwa-core` (it sits below it), so the
+//! live endpoints serve **pre-rendered JSON strings**: the live driver
+//! assembles its current report and figure payloads, renders them, and
+//! publishes them into a shared [`LiveSnapshot`]; the scrape server
+//! hands the latest published string to any `/report` or `/figures/*`
+//! request. Publishing replaces the whole document atomically — a
+//! scrape never sees a half-written payload.
+//!
+//! Like the heartbeat ring, the mutexes here recover from poisoning:
+//! telemetry must outlive a panicking publisher.
+
+use std::sync::Mutex;
+
+/// The three live figure endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LiveFigure {
+    /// `/figures/adoption` — Figure-2 view: cumulative and windowed
+    /// traffic series against the adoption curve.
+    Adoption,
+    /// `/figures/geo` — Figure-3 view: district intensities.
+    Geo,
+    /// `/figures/outbreak` — §3 outbreak view: state/district growth
+    /// tables.
+    Outbreak,
+}
+
+impl LiveFigure {
+    /// All figures, in route order.
+    pub const ALL: [LiveFigure; 3] = [LiveFigure::Adoption, LiveFigure::Geo, LiveFigure::Outbreak];
+
+    /// The HTTP route the figure is served under.
+    pub fn route(self) -> &'static str {
+        match self {
+            LiveFigure::Adoption => "/figures/adoption",
+            LiveFigure::Geo => "/figures/geo",
+            LiveFigure::Outbreak => "/figures/outbreak",
+        }
+    }
+}
+
+/// Latest published live documents (all pre-rendered JSON).
+#[derive(Debug, Default)]
+pub struct LiveSnapshot {
+    report: Mutex<Option<String>>,
+    adoption: Mutex<Option<String>>,
+    geo: Mutex<Option<String>>,
+    outbreak: Mutex<Option<String>>,
+}
+
+impl LiveSnapshot {
+    /// Creates an empty snapshot (every endpoint still unpublished).
+    pub fn new() -> Self {
+        LiveSnapshot::default()
+    }
+
+    fn slot(&self, figure: LiveFigure) -> &Mutex<Option<String>> {
+        match figure {
+            LiveFigure::Adoption => &self.adoption,
+            LiveFigure::Geo => &self.geo,
+            LiveFigure::Outbreak => &self.outbreak,
+        }
+    }
+
+    /// Publishes the current `/report` document.
+    pub fn publish_report(&self, json: String) {
+        *self.report.lock().unwrap_or_else(|e| e.into_inner()) = Some(json);
+    }
+
+    /// The latest `/report` document, if one has been published.
+    pub fn report(&self) -> Option<String> {
+        self.report
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Publishes one figure document.
+    pub fn publish_figure(&self, figure: LiveFigure, json: String) {
+        *self.slot(figure).lock().unwrap_or_else(|e| e.into_inner()) = Some(json);
+    }
+
+    /// The latest document for `figure`, if published.
+    pub fn figure(&self, figure: LiveFigure) -> Option<String> {
+        self.slot(figure)
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn publish_and_read_back() {
+        let live = LiveSnapshot::new();
+        assert_eq!(live.report(), None);
+        for f in LiveFigure::ALL {
+            assert_eq!(live.figure(f), None);
+        }
+        live.publish_report("{\"day\":1}".into());
+        live.publish_figure(LiveFigure::Geo, "{\"districts\":[]}".into());
+        assert_eq!(live.report().as_deref(), Some("{\"day\":1}"));
+        assert_eq!(
+            live.figure(LiveFigure::Geo).as_deref(),
+            Some("{\"districts\":[]}")
+        );
+        assert_eq!(live.figure(LiveFigure::Adoption), None);
+        // Replacement is whole-document.
+        live.publish_report("{\"day\":2}".into());
+        assert_eq!(live.report().as_deref(), Some("{\"day\":2}"));
+    }
+
+    #[test]
+    fn routes_are_stable() {
+        assert_eq!(LiveFigure::Adoption.route(), "/figures/adoption");
+        assert_eq!(LiveFigure::Geo.route(), "/figures/geo");
+        assert_eq!(LiveFigure::Outbreak.route(), "/figures/outbreak");
+    }
+
+    #[test]
+    fn poisoned_snapshot_recovers() {
+        let live = Arc::new(LiveSnapshot::new());
+        live.publish_report("{\"day\":1}".into());
+        let poisoner = Arc::clone(&live);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.report.lock().unwrap();
+            panic!("deliberate poison");
+        })
+        .join();
+        assert_eq!(live.report().as_deref(), Some("{\"day\":1}"));
+        live.publish_report("{\"day\":2}".into());
+        assert_eq!(live.report().as_deref(), Some("{\"day\":2}"));
+    }
+}

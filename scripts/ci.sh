@@ -141,6 +141,60 @@ print(f"    {len(lines)} append-valid heartbeat samples; scrape endpoints answer
 EOF
 rm -f "$HB_JSONL" "$TELEM_LOG"
 
+echo "==> live replay smoke (--live --serve: /report day advance, verdict shape, watch --claims)"
+# A paced replay publishes an interim report after every simulated day;
+# two /report scrapes a moment apart must show the day counter
+# advancing with well-formed claim verdicts, and `watch --claims` must
+# follow the run to completion. The batch paths stay untouched by live
+# mode, so the obs-diff gate below keeps guarding bit-identity.
+LIVE_LOG="$(mktemp /tmp/cwa-live.XXXXXX.log)"
+REPORT_A="$(mktemp /tmp/cwa-report-a.XXXXXX.json)"
+REPORT_B="$(mktemp /tmp/cwa-report-b.XXXXXX.json)"
+./target/release/cwa-repro study --scale 0.02 --live --replay-speed 200000 \
+    --serve 127.0.0.1:0 --serve-linger-ms 4000 \
+    > /dev/null 2> "$LIVE_LOG" &
+LIVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's/.*serving telemetry on \([0-9.:]*\).*/\1/p' "$LIVE_LOG" | head -n1)"
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "live run never announced its address"; exit 1; }
+# /report answers 503 until the first day's report publishes.
+GOT=""
+for _ in $(seq 1 150); do
+    if ./target/release/cwa-repro scrape "$ADDR" /report > "$REPORT_A" 2>/dev/null; then
+        GOT=1
+        break
+    fi
+    sleep 0.1
+done
+[ -n "$GOT" ] || { echo "/report never published"; exit 1; }
+./target/release/cwa-repro scrape "$ADDR" /figures/adoption | grep -q '"cwa-live-figure/v1"' || { echo "/figures/adoption malformed"; exit 1; }
+sleep 1.5
+./target/release/cwa-repro scrape "$ADDR" /report > "$REPORT_B" || { echo "second /report scrape failed"; exit 1; }
+# `watch --claims` follows the rest of the replay and exits 0 at done.
+./target/release/cwa-repro watch --claims "$ADDR" --interval-ms 250 > /dev/null
+wait "$LIVE_PID"
+python3 - "$REPORT_A" "$REPORT_B" <<'EOF'
+import json, sys
+a = json.load(open(sys.argv[1]))
+b = json.load(open(sys.argv[2]))
+for doc in (a, b):
+    assert doc["schema"] == "cwa-live/v1", doc.get("schema")
+    claims = doc["report"]["claims"]
+    assert claims, "live report carries no claims"
+    for c in claims:
+        v = c["verdict"]
+        assert v in ("Pass", "Fail") or (isinstance(v, dict) and "Starved" in v), \
+            f"malformed verdict {v!r} for claim {c.get('id')}"
+assert b["day"] > a["day"], f"day counter did not advance: {a['day']} -> {b['day']}"
+print(f"    /report advanced day {a['day']} -> {b['day']}; "
+      f"{len(b['report']['claims'])} well-formed verdicts per snapshot")
+EOF
+rm -f "$LIVE_LOG" "$REPORT_A" "$REPORT_B"
+
 echo "==> obs-diff regression gate (same-seed streaming snapshots)"
 # Wall-clock phase timers on a shared CI host are volatile, so the gate
 # uses a generous threshold; it exists to catch order-of-magnitude

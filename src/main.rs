@@ -3,9 +3,10 @@
 //! ```text
 //! cwa-repro study [--scale S] [--seed N] [--parallel] [--streaming] [--shards N] [--out DIR] [--metrics FILE] [--trace FILE]
 //!                 [--strict] [--scenario FILE]
+//!                 [--live] [--replay-speed N] [--days N|inf]
 //!                 [--serve ADDR] [--heartbeat-ms N] [--heartbeat-jsonl FILE] [--serve-linger-ms N]
-//! cwa-repro sweep --scenarios FILE [--scale S] [--seed N] [--shards N] [--json FILE]
-//! cwa-repro watch ADDR [--interval-ms N]
+//! cwa-repro sweep --scenarios FILE [--scale S] [--seed N] [--seeds N] [--shards N] [--json FILE]
+//! cwa-repro watch [--claims] ADDR [--interval-ms N]
 //! cwa-repro scrape ADDR PATH
 //! cwa-repro obs-diff A.json B.json [--threshold PCT]
 //! cwa-repro trace-summary FILE
@@ -16,7 +17,7 @@
 
 use std::process::ExitCode;
 
-use cwa_core::{run_sweep, ScenarioMatrix, Study, StudyConfig};
+use cwa_core::{run_seed_sweep, run_sweep, LiveOptions, ScenarioMatrix, Study, StudyConfig};
 use cwa_simnet::sim::ScenarioKind;
 use cwa_simnet::{SimConfig, Simulation};
 
@@ -60,8 +61,18 @@ fn usage() -> String {
      \x20     stage (produce/export/drain/filter/analyze + channel stalls)\n\
      \x20     as Chrome trace-event JSON — load it in Perfetto or summarize\n\
      \x20     it with `cwa-repro trace-summary`;\n\
+     \x20     --live replays day by day through the windowed incremental\n\
+     \x20     view and (with --serve) publishes an interim report after\n\
+     \x20     every simulated day plus figure documents every hour on\n\
+     \x20     /report and /figures/{adoption,geo,outbreak}; the end state\n\
+     \x20     equals the batch --streaming report; --replay-speed N paces\n\
+     \x20     the replay at N× simulated time (an export hour every\n\
+     \x20     3600/N wall seconds; default: as fast as possible) and\n\
+     \x20     --days N|inf stretches the horizon (`inf` ≈ ten years; the\n\
+     \x20     sliding window keeps resident state bounded regardless);\n\
      \x20     --serve ADDR starts a live-telemetry HTTP server (endpoints\n\
-     \x20     /metrics, /metrics.json, /progress, /healthz) for the run's\n\
+     \x20     /metrics, /metrics.json, /progress, /healthz, and for --live\n\
+     \x20     runs /report + /figures/*) for the run's\n\
      \x20     duration; --serve-linger-ms keeps it up after the run ends;\n\
      \x20     --heartbeat-ms sets the sampling interval (default 250) and\n\
      \x20     --heartbeat-jsonl streams one cwa-obs/v1 snapshot per\n\
@@ -73,16 +84,20 @@ fn usage() -> String {
      \x20     exit nonzero on *any* non-pass verdict. Without it, starved\n\
      \x20     claims are reported in the table (verdict `starved`) and\n\
      \x20     only genuine out-of-band failures exit nonzero\n\
-     \x20 cwa-repro sweep --scenarios FILE [--scale S] [--seed N] [--shards N] [--json FILE]\n\
+     \x20 cwa-repro sweep --scenarios FILE [--scale S] [--seed N] [--seeds N] [--shards N] [--json FILE]\n\
      \x20     run every [[scenario]] in FILE over the sharded workers and\n\
      \x20     print the claim-survival table (scenario × claim →\n\
      \x20     pass/fail/starved); --json also writes the table as JSON,\n\
      \x20     byte-identical across --shards values; --scale/--seed set\n\
-     \x20     the base configuration scenarios overlay\n\
-     \x20 cwa-repro watch ADDR [--interval-ms N]\n\
+     \x20     the base configuration scenarios overlay; --seeds N runs\n\
+     \x20     each scenario under N seeds and prints per-cell pass\n\
+     \x20     fractions instead (flaky borderline cells vs solid ones)\n\
+     \x20 cwa-repro watch [--claims] ADDR [--interval-ms N]\n\
      \x20     live terminal dashboard over a --serve endpoint: polls\n\
      \x20     /progress, renders per-shard throughput and stall ratios,\n\
-     \x20     exits when the run completes\n\
+     \x20     exits when the run completes; with --claims polls the\n\
+     \x20     /report of a `study --live` run and renders the claim\n\
+     \x20     verdict table as it evolves\n\
      \x20 cwa-repro scrape ADDR PATH\n\
      \x20     one-shot HTTP GET against a --serve endpoint (std TcpStream,\n\
      \x20     no curl needed); prints the body, exits nonzero on non-2xx\n\
@@ -175,6 +190,42 @@ fn study(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let live_mode = flag(args, "--live");
+    let replay_speed: Option<f64> = match opt(args, "--replay-speed").map(|s| s.parse()) {
+        Some(Ok(n)) if n > 0.0 => Some(n),
+        None => None,
+        _ => {
+            eprintln!("--replay-speed must be a positive number (simulated-time multiple)");
+            return ExitCode::FAILURE;
+        }
+    };
+    if replay_speed.is_some() && !live_mode {
+        eprintln!("--replay-speed requires --live");
+        return ExitCode::FAILURE;
+    }
+    if live_mode && streaming {
+        eprintln!("--live and --streaming are exclusive (live is already single-pass)");
+        return ExitCode::FAILURE;
+    }
+    if let Some(days) = opt(args, "--days") {
+        if !live_mode {
+            eprintln!("--days requires --live (the batch analysis tiers are horizon-bound)");
+            return ExitCode::FAILURE;
+        }
+        // "inf" is endless in spirit: a ten-year replay; the windowed
+        // view keeps resident state bounded regardless of the horizon.
+        config.sim.days = if days == "inf" {
+            3650
+        } else {
+            match days.parse() {
+                Ok(d) if d >= 1 => d,
+                _ => {
+                    eprintln!("--days must be a positive integer or `inf`");
+                    return ExitCode::FAILURE;
+                }
+            }
+        };
+    }
     let metrics_path = opt(args, "--metrics");
     let serve_addr = opt(args, "--serve");
     let heartbeat_jsonl = opt(args, "--heartbeat-jsonl");
@@ -202,6 +253,10 @@ fn study(args: &[String]) -> ExitCode {
         .as_ref()
         .map(|_| std::sync::Arc::new(cwa_obs::Tracer::new()));
 
+    // The live mailbox: the run publishes rendered documents into it,
+    // the scrape server serves them on /report and /figures/*.
+    let live_snapshot = live_mode.then(|| std::sync::Arc::new(cwa_obs::LiveSnapshot::new()));
+
     // Heartbeat sampler + scrape server, torn down after the run (and
     // after the optional linger window that CI uses to scrape a
     // finished run deterministically).
@@ -228,6 +283,7 @@ fn study(args: &[String]) -> ExitCode {
                 registry: std::sync::Arc::clone(registry),
                 ring: hb.ring(),
                 stall_heartbeats: 20,
+                live: live_snapshot.clone(),
             };
             match cwa_obs::TelemetryServer::serve(addr.as_str(), state) {
                 Ok(s) => {
@@ -246,9 +302,10 @@ fn study(args: &[String]) -> ExitCode {
     }
 
     eprintln!(
-        "running study at scale {scale} (seed {:#x}{}{}) …",
+        "running study at scale {scale} (seed {:#x}{}{}{}) …",
         config.sim.seed,
         if streaming { ", streaming" } else { "" },
+        if live_mode { ", live" } else { "" },
         shards.map(|n| format!(", {n} shards")).unwrap_or_default()
     );
     let start = std::time::Instant::now();
@@ -259,7 +316,14 @@ fn study(args: &[String]) -> ExitCode {
     if let Some(tracer) = &tracer {
         study = study.with_trace(std::sync::Arc::clone(tracer));
     }
-    let result = if let Some(n) = shards {
+    let result = if live_mode {
+        study.run_live(&LiveOptions {
+            shards: shards.unwrap_or(1),
+            replay_speed,
+            publish: live_snapshot.clone(),
+            ..LiveOptions::default()
+        })
+    } else if let Some(n) = shards {
         study.run_sharded(n)
     } else if streaming {
         study.run_streaming()
@@ -395,6 +459,14 @@ fn sweep(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let seeds: u32 = match opt(args, "--seeds").map(|s| s.parse()) {
+        Some(Ok(n)) if n >= 1 => n,
+        None => 1,
+        _ => {
+            eprintln!("--seeds must be a positive integer");
+            return ExitCode::FAILURE;
+        }
+    };
     let mut base = StudyConfig::at_scale(scale);
     if let Some(seed) = opt(args, "--seed") {
         match seed.parse() {
@@ -424,22 +496,34 @@ fn sweep(args: &[String]) -> ExitCode {
         }
     };
     eprintln!(
-        "sweeping {} scenario(s) at base scale {scale} (seed {:#x}, {shards} shard(s) requested) …",
+        "sweeping {} scenario(s) at base scale {scale} (seed {:#x}, {shards} shard(s) requested, {seeds} seed(s)) …",
         matrix.scenarios.len(),
         base.sim.seed
     );
     let start = std::time::Instant::now();
-    let table = match run_sweep(&matrix, &base, shards) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("sweep failed: {e}");
-            return ExitCode::FAILURE;
+    // --seeds 1 keeps the classic survival table; more seeds switch to
+    // the pass-fraction table (per-cell robustness across seeds).
+    let (text, json) = if seeds > 1 {
+        match run_seed_sweep(&matrix, &base, shards, seeds) {
+            Ok(t) => (t.render_text(), t.to_json()),
+            Err(e) => {
+                eprintln!("sweep failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match run_sweep(&matrix, &base, shards) {
+            Ok(t) => (t.render_text(), t.to_json()),
+            Err(e) => {
+                eprintln!("sweep failed: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
     eprintln!("done in {:?}\n", start.elapsed());
-    println!("{}", table.render_text());
+    println!("{text}");
     if let Some(json_path) = opt(args, "--json") {
-        if let Err(e) = std::fs::write(&json_path, table.to_json()) {
+        if let Err(e) = std::fs::write(&json_path, json) {
             eprintln!("cannot write {json_path}: {e}");
             return ExitCode::FAILURE;
         }
@@ -563,40 +647,128 @@ fn render_progress_frame(doc: &serde_json::Value) -> String {
     out
 }
 
-/// `cwa-repro watch ADDR` — polls `/progress` and renders a per-shard
-/// rate/stall table until the run completes (state `done`) or the
-/// endpoint goes away after at least one successful poll (run ended
-/// and the server shut down).
+/// Verdict cell for the claims dashboard. The vendored serializer
+/// renders `Verdict::Pass`/`Fail` as variant-name strings and the
+/// data-carrying `Starved { .. }` as a single-key object.
+fn verdict_cell(v: Option<&serde_json::Value>) -> &'static str {
+    match v {
+        Some(serde_json::Value::Str(s)) => match s.as_str() {
+            "Pass" => "pass",
+            "Fail" => "FAIL",
+            _ => "?",
+        },
+        Some(serde_json::Value::Object(fields)) if fields.iter().any(|(k, _)| k == "Starved") => {
+            "starved"
+        }
+        _ => "?",
+    }
+}
+
+/// Renders one `/report` envelope (cwa-live/v1) as a claims dashboard
+/// frame: stream position header plus one row per claim.
+fn render_claims_frame(doc: &serde_json::Value) -> String {
+    let num = |k: &str| json_num(doc.get(k)).unwrap_or(0.0);
+    let done = matches!(doc.get("done"), Some(serde_json::Value::Bool(true)));
+    let mut out = format!(
+        "day {}/{} (hour {}) | {}\n",
+        num("day"),
+        num("horizon_days"),
+        num("hours_seen"),
+        if done { "final" } else { "live" },
+    );
+    let claims = doc
+        .get("report")
+        .and_then(|r| r.get("claims"))
+        .and_then(|c| c.as_array())
+        .unwrap_or_default();
+    out.push_str(&format!("  {:<22} {:<8} measured\n", "claim", "verdict"));
+    for claim in claims {
+        let id = claim.get("id").and_then(|v| v.as_str()).unwrap_or("?");
+        let measured = match json_num(claim.get("measured")) {
+            Some(m) if m.is_finite() => format!("{m:.4e}"),
+            _ => "—".to_owned(),
+        };
+        out.push_str(&format!(
+            "  {id:<22} {:<8} {measured}\n",
+            verdict_cell(claim.get("verdict"))
+        ));
+    }
+    out
+}
+
+/// `cwa-repro watch [--claims] ADDR` — polls a `--serve` endpoint until
+/// the run completes or the endpoint goes away after at least one
+/// successful poll (run ended and the server shut down). Default mode
+/// renders `/progress` as a per-shard rate/stall table; `--claims`
+/// renders the live `/report` claim table of a `study --live` run.
 fn watch(args: &[String]) -> ExitCode {
-    let Some(addr) = args.first() else {
-        eprintln!("usage: cwa-repro watch ADDR [--interval-ms N]");
+    let claims_mode = flag(args, "--claims");
+    let mut addr = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--claims" => i += 1,
+            "--interval-ms" => i += 2,
+            a if !a.starts_with("--") => {
+                addr = Some(a.to_owned());
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("usage: cwa-repro watch [--claims] ADDR [--interval-ms N]");
         return ExitCode::FAILURE;
     };
     let interval_ms: u64 = opt(args, "--interval-ms")
         .and_then(|s| s.parse().ok())
         .unwrap_or(1000);
+    let path = if claims_mode { "/report" } else { "/progress" };
     let mut successes = 0u64;
     let mut connect_failures = 0u32;
+    let mut waiting_notice = false;
     loop {
-        match http_get(addr, "/progress") {
+        match http_get(&addr, path) {
             Ok((200, body)) => {
                 connect_failures = 0;
                 successes += 1;
                 let doc: serde_json::Value = match serde_json::from_str(&body) {
                     Ok(v) => v,
                     Err(e) => {
-                        eprintln!("bad /progress payload: {e}");
+                        eprintln!("bad {path} payload: {e}");
                         return ExitCode::FAILURE;
                     }
                 };
-                print!("{}", render_progress_frame(&doc));
-                if doc.get("state").and_then(|s| s.as_str()) == Some("done") {
-                    println!("run complete.");
-                    return ExitCode::SUCCESS;
+                if claims_mode {
+                    print!("{}", render_claims_frame(&doc));
+                    if matches!(doc.get("done"), Some(serde_json::Value::Bool(true))) {
+                        println!("replay complete.");
+                        return ExitCode::SUCCESS;
+                    }
+                } else {
+                    print!("{}", render_progress_frame(&doc));
+                    if doc.get("state").and_then(|s| s.as_str()) == Some("done") {
+                        println!("run complete.");
+                        return ExitCode::SUCCESS;
+                    }
                 }
             }
-            Ok((status, _)) => {
-                eprintln!("HTTP {status} from {addr}/progress");
+            // 503 on /report: the live run is up but has not published
+            // its first day yet — keep polling.
+            Ok((503, _)) if claims_mode => {
+                connect_failures = 0;
+                successes += 1;
+                if !waiting_notice {
+                    eprintln!("server up, waiting for the first published report …");
+                    waiting_notice = true;
+                }
+            }
+            Ok((status, body)) => {
+                eprintln!("HTTP {status} from {addr}{path}");
+                if status == 404 && claims_mode {
+                    // The server explains itself ("not a live run …").
+                    eprintln!("{}", body.trim_end());
+                }
                 return ExitCode::FAILURE;
             }
             Err(e) => {

@@ -1,0 +1,136 @@
+//! Live-mode equivalence: the windowed live pipeline
+//! (`Study::run_live`) must end a replay with a report byte-identical
+//! to the batch streaming path (`Study::run_streaming`) after the
+//! volatile timings are stripped — for the serial driver and for
+//! sharded views — while the mailbox it publishes into serves the same
+//! final report plus monotonically advancing figure documents during
+//! the replay.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use cwa_repro::core::live::{LiveOptions, LIVE_FIGURE_SCHEMA, LIVE_REPORT_SCHEMA};
+use cwa_repro::core::{Study, StudyConfig};
+use cwa_repro::obs::{LiveFigure, LiveSnapshot};
+
+fn canonical_json(report: &cwa_repro::core::StudyReport) -> String {
+    serde_json::to_string(&report.strip_volatile()).expect("report serializes")
+}
+
+fn num(v: Option<&serde_json::Value>) -> Option<u64> {
+    match v {
+        Some(serde_json::Value::Num(n)) => n.as_u64(),
+        _ => None,
+    }
+}
+
+#[test]
+fn live_replay_ends_bit_identical_to_streaming() {
+    let baseline = Study::new(StudyConfig::test_small())
+        .run_streaming()
+        .expect("small study produces matching flows");
+    let baseline_json = canonical_json(&baseline);
+
+    for shards in [1usize, 2] {
+        let live = Arc::new(LiveSnapshot::new());
+        let opts = LiveOptions {
+            shards,
+            publish: Some(Arc::clone(&live)),
+            ..LiveOptions::default()
+        };
+        let report = Study::new(StudyConfig::test_small())
+            .run_live(&opts)
+            .expect("small study produces matching flows");
+        assert_eq!(
+            baseline_json,
+            canonical_json(&report),
+            "run_live(shards={shards}) == run_streaming"
+        );
+
+        // The served end state is exactly the returned report, wrapped
+        // in the live envelope.
+        let body = live.report().expect("final report published");
+        let envelope: serde_json::Value = serde_json::from_str(&body).expect("valid JSON");
+        assert_eq!(
+            envelope.get("schema").and_then(|v| v.as_str()),
+            Some(LIVE_REPORT_SCHEMA)
+        );
+        assert!(
+            matches!(envelope.get("done"), Some(serde_json::Value::Bool(true))),
+            "end-of-replay envelope is marked done"
+        );
+        assert_eq!(
+            num(envelope.get("day")),
+            Some(u64::from(report.config.sim.days)),
+            "the replay covered every simulated day"
+        );
+        // Round-trip the returned report through the same renderer so
+        // non-finite floats normalize identically (NaN → null).
+        let report_value: serde_json::Value =
+            serde_json::from_str(&serde_json::to_string(&report).expect("report serializes"))
+                .expect("valid JSON");
+        assert_eq!(
+            envelope.get("report"),
+            Some(&report_value),
+            "served /report payload equals the returned report"
+        );
+
+        // Every figure endpoint got its final document.
+        for figure in LiveFigure::ALL {
+            let body = live.figure(figure).expect("figure published");
+            let value: serde_json::Value = serde_json::from_str(&body).expect("valid JSON");
+            assert_eq!(
+                value.get("schema").and_then(|v| v.as_str()),
+                Some(LIVE_FIGURE_SCHEMA)
+            );
+            assert_eq!(num(value.get("day")), num(envelope.get("day")));
+        }
+    }
+}
+
+/// While a paced replay runs, the published figure documents advance
+/// monotonically — the observable half of the endless-mode guarantee
+/// (the memory bound itself is asserted in `cwa-analysis`'s windowed
+/// tests).
+#[test]
+fn paced_replay_publishes_advancing_documents() {
+    let live = Arc::new(LiveSnapshot::new());
+    let opts = LiveOptions {
+        shards: 1,
+        // ~2.5 ms of wall clock per simulated hour: the 11-day replay
+        // takes ~0.7 s, slow enough to observe several interim states.
+        replay_speed: Some(1_440_000.0),
+        publish: Some(Arc::clone(&live)),
+        ..LiveOptions::default()
+    };
+    let worker = std::thread::spawn(move || {
+        Study::new(StudyConfig::test_small())
+            .run_live(&opts)
+            .expect("small study produces matching flows")
+    });
+
+    let mut observed: Vec<u64> = Vec::new();
+    while !worker.is_finished() {
+        if let Some(body) = live.figure(LiveFigure::Adoption) {
+            let value: serde_json::Value = serde_json::from_str(&body).expect("valid JSON");
+            let hours = num(value.get("hours_seen")).expect("position present");
+            if observed.last() != Some(&hours) {
+                assert!(
+                    observed.last().is_none_or(|last| *last < hours),
+                    "stream position must advance monotonically: {observed:?} then {hours}"
+                );
+                observed.push(hours);
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let report = worker.join().expect("live run succeeds");
+    assert!(report.matching_flows > 0);
+    assert!(
+        observed.len() >= 2,
+        "expected several interim publications, saw positions {observed:?}"
+    );
+    // An interim (not-done) report was served before the final one.
+    let body = live.report().expect("report published");
+    assert!(body.contains("\"done\": true"));
+}

@@ -4,7 +4,7 @@
 //! table cells instead of aborting the matrix.
 
 use cwa_repro::core::study::persistence_len_for_scale;
-use cwa_repro::core::{run_sweep, ScenarioMatrix, Study, StudyConfig};
+use cwa_repro::core::{run_seed_sweep, run_sweep, ScenarioMatrix, Study, StudyConfig};
 
 /// A compact matrix exercising every override family the scenario layer
 /// supports, including one deliberately starved cell.
@@ -190,5 +190,64 @@ fn sparse_scales_degrade_instead_of_failing() {
             }
         }
         assert!(report.failures().is_empty());
+    }
+}
+
+/// The `--seeds N` axis: every cell's tallies account for every seed,
+/// the table is shard-invariant like the survival table, and a
+/// one-seed fraction table agrees cell-for-cell with the survival
+/// table's verdicts.
+#[test]
+fn seed_sweep_tallies_every_seed_and_stays_shard_invariant() {
+    const SMALL: &str = r#"
+[[scenario]]
+name = "baseline"
+
+[[scenario]]
+name = "starved-tiny-scale"
+scale = 0.0005
+"#;
+    let matrix = ScenarioMatrix::parse(SMALL).expect("matrix parses");
+    let seeds = 2;
+    let serial = run_seed_sweep(&matrix, &base(), 1, seeds).expect("serial seed sweep");
+    let sharded = run_seed_sweep(&matrix, &base(), 2, seeds).expect("sharded seed sweep");
+    assert_eq!(
+        serial.to_json(),
+        sharded.to_json(),
+        "the pass-fraction table must not depend on the shard count"
+    );
+    assert_eq!(serial.rows.len(), 2);
+    for row in &serial.rows {
+        assert_eq!(row.seeds, seeds);
+        for cell in &row.cells {
+            assert_eq!(
+                cell.passes + cell.fails + cell.starved,
+                seeds,
+                "{}/{}: tallies must account for every seed",
+                row.scenario,
+                cell.claim
+            );
+        }
+    }
+    let drained = &serial.rows[1];
+    assert!(
+        drained.cells.iter().any(|c| c.starved == seeds),
+        "a scale far below viability must starve a cell under every seed"
+    );
+
+    // One seed reduces to the survival table's verdict per cell.
+    let fractions = run_seed_sweep(&matrix, &base(), 1, 1).expect("one-seed sweep");
+    let survival = run_sweep(&matrix, &base(), 1).expect("survival sweep");
+    for (frow, srow) in fractions.rows.iter().zip(&survival.rows) {
+        assert_eq!(frow.scenario, srow.scenario);
+        for (fcell, scell) in frow.cells.iter().zip(&srow.cells) {
+            assert_eq!(fcell.claim, scell.claim);
+            let expect = match scell.verdict.as_str() {
+                "pass" => (1, 0, 0),
+                "fail" => (0, 1, 0),
+                _ => (0, 0, 1),
+            };
+            assert_eq!((fcell.passes, fcell.fails, fcell.starved), expect);
+        }
     }
 }

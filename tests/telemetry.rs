@@ -67,6 +67,7 @@ fn live_endpoints_answer_during_sharded_run() {
             registry: Arc::clone(&registry),
             ring: heartbeat.ring(),
             stall_heartbeats: 50,
+            live: None,
         },
     )
     .expect("server binds");
@@ -210,6 +211,7 @@ fn telemetry_never_perturbs_reports() {
                 registry: Arc::clone(&registry),
                 ring: heartbeat.ring(),
                 stall_heartbeats: 50,
+                live: None,
             },
         )
         .expect("server binds");
