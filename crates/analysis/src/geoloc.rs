@@ -195,6 +195,7 @@ const ATTRIBUTIONS: [GeoAttribution; 3] = [
 /// Records are expected to have passed the flow filter; the client is
 /// the destination address (CDN → user direction), exactly
 /// [`FlowFilter::client_of`]. Records on days `>= days` are dropped.
+#[derive(Clone)]
 pub struct GeoDayAccumulator<'a> {
     pipeline: &'a GeolocationPipeline<'a>,
     /// `day_district_flows[day][district]`.

@@ -173,6 +173,7 @@ fn ratio(post: u64, pre: u64) -> f64 {
 ///
 /// The client is the record's destination address (CDN → user
 /// direction), exactly [`FlowFilter::client_of`].
+#[derive(Clone)]
 pub struct OutbreakAccumulator<'a, F> {
     germany: &'a Germany,
     pipeline: &'a GeolocationPipeline<'a>,

@@ -150,6 +150,12 @@ struct Totals {
 /// The live view: cumulative study-window consumers plus the sliding
 /// window tiers. Generic over the ISP resolver exactly like
 /// [`OutbreakAccumulator`].
+///
+/// `Clone` (for resolvers that are `Clone`) snapshots the full mergeable
+/// state: the sharded live driver clones each shard's view at day
+/// boundaries and [`absorb`](WindowedView::absorb)s the clones into an
+/// interim merged view without disturbing the shards themselves.
+#[derive(Clone)]
 pub struct WindowedView<'a, F> {
     /// Study-window hourly series (identical to the batch consumer).
     pub series: HourlySeries,
@@ -579,6 +585,141 @@ pub struct WindowSnapshot {
     pub distinct_prefixes: u64,
 }
 
+impl WindowSnapshot {
+    /// Total flows inside the window.
+    pub fn flows(&self) -> u64 {
+        self.hourly_flows.iter().sum()
+    }
+
+    /// Window flows geolocated to some district.
+    pub fn located_flows(&self) -> u64 {
+        self.district_flows.iter().sum()
+    }
+
+    /// Flows per window day, oldest first (24-hour sums of
+    /// [`hourly_flows`](WindowSnapshot::hourly_flows)).
+    pub fn daily_flows(&self) -> Vec<u64> {
+        self.hourly_flows
+            .chunks(24)
+            .map(|day| day.iter().sum())
+            .collect()
+    }
+
+    /// True when every absolute day of `days` still has raw window data.
+    pub fn contains_days(&self, days: std::ops::Range<u64>) -> bool {
+        days.start >= self.from_day && days.end <= self.to_day
+    }
+
+    /// Window-local index of an absolute study day, when in the window.
+    fn day_index(&self, day: u64) -> Option<usize> {
+        (day >= self.from_day && day < self.to_day).then(|| (day - self.from_day) as usize)
+    }
+
+    /// Release-day jump `day1 / day0` — evaluable only while day 0 is
+    /// still inside the window (NaN otherwise, exactly like an empty
+    /// [`HourlySeries`]).
+    pub fn release_jump(&self) -> f64 {
+        if self.from_day != 0 {
+            return f64::NAN;
+        }
+        let daily = self.daily_flows();
+        if daily.len() < 2 || daily[0] == 0 {
+            return f64::NAN;
+        }
+        daily[1] as f64 / daily[0] as f64
+    }
+
+    /// Fraction of districts with at least `min_flows` window flows.
+    pub fn coverage(&self, min_flows: u64) -> f64 {
+        if self.district_flows.is_empty() {
+            return f64::NAN;
+        }
+        let covered = self
+            .district_flows
+            .iter()
+            .filter(|&&f| f >= min_flows)
+            .count();
+        covered as f64 / self.district_flows.len() as f64
+    }
+
+    /// Share of window geolocations attributed to router ground truth
+    /// (attribution order: ground truth, geo database, unlocated).
+    pub fn ground_truth_share(&self) -> f64 {
+        let gt = self.attributions[0] as f64;
+        let db = self.attributions[1] as f64;
+        if gt + db == 0.0 {
+            return f64::NAN;
+        }
+        gt / (gt + db)
+    }
+
+    /// Window flows per federal state across an absolute-day range
+    /// (days outside the window contribute nothing).
+    pub fn state_sum(&self, days: std::ops::Range<u64>) -> [u64; 16] {
+        let mut out = [0u64; 16];
+        for day in days {
+            if let Some(i) = self.day_index(day) {
+                for (o, s) in out.iter_mut().zip(&self.state_daily[i]) {
+                    *o += s;
+                }
+            }
+        }
+        out
+    }
+
+    /// Per-state growth ratio `post/pre` over absolute-day ranges
+    /// (NaN where the pre-window sum is zero).
+    pub fn state_growth(&self, pre: std::ops::Range<u64>, post: std::ops::Range<u64>) -> [f64; 16] {
+        let pre_sums = self.state_sum(pre);
+        let post_sums = self.state_sum(post);
+        let mut out = [f64::NAN; 16];
+        for ((o, &p), &q) in out.iter_mut().zip(&pre_sums).zip(&post_sums) {
+            if p > 0 {
+                *o = q as f64 / p as f64;
+            }
+        }
+        out
+    }
+
+    /// Per-ISP growth of Berlin-located window traffic over
+    /// absolute-day ranges, sorted by ISP id (NaN where pre is zero).
+    pub fn berlin_isp_growth(
+        &self,
+        pre: std::ops::Range<u64>,
+        post: std::ops::Range<u64>,
+    ) -> Vec<(u8, f64)> {
+        let sum = |series: &[u64], days: std::ops::Range<u64>| -> u64 {
+            days.filter_map(|d| self.day_index(d).and_then(|i| series.get(i)))
+                .sum()
+        };
+        self.berlin_isp_daily
+            .iter()
+            .map(|(isp, series)| {
+                let p = sum(series, pre.clone());
+                let q = sum(series, post.clone());
+                let growth = if p == 0 {
+                    f64::NAN
+                } else {
+                    q as f64 / p as f64
+                };
+                (*isp, growth)
+            })
+            .collect()
+    }
+
+    /// Berlin-located window flows summed across ISPs and a day range.
+    pub fn berlin_sum(&self, days: std::ops::Range<u64>) -> u64 {
+        self.berlin_isp_daily
+            .iter()
+            .map(|(_, series)| {
+                days.clone()
+                    .filter_map(|d| self.day_index(d).and_then(|i| series.get(i)))
+                    .sum::<u64>()
+            })
+            .sum()
+    }
+}
+
 impl<F> FlowSink for WindowedView<'_, F>
 where
     F: Fn(Ipv4Addr) -> Option<u8>,
@@ -698,7 +839,7 @@ mod tests {
         pipeline: &'a GeolocationPipeline<'a>,
         study_days: u32,
         config: WindowConfig,
-    ) -> WindowedView<'a, impl Fn(Ipv4Addr) -> Option<u8> + 'a> {
+    ) -> WindowedView<'a, impl Fn(Ipv4Addr) -> Option<u8> + Clone + 'a> {
         let table = &w.isp_table;
         WindowedView::new(
             &w.germany,
@@ -893,5 +1034,118 @@ mod tests {
         let b = outbreak.to_analysis();
         assert_eq!(a.district_flows, b.district_flows);
         assert_eq!(a.berlin_isp_flows, b.berlin_isp_flows);
+    }
+
+    /// A cloned view is an independent snapshot of the mergeable state:
+    /// it equals the original at clone time, later observations leave it
+    /// untouched, and absorbing clones equals absorbing the originals —
+    /// the invariant the sharded live driver's interim publication
+    /// stands on.
+    #[test]
+    fn cloned_view_is_independent_and_absorbable() {
+        let w = world();
+        let pipeline = GeolocationPipeline::new(&w.germany, &w.geodb, &w.isp_table, 18);
+        let hours = stream(&w, 8);
+
+        let mut a = make_view(&w, &pipeline, 11, WindowConfig::default());
+        let mut b = make_view(&w, &pipeline, 11, WindowConfig::default());
+        let mut i = 0usize;
+        // First 4 days: round-robin split across two views.
+        for recs in hours.iter().take(4 * 24) {
+            for r in recs {
+                if i.is_multiple_of(2) {
+                    a.observe(r);
+                } else {
+                    b.observe(r);
+                }
+                i += 1;
+            }
+            a.note_hour();
+            b.note_hour();
+        }
+        let a_clone = a.clone();
+        let b_clone = b.clone();
+        assert_eq!(a_clone.snapshot(), a.snapshot());
+
+        let mut interim = a_clone;
+        interim.absorb(&b_clone);
+        let mut expected = a.clone();
+        expected.absorb(&b);
+        assert_eq!(interim.snapshot(), expected.snapshot());
+
+        // Feeding the originals further must not change the clones'
+        // merged snapshot.
+        let frozen = interim.snapshot();
+        for recs in hours.iter().skip(4 * 24) {
+            for r in recs {
+                a.observe(r);
+            }
+            a.note_hour();
+            b.note_hour();
+        }
+        assert_eq!(interim.snapshot(), frozen);
+        assert!(a.snapshot().hours_seen > frozen.hours_seen);
+    }
+
+    /// The window-snapshot claim inputs over a hand-built snapshot.
+    #[test]
+    fn window_snapshot_claim_inputs() {
+        let snap = WindowSnapshot {
+            from_day: 0,
+            to_day: 3,
+            hourly_flows: {
+                let mut h = vec![0u64; 72];
+                h[0] = 4; // day 0: 4 flows
+                h[25] = 12; // day 1: 12 flows
+                h[50] = 6; // day 2: 6 flows
+                h
+            },
+            hourly_bytes: vec![0; 72],
+            district_flows: vec![3, 0, 6, 1],
+            attributions: [9, 41, 5],
+            state_daily: {
+                let mut days = vec![[0u64; 16]; 3];
+                days[0][0] = 10;
+                days[0][1] = 4;
+                days[1][0] = 20;
+                days[1][1] = 4;
+                days[2][0] = 30;
+                days
+            },
+            berlin_isp_daily: vec![(1, vec![2, 4, 8]), (2, vec![5, 5, 0])],
+            distinct_prefixes: 7,
+        };
+        assert_eq!(snap.flows(), 22);
+        assert_eq!(snap.located_flows(), 10);
+        assert_eq!(snap.daily_flows(), vec![4, 12, 6]);
+        assert!((snap.release_jump() - 3.0).abs() < 1e-12);
+        assert!((snap.coverage(1) - 0.75).abs() < 1e-12);
+        assert!((snap.ground_truth_share() - 9.0 / 50.0).abs() < 1e-12);
+        assert!(snap.contains_days(0..3));
+        assert!(!snap.contains_days(0..4));
+        assert_eq!(snap.state_sum(0..2), {
+            let mut s = [0u64; 16];
+            s[0] = 30;
+            s[1] = 8;
+            s
+        });
+        let growth = snap.state_growth(0..1, 1..2);
+        assert!((growth[0] - 2.0).abs() < 1e-12);
+        assert!((growth[1] - 1.0).abs() < 1e-12);
+        assert!(growth[2].is_nan(), "zero pre-sum is NaN, not inf");
+        let berlin = snap.berlin_isp_growth(0..1, 1..3);
+        assert_eq!(berlin.len(), 2);
+        assert!((berlin[0].1 - 6.0).abs() < 1e-12);
+        assert!((berlin[1].1 - 1.0).abs() < 1e-12);
+        assert_eq!(snap.berlin_sum(0..2), 16);
+
+        // A window that has slid past day 0 cannot evaluate the jump.
+        let slid = WindowSnapshot {
+            from_day: 2,
+            to_day: 5,
+            ..snap
+        };
+        assert!(slid.release_jump().is_nan());
+        assert_eq!(slid.state_sum(0..2), [0u64; 16]);
     }
 }

@@ -20,14 +20,16 @@ use serde::Serialize;
 use cwa_analysis::windowed::{DaySummary, WindowConfig, WindowedSnapshot};
 use cwa_obs::{LiveFigure, LiveSnapshot};
 
+use crate::claims::Claim;
 use crate::report::StudyReport;
 
 /// Options for [`Study::run_live`](crate::Study::run_live).
 #[derive(Clone)]
 pub struct LiveOptions {
-    /// Vantage shards (1 = the serial driver). Pacing and interim
-    /// publication are serial-driver features; sharded live runs replay
-    /// at full speed and publish on completion only.
+    /// Vantage shards (1 = the serial driver). Pacing is a
+    /// serial-driver feature; sharded live runs replay at full speed
+    /// but still publish merged interim documents once per simulated
+    /// day (from day-boundary shard snapshots merged off the hot path).
     pub shards: usize,
     /// Simulated-time multiple of the wall clock: `N` replays one
     /// export hour every `3600 / N` wall seconds. `None` replays as
@@ -69,7 +71,24 @@ struct ReportEnvelope {
     hours_seen: u64,
     horizon_days: u32,
     done: bool,
+    window_from_day: u64,
+    window_to_day: u64,
+    window_verdicts: Vec<Claim>,
     report: StudyReport,
+}
+
+/// The sliding-window slice a set of window verdicts was evaluated
+/// over, plus the verdicts themselves. Claims whose inputs cannot be
+/// re-derived from a window (public side data, lifetime persistence)
+/// are simply absent from `verdicts`.
+#[derive(Debug, Clone, Default)]
+pub struct WindowVerdicts {
+    /// First day (inclusive) of the evaluated window.
+    pub from_day: u64,
+    /// One past the last day of the evaluated window.
+    pub to_day: u64,
+    /// The window-evaluable claims, re-judged over the window only.
+    pub verdicts: Vec<Claim>,
 }
 
 /// Renders the `/report` envelope around an interim (or final) report.
@@ -79,6 +98,7 @@ pub fn render_report(
     hours_seen: u64,
     horizon_days: u32,
     done: bool,
+    window: &WindowVerdicts,
 ) -> String {
     serde_json::to_string_pretty(&ReportEnvelope {
         schema: LIVE_REPORT_SCHEMA,
@@ -86,6 +106,9 @@ pub fn render_report(
         hours_seen,
         horizon_days,
         done,
+        window_from_day: window.from_day,
+        window_to_day: window.to_day,
+        window_verdicts: window.verdicts.clone(),
         report: report.clone(),
     })
     .expect("report envelope serializes")

@@ -18,6 +18,12 @@
 //! | `/healthz`      | readiness + liveness (503 when stalled)         |
 //! | `/report`       | live claims table (only on `study --live` runs) |
 //! | `/figures/*`    | live figure data: adoption, geo, outbreak       |
+//! | `/dashboard`    | self-contained HTML dashboard over all of these |
+//!
+//! Content types are deliberate: `/metrics` is Prometheus text,
+//! `/dashboard` is `text/html`, and everything else — including error
+//! bodies — is `application/json`. Live endpoints distinguish "this is
+//! not a live run" (404) from "live, but nothing published yet" (503).
 
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
@@ -171,8 +177,8 @@ fn handle_connection(mut stream: TcpStream, state: &TelemetryState) -> std::io::
                 &mut stream,
                 400,
                 "Bad Request",
-                "text/plain",
-                "malformed request line\n",
+                "application/json",
+                "{\"error\":\"malformed request line\"}\n",
             )
         }
     };
@@ -202,6 +208,13 @@ fn handle_connection(mut stream: TcpStream, state: &TelemetryState) -> std::io::
         "/figures/outbreak" => {
             live_respond(&mut stream, state, |live| live.figure(LiveFigure::Outbreak))
         }
+        "/dashboard" => respond(
+            &mut stream,
+            200,
+            "OK",
+            "text/html; charset=utf-8",
+            include_str!("dashboard.html"),
+        ),
         "/" => respond(
             &mut stream,
             200,
@@ -215,9 +228,16 @@ fn handle_connection(mut stream: TcpStream, state: &TelemetryState) -> std::io::
              /report             live claims table (study --live)\n\
              /figures/adoption   live Figure-2 view (study --live)\n\
              /figures/geo        live Figure-3 view (study --live)\n\
-             /figures/outbreak   live outbreak view (study --live)\n",
+             /figures/outbreak   live outbreak view (study --live)\n\
+             /dashboard          self-contained HTML dashboard\n",
         ),
-        _ => respond(&mut stream, 404, "Not Found", "text/plain", "not found\n"),
+        _ => respond(
+            &mut stream,
+            404,
+            "Not Found",
+            "application/json",
+            "{\"error\":\"not found\"}\n",
+        ),
     }
 }
 
@@ -416,9 +436,21 @@ fn health_body(state: &TelemetryState) -> (u16, &'static str, String) {
     } else {
         "ok"
     };
+    // Live runs also surface how stale the published documents are: a
+    // publisher that went quiet is visible here even while records
+    // still flow. Batch runs report `"live": null`.
+    let live = match &state.live {
+        None => "null".to_string(),
+        Some(live) => format!(
+            "{{\"report_publishes\":{},\"figure_publishes\":{},\"publish_age_s\":{}}}",
+            live.report_publishes(),
+            live.figure_publishes(),
+            json_opt_f64(live.publish_age().map(|age| age.as_secs_f64())),
+        ),
+    };
     let body = format!(
         "{{\"status\":\"{status_word}\",\"ready\":{ready},\"done\":{done},\
-         \"heartbeats\":{}}}",
+         \"heartbeats\":{},\"live\":{live}}}",
         ring.total()
     );
     if stalled {
@@ -433,7 +465,8 @@ mod tests {
     use super::*;
     use crate::heartbeat::HeartbeatSample;
 
-    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    /// GET returning (status, content-type, body).
+    fn get_full(addr: SocketAddr, path: &str) -> (u16, String, String) {
         let mut stream = TcpStream::connect(addr).expect("connect");
         write!(stream, "GET {path} HTTP/1.0\r\n\r\n").expect("request");
         let mut response = String::new();
@@ -444,10 +477,21 @@ mod tests {
             .and_then(|l| l.split_whitespace().nth(1))
             .and_then(|s| s.parse().ok())
             .expect("status line");
+        let content_type = response
+            .lines()
+            .take_while(|l| !l.is_empty())
+            .find_map(|l| l.strip_prefix("Content-Type: "))
+            .unwrap_or_default()
+            .to_string();
         let body = response
             .split_once("\r\n\r\n")
             .map(|(_, b)| b.to_string())
             .unwrap_or_default();
+        (status, content_type, body)
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        let (status, _, body) = get_full(addr, path);
         (status, body)
     }
 
@@ -664,6 +708,81 @@ mod tests {
         assert!(body.contains("\"cwa-progress/v1\""), "got: {body}");
         let (status, _) = get(addr, "/healthz");
         assert_eq!(status, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn dashboard_is_served_and_self_contained() {
+        let server = TelemetryServer::serve("127.0.0.1:0", test_state()).expect("bind");
+        let (status, content_type, body) = get_full(server.local_addr(), "/dashboard");
+        assert_eq!(status, 200);
+        assert_eq!(content_type, "text/html; charset=utf-8");
+        assert!(body.starts_with("<!DOCTYPE html>"), "got: {body:.60}");
+        // Self-contained: inline everything, zero external references.
+        for needle in ["http:", "https:", "src=", "href=", "@import", "url("] {
+            assert!(!body.contains(needle), "external reference {needle:?}");
+        }
+        // The page drives every polled endpoint.
+        for endpoint in [
+            "/report",
+            "/figures/adoption",
+            "/figures/geo",
+            "/figures/outbreak",
+            "/progress",
+            "/metrics.json",
+        ] {
+            assert!(body.contains(endpoint), "dashboard must poll {endpoint}");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn content_types_are_correct_everywhere() {
+        let server = TelemetryServer::serve("127.0.0.1:0", test_state()).expect("bind");
+        let addr = server.local_addr();
+        let cases = [
+            ("/metrics", "text/plain; version=0.0.4"),
+            ("/metrics.json", "application/json"),
+            ("/progress", "application/json"),
+            ("/healthz", "application/json"),
+            ("/report", "application/json"),
+            ("/figures/adoption", "application/json"),
+            ("/nope", "application/json"),
+        ];
+        for (path, expected) in cases {
+            let (_, content_type, _) = get_full(addr, path);
+            assert_eq!(content_type, expected, "{path}");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn healthz_surfaces_publish_age_on_live_runs() {
+        let live = Arc::new(LiveSnapshot::new());
+        let mut state = test_state();
+        state.live = Some(Arc::clone(&live));
+        let server = TelemetryServer::serve("127.0.0.1:0", state).expect("bind");
+        let addr = server.local_addr();
+
+        let (status, body) = get(addr, "/healthz");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"report_publishes\":0"), "got: {body}");
+        assert!(body.contains("\"publish_age_s\":null"), "got: {body}");
+
+        live.publish_report("{}".into());
+        live.publish_figure(LiveFigure::Geo, "{}".into());
+        let (_, body) = get(addr, "/healthz");
+        assert!(body.contains("\"report_publishes\":1"), "got: {body}");
+        assert!(body.contains("\"figure_publishes\":1"), "got: {body}");
+        assert!(!body.contains("\"publish_age_s\":null"), "got: {body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn healthz_reports_null_live_on_batch_runs() {
+        let server = TelemetryServer::serve("127.0.0.1:0", test_state()).expect("bind");
+        let (_, body) = get(server.local_addr(), "/healthz");
+        assert!(body.contains("\"live\":null"), "got: {body}");
         server.shutdown();
     }
 

@@ -12,7 +12,9 @@
 //! Like the heartbeat ring, the mutexes here recover from poisoning:
 //! telemetry must outlive a panicking publisher.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// The three live figure endpoints.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,13 +43,20 @@ impl LiveFigure {
     }
 }
 
-/// Latest published live documents (all pre-rendered JSON).
+/// Latest published live documents (all pre-rendered JSON), plus
+/// publish bookkeeping: how often each slot class was written and how
+/// long ago the last write happened (`/healthz` reports the age — a
+/// live run whose publisher went quiet is visible even while records
+/// still flow).
 #[derive(Debug, Default)]
 pub struct LiveSnapshot {
     report: Mutex<Option<String>>,
     adoption: Mutex<Option<String>>,
     geo: Mutex<Option<String>>,
     outbreak: Mutex<Option<String>>,
+    report_publishes: AtomicU64,
+    figure_publishes: AtomicU64,
+    last_publish: Mutex<Option<Instant>>,
 }
 
 impl LiveSnapshot {
@@ -64,9 +73,15 @@ impl LiveSnapshot {
         }
     }
 
+    fn note_publish(&self) {
+        *self.last_publish.lock().unwrap_or_else(|e| e.into_inner()) = Some(Instant::now());
+    }
+
     /// Publishes the current `/report` document.
     pub fn publish_report(&self, json: String) {
         *self.report.lock().unwrap_or_else(|e| e.into_inner()) = Some(json);
+        self.report_publishes.fetch_add(1, Ordering::Relaxed);
+        self.note_publish();
     }
 
     /// The latest `/report` document, if one has been published.
@@ -80,6 +95,8 @@ impl LiveSnapshot {
     /// Publishes one figure document.
     pub fn publish_figure(&self, figure: LiveFigure, json: String) {
         *self.slot(figure).lock().unwrap_or_else(|e| e.into_inner()) = Some(json);
+        self.figure_publishes.fetch_add(1, Ordering::Relaxed);
+        self.note_publish();
     }
 
     /// The latest document for `figure`, if published.
@@ -88,6 +105,25 @@ impl LiveSnapshot {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .clone()
+    }
+
+    /// Number of `/report` documents published so far.
+    pub fn report_publishes(&self) -> u64 {
+        self.report_publishes.load(Ordering::Relaxed)
+    }
+
+    /// Number of figure documents published so far (all three routes).
+    pub fn figure_publishes(&self) -> u64 {
+        self.figure_publishes.load(Ordering::Relaxed)
+    }
+
+    /// Time since the most recent publish of any document, or `None`
+    /// if nothing has been published yet.
+    pub fn publish_age(&self) -> Option<Duration> {
+        self.last_publish
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .map(|at| at.elapsed())
     }
 }
 
@@ -114,6 +150,21 @@ mod tests {
         // Replacement is whole-document.
         live.publish_report("{\"day\":2}".into());
         assert_eq!(live.report().as_deref(), Some("{\"day\":2}"));
+    }
+
+    #[test]
+    fn publish_bookkeeping_counts_and_ages() {
+        let live = LiveSnapshot::new();
+        assert_eq!(live.report_publishes(), 0);
+        assert_eq!(live.figure_publishes(), 0);
+        assert_eq!(live.publish_age(), None);
+        live.publish_report("{}".into());
+        live.publish_report("{}".into());
+        live.publish_figure(LiveFigure::Adoption, "{}".into());
+        assert_eq!(live.report_publishes(), 2);
+        assert_eq!(live.figure_publishes(), 1);
+        let age = live.publish_age().expect("published");
+        assert!(age < Duration::from_secs(60));
     }
 
     #[test]

@@ -141,7 +141,7 @@ print(f"    {len(lines)} append-valid heartbeat samples; scrape endpoints answer
 EOF
 rm -f "$HB_JSONL" "$TELEM_LOG"
 
-echo "==> live replay smoke (--live --serve: /report day advance, verdict shape, watch --claims)"
+echo "==> live replay smoke (--live --serve: /report day advance, verdicts, dashboard, watch --claims)"
 # A paced replay publishes an interim report after every simulated day;
 # two /report scrapes a moment apart must show the day counter
 # advancing with well-formed claim verdicts, and `watch --claims` must
@@ -172,6 +172,19 @@ for _ in $(seq 1 150); do
 done
 [ -n "$GOT" ] || { echo "/report never published"; exit 1; }
 ./target/release/cwa-repro scrape "$ADDR" /figures/adoption | grep -q '"cwa-live-figure/v1"' || { echo "/figures/adoption malformed"; exit 1; }
+# The dashboard must be one self-contained page — no external assets —
+# and must name every endpoint it polls, so a stale copy that predates
+# an endpoint rename fails here rather than silently showing blanks.
+DASH_HTML="$(mktemp /tmp/cwa-dash.XXXXXX.html)"
+./target/release/cwa-repro scrape "$ADDR" /dashboard > "$DASH_HTML" || { echo "/dashboard scrape failed"; exit 1; }
+head -n1 "$DASH_HTML" | grep -qi '<!DOCTYPE html>' || { echo "/dashboard is not an HTML document"; exit 1; }
+if grep -qE 'http:|https:|src=|href=|@import|url\(' "$DASH_HTML"; then
+    echo "/dashboard references external assets; it must be self-contained"; exit 1
+fi
+for ep in /report /figures/adoption /figures/geo /figures/outbreak /progress /metrics.json; do
+    grep -q "$ep" "$DASH_HTML" || { echo "/dashboard does not poll $ep"; exit 1; }
+done
+rm -f "$DASH_HTML"
 sleep 1.5
 ./target/release/cwa-repro scrape "$ADDR" /report > "$REPORT_B" || { echo "second /report scrape failed"; exit 1; }
 # `watch --claims` follows the rest of the replay and exits 0 at done.
@@ -181,17 +194,22 @@ python3 - "$REPORT_A" "$REPORT_B" <<'EOF'
 import json, sys
 a = json.load(open(sys.argv[1]))
 b = json.load(open(sys.argv[2]))
-for doc in (a, b):
-    assert doc["schema"] == "cwa-live/v1", doc.get("schema")
-    claims = doc["report"]["claims"]
-    assert claims, "live report carries no claims"
+def check_verdicts(claims, what):
+    assert claims, f"live report carries no {what}"
     for c in claims:
         v = c["verdict"]
         assert v in ("Pass", "Fail") or (isinstance(v, dict) and "Starved" in v), \
-            f"malformed verdict {v!r} for claim {c.get('id')}"
+            f"malformed {what} verdict {v!r} for claim {c.get('id')}"
+for doc in (a, b):
+    assert doc["schema"] == "cwa-live/v1", doc.get("schema")
+    check_verdicts(doc["report"]["claims"], "cumulative")
+    assert doc["window_to_day"] > doc["window_from_day"], \
+        f"empty window {doc['window_from_day']}..{doc['window_to_day']}"
+    check_verdicts(doc["window_verdicts"], "windowed")
 assert b["day"] > a["day"], f"day counter did not advance: {a['day']} -> {b['day']}"
 print(f"    /report advanced day {a['day']} -> {b['day']}; "
-      f"{len(b['report']['claims'])} well-formed verdicts per snapshot")
+      f"{len(b['report']['claims'])} cumulative + {len(b['window_verdicts'])} "
+      "windowed well-formed verdicts per snapshot")
 EOF
 rm -f "$LIVE_LOG" "$REPORT_A" "$REPORT_B"
 

@@ -288,8 +288,14 @@ fn study(args: &[String]) -> ExitCode {
             match cwa_obs::TelemetryServer::serve(addr.as_str(), state) {
                 Ok(s) => {
                     // Stderr, parseable: with `--serve 127.0.0.1:0` this
-                    // line is how scripts learn the real port.
-                    eprintln!("serving telemetry on {}", s.local_addr());
+                    // line is how scripts learn the real port. The
+                    // address stays the first token after "on" so the
+                    // dashboard suffix never breaks that parse.
+                    eprintln!(
+                        "serving telemetry on {} (dashboard: http://{}/dashboard)",
+                        s.local_addr(),
+                        s.local_addr()
+                    );
                     server = Some(s);
                 }
                 Err(e) => {
@@ -665,32 +671,50 @@ fn verdict_cell(v: Option<&serde_json::Value>) -> &'static str {
 }
 
 /// Renders one `/report` envelope (cwa-live/v1) as a claims dashboard
-/// frame: stream position header plus one row per claim.
+/// frame: stream position header plus one row per claim, with the
+/// cumulative verdict and the last-14-days window verdict side by
+/// side. Claims that cannot be re-judged from the window (side data,
+/// lifetime persistence, evicted anchor days) show `—`.
 fn render_claims_frame(doc: &serde_json::Value) -> String {
     let num = |k: &str| json_num(doc.get(k)).unwrap_or(0.0);
     let done = matches!(doc.get("done"), Some(serde_json::Value::Bool(true)));
     let mut out = format!(
-        "day {}/{} (hour {}) | {}\n",
+        "day {}/{} (hour {}) | {} | window days {}–{}\n",
         num("day"),
         num("horizon_days"),
         num("hours_seen"),
         if done { "final" } else { "live" },
+        num("window_from_day"),
+        num("window_to_day"),
     );
     let claims = doc
         .get("report")
         .and_then(|r| r.get("claims"))
         .and_then(|c| c.as_array())
         .unwrap_or_default();
-    out.push_str(&format!("  {:<22} {:<8} measured\n", "claim", "verdict"));
+    let window_claims = doc
+        .get("window_verdicts")
+        .and_then(|c| c.as_array())
+        .unwrap_or_default();
+    out.push_str(&format!(
+        "  {:<22} {:<10} {:<8} {:<12} window measured\n",
+        "claim", "cumulative", "window", "measured"
+    ));
+    let fmt_measured = |claim: &serde_json::Value| match json_num(claim.get("measured")) {
+        Some(m) if m.is_finite() => format!("{m:.4e}"),
+        _ => "—".to_owned(),
+    };
     for claim in claims {
         let id = claim.get("id").and_then(|v| v.as_str()).unwrap_or("?");
-        let measured = match json_num(claim.get("measured")) {
-            Some(m) if m.is_finite() => format!("{m:.4e}"),
-            _ => "—".to_owned(),
-        };
+        let windowed = window_claims
+            .iter()
+            .find(|c| c.get("id").and_then(|v| v.as_str()) == Some(id));
         out.push_str(&format!(
-            "  {id:<22} {:<8} {measured}\n",
-            verdict_cell(claim.get("verdict"))
+            "  {id:<22} {:<10} {:<8} {:<12} {}\n",
+            verdict_cell(claim.get("verdict")),
+            windowed.map_or("—", |c| verdict_cell(c.get("verdict"))),
+            fmt_measured(claim),
+            windowed.map_or("—".to_owned(), fmt_measured),
         ));
     }
     out
@@ -1238,6 +1262,37 @@ mod tests {
         assert_eq!(rel_change_pct(None, Some(10)), None);
         // Negative baseline (a gauge): relative to |A|.
         assert_eq!(rel_change_pct(Some(-100), Some(-50)), Some(50.0));
+    }
+
+    #[test]
+    fn claims_frame_shows_window_column_beside_cumulative() {
+        let doc: serde_json::Value = serde_json::from_str(
+            r#"{
+            "schema":"cwa-live/v1","day":3,"hours_seen":72,"horizon_days":11,
+            "done":false,"window_from_day":0,"window_to_day":3,
+            "window_verdicts":[
+                {"id":"C1MatchingFlows","verdict":"Pass","measured":3400000.0}
+            ],
+            "report":{"claims":[
+                {"id":"C1MatchingFlows","verdict":"Pass","measured":3300000.0},
+                {"id":"C4aPersistenceMedian","verdict":"Fail","measured":0.5}
+            ]}}"#,
+        )
+        .expect("valid envelope");
+        let frame = render_claims_frame(&doc);
+        assert!(frame.contains("window days 0–3"), "{frame}");
+        let c1 = frame
+            .lines()
+            .find(|l| l.contains("C1MatchingFlows"))
+            .expect("C1 row");
+        assert_eq!(c1.matches("pass").count(), 2, "both verdicts: {c1}");
+        assert!(c1.contains("3.4000e6"), "window measured: {c1}");
+        let c4 = frame
+            .lines()
+            .find(|l| l.contains("C4aPersistenceMedian"))
+            .expect("C4a row");
+        assert!(c4.contains("FAIL"), "{c4}");
+        assert!(c4.contains("—"), "no window verdict: {c4}");
     }
 
     #[test]

@@ -13,10 +13,13 @@ use std::thread;
 use std::time::Duration;
 
 use cwa_repro::core::{Study, StudyConfig};
-use cwa_repro::obs::{Heartbeat, HeartbeatConfig, Registry, TelemetryServer, TelemetryState};
+use cwa_repro::obs::{
+    Heartbeat, HeartbeatConfig, LiveSnapshot, Registry, TelemetryServer, TelemetryState,
+};
 
-/// Minimal HTTP/1.0 GET against the scrape server; returns (status, body).
-fn get(addr: std::net::SocketAddr, path: &str) -> (u16, String) {
+/// Minimal HTTP/1.0 GET against the scrape server; returns
+/// (status, content-type, body).
+fn get_full(addr: std::net::SocketAddr, path: &str) -> (u16, String, String) {
     let mut stream = TcpStream::connect(addr).expect("connect to scrape server");
     stream
         .set_read_timeout(Some(Duration::from_secs(5)))
@@ -29,10 +32,18 @@ fn get(addr: std::net::SocketAddr, path: &str) -> (u16, String) {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .expect("status line");
-    let body = raw
-        .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
-        .unwrap_or_default();
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+    let content_type = head
+        .lines()
+        .find_map(|line| line.strip_prefix("Content-Type: "))
+        .expect("Content-Type header present")
+        .to_string();
+    (status, content_type, body.to_string())
+}
+
+/// Minimal HTTP/1.0 GET against the scrape server; returns (status, body).
+fn get(addr: std::net::SocketAddr, path: &str) -> (u16, String) {
+    let (status, _content_type, body) = get_full(addr, path);
     (status, body)
 }
 
@@ -246,4 +257,104 @@ fn telemetry_never_perturbs_reports() {
         run_plain(true).strip_volatile(),
         "sharded(2): serve on == off"
     );
+}
+
+/// Response-header and status-code semantics across the scrape server:
+/// every endpoint declares the right `Content-Type`, unknown paths are
+/// JSON 404s, and the live document endpoints distinguish "not a live
+/// run" (404) from "live run, nothing published yet" (503).
+#[test]
+fn scrape_server_headers_and_live_status_semantics() {
+    let serve = |live: Option<Arc<LiveSnapshot>>| {
+        let registry = Arc::new(Registry::new());
+        let heartbeat = Heartbeat::start(
+            Arc::clone(&registry),
+            HeartbeatConfig {
+                interval: Duration::from_millis(50),
+                capacity: 16,
+                jsonl: None,
+            },
+        )
+        .expect("heartbeat starts");
+        let server = TelemetryServer::serve(
+            "127.0.0.1:0",
+            TelemetryState {
+                registry,
+                ring: heartbeat.ring(),
+                stall_heartbeats: 50,
+                live,
+            },
+        )
+        .expect("server binds");
+        (server, heartbeat)
+    };
+
+    // Batch run: no live mailbox attached, so the live document
+    // endpoints do not exist on this server → 404, as JSON errors.
+    let (server, heartbeat) = serve(None);
+    let addr = server.local_addr();
+    for path in [
+        "/report",
+        "/figures/adoption",
+        "/figures/geo",
+        "/figures/outbreak",
+    ] {
+        let (status, content_type, body) = get_full(addr, path);
+        assert_eq!(status, 404, "{path} is absent on a batch run");
+        assert_eq!(content_type, "application/json");
+        assert!(
+            body.contains("\"error\""),
+            "404 body is a JSON error: {body}"
+        );
+    }
+    // Content-Type is exact on every always-on endpoint.
+    let expectations = [
+        ("/", "text/plain"),
+        ("/metrics", "text/plain; version=0.0.4"),
+        ("/metrics.json", "application/json"),
+        ("/progress", "application/json"),
+        ("/healthz", "application/json"),
+        ("/dashboard", "text/html; charset=utf-8"),
+    ];
+    for (path, want) in expectations {
+        let (status, content_type, _body) = get_full(addr, path);
+        assert_eq!(status, 200, "{path} answers");
+        assert_eq!(content_type, want, "{path} declares its media type");
+    }
+    let (status, content_type, _body) = get_full(addr, "/no-such-endpoint");
+    assert_eq!(status, 404);
+    assert_eq!(
+        content_type, "application/json",
+        "unknown paths are JSON 404s"
+    );
+    server.shutdown();
+    heartbeat.stop();
+
+    // Live run, nothing published yet: the endpoints exist but the
+    // first document has not arrived → 503 (retryable), then 200 once
+    // a publication lands.
+    let live = Arc::new(LiveSnapshot::new());
+    let (server, heartbeat) = serve(Some(Arc::clone(&live)));
+    let addr = server.local_addr();
+    for path in [
+        "/report",
+        "/figures/adoption",
+        "/figures/geo",
+        "/figures/outbreak",
+    ] {
+        let (status, content_type, body) = get_full(addr, path);
+        assert_eq!(status, 503, "{path} is pending before the first publish");
+        assert_eq!(content_type, "application/json");
+        assert!(
+            body.contains("\"error\""),
+            "503 body is a JSON error: {body}"
+        );
+    }
+    live.publish_report("{\"schema\": \"cwa-live/v1\"}".to_string());
+    let (status, content_type, body) = get_full(addr, "/report");
+    assert_eq!(status, 200, "/report serves the published document");
+    assert_eq!(content_type, "application/json");
+    assert!(body.contains("cwa-live/v1"));
+    server.shutdown();
+    heartbeat.stop();
 }
